@@ -1,0 +1,58 @@
+// Experiment E10 — paper Sec. 4.3: "communication cost for a party with n
+// objects is O(n)". Sweeps column size for the data-holder (encryption)
+// and third-party (global matrix) sides.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/comm_model.h"
+#include "core/categorical_protocol.h"
+#include "crypto/det_encrypt.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+std::vector<std::string> RandomCategories(size_t n, size_t domain,
+                                          uint64_t seed) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, seed);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back("v" + std::to_string(prng->NextBounded(domain)));
+  }
+  return out;
+}
+
+void BM_CategoricalEncryptColumn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto values = RandomCategories(n, 8, 1);
+  DeterministicEncryptor encryptor("shared-holder-key");
+  for (auto _ : state) {
+    auto tokens = CategoricalProtocol::EncryptColumn(values, encryptor);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["payload_B"] =
+      static_cast<double>(CommModel::CategoricalPayload(n));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CategoricalEncryptColumn)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_CategoricalGlobalMatrix(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DeterministicEncryptor encryptor("shared-holder-key");
+  auto tokens_a =
+      CategoricalProtocol::EncryptColumn(RandomCategories(n, 8, 1), encryptor);
+  auto tokens_b =
+      CategoricalProtocol::EncryptColumn(RandomCategories(n, 8, 2), encryptor);
+  for (auto _ : state) {
+    auto matrix = CategoricalProtocol::BuildGlobalMatrix({tokens_a, tokens_b});
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.counters["n_per_party"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations() * (2 * n) * (2 * n) / 2);
+}
+BENCHMARK(BM_CategoricalGlobalMatrix)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,101 @@
+// Experiment E18 — the language-statistics attack on the alphanumeric
+// protocol (the paper's Sec. 6 future work, implemented): how much of the
+// parties' text can the third party reconstruct from the CCMs it
+// legitimately receives, as a function of corpus size and language skew?
+//
+// Counters per row:
+//   recovery   — fraction of all characters correctly inferred,
+//   components — character classes found (|alphabet| = full substitution-
+//                cipher reconstruction),
+//   purity     — correctness of the class structure itself.
+//
+// Expected shape: recovery ~ alphabet-prior max for tiny corpora, rising
+// to 1.0 once enough strings are compared and the language is skewed —
+// quantifying the leak the paper suspected and motivating CCM-free designs
+// as follow-up work.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/ccm_linkage_attack.h"
+#include "core/alphanumeric_protocol.h"
+#include "rng/distributions.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+std::vector<std::vector<uint8_t>> LanguageStrings(
+    size_t count, size_t length, const std::vector<double>& frequencies,
+    Prng* prng) {
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<uint8_t> s;
+    s.reserve(length);
+    for (size_t j = 0; j < length; ++j) {
+      s.push_back(
+          static_cast<uint8_t>(Distributions::Categorical(prng, frequencies)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void RunAttackBench(benchmark::State& state,
+                    const std::vector<double>& frequencies,
+                    const char* label) {
+  const size_t strings = static_cast<size_t>(state.range(0));
+  const size_t length = 24;
+  Alphabet dna = Alphabet::Dna();
+  auto prng = MakePrng(PrngKind::kXoshiro256, 5);
+  auto initiator = LanguageStrings(strings, length, frequencies, prng.get());
+  auto responder = LanguageStrings(strings, length, frequencies, prng.get());
+
+  auto rng_jt_i = MakePrng(PrngKind::kChaCha20, 6);
+  auto rng_jt_tp = MakePrng(PrngKind::kChaCha20, 6);
+  auto masked =
+      AlphanumericProtocol::MaskStrings(initiator, dna, rng_jt_i.get())
+          .TakeValue();
+  auto grids = AlphanumericProtocol::BuildMaskedGrids(responder, masked, dna);
+  std::vector<CharComparisonMatrix> ccms;
+  ccms.reserve(grids.size());
+  for (const auto& grid : grids) {
+    ccms.push_back(
+        AlphanumericProtocol::DecodeCcm(grid, dna, rng_jt_tp.get()));
+  }
+
+  CcmLinkageAttack::Outcome outcome;
+  for (auto _ : state) {
+    outcome = CcmLinkageAttack::Run(ccms, responder.size(), initiator.size(),
+                                    responder, initiator, dna, frequencies)
+                  .TakeValue();
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["strings"] = static_cast<double>(strings);
+  state.counters["recovery"] = outcome.recovery_rate;
+  state.counters["components"] =
+      static_cast<double>(outcome.component_count);
+  state.counters["purity"] = outcome.class_purity;
+  state.SetLabel(label);
+}
+
+void BM_CcmAttackSkewedLanguage(benchmark::State& state) {
+  // AT-rich genome-style composition.
+  RunAttackBench(state, {0.40, 0.10, 0.10, 0.40}, "skewed A/T");
+}
+BENCHMARK(BM_CcmAttackSkewedLanguage)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_CcmAttackHeavilySkewed(benchmark::State& state) {
+  RunAttackBench(state, {0.55, 0.25, 0.14, 0.06}, "heavily skewed");
+}
+BENCHMARK(BM_CcmAttackHeavilySkewed)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_CcmAttackUniformLanguage(benchmark::State& state) {
+  // Uniform language: structure leaks (purity 1) but frequency matching
+  // cannot label the classes better than chance.
+  RunAttackBench(state, {0.25, 0.25, 0.25, 0.25}, "uniform");
+}
+BENCHMARK(BM_CcmAttackUniformLanguage)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace ppc

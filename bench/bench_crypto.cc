@@ -1,0 +1,147 @@
+// Experiment E16 — crypto substrate throughput: the primitives every
+// protocol message rides on. Establishes that the masking protocols' costs
+// are dominated by data volume, not cryptography (PRNG draws are
+// nanoseconds; Paillier operations are milliseconds — the E13 gap).
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.h"
+#include "crypto/det_encrypt.h"
+#include "crypto/diffie_hellman.h"
+#include "crypto/hmac.h"
+#include "crypto/paillier.h"
+#include "crypto/sha256.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::string data(size, 'x');
+  for (auto _ : state) {
+    auto digest = Sha256::Hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::string data(size, 'x');
+  for (auto _ : state) {
+    auto mac = HmacSha256::Mac("key", data);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Aes128CtrCrypt(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Aes128Ctr ctr = Aes128Ctr::Create(std::string(16, 'k')).TakeValue();
+  std::string data(size, 'x');
+  for (auto _ : state) {
+    auto out = ctr.Crypt("nonce123", data);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Aes128CtrCrypt)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_PrngDraw(benchmark::State& state) {
+  const PrngKind kind = static_cast<PrngKind>(state.range(0));
+  auto prng = MakePrng(kind, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prng->Next());
+  }
+  state.SetLabel(PrngKindToString(kind));
+  state.SetBytesProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_PrngDraw)->DenseRange(0, 2);
+
+void BM_PrngReset(benchmark::State& state) {
+  // Reset() is on the protocol's hot path (once per matrix row).
+  const PrngKind kind = static_cast<PrngKind>(state.range(0));
+  auto prng = MakePrng(kind, 1);
+  for (auto _ : state) {
+    prng->Reset();
+    benchmark::DoNotOptimize(prng->Next());
+  }
+  state.SetLabel(PrngKindToString(kind));
+}
+BENCHMARK(BM_PrngReset)->DenseRange(0, 2);
+
+void BM_DeterministicEncrypt(benchmark::State& state) {
+  DeterministicEncryptor encryptor("key");
+  for (auto _ : state) {
+    auto token = encryptor.Encrypt("category-value-42");
+    benchmark::DoNotOptimize(token);
+  }
+}
+BENCHMARK(BM_DeterministicEncrypt);
+
+void BM_DiffieHellmanExchange(benchmark::State& state) {
+  auto rng = MakePrng(PrngKind::kChaCha20, 1);
+  auto alice = DiffieHellman::Generate(rng.get());
+  auto bob = DiffieHellman::Generate(rng.get());
+  for (auto _ : state) {
+    auto shared = DiffieHellman::SharedElement(alice.private_key,
+                                               bob.public_key);
+    auto seed = DiffieHellman::DeriveSeed(shared, "label");
+    benchmark::DoNotOptimize(seed);
+  }
+}
+BENCHMARK(BM_DiffieHellmanExchange)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierKeyGen(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto rng = MakePrng(PrngKind::kChaCha20, seed++);
+    auto keys = GeneratePaillierKeyPair(bits, rng.get());
+    benchmark::DoNotOptimize(keys);
+  }
+  state.counters["bits"] = static_cast<double>(bits);
+}
+BENCHMARK(BM_PaillierKeyGen)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  auto keygen = MakePrng(PrngKind::kChaCha20, 1);
+  auto keys = GeneratePaillierKeyPair(1024, keygen.get()).TakeValue();
+  auto blinding = MakePrng(PrngKind::kChaCha20, 2);
+  for (auto _ : state) {
+    auto c = keys.public_key.EncryptSigned(123456, blinding.get());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  auto keygen = MakePrng(PrngKind::kChaCha20, 1);
+  auto keys = GeneratePaillierKeyPair(1024, keygen.get()).TakeValue();
+  auto blinding = MakePrng(PrngKind::kChaCha20, 2);
+  auto c = keys.public_key.EncryptSigned(123456, blinding.get());
+  for (auto _ : state) {
+    auto m = keys.private_key.DecryptSigned(c);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierHomomorphicAdd(benchmark::State& state) {
+  auto keygen = MakePrng(PrngKind::kChaCha20, 1);
+  auto keys = GeneratePaillierKeyPair(1024, keygen.get()).TakeValue();
+  auto blinding = MakePrng(PrngKind::kChaCha20, 2);
+  auto a = keys.public_key.EncryptSigned(1, blinding.get());
+  auto b = keys.public_key.EncryptSigned(2, blinding.get());
+  for (auto _ : state) {
+    auto c = keys.public_key.Add(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PaillierHomomorphicAdd);
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,74 @@
+// Experiment E17 — edit distance engines (paper Sec. 2.3): the classic DP
+// on raw strings, the CCM-driven DP the third party runs, and the banded
+// variant used as a record-linkage filter. The CCM path must track the
+// direct path closely (same DP, different substitution-cost source).
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "distance/edit_distance.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+std::pair<std::string, std::string> RandomPair(size_t length, uint64_t seed) {
+  Alphabet dna = Alphabet::Dna();
+  auto prng = MakePrng(PrngKind::kXoshiro256, seed);
+  std::string a = Generators::RandomString(length, dna, prng.get());
+  // Related string: mutate a rather than drawing fresh, so banded filters
+  // have realistic (small-distance) work to do at small bands.
+  std::string b = Generators::Mutate(a, dna, 0.05, 0.02, prng.get());
+  return {a, b};
+}
+
+void BM_EditDistanceDirect(benchmark::State& state) {
+  const size_t length = static_cast<size_t>(state.range(0));
+  auto [a, b] = RandomPair(length, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance::Compute(a, b));
+  }
+  state.counters["len"] = static_cast<double>(length);
+  state.SetItemsProcessed(state.iterations() * length * length);
+}
+BENCHMARK(BM_EditDistanceDirect)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_EditDistanceFromCcm(benchmark::State& state) {
+  const size_t length = static_cast<size_t>(state.range(0));
+  auto [a, b] = RandomPair(length, 1);
+  CharComparisonMatrix ccm = CharComparisonMatrix::FromStrings(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance::ComputeFromCcm(ccm));
+  }
+  state.counters["len"] = static_cast<double>(length);
+  state.SetItemsProcessed(state.iterations() * length * length);
+}
+BENCHMARK(BM_EditDistanceFromCcm)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  const size_t length = static_cast<size_t>(state.range(0));
+  const size_t band = static_cast<size_t>(state.range(1));
+  auto [a, b] = RandomPair(length, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance::ComputeBanded(a, b, band));
+  }
+  state.counters["len"] = static_cast<double>(length);
+  state.counters["band"] = static_cast<double>(band);
+  state.SetItemsProcessed(state.iterations() * length * band);
+}
+BENCHMARK(BM_EditDistanceBanded)
+    ->ArgsProduct({{256, 1024, 4096}, {4, 16, 64}});
+
+void BM_CcmConstruction(benchmark::State& state) {
+  const size_t length = static_cast<size_t>(state.range(0));
+  auto [a, b] = RandomPair(length, 1);
+  for (auto _ : state) {
+    auto ccm = CharComparisonMatrix::FromStrings(a, b);
+    benchmark::DoNotOptimize(ccm);
+  }
+  state.counters["len"] = static_cast<double>(length);
+}
+BENCHMARK(BM_CcmConstruction)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace ppc

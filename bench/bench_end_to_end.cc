@@ -1,0 +1,148 @@
+// Experiment E15 — full pipeline scaling: the complete Fig. 11 session
+// (key agreement, local matrices, all pairwise comparison protocols, global
+// assembly, normalization) as a function of total object count and party
+// count, with total wire traffic as a counter.
+//
+// The paper's observation to reproduce: "the communication costs of our
+// protocols are parallel to the computation costs of the operations in case
+// of centralized data" — wire bytes grow with the same quadratic shape as
+// the centralized distance computation.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "data/partition.h"
+#include "session_test_util.h"
+
+namespace ppc {
+namespace {
+
+using testutil::MakeSession;
+using testutil::MatricesOf;
+
+LabeledDataset NumericDataset(size_t n, uint64_t seed) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, seed);
+  return Generators::GaussianMixture(
+             n,
+             {{{0.0, 0.0}, 1.0, 1.0}, {{10.0, 10.0}, 1.0, 1.0},
+              {{-10.0, 10.0}, 1.0, 1.0}},
+             prng.get())
+      .TakeValue();
+}
+
+void BM_SessionNumericScaling(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  LabeledDataset data = NumericDataset(n, 1);
+  auto parts = Partitioner::RoundRobin(data, k).TakeValue();
+  ProtocolConfig config;
+
+  uint64_t wire_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fixture =
+        MakeSession(data.data.schema(), MatricesOf(parts), config).TakeValue();
+    state.ResumeTiming();
+    bool ok = fixture.session->Run().ok();
+    benchmark::DoNotOptimize(ok);
+    wire_bytes = fixture.network->GrandTotal().wire_bytes;
+  }
+  state.counters["objects"] = static_cast<double>(n);
+  state.counters["parties"] = static_cast<double>(k);
+  state.counters["wire_B"] = static_cast<double>(wire_bytes);
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SessionNumericScaling)
+    ->ArgsProduct({{32, 64, 128, 256}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SessionMixedTypes(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto prng = MakePrng(PrngKind::kXoshiro256, 2);
+  Generators::MixedOptions options;
+  options.string_length = 12;
+  LabeledDataset data =
+      Generators::MixedClusters(n, options, Alphabet::Dna(), prng.get())
+          .TakeValue();
+  auto parts = Partitioner::RoundRobin(data, 3).TakeValue();
+  ProtocolConfig config;
+
+  uint64_t wire_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fixture =
+        MakeSession(data.data.schema(), MatricesOf(parts), config).TakeValue();
+    state.ResumeTiming();
+    bool ok = fixture.session->Run().ok();
+    benchmark::DoNotOptimize(ok);
+    wire_bytes = fixture.network->GrandTotal().wire_bytes;
+  }
+  state.counters["objects"] = static_cast<double>(n);
+  state.counters["wire_B"] = static_cast<double>(wire_bytes);
+}
+BENCHMARK(BM_SessionMixedTypes)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SessionPlusClustering(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  LabeledDataset data = NumericDataset(n, 3);
+  auto parts = Partitioner::RoundRobin(data, 2).TakeValue();
+  ProtocolConfig config;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fixture =
+        MakeSession(data.data.schema(), MatricesOf(parts), config).TakeValue();
+    state.ResumeTiming();
+    bool ok = fixture.session->Run().ok();
+    ClusterRequest request;
+    request.num_clusters = 3;
+    auto outcome = fixture.session->RequestClustering("A", request);
+    benchmark::DoNotOptimize(outcome);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["objects"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SessionPlusClustering)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Transport-security ablation: what does AES-CTR+HMAC framing cost the
+// whole pipeline versus plaintext channels?
+void BM_SessionTransportAblation(benchmark::State& state) {
+  const bool secure = state.range(0) != 0;
+  LabeledDataset data = NumericDataset(128, 4);
+  auto parts = Partitioner::RoundRobin(data, 2).TakeValue();
+  ProtocolConfig config;
+
+  uint64_t wire_bytes = 0, payload_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fixture =
+        MakeSession(data.data.schema(), MatricesOf(parts), config,
+                    secure ? TransportSecurity::kAuthenticatedEncryption
+                           : TransportSecurity::kPlaintext)
+            .TakeValue();
+    state.ResumeTiming();
+    bool ok = fixture.session->Run().ok();
+    benchmark::DoNotOptimize(ok);
+    wire_bytes = fixture.network->GrandTotal().wire_bytes;
+    payload_bytes = fixture.network->GrandTotal().payload_bytes;
+  }
+  state.counters["wire_B"] = static_cast<double>(wire_bytes);
+  state.counters["overhead_B"] =
+      static_cast<double>(wire_bytes - payload_bytes);
+  state.SetLabel(secure ? "aes-ctr+hmac" : "plaintext");
+}
+BENCHMARK(BM_SessionTransportAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ppc

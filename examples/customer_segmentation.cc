@@ -1,0 +1,89 @@
+// Customer segmentation across two retailers: mixed attribute types
+// (numeric spend/visits, categorical tier, alphanumeric loyalty code) and
+// per-holder weight vectors — the paper's "each data holder can impose a
+// different weight vector" capability, shown concretely: weighting the
+// attributes differently produces different published segmentations.
+
+#include <cstdio>
+
+#include "example_util.h"
+#include "ppclust.h"
+
+int main() {
+  using namespace ppc;  // NOLINT(build/namespaces)
+
+  std::printf("== cross-retailer customer segmentation ==\n\n");
+
+  auto prng = MakePrng(PrngKind::kXoshiro256, 77);
+  Generators::MixedOptions options;
+  options.num_clusters = 3;
+  options.numeric_dims = 2;       // annual spend, visits (standardized).
+  options.center_spacing = 10.0;
+  options.cluster_spread = 1.0;
+  options.string_length = 8;      // loyalty code over {a..z}.
+  options.string_mutation_rate = 0.1;
+  options.categorical_domain = 3;  // membership tier.
+  Alphabet code_alphabet = Alphabet::LowercaseAscii();
+  LabeledDataset customers = ExampleUnwrap(
+      Generators::MixedClusters(30, options, code_alphabet, prng.get()),
+      "generator");
+
+  auto parts = ExampleUnwrap(
+      Partitioner::ByFractions(customers, {0.6, 0.4}), "partitioning");
+
+  ProtocolConfig config;
+  config.alphabet = code_alphabet;
+  config.real_decimal_digits = 4;
+
+  InMemoryNetwork network;
+  ThirdParty analyst("TP", &network, config, customers.data.schema(), 1);
+  DataHolder retailer_a("A", &network, config, 2);
+  DataHolder retailer_b("B", &network, config, 3);
+  EXAMPLE_CHECK(retailer_a.SetData(parts[0].data));
+  EXAMPLE_CHECK(retailer_b.SetData(parts[1].data));
+
+  ClusteringSession session(&network, config, customers.data.schema());
+  EXAMPLE_CHECK(session.SetThirdParty(&analyst));
+  EXAMPLE_CHECK(session.AddDataHolder(&retailer_a));
+  EXAMPLE_CHECK(session.AddDataHolder(&retailer_b));
+  EXAMPLE_CHECK(session.Run());
+
+  const size_t total = customers.data.NumRows();
+
+  // Retailer A cares about behaviour: weight the numeric attributes only.
+  ClusterRequest behavioural;
+  behavioural.weights = {1.0, 1.0, 0.0, 0.0};
+  behavioural.linkage = Linkage::kWard;
+  behavioural.num_clusters = 3;
+  ClusteringOutcome by_behaviour = ExampleUnwrap(
+      session.RequestClustering("A", behavioural), "A's request");
+
+  // Retailer B cares about loyalty-code similarity (e.g. fraud rings).
+  ClusterRequest by_code;
+  by_code.weights = {0.0, 0.0, 0.0, 1.0};
+  by_code.linkage = Linkage::kAverage;
+  by_code.num_clusters = 3;
+  ClusteringOutcome by_loyalty = ExampleUnwrap(
+      session.RequestClustering("B", by_code), "B's request");
+
+  std::printf("retailer A's behavioural segmentation (Ward, numeric only):\n%s\n",
+              by_behaviour.ToString().c_str());
+  std::printf("retailer B's loyalty-code segmentation (average, string only):\n%s\n",
+              by_loyalty.ToString().c_str());
+
+  double agreement = ExampleUnwrap(
+      Quality::AdjustedRandIndex(by_behaviour.FlatLabels(total),
+                                 by_loyalty.FlatLabels(total)),
+      "ARI");
+  std::printf("agreement between the two views (ARI): %.3f\n", agreement);
+
+  LabeledDataset merged =
+      ExampleUnwrap(Partitioner::Concatenate(parts), "concat");
+  double ari_truth = ExampleUnwrap(
+      Quality::AdjustedRandIndex(by_behaviour.FlatLabels(total),
+                                 merged.labels),
+      "ARI vs truth");
+  std::printf("behavioural view vs generating segments (ARI): %.3f\n",
+              ari_truth);
+  return 0;
+}

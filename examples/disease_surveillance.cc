@@ -1,0 +1,104 @@
+// Disease surveillance with *hierarchical* and *ordered* categorical
+// attributes — the paper's Sec. 4.3 future work, exercised end to end.
+//
+// Three health agencies hold case records: a diagnosis drawn from a public
+// disease taxonomy, a severity grade on an ordered scale, and the patient
+// age. Flat 0/1 categorical distance would treat H5N1-vs-H1N1 exactly like
+// H5N1-vs-tuberculosis; the taxonomy distance keeps the influenza family
+// together, and severity contributes |rank difference| instead of 0/1.
+
+#include <cstdio>
+
+#include "core/taxonomy_protocol.h"
+#include "example_util.h"
+#include "ppclust.h"
+
+int main() {
+  using namespace ppc;  // NOLINT(build/namespaces)
+
+  std::printf("== disease surveillance across three agencies ==\n\n");
+
+  // Public artifacts all parties agree on (like the comparison functions).
+  CategoryTaxonomy taxonomy = ExampleUnwrap(
+      CategoryTaxonomy::Create({{"viral", "disease"},
+                                {"bacterial", "disease"},
+                                {"influenza", "viral"},
+                                {"corona", "viral"},
+                                {"h5n1", "influenza"},
+                                {"h1n1", "influenza"},
+                                {"tb", "bacterial"},
+                                {"strep", "bacterial"}}),
+      "taxonomy");
+  OrdinalScale severity = ExampleUnwrap(
+      OrdinalScale::Create({"mild", "moderate", "severe", "critical"}),
+      "severity scale");
+
+  // Severity rides the numeric protocol as its ordinal rank.
+  Schema schema = ExampleUnwrap(
+      Schema::Create({{"diagnosis", AttributeType::kCategorical},
+                      {"severity_rank", AttributeType::kInteger},
+                      {"age", AttributeType::kInteger}}),
+      "schema");
+
+  ProtocolConfig config;
+  config.taxonomies.emplace("diagnosis", taxonomy);
+
+  struct Case {
+    const char* diagnosis;
+    const char* severity;
+    int64_t age;
+  };
+  auto build = [&](std::vector<Case> cases) {
+    DataMatrix data(schema);
+    for (const Case& c : cases) {
+      int64_t rank = ExampleUnwrap(severity.RankOf(c.severity), "severity");
+      EXAMPLE_CHECK(data.AppendRow({Value::Categorical(c.diagnosis),
+                                    Value::Integer(rank),
+                                    Value::Integer(c.age)}));
+    }
+    return data;
+  };
+
+  DataMatrix agency_a = build({{"h5n1", "severe", 34},
+                               {"h1n1", "critical", 41},
+                               {"tb", "moderate", 67}});
+  DataMatrix agency_b = build({{"h5n1", "critical", 29},
+                               {"strep", "mild", 12},
+                               {"tb", "moderate", 71}});
+  DataMatrix agency_c = build({{"h1n1", "severe", 38},
+                               {"corona", "severe", 45},
+                               {"strep", "mild", 9}});
+
+  InMemoryNetwork network;
+  ThirdParty who("TP", &network, config, schema, 1);
+  DataHolder a("A", &network, config, 2);
+  DataHolder b("B", &network, config, 3);
+  DataHolder c("C", &network, config, 4);
+  EXAMPLE_CHECK(a.SetData(agency_a));
+  EXAMPLE_CHECK(b.SetData(agency_b));
+  EXAMPLE_CHECK(c.SetData(agency_c));
+
+  ClusteringSession session(&network, config, schema);
+  EXAMPLE_CHECK(session.SetThirdParty(&who));
+  EXAMPLE_CHECK(session.AddDataHolder(&a));
+  EXAMPLE_CHECK(session.AddDataHolder(&b));
+  EXAMPLE_CHECK(session.AddDataHolder(&c));
+  EXAMPLE_CHECK(session.Run());
+
+  // Weight the taxonomy heavily: outbreak families matter most; severity
+  // and age refine within families.
+  ClusterRequest request;
+  request.weights = {0.6, 0.25, 0.15};
+  request.linkage = Linkage::kAverage;
+  request.num_clusters = 3;
+  ClusteringOutcome outcome =
+      ExampleUnwrap(session.RequestClustering("A", request), "clustering");
+
+  std::printf("%s\n", outcome.ToString().c_str());
+  std::printf(
+      "The influenza family (A0, A1, B0, C0) clusters together even though\n"
+      "no two agencies share a patient and H5N1 != H1N1 as flat strings;\n"
+      "the taxonomy distance sees them as siblings. The third party saw\n"
+      "only encrypted path tokens and masked ranks.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#ifndef PPC_EXAMPLES_EXAMPLE_UTIL_H_
+#define PPC_EXAMPLES_EXAMPLE_UTIL_H_
+
+// Shared helpers for the example binaries: abort loudly on any Status error
+// (examples are demos, not libraries, so failing fast is the right UX).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Aborts the example with a message if `expr` yields a non-OK Status.
+#define EXAMPLE_CHECK(expr)                                        \
+  do {                                                             \
+    ::ppc::Status _status = (expr);                                \
+    if (!_status.ok()) {                                           \
+      std::fprintf(stderr, "FATAL at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, _status.ToString().c_str());          \
+      std::exit(1);                                                \
+    }                                                              \
+  } while (false)
+
+/// Unwraps a Result<T> or aborts the example.
+template <typename T>
+T ExampleUnwrap(ppc::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).TakeValue();
+}
+
+#endif  // PPC_EXAMPLES_EXAMPLE_UTIL_H_

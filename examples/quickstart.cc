@@ -1,0 +1,91 @@
+// Quickstart: two data holders and a third party cluster a small mixed
+// dataset without revealing raw values to each other — the minimal
+// end-to-end walk through the paper's protocol (Figs. 11-13).
+//
+//   $ ./examples/quickstart
+//
+// The printed membership table is the paper's Fig. 13 output format.
+
+#include <cstdio>
+
+#include "example_util.h"
+#include "ppclust.h"
+
+namespace {
+
+using namespace ppc;  // NOLINT(build/namespaces) — example brevity.
+
+DataMatrix HolderAData(const Schema& schema) {
+  DataMatrix data(schema);
+  // (age, diagnosis-code, dna-fragment)
+  EXAMPLE_CHECK(data.AppendRow({Value::Integer(34), Value::Categorical("H5N1"),
+                                Value::Alphanumeric("ACGTACGTAC")}));
+  EXAMPLE_CHECK(data.AppendRow({Value::Integer(36), Value::Categorical("H5N1"),
+                                Value::Alphanumeric("ACGTACGTTC")}));
+  EXAMPLE_CHECK(data.AppendRow({Value::Integer(71), Value::Categorical("H1N1"),
+                                Value::Alphanumeric("TTGGCCAATT")}));
+  return data;
+}
+
+DataMatrix HolderBData(const Schema& schema) {
+  DataMatrix data(schema);
+  EXAMPLE_CHECK(data.AppendRow({Value::Integer(33), Value::Categorical("H5N1"),
+                                Value::Alphanumeric("ACGTACGAAC")}));
+  EXAMPLE_CHECK(data.AppendRow({Value::Integer(69), Value::Categorical("H1N1"),
+                                Value::Alphanumeric("TTGGCCAATA")}));
+  EXAMPLE_CHECK(data.AppendRow({Value::Integer(74), Value::Categorical("H1N1"),
+                                Value::Alphanumeric("TTGGACAATT")}));
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ppclust quickstart ==\n\n");
+
+  // 1. The parties agree on a schema, an alphabet and protocol parameters.
+  Schema schema = ExampleUnwrap(
+      Schema::Create({{"age", AttributeType::kInteger},
+                      {"strain", AttributeType::kCategorical},
+                      {"dna", AttributeType::kAlphanumeric}}),
+      "schema");
+  ProtocolConfig config;
+  config.alphabet = Alphabet::Dna();
+
+  // 2. Stand up the network, the semi-trusted third party, and two data
+  //    holders, each owning a horizontal partition.
+  InMemoryNetwork network(TransportSecurity::kAuthenticatedEncryption);
+  ThirdParty third_party("TP", &network, config, schema, /*entropy_seed=*/101);
+  DataHolder hospital_a("A", &network, config, /*entropy_seed=*/102);
+  DataHolder hospital_b("B", &network, config, /*entropy_seed=*/103);
+  EXAMPLE_CHECK(hospital_a.SetData(HolderAData(schema)));
+  EXAMPLE_CHECK(hospital_b.SetData(HolderBData(schema)));
+
+  // 3. Run the dissimilarity-construction session (paper Fig. 11).
+  ClusteringSession session(&network, config, schema);
+  EXAMPLE_CHECK(session.SetThirdParty(&third_party));
+  EXAMPLE_CHECK(session.AddDataHolder(&hospital_a));
+  EXAMPLE_CHECK(session.AddDataHolder(&hospital_b));
+  EXAMPLE_CHECK(session.Run());
+  std::printf("protocol finished: %llu bytes on the wire across %llu "
+              "messages\n\n",
+              static_cast<unsigned long long>(
+                  network.GrandTotal().wire_bytes),
+              static_cast<unsigned long long>(
+                  network.GrandTotal().messages));
+
+  // 4. Hospital A orders average-linkage hierarchical clustering with two
+  //    clusters; the third party publishes memberships + quality (Fig. 13).
+  ClusterRequest request;
+  request.algorithm = ClusterAlgorithm::kHierarchical;
+  request.linkage = Linkage::kAverage;
+  request.num_clusters = 2;
+  ClusteringOutcome outcome = ExampleUnwrap(
+      session.RequestClustering("A", request), "clustering request");
+
+  std::printf("%s\n", outcome.ToString().c_str());
+  std::printf("silhouette: %.3f\n", outcome.silhouette);
+  std::printf("\nNote: the third party never saw a plaintext age, strain or "
+              "DNA fragment;\nthe holders never saw each other's rows.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "analysis/ccm_linkage_attack.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace ppc {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<CcmLinkageAttack::Outcome> CcmLinkageAttack::Run(
+    const std::vector<CharComparisonMatrix>& ccms, size_t responder_count,
+    size_t initiator_count,
+    const std::vector<std::vector<uint8_t>>& responder_truth,
+    const std::vector<std::vector<uint8_t>>& initiator_truth,
+    const Alphabet& alphabet,
+    const std::vector<double>& language_frequencies) {
+  if (ccms.size() != responder_count * initiator_count) {
+    return Status::InvalidArgument("CCM count mismatch");
+  }
+  if (responder_truth.size() != responder_count ||
+      initiator_truth.size() != initiator_count) {
+    return Status::InvalidArgument("ground truth shape mismatch");
+  }
+  if (language_frequencies.size() != alphabet.size()) {
+    return Status::InvalidArgument(
+        "language model must cover the whole alphabet");
+  }
+
+  // Node numbering: responder characters first (string-major), then
+  // initiator characters.
+  std::vector<size_t> responder_offsets(responder_count + 1, 0);
+  for (size_t m = 0; m < responder_count; ++m) {
+    responder_offsets[m + 1] = responder_offsets[m] + responder_truth[m].size();
+  }
+  std::vector<size_t> initiator_offsets(initiator_count + 1, 0);
+  for (size_t n = 0; n < initiator_count; ++n) {
+    initiator_offsets[n + 1] = initiator_offsets[n] + initiator_truth[n].size();
+  }
+  const size_t responder_chars = responder_offsets.back();
+  const size_t total_chars = responder_chars + initiator_offsets.back();
+  if (total_chars == 0) {
+    return Status::InvalidArgument("no characters to attack");
+  }
+
+  // Link every equality cell. (The grids the TP decodes have responder
+  // rows and initiator columns.)
+  UnionFind classes(total_chars);
+  for (size_t m = 0; m < responder_count; ++m) {
+    for (size_t n = 0; n < initiator_count; ++n) {
+      const CharComparisonMatrix& ccm = ccms[m * initiator_count + n];
+      if (ccm.source_length() != responder_truth[m].size() ||
+          ccm.target_length() != initiator_truth[n].size()) {
+        return Status::InvalidArgument("CCM shape mismatch at pair (" +
+                                       std::to_string(m) + "," +
+                                       std::to_string(n) + ")");
+      }
+      for (size_t q = 0; q < ccm.source_length(); ++q) {
+        for (size_t p = 0; p < ccm.target_length(); ++p) {
+          if (ccm.at(q, p) == 0) {
+            classes.Union(responder_offsets[m] + q,
+                          responder_chars + initiator_offsets[n] + p);
+          }
+        }
+      }
+    }
+  }
+
+  // Ground-truth symbol per node, for scoring only.
+  std::vector<uint8_t> truth(total_chars);
+  for (size_t m = 0; m < responder_count; ++m) {
+    for (size_t q = 0; q < responder_truth[m].size(); ++q) {
+      truth[responder_offsets[m] + q] = responder_truth[m][q];
+    }
+  }
+  for (size_t n = 0; n < initiator_count; ++n) {
+    for (size_t p = 0; p < initiator_truth[n].size(); ++p) {
+      truth[responder_chars + initiator_offsets[n] + p] =
+          initiator_truth[n][p];
+    }
+  }
+
+  // Component masses + per-component symbol histogram (histogram is used
+  // only for purity scoring, not by the attacker).
+  std::map<size_t, size_t> component_size;
+  std::map<size_t, std::map<uint8_t, size_t>> component_histogram;
+  for (size_t node = 0; node < total_chars; ++node) {
+    size_t root = classes.Find(node);
+    component_size[root] += 1;
+    component_histogram[root][truth[node]] += 1;
+  }
+
+  Outcome outcome;
+  outcome.component_count = component_size.size();
+
+  // Class purity: fraction of members sharing the majority symbol,
+  // weighted by size.
+  size_t pure = 0;
+  for (const auto& [root, histogram] : component_histogram) {
+    (void)root;
+    size_t best = 0;
+    for (const auto& [symbol, count] : histogram) {
+      (void)symbol;
+      best = std::max(best, count);
+    }
+    pure += best;
+  }
+  outcome.class_purity = static_cast<double>(pure) /
+                         static_cast<double>(total_chars);
+
+  // Frequency matching: biggest component <- most frequent symbol, and so
+  // on; components beyond |alphabet| get the overall most frequent symbol.
+  std::vector<std::pair<size_t, size_t>> by_size;  // (size, root).
+  for (const auto& [root, size] : component_size) {
+    by_size.emplace_back(size, root);
+  }
+  std::sort(by_size.rbegin(), by_size.rend());
+
+  std::vector<uint8_t> symbols_by_frequency(alphabet.size());
+  std::iota(symbols_by_frequency.begin(), symbols_by_frequency.end(),
+            uint8_t{0});
+  std::sort(symbols_by_frequency.begin(), symbols_by_frequency.end(),
+            [&](uint8_t a, uint8_t b) {
+              return language_frequencies[a] > language_frequencies[b];
+            });
+
+  std::map<size_t, uint8_t> assigned;
+  for (size_t i = 0; i < by_size.size(); ++i) {
+    assigned[by_size[i].second] =
+        symbols_by_frequency[std::min(i, symbols_by_frequency.size() - 1)];
+  }
+
+  size_t correct = 0;
+  for (size_t node = 0; node < total_chars; ++node) {
+    if (assigned[classes.Find(node)] == truth[node]) ++correct;
+  }
+  outcome.recovery_rate =
+      static_cast<double>(correct) / static_cast<double>(total_chars);
+  return outcome;
+}
+
+}  // namespace ppc

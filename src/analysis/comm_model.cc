@@ -1,0 +1,28 @@
+#include "analysis/comm_model.h"
+
+namespace ppc {
+
+uint64_t CommModel::AlnumInitiatorPayload(
+    const std::vector<uint64_t>& string_lengths) {
+  uint64_t total = kAttrHeader + kVectorHeader;
+  for (uint64_t length : string_lengths) {
+    total += kVectorHeader + length;  // Per-string length prefix + bytes.
+  }
+  return total;
+}
+
+uint64_t CommModel::AlnumResponderPayload(
+    const std::vector<uint64_t>& responder_lengths,
+    const std::vector<uint64_t>& initiator_lengths,
+    uint64_t initiator_name_length) {
+  uint64_t total = kAttrHeader + kVectorHeader + initiator_name_length +
+                   2 * kU64;
+  for (uint64_t q : responder_lengths) {
+    for (uint64_t p : initiator_lengths) {
+      total += 4 + 4 + kVectorHeader + q * p;  // rlen, ilen, cell bytes.
+    }
+  }
+  return total;
+}
+
+}  // namespace ppc

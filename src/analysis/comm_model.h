@@ -1,0 +1,85 @@
+#ifndef PPC_ANALYSIS_COMM_MODEL_H_
+#define PPC_ANALYSIS_COMM_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+
+namespace ppc {
+
+/// Closed-form predictions of protocol payload sizes, in bytes, matching
+/// the serialization of `DataHolder` exactly. These are the constants
+/// behind the paper's asymptotic claims (Sec. 4.1-4.3):
+///
+///   numeric:      initiator O(n^2 + n), responder O(m^2 + m n)
+///   alphanumeric: initiator O(n^2 + n p), responder O(m^2 + m q n p)
+///   categorical:  each party O(n)
+///
+/// The communication-cost experiments (E8-E10) assert that the bytes
+/// observed on the simulated wire equal these predictions, then print the
+/// measured-vs-model table per size sweep.
+class CommModel {
+ public:
+  /// Serialization constants (see common/serde.h): u32 length prefix etc.
+  static constexpr uint64_t kVectorHeader = 4;   // u32 element count.
+  static constexpr uint64_t kAttrHeader = 4;     // u32 attribute index.
+  static constexpr uint64_t kU64 = 8;
+  static constexpr uint64_t kF64 = 8;
+  static constexpr uint64_t kTokenBytes = 16;    // Deterministic token size.
+
+  /// Fig.-12 local matrix message for n objects: attr + n + packed floats.
+  static uint64_t LocalMatrixPayload(uint64_t n) {
+    return kAttrHeader + kU64 + kVectorHeader + n * (n - 1) / 2 * kF64;
+  }
+
+  /// Numeric initiator -> responder payload. Batch: n masked words.
+  /// Per-pair: n*m masked words.
+  static uint64_t NumericInitiatorPayload(uint64_t n, uint64_t m,
+                                          MaskingMode mode) {
+    uint64_t words = mode == MaskingMode::kBatch ? n : n * m;
+    return kAttrHeader + /*mode*/ 1 + /*rows*/ kU64 + kVectorHeader +
+           words * kU64;
+  }
+
+  /// Numeric responder -> TP payload: the m x n comparison matrix plus the
+  /// initiator-name echo.
+  static uint64_t NumericResponderPayload(uint64_t m, uint64_t n,
+                                          uint64_t initiator_name_length) {
+    return kAttrHeader + kVectorHeader + initiator_name_length + 1 +
+           2 * kU64 + kVectorHeader + m * n * kU64;
+  }
+
+  /// Alphanumeric initiator -> responder payload for strings of the given
+  /// lengths: one masked byte per character.
+  static uint64_t AlnumInitiatorPayload(
+      const std::vector<uint64_t>& string_lengths);
+
+  /// Alphanumeric responder -> TP payload: one byte per CCM cell over all
+  /// (responder, initiator) string pairs plus per-grid headers.
+  static uint64_t AlnumResponderPayload(
+      const std::vector<uint64_t>& responder_lengths,
+      const std::vector<uint64_t>& initiator_lengths,
+      uint64_t initiator_name_length);
+
+  /// Categorical party -> TP payload: kind tag + one 16-byte token per
+  /// object (flat protocol).
+  static uint64_t CategoricalPayload(uint64_t n) {
+    return kAttrHeader + /*kind*/ 1 + kVectorHeader +
+           n * (kVectorHeader + kTokenBytes);
+  }
+
+  /// Hierarchical categorical payload: kind tag + count + one token per
+  /// path level. `depths[i]` is the taxonomy depth of object i's category.
+  static uint64_t TaxonomicPayload(const std::vector<uint64_t>& depths) {
+    uint64_t total = kAttrHeader + 1 + 4;
+    for (uint64_t depth : depths) {
+      total += kVectorHeader + depth * (kVectorHeader + kTokenBytes);
+    }
+    return total;
+  }
+};
+
+}  // namespace ppc
+
+#endif  // PPC_ANALYSIS_COMM_MODEL_H_

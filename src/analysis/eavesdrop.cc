@@ -1,0 +1,46 @@
+#include "analysis/eavesdrop.h"
+
+#include "common/serde.h"
+#include "core/config.h"
+
+namespace ppc {
+
+Result<std::vector<EavesdropAttack::CandidatePair>>
+EavesdropAttack::CandidatesFromFrame(const std::string& wire_payload,
+                                     Prng* rng_jt) {
+  ByteReader reader(wire_payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+  (void)attr;
+  PPC_ASSIGN_OR_RETURN(uint8_t mode, reader.ReadU8());
+  if (mode != static_cast<uint8_t>(MaskingMode::kBatch)) {
+    return Status::InvalidArgument("frame is not a batch-mode masked vector");
+  }
+  PPC_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  (void)rows;
+  PPC_ASSIGN_OR_RETURN(std::vector<uint64_t> masked, reader.ReadU64Vector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  rng_jt->Reset();
+  std::vector<CandidatePair> candidates;
+  candidates.reserve(masked.size());
+  for (uint64_t value : masked) {
+    uint64_t r = rng_jt->Next();
+    candidates.emplace_back(static_cast<int64_t>(value - r),
+                            static_cast<int64_t>(r - value));
+  }
+  return candidates;
+}
+
+double EavesdropAttack::HitRate(const std::vector<CandidatePair>& candidates,
+                                const std::vector<int64_t>& truth) {
+  if (candidates.size() != truth.size() || truth.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (candidates[i].first == truth[i] || candidates[i].second == truth[i]) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace ppc

@@ -1,0 +1,39 @@
+#ifndef PPC_ANALYSIS_EAVESDROP_H_
+#define PPC_ANALYSIS_EAVESDROP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// The channel-eavesdropping inference of paper Sec. 4.1: a third party
+/// that also listens on the DHJ -> DHK link sees x'' = r ± x and knows r
+/// (it shares rngJT with DHJ), so "he infers that the value of x is either
+/// (x'' - r) or (r - x'')". This is exactly why the paper requires secured
+/// channels; experiment E12 shows the attack succeeding on a plaintext
+/// transport and collapsing on the authenticated-encryption transport.
+class EavesdropAttack {
+ public:
+  /// Candidate pair for one initiator object: the two values the TP cannot
+  /// distinguish between.
+  using CandidatePair = std::pair<int64_t, int64_t>;
+
+  /// Parses a captured `numeric.masked_vector` wire frame (batch mode,
+  /// plaintext transport) and derives both candidates per object using the
+  /// attacker's copy of the rJT generator. On an encrypted frame, parsing
+  /// fails or yields garbage candidates — which the experiment checks.
+  static Result<std::vector<CandidatePair>> CandidatesFromFrame(
+      const std::string& wire_payload, Prng* rng_jt);
+
+  /// Fraction of objects whose true value appears among the candidates.
+  static double HitRate(const std::vector<CandidatePair>& candidates,
+                        const std::vector<int64_t>& truth);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_ANALYSIS_EAVESDROP_H_

@@ -1,0 +1,109 @@
+#include "analysis/frequency_attack.h"
+
+#include <algorithm>
+
+namespace ppc {
+
+namespace {
+
+uint64_t AbsDiff(int64_t a, int64_t b) {
+  return a >= b ? static_cast<uint64_t>(a) - static_cast<uint64_t>(b)
+                : static_cast<uint64_t>(b) - static_cast<uint64_t>(a);
+}
+
+/// Number of integer offsets c with lo <= c + w_m <= hi for all m.
+uint64_t FeasibleOffsets(const std::vector<int64_t>& w, int64_t lo,
+                         int64_t hi) {
+  int64_t w_min = *std::min_element(w.begin(), w.end());
+  int64_t w_max = *std::max_element(w.begin(), w.end());
+  __int128 low = static_cast<__int128>(lo) - w_min;
+  __int128 high = static_cast<__int128>(hi) - w_max;
+  if (high < low) return 0;
+  __int128 count = high - low + 1;
+  if (count > static_cast<__int128>(~uint64_t{0})) return ~uint64_t{0};
+  return static_cast<uint64_t>(count);
+}
+
+bool VectorFeasible(const std::vector<int64_t>& w,
+                    const std::vector<int64_t>& truth) {
+  // truth == c + w for some constant c.
+  int64_t c = truth[0] - w[0];
+  for (size_t m = 0; m < w.size(); ++m) {
+    if (truth[m] - w[m] != c) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<FrequencyAttack::Outcome> FrequencyAttack::Run(
+    const std::vector<uint64_t>& comparison_matrix, size_t rows, size_t cols,
+    Prng* rng_jt, MaskingMode mode, int64_t range_lo, int64_t range_hi,
+    const std::vector<int64_t>& true_responder_values) {
+  if (comparison_matrix.size() != rows * cols || cols == 0) {
+    return Status::InvalidArgument("comparison matrix shape mismatch");
+  }
+  if (true_responder_values.size() != rows) {
+    return Status::InvalidArgument("ground truth size mismatch");
+  }
+  if (rows < 2) {
+    return Status::InvalidArgument("attack needs at least two responder "
+                                   "objects");
+  }
+  if (range_hi < range_lo) {
+    return Status::InvalidArgument("empty attribute range");
+  }
+
+  // The TP's view of column 0, unmasked with its own rJT stream.
+  std::vector<int64_t> v(rows);
+  rng_jt->Reset();
+  if (mode == MaskingMode::kBatch) {
+    // Column n is masked with the nth stream value; column 0 with the 1st.
+    uint64_t r0 = rng_jt->Next();
+    for (size_t m = 0; m < rows; ++m) {
+      v[m] = static_cast<int64_t>(comparison_matrix[m * cols] - r0);
+    }
+  } else {
+    // Per-pair: cell (m, n) is masked with stream position m*cols + n.
+    size_t position = 0;
+    for (size_t m = 0; m < rows; ++m) {
+      for (size_t n = 0; n < cols; ++n, ++position) {
+        uint64_t r = rng_jt->Next();
+        if (n == 0) {
+          v[m] = static_cast<int64_t>(comparison_matrix[m * cols] - r);
+        }
+      }
+    }
+  }
+
+  Outcome outcome;
+
+  // Pairwise difference recovery: |v_m - v_m'| should equal |y_m - y_m'|.
+  size_t matched = 0;
+  size_t pairs = 0;
+  for (size_t m = 1; m < rows; ++m) {
+    for (size_t m2 = 0; m2 < m; ++m2) {
+      ++pairs;
+      if (AbsDiff(v[m], v[m2]) ==
+          AbsDiff(true_responder_values[m], true_responder_values[m2])) {
+        ++matched;
+      }
+    }
+  }
+  outcome.difference_recovery_rate =
+      static_cast<double>(matched) / static_cast<double>(pairs);
+
+  // Candidate enumeration under the known range, for both global signs:
+  // y_m = c - eps * v_m.
+  for (int eps : {+1, -1}) {
+    std::vector<int64_t> w(rows);
+    for (size_t m = 0; m < rows; ++m) w[m] = -eps * v[m];
+    outcome.feasible_candidates += FeasibleOffsets(w, range_lo, range_hi);
+    if (VectorFeasible(w, true_responder_values)) {
+      outcome.true_vector_feasible = true;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace ppc

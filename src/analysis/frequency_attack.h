@@ -1,0 +1,55 @@
+#ifndef PPC_ANALYSIS_FREQUENCY_ATTACK_H_
+#define PPC_ANALYSIS_FREQUENCY_ATTACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// The honest-but-curious third party's inference attack of paper Sec. 4.1:
+///
+///   "Notice that the ith column of the pair-wise comparison matrix s ...
+///    is 'private data vector of DHK' plus 'identity vector times (ith
+///    input of DHJ - ith random number of rngJT)' or negation of the
+///    expression. If the range of values for numeric attributes is limited
+///    and there is enough statistics to realize a frequency attack, TP can
+///    infer input values of site DHK."
+///
+/// In batch mode, v_m := s[m][i] - r_i = eps_i * (x_i - y_m) with one sign
+/// eps_i per column, so v_m - v_m' = -eps_i (y_m - y_m'): the TP learns all
+/// pairwise differences of DHK's column up to one global sign, and with a
+/// known finite attribute range it can enumerate the few value vectors
+/// consistent with them. Per-pair masking breaks the shared structure and
+/// the attack collapses. Experiment E11 quantifies both.
+class FrequencyAttack {
+ public:
+  struct Outcome {
+    /// Fraction of responder pairs (m, m') whose absolute difference the
+    /// attacker recovered correctly (best over the global sign choice).
+    double difference_recovery_rate = 0.0;
+    /// Number of candidate value vectors consistent with the recovered
+    /// differences and the known range (over both signs).
+    uint64_t feasible_candidates = 0;
+    /// True iff DHK's actual vector is among the candidates.
+    bool true_vector_feasible = false;
+  };
+
+  /// Runs the attack from the third party's exact view: the comparison
+  /// matrix it received (row-major rows x cols), its rJT generator, the
+  /// masking mode, and the publicly known attribute range [range_lo,
+  /// range_hi]. `true_responder_values` is ground truth used only to score
+  /// the attack.
+  static Result<Outcome> Run(const std::vector<uint64_t>& comparison_matrix,
+                             size_t rows, size_t cols, Prng* rng_jt,
+                             MaskingMode mode, int64_t range_lo,
+                             int64_t range_hi,
+                             const std::vector<int64_t>& true_responder_values);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_ANALYSIS_FREQUENCY_ATTACK_H_

@@ -1,0 +1,105 @@
+#include "analysis/stats.h"
+
+#include <cmath>
+
+namespace ppc {
+
+namespace {
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err| <
+/// 1.15e-9) — enough precision for test thresholds.
+double NormalQuantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  if (p <= 0.0) return -1e9;
+  if (p >= 1.0) return 1e9;
+  if (p < p_low) {
+    double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= 1 - p_low) {
+    double q = p - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  double q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace
+
+Result<double> Stats::ChiSquareUniform(const std::vector<uint64_t>& counts) {
+  if (counts.size() < 2) {
+    return Status::InvalidArgument("need at least two buckets");
+  }
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) {
+    return Status::InvalidArgument("no samples");
+  }
+  double expected = static_cast<double>(total) / counts.size();
+  double statistic = 0.0;
+  for (uint64_t c : counts) {
+    double diff = static_cast<double>(c) - expected;
+    statistic += diff * diff / expected;
+  }
+  return statistic;
+}
+
+double Stats::ChiSquareCriticalValue(size_t degrees_of_freedom, double alpha) {
+  // Wilson-Hilferty: X ~ df * (1 - 2/(9 df) + z sqrt(2/(9 df)))^3.
+  double df = static_cast<double>(degrees_of_freedom);
+  double z = NormalQuantile(1.0 - alpha);
+  double term = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+  return df * term * term * term;
+}
+
+Result<bool> Stats::LooksUniform(const std::vector<uint64_t>& samples,
+                                 size_t num_buckets, double alpha) {
+  if (num_buckets < 2 || (num_buckets & (num_buckets - 1)) != 0) {
+    return Status::InvalidArgument("num_buckets must be a power of two >= 2");
+  }
+  if (samples.size() < 5 * num_buckets) {
+    return Status::InvalidArgument("too few samples for the bucket count");
+  }
+  std::vector<uint64_t> counts(num_buckets, 0);
+  for (uint64_t sample : samples) {
+    counts[sample & (num_buckets - 1)] += 1;
+  }
+  PPC_ASSIGN_OR_RETURN(double statistic, ChiSquareUniform(counts));
+  return statistic < ChiSquareCriticalValue(num_buckets - 1, alpha);
+}
+
+double Stats::Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Stats::StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return std::sqrt(sum / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace ppc

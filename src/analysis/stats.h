@@ -1,0 +1,40 @@
+#ifndef PPC_ANALYSIS_STATS_H_
+#define PPC_ANALYSIS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// Statistical checks used by the security experiments: the paper's privacy
+/// argument rests on masked messages being "practically a random number" to
+/// parties without the generator, so the tests bucket observed transcripts
+/// and χ²-test them against uniformity.
+class Stats {
+ public:
+  /// χ² statistic of `counts` against a uniform expectation.
+  static Result<double> ChiSquareUniform(const std::vector<uint64_t>& counts);
+
+  /// Approximate upper critical value of the χ² distribution with
+  /// `degrees_of_freedom` df at right-tail probability `alpha`
+  /// (Wilson-Hilferty approximation; good to a few percent for df >= 10).
+  static double ChiSquareCriticalValue(size_t degrees_of_freedom,
+                                       double alpha);
+
+  /// Convenience: buckets each sample by its low bits into `num_buckets`
+  /// (must be a power of two) and tests uniformity at `alpha`.
+  static Result<bool> LooksUniform(const std::vector<uint64_t>& samples,
+                                   size_t num_buckets, double alpha);
+
+  /// Sample mean.
+  static double Mean(const std::vector<double>& values);
+
+  /// Unbiased sample standard deviation (0 for fewer than two samples).
+  static double StdDev(const std::vector<double>& values);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_ANALYSIS_STATS_H_

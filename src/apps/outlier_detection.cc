@@ -1,0 +1,51 @@
+#include "apps/outlier_detection.h"
+
+#include <algorithm>
+
+namespace ppc {
+
+Result<std::vector<OutlierDetection::Outlier>> OutlierDetection::Detect(
+    const DissimilarityMatrix& matrix, const std::vector<PartyExtent>& extents,
+    const Options& options) {
+  if (options.min_far_fraction < 0.0 || options.min_far_fraction > 1.0) {
+    return Status::InvalidArgument("min_far_fraction must be in [0, 1]");
+  }
+  const size_t n = matrix.num_objects();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least two objects");
+  }
+  size_t covered = 0;
+  for (const PartyExtent& extent : extents) covered += extent.count;
+  if (covered != n) {
+    return Status::InvalidArgument("party extents do not cover the matrix");
+  }
+
+  std::vector<Outlier> outliers;
+  for (size_t i = 0; i < n; ++i) {
+    size_t far = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (matrix.at(i, j) > options.distance_threshold) ++far;
+    }
+    double fraction = static_cast<double>(far) / static_cast<double>(n - 1);
+    if (fraction >= options.min_far_fraction) {
+      ObjectRef ref;
+      ref.global_index = i;
+      for (const PartyExtent& extent : extents) {
+        if (i >= extent.offset && i < extent.offset + extent.count) {
+          ref.party = extent.party;
+          ref.local_index = i - extent.offset;
+          break;
+        }
+      }
+      outliers.push_back({std::move(ref), fraction});
+    }
+  }
+  std::sort(outliers.begin(), outliers.end(),
+            [](const Outlier& a, const Outlier& b) {
+              return a.far_fraction > b.far_fraction;
+            });
+  return outliers;
+}
+
+}  // namespace ppc

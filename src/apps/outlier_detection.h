@@ -1,0 +1,44 @@
+#ifndef PPC_APPS_OUTLIER_DETECTION_H_
+#define PPC_APPS_OUTLIER_DETECTION_H_
+
+#include <vector>
+
+#include "apps/record_linkage.h"
+#include "common/result.h"
+#include "core/outcome.h"
+#include "distance/dissimilarity_matrix.h"
+
+namespace ppc {
+
+/// Distance-based outlier detection (Knorr & Ng's DB(p, D) definition) over
+/// the privacy-preserving dissimilarity matrix — the paper's second claimed
+/// further application.
+///
+/// An object is a DB(p, D) outlier when at least fraction `p` of all other
+/// objects lie farther than distance `D` from it. Like clustering, this
+/// needs only pairwise distances, so the third party can run it and publish
+/// the outlier list without any further protocol rounds.
+class OutlierDetection {
+ public:
+  struct Options {
+    /// Neighborhood radius D (matrix is normalized to [0, 1]).
+    double distance_threshold = 0.3;
+    /// Minimum fraction p of objects that must be farther than D.
+    double min_far_fraction = 0.95;
+  };
+
+  struct Outlier {
+    ObjectRef object;
+    /// Fraction of other objects farther than D.
+    double far_fraction = 0.0;
+  };
+
+  /// Returns outliers sorted by descending isolation (far_fraction).
+  static Result<std::vector<Outlier>> Detect(
+      const DissimilarityMatrix& matrix,
+      const std::vector<PartyExtent>& extents, const Options& options);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_APPS_OUTLIER_DETECTION_H_

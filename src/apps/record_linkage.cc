@@ -1,0 +1,60 @@
+#include "apps/record_linkage.h"
+
+#include <algorithm>
+
+namespace ppc {
+
+namespace {
+
+Result<ObjectRef> RefFor(size_t global_index,
+                         const std::vector<PartyExtent>& extents) {
+  for (const PartyExtent& extent : extents) {
+    if (global_index >= extent.offset &&
+        global_index < extent.offset + extent.count) {
+      ObjectRef ref;
+      ref.party = extent.party;
+      ref.local_index = global_index - extent.offset;
+      ref.global_index = global_index;
+      return ref;
+    }
+  }
+  return Status::InvalidArgument("global index " +
+                                 std::to_string(global_index) +
+                                 " not covered by any party extent");
+}
+
+}  // namespace
+
+Result<std::vector<RecordLinkage::Link>> RecordLinkage::FindLinks(
+    const DissimilarityMatrix& matrix, const std::vector<PartyExtent>& extents,
+    const Options& options) {
+  if (options.threshold < 0.0) {
+    return Status::InvalidArgument("threshold must be >= 0");
+  }
+  size_t covered = 0;
+  for (const PartyExtent& extent : extents) covered += extent.count;
+  if (covered != matrix.num_objects()) {
+    return Status::InvalidArgument("party extents cover " +
+                                   std::to_string(covered) + " objects, "
+                                   "matrix has " +
+                                   std::to_string(matrix.num_objects()));
+  }
+
+  std::vector<Link> links;
+  for (size_t i = 1; i < matrix.num_objects(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double d = matrix.at(i, j);
+      if (d > options.threshold) continue;
+      PPC_ASSIGN_OR_RETURN(ObjectRef left, RefFor(i, extents));
+      PPC_ASSIGN_OR_RETURN(ObjectRef right, RefFor(j, extents));
+      if (options.cross_party_only && left.party == right.party) continue;
+      links.push_back({std::move(left), std::move(right), d});
+    }
+  }
+  std::sort(links.begin(), links.end(), [](const Link& a, const Link& b) {
+    return a.distance < b.distance;
+  });
+  return links;
+}
+
+}  // namespace ppc

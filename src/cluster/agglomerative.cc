@@ -1,0 +1,230 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ppc {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Shared machinery for both algorithms: a dense working copy of the
+/// dissimilarity matrix with Lance-Williams updates. Ward operates on
+/// squared distances internally; heights are reported in distance units.
+class Workspace {
+ public:
+  Workspace(const DissimilarityMatrix& matrix, Linkage linkage)
+      : n_(matrix.num_objects()),
+        linkage_(linkage),
+        distance_(n_ * n_, 0.0),
+        size_(n_, 1),
+        active_(n_, true) {
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        double d = matrix.at(i, j);
+        if (linkage_ == Linkage::kWard) d = d * d;
+        distance_[i * n_ + j] = distance_[j * n_ + i] = d;
+      }
+    }
+  }
+
+  size_t n() const { return n_; }
+  bool active(size_t i) const { return active_[i]; }
+  double dist(size_t i, size_t j) const { return distance_[i * n_ + j]; }
+
+  /// Converts an internal working distance to a reported merge height.
+  double Height(double working_distance) const {
+    return linkage_ == Linkage::kWard ? std::sqrt(working_distance)
+                                      : working_distance;
+  }
+
+  /// Merges cluster `b` into cluster `a` (slot `a` survives) and applies
+  /// the Lance-Williams update to every other active cluster.
+  void Merge(size_t a, size_t b) {
+    double d_ab = dist(a, b);
+    double na = static_cast<double>(size_[a]);
+    double nb = static_cast<double>(size_[b]);
+    for (size_t k = 0; k < n_; ++k) {
+      if (!active_[k] || k == a || k == b) continue;
+      double d_ak = dist(a, k);
+      double d_bk = dist(b, k);
+      double updated = 0.0;
+      switch (linkage_) {
+        case Linkage::kSingle:
+          updated = std::min(d_ak, d_bk);
+          break;
+        case Linkage::kComplete:
+          updated = std::max(d_ak, d_bk);
+          break;
+        case Linkage::kAverage:
+          updated = (na * d_ak + nb * d_bk) / (na + nb);
+          break;
+        case Linkage::kWard: {
+          double nk = static_cast<double>(size_[k]);
+          updated = ((na + nk) * d_ak + (nb + nk) * d_bk - nk * d_ab) /
+                    (na + nb + nk);
+          break;
+        }
+      }
+      distance_[a * n_ + k] = distance_[k * n_ + a] = updated;
+    }
+    size_[a] += size_[b];
+    active_[b] = false;
+  }
+
+  size_t cluster_size(size_t i) const { return size_[i]; }
+
+ private:
+  size_t n_;
+  Linkage linkage_;
+  std::vector<double> distance_;
+  std::vector<size_t> size_;
+  std::vector<bool> active_;
+};
+
+/// A merge in slot space, later canonicalized into a Dendrogram.
+struct RawMerge {
+  size_t rep_a;   // Any leaf index inside cluster a (its slot id).
+  size_t rep_b;   // Any leaf index inside cluster b.
+  double height;  // Reported (non-squared) height.
+};
+
+/// Sorts raw merges by height and relabels them with union-find into the
+/// canonical dendrogram node numbering (leaves first, then merges in height
+/// order). This is how NN-chain output — whose execution order is not
+/// height-sorted — becomes a proper dendrogram.
+Dendrogram Canonicalize(size_t n, std::vector<RawMerge> raw) {
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const RawMerge& x, const RawMerge& y) {
+                     return x.height < y.height;
+                   });
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  std::vector<size_t> node_of(n);
+  std::iota(node_of.begin(), node_of.end(), size_t{0});
+  std::vector<size_t> leaves_under(n, 1);
+
+  std::vector<MergeStep> merges;
+  merges.reserve(raw.size());
+  for (size_t k = 0; k < raw.size(); ++k) {
+    size_t root_a = find(raw[k].rep_a);
+    size_t root_b = find(raw[k].rep_b);
+    MergeStep step;
+    // Canonical child order (smaller node id first): makes dendrograms and
+    // Newick output deterministic across agglomeration algorithms.
+    step.left = std::min(node_of[root_a], node_of[root_b]);
+    step.right = std::max(node_of[root_a], node_of[root_b]);
+    step.height = raw[k].height;
+    step.size = leaves_under[root_a] + leaves_under[root_b];
+    merges.push_back(step);
+    parent[root_a] = root_b;
+    node_of[root_b] = n + k;
+    leaves_under[root_b] = step.size;
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+}  // namespace
+
+const char* LinkageToString(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kComplete:
+      return "complete";
+    case Linkage::kAverage:
+      return "average";
+    case Linkage::kWard:
+      return "ward";
+  }
+  return "unknown";
+}
+
+Result<Dendrogram> Agglomerative::RunNaive(const DissimilarityMatrix& matrix,
+                                           Linkage linkage) {
+  size_t n = matrix.num_objects();
+  if (n == 0) return Status::InvalidArgument("cannot cluster zero objects");
+  Workspace work(matrix, linkage);
+
+  std::vector<RawMerge> raw;
+  raw.reserve(n - 1);
+  for (size_t step = 0; step + 1 < n; ++step) {
+    // Find the globally closest active pair (ties: smallest indices).
+    double best = kInfinity;
+    size_t best_a = 0, best_b = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!work.active(i)) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!work.active(j)) continue;
+        if (work.dist(i, j) < best) {
+          best = work.dist(i, j);
+          best_a = i;
+          best_b = j;
+        }
+      }
+    }
+    raw.push_back({best_a, best_b, work.Height(best)});
+    work.Merge(best_a, best_b);
+  }
+  return Canonicalize(n, std::move(raw));
+}
+
+Result<Dendrogram> Agglomerative::Run(const DissimilarityMatrix& matrix,
+                                      Linkage linkage) {
+  size_t n = matrix.num_objects();
+  if (n == 0) return Status::InvalidArgument("cannot cluster zero objects");
+  Workspace work(matrix, linkage);
+
+  std::vector<RawMerge> raw;
+  raw.reserve(n - 1);
+  std::vector<size_t> chain;
+  chain.reserve(n);
+
+  while (raw.size() + 1 < n) {
+    if (chain.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (work.active(i)) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    size_t a = chain.back();
+    // Nearest active neighbor of `a`; prefer the chain predecessor on ties
+    // so reciprocal pairs are detected and the chain terminates.
+    size_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : n;
+    double best = kInfinity;
+    size_t best_b = n;
+    for (size_t k = 0; k < n; ++k) {
+      if (!work.active(k) || k == a) continue;
+      double d = work.dist(a, k);
+      if (d < best || (d == best && k == prev)) {
+        best = d;
+        best_b = k;
+      }
+    }
+    if (best_b == prev) {
+      raw.push_back({a, best_b, work.Height(best)});
+      chain.pop_back();
+      chain.pop_back();
+      // Keep the surviving slot consistent with Workspace::Merge (a wins).
+      work.Merge(a, best_b);
+    } else {
+      chain.push_back(best_b);
+    }
+  }
+  return Canonicalize(n, std::move(raw));
+}
+
+}  // namespace ppc

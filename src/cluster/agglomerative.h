@@ -1,0 +1,45 @@
+#ifndef PPC_CLUSTER_AGGLOMERATIVE_H_
+#define PPC_CLUSTER_AGGLOMERATIVE_H_
+
+#include "cluster/dendrogram.h"
+#include "common/result.h"
+#include "distance/dissimilarity_matrix.h"
+
+namespace ppc {
+
+/// Cluster-to-cluster distance update rules (Lance-Williams family).
+///
+/// The paper deliberately leaves the clustering algorithm pluggable — "the
+/// global dissimilarity matrix is a generic data structure ... it can be
+/// used by any standard clustering algorithm" — and argues for hierarchical
+/// methods because they handle arbitrary shapes and all three data types.
+enum class Linkage {
+  kSingle,    // min-distance between members.
+  kComplete,  // max-distance between members.
+  kAverage,   // unweighted mean pairwise distance (UPGMA).
+  kWard,      // minimum within-cluster variance increase.
+};
+
+/// Canonical name of `linkage`.
+const char* LinkageToString(Linkage linkage);
+
+/// Agglomerative hierarchical clustering over a precomputed dissimilarity
+/// matrix — the algorithm the third party runs after the protocols finish.
+class Agglomerative {
+ public:
+  /// Nearest-neighbor-chain algorithm: O(n²) time, O(n²) memory. All four
+  /// linkages are reducible, so NN-chain produces a dendrogram equivalent
+  /// to the greedy algorithm (tested against `RunNaive`).
+  static Result<Dendrogram> Run(const DissimilarityMatrix& matrix,
+                                Linkage linkage);
+
+  /// Textbook greedy algorithm: repeatedly merge the globally closest pair.
+  /// O(n³) time; kept as the reference implementation for property tests
+  /// and as the ablation baseline in bench_clustering.
+  static Result<Dendrogram> RunNaive(const DissimilarityMatrix& matrix,
+                                     Linkage linkage);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,53 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+namespace ppc {
+
+Result<std::vector<int>> Dbscan::Run(const DissimilarityMatrix& matrix,
+                                     const Options& options) {
+  if (options.eps < 0.0) {
+    return Status::InvalidArgument("eps must be >= 0");
+  }
+  if (options.min_points == 0) {
+    return Status::InvalidArgument("min_points must be >= 1");
+  }
+  const size_t n = matrix.num_objects();
+  std::vector<int> labels(n, kNoise);
+  std::vector<bool> visited(n, false);
+
+  auto neighbors_of = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (matrix.at(i, j) <= options.eps) out.push_back(j);  // Includes i.
+    }
+    return out;
+  };
+
+  int next_cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    std::vector<size_t> seeds = neighbors_of(i);
+    if (seeds.size() < options.min_points) continue;  // Noise (for now).
+
+    int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<size_t> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == kNoise) labels[j] = cluster;  // Border point claim.
+      if (visited[j]) continue;
+      visited[j] = true;
+      labels[j] = cluster;
+      std::vector<size_t> expansion = neighbors_of(j);
+      if (expansion.size() >= options.min_points) {
+        frontier.insert(frontier.end(), expansion.begin(), expansion.end());
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace ppc

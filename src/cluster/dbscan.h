@@ -1,0 +1,34 @@
+#ifndef PPC_CLUSTER_DBSCAN_H_
+#define PPC_CLUSTER_DBSCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "distance/dissimilarity_matrix.h"
+
+namespace ppc {
+
+/// Density-based clustering over a precomputed dissimilarity matrix.
+///
+/// Included to back the paper's claim that the global dissimilarity matrix
+/// is clustering-algorithm agnostic ("it can be used by any standard
+/// clustering algorithm") and that non-partitioning methods can "discover
+/// clusters of arbitrary shapes".
+class Dbscan {
+ public:
+  struct Options {
+    double eps = 0.1;     // Neighborhood radius (post-normalization scale).
+    size_t min_points = 4;  // Core-point density threshold (incl. self).
+  };
+
+  /// Noise label in the returned assignment.
+  static constexpr int kNoise = -1;
+
+  /// Labels each object with a cluster id >= 0, or kNoise.
+  static Result<std::vector<int>> Run(const DissimilarityMatrix& matrix,
+                                      const Options& options);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTER_DBSCAN_H_

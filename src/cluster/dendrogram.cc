@@ -1,0 +1,110 @@
+#include "cluster/dendrogram.h"
+
+#include <map>
+#include <numeric>
+
+namespace ppc {
+
+namespace {
+
+/// Union-find over node ids 0..n+m.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Dendrogram::Dendrogram(size_t num_leaves, std::vector<MergeStep> merges)
+    : num_leaves_(num_leaves), merges_(std::move(merges)) {}
+
+std::vector<int> Dendrogram::LabelsFromMergePrefix(size_t num_merges) const {
+  UnionFind uf(num_leaves_ + merges_.size());
+  for (size_t k = 0; k < num_merges && k < merges_.size(); ++k) {
+    uf.Union(merges_[k].left, num_leaves_ + k);
+    uf.Union(merges_[k].right, num_leaves_ + k);
+  }
+  std::vector<int> labels(num_leaves_);
+  std::map<size_t, int> canonical;
+  for (size_t i = 0; i < num_leaves_; ++i) {
+    size_t root = uf.Find(i);
+    auto [it, inserted] =
+        canonical.emplace(root, static_cast<int>(canonical.size()));
+    (void)inserted;
+    labels[i] = it->second;
+  }
+  return labels;
+}
+
+Result<std::vector<int>> Dendrogram::CutToClusters(size_t k) const {
+  if (k == 0 || k > num_leaves_) {
+    return Status::InvalidArgument("k must be in [1, num_leaves]");
+  }
+  // After m merges there are n - m clusters, so apply n - k merges.
+  return LabelsFromMergePrefix(num_leaves_ - k);
+}
+
+std::vector<int> Dendrogram::CutAtHeight(double height) const {
+  size_t count = 0;
+  while (count < merges_.size() && merges_[count].height <= height) ++count;
+  return LabelsFromMergePrefix(count);
+}
+
+bool Dendrogram::HeightsMonotone() const {
+  for (size_t k = 1; k < merges_.size(); ++k) {
+    if (merges_[k].height < merges_[k - 1].height - 1e-12) return false;
+  }
+  return true;
+}
+
+Result<std::string> Dendrogram::ToNewick(
+    const std::vector<std::string>& leaf_names) const {
+  if (leaf_names.size() != num_leaves_) {
+    return Status::InvalidArgument("need one name per leaf");
+  }
+  if (num_leaves_ == 0) {
+    return Status::InvalidArgument("empty dendrogram");
+  }
+  if (merges_.size() + 1 != num_leaves_) {
+    return Status::FailedPrecondition("dendrogram is not complete");
+  }
+
+  auto format_length = [](double length) {
+    std::string out = std::to_string(length);
+    size_t last = out.find_last_not_of('0');
+    if (out[last] == '.') --last;
+    out.erase(last + 1);
+    return out;
+  };
+
+  // Height of each node (leaves at 0, internal nodes at merge height).
+  std::vector<double> height(num_leaves_ + merges_.size(), 0.0);
+  std::vector<std::string> repr(num_leaves_ + merges_.size());
+  for (size_t i = 0; i < num_leaves_; ++i) repr[i] = leaf_names[i];
+  for (size_t k = 0; k < merges_.size(); ++k) {
+    const MergeStep& merge = merges_[k];
+    size_t node = num_leaves_ + k;
+    height[node] = merge.height;
+    repr[node] = "(" + repr[merge.left] + ":" +
+                 format_length(merge.height - height[merge.left]) + "," +
+                 repr[merge.right] + ":" +
+                 format_length(merge.height - height[merge.right]) + ")";
+  }
+  if (merges_.empty()) return repr[0] + ";";
+  return repr.back() + ";";
+}
+
+}  // namespace ppc

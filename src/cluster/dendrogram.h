@@ -1,0 +1,61 @@
+#ifndef PPC_CLUSTER_DENDROGRAM_H_
+#define PPC_CLUSTER_DENDROGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// One agglomerative merge step. Node ids: leaves are 0..n-1; the merge
+/// recorded at index k creates internal node n+k.
+struct MergeStep {
+  size_t left;    // Node id of one merged cluster.
+  size_t right;   // Node id of the other.
+  double height;  // Linkage distance at which the merge happened.
+  size_t size;    // Number of leaves under the new node.
+};
+
+/// The full merge tree produced by hierarchical clustering over n objects.
+///
+/// Merges are stored in application order with nondecreasing heights
+/// (monotone linkages). Cutting the tree yields flat cluster labels, which
+/// is what the third party publishes (paper Fig. 13).
+class Dendrogram {
+ public:
+  Dendrogram() = default;
+  Dendrogram(size_t num_leaves, std::vector<MergeStep> merges);
+
+  size_t num_leaves() const { return num_leaves_; }
+  const std::vector<MergeStep>& merges() const { return merges_; }
+
+  /// Labels objects with cluster ids 0..k-1 by undoing the last k-1 merges.
+  /// Requires 1 <= k <= n. Labels are canonicalized by first appearance.
+  Result<std::vector<int>> CutToClusters(size_t k) const;
+
+  /// Labels objects by applying only merges with height <= `height`.
+  std::vector<int> CutAtHeight(double height) const;
+
+  /// True iff merge heights are nondecreasing (sanity check; all linkages
+  /// implemented here are monotone).
+  bool HeightsMonotone() const;
+
+  /// Renders the merge tree in Newick format — the interchange format of
+  /// phylogenetics tools, fitting the paper's bioinformatics motivation.
+  /// Branch lengths are height differences (leaves sit at height 0):
+  /// `((A0:1,A1:1):1.5,B0:2.5);`. `leaf_names` must supply one name per
+  /// leaf; the dendrogram must be complete (n-1 merges).
+  Result<std::string> ToNewick(
+      const std::vector<std::string>& leaf_names) const;
+
+ private:
+  std::vector<int> LabelsFromMergePrefix(size_t num_merges) const;
+
+  size_t num_leaves_ = 0;
+  std::vector<MergeStep> merges_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTER_DENDROGRAM_H_

@@ -1,0 +1,120 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ppc {
+
+namespace {
+
+double AssignmentCost(const DissimilarityMatrix& matrix,
+                      const std::vector<size_t>& medoids,
+                      std::vector<int>* labels) {
+  const size_t n = matrix.num_objects();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      double d = matrix.at(i, medoids[c]);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<int>(c);
+      }
+    }
+    if (labels) (*labels)[i] = best_c;
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<KMedoids::Assignment> KMedoids::Run(const DissimilarityMatrix& matrix,
+                                           const Options& options,
+                                           Prng* prng) {
+  (void)prng;
+  const size_t n = matrix.num_objects();
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("k must be in [1, num_objects]");
+  }
+
+  // BUILD: greedily add the medoid that reduces total cost the most.
+  std::vector<size_t> medoids;
+  std::vector<bool> is_medoid(n, false);
+  // First medoid: the object minimizing the sum of distances to all others.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_i = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) sum += matrix.at(i, j);
+      if (sum < best) {
+        best = sum;
+        best_i = i;
+      }
+    }
+    medoids.push_back(best_i);
+    is_medoid[best_i] = true;
+  }
+  std::vector<double> nearest(n);
+  auto refresh_nearest = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t m : medoids) best = std::min(best, matrix.at(i, m));
+      nearest[i] = best;
+    }
+  };
+  refresh_nearest();
+  while (medoids.size() < options.k) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    size_t best_i = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (is_medoid[i]) continue;
+      double gain = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        double d = matrix.at(i, j);
+        if (d < nearest[j]) gain += nearest[j] - d;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_i = i;
+      }
+    }
+    medoids.push_back(best_i);
+    is_medoid[best_i] = true;
+    refresh_nearest();
+  }
+
+  // SWAP: try replacing each medoid with each non-medoid while it improves.
+  std::vector<int> labels(n, 0);
+  double cost = AssignmentCost(matrix, medoids, &labels);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool improved = false;
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      for (size_t candidate = 0; candidate < n; ++candidate) {
+        if (is_medoid[candidate]) continue;
+        size_t old = medoids[c];
+        medoids[c] = candidate;
+        double new_cost = AssignmentCost(matrix, medoids, nullptr);
+        if (new_cost + 1e-12 < cost) {
+          cost = new_cost;
+          is_medoid[old] = false;
+          is_medoid[candidate] = true;
+          improved = true;
+        } else {
+          medoids[c] = old;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  Assignment out;
+  out.labels.resize(n);
+  out.total_cost = AssignmentCost(matrix, medoids, &out.labels);
+  out.medoids = std::move(medoids);
+  return out;
+}
+
+}  // namespace ppc

@@ -1,0 +1,41 @@
+#ifndef PPC_CLUSTER_KMEDOIDS_H_
+#define PPC_CLUSTER_KMEDOIDS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "distance/dissimilarity_matrix.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// PAM k-medoids over a precomputed dissimilarity matrix.
+///
+/// This is the *partitioning* comparison point for the paper's argument
+/// that hierarchical methods suit mixed data better: unlike k-means — which
+/// the paper notes "can not handle string data type for which a 'mean' is
+/// not defined" — k-medoids needs only pairwise distances, so it runs on the
+/// same matrix; but it still biases toward spherical clusters, which the
+/// clustering benchmark (DESIGN.md E14) demonstrates.
+class KMedoids {
+ public:
+  struct Options {
+    size_t k = 3;
+    size_t max_iterations = 50;
+  };
+
+  struct Assignment {
+    std::vector<int> labels;      // Cluster id per object.
+    std::vector<size_t> medoids;  // Object index of each cluster's medoid.
+    double total_cost = 0.0;      // Sum of distances to assigned medoids.
+  };
+
+  /// BUILD + SWAP. `prng` is unused by BUILD (greedy, deterministic) but
+  /// reserved for future restarts; pass any generator.
+  static Result<Assignment> Run(const DissimilarityMatrix& matrix,
+                                const Options& options, Prng* prng);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTER_KMEDOIDS_H_

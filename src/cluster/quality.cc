@@ -1,0 +1,175 @@
+#include "cluster/quality.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace ppc {
+
+namespace {
+
+Status CheckLabels(const std::vector<int>& labels, size_t expected) {
+  if (labels.size() != expected) {
+    return Status::InvalidArgument("labels size " +
+                                   std::to_string(labels.size()) +
+                                   " != objects " + std::to_string(expected));
+  }
+  return Status::OK();
+}
+
+/// Pair-counting contingency sums between two labelings.
+struct PairCounts {
+  double same_both = 0;    // Pairs together in both.
+  double same_a_only = 0;  // Together in a, apart in b.
+  double same_b_only = 0;  // Apart in a, together in b.
+  double apart_both = 0;   // Apart in both.
+};
+
+PairCounts CountPairs(const std::vector<int>& a, const std::vector<int>& b) {
+  PairCounts counts;
+  const size_t n = a.size();
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      bool together_a = a[i] == a[j];
+      bool together_b = b[i] == b[j];
+      if (together_a && together_b) {
+        counts.same_both += 1;
+      } else if (together_a) {
+        counts.same_a_only += 1;
+      } else if (together_b) {
+        counts.same_b_only += 1;
+      } else {
+        counts.apart_both += 1;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<double> Quality::Silhouette(const DissimilarityMatrix& matrix,
+                                   const std::vector<int>& labels) {
+  const size_t n = matrix.num_objects();
+  PPC_RETURN_IF_ERROR(CheckLabels(labels, n));
+  if (n == 0) return Status::InvalidArgument("empty matrix");
+
+  std::map<int, size_t> cluster_sizes;
+  for (int label : labels) cluster_sizes[label] += 1;
+  if (cluster_sizes.size() < 2) {
+    return Status::InvalidArgument("silhouette needs at least two clusters");
+  }
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cluster_sizes[labels[i]] == 1) continue;  // Scores 0 by convention.
+    // Mean intra-cluster distance and minimal mean inter-cluster distance.
+    std::map<int, double> sums;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[j]] += matrix.at(i, j);
+    }
+    double a = sums[labels[i]] /
+               static_cast<double>(cluster_sizes[labels[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, sum] : sums) {
+      if (label == labels[i]) continue;
+      b = std::min(b, sum / static_cast<double>(cluster_sizes[label]));
+    }
+    double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+Result<std::vector<double>> Quality::WithinClusterMeanSquaredDistance(
+    const DissimilarityMatrix& matrix, const std::vector<int>& labels) {
+  const size_t n = matrix.num_objects();
+  PPC_RETURN_IF_ERROR(CheckLabels(labels, n));
+
+  std::map<int, double> sums;
+  std::map<int, size_t> pair_counts;
+  std::map<int, bool> present;
+  for (size_t i = 0; i < n; ++i) present[labels[i]] = true;
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (labels[i] != labels[j]) continue;
+      double d = matrix.at(i, j);
+      sums[labels[i]] += d * d;
+      pair_counts[labels[i]] += 1;
+    }
+  }
+  std::vector<double> out;
+  for (const auto& [label, unused] : present) {
+    (void)unused;
+    size_t pairs = pair_counts[label];
+    out.push_back(pairs == 0 ? 0.0
+                             : sums[label] / static_cast<double>(pairs));
+  }
+  return out;
+}
+
+Result<double> Quality::RandIndex(const std::vector<int>& a,
+                                  const std::vector<int>& b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    return Status::InvalidArgument("labelings must agree on size >= 2");
+  }
+  PairCounts counts = CountPairs(a, b);
+  double total = counts.same_both + counts.same_a_only + counts.same_b_only +
+                 counts.apart_both;
+  return (counts.same_both + counts.apart_both) / total;
+}
+
+Result<double> Quality::AdjustedRandIndex(const std::vector<int>& a,
+                                          const std::vector<int>& b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    return Status::InvalidArgument("labelings must agree on size >= 2");
+  }
+  PairCounts c = CountPairs(a, b);
+  double sum_a = c.same_both + c.same_a_only;   // Pairs together in a.
+  double sum_b = c.same_both + c.same_b_only;   // Pairs together in b.
+  double total = c.same_both + c.same_a_only + c.same_b_only + c.apart_both;
+  double expected = sum_a * sum_b / total;
+  double max_index = 0.5 * (sum_a + sum_b);
+  if (max_index == expected) return 1.0;  // Degenerate (both trivial).
+  return (c.same_both - expected) / (max_index - expected);
+}
+
+Result<double> Quality::Purity(const std::vector<int>& predicted,
+                               const std::vector<int>& truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) {
+    return Status::InvalidArgument("labelings must agree on nonzero size");
+  }
+  std::map<int, std::map<int, size_t>> contingency;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    contingency[predicted[i]][truth[i]] += 1;
+  }
+  size_t correct = 0;
+  for (const auto& [cluster, histogram] : contingency) {
+    (void)cluster;
+    size_t best = 0;
+    for (const auto& [label, count] : histogram) {
+      (void)label;
+      best = std::max(best, count);
+    }
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+Result<double> Quality::PairwiseF1(const std::vector<int>& predicted,
+                                   const std::vector<int>& truth) {
+  if (predicted.size() != truth.size() || predicted.size() < 2) {
+    return Status::InvalidArgument("labelings must agree on size >= 2");
+  }
+  PairCounts c = CountPairs(predicted, truth);
+  double tp = c.same_both;
+  double fp = c.same_a_only;
+  double fn = c.same_b_only;
+  if (tp == 0.0) return 0.0;
+  double precision = tp / (tp + fp);
+  double recall = tp / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+}  // namespace ppc

@@ -1,0 +1,51 @@
+#ifndef PPC_CLUSTER_QUALITY_H_
+#define PPC_CLUSTER_QUALITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "distance/dissimilarity_matrix.h"
+
+namespace ppc {
+
+/// Clustering quality measures.
+///
+/// Two families: *internal* measures computed from the (secret)
+/// dissimilarity matrix — these are what the third party may publish
+/// ("clustering quality parameters such as average of square distance
+/// between members", paper Sec. 5) — and *external* measures against
+/// ground-truth labels, used only by experiments.
+class Quality {
+ public:
+  /// Mean silhouette coefficient over all objects (internal; in [-1, 1]).
+  /// Objects in singleton clusters contribute 0.
+  static Result<double> Silhouette(const DissimilarityMatrix& matrix,
+                                   const std::vector<int>& labels);
+
+  /// Per-cluster average of squared pairwise member distances — the paper's
+  /// example quality parameter. Singleton clusters score 0. Order follows
+  /// ascending cluster id.
+  static Result<std::vector<double>> WithinClusterMeanSquaredDistance(
+      const DissimilarityMatrix& matrix, const std::vector<int>& labels);
+
+  /// Rand index between two labelings (external; in [0, 1]).
+  static Result<double> RandIndex(const std::vector<int>& a,
+                                  const std::vector<int>& b);
+
+  /// Hubert-Arabie adjusted Rand index (external; 1 = identical, ~0 =
+  /// chance).
+  static Result<double> AdjustedRandIndex(const std::vector<int>& a,
+                                          const std::vector<int>& b);
+
+  /// Purity of `predicted` against `truth` (external; in (0, 1]).
+  static Result<double> Purity(const std::vector<int>& predicted,
+                               const std::vector<int>& truth);
+
+  /// Pairwise F1 score of `predicted` against `truth` (external).
+  static Result<double> PairwiseF1(const std::vector<int>& predicted,
+                                   const std::vector<int>& truth);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTER_QUALITY_H_

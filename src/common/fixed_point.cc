@@ -1,0 +1,36 @@
+#include "common/fixed_point.h"
+
+#include <cmath>
+#include <string>
+
+namespace ppc {
+
+namespace {
+// 2^52: differences of two encoded values fit in int64 with headroom and
+// remain exactly representable as doubles on decode.
+constexpr double kMaxEncodedMagnitude = 4503599627370496.0;
+}  // namespace
+
+Result<FixedPointCodec> FixedPointCodec::Create(int decimal_digits) {
+  if (decimal_digits < 0 || decimal_digits > 15) {
+    return Status::InvalidArgument(
+        "decimal_digits must be in [0, 15], got " +
+        std::to_string(decimal_digits));
+  }
+  return FixedPointCodec(decimal_digits, std::pow(10.0, decimal_digits));
+}
+
+Result<int64_t> FixedPointCodec::Encode(double value) const {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("cannot encode non-finite value");
+  }
+  double scaled = value * scale_;
+  if (std::fabs(scaled) > kMaxEncodedMagnitude) {
+    return Status::OutOfRange(
+        "value " + std::to_string(value) + " exceeds fixed-point range at " +
+        std::to_string(decimal_digits_) + " decimal digits");
+  }
+  return static_cast<int64_t>(std::llround(scaled));
+}
+
+}  // namespace ppc

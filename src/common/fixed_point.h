@@ -1,0 +1,54 @@
+#ifndef PPC_COMMON_FIXED_POINT_H_
+#define PPC_COMMON_FIXED_POINT_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// Converts real-valued attributes to and from a fixed-point integer
+/// representation for the numeric masking protocol.
+///
+/// The paper's numeric protocol is exact over the integers: masking and
+/// unmasking cancel without rounding. Masking IEEE doubles directly would
+/// lose low-order bits when a large random mask is added, so real attributes
+/// are scaled by `10^decimal_digits` and rounded to the nearest `int64_t`
+/// before entering the protocol (paper Sec. 4.1: "for real values, only the
+/// data type of the vector ... needs to be changed"; see DESIGN.md
+/// substitution table).
+class FixedPointCodec {
+ public:
+  /// Creates a codec preserving `decimal_digits` digits after the decimal
+  /// point. `decimal_digits` must be in [0, 15].
+  static Result<FixedPointCodec> Create(int decimal_digits);
+
+  /// Encodes `value` as round(value * 10^digits). Fails with kOutOfRange if
+  /// the scaled magnitude exceeds the guard limit 2^52 (chosen so that any
+  /// pairwise difference of encoded values stays exactly representable).
+  Result<int64_t> Encode(double value) const;
+
+  /// Decodes an encoded value (or an encoded absolute difference) back to a
+  /// double.
+  double Decode(int64_t encoded) const { return encoded * inverse_scale_; }
+
+  /// Number of preserved decimal digits.
+  int decimal_digits() const { return decimal_digits_; }
+
+  /// The multiplicative scale 10^decimal_digits.
+  double scale() const { return scale_; }
+
+ private:
+  FixedPointCodec(int decimal_digits, double scale)
+      : decimal_digits_(decimal_digits),
+        scale_(scale),
+        inverse_scale_(1.0 / scale) {}
+
+  int decimal_digits_;
+  double scale_;
+  double inverse_scale_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_FIXED_POINT_H_

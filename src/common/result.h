@@ -1,0 +1,86 @@
+#ifndef PPC_COMMON_RESULT_H_
+#define PPC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ppc {
+
+/// Either a value of type `T` or an error `Status` (never both).
+///
+/// Analogous to `arrow::Result` / `absl::StatusOr`. Accessing the value of
+/// an errored result is a programming error guarded by `assert`.
+///
+/// ```
+/// Result<DataMatrix> m = CsvReader::ReadFile(path, schema);
+/// if (!m.ok()) return m.status();
+/// Use(m.value());
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is forbidden.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of the result. Requires `ok()`.
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace ppc
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or propagates the
+/// error to the caller. `lhs` may declare a new variable:
+///   PPC_ASSIGN_OR_RETURN(auto matrix, BuildMatrix());
+#define PPC_ASSIGN_OR_RETURN(lhs, expr)                     \
+  PPC_ASSIGN_OR_RETURN_IMPL_(                               \
+      PPC_STATUS_CONCAT_(_ppc_result, __LINE__), lhs, expr)
+
+#define PPC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).TakeValue()
+
+#define PPC_STATUS_CONCAT_(a, b) PPC_STATUS_CONCAT_IMPL_(a, b)
+#define PPC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PPC_COMMON_RESULT_H_

@@ -1,0 +1,158 @@
+#include "common/serde.h"
+
+namespace ppc {
+
+namespace {
+constexpr uint32_t kMaxVectorLength = 1u << 28;  // 256M elements: sanity cap.
+}  // namespace
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::WriteF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteBytes(const std::string& bytes) {
+  WriteU32(static_cast<uint32_t>(bytes.size()));
+  buffer_.append(bytes);
+}
+
+void ByteWriter::WriteU64Vector(const std::vector<uint64_t>& values) {
+  WriteU32(static_cast<uint32_t>(values.size()));
+  for (uint64_t v : values) WriteU64(v);
+}
+
+void ByteWriter::WriteF64Vector(const std::vector<double>& values) {
+  WriteU32(static_cast<uint32_t>(values.size()));
+  for (double v : values) WriteF64(v);
+}
+
+void ByteWriter::WriteBytesVector(const std::vector<std::string>& values) {
+  WriteU32(static_cast<uint32_t>(values.size()));
+  for (const std::string& v : values) WriteBytes(v);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (remaining() < n) {
+    return Status::DataLoss("truncated message: need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  PPC_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  PPC_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  PPC_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::ReadI64() {
+  PPC_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ByteReader::ReadF64() {
+  PPC_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::ReadBytes() {
+  PPC_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  PPC_RETURN_IF_ERROR(Need(n));
+  std::string out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::vector<uint64_t>> ByteReader::ReadU64Vector() {
+  PPC_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  if (n > kMaxVectorLength) {
+    return Status::DataLoss("vector length " + std::to_string(n) +
+                            " exceeds sanity cap");
+  }
+  PPC_RETURN_IF_ERROR(Need(size_t{n} * 8));
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PPC_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ByteReader::ReadF64Vector() {
+  PPC_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  if (n > kMaxVectorLength) {
+    return Status::DataLoss("vector length " + std::to_string(n) +
+                            " exceeds sanity cap");
+  }
+  PPC_RETURN_IF_ERROR(Need(size_t{n} * 8));
+  std::vector<double> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PPC_ASSIGN_OR_RETURN(double v, ReadF64());
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ByteReader::ReadBytesVector() {
+  PPC_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  if (n > kMaxVectorLength) {
+    return Status::DataLoss("vector length " + std::to_string(n) +
+                            " exceeds sanity cap");
+  }
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PPC_ASSIGN_OR_RETURN(std::string v, ReadBytes());
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Status ByteReader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::DataLoss("trailing bytes after message: " +
+                            std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+}  // namespace ppc

@@ -1,0 +1,102 @@
+#ifndef PPC_COMMON_SERDE_H_
+#define PPC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppc {
+
+/// Append-only little-endian binary encoder used for protocol messages.
+///
+/// All protocol payloads in `src/core` are serialized through this writer so
+/// that the network layer's byte accounting reflects exactly what a real
+/// wire deployment would transfer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  /// Appends a single byte.
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+  /// Appends a 32-bit unsigned integer, little endian.
+  void WriteU32(uint32_t v);
+
+  /// Appends a 64-bit unsigned integer, little endian.
+  void WriteU64(uint64_t v);
+
+  /// Appends a 64-bit signed integer (two's complement, little endian).
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+  /// Appends an IEEE-754 double by bit pattern.
+  void WriteF64(double v);
+
+  /// Appends a length-prefixed byte string (u32 length + raw bytes).
+  void WriteBytes(const std::string& bytes);
+
+  /// Appends a length-prefixed vector of u64 values.
+  void WriteU64Vector(const std::vector<uint64_t>& values);
+
+  /// Appends a length-prefixed vector of doubles.
+  void WriteF64Vector(const std::vector<double>& values);
+
+  /// Appends a length-prefixed vector of length-prefixed byte strings.
+  void WriteBytesVector(const std::vector<std::string>& values);
+
+  /// The serialized bytes accumulated so far.
+  const std::string& bytes() const { return buffer_; }
+
+  /// Moves the accumulated bytes out of the writer.
+  std::string TakeBytes() { return std::move(buffer_); }
+
+  /// Number of bytes written so far.
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Sequential decoder matching `ByteWriter`'s encoding.
+///
+/// Every read checks remaining length and returns `kDataLoss` on truncated
+/// or malformed input, so protocol parties can safely decode messages from
+/// untrusted peers.
+class ByteReader {
+ public:
+  /// Wraps `data`; the reader does not own the bytes, the caller must keep
+  /// them alive for the reader's lifetime.
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<std::string> ReadBytes();
+  Result<std::vector<uint64_t>> ReadU64Vector();
+  Result<std::vector<double>> ReadF64Vector();
+  Result<std::vector<std::string>> ReadBytesVector();
+
+  /// Number of bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// True iff every byte has been consumed.
+  bool AtEnd() const { return remaining() == 0; }
+
+  /// Returns kDataLoss unless the reader consumed the whole buffer.
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_SERDE_H_

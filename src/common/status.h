@@ -1,0 +1,121 @@
+#ifndef PPC_COMMON_STATUS_H_
+#define PPC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ppc {
+
+/// Error category carried by a `Status`.
+///
+/// The library never throws; every fallible operation returns a `Status`
+/// (or a `Result<T>`, see result.h) in the style of RocksDB/Arrow.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed an argument that violates the function contract.
+  kInvalidArgument,
+  /// A referenced entity (party, attribute, object id, ...) does not exist.
+  kNotFound,
+  /// An entity that must be unique already exists.
+  kAlreadyExists,
+  /// The operation is not valid in the current state of the object.
+  kFailedPrecondition,
+  /// Decoding ran off the end of a buffer or found malformed bytes.
+  kDataLoss,
+  /// A protocol participant sent a message that violates the protocol.
+  kProtocolViolation,
+  /// Arithmetic would overflow the representable range.
+  kOutOfRange,
+  /// The requested feature is recognized but not implemented.
+  kUnimplemented,
+  /// Catch-all for internal invariant failures.
+  kInternal,
+};
+
+/// Returns the canonical spelling of `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of an operation.
+///
+/// A default-constructed `Status` is OK. Statuses are cheap to copy (an OK
+/// status stores no message). Typical use:
+///
+/// ```
+/// Status s = matrix.Append(row);
+/// if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ProtocolViolation(std::string msg) {
+    return Status(StatusCode::kProtocolViolation, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk for success).
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace ppc
+
+/// Propagates an error status to the caller; evaluates `expr` exactly once.
+#define PPC_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ppc::Status _ppc_status = (expr);          \
+    if (!_ppc_status.ok()) return _ppc_status;   \
+  } while (false)
+
+#endif  // PPC_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef PPC_COMMON_STOPWATCH_H_
+#define PPC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ppc {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and examples.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_STOPWATCH_H_

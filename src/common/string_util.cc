@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ppc {
+
+std::vector<std::string> SplitString(const std::string& input,
+                                     char delimiter) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string::npos) {
+      out.push_back(input.substr(start));
+      break;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& delimiter) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delimiter;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string TrimString(const std::string& input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string ToLowerAscii(const std::string& input) {
+  std::string out = input;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string HexEncode(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  std::string out(buf);
+  if (out.find('.') != std::string::npos) {
+    size_t last = out.find_last_not_of('0');
+    if (out[last] == '.') --last;
+    out.erase(last + 1);
+  }
+  return out;
+}
+
+}  // namespace ppc

@@ -1,0 +1,31 @@
+#ifndef PPC_COMMON_STRING_UTIL_H_
+#define PPC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace ppc {
+
+/// Splits `input` on `delimiter`, keeping empty fields. "a,,b" -> {a,"",b}.
+std::vector<std::string> SplitString(const std::string& input, char delimiter);
+
+/// Joins `parts` with `delimiter`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& delimiter);
+
+/// Removes ASCII whitespace from both ends.
+std::string TrimString(const std::string& input);
+
+/// Lowercases ASCII characters.
+std::string ToLowerAscii(const std::string& input);
+
+/// Hex-encodes bytes, two lowercase digits per byte.
+std::string HexEncode(const std::string& bytes);
+
+/// Formats a double with `digits` significant fraction digits, trimming
+/// trailing zeros ("1.25", "3", "0.5").
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_STRING_UTIL_H_

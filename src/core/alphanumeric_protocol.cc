@@ -1,0 +1,96 @@
+#include "core/alphanumeric_protocol.h"
+
+namespace ppc {
+
+Result<std::vector<std::vector<uint8_t>>> AlphanumericProtocol::MaskStrings(
+    const std::vector<std::vector<uint8_t>>& strings, const Alphabet& alphabet,
+    Prng* rng_jt) {
+  const size_t alphabet_size = alphabet.size();
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(strings.size());
+  for (const std::vector<uint8_t>& s : strings) {
+    // Fig. 8 step 4: re-initialize rng_jt per string; every string is
+    // masked with the same random prefix.
+    rng_jt->Reset();
+    std::vector<uint8_t> masked;
+    masked.reserve(s.size());
+    for (uint8_t symbol : s) {
+      if (symbol >= alphabet_size) {
+        return Status::InvalidArgument("symbol index " +
+                                       std::to_string(symbol) +
+                                       " outside alphabet");
+      }
+      uint8_t r = static_cast<uint8_t>(rng_jt->NextBounded(alphabet_size));
+      masked.push_back(alphabet.AddMod(symbol, r));
+    }
+    out.push_back(std::move(masked));
+  }
+  return out;
+}
+
+std::vector<AlphanumericProtocol::MaskedGrid>
+AlphanumericProtocol::BuildMaskedGrids(
+    const std::vector<std::vector<uint8_t>>& responder_strings,
+    const std::vector<std::vector<uint8_t>>& masked_initiator,
+    const Alphabet& alphabet) {
+  std::vector<MaskedGrid> grids;
+  grids.reserve(responder_strings.size() * masked_initiator.size());
+  for (const std::vector<uint8_t>& own : responder_strings) {
+    for (const std::vector<uint8_t>& masked : masked_initiator) {
+      MaskedGrid grid;
+      grid.responder_length = own.size();
+      grid.initiator_length = masked.size();
+      grid.cells.reserve(own.size() * masked.size());
+      // Fig. 9 step 3: M[q][p] = s'[p] - t[q], mod alphabet size.
+      for (uint8_t own_symbol : own) {
+        for (uint8_t masked_symbol : masked) {
+          grid.cells.push_back(alphabet.SubMod(masked_symbol, own_symbol));
+        }
+      }
+      grids.push_back(std::move(grid));
+    }
+  }
+  return grids;
+}
+
+CharComparisonMatrix AlphanumericProtocol::DecodeCcm(const MaskedGrid& grid,
+                                                     const Alphabet& alphabet,
+                                                     Prng* rng_jt) {
+  const size_t alphabet_size = alphabet.size();
+  // The CCM orientation follows the comparison semantics: source = initiator
+  // string (length = columns of the grid), target = responder string. Edit
+  // distance is symmetric, so either orientation yields the same value; we
+  // keep (responder rows, initiator cols) to match the grid layout.
+  CharComparisonMatrix ccm(grid.responder_length, grid.initiator_length);
+  for (size_t q = 0; q < grid.responder_length; ++q) {
+    // Fig. 10 step 5: re-initialize rng_jt per row; column p was masked
+    // with the pth random symbol.
+    rng_jt->Reset();
+    for (size_t p = 0; p < grid.initiator_length; ++p) {
+      uint8_t r = static_cast<uint8_t>(rng_jt->NextBounded(alphabet_size));
+      uint8_t residue =
+          alphabet.SubMod(grid.cells[q * grid.initiator_length + p], r);
+      ccm.set(q, p, residue == 0 ? 0 : 1);
+    }
+  }
+  return ccm;
+}
+
+Result<std::vector<uint64_t>> AlphanumericProtocol::RecoverDistances(
+    const std::vector<MaskedGrid>& grids, size_t responder_count,
+    size_t initiator_count, const Alphabet& alphabet, Prng* rng_jt) {
+  if (grids.size() != responder_count * initiator_count) {
+    return Status::InvalidArgument(
+        "grid count mismatch: got " + std::to_string(grids.size()) +
+        ", expected " + std::to_string(responder_count * initiator_count));
+  }
+  std::vector<uint64_t> distances;
+  distances.reserve(grids.size());
+  for (const MaskedGrid& grid : grids) {
+    CharComparisonMatrix ccm = DecodeCcm(grid, alphabet, rng_jt);
+    distances.push_back(EditDistance::ComputeFromCcm(ccm));
+  }
+  return distances;
+}
+
+}  // namespace ppc

@@ -1,0 +1,72 @@
+#ifndef PPC_CORE_ALPHANUMERIC_PROTOCOL_H_
+#define PPC_CORE_ALPHANUMERIC_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/alphabet.h"
+#include "distance/edit_distance.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// The three-site alphanumeric comparison protocol of paper Sec. 4.2
+/// (Figs. 7-10): the third party obtains only the 0/1 character comparison
+/// matrix of each string pair — which is exactly enough to run edit
+/// distance, and nothing more.
+///
+/// All character arithmetic is modulo the (public, finite) alphabet size.
+/// `rng_jt` is the generator whose seed DHJ shares with the TP; DHK has no
+/// generator in this protocol (its own string is hidden by the mask DHJ
+/// applied).
+///
+/// Strings are handled as index vectors over the shared `Alphabet`.
+class AlphanumericProtocol {
+ public:
+  /// One intermediary CCM (Fig. 9's M[m][n]): the masked character
+  /// difference grid for responder string `m` against initiator string `n`,
+  /// row-major `responder_length` x `initiator_length`.
+  struct MaskedGrid {
+    size_t responder_length = 0;
+    size_t initiator_length = 0;
+    std::vector<uint8_t> cells;
+  };
+
+  /// Site DHJ (Fig. 8): masks every string by adding the random vector
+  /// r (mod |A|) symbol-wise; `rng_jt` is reset after every string, so each
+  /// string is masked by the same prefix r_0, r_1, ... — the alignment the
+  /// TP's decoder depends on. Fails if a symbol index is out of range.
+  static Result<std::vector<std::vector<uint8_t>>> MaskStrings(
+      const std::vector<std::vector<uint8_t>>& strings,
+      const Alphabet& alphabet, Prng* rng_jt);
+
+  /// Site DHK (Fig. 9): for every (responder string m, masked initiator
+  /// string n) pair, builds the grid of symbol differences
+  ///   M[q][p] = (masked_n[p] - own_m[q]) mod |A|.
+  /// Output is row-major over (m, n) pairs: element m *
+  /// masked_initiator.size() + n.
+  static std::vector<MaskedGrid> BuildMaskedGrids(
+      const std::vector<std::vector<uint8_t>>& responder_strings,
+      const std::vector<std::vector<uint8_t>>& masked_initiator,
+      const Alphabet& alphabet);
+
+  /// Site TP (Fig. 10): strips the masks from one pair's grid, producing the
+  /// 0/1 CCM. `rng_jt` is reset after every grid *row* (each column p is
+  /// masked with the pth random symbol).
+  static CharComparisonMatrix DecodeCcm(const MaskedGrid& grid,
+                                        const Alphabet& alphabet,
+                                        Prng* rng_jt);
+
+  /// Site TP, full pipeline for one pair list (Fig. 10 incl. step 6):
+  /// decodes every grid and runs edit distance on the CCM. Returns row-major
+  /// `responder_count` x `initiator_count` distances.
+  static Result<std::vector<uint64_t>> RecoverDistances(
+      const std::vector<MaskedGrid>& grids, size_t responder_count,
+      size_t initiator_count, const Alphabet& alphabet, Prng* rng_jt);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_ALPHANUMERIC_PROTOCOL_H_

@@ -1,0 +1,137 @@
+#include "core/baselines.h"
+
+#include "core/numeric_protocol.h"
+
+namespace ppc {
+
+std::vector<mpz_class> PaillierNumericBaseline::EncryptInitiator(
+    const std::vector<int64_t>& values, const PaillierPublicKey& pk,
+    Prng* rng_jk, Prng* blinding) {
+  rng_jk->Reset();
+  std::vector<mpz_class> out;
+  out.reserve(values.size());
+  for (int64_t x : values) {
+    bool negate = rng_jk->NextParityOdd();
+    out.push_back(pk.EncryptSigned(negate ? -x : x, blinding));
+  }
+  return out;
+}
+
+std::vector<mpz_class> PaillierNumericBaseline::AddResponder(
+    const std::vector<int64_t>& responder_values,
+    const std::vector<mpz_class>& initiator_cipher,
+    const PaillierPublicKey& pk, Prng* rng_jk, Prng* blinding) {
+  std::vector<mpz_class> matrix;
+  matrix.reserve(responder_values.size() * initiator_cipher.size());
+  for (int64_t y : responder_values) {
+    rng_jk->Reset();  // Align the sign stream per row, like Fig. 5.
+    for (const mpz_class& c : initiator_cipher) {
+      bool initiator_negated = rng_jk->NextParityOdd();
+      int64_t signed_y = initiator_negated ? y : -y;
+      matrix.push_back(pk.Add(c, pk.EncryptSigned(signed_y, blinding)));
+    }
+  }
+  return matrix;
+}
+
+Result<std::vector<uint64_t>> PaillierNumericBaseline::Decrypt(
+    const std::vector<mpz_class>& matrix, size_t rows, size_t cols,
+    const PaillierPrivateKey& sk) {
+  if (matrix.size() != rows * cols) {
+    return Status::InvalidArgument("ciphertext matrix size mismatch");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(matrix.size());
+  for (const mpz_class& c : matrix) {
+    mpz_class value = sk.DecryptSigned(c);
+    mpz_class magnitude = value < 0 ? mpz_class(-value) : value;
+    if (mpz_sizeinbase(magnitude.get_mpz_t(), 2) > 63) {
+      return Status::OutOfRange("decrypted difference exceeds 63 bits");
+    }
+    out.push_back(static_cast<uint64_t>(mpz_get_ui(magnitude.get_mpz_t())));
+  }
+  return out;
+}
+
+uint64_t PaillierNumericBaseline::WireBytes(
+    const std::vector<mpz_class>& ciphertexts, const PaillierPublicKey& pk) {
+  return static_cast<uint64_t>(ciphertexts.size()) * pk.CiphertextBytes();
+}
+
+Result<std::vector<HomomorphicCcmBaseline::EncryptedString>>
+HomomorphicCcmBaseline::EncryptStrings(
+    const std::vector<std::vector<uint8_t>>& strings, const Alphabet& alphabet,
+    const PaillierPublicKey& pk, Prng* blinding) {
+  std::vector<EncryptedString> out;
+  out.reserve(strings.size());
+  for (const std::vector<uint8_t>& s : strings) {
+    EncryptedString enc;
+    enc.reserve(s.size());
+    for (uint8_t symbol : s) {
+      if (symbol >= alphabet.size()) {
+        return Status::InvalidArgument("symbol outside alphabet");
+      }
+      std::vector<mpz_class> one_hot;
+      one_hot.reserve(alphabet.size());
+      for (size_t a = 0; a < alphabet.size(); ++a) {
+        one_hot.push_back(
+            pk.Encrypt(a == symbol ? mpz_class(1) : mpz_class(0), blinding));
+      }
+      enc.push_back(std::move(one_hot));
+    }
+    out.push_back(std::move(enc));
+  }
+  return out;
+}
+
+Result<std::vector<mpz_class>> HomomorphicCcmBaseline::SelectCells(
+    const std::vector<uint8_t>& own, const EncryptedString& enc,
+    const PaillierPublicKey& pk, Prng* blinding) {
+  std::vector<mpz_class> cells;
+  cells.reserve(own.size() * enc.size());
+  for (uint8_t own_symbol : own) {
+    for (const std::vector<mpz_class>& one_hot : enc) {
+      if (own_symbol >= one_hot.size()) {
+        return Status::InvalidArgument("symbol outside encrypted alphabet");
+      }
+      // Re-randomize by homomorphically adding Enc(0), so the TP cannot
+      // correlate selected cells across rows.
+      cells.push_back(
+          pk.Add(one_hot[own_symbol], pk.Encrypt(mpz_class(0), blinding)));
+    }
+  }
+  return cells;
+}
+
+Result<CharComparisonMatrix> HomomorphicCcmBaseline::DecryptCcm(
+    const std::vector<mpz_class>& cells, size_t own_length,
+    size_t initiator_length, const PaillierPrivateKey& sk) {
+  if (cells.size() != own_length * initiator_length) {
+    return Status::InvalidArgument("cell grid size mismatch");
+  }
+  CharComparisonMatrix ccm(own_length, initiator_length);
+  for (size_t q = 0; q < own_length; ++q) {
+    for (size_t p = 0; p < initiator_length; ++p) {
+      mpz_class equal = sk.Decrypt(cells[q * initiator_length + p]);
+      ccm.set(q, p, equal == 1 ? 0 : 1);
+    }
+  }
+  return ccm;
+}
+
+Result<uint64_t> HomomorphicCcmBaseline::Distance(
+    const std::vector<uint8_t>& initiator, const std::vector<uint8_t>& responder,
+    const Alphabet& alphabet, const PaillierKeyPair& keys, Prng* blinding) {
+  PPC_ASSIGN_OR_RETURN(
+      std::vector<EncryptedString> enc,
+      EncryptStrings({initiator}, alphabet, keys.public_key, blinding));
+  PPC_ASSIGN_OR_RETURN(
+      std::vector<mpz_class> cells,
+      SelectCells(responder, enc[0], keys.public_key, blinding));
+  PPC_ASSIGN_OR_RETURN(CharComparisonMatrix ccm,
+                       DecryptCcm(cells, responder.size(), initiator.size(),
+                                  keys.private_key));
+  return static_cast<uint64_t>(EditDistance::ComputeFromCcm(ccm));
+}
+
+}  // namespace ppc

@@ -1,0 +1,95 @@
+#ifndef PPC_CORE_BASELINES_H_
+#define PPC_CORE_BASELINES_H_
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/paillier.h"
+#include "data/alphabet.h"
+#include "distance/edit_distance.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// Homomorphic-encryption comparators playing the role of the expensive
+/// alternatives the paper positions itself against (DESIGN.md experiment
+/// E13). They compute exactly the same quantities as the masking protocols
+/// of Sec. 4 — |x - y| for numerics, the CCM for strings — through Paillier
+/// ciphertexts, so the benchmark comparison isolates the *cost* of the
+/// cryptographic approach, with correctness tested to be identical.
+///
+/// Trust model mirrors the paper's: the third party holds the Paillier
+/// private key; data holders see only ciphertexts (and DHK re-randomizes
+/// everything it forwards).
+class PaillierNumericBaseline {
+ public:
+  /// Site DHJ: encrypts ±x_n under the TP's public key. The sign coin comes
+  /// from `rng_jk` (shared with DHK), exactly like the masking protocol, so
+  /// the TP still cannot learn which input was larger.
+  static std::vector<mpz_class> EncryptInitiator(
+      const std::vector<int64_t>& values, const PaillierPublicKey& pk,
+      Prng* rng_jk, Prng* blinding);
+
+  /// Site DHK: homomorphically adds ∓y_m to every initiator ciphertext,
+  /// producing the row-major |y| x |x| encrypted difference matrix.
+  static std::vector<mpz_class> AddResponder(
+      const std::vector<int64_t>& responder_values,
+      const std::vector<mpz_class>& initiator_cipher,
+      const PaillierPublicKey& pk, Prng* rng_jk, Prng* blinding);
+
+  /// Site TP: decrypts and takes absolute values.
+  static Result<std::vector<uint64_t>> Decrypt(
+      const std::vector<mpz_class>& matrix, size_t rows, size_t cols,
+      const PaillierPrivateKey& sk);
+
+  /// Wire size of a ciphertext vector (bytes), for traffic accounting.
+  static uint64_t WireBytes(const std::vector<mpz_class>& ciphertexts,
+                            const PaillierPublicKey& pk);
+};
+
+/// Secure CCM construction via one-hot encrypted characters — a simplified
+/// stand-in for Atallah et al.'s secure sequence comparison [8], which the
+/// paper dismisses as "not feasible for clustering private data due to high
+/// communication costs". Initiator traffic is n·p·|A| ciphertexts versus
+/// the masking protocol's n·p *bytes*.
+class HomomorphicCcmBaseline {
+ public:
+  /// One encrypted string: per position, |A| ciphertexts encrypting the
+  /// one-hot indicator of the character.
+  using EncryptedString = std::vector<std::vector<mpz_class>>;
+
+  /// Site DHJ: one-hot encrypts each string under the TP's key.
+  static Result<std::vector<EncryptedString>> EncryptStrings(
+      const std::vector<std::vector<uint8_t>>& strings,
+      const Alphabet& alphabet, const PaillierPublicKey& pk, Prng* blinding);
+
+  /// Site DHK: for its string `own` against encrypted initiator string
+  /// `enc`, selects the ciphertext matching its own character at each grid
+  /// cell and re-randomizes it. Cell (q, p) decrypts to 1 iff
+  /// own[q] == initiator[p]. Row-major |own| x |initiator|.
+  static Result<std::vector<mpz_class>> SelectCells(
+      const std::vector<uint8_t>& own, const EncryptedString& enc,
+      const PaillierPublicKey& pk, Prng* blinding);
+
+  /// Site TP: decrypts a cell grid into the 0/1 CCM (note the inversion:
+  /// the ciphertext holds an equality bit, the CCM holds a difference bit).
+  static Result<CharComparisonMatrix> DecryptCcm(
+      const std::vector<mpz_class>& cells, size_t own_length,
+      size_t initiator_length, const PaillierPrivateKey& sk);
+
+  /// Convenience: full pipeline for one string pair, returning the edit
+  /// distance (used by correctness tests).
+  static Result<uint64_t> Distance(const std::vector<uint8_t>& initiator,
+                                   const std::vector<uint8_t>& responder,
+                                   const Alphabet& alphabet,
+                                   const PaillierKeyPair& keys,
+                                   Prng* blinding);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_BASELINES_H_

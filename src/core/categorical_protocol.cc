@@ -1,0 +1,38 @@
+#include "core/categorical_protocol.h"
+
+namespace ppc {
+
+std::vector<std::string> CategoricalProtocol::EncryptColumn(
+    const std::vector<std::string>& values,
+    const DeterministicEncryptor& encryptor) {
+  std::vector<std::string> tokens;
+  tokens.reserve(values.size());
+  for (const std::string& value : values) {
+    tokens.push_back(encryptor.Encrypt(value));
+  }
+  return tokens;
+}
+
+Result<DissimilarityMatrix> CategoricalProtocol::BuildGlobalMatrix(
+    const std::vector<std::vector<std::string>>& token_columns) {
+  size_t total = 0;
+  for (const auto& column : token_columns) total += column.size();
+  if (total == 0) {
+    return Status::InvalidArgument("no tokens supplied");
+  }
+  std::vector<const std::string*> merged;
+  merged.reserve(total);
+  for (const auto& column : token_columns) {
+    for (const std::string& token : column) merged.push_back(&token);
+  }
+
+  DissimilarityMatrix d(total);
+  for (size_t i = 1; i < total; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      d.set(i, j, *merged[i] == *merged[j] ? 0.0 : 1.0);
+    }
+  }
+  return d;
+}
+
+}  // namespace ppc

@@ -1,0 +1,37 @@
+#ifndef PPC_CORE_CATEGORICAL_PROTOCOL_H_
+#define PPC_CORE_CATEGORICAL_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/det_encrypt.h"
+#include "distance/dissimilarity_matrix.h"
+
+namespace ppc {
+
+/// The categorical comparison protocol of paper Sec. 4.3.
+///
+/// Data holders share an encryption key (which the third party never sees),
+/// deterministically encrypt each categorical value, and ship the token
+/// columns. The third party merges all columns in party order and runs the
+/// local dissimilarity construction (Fig. 12) over tokens: equal tokens <=>
+/// equal plaintexts, so distance(a, b) = 0 iff a == b, computed without the
+/// TP learning any plaintext.
+class CategoricalProtocol {
+ public:
+  /// Data-holder side: encrypts a categorical column under the shared key.
+  static std::vector<std::string> EncryptColumn(
+      const std::vector<std::string>& values,
+      const DeterministicEncryptor& encryptor);
+
+  /// Third-party side: Fig. 12 over the merged token columns (in party
+  /// order). Produces the full-population dissimilarity matrix for the
+  /// attribute: 0 where tokens match, 1 elsewhere.
+  static Result<DissimilarityMatrix> BuildGlobalMatrix(
+      const std::vector<std::vector<std::string>>& token_columns);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_CATEGORICAL_PROTOCOL_H_

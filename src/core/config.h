@@ -1,0 +1,59 @@
+#ifndef PPC_CORE_CONFIG_H_
+#define PPC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "data/alphabet.h"
+#include "data/taxonomy.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// Masking strategy of the numeric comparison protocol (paper Sec. 4.1).
+enum class MaskingMode : uint8_t {
+  /// One mask per initiator object, reused against every responder object —
+  /// the paper's batch protocol. Initiator traffic O(n); vulnerable to the
+  /// frequency-analysis attack when attribute ranges are small.
+  kBatch = 0,
+  /// A fresh (mask, sign) pair per object *pair* — the paper's mitigation
+  /// ("site DHK can request omitting batch processing of inputs and using
+  /// unique random numbers for each object pair"). Initiator traffic grows
+  /// to O(n·m).
+  kPerPair = 1,
+};
+
+/// Canonical name of `mode` ("batch" / "per-pair").
+const char* MaskingModeToString(MaskingMode mode);
+
+/// Shared parameters every participant (data holders and third party) must
+/// agree on before the protocol starts, alongside the attribute `Schema`.
+struct ProtocolConfig {
+  /// Masking strategy for numeric attributes.
+  MaskingMode masking_mode = MaskingMode::kBatch;
+
+  /// PRNG family used for all protocol masks. ChaCha20 is the
+  /// deployment-faithful choice; the statistical generators exist for
+  /// ablations.
+  PrngKind prng_kind = PrngKind::kChaCha20;
+
+  /// Fixed-point precision for real-valued attributes (decimal digits kept).
+  int real_decimal_digits = 6;
+
+  /// Alphabet of every alphanumeric attribute. The paper requires a finite,
+  /// publicly known alphabet so that masking can wrap modulo its size.
+  Alphabet alphabet = Alphabet::Dna();
+
+  /// Optional category hierarchies, keyed by attribute name. A categorical
+  /// attribute listed here is compared with the normalized tree-path
+  /// distance via `TaxonomyProtocol` instead of the flat 0/1 protocol —
+  /// the Sec. 4.3 future work, wired into the ordinary session. Taxonomy
+  /// *structures* are public (like the comparison functions); only values
+  /// are private.
+  std::map<std::string, CategoryTaxonomy> taxonomies;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_CONFIG_H_

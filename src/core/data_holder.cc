@@ -1,0 +1,411 @@
+#include "core/data_holder.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "core/alphanumeric_protocol.h"
+#include "core/categorical_protocol.h"
+#include "core/numeric_protocol.h"
+#include "core/taxonomy_protocol.h"
+#include "core/topics.h"
+#include "crypto/bigint.h"
+#include "crypto/det_encrypt.h"
+#include "crypto/hmac.h"
+#include "distance/comparators.h"
+
+namespace ppc {
+
+namespace {
+
+/// Symmetric pair label so both endpoints derive the same seed.
+std::string PairLabel(const std::string& a, const std::string& b) {
+  return a < b ? "pair:" + a + ":" + b : "pair:" + b + ":" + a;
+}
+
+std::string NumericLabel(size_t column, const std::string& initiator,
+                         const std::string& responder) {
+  return "num:" + std::to_string(column) + ":" + initiator + ":" + responder;
+}
+
+std::string AlnumLabel(size_t column, const std::string& initiator,
+                       const std::string& responder) {
+  return "alnum:" + std::to_string(column) + ":" + initiator + ":" +
+         responder;
+}
+
+std::string BytesFromSymbols(const std::vector<uint8_t>& symbols) {
+  return std::string(symbols.begin(), symbols.end());
+}
+
+std::vector<uint8_t> SymbolsFromBytes(const std::string& bytes) {
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+DataHolder::DataHolder(std::string name, InMemoryNetwork* network,
+                       ProtocolConfig config, uint64_t entropy_seed)
+    : name_(std::move(name)),
+      network_(network),
+      config_(std::move(config)),
+      real_codec_(
+          FixedPointCodec::Create(config_.real_decimal_digits).TakeValue()),
+      entropy_(MakePrng(PrngKind::kChaCha20, entropy_seed)) {
+  dh_keys_ = DiffieHellman::Generate(entropy_.get());
+}
+
+Status DataHolder::SetData(DataMatrix data) {
+  data_ = std::move(data);
+  return Status::OK();
+}
+
+Status DataHolder::SendHello(const std::string& third_party) {
+  tp_name_ = third_party;
+  ByteWriter writer;
+  writer.WriteU64(data_.NumRows());
+  return network_->Send(name_, third_party, topics::kHello,
+                        writer.TakeBytes());
+}
+
+Status DataHolder::ReceiveRoster(const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, third_party,
+                                                      topics::kRoster));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  roster_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    PPC_ASSIGN_OR_RETURN(std::string party, reader.ReadBytes());
+    PPC_ASSIGN_OR_RETURN(uint64_t objects, reader.ReadU64());
+    roster_.emplace_back(std::move(party), objects);
+  }
+  return reader.ExpectEnd();
+}
+
+Result<uint64_t> DataHolder::RosterCount(const std::string& party) const {
+  for (const auto& [name, count] : roster_) {
+    if (name == party) return count;
+  }
+  return Status::NotFound("party '" + party + "' not in roster");
+}
+
+Status DataHolder::SendDhPublic(const std::string& peer) {
+  ByteWriter writer;
+  writer.WriteBytes(bigint::ToBytes(dh_keys_.public_key));
+  return network_->Send(name_, peer, topics::kDhPublic, writer.TakeBytes());
+}
+
+Status DataHolder::ReceiveDhPublicAndDerive(const std::string& peer) {
+  PPC_ASSIGN_OR_RETURN(Message msg,
+                       network_->Receive(name_, peer, topics::kDhPublic));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(std::string public_bytes, reader.ReadBytes());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+  mpz_class peer_public = bigint::FromBytes(public_bytes);
+  mpz_class shared =
+      DiffieHellman::SharedElement(dh_keys_.private_key, peer_public);
+  pair_seeds_[peer] = DiffieHellman::DeriveSeed(shared, PairLabel(name_, peer));
+  return Status::OK();
+}
+
+Status DataHolder::DistributeCategoricalKey(
+    const std::vector<std::string>& peers) {
+  // 32 random bytes from local entropy.
+  std::string key;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t word = entropy_->Next();
+    for (int b = 0; b < 8; ++b) {
+      key.push_back(static_cast<char>((word >> (8 * b)) & 0xff));
+    }
+  }
+  categorical_key_ = key;
+  for (const std::string& peer : peers) {
+    if (peer == name_) continue;
+    ByteWriter writer;
+    writer.WriteBytes(key);
+    PPC_RETURN_IF_ERROR(network_->Send(name_, peer, topics::kCategoricalKey,
+                                       writer.TakeBytes()));
+  }
+  return Status::OK();
+}
+
+Status DataHolder::ReceiveCategoricalKey(const std::string& from) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg, network_->Receive(name_, from, topics::kCategoricalKey));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(categorical_key_, reader.ReadBytes());
+  return reader.ExpectEnd();
+}
+
+Result<std::vector<int64_t>> DataHolder::EncodedNumericColumn(
+    size_t column) const {
+  const AttributeType type = data_.schema().attribute(column).type;
+  if (type == AttributeType::kInteger) {
+    return data_.IntegerColumn(column);
+  }
+  if (type == AttributeType::kReal) {
+    PPC_ASSIGN_OR_RETURN(std::vector<double> raw, data_.RealColumn(column));
+    std::vector<int64_t> encoded;
+    encoded.reserve(raw.size());
+    for (double v : raw) {
+      PPC_ASSIGN_OR_RETURN(int64_t e, real_codec_.Encode(v));
+      encoded.push_back(e);
+    }
+    return encoded;
+  }
+  return Status::InvalidArgument("attribute " + std::to_string(column) +
+                                 " is not numeric");
+}
+
+Result<std::vector<std::vector<uint8_t>>> DataHolder::EncodedStringColumn(
+    size_t column) const {
+  if (data_.schema().attribute(column).type != AttributeType::kAlphanumeric) {
+    return Status::InvalidArgument("attribute " + std::to_string(column) +
+                                   " is not alphanumeric");
+  }
+  PPC_ASSIGN_OR_RETURN(std::vector<std::string> strings,
+                       data_.StringColumn(column));
+  std::vector<std::vector<uint8_t>> encoded;
+  encoded.reserve(strings.size());
+  for (const std::string& s : strings) {
+    PPC_ASSIGN_OR_RETURN(std::vector<uint8_t> e, config_.alphabet.Encode(s));
+    encoded.push_back(std::move(e));
+  }
+  return encoded;
+}
+
+Result<std::unique_ptr<Prng>> DataHolder::PairPrng(
+    const std::string& peer, const std::string& label) const {
+  auto it = pair_seeds_.find(peer);
+  if (it == pair_seeds_.end()) {
+    return Status::FailedPrecondition("no shared seed with '" + peer +
+                                      "' (run key agreement first)");
+  }
+  std::string key = HmacSha256::DeriveKey(it->second, label);
+  return MakePrngFromKey(config_.prng_kind, key);
+}
+
+Status DataHolder::SendLocalMatrices(const std::string& third_party) {
+  for (size_t c = 0; c < data_.NumColumns(); ++c) {
+    AttributeType type = data_.schema().attribute(c).type;
+    if (type == AttributeType::kCategorical) continue;  // Sec. 4.3 path.
+    PPC_ASSIGN_OR_RETURN(DissimilarityMatrix local,
+                         LocalDissimilarity::Build(data_, c, real_codec_));
+    ByteWriter writer;
+    writer.WriteU32(static_cast<uint32_t>(c));
+    writer.WriteU64(local.num_objects());
+    writer.WriteF64Vector(local.packed_cells());
+    PPC_RETURN_IF_ERROR(network_->Send(name_, third_party, topics::kLocalMatrix,
+                                       writer.TakeBytes()));
+  }
+  return Status::OK();
+}
+
+Status DataHolder::RunNumericInitiator(size_t column,
+                                       const std::string& responder) {
+  PPC_ASSIGN_OR_RETURN(std::vector<int64_t> values,
+                       EncodedNumericColumn(column));
+  const std::string label = NumericLabel(column, name_, responder);
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jk,
+                       PairPrng(responder, label));
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                       PairPrng(tp_name_, label));
+
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteU8(static_cast<uint8_t>(config_.masking_mode));
+  if (config_.masking_mode == MaskingMode::kBatch) {
+    writer.WriteU64(0);
+    writer.WriteU64Vector(
+        NumericProtocol::MaskVector(values, rng_jt.get(), rng_jk.get()));
+  } else {
+    PPC_ASSIGN_OR_RETURN(uint64_t responder_count, RosterCount(responder));
+    writer.WriteU64(responder_count);
+    writer.WriteU64Vector(NumericProtocol::MaskMatrixPerPair(
+        values, responder_count, rng_jt.get(), rng_jk.get()));
+  }
+  return network_->Send(name_, responder, topics::kNumericMasked,
+                        writer.TakeBytes());
+}
+
+Status DataHolder::RunNumericResponder(size_t column,
+                                       const std::string& initiator,
+                                       const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg,
+      network_->Receive(name_, initiator, topics::kNumericMasked));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+  if (attr != column) {
+    return Status::ProtocolViolation("initiator sent attribute " +
+                                     std::to_string(attr) + ", expected " +
+                                     std::to_string(column));
+  }
+  PPC_ASSIGN_OR_RETURN(uint8_t mode_tag, reader.ReadU8());
+  PPC_ASSIGN_OR_RETURN(uint64_t declared_rows, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(std::vector<uint64_t> masked, reader.ReadU64Vector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  PPC_ASSIGN_OR_RETURN(std::vector<int64_t> own_values,
+                       EncodedNumericColumn(column));
+  const std::string label = NumericLabel(column, initiator, name_);
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jk,
+                       PairPrng(initiator, label));
+
+  std::vector<uint64_t> comparison;
+  uint64_t cols = 0;
+  if (mode_tag == static_cast<uint8_t>(MaskingMode::kBatch)) {
+    cols = masked.size();
+    comparison = NumericProtocol::BuildComparisonMatrix(own_values, masked,
+                                                        rng_jk.get());
+  } else if (mode_tag == static_cast<uint8_t>(MaskingMode::kPerPair)) {
+    if (declared_rows != own_values.size()) {
+      return Status::ProtocolViolation(
+          "per-pair mask matrix sized for " + std::to_string(declared_rows) +
+          " responder objects, have " + std::to_string(own_values.size()));
+    }
+    if (own_values.empty() || masked.size() % own_values.size() != 0) {
+      return Status::ProtocolViolation("per-pair mask matrix not rectangular");
+    }
+    cols = masked.size() / own_values.size();
+    PPC_ASSIGN_OR_RETURN(comparison,
+                         NumericProtocol::AddResponderPerPair(
+                             own_values, cols, masked, rng_jk.get()));
+  } else {
+    return Status::ProtocolViolation("unknown masking mode tag");
+  }
+
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteBytes(initiator);
+  writer.WriteU8(mode_tag);
+  writer.WriteU64(own_values.size());
+  writer.WriteU64(cols);
+  writer.WriteU64Vector(comparison);
+  return network_->Send(name_, third_party, topics::kNumericComparison,
+                        writer.TakeBytes());
+}
+
+Status DataHolder::RunAlphanumericInitiator(size_t column,
+                                            const std::string& responder) {
+  PPC_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> strings,
+                       EncodedStringColumn(column));
+  const std::string label = AlnumLabel(column, name_, responder);
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                       PairPrng(tp_name_, label));
+  PPC_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint8_t>> masked,
+      AlphanumericProtocol::MaskStrings(strings, config_.alphabet,
+                                        rng_jt.get()));
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(column));
+  std::vector<std::string> as_bytes;
+  as_bytes.reserve(masked.size());
+  for (const auto& s : masked) as_bytes.push_back(BytesFromSymbols(s));
+  writer.WriteBytesVector(as_bytes);
+  return network_->Send(name_, responder, topics::kAlnumMasked,
+                        writer.TakeBytes());
+}
+
+Status DataHolder::RunAlphanumericResponder(size_t column,
+                                            const std::string& initiator,
+                                            const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg, network_->Receive(name_, initiator, topics::kAlnumMasked));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+  if (attr != column) {
+    return Status::ProtocolViolation("initiator sent attribute " +
+                                     std::to_string(attr) + ", expected " +
+                                     std::to_string(column));
+  }
+  PPC_ASSIGN_OR_RETURN(std::vector<std::string> masked_bytes,
+                       reader.ReadBytesVector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  std::vector<std::vector<uint8_t>> masked;
+  masked.reserve(masked_bytes.size());
+  for (const std::string& bytes : masked_bytes) {
+    masked.push_back(SymbolsFromBytes(bytes));
+  }
+  PPC_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> own,
+                       EncodedStringColumn(column));
+
+  std::vector<AlphanumericProtocol::MaskedGrid> grids =
+      AlphanumericProtocol::BuildMaskedGrids(own, masked, config_.alphabet);
+
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteBytes(initiator);
+  writer.WriteU64(own.size());
+  writer.WriteU64(masked.size());
+  for (const auto& grid : grids) {
+    writer.WriteU32(static_cast<uint32_t>(grid.responder_length));
+    writer.WriteU32(static_cast<uint32_t>(grid.initiator_length));
+    writer.WriteBytes(std::string(grid.cells.begin(), grid.cells.end()));
+  }
+  return network_->Send(name_, third_party, topics::kAlnumGrids,
+                        writer.TakeBytes());
+}
+
+Status DataHolder::SendCategoricalTokens(size_t column,
+                                         const std::string& third_party) {
+  if (categorical_key_.empty()) {
+    return Status::FailedPrecondition(
+        "categorical key not established among data holders");
+  }
+  const AttributeSpec& spec = data_.schema().attribute(column);
+  if (spec.type != AttributeType::kCategorical) {
+    return Status::InvalidArgument("attribute " + std::to_string(column) +
+                                   " is not categorical");
+  }
+  PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
+                       data_.StringColumn(column));
+  DeterministicEncryptor encryptor(
+      HmacSha256::DeriveKey(categorical_key_, "cat:" + std::to_string(column)));
+
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(column));
+  auto taxonomy_it = config_.taxonomies.find(spec.name);
+  if (taxonomy_it == config_.taxonomies.end()) {
+    // Flat categorical (paper Sec. 4.3): one token per object.
+    writer.WriteU8(0);
+    writer.WriteBytesVector(CategoricalProtocol::EncryptColumn(values,
+                                                               encryptor));
+  } else {
+    // Hierarchical categorical (implemented future work): one encrypted
+    // root-to-node path per object.
+    writer.WriteU8(1);
+    PPC_ASSIGN_OR_RETURN(
+        std::vector<TaxonomyProtocol::TokenPath> paths,
+        TaxonomyProtocol::EncryptColumn(values, taxonomy_it->second,
+                                        encryptor));
+    writer.WriteU32(static_cast<uint32_t>(paths.size()));
+    for (const TaxonomyProtocol::TokenPath& path : paths) {
+      writer.WriteBytesVector(path);
+    }
+  }
+  return network_->Send(name_, third_party, topics::kCategoricalTokens,
+                        writer.TakeBytes());
+}
+
+Status DataHolder::SendClusterRequest(const std::string& third_party,
+                                      const ClusterRequest& request) {
+  ByteWriter writer;
+  request.Serialize(&writer);
+  return network_->Send(name_, third_party, topics::kClusterRequest,
+                        writer.TakeBytes());
+}
+
+Result<ClusteringOutcome> DataHolder::ReceiveClusterOutcome(
+    const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg,
+      network_->Receive(name_, third_party, topics::kClusterOutcome));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(ClusteringOutcome outcome,
+                       ClusteringOutcome::Deserialize(&reader));
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+  return outcome;
+}
+
+}  // namespace ppc

@@ -1,0 +1,139 @@
+#ifndef PPC_CORE_DATA_HOLDER_H_
+#define PPC_CORE_DATA_HOLDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/result.h"
+#include "core/config.h"
+#include "core/outcome.h"
+#include "crypto/diffie_hellman.h"
+#include "data/data_matrix.h"
+#include "net/network.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// One data-holder site (a "DHJ"/"DHK" of the paper): owns a horizontal
+/// partition of the data matrix and participates in the comparison
+/// protocols. All communication goes through the `InMemoryNetwork`, so its
+/// traffic is accounted and tappable like a real deployment's.
+///
+/// The session driver (`ClusteringSession`) sequences the method calls; the
+/// holder itself never inspects another party's state in-process.
+class DataHolder {
+ public:
+  /// `entropy_seed` seeds the holder's local randomness (DH private keys,
+  /// categorical key generation). Deployments would use OS entropy; a seed
+  /// keeps experiments reproducible.
+  DataHolder(std::string name, InMemoryNetwork* network, ProtocolConfig config,
+             uint64_t entropy_seed);
+
+  /// Installs this holder's horizontal partition. All rows must match the
+  /// session schema (validated again by the session).
+  Status SetData(DataMatrix data);
+
+  const std::string& name() const { return name_; }
+  size_t NumObjects() const { return data_.NumRows(); }
+  const DataMatrix& data() const { return data_; }
+
+  // -- Session setup steps --------------------------------------------------
+
+  /// Announces this site's object count to the third party.
+  Status SendHello(const std::string& third_party);
+
+  /// Receives the third party's roster (party order and object counts).
+  Status ReceiveRoster(const std::string& third_party);
+
+  /// Sends this holder's DH public value to `peer`.
+  Status SendDhPublic(const std::string& peer);
+
+  /// Receives `peer`'s DH public value and derives the shared seed. Data
+  /// holders derive the rJK seed of the paper; with the third party the
+  /// rJT seed. The derivation label is symmetric, so both sides agree.
+  Status ReceiveDhPublicAndDerive(const std::string& peer);
+
+  /// First-roster-holder only: generates the categorical encryption key and
+  /// distributes it to the other data holders (never to the TP). Channels
+  /// must be secured for this step, as the paper requires for all
+  /// holder-to-holder traffic.
+  Status DistributeCategoricalKey(const std::vector<std::string>& peers);
+
+  /// Receives the categorical key from the distributing holder.
+  Status ReceiveCategoricalKey(const std::string& from);
+
+  // -- Protocol steps (per attribute) ---------------------------------------
+
+  /// Fig. 12 + ship: builds local dissimilarity matrices for every numeric
+  /// and alphanumeric attribute and sends them to the third party.
+  Status SendLocalMatrices(const std::string& third_party);
+
+  /// Fig. 4 (or the per-pair variant): masks this site's column `column`
+  /// and sends it to `responder`.
+  Status RunNumericInitiator(size_t column, const std::string& responder);
+
+  /// Fig. 5: consumes the initiator's masked vector, builds the pair-wise
+  /// comparison matrix, ships it to the third party.
+  Status RunNumericResponder(size_t column, const std::string& initiator,
+                             const std::string& third_party);
+
+  /// Fig. 8: masks this site's strings and sends them to `responder`.
+  Status RunAlphanumericInitiator(size_t column, const std::string& responder);
+
+  /// Fig. 9: builds intermediary CCM grids, ships them to the third party.
+  Status RunAlphanumericResponder(size_t column, const std::string& initiator,
+                                  const std::string& third_party);
+
+  /// Sec. 4.3: deterministically encrypts the categorical column and sends
+  /// the tokens to the third party.
+  Status SendCategoricalTokens(size_t column, const std::string& third_party);
+
+  // -- Results ---------------------------------------------------------------
+
+  /// Sends a clustering order (weights + algorithm choice) to the third
+  /// party.
+  Status SendClusterRequest(const std::string& third_party,
+                            const ClusterRequest& request);
+
+  /// Receives the published outcome for a previously sent order.
+  Result<ClusteringOutcome> ReceiveClusterOutcome(
+      const std::string& third_party);
+
+  /// Object count of `party` from the roster (available after
+  /// ReceiveRoster).
+  Result<uint64_t> RosterCount(const std::string& party) const;
+
+ private:
+  /// The column as protocol integers: raw int64 for integer attributes,
+  /// fixed-point encoded for reals.
+  Result<std::vector<int64_t>> EncodedNumericColumn(size_t column) const;
+
+  /// The column as alphabet index vectors.
+  Result<std::vector<std::vector<uint8_t>>> EncodedStringColumn(
+      size_t column) const;
+
+  /// Derives a mask generator from the seed shared with `peer`, bound to a
+  /// protocol context label. Distinct labels (attribute, pair, role) yield
+  /// independent mask streams, so no mask is ever reused across contexts.
+  Result<std::unique_ptr<Prng>> PairPrng(const std::string& peer,
+                                         const std::string& label) const;
+
+  std::string name_;
+  InMemoryNetwork* network_;
+  ProtocolConfig config_;
+  FixedPointCodec real_codec_;
+  DataMatrix data_;
+  std::unique_ptr<Prng> entropy_;
+  DiffieHellman::KeyPair dh_keys_;
+  std::map<std::string, std::string> pair_seeds_;  // peer -> 32-byte seed.
+  std::vector<std::pair<std::string, uint64_t>> roster_;
+  std::string tp_name_;  // Recorded at SendHello; used to pick the rJT seed.
+  std::string categorical_key_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_DATA_HOLDER_H_

@@ -1,0 +1,125 @@
+#include "core/numeric_protocol.h"
+
+namespace ppc {
+
+namespace {
+
+/// sign ? -x : +x in ring arithmetic.
+inline uint64_t Signed(int64_t x, bool negate) {
+  uint64_t ux = static_cast<uint64_t>(x);
+  return negate ? ~ux + 1 : ux;
+}
+
+}  // namespace
+
+std::vector<uint64_t> NumericProtocol::MaskVector(
+    const std::vector<int64_t>& values, Prng* rng_jt, Prng* rng_jk) {
+  rng_jt->Reset();
+  rng_jk->Reset();
+  std::vector<uint64_t> out;
+  out.reserve(values.size());
+  for (int64_t x : values) {
+    uint64_t mask = rng_jt->Next();
+    bool negate = rng_jk->NextParityOdd();
+    out.push_back(mask + Signed(x, negate));
+  }
+  return out;
+}
+
+std::vector<uint64_t> NumericProtocol::BuildComparisonMatrix(
+    const std::vector<int64_t>& responder_values,
+    const std::vector<uint64_t>& masked_initiator, Prng* rng_jk) {
+  const size_t rows = responder_values.size();
+  const size_t cols = masked_initiator.size();
+  std::vector<uint64_t> matrix;
+  matrix.reserve(rows * cols);
+  for (size_t m = 0; m < rows; ++m) {
+    // Fig. 5 step 4: re-initialize rng_jk at every row so column n uses the
+    // same coin DHJ consumed for its nth element.
+    rng_jk->Reset();
+    for (size_t n = 0; n < cols; ++n) {
+      bool initiator_negated = rng_jk->NextParityOdd();
+      // The responder takes the *opposite* sign: (rngJK.Next()+1) % 2.
+      matrix.push_back(masked_initiator[n] +
+                       Signed(responder_values[m], !initiator_negated));
+    }
+  }
+  return matrix;
+}
+
+Result<std::vector<uint64_t>> NumericProtocol::RecoverDistances(
+    const std::vector<uint64_t>& matrix, size_t rows, size_t cols,
+    Prng* rng_jt) {
+  if (matrix.size() != rows * cols) {
+    return Status::InvalidArgument("comparison matrix size mismatch: got " +
+                                   std::to_string(matrix.size()) +
+                                   ", expected " +
+                                   std::to_string(rows * cols));
+  }
+  std::vector<uint64_t> distances;
+  distances.reserve(matrix.size());
+  for (size_t m = 0; m < rows; ++m) {
+    // Fig. 6 step 4: re-initialize rng_jt at every row (all entries of a
+    // column are disguised with the same mask).
+    rng_jt->Reset();
+    for (size_t n = 0; n < cols; ++n) {
+      uint64_t unmasked = matrix[m * cols + n] - rng_jt->Next();
+      distances.push_back(AbsFromRing(unmasked));
+    }
+  }
+  return distances;
+}
+
+std::vector<uint64_t> NumericProtocol::MaskMatrixPerPair(
+    const std::vector<int64_t>& values, size_t responder_count, Prng* rng_jt,
+    Prng* rng_jk) {
+  rng_jt->Reset();
+  rng_jk->Reset();
+  std::vector<uint64_t> out;
+  out.reserve(responder_count * values.size());
+  for (size_t m = 0; m < responder_count; ++m) {
+    for (int64_t x : values) {
+      uint64_t mask = rng_jt->Next();
+      bool negate = rng_jk->NextParityOdd();
+      out.push_back(mask + Signed(x, negate));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> NumericProtocol::AddResponderPerPair(
+    const std::vector<int64_t>& responder_values, size_t initiator_count,
+    const std::vector<uint64_t>& masked, Prng* rng_jk) {
+  const size_t rows = responder_values.size();
+  if (masked.size() != rows * initiator_count) {
+    return Status::InvalidArgument("masked matrix size mismatch");
+  }
+  rng_jk->Reset();
+  std::vector<uint64_t> out;
+  out.reserve(masked.size());
+  for (size_t m = 0; m < rows; ++m) {
+    for (size_t n = 0; n < initiator_count; ++n) {
+      bool initiator_negated = rng_jk->NextParityOdd();
+      out.push_back(masked[m * initiator_count + n] +
+                    Signed(responder_values[m], !initiator_negated));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> NumericProtocol::RecoverDistancesPerPair(
+    const std::vector<uint64_t>& matrix, size_t rows, size_t cols,
+    Prng* rng_jt) {
+  if (matrix.size() != rows * cols) {
+    return Status::InvalidArgument("comparison matrix size mismatch");
+  }
+  rng_jt->Reset();
+  std::vector<uint64_t> distances;
+  distances.reserve(matrix.size());
+  for (uint64_t cell : matrix) {
+    distances.push_back(AbsFromRing(cell - rng_jt->Next()));
+  }
+  return distances;
+}
+
+}  // namespace ppc

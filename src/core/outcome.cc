@@ -1,0 +1,124 @@
+#include "core/outcome.h"
+
+#include "common/string_util.h"
+
+namespace ppc {
+
+namespace {
+
+void SerializeObjectRef(const ObjectRef& ref, ByteWriter* writer) {
+  writer->WriteBytes(ref.party);
+  writer->WriteU64(ref.local_index);
+  writer->WriteU64(ref.global_index);
+}
+
+Result<ObjectRef> DeserializeObjectRef(ByteReader* reader) {
+  ObjectRef ref;
+  PPC_ASSIGN_OR_RETURN(ref.party, reader->ReadBytes());
+  PPC_ASSIGN_OR_RETURN(ref.local_index, reader->ReadU64());
+  PPC_ASSIGN_OR_RETURN(ref.global_index, reader->ReadU64());
+  return ref;
+}
+
+}  // namespace
+
+void ClusterRequest::Serialize(ByteWriter* writer) const {
+  writer->WriteF64Vector(weights);
+  writer->WriteU8(static_cast<uint8_t>(algorithm));
+  writer->WriteU8(static_cast<uint8_t>(linkage));
+  writer->WriteU64(num_clusters);
+  writer->WriteF64(dbscan_eps);
+  writer->WriteU64(dbscan_min_points);
+}
+
+Result<ClusterRequest> ClusterRequest::Deserialize(ByteReader* reader) {
+  ClusterRequest request;
+  PPC_ASSIGN_OR_RETURN(request.weights, reader->ReadF64Vector());
+  PPC_ASSIGN_OR_RETURN(uint8_t algorithm, reader->ReadU8());
+  if (algorithm > static_cast<uint8_t>(ClusterAlgorithm::kDbscan)) {
+    return Status::DataLoss("bad algorithm tag");
+  }
+  request.algorithm = static_cast<ClusterAlgorithm>(algorithm);
+  PPC_ASSIGN_OR_RETURN(uint8_t linkage, reader->ReadU8());
+  if (linkage > static_cast<uint8_t>(Linkage::kWard)) {
+    return Status::DataLoss("bad linkage tag");
+  }
+  request.linkage = static_cast<Linkage>(linkage);
+  PPC_ASSIGN_OR_RETURN(request.num_clusters, reader->ReadU64());
+  PPC_ASSIGN_OR_RETURN(request.dbscan_eps, reader->ReadF64());
+  PPC_ASSIGN_OR_RETURN(request.dbscan_min_points, reader->ReadU64());
+  return request;
+}
+
+std::vector<int> ClusteringOutcome::FlatLabels(size_t total_objects) const {
+  std::vector<int> labels(total_objects, -1);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (const ObjectRef& ref : clusters[c]) {
+      if (ref.global_index < total_objects) {
+        labels[ref.global_index] = static_cast<int>(c);
+      }
+    }
+  }
+  return labels;
+}
+
+std::string ClusteringOutcome::ToString() const {
+  std::string out;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    out += "Cluster" + std::to_string(c + 1) + "\t";
+    std::vector<std::string> names;
+    names.reserve(clusters[c].size());
+    for (const ObjectRef& ref : clusters[c]) names.push_back(ref.Display());
+    out += JoinStrings(names, ", ");
+    if (c < within_cluster_mean_squared.size()) {
+      out += "\t(avg sq dist " +
+             FormatDouble(within_cluster_mean_squared[c], 4) + ")";
+    }
+    out += "\n";
+  }
+  if (!noise.empty()) {
+    std::vector<std::string> names;
+    names.reserve(noise.size());
+    for (const ObjectRef& ref : noise) names.push_back(ref.Display());
+    out += "Noise\t" + JoinStrings(names, ", ") + "\n";
+  }
+  return out;
+}
+
+void ClusteringOutcome::Serialize(ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(clusters.size()));
+  for (const auto& cluster : clusters) {
+    writer->WriteU32(static_cast<uint32_t>(cluster.size()));
+    for (const ObjectRef& ref : cluster) SerializeObjectRef(ref, writer);
+  }
+  writer->WriteF64Vector(within_cluster_mean_squared);
+  writer->WriteF64(silhouette);
+  writer->WriteU32(static_cast<uint32_t>(noise.size()));
+  for (const ObjectRef& ref : noise) SerializeObjectRef(ref, writer);
+}
+
+Result<ClusteringOutcome> ClusteringOutcome::Deserialize(ByteReader* reader) {
+  ClusteringOutcome outcome;
+  PPC_ASSIGN_OR_RETURN(uint32_t num_clusters, reader->ReadU32());
+  outcome.clusters.resize(num_clusters);
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    PPC_ASSIGN_OR_RETURN(uint32_t size, reader->ReadU32());
+    outcome.clusters[c].reserve(size);
+    for (uint32_t i = 0; i < size; ++i) {
+      PPC_ASSIGN_OR_RETURN(ObjectRef ref, DeserializeObjectRef(reader));
+      outcome.clusters[c].push_back(std::move(ref));
+    }
+  }
+  PPC_ASSIGN_OR_RETURN(outcome.within_cluster_mean_squared,
+                       reader->ReadF64Vector());
+  PPC_ASSIGN_OR_RETURN(outcome.silhouette, reader->ReadF64());
+  PPC_ASSIGN_OR_RETURN(uint32_t noise_count, reader->ReadU32());
+  outcome.noise.reserve(noise_count);
+  for (uint32_t i = 0; i < noise_count; ++i) {
+    PPC_ASSIGN_OR_RETURN(ObjectRef ref, DeserializeObjectRef(reader));
+    outcome.noise.push_back(std::move(ref));
+  }
+  return outcome;
+}
+
+}  // namespace ppc

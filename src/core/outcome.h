@@ -1,0 +1,84 @@
+#ifndef PPC_CORE_OUTCOME_H_
+#define PPC_CORE_OUTCOME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/agglomerative.h"
+#include "common/result.h"
+#include "common/serde.h"
+
+namespace ppc {
+
+/// A published reference to one object: the owning party plus the object's
+/// id at that party (paper Fig. 13 writes these as "A1", "B4", ...), and
+/// the global row index used internally by the third party.
+struct ObjectRef {
+  std::string party;
+  uint64_t local_index = 0;
+  uint64_t global_index = 0;
+
+  /// "A3"-style rendering.
+  std::string Display() const {
+    return party + std::to_string(local_index);
+  }
+
+  friend bool operator==(const ObjectRef& a, const ObjectRef& b) = default;
+};
+
+/// Flat-clustering algorithms the third party offers. The paper emphasizes
+/// hierarchical methods; the others exist because the dissimilarity matrix
+/// is algorithm-agnostic (DESIGN.md E14).
+enum class ClusterAlgorithm : uint8_t {
+  kHierarchical = 0,
+  kKMedoids = 1,
+  kDbscan = 2,
+};
+
+/// A data holder's clustering order: attribute weights plus algorithm
+/// choice (paper Sec. 3: "Every data holder can impose a different weight
+/// vector and clustering algorithm of his own choice").
+struct ClusterRequest {
+  /// Per-attribute weights in schema order; empty means equal weights.
+  std::vector<double> weights;
+  ClusterAlgorithm algorithm = ClusterAlgorithm::kHierarchical;
+  /// Hierarchical options.
+  Linkage linkage = Linkage::kAverage;
+  /// Target cluster count (hierarchical cut / k-medoids k).
+  uint64_t num_clusters = 2;
+  /// DBSCAN options (distances are normalized into [0, 1]).
+  double dbscan_eps = 0.2;
+  uint64_t dbscan_min_points = 4;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<ClusterRequest> Deserialize(ByteReader* reader);
+};
+
+/// What the third party publishes: cluster membership lists (paper Fig. 13)
+/// plus privacy-safe quality parameters. The dissimilarity matrices
+/// themselves stay with the third party — distances would let a data holder
+/// triangulate other parties' values.
+struct ClusteringOutcome {
+  std::vector<std::vector<ObjectRef>> clusters;
+  /// Paper Sec. 5's example quality figure: per-cluster average of squared
+  /// member distances, same order as `clusters`.
+  std::vector<double> within_cluster_mean_squared;
+  /// Mean silhouette over all objects (0 when undefined, e.g. one cluster).
+  double silhouette = 0.0;
+  /// Objects labeled noise by DBSCAN (empty for other algorithms).
+  std::vector<ObjectRef> noise;
+
+  /// Per-object flat labels in global index order (-1 = noise).
+  std::vector<int> FlatLabels(size_t total_objects) const;
+
+  /// Fig.-13-style table: one line per cluster.
+  std::string ToString() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<ClusteringOutcome> Deserialize(ByteReader* reader);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_OUTCOME_H_

@@ -1,0 +1,173 @@
+#include "core/session.h"
+
+namespace ppc {
+
+ClusteringSession::ClusteringSession(InMemoryNetwork* network,
+                                     ProtocolConfig config, Schema schema)
+    : network_(network),
+      config_(std::move(config)),
+      schema_(std::move(schema)) {}
+
+Status ClusteringSession::SetThirdParty(ThirdParty* third_party) {
+  if (third_party_ != nullptr) {
+    return Status::FailedPrecondition("third party already set");
+  }
+  PPC_RETURN_IF_ERROR(network_->RegisterParty(third_party->name()));
+  third_party_ = third_party;
+  return Status::OK();
+}
+
+Status ClusteringSession::AddDataHolder(DataHolder* holder) {
+  for (const DataHolder* existing : holders_) {
+    if (existing->name() == holder->name()) {
+      return Status::AlreadyExists("holder '" + holder->name() +
+                                   "' already added");
+    }
+  }
+  PPC_RETURN_IF_ERROR(network_->RegisterParty(holder->name()));
+  holders_.push_back(holder);
+  return Status::OK();
+}
+
+Status ClusteringSession::ValidateSetup() const {
+  if (third_party_ == nullptr) {
+    return Status::FailedPrecondition("no third party set");
+  }
+  if (holders_.size() < 2) {
+    return Status::FailedPrecondition(
+        "the protocol requires at least two data holders (k >= 2)");
+  }
+  for (const DataHolder* holder : holders_) {
+    if (!(holder->data().schema() == schema_)) {
+      return Status::InvalidArgument("holder '" + holder->name() +
+                                     "' data does not match session schema");
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusteringSession::Run() {
+  if (ran_) return Status::FailedPrecondition("session already ran");
+  PPC_RETURN_IF_ERROR(ValidateSetup());
+  const std::string tp = third_party_->name();
+
+  // Phase 1: hello / roster.
+  std::vector<std::string> holder_names;
+  holder_names.reserve(holders_.size());
+  for (DataHolder* holder : holders_) {
+    PPC_RETURN_IF_ERROR(holder->SendHello(tp));
+    holder_names.push_back(holder->name());
+  }
+  PPC_RETURN_IF_ERROR(third_party_->ReceiveHellos(holder_names));
+  PPC_RETURN_IF_ERROR(third_party_->BroadcastRoster());
+  for (DataHolder* holder : holders_) {
+    PPC_RETURN_IF_ERROR(holder->ReceiveRoster(tp));
+  }
+
+  // Phase 2: Diffie-Hellman seed agreement. Holder pairs derive the rJK
+  // seeds; each holder derives its rJT seed with the third party.
+  for (size_t i = 0; i < holders_.size(); ++i) {
+    for (size_t j = i + 1; j < holders_.size(); ++j) {
+      PPC_RETURN_IF_ERROR(holders_[i]->SendDhPublic(holders_[j]->name()));
+      PPC_RETURN_IF_ERROR(holders_[j]->SendDhPublic(holders_[i]->name()));
+      PPC_RETURN_IF_ERROR(
+          holders_[i]->ReceiveDhPublicAndDerive(holders_[j]->name()));
+      PPC_RETURN_IF_ERROR(
+          holders_[j]->ReceiveDhPublicAndDerive(holders_[i]->name()));
+    }
+  }
+  for (DataHolder* holder : holders_) {
+    PPC_RETURN_IF_ERROR(holder->SendDhPublic(tp));
+    PPC_RETURN_IF_ERROR(third_party_->SendDhPublic(holder->name()));
+    PPC_RETURN_IF_ERROR(holder->ReceiveDhPublicAndDerive(tp));
+    PPC_RETURN_IF_ERROR(third_party_->ReceiveDhPublicAndDerive(holder->name()));
+  }
+
+  // Phase 3: categorical key among data holders (TP excluded), only when
+  // the schema needs it.
+  bool has_categorical = false;
+  for (const AttributeSpec& spec : schema_.attributes()) {
+    if (spec.type == AttributeType::kCategorical) has_categorical = true;
+  }
+  if (has_categorical) {
+    PPC_RETURN_IF_ERROR(holders_[0]->DistributeCategoricalKey(holder_names));
+    for (size_t i = 1; i < holders_.size(); ++i) {
+      PPC_RETURN_IF_ERROR(
+          holders_[i]->ReceiveCategoricalKey(holders_[0]->name()));
+    }
+  }
+
+  // Phase 4: local dissimilarity matrices (Fig. 12 at every site).
+  size_t non_categorical = 0;
+  for (const AttributeSpec& spec : schema_.attributes()) {
+    if (spec.type != AttributeType::kCategorical) ++non_categorical;
+  }
+  for (DataHolder* holder : holders_) {
+    PPC_RETURN_IF_ERROR(holder->SendLocalMatrices(tp));
+    for (size_t a = 0; a < non_categorical; ++a) {
+      PPC_RETURN_IF_ERROR(third_party_->ReceiveLocalMatrix(holder->name()));
+    }
+  }
+
+  // Phase 5: pairwise comparison protocols, per attribute (Fig. 11 loop).
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    const AttributeType type = schema_.attribute(c).type;
+    if (type == AttributeType::kCategorical) {
+      for (DataHolder* holder : holders_) {
+        PPC_RETURN_IF_ERROR(holder->SendCategoricalTokens(c, tp));
+        PPC_RETURN_IF_ERROR(
+            third_party_->ReceiveCategoricalTokens(holder->name()));
+      }
+      PPC_RETURN_IF_ERROR(third_party_->FinalizeCategorical(c));
+      continue;
+    }
+    for (size_t i = 0; i < holders_.size(); ++i) {
+      for (size_t j = i + 1; j < holders_.size(); ++j) {
+        DataHolder* initiator = holders_[i];
+        DataHolder* responder = holders_[j];
+        if (IsNumericType(type)) {
+          PPC_RETURN_IF_ERROR(
+              initiator->RunNumericInitiator(c, responder->name()));
+          PPC_RETURN_IF_ERROR(
+              responder->RunNumericResponder(c, initiator->name(), tp));
+          PPC_RETURN_IF_ERROR(
+              third_party_->ReceiveNumericComparison(responder->name()));
+        } else {
+          PPC_RETURN_IF_ERROR(
+              initiator->RunAlphanumericInitiator(c, responder->name()));
+          PPC_RETURN_IF_ERROR(
+              responder->RunAlphanumericResponder(c, initiator->name(), tp));
+          PPC_RETURN_IF_ERROR(
+              third_party_->ReceiveAlphanumericGrids(responder->name()));
+        }
+      }
+    }
+  }
+
+  // Phase 6: normalization (Fig. 11 step 4).
+  PPC_RETURN_IF_ERROR(third_party_->NormalizeMatrices());
+  ran_ = true;
+  return Status::OK();
+}
+
+Result<DataHolder*> ClusteringSession::FindHolder(
+    const std::string& name) const {
+  for (DataHolder* holder : holders_) {
+    if (holder->name() == name) return holder;
+  }
+  return Status::NotFound("no data holder named '" + name + "'");
+}
+
+Result<ClusteringOutcome> ClusteringSession::RequestClustering(
+    const std::string& holder_name, const ClusterRequest& request) {
+  if (!ran_) {
+    return Status::FailedPrecondition("session has not run yet");
+  }
+  PPC_ASSIGN_OR_RETURN(DataHolder * holder, FindHolder(holder_name));
+  PPC_RETURN_IF_ERROR(
+      holder->SendClusterRequest(third_party_->name(), request));
+  PPC_RETURN_IF_ERROR(third_party_->ServeClusterRequest(holder_name));
+  return holder->ReceiveClusterOutcome(third_party_->name());
+}
+
+}  // namespace ppc

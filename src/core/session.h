@@ -1,0 +1,80 @@
+#ifndef PPC_CORE_SESSION_H_
+#define PPC_CORE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/data_holder.h"
+#include "core/outcome.h"
+#include "core/third_party.h"
+#include "data/schema.h"
+#include "net/network.h"
+
+namespace ppc {
+
+/// Drives the full protocol of paper Fig. 11 across the registered parties.
+///
+/// Every party runs in-process, but *all* inter-party state flows through
+/// the `InMemoryNetwork` — the session only sequences whose turn it is, the
+/// way a real deployment's control plane (or simply the arrival of
+/// messages) would. This keeps byte accounting and eavesdropping
+/// experiments faithful while making runs deterministic.
+///
+/// Usage:
+/// ```
+///   InMemoryNetwork net;
+///   ThirdParty tp("TP", &net, config, schema, /*entropy_seed=*/1);
+///   DataHolder a("A", &net, config, 2), b("B", &net, config, 3);
+///   a.SetData(part_a); b.SetData(part_b);
+///   ClusteringSession session(&net, config, schema);
+///   session.SetThirdParty(&tp);
+///   session.AddDataHolder(&a);
+///   session.AddDataHolder(&b);
+///   PPC_CHECK(session.Run());                       // build matrices
+///   auto outcome = session.RequestClustering("A", request);
+/// ```
+class ClusteringSession {
+ public:
+  ClusteringSession(InMemoryNetwork* network, ProtocolConfig config,
+                    Schema schema);
+
+  /// Registers the third party on the network. Must be called exactly once,
+  /// before Run().
+  Status SetThirdParty(ThirdParty* third_party);
+
+  /// Registers a data holder (k >= 2 required by the paper's setting).
+  /// Order of addition defines the global party order.
+  Status AddDataHolder(DataHolder* holder);
+
+  /// Runs the whole pipeline: hello/roster, Diffie-Hellman seed agreement,
+  /// categorical key distribution, local matrices (Fig. 12), the pairwise
+  /// comparison protocols for every attribute (Sec. 4), global assembly and
+  /// normalization (Fig. 11). After this the third party can serve
+  /// clustering requests.
+  Status Run();
+
+  /// Full request round-trip for `holder_name`: send order, let the third
+  /// party serve it, receive the published outcome.
+  Result<ClusteringOutcome> RequestClustering(const std::string& holder_name,
+                                              const ClusterRequest& request);
+
+  /// The attribute schema all parties agreed on.
+  const Schema& schema() const { return schema_; }
+
+ private:
+  Status ValidateSetup() const;
+  Result<DataHolder*> FindHolder(const std::string& name) const;
+
+  InMemoryNetwork* network_;
+  ProtocolConfig config_;
+  Schema schema_;
+  ThirdParty* third_party_ = nullptr;
+  std::vector<DataHolder*> holders_;
+  bool ran_ = false;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_SESSION_H_

@@ -1,0 +1,82 @@
+#include "core/taxonomy_protocol.h"
+
+namespace ppc {
+
+Result<std::vector<TaxonomyProtocol::TokenPath>>
+TaxonomyProtocol::EncryptColumn(const std::vector<std::string>& values,
+                                const CategoryTaxonomy& taxonomy,
+                                const DeterministicEncryptor& encryptor) {
+  std::vector<TokenPath> out;
+  out.reserve(values.size());
+  for (const std::string& value : values) {
+    PPC_ASSIGN_OR_RETURN(std::vector<std::string> path,
+                         taxonomy.PathTo(value));
+    TokenPath tokens;
+    tokens.reserve(path.size());
+    // Bind the level index and the full prefix so far: two distinct
+    // prefixes can never produce colliding token sequences.
+    std::string prefix;
+    for (size_t level = 0; level < path.size(); ++level) {
+      prefix += "/" + path[level];
+      tokens.push_back(
+          encryptor.Encrypt(std::to_string(level) + ":" + prefix));
+    }
+    out.push_back(std::move(tokens));
+  }
+  return out;
+}
+
+Result<DissimilarityMatrix> TaxonomyProtocol::BuildGlobalMatrix(
+    const std::vector<std::vector<TokenPath>>& token_columns,
+    size_t tree_height) {
+  size_t total = 0;
+  for (const auto& column : token_columns) total += column.size();
+  if (total == 0) {
+    return Status::InvalidArgument("no token paths supplied");
+  }
+  if (tree_height == 0) {
+    return Status::InvalidArgument("tree height must be positive");
+  }
+  std::vector<const TokenPath*> merged;
+  merged.reserve(total);
+  for (const auto& column : token_columns) {
+    for (const TokenPath& path : column) merged.push_back(&path);
+  }
+
+  DissimilarityMatrix d(total);
+  const double denom = 2.0 * static_cast<double>(tree_height);
+  for (size_t i = 1; i < total; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const TokenPath& a = *merged[i];
+      const TokenPath& b = *merged[j];
+      size_t common = 0;
+      while (common < a.size() && common < b.size() &&
+             a[common] == b[common]) {
+        ++common;
+      }
+      double hops = static_cast<double>(a.size() + b.size() - 2 * common);
+      d.set(i, j, hops / denom);
+    }
+  }
+  return d;
+}
+
+Result<DissimilarityMatrix> TaxonomyProtocol::PlaintextMatrix(
+    const std::vector<std::string>& merged_values,
+    const CategoryTaxonomy& taxonomy) {
+  if (merged_values.empty()) {
+    return Status::InvalidArgument("no values supplied");
+  }
+  DissimilarityMatrix d(merged_values.size());
+  for (size_t i = 1; i < merged_values.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      PPC_ASSIGN_OR_RETURN(
+          double distance,
+          taxonomy.Distance(merged_values[i], merged_values[j]));
+      d.set(i, j, distance);
+    }
+  }
+  return d;
+}
+
+}  // namespace ppc

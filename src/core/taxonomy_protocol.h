@@ -1,0 +1,62 @@
+#ifndef PPC_CORE_TAXONOMY_PROTOCOL_H_
+#define PPC_CORE_TAXONOMY_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/det_encrypt.h"
+#include "data/taxonomy.h"
+#include "distance/dissimilarity_matrix.h"
+
+namespace ppc {
+
+/// Secure comparison for *hierarchical categorical* attributes — the
+/// paper's Sec. 4.3 future work, realized with the same machinery as its
+/// flat categorical protocol.
+///
+/// Observation: the taxonomy distance depends only on the depths of the
+/// two categories and of their lowest common ancestor, i.e. on *prefix
+/// agreement* of the root-to-node paths. If every path component is
+/// encrypted deterministically (position-bound, under the holders' shared
+/// key), the third party can compute the longest common token prefix — and
+/// hence the exact distance — while seeing only opaque tokens:
+///
+///   holder:  "flu/h5n1" -> [ Enc(0, "flu"), Enc(1, "flu/h5n1") ]
+///   TP:      lcp of token paths = depth of the LCA.
+///
+/// Like the flat protocol, what leaks to the TP beyond the distances is
+/// only the equality pattern of path prefixes (which is implied by the
+/// distances themselves); plaintext category names never leave a holder.
+class TaxonomyProtocol {
+ public:
+  /// One object's encrypted root-to-node path.
+  using TokenPath = std::vector<std::string>;
+
+  /// Data-holder side: encodes each categorical value as its encrypted
+  /// path. Tokens bind the level index so equal names at different depths
+  /// do not collide. The taxonomy structure itself is public (as are the
+  /// comparison functions in the paper); only the values are private.
+  static Result<std::vector<TokenPath>> EncryptColumn(
+      const std::vector<std::string>& values,
+      const CategoryTaxonomy& taxonomy,
+      const DeterministicEncryptor& encryptor);
+
+  /// Third-party side: merges per-holder token-path columns (in party
+  /// order) and builds the global dissimilarity matrix with the normalized
+  /// tree-path distance. `tree_height` is the public taxonomy height used
+  /// for normalization.
+  static Result<DissimilarityMatrix> BuildGlobalMatrix(
+      const std::vector<std::vector<TokenPath>>& token_columns,
+      size_t tree_height);
+
+  /// Reference (non-private) computation for tests: the same matrix from
+  /// plaintext values.
+  static Result<DissimilarityMatrix> PlaintextMatrix(
+      const std::vector<std::string>& merged_values,
+      const CategoryTaxonomy& taxonomy);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_TAXONOMY_PROTOCOL_H_

@@ -1,0 +1,516 @@
+#include "core/third_party.h"
+
+#include <algorithm>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmedoids.h"
+#include "cluster/quality.h"
+#include "common/serde.h"
+#include "core/alphanumeric_protocol.h"
+#include "core/categorical_protocol.h"
+#include "core/numeric_protocol.h"
+#include "core/topics.h"
+#include "crypto/bigint.h"
+#include "crypto/hmac.h"
+
+namespace ppc {
+
+namespace {
+
+std::string PairLabel(const std::string& a, const std::string& b) {
+  return a < b ? "pair:" + a + ":" + b : "pair:" + b + ":" + a;
+}
+
+std::string NumericLabel(size_t column, const std::string& initiator,
+                         const std::string& responder) {
+  return "num:" + std::to_string(column) + ":" + initiator + ":" + responder;
+}
+
+std::string AlnumLabel(size_t column, const std::string& initiator,
+                       const std::string& responder) {
+  return "alnum:" + std::to_string(column) + ":" + initiator + ":" +
+         responder;
+}
+
+}  // namespace
+
+ThirdParty::ThirdParty(std::string name, InMemoryNetwork* network,
+                       ProtocolConfig config, Schema schema,
+                       uint64_t entropy_seed)
+    : name_(std::move(name)),
+      network_(network),
+      config_(std::move(config)),
+      schema_(std::move(schema)),
+      real_codec_(
+          FixedPointCodec::Create(config_.real_decimal_digits).TakeValue()),
+      entropy_(MakePrng(PrngKind::kChaCha20, entropy_seed)) {
+  dh_keys_ = DiffieHellman::Generate(entropy_.get());
+}
+
+Status ThirdParty::ReceiveHellos(const std::vector<std::string>& holders) {
+  roster_.clear();
+  total_objects_ = 0;
+  for (const std::string& holder : holders) {
+    PPC_ASSIGN_OR_RETURN(Message msg,
+                         network_->Receive(name_, holder, topics::kHello));
+    ByteReader reader(msg.payload);
+    PPC_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+    PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+    RosterEntry entry;
+    entry.holder = holder;
+    entry.count = count;
+    entry.offset = total_objects_;
+    total_objects_ += count;
+    roster_.push_back(std::move(entry));
+  }
+  attribute_matrices_.assign(schema_.size(),
+                             DissimilarityMatrix(total_objects_));
+  normalized_ = false;
+  return Status::OK();
+}
+
+Status ThirdParty::BroadcastRoster() {
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(roster_.size()));
+  for (const RosterEntry& entry : roster_) {
+    writer.WriteBytes(entry.holder);
+    writer.WriteU64(entry.count);
+  }
+  std::string payload = writer.TakeBytes();
+  for (const RosterEntry& entry : roster_) {
+    PPC_RETURN_IF_ERROR(
+        network_->Send(name_, entry.holder, topics::kRoster, payload));
+  }
+  return Status::OK();
+}
+
+Status ThirdParty::SendDhPublic(const std::string& holder) {
+  ByteWriter writer;
+  writer.WriteBytes(bigint::ToBytes(dh_keys_.public_key));
+  return network_->Send(name_, holder, topics::kDhPublic, writer.TakeBytes());
+}
+
+Status ThirdParty::ReceiveDhPublicAndDerive(const std::string& holder) {
+  PPC_ASSIGN_OR_RETURN(Message msg,
+                       network_->Receive(name_, holder, topics::kDhPublic));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(std::string public_bytes, reader.ReadBytes());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+  mpz_class shared = DiffieHellman::SharedElement(
+      dh_keys_.private_key, bigint::FromBytes(public_bytes));
+  seeds_[holder] = DiffieHellman::DeriveSeed(shared, PairLabel(name_, holder));
+  return Status::OK();
+}
+
+Result<const ThirdParty::RosterEntry*> ThirdParty::FindRosterEntry(
+    const std::string& holder) const {
+  for (const RosterEntry& entry : roster_) {
+    if (entry.holder == holder) return &entry;
+  }
+  return Status::NotFound("holder '" + holder + "' not in roster");
+}
+
+Result<std::unique_ptr<Prng>> ThirdParty::HolderPrng(
+    const std::string& holder, const std::string& label) const {
+  auto it = seeds_.find(holder);
+  if (it == seeds_.end()) {
+    return Status::FailedPrecondition("no shared seed with '" + holder + "'");
+  }
+  return MakePrngFromKey(config_.prng_kind,
+                         HmacSha256::DeriveKey(it->second, label));
+}
+
+Status ThirdParty::ReceiveLocalMatrix(const std::string& holder) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* entry, FindRosterEntry(holder));
+  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, holder,
+                                                      topics::kLocalMatrix));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
+  PPC_ASSIGN_OR_RETURN(uint64_t n, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(std::vector<double> cells, reader.ReadF64Vector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  if (column >= schema_.size()) {
+    return Status::ProtocolViolation("local matrix for unknown attribute " +
+                                     std::to_string(column));
+  }
+  if (schema_.attribute(column).type == AttributeType::kCategorical) {
+    return Status::ProtocolViolation(
+        "categorical attributes have no local matrices");
+  }
+  if (n != entry->count) {
+    return Status::ProtocolViolation(
+        "local matrix has " + std::to_string(n) + " objects, roster says " +
+        std::to_string(entry->count));
+  }
+  PPC_ASSIGN_OR_RETURN(DissimilarityMatrix local,
+                       DissimilarityMatrix::FromPacked(n, std::move(cells)));
+
+  DissimilarityMatrix& global = attribute_matrices_[column];
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      global.set(entry->offset + i, entry->offset + j, local.at(i, j));
+    }
+  }
+  return Status::OK();
+}
+
+Status ThirdParty::ReceiveNumericComparison(const std::string& responder) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
+                       FindRosterEntry(responder));
+  PPC_ASSIGN_OR_RETURN(
+      Message msg,
+      network_->Receive(name_, responder, topics::kNumericComparison));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
+  PPC_ASSIGN_OR_RETURN(std::string initiator, reader.ReadBytes());
+  PPC_ASSIGN_OR_RETURN(uint8_t mode_tag, reader.ReadU8());
+  PPC_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(std::vector<uint64_t> cells, reader.ReadU64Vector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* initiator_entry,
+                       FindRosterEntry(initiator));
+  if (column >= schema_.size() ||
+      !IsNumericType(schema_.attribute(column).type)) {
+    return Status::ProtocolViolation("comparison matrix for non-numeric "
+                                     "attribute " + std::to_string(column));
+  }
+  if (rows != responder_entry->count || cols != initiator_entry->count) {
+    return Status::ProtocolViolation("comparison matrix shape mismatch");
+  }
+
+  const std::string label = NumericLabel(column, initiator, responder);
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                       HolderPrng(initiator, label));
+
+  std::vector<uint64_t> distances;
+  if (mode_tag == static_cast<uint8_t>(MaskingMode::kBatch)) {
+    PPC_ASSIGN_OR_RETURN(distances, NumericProtocol::RecoverDistances(
+                                        cells, rows, cols, rng_jt.get()));
+  } else if (mode_tag == static_cast<uint8_t>(MaskingMode::kPerPair)) {
+    PPC_ASSIGN_OR_RETURN(distances, NumericProtocol::RecoverDistancesPerPair(
+                                        cells, rows, cols, rng_jt.get()));
+  } else {
+    return Status::ProtocolViolation("unknown masking mode tag");
+  }
+
+  const bool is_real = schema_.attribute(column).type == AttributeType::kReal;
+  DissimilarityMatrix& global = attribute_matrices_[column];
+  for (uint64_t m = 0; m < rows; ++m) {
+    for (uint64_t n = 0; n < cols; ++n) {
+      double distance =
+          is_real
+              ? real_codec_.Decode(
+                    static_cast<int64_t>(distances[m * cols + n]))
+              : static_cast<double>(distances[m * cols + n]);
+      global.set(responder_entry->offset + m, initiator_entry->offset + n,
+                 distance);
+    }
+  }
+  return Status::OK();
+}
+
+Status ThirdParty::ReceiveAlphanumericGrids(const std::string& responder) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
+                       FindRosterEntry(responder));
+  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, responder,
+                                                      topics::kAlnumGrids));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
+  PPC_ASSIGN_OR_RETURN(std::string initiator, reader.ReadBytes());
+  PPC_ASSIGN_OR_RETURN(uint64_t responder_count, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t initiator_count, reader.ReadU64());
+
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* initiator_entry,
+                       FindRosterEntry(initiator));
+  if (column >= schema_.size() ||
+      schema_.attribute(column).type != AttributeType::kAlphanumeric) {
+    return Status::ProtocolViolation("grids for non-alphanumeric attribute " +
+                                     std::to_string(column));
+  }
+  if (responder_count != responder_entry->count ||
+      initiator_count != initiator_entry->count) {
+    return Status::ProtocolViolation("grid block shape mismatch");
+  }
+
+  std::vector<AlphanumericProtocol::MaskedGrid> grids;
+  grids.reserve(responder_count * initiator_count);
+  for (uint64_t g = 0; g < responder_count * initiator_count; ++g) {
+    AlphanumericProtocol::MaskedGrid grid;
+    PPC_ASSIGN_OR_RETURN(uint32_t rlen, reader.ReadU32());
+    PPC_ASSIGN_OR_RETURN(uint32_t ilen, reader.ReadU32());
+    PPC_ASSIGN_OR_RETURN(std::string cells, reader.ReadBytes());
+    if (cells.size() != size_t{rlen} * ilen) {
+      return Status::ProtocolViolation("grid cell count mismatch");
+    }
+    grid.responder_length = rlen;
+    grid.initiator_length = ilen;
+    grid.cells.assign(cells.begin(), cells.end());
+    grids.push_back(std::move(grid));
+  }
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  const std::string label = AlnumLabel(column, initiator, responder);
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                       HolderPrng(initiator, label));
+  PPC_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> distances,
+      AlphanumericProtocol::RecoverDistances(grids, responder_count,
+                                             initiator_count, config_.alphabet,
+                                             rng_jt.get()));
+
+  DissimilarityMatrix& global = attribute_matrices_[column];
+  for (uint64_t m = 0; m < responder_count; ++m) {
+    for (uint64_t n = 0; n < initiator_count; ++n) {
+      global.set(responder_entry->offset + m, initiator_entry->offset + n,
+                 static_cast<double>(distances[m * initiator_count + n]));
+    }
+  }
+  return Status::OK();
+}
+
+Status ThirdParty::ReceiveCategoricalTokens(const std::string& holder) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* entry, FindRosterEntry(holder));
+  PPC_ASSIGN_OR_RETURN(
+      Message msg,
+      network_->Receive(name_, holder, topics::kCategoricalTokens));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
+  PPC_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+
+  if (column >= schema_.size() ||
+      schema_.attribute(column).type != AttributeType::kCategorical) {
+    return Status::ProtocolViolation("tokens for non-categorical attribute " +
+                                     std::to_string(column));
+  }
+  const bool hierarchical =
+      config_.taxonomies.find(schema_.attribute(column).name) !=
+      config_.taxonomies.end();
+  if ((kind == 1) != hierarchical) {
+    return Status::ProtocolViolation(
+        "token kind disagrees with the agreed taxonomy configuration for "
+        "attribute " + std::to_string(column));
+  }
+  size_t position = static_cast<size_t>(entry - roster_.data());
+
+  if (kind == 0) {
+    PPC_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                         reader.ReadBytesVector());
+    PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+    if (tokens.size() != entry->count) {
+      return Status::ProtocolViolation("token column size mismatch");
+    }
+    auto [it, inserted] = categorical_tokens_.try_emplace(
+        column,
+        std::vector<std::optional<std::vector<std::string>>>(roster_.size()));
+    (void)inserted;
+    it->second[position] = std::move(tokens);
+    return Status::OK();
+  }
+
+  PPC_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (count != entry->count) {
+    return Status::ProtocolViolation("token path column size mismatch");
+  }
+  std::vector<TaxonomyProtocol::TokenPath> paths;
+  paths.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PPC_ASSIGN_OR_RETURN(TaxonomyProtocol::TokenPath path,
+                         reader.ReadBytesVector());
+    paths.push_back(std::move(path));
+  }
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+  auto [it, inserted] = taxonomy_tokens_.try_emplace(
+      column, std::vector<std::optional<std::vector<TaxonomyProtocol::TokenPath>>>(
+                  roster_.size()));
+  (void)inserted;
+  it->second[position] = std::move(paths);
+  return Status::OK();
+}
+
+Status ThirdParty::FinalizeCategorical(size_t column) {
+  auto hierarchical_it = taxonomy_tokens_.find(column);
+  if (hierarchical_it != taxonomy_tokens_.end()) {
+    std::vector<std::vector<TaxonomyProtocol::TokenPath>> columns;
+    columns.reserve(roster_.size());
+    for (size_t p = 0; p < roster_.size(); ++p) {
+      if (!hierarchical_it->second[p].has_value()) {
+        return Status::FailedPrecondition(
+            "holder '" + roster_[p].holder + "' has not sent token paths "
+            "for attribute " + std::to_string(column));
+      }
+      columns.push_back(*hierarchical_it->second[p]);
+    }
+    auto taxonomy_it =
+        config_.taxonomies.find(schema_.attribute(column).name);
+    if (taxonomy_it == config_.taxonomies.end()) {
+      return Status::Internal("taxonomy disappeared from config");
+    }
+    PPC_ASSIGN_OR_RETURN(
+        DissimilarityMatrix matrix,
+        TaxonomyProtocol::BuildGlobalMatrix(columns,
+                                            taxonomy_it->second.height()));
+    attribute_matrices_[column] = std::move(matrix);
+    return Status::OK();
+  }
+
+  auto it = categorical_tokens_.find(column);
+  if (it == categorical_tokens_.end()) {
+    return Status::FailedPrecondition("no tokens received for attribute " +
+                                      std::to_string(column));
+  }
+  std::vector<std::vector<std::string>> columns;
+  columns.reserve(roster_.size());
+  for (size_t p = 0; p < roster_.size(); ++p) {
+    if (!it->second[p].has_value()) {
+      return Status::FailedPrecondition(
+          "holder '" + roster_[p].holder + "' has not sent tokens for "
+          "attribute " + std::to_string(column));
+    }
+    columns.push_back(*it->second[p]);
+  }
+  PPC_ASSIGN_OR_RETURN(DissimilarityMatrix matrix,
+                       CategoricalProtocol::BuildGlobalMatrix(columns));
+  attribute_matrices_[column] = std::move(matrix);
+  return Status::OK();
+}
+
+Status ThirdParty::NormalizeMatrices() {
+  if (attribute_matrices_.empty()) {
+    return Status::FailedPrecondition("no matrices collected");
+  }
+  for (DissimilarityMatrix& matrix : attribute_matrices_) {
+    matrix.Normalize();
+  }
+  normalized_ = true;
+  return Status::OK();
+}
+
+Result<const DissimilarityMatrix*> ThirdParty::AttributeMatrixForTesting(
+    size_t column) const {
+  if (column >= attribute_matrices_.size()) {
+    return Status::OutOfRange("attribute out of range");
+  }
+  return &attribute_matrices_[column];
+}
+
+Result<DissimilarityMatrix> ThirdParty::MergedMatrixForTesting(
+    std::vector<double> weights) const {
+  if (weights.empty()) weights.assign(schema_.size(), 1.0);
+  std::vector<const DissimilarityMatrix*> pointers;
+  pointers.reserve(attribute_matrices_.size());
+  for (const DissimilarityMatrix& m : attribute_matrices_) {
+    pointers.push_back(&m);
+  }
+  return DissimilarityMatrix::WeightedMerge(pointers, weights);
+}
+
+ObjectRef ThirdParty::RefForGlobalIndex(size_t global_index) const {
+  ObjectRef ref;
+  ref.global_index = global_index;
+  for (const RosterEntry& entry : roster_) {
+    if (global_index >= entry.offset &&
+        global_index < entry.offset + entry.count) {
+      ref.party = entry.holder;
+      ref.local_index = global_index - entry.offset;
+      return ref;
+    }
+  }
+  ref.party = "?";
+  return ref;
+}
+
+Result<ClusteringOutcome> ThirdParty::RunClustering(
+    const ClusterRequest& request) {
+  if (!normalized_) {
+    return Status::FailedPrecondition("matrices not normalized yet");
+  }
+  if (!request.weights.empty() && request.weights.size() != schema_.size()) {
+    return Status::InvalidArgument("weight vector must have one entry per "
+                                   "attribute");
+  }
+  PPC_ASSIGN_OR_RETURN(DissimilarityMatrix merged,
+                       MergedMatrixForTesting(request.weights));
+
+  std::vector<int> labels;
+  switch (request.algorithm) {
+    case ClusterAlgorithm::kHierarchical: {
+      PPC_ASSIGN_OR_RETURN(Dendrogram dendrogram,
+                           Agglomerative::Run(merged, request.linkage));
+      PPC_ASSIGN_OR_RETURN(labels,
+                           dendrogram.CutToClusters(request.num_clusters));
+      break;
+    }
+    case ClusterAlgorithm::kKMedoids: {
+      KMedoids::Options options;
+      options.k = request.num_clusters;
+      PPC_ASSIGN_OR_RETURN(KMedoids::Assignment assignment,
+                           KMedoids::Run(merged, options, entropy_.get()));
+      labels = std::move(assignment.labels);
+      break;
+    }
+    case ClusterAlgorithm::kDbscan: {
+      Dbscan::Options options;
+      options.eps = request.dbscan_eps;
+      options.min_points = request.dbscan_min_points;
+      PPC_ASSIGN_OR_RETURN(labels, Dbscan::Run(merged, options));
+      break;
+    }
+  }
+
+  ClusteringOutcome outcome;
+  int max_label = -1;
+  for (int label : labels) max_label = std::max(max_label, label);
+  outcome.clusters.resize(static_cast<size_t>(max_label + 1));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ObjectRef ref = RefForGlobalIndex(i);
+    if (labels[i] < 0) {
+      outcome.noise.push_back(std::move(ref));
+    } else {
+      outcome.clusters[labels[i]].push_back(std::move(ref));
+    }
+  }
+
+  // Paper Sec. 5: publish per-cluster average of squared member distances.
+  outcome.within_cluster_mean_squared.reserve(outcome.clusters.size());
+  for (const auto& cluster : outcome.clusters) {
+    double sum = 0.0;
+    size_t pairs = 0;
+    for (size_t a = 1; a < cluster.size(); ++a) {
+      for (size_t b = 0; b < a; ++b) {
+        double d =
+            merged.at(cluster[a].global_index, cluster[b].global_index);
+        sum += d * d;
+        ++pairs;
+      }
+    }
+    outcome.within_cluster_mean_squared.push_back(
+        pairs == 0 ? 0.0 : sum / static_cast<double>(pairs));
+  }
+
+  if (outcome.clusters.size() >= 2 && outcome.noise.empty()) {
+    Result<double> silhouette = Quality::Silhouette(merged, labels);
+    outcome.silhouette = silhouette.ok() ? silhouette.value() : 0.0;
+  }
+  return outcome;
+}
+
+Status ThirdParty::ServeClusterRequest(const std::string& holder) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg,
+      network_->Receive(name_, holder, topics::kClusterRequest));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(ClusterRequest request,
+                       ClusterRequest::Deserialize(&reader));
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  PPC_ASSIGN_OR_RETURN(ClusteringOutcome outcome, RunClustering(request));
+  ByteWriter writer;
+  outcome.Serialize(&writer);
+  return network_->Send(name_, holder, topics::kClusterOutcome,
+                        writer.TakeBytes());
+}
+
+}  // namespace ppc

@@ -1,0 +1,139 @@
+#ifndef PPC_CORE_THIRD_PARTY_H_
+#define PPC_CORE_THIRD_PARTY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/result.h"
+#include "core/config.h"
+#include "core/outcome.h"
+#include "core/taxonomy_protocol.h"
+#include "crypto/diffie_hellman.h"
+#include "data/schema.h"
+#include "distance/dissimilarity_matrix.h"
+#include "net/network.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// The semi-trusted third party (paper Sec. 3): owns no data, but supplies
+/// computation and storage — it governs the protocol, assembles the global
+/// per-attribute dissimilarity matrices, clusters, and publishes results.
+///
+/// Honest-but-curious by assumption: it follows the protocol but remembers
+/// everything it sees; the comparison protocols are designed so that what it
+/// sees is only masked values and distances. The matrices it builds are kept
+/// private — data holders receive only `ClusteringOutcome`s ("dissimilarity
+/// matrices must be kept secret by the third party because data holder
+/// parties can use distance scores to infer private information").
+class ThirdParty {
+ public:
+  ThirdParty(std::string name, InMemoryNetwork* network, ProtocolConfig config,
+             Schema schema, uint64_t entropy_seed);
+
+  const std::string& name() const { return name_; }
+
+  /// Total objects across all holders (after ReceiveHellos).
+  size_t total_objects() const { return total_objects_; }
+
+  // -- Session setup ---------------------------------------------------------
+
+  /// Receives each holder's hello (object count), in the given order, which
+  /// becomes the global party order: holder h's object `i` has global index
+  /// offset(h) + i.
+  Status ReceiveHellos(const std::vector<std::string>& holders);
+
+  /// Sends every holder the roster (party order + object counts).
+  Status BroadcastRoster();
+
+  /// DH key agreement with a holder (derives the paper's rJT seed).
+  Status SendDhPublic(const std::string& holder);
+  Status ReceiveDhPublicAndDerive(const std::string& holder);
+
+  // -- Matrix collection (Fig. 11) -------------------------------------------
+
+  /// Receives one local dissimilarity matrix message (Fig. 12 output) from
+  /// `holder` and installs it on the diagonal block of the attribute matrix.
+  Status ReceiveLocalMatrix(const std::string& holder);
+
+  /// Receives a numeric comparison matrix (Fig. 5 output) from `responder`,
+  /// strips masks (Fig. 6) and fills the corresponding off-diagonal block.
+  Status ReceiveNumericComparison(const std::string& responder);
+
+  /// Receives alphanumeric masked grids (Fig. 9 output), decodes CCMs, runs
+  /// edit distance (Fig. 10), fills the off-diagonal block.
+  Status ReceiveAlphanumericGrids(const std::string& responder);
+
+  /// Receives one holder's deterministic tokens for categorical attribute
+  /// `column` (Sec. 4.3).
+  Status ReceiveCategoricalTokens(const std::string& holder);
+
+  /// Builds the global categorical matrix for `column` once every holder's
+  /// tokens are in.
+  Status FinalizeCategorical(size_t column);
+
+  /// Normalizes every attribute matrix into [0, 1] (Fig. 11 step 4). Call
+  /// once, after all collection steps.
+  Status NormalizeMatrices();
+
+  // -- Serving results -------------------------------------------------------
+
+  /// Receives one clustering order from `holder`, runs the requested
+  /// algorithm on the weighted merge of the attribute matrices, and sends
+  /// back the published outcome.
+  Status ServeClusterRequest(const std::string& holder);
+
+  // -- Experiment introspection ---------------------------------------------
+  // These cross the privacy boundary by design; they exist so tests and
+  // benchmarks can compare against centralized computation. A deployment
+  // would not expose them.
+
+  /// The (normalized, if NormalizeMatrices ran) matrix of attribute `column`.
+  Result<const DissimilarityMatrix*> AttributeMatrixForTesting(
+      size_t column) const;
+
+  /// The weighted merge the clustering step would use.
+  Result<DissimilarityMatrix> MergedMatrixForTesting(
+      std::vector<double> weights) const;
+
+ private:
+  struct RosterEntry {
+    std::string holder;
+    uint64_t count = 0;
+    uint64_t offset = 0;
+  };
+
+  Result<const RosterEntry*> FindRosterEntry(const std::string& holder) const;
+  Result<std::unique_ptr<Prng>> HolderPrng(const std::string& holder,
+                                           const std::string& label) const;
+  Result<ClusteringOutcome> RunClustering(const ClusterRequest& request);
+  ObjectRef RefForGlobalIndex(size_t global_index) const;
+
+  std::string name_;
+  InMemoryNetwork* network_;
+  ProtocolConfig config_;
+  Schema schema_;
+  FixedPointCodec real_codec_;
+  std::unique_ptr<Prng> entropy_;
+  DiffieHellman::KeyPair dh_keys_;
+  std::map<std::string, std::string> seeds_;  // holder -> rJT seed.
+  std::vector<RosterEntry> roster_;
+  size_t total_objects_ = 0;
+  std::vector<DissimilarityMatrix> attribute_matrices_;
+  // column -> per-roster-position token columns (nullopt until received).
+  std::map<size_t, std::vector<std::optional<std::vector<std::string>>>>
+      categorical_tokens_;
+  // Same, for hierarchical categorical attributes (encrypted path tokens).
+  std::map<size_t,
+           std::vector<std::optional<std::vector<TaxonomyProtocol::TokenPath>>>>
+      taxonomy_tokens_;
+  bool normalized_ = false;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_THIRD_PARTY_H_

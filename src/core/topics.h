@@ -1,0 +1,27 @@
+#ifndef PPC_CORE_TOPICS_H_
+#define PPC_CORE_TOPICS_H_
+
+namespace ppc {
+
+/// Message topics of the wire protocol, one per protocol step. Receivers
+/// pass the expected topic to `InMemoryNetwork::Receive`, so an out-of-step
+/// peer surfaces as a kProtocolViolation instead of a misparse.
+namespace topics {
+
+inline constexpr char kHello[] = "session.hello";
+inline constexpr char kRoster[] = "session.roster";
+inline constexpr char kDhPublic[] = "keys.dh_public";
+inline constexpr char kCategoricalKey[] = "keys.categorical";
+inline constexpr char kLocalMatrix[] = "matrix.local";
+inline constexpr char kNumericMasked[] = "numeric.masked_vector";
+inline constexpr char kNumericComparison[] = "numeric.comparison_matrix";
+inline constexpr char kAlnumMasked[] = "alphanumeric.masked_strings";
+inline constexpr char kAlnumGrids[] = "alphanumeric.masked_grids";
+inline constexpr char kCategoricalTokens[] = "categorical.tokens";
+inline constexpr char kClusterRequest[] = "cluster.request";
+inline constexpr char kClusterOutcome[] = "cluster.outcome";
+
+}  // namespace topics
+}  // namespace ppc
+
+#endif  // PPC_CORE_TOPICS_H_

@@ -1,0 +1,48 @@
+#ifndef PPC_CRYPTO_AES128_H_
+#define PPC_CRYPTO_AES128_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// AES-128 block cipher (FIPS 197), encrypt direction only — sufficient for
+/// CTR mode, which is what the secure-channel transport uses.
+class Aes128 {
+ public:
+  /// Expands a 16-byte key. Fails with kInvalidArgument on wrong key size.
+  static Result<Aes128> Create(const std::string& key);
+
+  /// Encrypts one 16-byte block `in` into `out` (may alias).
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+ private:
+  Aes128() = default;
+  std::array<std::array<uint8_t, 16>, 11> round_keys_;
+};
+
+/// AES-128-CTR keystream cipher.
+///
+/// Encryption and decryption are the same operation (XOR with the keystream
+/// generated from a per-message nonce). The secure channel pairs this with
+/// HMAC-SHA-256 in encrypt-then-MAC composition.
+class Aes128Ctr {
+ public:
+  /// `key` must be 16 bytes.
+  static Result<Aes128Ctr> Create(const std::string& key);
+
+  /// XORs `data` with the keystream for (`nonce`, counter=0...). `nonce`
+  /// must be 8 bytes; each message must use a fresh nonce under one key.
+  std::string Crypt(const std::string& nonce, const std::string& data) const;
+
+ private:
+  explicit Aes128Ctr(Aes128 cipher) : cipher_(std::move(cipher)) {}
+  Aes128 cipher_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CRYPTO_AES128_H_

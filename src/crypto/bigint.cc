@@ -1,0 +1,64 @@
+#include "crypto/bigint.h"
+
+#include <vector>
+
+namespace ppc {
+namespace bigint {
+
+std::string ToBytes(const mpz_class& value) {
+  if (value == 0) return std::string();
+  size_t count = 0;
+  // 1 byte words, big-endian word order.
+  void* raw = mpz_export(nullptr, &count, 1, 1, 1, 0, value.get_mpz_t());
+  std::string out(static_cast<char*>(raw), count);
+  void (*freefunc)(void*, size_t);
+  mp_get_memory_functions(nullptr, nullptr, &freefunc);
+  freefunc(raw, count);
+  return out;
+}
+
+mpz_class FromBytes(const std::string& bytes) {
+  mpz_class value;
+  if (!bytes.empty()) {
+    mpz_import(value.get_mpz_t(), bytes.size(), 1, 1, 1, 0, bytes.data());
+  }
+  return value;
+}
+
+mpz_class RandomBits(Prng* prng, size_t bits) {
+  mpz_class value = 0;
+  size_t words = (bits + 63) / 64;
+  for (size_t i = 0; i < words; ++i) {
+    value <<= 64;
+    mpz_class word;
+    // mpz_class has no direct uint64 constructor on all platforms; go via
+    // two 32-bit halves to stay portable.
+    uint64_t w = prng->Next();
+    word = static_cast<unsigned long>(w >> 32);
+    word <<= 32;
+    word += static_cast<unsigned long>(w & 0xffffffffull);
+    value += word;
+  }
+  // Trim to exactly `bits` and force the top bit.
+  mpz_class mask = (mpz_class(1) << bits) - 1;
+  value &= mask;
+  value |= mpz_class(1) << (bits - 1);
+  return value;
+}
+
+mpz_class RandomBelow(Prng* prng, const mpz_class& bound) {
+  if (bound <= 1) return 0;
+  size_t bits = mpz_sizeinbase(bound.get_mpz_t(), 2);
+  mpz_class wide = RandomBits(prng, bits + 64);
+  return wide % bound;
+}
+
+mpz_class RandomPrime(Prng* prng, size_t bits) {
+  mpz_class start = RandomBits(prng, bits);
+  mpz_class prime;
+  mpz_nextprime(prime.get_mpz_t(), start.get_mpz_t());
+  return prime;
+}
+
+}  // namespace bigint
+}  // namespace ppc

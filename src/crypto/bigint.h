@@ -1,0 +1,35 @@
+#ifndef PPC_CRYPTO_BIGINT_H_
+#define PPC_CRYPTO_BIGINT_H_
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <string>
+
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// Helpers bridging GMP big integers with the rest of the system.
+namespace bigint {
+
+/// Big-endian byte export (empty string encodes zero).
+std::string ToBytes(const mpz_class& value);
+
+/// Big-endian byte import.
+mpz_class FromBytes(const std::string& bytes);
+
+/// Uniform value in [0, bound) drawn from `prng` (rejection-free: draws
+/// bits(bound)+64 bits and reduces; bias < 2^-64).
+mpz_class RandomBelow(Prng* prng, const mpz_class& bound);
+
+/// Random `bits`-bit integer with the top bit set.
+mpz_class RandomBits(Prng* prng, size_t bits);
+
+/// Smallest probable prime >= a random `bits`-bit starting point.
+mpz_class RandomPrime(Prng* prng, size_t bits);
+
+}  // namespace bigint
+}  // namespace ppc
+
+#endif  // PPC_CRYPTO_BIGINT_H_

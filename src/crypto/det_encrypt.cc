@@ -1,0 +1,13 @@
+#include "crypto/det_encrypt.h"
+
+#include "crypto/hmac.h"
+
+namespace ppc {
+
+std::string DeterministicEncryptor::Encrypt(const std::string& plaintext) const {
+  std::string mac = HmacSha256::Mac(key_, "ppc-detenc:" + plaintext);
+  mac.resize(kTokenLength);
+  return mac;
+}
+
+}  // namespace ppc

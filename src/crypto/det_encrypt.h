@@ -1,0 +1,34 @@
+#ifndef PPC_CRYPTO_DET_ENCRYPT_H_
+#define PPC_CRYPTO_DET_ENCRYPT_H_
+
+#include <string>
+
+namespace ppc {
+
+/// Deterministic, equality-preserving encryption for categorical values
+/// (paper Sec. 4.3).
+///
+/// The data holders share `key`; the third party does not. Identical
+/// plaintexts map to identical tokens, so the third party can evaluate the
+/// categorical distance function (0 iff equal) on tokens alone, and — being
+/// non-colluding and keyless — learns only the equality pattern, exactly as
+/// the paper argues. Implemented as a PRF: token = HMAC-SHA-256(key,
+/// domain-separated plaintext), truncated to 16 bytes.
+class DeterministicEncryptor {
+ public:
+  /// `key` may be any byte string; it is conditioned through the PRF.
+  explicit DeterministicEncryptor(std::string key) : key_(std::move(key)) {}
+
+  /// Returns the 16-byte token for `plaintext`.
+  std::string Encrypt(const std::string& plaintext) const;
+
+  /// Token length in bytes.
+  static constexpr size_t kTokenLength = 16;
+
+ private:
+  std::string key_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CRYPTO_DET_ENCRYPT_H_

@@ -1,0 +1,60 @@
+#include "crypto/diffie_hellman.h"
+
+#include "crypto/bigint.h"
+#include "crypto/sha256.h"
+
+namespace ppc {
+
+namespace {
+// RFC 3526, group 14 (2048-bit MODP).
+const char kModp2048Hex[] =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF";
+}  // namespace
+
+const mpz_class& DiffieHellman::Modulus() {
+  static const mpz_class p(kModp2048Hex, 16);
+  return p;
+}
+
+const mpz_class& DiffieHellman::Generator() {
+  static const mpz_class g(2);
+  return g;
+}
+
+DiffieHellman::KeyPair DiffieHellman::Generate(Prng* prng) {
+  KeyPair pair;
+  pair.private_key = bigint::RandomBits(prng, 256);
+  mpz_powm(pair.public_key.get_mpz_t(), Generator().get_mpz_t(),
+           pair.private_key.get_mpz_t(), Modulus().get_mpz_t());
+  return pair;
+}
+
+mpz_class DiffieHellman::SharedElement(const mpz_class& private_key,
+                                       const mpz_class& peer_public) {
+  mpz_class shared;
+  mpz_powm(shared.get_mpz_t(), peer_public.get_mpz_t(),
+           private_key.get_mpz_t(), Modulus().get_mpz_t());
+  return shared;
+}
+
+std::string DiffieHellman::DeriveSeed(const mpz_class& shared_element,
+                                      const std::string& label) {
+  Sha256 hasher;
+  hasher.Update("ppc-dh-seed:");
+  hasher.Update(bigint::ToBytes(shared_element));
+  hasher.Update(":");
+  hasher.Update(label);
+  return hasher.Finish();
+}
+
+}  // namespace ppc

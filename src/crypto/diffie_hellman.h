@@ -1,0 +1,51 @@
+#ifndef PPC_CRYPTO_DIFFIE_HELLMAN_H_
+#define PPC_CRYPTO_DIFFIE_HELLMAN_H_
+
+#include <gmpxx.h>
+
+#include <string>
+
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// Finite-field Diffie-Hellman key agreement over the RFC 3526 2048-bit
+/// MODP group (generator 2).
+///
+/// The paper assumes each pair of parties "shares a secret number" used to
+/// seed their common pseudo-random generator. In this implementation the
+/// parties establish those secrets online: each sends a DH public value over
+/// the simulated network, computes the shared group element, and derives the
+/// seed as SHA-256(shared element ‖ context label). The third party observes
+/// only public values, so the DHJ↔DHK seed stays hidden from it — the
+/// property the protocol's sign-hiding relies on.
+class DiffieHellman {
+ public:
+  /// A private/public key pair in the group.
+  struct KeyPair {
+    mpz_class private_key;
+    mpz_class public_key;
+  };
+
+  /// Samples a key pair; `prng` supplies the private exponent (256 bits).
+  static KeyPair Generate(Prng* prng);
+
+  /// Computes the shared group element `peer_public ^ private mod p`.
+  static mpz_class SharedElement(const mpz_class& private_key,
+                                 const mpz_class& peer_public);
+
+  /// Derives a 32-byte seed from the shared element and a context label.
+  /// Both sides must pass the same label.
+  static std::string DeriveSeed(const mpz_class& shared_element,
+                                const std::string& label);
+
+  /// The group modulus (RFC 3526, 2048-bit MODP).
+  static const mpz_class& Modulus();
+
+  /// The generator (2).
+  static const mpz_class& Generator();
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CRYPTO_DIFFIE_HELLMAN_H_

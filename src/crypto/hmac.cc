@@ -1,0 +1,43 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace ppc {
+
+std::string HmacSha256::Mac(const std::string& key,
+                            const std::string& message) {
+  constexpr size_t kBlockSize = 64;
+  std::string k = key;
+  if (k.size() > kBlockSize) k = Sha256::Hash(k);
+  k.resize(kBlockSize, '\0');
+
+  std::string inner_pad(kBlockSize, '\0');
+  std::string outer_pad(kBlockSize, '\0');
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    inner_pad[i] = static_cast<char>(k[i] ^ 0x36);
+    outer_pad[i] = static_cast<char>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(inner_pad);
+  inner.Update(message);
+  std::string inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(outer_pad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+bool HmacSha256::Verify(const std::string& expected,
+                        const std::string& actual) {
+  if (expected.size() != actual.size()) return false;
+  unsigned char diff = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    diff |= static_cast<unsigned char>(expected[i]) ^
+            static_cast<unsigned char>(actual[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace ppc

@@ -1,0 +1,31 @@
+#ifndef PPC_CRYPTO_HMAC_H_
+#define PPC_CRYPTO_HMAC_H_
+
+#include <string>
+
+namespace ppc {
+
+/// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+///
+/// Serves three roles in the system: message authentication on secure
+/// channels, the PRF behind deterministic encryption of categorical values,
+/// and labeled key derivation from Diffie-Hellman shared secrets.
+class HmacSha256 {
+ public:
+  /// Computes HMAC-SHA-256(key, message); returns 32 raw bytes.
+  static std::string Mac(const std::string& key, const std::string& message);
+
+  /// Derives a labeled subkey: HMAC(key, label). Distinct labels yield
+  /// independent keys from one master secret.
+  static std::string DeriveKey(const std::string& master_key,
+                               const std::string& label) {
+    return Mac(master_key, "ppc-kdf:" + label);
+  }
+
+  /// Constant-time comparison of two MACs.
+  static bool Verify(const std::string& expected, const std::string& actual);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CRYPTO_HMAC_H_

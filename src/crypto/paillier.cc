@@ -1,0 +1,115 @@
+#include "crypto/paillier.h"
+
+#include "crypto/bigint.h"
+
+namespace ppc {
+
+PaillierPublicKey::PaillierPublicKey(mpz_class n)
+    : n_(std::move(n)), n_squared_(n_ * n_) {}
+
+mpz_class PaillierPublicKey::Encrypt(const mpz_class& message,
+                                     Prng* prng) const {
+  // r uniform in [1, n), coprime to n with overwhelming probability.
+  mpz_class r = bigint::RandomBelow(prng, n_ - 1) + 1;
+  mpz_class r_to_n;
+  mpz_powm(r_to_n.get_mpz_t(), r.get_mpz_t(), n_.get_mpz_t(),
+           n_squared_.get_mpz_t());
+  // (1 + m·n) · r^n mod n².
+  mpz_class c = (1 + message * n_) % n_squared_;
+  c = (c * r_to_n) % n_squared_;
+  return c;
+}
+
+mpz_class PaillierPublicKey::EncryptSigned(int64_t message,
+                                           Prng* prng) const {
+  mpz_class m;
+  if (message >= 0) {
+    m = static_cast<unsigned long>(static_cast<uint64_t>(message) >> 32);
+    m <<= 32;
+    m += static_cast<unsigned long>(static_cast<uint64_t>(message) &
+                                    0xffffffffull);
+  } else {
+    uint64_t mag = static_cast<uint64_t>(-(message + 1)) + 1;
+    m = static_cast<unsigned long>(mag >> 32);
+    m <<= 32;
+    m += static_cast<unsigned long>(mag & 0xffffffffull);
+    m = n_ - m;  // −|m| mod n.
+  }
+  return Encrypt(m, prng);
+}
+
+mpz_class PaillierPublicKey::Add(const mpz_class& a,
+                                 const mpz_class& b) const {
+  return (a * b) % n_squared_;
+}
+
+mpz_class PaillierPublicKey::MulPlain(const mpz_class& c,
+                                      const mpz_class& k) const {
+  mpz_class exponent = k % n_;
+  if (exponent < 0) exponent += n_;
+  mpz_class out;
+  mpz_powm(out.get_mpz_t(), c.get_mpz_t(), exponent.get_mpz_t(),
+           n_squared_.get_mpz_t());
+  return out;
+}
+
+mpz_class PaillierPublicKey::Negate(const mpz_class& c) const {
+  return MulPlain(c, n_ - 1);
+}
+
+size_t PaillierPublicKey::CiphertextBytes() const {
+  return (mpz_sizeinbase(n_squared_.get_mpz_t(), 2) + 7) / 8;
+}
+
+PaillierPrivateKey::PaillierPrivateKey(mpz_class lambda, mpz_class mu,
+                                       PaillierPublicKey pub)
+    : lambda_(std::move(lambda)), mu_(std::move(mu)), public_(std::move(pub)) {}
+
+mpz_class PaillierPrivateKey::Decrypt(const mpz_class& ciphertext) const {
+  const mpz_class& n = public_.n();
+  const mpz_class& n2 = public_.n_squared();
+  mpz_class u;
+  mpz_powm(u.get_mpz_t(), ciphertext.get_mpz_t(), lambda_.get_mpz_t(),
+           n2.get_mpz_t());
+  mpz_class l = (u - 1) / n;
+  return (l * mu_) % n;
+}
+
+mpz_class PaillierPrivateKey::DecryptSigned(const mpz_class& ciphertext) const {
+  mpz_class m = Decrypt(ciphertext);
+  const mpz_class& n = public_.n();
+  if (m > n / 2) m -= n;
+  return m;
+}
+
+Result<PaillierKeyPair> GeneratePaillierKeyPair(size_t modulus_bits,
+                                                Prng* prng) {
+  if (modulus_bits < 64) {
+    return Status::InvalidArgument(
+        "Paillier modulus must be at least 64 bits");
+  }
+  mpz_class p, q, n;
+  do {
+    p = bigint::RandomPrime(prng, modulus_bits / 2);
+    q = bigint::RandomPrime(prng, modulus_bits / 2);
+    n = p * q;
+  } while (p == q);
+
+  mpz_class p1 = p - 1;
+  mpz_class q1 = q - 1;
+  mpz_class lambda;
+  mpz_lcm(lambda.get_mpz_t(), p1.get_mpz_t(), q1.get_mpz_t());
+
+  // With g = n+1: mu = lambda^{-1} mod n (lambda is coprime to n).
+  mpz_class mu;
+  if (mpz_invert(mu.get_mpz_t(), lambda.get_mpz_t(), n.get_mpz_t()) == 0) {
+    return Status::Internal("lambda not invertible mod n (degenerate primes)");
+  }
+
+  PaillierKeyPair pair;
+  pair.public_key = PaillierPublicKey(n);
+  pair.private_key = PaillierPrivateKey(lambda, mu, pair.public_key);
+  return pair;
+}
+
+}  // namespace ppc

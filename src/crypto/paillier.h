@@ -1,0 +1,89 @@
+#ifndef PPC_CRYPTO_PAILLIER_H_
+#define PPC_CRYPTO_PAILLIER_H_
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// Paillier additively homomorphic cryptosystem (from scratch, on GMP).
+///
+/// This is the substrate for the homomorphic *baseline* protocols (DESIGN.md
+/// experiment E13): the paper motivates its masking design by the
+/// communication cost of cryptographic alternatives such as Atallah et
+/// al.'s secure sequence comparison; the baselines quantify that gap.
+///
+/// Standard simplified parameterization: g = n + 1, so
+///   Enc(m; r) = (1 + m·n) · r^n mod n²,
+///   Dec(c)    = L(c^λ mod n²) · λ⁻¹ mod n, with L(u) = (u − 1)/n.
+class PaillierPublicKey {
+ public:
+  PaillierPublicKey() = default;
+  explicit PaillierPublicKey(mpz_class n);
+
+  /// Encrypts a non-negative message < n. `prng` supplies the blinding r.
+  mpz_class Encrypt(const mpz_class& message, Prng* prng) const;
+
+  /// Encrypts a signed 64-bit value (negatives wrap mod n).
+  mpz_class EncryptSigned(int64_t message, Prng* prng) const;
+
+  /// Homomorphic addition: Dec(Add(a, b)) = Dec(a) + Dec(b) mod n.
+  mpz_class Add(const mpz_class& a, const mpz_class& b) const;
+
+  /// Homomorphic plaintext multiply: Dec(Mul(c, k)) = k·Dec(c) mod n.
+  mpz_class MulPlain(const mpz_class& c, const mpz_class& k) const;
+
+  /// Homomorphic negation.
+  mpz_class Negate(const mpz_class& c) const;
+
+  const mpz_class& n() const { return n_; }
+  const mpz_class& n_squared() const { return n_squared_; }
+
+  /// Ciphertext size in bytes (what a wire transfer would cost).
+  size_t CiphertextBytes() const;
+
+ private:
+  mpz_class n_;
+  mpz_class n_squared_;
+};
+
+/// Private key half of the Paillier scheme.
+class PaillierPrivateKey {
+ public:
+  PaillierPrivateKey() = default;
+  PaillierPrivateKey(mpz_class lambda, mpz_class mu, PaillierPublicKey pub);
+
+  /// Decrypts to the canonical representative in [0, n).
+  mpz_class Decrypt(const mpz_class& ciphertext) const;
+
+  /// Decrypts and maps the result into (−n/2, n/2] as a signed value.
+  mpz_class DecryptSigned(const mpz_class& ciphertext) const;
+
+  const PaillierPublicKey& public_key() const { return public_; }
+
+ private:
+  mpz_class lambda_;
+  mpz_class mu_;
+  PaillierPublicKey public_;
+};
+
+/// Key pair container.
+struct PaillierKeyPair {
+  PaillierPublicKey public_key;
+  PaillierPrivateKey private_key;
+};
+
+/// Generates a key pair with an n of roughly `modulus_bits` bits.
+/// `modulus_bits` must be >= 64. Key generation is deterministic in `prng`.
+Result<PaillierKeyPair> GeneratePaillierKeyPair(size_t modulus_bits,
+                                                Prng* prng);
+
+}  // namespace ppc
+
+#endif  // PPC_CRYPTO_PAILLIER_H_

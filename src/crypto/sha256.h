@@ -1,0 +1,46 @@
+#ifndef PPC_CRYPTO_SHA256_H_
+#define PPC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ppc {
+
+/// Incremental SHA-256 (FIPS 180-4), implemented from scratch.
+///
+/// Used for key derivation (hashing Diffie-Hellman shared secrets into PRNG
+/// seeds), HMAC, and the deterministic encryption of categorical values.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Clears all state, ready to hash a new message.
+  void Reset();
+
+  /// Absorbs `data`.
+  void Update(const void* data, size_t length);
+  void Update(const std::string& data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must be Reset()
+  /// before reuse.
+  std::string Finish();
+
+  /// One-shot convenience: SHA-256 of `data` as 32 raw bytes.
+  static std::string Hash(const std::string& data);
+
+  /// One-shot digest rendered as lowercase hex (for tests/logging).
+  static std::string HexDigest(const std::string& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t bit_count_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CRYPTO_SHA256_H_

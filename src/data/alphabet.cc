@@ -1,0 +1,75 @@
+#include "data/alphabet.h"
+
+namespace ppc {
+
+Alphabet::Alphabet(std::string symbols) : symbols_(std::move(symbols)) {
+  index_of_.fill(-1);
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    index_of_[static_cast<unsigned char>(symbols_[i])] =
+        static_cast<int16_t>(i);
+  }
+}
+
+Result<Alphabet> Alphabet::Create(const std::string& symbols) {
+  if (symbols.empty()) {
+    return Status::InvalidArgument("alphabet must be non-empty");
+  }
+  if (symbols.size() > 255) {
+    return Status::InvalidArgument("alphabet too large (max 255 symbols)");
+  }
+  std::array<bool, 256> seen{};
+  for (char c : symbols) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (seen[uc]) {
+      return Status::InvalidArgument(
+          std::string("duplicate alphabet symbol '") + c + "'");
+    }
+    seen[uc] = true;
+  }
+  return Alphabet(symbols);
+}
+
+Alphabet Alphabet::Dna() { return Alphabet("ACGT"); }
+
+Alphabet Alphabet::LowercaseAscii() {
+  return Alphabet("abcdefghijklmnopqrstuvwxyz");
+}
+
+Alphabet Alphabet::AlphanumericLower() {
+  return Alphabet("abcdefghijklmnopqrstuvwxyz0123456789 ");
+}
+
+Result<uint8_t> Alphabet::IndexOf(char symbol) const {
+  int16_t index = index_of_[static_cast<unsigned char>(symbol)];
+  if (index < 0) {
+    return Status::InvalidArgument(std::string("symbol '") + symbol +
+                                   "' not in alphabet");
+  }
+  return static_cast<uint8_t>(index);
+}
+
+Result<std::vector<uint8_t>> Alphabet::Encode(const std::string& text) const {
+  std::vector<uint8_t> out;
+  out.reserve(text.size());
+  for (char c : text) {
+    PPC_ASSIGN_OR_RETURN(uint8_t index, IndexOf(c));
+    out.push_back(index);
+  }
+  return out;
+}
+
+Result<std::string> Alphabet::Decode(
+    const std::vector<uint8_t>& indices) const {
+  std::string out;
+  out.reserve(indices.size());
+  for (uint8_t index : indices) {
+    if (index >= symbols_.size()) {
+      return Status::OutOfRange("symbol index " + std::to_string(index) +
+                                " out of alphabet range");
+    }
+    out.push_back(symbols_[index]);
+  }
+  return out;
+}
+
+}  // namespace ppc

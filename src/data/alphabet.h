@@ -1,0 +1,77 @@
+#ifndef PPC_DATA_ALPHABET_H_
+#define PPC_DATA_ALPHABET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// A finite, ordered symbol alphabet for alphanumeric attributes.
+///
+/// The paper's alphanumeric protocol masks characters by *modular addition
+/// over the alphabet size* ("addition of a random number and a character is
+/// another alphabet character"), so every string entering the protocol must
+/// come from a declared finite alphabet. An `Alphabet` maps symbols to
+/// indices in [0, size) and back.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Creates an alphabet from the distinct characters of `symbols`, in
+  /// order. Fails on duplicates or empty input.
+  static Result<Alphabet> Create(const std::string& symbols);
+
+  /// {A, C, G, T} — the bioinformatics alphabet of the paper's motivating
+  /// bird-flu scenario.
+  static Alphabet Dna();
+
+  /// {a..z}.
+  static Alphabet LowercaseAscii();
+
+  /// {a..z, 0..9, space} — a practical identifier alphabet for record
+  /// linkage on names/addresses.
+  static Alphabet AlphanumericLower();
+
+  size_t size() const { return symbols_.size(); }
+
+  /// The symbol at index `i` (i < size()).
+  char SymbolAt(size_t i) const { return symbols_[i]; }
+
+  /// Index of `symbol`, or kNotFound if outside the alphabet.
+  Result<uint8_t> IndexOf(char symbol) const;
+
+  /// Encodes `text` to symbol indices; fails on out-of-alphabet characters.
+  Result<std::vector<uint8_t>> Encode(const std::string& text) const;
+
+  /// Decodes indices back to text; fails on out-of-range indices.
+  Result<std::string> Decode(const std::vector<uint8_t>& indices) const;
+
+  /// (a + b) mod size — the protocol's masking operation.
+  uint8_t AddMod(uint8_t a, uint8_t b) const {
+    return static_cast<uint8_t>((a + b) % symbols_.size());
+  }
+
+  /// (a - b) mod size — the protocol's unmasking operation.
+  uint8_t SubMod(uint8_t a, uint8_t b) const {
+    size_t n = symbols_.size();
+    return static_cast<uint8_t>((a + n - b % n) % n);
+  }
+
+  friend bool operator==(const Alphabet& a, const Alphabet& b) {
+    return a.symbols_ == b.symbols_;
+  }
+
+ private:
+  explicit Alphabet(std::string symbols);
+
+  std::string symbols_;
+  std::array<int16_t, 256> index_of_;  // -1 where absent.
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_ALPHABET_H_

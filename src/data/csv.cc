@@ -1,0 +1,142 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ppc {
+
+namespace {
+
+Result<AttributeType> ParseType(const std::string& name) {
+  if (name == "integer") return AttributeType::kInteger;
+  if (name == "real") return AttributeType::kReal;
+  if (name == "categorical") return AttributeType::kCategorical;
+  if (name == "alphanumeric") return AttributeType::kAlphanumeric;
+  return Status::InvalidArgument("unknown attribute type '" + name + "'");
+}
+
+Result<Value> ParseValue(const std::string& field, AttributeType type) {
+  switch (type) {
+    case AttributeType::kInteger: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer field '" + field + "'");
+      }
+      return Value::Integer(v);
+    }
+    case AttributeType::kReal: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad real field '" + field + "'");
+      }
+      return Value::Real(v);
+    }
+    case AttributeType::kCategorical:
+      return Value::Categorical(field);
+    case AttributeType::kAlphanumeric:
+      return Value::Alphanumeric(field);
+  }
+  return Status::Internal("unreachable attribute type");
+}
+
+}  // namespace
+
+Result<std::string> Csv::Serialize(const DataMatrix& matrix) {
+  std::string out;
+  const Schema& schema = matrix.schema();
+  std::vector<std::string> header;
+  header.reserve(schema.size());
+  for (const AttributeSpec& spec : schema.attributes()) {
+    header.push_back(spec.name + ":" + AttributeTypeToString(spec.type));
+  }
+  out += JoinStrings(header, ",");
+  out += "\n";
+
+  for (size_t r = 0; r < matrix.NumRows(); ++r) {
+    std::vector<std::string> fields;
+    fields.reserve(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      std::string field = matrix.at(r, c).ToString();
+      if (field.find(',') != std::string::npos ||
+          field.find('\n') != std::string::npos) {
+        return Status::InvalidArgument(
+            "field contains a comma or newline at row " + std::to_string(r));
+      }
+      fields.push_back(std::move(field));
+    }
+    out += JoinStrings(fields, ",");
+    out += "\n";
+  }
+  return out;
+}
+
+Result<DataMatrix> Csv::Parse(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+
+  std::vector<AttributeSpec> specs;
+  for (const std::string& column : SplitString(TrimString(line), ',')) {
+    size_t colon = column.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("header column '" + column +
+                                     "' missing ':type'");
+    }
+    PPC_ASSIGN_OR_RETURN(AttributeType type, ParseType(column.substr(colon + 1)));
+    specs.push_back({column.substr(0, colon), type});
+  }
+  PPC_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(specs)));
+  DataMatrix matrix(schema);
+
+  size_t line_number = 1;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string trimmed = TrimString(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = SplitString(trimmed, ',');
+    if (fields.size() != schema.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      PPC_ASSIGN_OR_RETURN(Value v,
+                           ParseValue(fields[c], schema.attribute(c).type));
+      row.push_back(std::move(v));
+    }
+    PPC_RETURN_IF_ERROR(matrix.AppendRow(std::move(row)));
+  }
+  return matrix;
+}
+
+Status Csv::WriteFile(const std::string& path, const DataMatrix& matrix) {
+  PPC_ASSIGN_OR_RETURN(std::string text, Serialize(matrix));
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open '" + path + "' for writing");
+  file << text;
+  if (!file.good()) return Status::DataLoss("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<DataMatrix> Csv::ReadFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Parse(buffer.str());
+}
+
+}  // namespace ppc

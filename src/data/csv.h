@@ -1,0 +1,33 @@
+#ifndef PPC_DATA_CSV_H_
+#define PPC_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/data_matrix.h"
+
+namespace ppc {
+
+/// Minimal CSV persistence for `DataMatrix`.
+///
+/// Format: a header line of `name:type` declarations, then one line per
+/// object. Fields must not contain commas or newlines (checked on write,
+/// fields are trusted data-holder local files, not adversarial input).
+class Csv {
+ public:
+  /// Serializes `matrix` to CSV text.
+  static Result<std::string> Serialize(const DataMatrix& matrix);
+
+  /// Parses CSV text produced by `Serialize` (or written by hand).
+  static Result<DataMatrix> Parse(const std::string& text);
+
+  /// Writes `matrix` to `path`.
+  static Status WriteFile(const std::string& path, const DataMatrix& matrix);
+
+  /// Reads a matrix from `path`.
+  static Result<DataMatrix> ReadFile(const std::string& path);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_CSV_H_

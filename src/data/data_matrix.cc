@@ -1,0 +1,98 @@
+#include "data/data_matrix.h"
+
+namespace ppc {
+
+DataMatrix::DataMatrix(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.size());
+}
+
+Status DataMatrix::AppendRow(std::vector<Value> row) {
+  PPC_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].push_back(std::move(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<Value> DataMatrix::At(size_t row, size_t column) const {
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
+  }
+  if (row >= num_rows_) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  return columns_[column][row];
+}
+
+Result<std::vector<Value>> DataMatrix::Column(size_t column) const {
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
+  }
+  return columns_[column];
+}
+
+Result<std::vector<int64_t>> DataMatrix::IntegerColumn(size_t column) const {
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
+  }
+  if (schema_.attribute(column).type != AttributeType::kInteger) {
+    return Status::InvalidArgument("attribute '" +
+                                   schema_.attribute(column).name +
+                                   "' is not integer typed");
+  }
+  std::vector<int64_t> out;
+  out.reserve(num_rows_);
+  for (const Value& v : columns_[column]) out.push_back(v.AsInteger());
+  return out;
+}
+
+Result<std::vector<double>> DataMatrix::RealColumn(size_t column) const {
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
+  }
+  if (schema_.attribute(column).type != AttributeType::kReal) {
+    return Status::InvalidArgument("attribute '" +
+                                   schema_.attribute(column).name +
+                                   "' is not real typed");
+  }
+  std::vector<double> out;
+  out.reserve(num_rows_);
+  for (const Value& v : columns_[column]) out.push_back(v.AsReal());
+  return out;
+}
+
+Result<std::vector<std::string>> DataMatrix::StringColumn(
+    size_t column) const {
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
+  }
+  AttributeType type = schema_.attribute(column).type;
+  if (type != AttributeType::kCategorical &&
+      type != AttributeType::kAlphanumeric) {
+    return Status::InvalidArgument("attribute '" +
+                                   schema_.attribute(column).name +
+                                   "' is not string typed");
+  }
+  std::vector<std::string> out;
+  out.reserve(num_rows_);
+  for (const Value& v : columns_[column]) out.push_back(v.AsString());
+  return out;
+}
+
+Result<std::vector<Value>> DataMatrix::Row(size_t row) const {
+  if (row >= num_rows_) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& column : columns_) out.push_back(column[row]);
+  return out;
+}
+
+}  // namespace ppc

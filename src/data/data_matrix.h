@@ -1,0 +1,65 @@
+#ifndef PPC_DATA_DATA_MATRIX_H_
+#define PPC_DATA_DATA_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace ppc {
+
+/// An object-by-variable table (paper Sec. 2.1, Fig. 1): row `i` holds the
+/// attribute values of object `i` under a fixed `Schema`.
+///
+/// Storage is column-major because the protocols consume whole columns
+/// ("local data matrices are usually accessed in columns, denoted as Di").
+/// `DataMatrix` is *not* normalized — the paper normalizes the dissimilarity
+/// matrix instead, precisely to avoid a secure global min/max protocol.
+class DataMatrix {
+ public:
+  DataMatrix() = default;
+
+  /// Creates an empty matrix with the given schema.
+  explicit DataMatrix(Schema schema);
+
+  /// Appends one object; the row must match the schema.
+  Status AppendRow(std::vector<Value> row);
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return schema_.size(); }
+  const Schema& schema() const { return schema_; }
+
+  /// The value at (`row`, `column`); bounds-checked.
+  Result<Value> At(size_t row, size_t column) const;
+
+  /// Unchecked accessor for hot paths; requires valid indices.
+  const Value& at(size_t row, size_t column) const {
+    return columns_[column][row];
+  }
+
+  /// The full column `column` (a `Di` vector in the paper's notation).
+  Result<std::vector<Value>> Column(size_t column) const;
+
+  /// Column as int64 payloads. Requires an integer attribute.
+  Result<std::vector<int64_t>> IntegerColumn(size_t column) const;
+
+  /// Column as double payloads. Requires a real attribute.
+  Result<std::vector<double>> RealColumn(size_t column) const;
+
+  /// Column as string payloads. Requires categorical or alphanumeric.
+  Result<std::vector<std::string>> StringColumn(size_t column) const;
+
+  /// Reconstructs row `row` across all columns.
+  Result<std::vector<Value>> Row(size_t row) const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_DATA_MATRIX_H_

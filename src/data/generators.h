@@ -1,0 +1,101 @@
+#ifndef PPC_DATA_GENERATORS_H_
+#define PPC_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/alphabet.h"
+#include "data/data_matrix.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// A data matrix together with the ground-truth cluster label of each row.
+/// Labels never enter the protocols; they exist so experiments can score
+/// clustering quality against the generating process.
+struct LabeledDataset {
+  DataMatrix data;
+  std::vector<int> labels;
+};
+
+/// Synthetic workload generators standing in for the private datasets the
+/// paper cannot publish (DESIGN.md substitution table). All generators are
+/// deterministic functions of the supplied `Prng`.
+class Generators {
+ public:
+  /// Spec of one Gaussian cluster in d dimensions.
+  struct GaussianCluster {
+    std::vector<double> center;
+    double stddev = 1.0;
+    double weight = 1.0;  // Relative share of objects.
+  };
+
+  /// `n` objects from a mixture of Gaussian blobs; one real attribute per
+  /// dimension, named dim0..dim{d-1}.
+  static Result<LabeledDataset> GaussianMixture(
+      size_t n, const std::vector<GaussianCluster>& clusters, Prng* prng);
+
+  /// Parameters of the DNA workload: per-cluster random ancestor sequences
+  /// with point mutations and indels applied per object — the paper's
+  /// "institutions gathering DNA data of individuals infected with bird
+  /// flu" scenario.
+  struct DnaOptions {
+    size_t num_clusters = 3;
+    size_t ancestor_length = 60;
+    double substitution_rate = 0.05;
+    double indel_rate = 0.02;
+  };
+
+  /// `n` objects with a single alphanumeric attribute "dna" over the
+  /// {A,C,G,T} alphabet.
+  static Result<LabeledDataset> DnaSequences(size_t n, const DnaOptions& options,
+                                             Prng* prng);
+
+  /// Parameters of the categorical workload: each cluster has a preferred
+  /// symbol per attribute; objects deviate to a uniform symbol with
+  /// probability `noise`.
+  struct CategoricalOptions {
+    size_t num_clusters = 3;
+    size_t num_attributes = 2;
+    size_t domain_size = 5;
+    double noise = 0.1;
+  };
+
+  /// `n` objects with categorical attributes cat0..cat{a-1}.
+  static Result<LabeledDataset> CategoricalClusters(
+      size_t n, const CategoricalOptions& options, Prng* prng);
+
+  /// Mixed-type workload: `numeric_dims` real attributes (Gaussian blobs),
+  /// one categorical attribute, and one alphanumeric attribute over `alphabet`
+  /// — exercises all three comparison protocols at once.
+  struct MixedOptions {
+    size_t num_clusters = 3;
+    size_t numeric_dims = 2;
+    double cluster_spread = 1.0;
+    double center_spacing = 8.0;
+    size_t string_length = 12;
+    double string_mutation_rate = 0.08;
+    size_t categorical_domain = 4;
+    double categorical_noise = 0.1;
+  };
+
+  static Result<LabeledDataset> MixedClusters(size_t n,
+                                              const MixedOptions& options,
+                                              const Alphabet& alphabet,
+                                              Prng* prng);
+
+  /// A uniformly random string of length `length` over `alphabet`.
+  static std::string RandomString(size_t length, const Alphabet& alphabet,
+                                  Prng* prng);
+
+  /// Applies point mutations (rate per symbol) and indels to `sequence`.
+  static std::string Mutate(const std::string& sequence,
+                            const Alphabet& alphabet, double substitution_rate,
+                            double indel_rate, Prng* prng);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_GENERATORS_H_

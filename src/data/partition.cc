@@ -1,0 +1,111 @@
+#include "data/partition.h"
+
+#include <cmath>
+
+namespace ppc {
+
+namespace {
+
+Result<std::vector<LabeledDataset>> SplitByAssignment(
+    const LabeledDataset& dataset, const std::vector<size_t>& assignment,
+    size_t num_parties) {
+  std::vector<LabeledDataset> parts;
+  parts.reserve(num_parties);
+  for (size_t p = 0; p < num_parties; ++p) {
+    parts.push_back({DataMatrix(dataset.data.schema()), {}});
+  }
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    size_t p = assignment[i];
+    PPC_ASSIGN_OR_RETURN(std::vector<Value> row, dataset.data.Row(i));
+    PPC_RETURN_IF_ERROR(parts[p].data.AppendRow(std::move(row)));
+    parts[p].labels.push_back(dataset.labels[i]);
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<std::vector<LabeledDataset>> Partitioner::RoundRobin(
+    const LabeledDataset& dataset, size_t num_parties) {
+  if (num_parties == 0) {
+    return Status::InvalidArgument("num_parties must be positive");
+  }
+  if (dataset.labels.size() != dataset.data.NumRows()) {
+    return Status::InvalidArgument("labels/rows size mismatch");
+  }
+  std::vector<size_t> assignment(dataset.data.NumRows());
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = i % num_parties;
+  }
+  return SplitByAssignment(dataset, assignment, num_parties);
+}
+
+Result<std::vector<LabeledDataset>> Partitioner::Random(
+    const LabeledDataset& dataset, size_t num_parties, Prng* prng) {
+  if (num_parties == 0) {
+    return Status::InvalidArgument("num_parties must be positive");
+  }
+  size_t n = dataset.data.NumRows();
+  if (dataset.labels.size() != n) {
+    return Status::InvalidArgument("labels/rows size mismatch");
+  }
+  std::vector<size_t> assignment(n);
+  for (size_t i = 0; i < n; ++i) {
+    assignment[i] = static_cast<size_t>(prng->NextBounded(num_parties));
+  }
+  // Guarantee non-empty partitions when possible: claim one distinct row
+  // per party.
+  if (n >= num_parties) {
+    for (size_t p = 0; p < num_parties; ++p) assignment[p] = p;
+  }
+  return SplitByAssignment(dataset, assignment, num_parties);
+}
+
+Result<std::vector<LabeledDataset>> Partitioner::ByFractions(
+    const LabeledDataset& dataset, const std::vector<double>& fractions) {
+  if (fractions.empty()) {
+    return Status::InvalidArgument("need at least one fraction");
+  }
+  double total = 0.0;
+  for (double f : fractions) {
+    if (f < 0.0) return Status::InvalidArgument("fractions must be >= 0");
+    total += f;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("fractions must sum to 1");
+  }
+  size_t n = dataset.data.NumRows();
+  std::vector<size_t> assignment(n);
+  size_t start = 0;
+  for (size_t p = 0; p < fractions.size(); ++p) {
+    size_t count = (p + 1 == fractions.size())
+                       ? n - start
+                       : static_cast<size_t>(std::llround(n * fractions[p]));
+    for (size_t i = 0; i < count && start < n; ++i, ++start) {
+      assignment[start] = p;
+    }
+  }
+  return SplitByAssignment(dataset, assignment, fractions.size());
+}
+
+Result<LabeledDataset> Partitioner::Concatenate(
+    const std::vector<LabeledDataset>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  LabeledDataset out{DataMatrix(parts[0].data.schema()), {}};
+  for (const LabeledDataset& part : parts) {
+    if (!(part.data.schema() == out.data.schema())) {
+      return Status::InvalidArgument("partitions disagree on schema");
+    }
+    for (size_t i = 0; i < part.data.NumRows(); ++i) {
+      PPC_ASSIGN_OR_RETURN(std::vector<Value> row, part.data.Row(i));
+      PPC_RETURN_IF_ERROR(out.data.AppendRow(std::move(row)));
+    }
+    out.labels.insert(out.labels.end(), part.labels.begin(),
+                      part.labels.end());
+  }
+  return out;
+}
+
+}  // namespace ppc

@@ -1,0 +1,39 @@
+#ifndef PPC_DATA_PARTITION_H_
+#define PPC_DATA_PARTITION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/generators.h"
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// Splits datasets into horizontal partitions — the deployment setting of
+/// the paper: "Data matrix D is said to be horizontally partitioned if rows
+/// of D are distributed among different parties."
+class Partitioner {
+ public:
+  /// Deals rows to `num_parties` partitions round-robin (deterministic).
+  static Result<std::vector<LabeledDataset>> RoundRobin(
+      const LabeledDataset& dataset, size_t num_parties);
+
+  /// Assigns each row to a uniformly random partition; guarantees every
+  /// partition receives at least one row when n >= num_parties.
+  static Result<std::vector<LabeledDataset>> Random(
+      const LabeledDataset& dataset, size_t num_parties, Prng* prng);
+
+  /// Splits by explicit fractional shares (must sum to ~1).
+  static Result<std::vector<LabeledDataset>> ByFractions(
+      const LabeledDataset& dataset, const std::vector<double>& fractions);
+
+  /// Concatenates partitions back, in party order — this defines the global
+  /// object numbering used by the third party's dissimilarity matrix, and is
+  /// the centralized reference for the accuracy experiments.
+  static Result<LabeledDataset> Concatenate(
+      const std::vector<LabeledDataset>& parts);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_PARTITION_H_

@@ -1,0 +1,45 @@
+#include "data/schema.h"
+
+#include <set>
+
+namespace ppc {
+
+Result<Schema> Schema::Create(std::vector<AttributeSpec> attributes) {
+  std::set<std::string> seen;
+  for (const AttributeSpec& spec : attributes) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (!seen.insert(spec.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + spec.name +
+                                     "'");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(attributes_.size()) + " attributes");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != attributes_[i].type) {
+      return Status::InvalidArgument(
+          "attribute '" + attributes_[i].name + "' expects " +
+          AttributeTypeToString(attributes_[i].type) + ", got " +
+          AttributeTypeToString(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ppc

@@ -1,0 +1,57 @@
+#ifndef PPC_DATA_SCHEMA_H_
+#define PPC_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value.h"
+
+namespace ppc {
+
+/// One attribute (column) declaration.
+struct AttributeSpec {
+  std::string name;
+  AttributeType type;
+
+  friend bool operator==(const AttributeSpec& a,
+                         const AttributeSpec& b) = default;
+};
+
+/// An ordered list of attribute declarations shared by all parties.
+///
+/// The paper requires the data holders to have "previously agreed on the
+/// list of attributes that are going to be used for clustering", and that
+/// list is also shared with the third party; a `Schema` value is that
+/// agreement.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validates uniqueness/non-emptiness of names.
+  static Result<Schema> Create(std::vector<AttributeSpec> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Checks that `row` matches this schema's arity and types.
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+
+ private:
+  explicit Schema(std::vector<AttributeSpec> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<AttributeSpec> attributes_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_SCHEMA_H_

@@ -1,0 +1,140 @@
+#include "data/taxonomy.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ppc {
+
+Result<CategoryTaxonomy> CategoryTaxonomy::Create(
+    const std::vector<std::pair<std::string, std::string>>& child_parent) {
+  if (child_parent.empty()) {
+    return Status::InvalidArgument("taxonomy needs at least one edge");
+  }
+  CategoryTaxonomy taxonomy;
+  std::set<std::string> children, all;
+  for (const auto& [child, parent] : child_parent) {
+    if (child.empty() || parent.empty()) {
+      return Status::InvalidArgument("category names must be non-empty");
+    }
+    if (child == parent) {
+      return Status::InvalidArgument("category '" + child +
+                                     "' cannot be its own parent");
+    }
+    if (!children.insert(child).second) {
+      return Status::InvalidArgument("category '" + child +
+                                     "' has two parents");
+    }
+    taxonomy.parent_[child] = parent;
+    all.insert(child);
+    all.insert(parent);
+  }
+  // The root is the unique node that is never a child.
+  std::vector<std::string> roots;
+  for (const std::string& node : all) {
+    if (children.find(node) == children.end()) roots.push_back(node);
+  }
+  if (roots.size() != 1) {
+    return Status::InvalidArgument(
+        "taxonomy must have exactly one root, found " +
+        std::to_string(roots.size()));
+  }
+  taxonomy.root_ = roots[0];
+
+  // Depth-check every node; also detects cycles (walk exceeding node count).
+  for (const std::string& node : all) {
+    size_t depth = 0;
+    std::string cursor = node;
+    while (cursor != taxonomy.root_) {
+      auto it = taxonomy.parent_.find(cursor);
+      if (it == taxonomy.parent_.end() || ++depth > all.size()) {
+        return Status::InvalidArgument("taxonomy contains a cycle or "
+                                       "disconnected node '" + node + "'");
+      }
+      cursor = it->second;
+    }
+    taxonomy.height_ = std::max(taxonomy.height_, depth);
+    taxonomy.categories_.push_back(node);
+  }
+  return taxonomy;
+}
+
+bool CategoryTaxonomy::Contains(const std::string& category) const {
+  return category == root_ || parent_.find(category) != parent_.end();
+}
+
+Result<std::vector<std::string>> CategoryTaxonomy::PathTo(
+    const std::string& category) const {
+  if (!Contains(category)) {
+    return Status::NotFound("category '" + category + "' not in taxonomy");
+  }
+  std::vector<std::string> reversed;
+  std::string cursor = category;
+  while (cursor != root_) {
+    reversed.push_back(cursor);
+    cursor = parent_.at(cursor);
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+Result<size_t> CategoryTaxonomy::DepthOf(const std::string& category) const {
+  PPC_ASSIGN_OR_RETURN(std::vector<std::string> path, PathTo(category));
+  return path.size();
+}
+
+Result<double> CategoryTaxonomy::Distance(const std::string& a,
+                                          const std::string& b) const {
+  PPC_ASSIGN_OR_RETURN(std::vector<std::string> path_a, PathTo(a));
+  PPC_ASSIGN_OR_RETURN(std::vector<std::string> path_b, PathTo(b));
+  size_t common = 0;
+  while (common < path_a.size() && common < path_b.size() &&
+         path_a[common] == path_b[common]) {
+    ++common;
+  }
+  double hops =
+      static_cast<double>(path_a.size() + path_b.size() - 2 * common);
+  return height_ == 0 ? 0.0 : hops / (2.0 * static_cast<double>(height_));
+}
+
+OrdinalScale::OrdinalScale(std::vector<std::string> order)
+    : order_(std::move(order)) {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    rank_[order_[i]] = static_cast<int64_t>(i);
+  }
+}
+
+Result<OrdinalScale> OrdinalScale::Create(
+    std::vector<std::string> ordered_categories) {
+  if (ordered_categories.empty()) {
+    return Status::InvalidArgument("ordinal scale needs categories");
+  }
+  std::set<std::string> seen;
+  for (const std::string& category : ordered_categories) {
+    if (!seen.insert(category).second) {
+      return Status::InvalidArgument("duplicate ordinal category '" +
+                                     category + "'");
+    }
+  }
+  return OrdinalScale(std::move(ordered_categories));
+}
+
+Result<int64_t> OrdinalScale::RankOf(const std::string& category) const {
+  auto it = rank_.find(category);
+  if (it == rank_.end()) {
+    return Status::NotFound("category '" + category + "' not on the scale");
+  }
+  return it->second;
+}
+
+Result<std::vector<int64_t>> OrdinalScale::EncodeColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<int64_t> out;
+  out.reserve(values.size());
+  for (const std::string& value : values) {
+    PPC_ASSIGN_OR_RETURN(int64_t rank, RankOf(value));
+    out.push_back(rank);
+  }
+  return out;
+}
+
+}  // namespace ppc

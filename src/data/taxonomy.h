@@ -1,0 +1,97 @@
+#ifndef PPC_DATA_TAXONOMY_H_
+#define PPC_DATA_TAXONOMY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// A category hierarchy for *hierarchical categorical* attributes.
+///
+/// The paper's flat categorical distance (0/1) "is not adequate to measure
+/// the dissimilarity between ordered or hierarchical categorical
+/// attributes. Such categorical data requires more complex distance
+/// functions which are left as future work" (Sec. 4.3). This implements
+/// that future work: categories form a rooted tree (e.g. a disease or
+/// product taxonomy), and the distance between two categories is the
+/// normalized tree-path length
+///
+///     d(a, b) = (depth(a) + depth(b) - 2 * depth(lca(a, b))) / (2 * H)
+///
+/// where H is the tree height, so d in [0, 1], d(a, a) = 0, and siblings
+/// are closer than cousins. The secure evaluation (see
+/// `core/taxonomy_protocol.h`) rests on the observation that the distance
+/// depends only on *prefix agreement* of root-to-node paths, which
+/// deterministic per-level encryption preserves.
+class CategoryTaxonomy {
+ public:
+  CategoryTaxonomy() = default;
+
+  /// Builds a taxonomy from (child, parent) edges. The root is the single
+  /// category that never appears as a child. Fails on cycles, forests with
+  /// several roots, or duplicate children.
+  static Result<CategoryTaxonomy> Create(
+      const std::vector<std::pair<std::string, std::string>>& child_parent);
+
+  /// True iff `category` exists in the tree.
+  bool Contains(const std::string& category) const;
+
+  /// Root-to-node path, excluding the root itself (the root is shared by
+  /// every category and carries no information). Depth(root) = 0.
+  Result<std::vector<std::string>> PathTo(const std::string& category) const;
+
+  /// Number of edges from the root.
+  Result<size_t> DepthOf(const std::string& category) const;
+
+  /// Maximum depth over all categories (the H in the distance formula).
+  size_t height() const { return height_; }
+
+  /// Tree-path distance normalized into [0, 1] by 2 * height().
+  Result<double> Distance(const std::string& a, const std::string& b) const;
+
+  /// All category names, in insertion order.
+  const std::vector<std::string>& categories() const { return categories_; }
+
+ private:
+  std::map<std::string, std::string> parent_;  // Root absent.
+  std::string root_;
+  std::vector<std::string> categories_;
+  size_t height_ = 0;
+};
+
+/// Encoder for *ordered categorical* (ordinal) attributes — the other half
+/// of the paper's future work. Orders categories on a public scale and maps
+/// them to integer ranks; rank columns then flow through the ordinary
+/// numeric protocol, giving distance |rank(a) - rank(b)| (normalized with
+/// the rest of the matrix). Example: {"low" < "medium" < "high"}.
+class OrdinalScale {
+ public:
+  OrdinalScale() = default;
+
+  /// `ordered_categories` from smallest to largest; must be nonempty and
+  /// duplicate-free.
+  static Result<OrdinalScale> Create(std::vector<std::string> ordered_categories);
+
+  /// Rank of `category` in [0, size).
+  Result<int64_t> RankOf(const std::string& category) const;
+
+  /// Encodes a whole categorical column into ranks.
+  Result<std::vector<int64_t>> EncodeColumn(
+      const std::vector<std::string>& values) const;
+
+  size_t size() const { return order_.size(); }
+
+ private:
+  explicit OrdinalScale(std::vector<std::string> order);
+
+  std::vector<std::string> order_;
+  std::map<std::string, int64_t> rank_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_TAXONOMY_H_

@@ -1,0 +1,48 @@
+#include "data/value.h"
+
+#include "common/string_util.h"
+
+namespace ppc {
+
+const char* AttributeTypeToString(AttributeType type) {
+  switch (type) {
+    case AttributeType::kInteger:
+      return "integer";
+    case AttributeType::kReal:
+      return "real";
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kAlphanumeric:
+      return "alphanumeric";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case AttributeType::kInteger:
+      return std::to_string(int_value_);
+    case AttributeType::kReal:
+      return FormatDouble(real_value_);
+    case AttributeType::kCategorical:
+    case AttributeType::kAlphanumeric:
+      return string_value_;
+  }
+  return "";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case AttributeType::kInteger:
+      return a.int_value_ == b.int_value_;
+    case AttributeType::kReal:
+      return a.real_value_ == b.real_value_;
+    case AttributeType::kCategorical:
+    case AttributeType::kAlphanumeric:
+      return a.string_value_ == b.string_value_;
+  }
+  return false;
+}
+
+}  // namespace ppc

@@ -1,0 +1,85 @@
+#ifndef PPC_DATA_VALUE_H_
+#define PPC_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppc {
+
+/// Attribute data types handled by the system (paper Sec. 2.1: categorical,
+/// numerical and alphanumerical; numerical splits into integer and real).
+enum class AttributeType : uint8_t {
+  kInteger = 0,
+  kReal = 1,
+  kCategorical = 2,
+  kAlphanumeric = 3,
+};
+
+/// Canonical name of `type` ("integer", "real", ...).
+const char* AttributeTypeToString(AttributeType type);
+
+/// True for kInteger/kReal, the types the numeric protocol handles.
+inline bool IsNumericType(AttributeType type) {
+  return type == AttributeType::kInteger || type == AttributeType::kReal;
+}
+
+/// A single typed cell of a data matrix.
+///
+/// Tagged union over int64 / double / string. Accessors require the
+/// matching type (checked in debug builds); `DataMatrix` enforces the
+/// schema on append, so well-formed matrices never trip these.
+class Value {
+ public:
+  Value() : type_(AttributeType::kInteger), int_value_(0) {}
+
+  static Value Integer(int64_t v) {
+    Value value;
+    value.type_ = AttributeType::kInteger;
+    value.int_value_ = v;
+    return value;
+  }
+  static Value Real(double v) {
+    Value value;
+    value.type_ = AttributeType::kReal;
+    value.real_value_ = v;
+    return value;
+  }
+  static Value Categorical(std::string v) {
+    Value value;
+    value.type_ = AttributeType::kCategorical;
+    value.string_value_ = std::move(v);
+    return value;
+  }
+  static Value Alphanumeric(std::string v) {
+    Value value;
+    value.type_ = AttributeType::kAlphanumeric;
+    value.string_value_ = std::move(v);
+    return value;
+  }
+
+  AttributeType type() const { return type_; }
+
+  /// The integer payload. Requires type() == kInteger.
+  int64_t AsInteger() const { return int_value_; }
+
+  /// The real payload. Requires type() == kReal.
+  double AsReal() const { return real_value_; }
+
+  /// The string payload. Requires a categorical or alphanumeric value.
+  const std::string& AsString() const { return string_value_; }
+
+  /// Human-readable rendering (used by CSV output and examples).
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  AttributeType type_;
+  int64_t int_value_ = 0;
+  double real_value_ = 0.0;
+  std::string string_value_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DATA_VALUE_H_

@@ -1,0 +1,97 @@
+#include "distance/comparators.h"
+
+#include "distance/edit_distance.h"
+
+namespace ppc {
+
+double Comparators::NumericDistance(int64_t x, int64_t y) {
+  uint64_t ux = static_cast<uint64_t>(x);
+  uint64_t uy = static_cast<uint64_t>(y);
+  uint64_t diff = x >= y ? ux - uy : uy - ux;
+  return static_cast<double>(diff);
+}
+
+double Comparators::CategoricalDistance(const std::string& a,
+                                        const std::string& b) {
+  return a == b ? 0.0 : 1.0;
+}
+
+double Comparators::AlphanumericDistance(const std::string& s,
+                                         const std::string& t) {
+  return static_cast<double>(EditDistance::Compute(s, t));
+}
+
+Result<DissimilarityMatrix> LocalDissimilarity::Build(
+    const DataMatrix& data, size_t column, const FixedPointCodec& real_codec) {
+  if (column >= data.NumColumns()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
+  }
+  const size_t n = data.NumRows();
+  DissimilarityMatrix d(n);
+  const AttributeType type = data.schema().attribute(column).type;
+
+  switch (type) {
+    case AttributeType::kInteger: {
+      PPC_ASSIGN_OR_RETURN(std::vector<int64_t> values,
+                           data.IntegerColumn(column));
+      for (size_t i = 1; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          d.set(i, j, Comparators::NumericDistance(values[i], values[j]));
+        }
+      }
+      return d;
+    }
+    case AttributeType::kReal: {
+      PPC_ASSIGN_OR_RETURN(std::vector<double> raw, data.RealColumn(column));
+      std::vector<int64_t> values;
+      values.reserve(raw.size());
+      for (double v : raw) {
+        PPC_ASSIGN_OR_RETURN(int64_t encoded, real_codec.Encode(v));
+        values.push_back(encoded);
+      }
+      for (size_t i = 1; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          d.set(i, j,
+                real_codec.Decode(static_cast<int64_t>(
+                    Comparators::NumericDistance(values[i], values[j]))));
+        }
+      }
+      return d;
+    }
+    case AttributeType::kCategorical: {
+      PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
+                           data.StringColumn(column));
+      for (size_t i = 1; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          d.set(i, j, Comparators::CategoricalDistance(values[i], values[j]));
+        }
+      }
+      return d;
+    }
+    case AttributeType::kAlphanumeric: {
+      PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
+                           data.StringColumn(column));
+      for (size_t i = 1; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          d.set(i, j, Comparators::AlphanumericDistance(values[i], values[j]));
+        }
+      }
+      return d;
+    }
+  }
+  return Status::Internal("unreachable attribute type");
+}
+
+Result<std::vector<DissimilarityMatrix>> LocalDissimilarity::BuildAll(
+    const DataMatrix& data, const FixedPointCodec& real_codec) {
+  std::vector<DissimilarityMatrix> out;
+  out.reserve(data.NumColumns());
+  for (size_t c = 0; c < data.NumColumns(); ++c) {
+    PPC_ASSIGN_OR_RETURN(DissimilarityMatrix d, Build(data, c, real_codec));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace ppc

@@ -1,0 +1,58 @@
+#ifndef PPC_DISTANCE_COMPARATORS_H_
+#define PPC_DISTANCE_COMPARATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/result.h"
+#include "data/data_matrix.h"
+#include "distance/dissimilarity_matrix.h"
+
+namespace ppc {
+
+/// The public comparison functions of paper Sec. 2.3. Every party —
+/// including the third party — knows these; privacy comes from the
+/// protocols that evaluate them on hidden inputs, not from hiding the
+/// functions.
+class Comparators {
+ public:
+  /// distance(x, y) = |x - y| for numeric attributes. Exact for any int64
+  /// pair (computed in unsigned arithmetic, no overflow).
+  static double NumericDistance(int64_t x, int64_t y);
+
+  /// distance(a, b) = 0 if a == b else 1 for categorical attributes
+  /// ("any categorical value is equally distant to all other values but
+  /// itself").
+  static double CategoricalDistance(const std::string& a,
+                                    const std::string& b);
+
+  /// distance(s, t) = edit distance for alphanumeric attributes.
+  static double AlphanumericDistance(const std::string& s,
+                                     const std::string& t);
+};
+
+/// Figure 12 of the paper: the local dissimilarity matrix a data holder
+/// computes over its own objects, per attribute. Also serves as the
+/// centralized reference in the accuracy experiments (run it over the
+/// concatenation of all partitions).
+class LocalDissimilarity {
+ public:
+  /// Builds the matrix for attribute `column` of `data`.
+  ///
+  /// Real attributes are passed through `real_codec` first so the local
+  /// computation is bit-identical to the fixed-point protocol output; the
+  /// other types ignore the codec.
+  static Result<DissimilarityMatrix> Build(const DataMatrix& data,
+                                           size_t column,
+                                           const FixedPointCodec& real_codec);
+
+  /// Builds matrices for every attribute of `data`, in schema order.
+  static Result<std::vector<DissimilarityMatrix>> BuildAll(
+      const DataMatrix& data, const FixedPointCodec& real_codec);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DISTANCE_COMPARATORS_H_

@@ -1,0 +1,85 @@
+#ifndef PPC_DISTANCE_DISSIMILARITY_MATRIX_H_
+#define PPC_DISTANCE_DISSIMILARITY_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// Symmetric object-by-object distance structure (paper Sec. 2.2, Fig. 2).
+///
+/// Only the strictly-lower triangle is stored (d[i][j] = d[j][i], d[i][i] =
+/// 0), exactly as the paper describes: "only the entries below the diagonal
+/// are filled, since d[i][j] = d[j][i]". Entries are doubles; the numeric
+/// protocols produce exact integer distances which are widened on insert.
+class DissimilarityMatrix {
+ public:
+  DissimilarityMatrix() = default;
+
+  /// A matrix over `num_objects` objects, all distances zero.
+  explicit DissimilarityMatrix(size_t num_objects);
+
+  size_t num_objects() const { return num_objects_; }
+
+  /// Number of stored (below-diagonal) entries: n(n-1)/2.
+  size_t NumEntries() const { return cells_.size(); }
+
+  /// Distance between objects `i` and `j` (any order); 0 on the diagonal.
+  double at(size_t i, size_t j) const {
+    if (i == j) return 0.0;
+    return cells_[PackedIndex(i, j)];
+  }
+
+  /// Sets the distance between distinct objects `i` and `j`.
+  void set(size_t i, size_t j, double value) {
+    cells_[PackedIndex(i, j)] = value;
+  }
+
+  /// Bounds-checked accessors.
+  Result<double> At(size_t i, size_t j) const;
+  Status Set(size_t i, size_t j, double value);
+
+  /// Largest stored distance (0 for n <= 1).
+  double MaxValue() const;
+
+  /// Divides every entry by the global maximum, scaling into [0, 1]
+  /// (paper Fig. 11 step 4). No-op when the maximum is 0.
+  void Normalize();
+
+  /// Returns sum_k weights[k] * matrices[k], elementwise. All matrices must
+  /// agree on size; weights are normalized to sum to 1 first.
+  static Result<DissimilarityMatrix> WeightedMerge(
+      const std::vector<const DissimilarityMatrix*>& matrices,
+      const std::vector<double>& weights);
+
+  /// Maximum absolute entry difference against `other` (matrices must agree
+  /// on size) — the accuracy-experiment metric.
+  Result<double> MaxAbsDifference(const DissimilarityMatrix& other) const;
+
+  /// Renders the lower triangle, one row per line (for small examples).
+  std::string ToString(int precision = 3) const;
+
+  /// The packed strictly-lower-triangle cells, row-major (serialization).
+  const std::vector<double>& packed_cells() const { return cells_; }
+
+  /// Rebuilds a matrix from `packed_cells()` output. `cells` must have
+  /// exactly n(n-1)/2 entries.
+  static Result<DissimilarityMatrix> FromPacked(size_t num_objects,
+                                                std::vector<double> cells);
+
+ private:
+  size_t PackedIndex(size_t i, size_t j) const {
+    if (i < j) std::swap(i, j);
+    return i * (i - 1) / 2 + j;
+  }
+
+  size_t num_objects_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DISTANCE_DISSIMILARITY_MATRIX_H_

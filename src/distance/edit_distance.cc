@@ -1,0 +1,105 @@
+#include "distance/edit_distance.h"
+
+#include <algorithm>
+
+namespace ppc {
+
+CharComparisonMatrix::CharComparisonMatrix(size_t source_length,
+                                           size_t target_length)
+    : source_length_(source_length),
+      target_length_(target_length),
+      cells_(source_length * target_length, 0) {}
+
+CharComparisonMatrix CharComparisonMatrix::FromStrings(
+    const std::string& source, const std::string& target) {
+  CharComparisonMatrix ccm(source.size(), target.size());
+  for (size_t i = 0; i < source.size(); ++i) {
+    for (size_t j = 0; j < target.size(); ++j) {
+      ccm.set(i, j, source[i] == target[j] ? 0 : 1);
+    }
+  }
+  return ccm;
+}
+
+size_t EditDistance::Compute(const std::string& source,
+                             const std::string& target) {
+  const size_t n = source.size();
+  const size_t m = target.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  std::vector<size_t> previous(m + 1);
+  std::vector<size_t> current(m + 1);
+  for (size_t j = 0; j <= m; ++j) previous[j] = j;
+
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t substitution =
+          previous[j - 1] + (source[i - 1] == target[j - 1] ? 0 : 1);
+      size_t deletion = previous[j] + 1;
+      size_t insertion = current[j - 1] + 1;
+      current[j] = std::min({substitution, deletion, insertion});
+    }
+    std::swap(previous, current);
+  }
+  return previous[m];
+}
+
+size_t EditDistance::ComputeFromCcm(const CharComparisonMatrix& ccm) {
+  const size_t n = ccm.source_length();
+  const size_t m = ccm.target_length();
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  std::vector<size_t> previous(m + 1);
+  std::vector<size_t> current(m + 1);
+  for (size_t j = 0; j <= m; ++j) previous[j] = j;
+
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t substitution = previous[j - 1] + (ccm.at(i - 1, j - 1) ? 1 : 0);
+      size_t deletion = previous[j] + 1;
+      size_t insertion = current[j - 1] + 1;
+      current[j] = std::min({substitution, deletion, insertion});
+    }
+    std::swap(previous, current);
+  }
+  return previous[m];
+}
+
+size_t EditDistance::ComputeBanded(const std::string& source,
+                                   const std::string& target, size_t band) {
+  const size_t n = source.size();
+  const size_t m = target.size();
+  const size_t length_gap = n > m ? n - m : m - n;
+  if (length_gap > band) return band + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  const size_t kInfinity = n + m + 1;
+  std::vector<size_t> previous(m + 1, kInfinity);
+  std::vector<size_t> current(m + 1, kInfinity);
+  for (size_t j = 0; j <= std::min(m, band); ++j) previous[j] = j;
+
+  for (size_t i = 1; i <= n; ++i) {
+    // Only columns with |i - j| <= band can hold values <= band.
+    size_t j_lo = i > band ? i - band : 1;
+    size_t j_hi = std::min(m, i + band);
+    std::fill(current.begin(), current.end(), kInfinity);
+    if (j_lo == 1 && i <= band) current[0] = i;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      size_t substitution =
+          previous[j - 1] + (source[i - 1] == target[j - 1] ? 0 : 1);
+      size_t deletion = previous[j] >= kInfinity ? kInfinity : previous[j] + 1;
+      size_t insertion =
+          current[j - 1] >= kInfinity ? kInfinity : current[j - 1] + 1;
+      current[j] = std::min({substitution, deletion, insertion});
+    }
+    std::swap(previous, current);
+  }
+  return std::min(previous[m], band + 1);
+}
+
+}  // namespace ppc

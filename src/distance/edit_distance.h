@@ -1,0 +1,70 @@
+#ifndef PPC_DISTANCE_EDIT_DISTANCE_H_
+#define PPC_DISTANCE_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// The 0/1 character comparison matrix of paper Sec. 2.3: CCM[i][j] == 0
+/// iff source[i] == target[j]. "An n×m equality comparison matrix for all
+/// pairs of characters in source and target strings is equally expressive"
+/// as the strings themselves for edit distance — which is exactly why the
+/// third party can run edit distance without seeing either string.
+class CharComparisonMatrix {
+ public:
+  CharComparisonMatrix() = default;
+
+  /// A matrix of `source_length` x `target_length` cells, all zero.
+  CharComparisonMatrix(size_t source_length, size_t target_length);
+
+  /// Builds the plaintext CCM of two strings (the reference the protocol's
+  /// privately-decoded CCM must match).
+  static CharComparisonMatrix FromStrings(const std::string& source,
+                                          const std::string& target);
+
+  size_t source_length() const { return source_length_; }
+  size_t target_length() const { return target_length_; }
+
+  /// Cell (i, j): 0 iff source[i] == target[j].
+  uint8_t at(size_t i, size_t j) const {
+    return cells_[i * target_length_ + j];
+  }
+  void set(size_t i, size_t j, uint8_t value) {
+    cells_[i * target_length_ + j] = value;
+  }
+
+  friend bool operator==(const CharComparisonMatrix& a,
+                         const CharComparisonMatrix& b) = default;
+
+ private:
+  size_t source_length_ = 0;
+  size_t target_length_ = 0;
+  std::vector<uint8_t> cells_;
+};
+
+/// Levenshtein edit distance engines (paper Sec. 2.3: insertion, deletion
+/// and substitution of a character, all unit cost, dynamic programming over
+/// an (n+1)x(m+1) table).
+class EditDistance {
+ public:
+  /// Classic two-row DP on the raw strings. O(n·m) time, O(m) space.
+  static size_t Compute(const std::string& source, const std::string& target);
+
+  /// DP driven by a character comparison matrix instead of the strings —
+  /// the variant the third party runs (paper Fig. 10 step 6).
+  static size_t ComputeFromCcm(const CharComparisonMatrix& ccm);
+
+  /// Banded DP: exact when the true distance is <= `band`, otherwise
+  /// returns a value > `band` (may be saturated). Useful as a fast filter
+  /// for record linkage. `band` >= 0.
+  static size_t ComputeBanded(const std::string& source,
+                              const std::string& target, size_t band);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DISTANCE_EDIT_DISTANCE_H_

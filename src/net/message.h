@@ -1,0 +1,40 @@
+#ifndef PPC_NET_MESSAGE_H_
+#define PPC_NET_MESSAGE_H_
+
+#include <string>
+
+namespace ppc {
+
+/// A protocol message between two named parties.
+///
+/// `topic` identifies the protocol step (e.g. "numeric.masked_vector") so a
+/// receiver can assert it is getting the message it expects; `payload` is an
+/// opaque byte string produced by `ByteWriter`.
+struct Message {
+  std::string from;
+  std::string to;
+  std::string topic;
+  std::string payload;
+};
+
+/// What an eavesdropper on a channel observes for one message: the frame
+/// actually on the wire (ciphertext when the transport is secured).
+struct WireFrame {
+  std::string from;
+  std::string to;
+  std::string topic;
+  std::string wire_bytes;
+};
+
+/// Cumulative traffic counters for one directed channel.
+struct ChannelStats {
+  uint64_t messages = 0;
+  /// Bytes of application payload (pre-encryption).
+  uint64_t payload_bytes = 0;
+  /// Bytes on the wire (includes nonce/MAC overhead when secured).
+  uint64_t wire_bytes = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_NET_MESSAGE_H_

@@ -1,0 +1,185 @@
+#include "net/network.h"
+
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
+
+namespace ppc {
+
+namespace {
+constexpr size_t kNonceLength = 8;
+constexpr size_t kMacLength = 16;
+
+std::string CounterNonce(uint64_t counter) {
+  std::string nonce(kNonceLength, '\0');
+  for (size_t i = 0; i < kNonceLength; ++i) {
+    nonce[i] = static_cast<char>((counter >> (8 * i)) & 0xff);
+  }
+  return nonce;
+}
+}  // namespace
+
+InMemoryNetwork::InMemoryNetwork(TransportSecurity security)
+    : security_(security),
+      // Models transport keys established out of band (e.g. TLS); the
+      // protocol's security analysis treats channel encryption as given.
+      master_key_("ppc-transport-master-key-v1") {}
+
+Status InMemoryNetwork::RegisterParty(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("party name must be non-empty");
+  }
+  auto [it, inserted] = parties_.try_emplace(name);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("party '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+bool InMemoryNetwork::HasParty(const std::string& name) const {
+  return parties_.find(name) != parties_.end();
+}
+
+std::string InMemoryNetwork::ChannelKeyFor(const std::string& from,
+                                           const std::string& to) const {
+  return HmacSha256::DeriveKey(master_key_, "channel:" + from + "->" + to);
+}
+
+Status InMemoryNetwork::Send(const std::string& from, const std::string& to,
+                             const std::string& topic, std::string payload) {
+  if (!HasParty(from)) return Status::NotFound("unknown sender '" + from + "'");
+  if (!HasParty(to)) return Status::NotFound("unknown receiver '" + to + "'");
+
+  auto channel = std::make_pair(from, to);
+  ChannelStats& stats = stats_[channel];
+
+  std::string wire;
+  if (security_ == TransportSecurity::kPlaintext) {
+    wire = payload;
+  } else {
+    std::string channel_key = ChannelKeyFor(from, to);
+    std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
+    enc_key.resize(16);
+    std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
+    auto ctr = Aes128Ctr::Create(enc_key);
+    if (!ctr.ok()) return ctr.status();
+    std::string nonce = CounterNonce(nonce_counters_[channel]++);
+    std::string ciphertext = ctr->Crypt(nonce, payload);
+    std::string mac = HmacSha256::Mac(mac_key, topic + ":" + nonce + ciphertext);
+    mac.resize(kMacLength);
+    wire = nonce + ciphertext + mac;
+  }
+
+  stats.messages += 1;
+  stats.payload_bytes += payload.size();
+  stats.wire_bytes += wire.size();
+
+  auto tap_it = taps_.find(channel);
+  if (tap_it != taps_.end()) {
+    WireFrame frame{from, to, topic, wire};
+    for (const Tap& tap : tap_it->second) tap(frame);
+  }
+
+  parties_[to].inbox.push_back(Message{from, to, topic, std::move(wire)});
+  return Status::OK();
+}
+
+Result<Message> InMemoryNetwork::Receive(const std::string& to,
+                                         const std::string& from,
+                                         const std::string& expected_topic) {
+  auto party_it = parties_.find(to);
+  if (party_it == parties_.end()) {
+    return Status::NotFound("unknown receiver '" + to + "'");
+  }
+  auto& inbox = party_it->second.inbox;
+  for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+    if (it->from != from) continue;
+    if (!expected_topic.empty() && it->topic != expected_topic) {
+      return Status::ProtocolViolation(
+          "expected topic '" + expected_topic + "' from '" + from +
+          "' but next message has topic '" + it->topic + "'");
+    }
+    Message msg = std::move(*it);
+    inbox.erase(it);
+
+    if (security_ == TransportSecurity::kAuthenticatedEncryption) {
+      if (msg.payload.size() < kNonceLength + kMacLength) {
+        return Status::DataLoss("wire frame shorter than nonce+mac");
+      }
+      std::string nonce = msg.payload.substr(0, kNonceLength);
+      std::string mac = msg.payload.substr(msg.payload.size() - kMacLength);
+      std::string ciphertext = msg.payload.substr(
+          kNonceLength, msg.payload.size() - kNonceLength - kMacLength);
+
+      std::string channel_key = ChannelKeyFor(from, to);
+      std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
+      std::string expected_mac =
+          HmacSha256::Mac(mac_key, msg.topic + ":" + nonce + ciphertext);
+      expected_mac.resize(kMacLength);
+      if (!HmacSha256::Verify(expected_mac, mac)) {
+        return Status::ProtocolViolation("MAC verification failed on channel " +
+                                         from + "->" + to);
+      }
+      std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
+      enc_key.resize(16);
+      auto ctr = Aes128Ctr::Create(enc_key);
+      if (!ctr.ok()) return ctr.status();
+      msg.payload = ctr->Crypt(nonce, ciphertext);
+    }
+    return msg;
+  }
+  return Status::NotFound("no pending message from '" + from + "' to '" + to +
+                          "'");
+}
+
+size_t InMemoryNetwork::PendingCount(const std::string& to) const {
+  auto it = parties_.find(to);
+  return it == parties_.end() ? 0 : it->second.inbox.size();
+}
+
+ChannelStats InMemoryNetwork::StatsFor(const std::string& from,
+                                       const std::string& to) const {
+  auto it = stats_.find(std::make_pair(from, to));
+  return it == stats_.end() ? ChannelStats{} : it->second;
+}
+
+ChannelStats InMemoryNetwork::TotalSentBy(const std::string& party) const {
+  ChannelStats total;
+  for (const auto& [channel, stats] : stats_) {
+    if (channel.first != party) continue;
+    total.messages += stats.messages;
+    total.payload_bytes += stats.payload_bytes;
+    total.wire_bytes += stats.wire_bytes;
+  }
+  return total;
+}
+
+ChannelStats InMemoryNetwork::GrandTotal() const {
+  ChannelStats total;
+  for (const auto& [channel, stats] : stats_) {
+    (void)channel;
+    total.messages += stats.messages;
+    total.payload_bytes += stats.payload_bytes;
+    total.wire_bytes += stats.wire_bytes;
+  }
+  return total;
+}
+
+void InMemoryNetwork::ResetStats() { stats_.clear(); }
+
+void InMemoryNetwork::AddTap(const std::string& from, const std::string& to,
+                             Tap tap) {
+  taps_[std::make_pair(from, to)].push_back(std::move(tap));
+}
+
+Status InMemoryNetwork::InjectFrame(const std::string& from,
+                                    const std::string& to,
+                                    const std::string& topic,
+                                    std::string wire_bytes) {
+  if (!HasParty(from)) return Status::NotFound("unknown sender '" + from + "'");
+  if (!HasParty(to)) return Status::NotFound("unknown receiver '" + to + "'");
+  parties_[to].inbox.push_back(Message{from, to, topic, std::move(wire_bytes)});
+  return Status::OK();
+}
+
+}  // namespace ppc

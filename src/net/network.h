@@ -1,0 +1,112 @@
+#ifndef PPC_NET_NETWORK_H_
+#define PPC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/message.h"
+
+namespace ppc {
+
+/// Transport security of the simulated links.
+enum class TransportSecurity {
+  /// Frames carry the plaintext payload; an eavesdropper sees everything.
+  /// This reproduces the *insecure channel* setting of the paper's Sec. 4.1
+  /// inference discussion.
+  kPlaintext,
+  /// Frames are AES-128-CTR encrypted and HMAC-SHA-256 authenticated under
+  /// a per-directed-channel key (modeling TLS between sites), which is the
+  /// paper's "channels must be secured" requirement.
+  kAuthenticatedEncryption,
+};
+
+/// In-memory message router between named parties.
+///
+/// Models the paper's distributed deployment: k data-holder sites plus the
+/// third party exchanging point-to-point messages. Delivery is FIFO per
+/// (sender, receiver) pair. Every frame updates byte counters, which is what
+/// the communication-cost experiments (DESIGN.md E8-E10, E13) measure, and
+/// registered eavesdropper taps observe exactly the on-wire bytes, which is
+/// what the channel-security experiment (E12) needs.
+///
+/// Single-threaded by design: the protocol drivers interleave party steps
+/// deterministically, so no locking is required.
+class InMemoryNetwork {
+ public:
+  /// Callback invoked for every frame crossing a tapped channel.
+  using Tap = std::function<void(const WireFrame&)>;
+
+  explicit InMemoryNetwork(
+      TransportSecurity security = TransportSecurity::kAuthenticatedEncryption);
+
+  /// Registers a party name. Fails with kAlreadyExists on duplicates.
+  Status RegisterParty(const std::string& name);
+
+  /// True iff `name` is registered.
+  bool HasParty(const std::string& name) const;
+
+  /// Sends `payload` from `from` to `to` under `topic`.
+  Status Send(const std::string& from, const std::string& to,
+              const std::string& topic, std::string payload);
+
+  /// Receives the oldest pending message addressed to `to` from `from`.
+  /// If `expected_topic` is non-empty, a topic mismatch is a protocol
+  /// violation (the message is left queued).
+  Result<Message> Receive(const std::string& to, const std::string& from,
+                          const std::string& expected_topic = "");
+
+  /// Number of undelivered messages addressed to `to`.
+  size_t PendingCount(const std::string& to) const;
+
+  /// Traffic counters for the directed channel `from` -> `to`.
+  ChannelStats StatsFor(const std::string& from, const std::string& to) const;
+
+  /// Sum of counters over all channels where `party` is the sender.
+  ChannelStats TotalSentBy(const std::string& party) const;
+
+  /// Sum over every channel in the network.
+  ChannelStats GrandTotal() const;
+
+  /// Resets all traffic counters (queues are unaffected).
+  void ResetStats();
+
+  /// Installs an eavesdropper on the directed channel `from` -> `to`.
+  void AddTap(const std::string& from, const std::string& to, Tap tap);
+
+  /// Fault-injection hook: enqueues `wire_bytes` as if they had crossed the
+  /// wire from `from` to `to` (no encryption, no accounting). Lets tests
+  /// deliver tampered or replayed frames to exercise the receiver's
+  /// integrity checks. Not used by the protocols themselves.
+  Status InjectFrame(const std::string& from, const std::string& to,
+                     const std::string& topic, std::string wire_bytes);
+
+  /// The transport security mode of this network.
+  TransportSecurity security() const { return security_; }
+
+ private:
+  struct Endpoint {
+    std::deque<Message> inbox;
+  };
+
+  std::string ChannelKeyFor(const std::string& from,
+                            const std::string& to) const;
+
+  TransportSecurity security_;
+  std::string master_key_;  // Root of per-channel transport keys.
+  std::map<std::string, Endpoint> parties_;
+  std::map<std::pair<std::string, std::string>, ChannelStats> stats_;
+  // Nonce counters survive ResetStats() so no (key, nonce) pair is reused.
+  std::map<std::pair<std::string, std::string>, uint64_t> nonce_counters_;
+  std::map<std::pair<std::string, std::string>, std::vector<Tap>> taps_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_NET_NETWORK_H_

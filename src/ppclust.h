@@ -1,0 +1,46 @@
+#ifndef PPC_PPCLUST_H_
+#define PPC_PPCLUST_H_
+
+/// \file
+/// Umbrella header for the ppclust library: privacy preserving clustering
+/// on horizontally partitioned data (İnan et al., ICDEW 2006).
+///
+/// Typical entry points:
+///   * `ppc::ClusteringSession` — run the full multi-party pipeline.
+///   * `ppc::DataHolder` / `ppc::ThirdParty` — the protocol roles.
+///   * `ppc::Generators` / `ppc::Partitioner` — synthetic workloads.
+///   * `ppc::Agglomerative` / `ppc::Dbscan` / `ppc::KMedoids` — clustering.
+///   * `ppc::RecordLinkage` / `ppc::OutlierDetection` — further
+///     applications of the dissimilarity pipeline.
+
+#include "apps/outlier_detection.h"
+#include "apps/record_linkage.h"
+#include "cluster/agglomerative.h"
+#include "cluster/dbscan.h"
+#include "cluster/dendrogram.h"
+#include "cluster/kmedoids.h"
+#include "cluster/quality.h"
+#include "common/fixed_point.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/config.h"
+#include "core/data_holder.h"
+#include "core/outcome.h"
+#include "core/session.h"
+#include "core/taxonomy_protocol.h"
+#include "core/third_party.h"
+#include "data/alphabet.h"
+#include "data/csv.h"
+#include "data/data_matrix.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "data/schema.h"
+#include "data/taxonomy.h"
+#include "distance/comparators.h"
+#include "distance/dissimilarity_matrix.h"
+#include "distance/edit_distance.h"
+#include "net/network.h"
+#include "rng/prng.h"
+
+#endif  // PPC_PPCLUST_H_

@@ -1,0 +1,44 @@
+#include "rng/distributions.h"
+
+#include <cmath>
+
+namespace ppc {
+
+double Distributions::Gaussian(Prng* prng, double mean, double stddev) {
+  // Box-Muller without caching the second variate: deterministic stream
+  // consumption matters more here than saving one log/sqrt.
+  double u1;
+  do {
+    u1 = prng->NextUnitDouble();
+  } while (u1 <= 0.0);
+  double u2 = prng->NextUnitDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) *
+             std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+double Distributions::Uniform(Prng* prng, double lo, double hi) {
+  return lo + (hi - lo) * prng->NextUnitDouble();
+}
+
+int64_t Distributions::UniformInt(Prng* prng, int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(prng->NextBounded(span));
+}
+
+size_t Distributions::Categorical(Prng* prng,
+                                  const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return 0;
+  double target = prng->NextUnitDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ppc

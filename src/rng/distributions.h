@@ -1,0 +1,40 @@
+#ifndef PPC_RNG_DISTRIBUTIONS_H_
+#define PPC_RNG_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/prng.h"
+
+namespace ppc {
+
+/// Deterministic samplers layered on a `Prng`, used by the synthetic
+/// workload generators. They consume the underlying stream, so two samplers
+/// over identical fresh generators produce identical draws.
+class Distributions {
+ public:
+  /// Standard normal via Box-Muller (consumes two uniforms per pair).
+  static double Gaussian(Prng* prng, double mean, double stddev);
+
+  /// Uniform double in [lo, hi).
+  static double Uniform(Prng* prng, double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  static int64_t UniformInt(Prng* prng, int64_t lo, int64_t hi);
+
+  /// Samples an index from an unnormalized weight vector.
+  static size_t Categorical(Prng* prng, const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  static void Shuffle(Prng* prng, std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(prng->NextBounded(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+};
+
+}  // namespace ppc
+
+#endif  // PPC_RNG_DISTRIBUTIONS_H_

@@ -1,0 +1,16 @@
+#include "rng/splitmix64.h"
+
+namespace ppc {
+
+uint64_t SplitMix64Prng::Next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  return Mix(state_);
+}
+
+uint64_t SplitMix64Prng::Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace ppc

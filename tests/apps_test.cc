@@ -1,0 +1,214 @@
+// Tests for src/apps: privacy-preserving record linkage and distance-based
+// outlier detection over the dissimilarity pipeline (the paper's claimed
+// further application areas).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/outlier_detection.h"
+#include "apps/record_linkage.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "session_test_util.h"
+
+namespace ppc {
+namespace {
+
+using testutil::MakeSession;
+using testutil::MatricesOf;
+
+std::vector<PartyExtent> TwoPartyExtents(size_t n_a, size_t n_b) {
+  return {{"A", 0, n_a}, {"B", n_a, n_b}};
+}
+
+DissimilarityMatrix FromPoints(const std::vector<double>& points) {
+  DissimilarityMatrix d(points.size());
+  for (size_t i = 1; i < points.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      d.set(i, j, std::abs(points[i] - points[j]));
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------- RecordLinkage --
+
+TEST(RecordLinkageTest, FindsCrossPartyNearDuplicates) {
+  // A = {0.0, 5.0, 9.0}, B = {0.02, 7.0}: one obvious link (A0, B0).
+  DissimilarityMatrix d = FromPoints({0.0, 5.0, 9.0, 0.02, 7.0});
+  RecordLinkage::Options options;
+  options.threshold = 0.1;
+  auto links =
+      RecordLinkage::FindLinks(d, TwoPartyExtents(3, 2), options).TakeValue();
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].left.Display(), "B0");
+  EXPECT_EQ(links[0].right.Display(), "A0");
+  EXPECT_NEAR(links[0].distance, 0.02, 1e-9);
+}
+
+TEST(RecordLinkageTest, CrossPartyOnlyFilterSuppressesLocalPairs) {
+  // Two near-identical objects inside A.
+  DissimilarityMatrix d = FromPoints({0.0, 0.01, 50.0});
+  RecordLinkage::Options options;
+  options.threshold = 0.1;
+  auto cross =
+      RecordLinkage::FindLinks(d, TwoPartyExtents(2, 1), options).TakeValue();
+  EXPECT_TRUE(cross.empty());
+  options.cross_party_only = false;
+  auto all =
+      RecordLinkage::FindLinks(d, TwoPartyExtents(2, 1), options).TakeValue();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].left.party, "A");
+  EXPECT_EQ(all[0].right.party, "A");
+}
+
+TEST(RecordLinkageTest, LinksSortedByDistance) {
+  DissimilarityMatrix d = FromPoints({0.0, 1.0, 0.05, 1.02});
+  RecordLinkage::Options options;
+  options.threshold = 0.1;
+  auto links =
+      RecordLinkage::FindLinks(d, TwoPartyExtents(2, 2), options).TakeValue();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_LE(links[0].distance, links[1].distance);
+}
+
+TEST(RecordLinkageTest, ValidatesInputs) {
+  DissimilarityMatrix d = FromPoints({0.0, 1.0});
+  RecordLinkage::Options options;
+  options.threshold = -1.0;
+  EXPECT_FALSE(
+      RecordLinkage::FindLinks(d, TwoPartyExtents(1, 1), options).ok());
+  options.threshold = 0.1;
+  EXPECT_FALSE(
+      RecordLinkage::FindLinks(d, TwoPartyExtents(1, 3), options).ok());
+}
+
+TEST(RecordLinkageTest, EndToEndThroughSecureSession) {
+  // Two hospitals with one shared patient (same DNA + age), linked without
+  // either hospital revealing its records.
+  Schema schema = Schema::Create({{"age", AttributeType::kInteger},
+                                  {"dna", AttributeType::kAlphanumeric}})
+                      .TakeValue();
+  DataMatrix hospital_a(schema), hospital_b(schema);
+  ASSERT_TRUE(hospital_a
+                  .AppendRow({Value::Integer(44),
+                              Value::Alphanumeric("ACGTACGTAC")})
+                  .ok());
+  ASSERT_TRUE(hospital_a
+                  .AppendRow({Value::Integer(31),
+                              Value::Alphanumeric("TTTTGGGGCC")})
+                  .ok());
+  ASSERT_TRUE(hospital_b
+                  .AppendRow({Value::Integer(44),
+                              Value::Alphanumeric("ACGTACGTAC")})
+                  .ok());
+  ASSERT_TRUE(hospital_b
+                  .AppendRow({Value::Integer(70),
+                              Value::Alphanumeric("CCCCCCAAAA")})
+                  .ok());
+
+  ProtocolConfig config;
+  auto fixture =
+      MakeSession(schema, {hospital_a, hospital_b}, config).TakeValue();
+  ASSERT_TRUE(fixture.session->Run().ok());
+
+  auto merged =
+      fixture.third_party->MergedMatrixForTesting({1.0, 1.0}).TakeValue();
+  RecordLinkage::Options options;
+  options.threshold = 0.01;
+  auto links =
+      RecordLinkage::FindLinks(merged, TwoPartyExtents(2, 2), options)
+          .TakeValue();
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].right.Display(), "A0");
+  EXPECT_EQ(links[0].left.Display(), "B0");
+}
+
+// ------------------------------------------------------- OutlierDetection --
+
+TEST(OutlierDetectionTest, IsolatedPointDetected) {
+  DissimilarityMatrix d = FromPoints({0.0, 0.1, 0.2, 0.3, 10.0});
+  d.Normalize();
+  OutlierDetection::Options options;
+  options.distance_threshold = 0.5;
+  options.min_far_fraction = 0.9;
+  auto outliers =
+      OutlierDetection::Detect(d, TwoPartyExtents(3, 2), options).TakeValue();
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0].object.global_index, 4u);
+  EXPECT_EQ(outliers[0].object.party, "B");
+  EXPECT_EQ(outliers[0].far_fraction, 1.0);
+}
+
+TEST(OutlierDetectionTest, DenseDataHasNoOutliers) {
+  DissimilarityMatrix d = FromPoints({0.0, 0.1, 0.2, 0.3});
+  OutlierDetection::Options options;
+  options.distance_threshold = 0.5;
+  options.min_far_fraction = 0.5;
+  auto outliers =
+      OutlierDetection::Detect(d, TwoPartyExtents(2, 2), options).TakeValue();
+  EXPECT_TRUE(outliers.empty());
+}
+
+TEST(OutlierDetectionTest, SortedByIsolation) {
+  DissimilarityMatrix d = FromPoints({0.0, 0.1, 0.2, 5.0, 20.0});
+  OutlierDetection::Options options;
+  options.distance_threshold = 1.0;
+  options.min_far_fraction = 0.7;
+  auto outliers =
+      OutlierDetection::Detect(d, TwoPartyExtents(3, 2), options).TakeValue();
+  ASSERT_EQ(outliers.size(), 2u);
+  EXPECT_GE(outliers[0].far_fraction, outliers[1].far_fraction);
+  std::set<size_t> found{outliers[0].object.global_index,
+                         outliers[1].object.global_index};
+  EXPECT_EQ(found, (std::set<size_t>{3, 4}));
+}
+
+TEST(OutlierDetectionTest, ValidatesInputs) {
+  DissimilarityMatrix d = FromPoints({0.0, 1.0});
+  OutlierDetection::Options options;
+  options.min_far_fraction = 1.5;
+  EXPECT_FALSE(
+      OutlierDetection::Detect(d, TwoPartyExtents(1, 1), options).ok());
+  options.min_far_fraction = 0.5;
+  EXPECT_FALSE(
+      OutlierDetection::Detect(d, TwoPartyExtents(1, 5), options).ok());
+  DissimilarityMatrix tiny(1);
+  EXPECT_FALSE(
+      OutlierDetection::Detect(tiny, {{"A", 0, 1}}, options).ok());
+}
+
+TEST(OutlierDetectionTest, EndToEndThroughSecureSession) {
+  // Gaussian blob plus one extreme point distributed across 2 parties.
+  Schema schema = Schema::Create({{"v", AttributeType::kReal}}).TakeValue();
+  LabeledDataset data{DataMatrix(schema), {}};
+  auto prng = MakePrng(PrngKind::kXoshiro256, 3);
+  for (int i = 0; i < 11; ++i) {
+    ASSERT_TRUE(
+        data.data.AppendRow({Value::Real(prng->NextUnitDouble())}).ok());
+    data.labels.push_back(0);
+  }
+  ASSERT_TRUE(data.data.AppendRow({Value::Real(500.0)}).ok());
+  data.labels.push_back(1);
+
+  auto parts = Partitioner::RoundRobin(data, 2).TakeValue();
+  ProtocolConfig config;
+  auto fixture =
+      MakeSession(schema, MatricesOf(parts), config).TakeValue();
+  ASSERT_TRUE(fixture.session->Run().ok());
+
+  auto merged = fixture.third_party->MergedMatrixForTesting({}).TakeValue();
+  OutlierDetection::Options options;
+  options.distance_threshold = 0.5;
+  options.min_far_fraction = 0.99;
+  auto outliers =
+      OutlierDetection::Detect(merged, TwoPartyExtents(6, 6), options)
+          .TakeValue();
+  ASSERT_EQ(outliers.size(), 1u);
+  // Original row 11 (odd) went to party B as its 5th row (local index 5).
+  EXPECT_EQ(outliers[0].object.Display(), "B5");
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,155 @@
+// Tests for the homomorphic baseline comparators (DESIGN.md E13): they must
+// compute exactly what the masking protocols compute — the point of the
+// benchmark comparison is cost, not accuracy.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "data/generators.h"
+#include "distance/edit_distance.h"
+#include "rng/distributions.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto keygen = MakePrng(PrngKind::kChaCha20, 1);
+    keys_ = GeneratePaillierKeyPair(512, keygen.get()).TakeValue();
+    blinding_ = MakePrng(PrngKind::kChaCha20, 2);
+  }
+  PaillierKeyPair keys_;
+  std::unique_ptr<Prng> blinding_;
+};
+
+uint64_t AbsDiff(int64_t a, int64_t b) {
+  return a >= b ? static_cast<uint64_t>(a) - static_cast<uint64_t>(b)
+                : static_cast<uint64_t>(b) - static_cast<uint64_t>(a);
+}
+
+TEST_F(BaselineTest, PaillierNumericMatchesPlaintextDistances) {
+  auto data_rng = MakePrng(PrngKind::kXoshiro256, 3);
+  std::vector<int64_t> x(5), y(4);
+  for (auto& v : x) {
+    v = Distributions::UniformInt(data_rng.get(), -100000, 100000);
+  }
+  for (auto& v : y) {
+    v = Distributions::UniformInt(data_rng.get(), -100000, 100000);
+  }
+
+  auto rng_jk_i = MakePrng(PrngKind::kChaCha20, 10);
+  auto rng_jk_r = MakePrng(PrngKind::kChaCha20, 10);
+  auto cipher = PaillierNumericBaseline::EncryptInitiator(
+      x, keys_.public_key, rng_jk_i.get(), blinding_.get());
+  auto matrix = PaillierNumericBaseline::AddResponder(
+      y, cipher, keys_.public_key, rng_jk_r.get(), blinding_.get());
+  auto distances = PaillierNumericBaseline::Decrypt(matrix, y.size(), x.size(),
+                                                    keys_.private_key)
+                       .TakeValue();
+  for (size_t m = 0; m < y.size(); ++m) {
+    for (size_t n = 0; n < x.size(); ++n) {
+      EXPECT_EQ(distances[m * x.size() + n], AbsDiff(x[n], y[m]));
+    }
+  }
+}
+
+TEST_F(BaselineTest, PaillierNumericHidesSignLikeMaskingProtocol) {
+  // Over many JK seeds, the decrypted signed difference flips sign.
+  std::vector<int64_t> x{10};
+  std::vector<int64_t> y{200};  // x < y always.
+  int positive = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    auto rng_jk_i = MakePrng(PrngKind::kChaCha20, 100 + trial);
+    auto rng_jk_r = MakePrng(PrngKind::kChaCha20, 100 + trial);
+    auto cipher = PaillierNumericBaseline::EncryptInitiator(
+        x, keys_.public_key, rng_jk_i.get(), blinding_.get());
+    auto matrix = PaillierNumericBaseline::AddResponder(
+        y, cipher, keys_.public_key, rng_jk_r.get(), blinding_.get());
+    if (keys_.private_key.DecryptSigned(matrix[0]) > 0) ++positive;
+  }
+  EXPECT_GT(positive, 15);
+  EXPECT_LT(positive, 45);
+}
+
+TEST_F(BaselineTest, PaillierCiphertextsAreLarge) {
+  // The cost motivation: one ciphertext is ~128 bytes vs 8 bytes per masked
+  // word — a ~16x inflation at modest (512-bit) key sizes.
+  std::vector<int64_t> x{1, 2, 3};
+  auto rng_jk = MakePrng(PrngKind::kChaCha20, 5);
+  auto cipher = PaillierNumericBaseline::EncryptInitiator(
+      x, keys_.public_key, rng_jk.get(), blinding_.get());
+  uint64_t wire = PaillierNumericBaseline::WireBytes(cipher, keys_.public_key);
+  EXPECT_GE(wire, 3u * 100u);
+  EXPECT_GE(wire / (3 * 8), 10u);  // >= 10x the masking protocol.
+}
+
+TEST_F(BaselineTest, HomomorphicCcmMatchesPlaintextEditDistance) {
+  Alphabet dna = Alphabet::Dna();
+  auto data_rng = MakePrng(PrngKind::kXoshiro256, 6);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::string s = Generators::RandomString(1 + data_rng->NextBounded(6), dna,
+                                             data_rng.get());
+    std::string t = Generators::RandomString(1 + data_rng->NextBounded(6), dna,
+                                             data_rng.get());
+    uint64_t distance =
+        HomomorphicCcmBaseline::Distance(dna.Encode(s).TakeValue(),
+                                         dna.Encode(t).TakeValue(), dna,
+                                         keys_, blinding_.get())
+            .TakeValue();
+    EXPECT_EQ(distance, EditDistance::Compute(s, t)) << s << " vs " << t;
+  }
+}
+
+TEST_F(BaselineTest, HomomorphicCcmDecryptsExactEqualityPattern) {
+  Alphabet dna = Alphabet::Dna();
+  std::string s = "ACGT";
+  std::string t = "GCT";
+  auto enc = HomomorphicCcmBaseline::EncryptStrings(
+                 {dna.Encode(s).TakeValue()}, dna, keys_.public_key,
+                 blinding_.get())
+                 .TakeValue();
+  auto cells = HomomorphicCcmBaseline::SelectCells(dna.Encode(t).TakeValue(),
+                                                   enc[0], keys_.public_key,
+                                                   blinding_.get())
+                   .TakeValue();
+  auto ccm = HomomorphicCcmBaseline::DecryptCcm(cells, t.size(), s.size(),
+                                                keys_.private_key)
+                 .TakeValue();
+  EXPECT_TRUE(ccm == CharComparisonMatrix::FromStrings(t, s));
+}
+
+TEST_F(BaselineTest, OneHotExpansionFactorMatchesAlphabetSize) {
+  // Initiator traffic = |s| * |A| ciphertexts per string: the reason the
+  // paper calls this class of protocol infeasible for clustering.
+  Alphabet dna = Alphabet::Dna();
+  auto enc = HomomorphicCcmBaseline::EncryptStrings(
+                 {dna.Encode("ACGTACGT").TakeValue()}, dna, keys_.public_key,
+                 blinding_.get())
+                 .TakeValue();
+  ASSERT_EQ(enc.size(), 1u);
+  EXPECT_EQ(enc[0].size(), 8u);
+  for (const auto& one_hot : enc[0]) {
+    EXPECT_EQ(one_hot.size(), dna.size());
+  }
+}
+
+TEST_F(BaselineTest, RejectsOutOfAlphabetSymbols) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_FALSE(HomomorphicCcmBaseline::EncryptStrings(
+                   {{0, 7}}, dna, keys_.public_key, blinding_.get())
+                   .ok());
+}
+
+TEST_F(BaselineTest, DecryptValidatesShapes) {
+  EXPECT_FALSE(PaillierNumericBaseline::Decrypt({mpz_class(1)}, 2, 3,
+                                                keys_.private_key)
+                   .ok());
+  EXPECT_FALSE(HomomorphicCcmBaseline::DecryptCcm({mpz_class(1)}, 2, 3,
+                                                  keys_.private_key)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,423 @@
+// Unit tests for src/cluster: dendrograms, the two agglomerative engines
+// (naive greedy and NN-chain must agree), DBSCAN, PAM, and quality metrics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/agglomerative.h"
+#include "cluster/dbscan.h"
+#include "cluster/dendrogram.h"
+#include "cluster/kmedoids.h"
+#include "cluster/quality.h"
+#include "distance/dissimilarity_matrix.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+/// 1-D points -> absolute-difference dissimilarity matrix.
+DissimilarityMatrix FromPoints(const std::vector<double>& points) {
+  DissimilarityMatrix d(points.size());
+  for (size_t i = 1; i < points.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      d.set(i, j, std::abs(points[i] - points[j]));
+    }
+  }
+  return d;
+}
+
+DissimilarityMatrix RandomMatrix(size_t n, Prng* prng) {
+  DissimilarityMatrix d(n);
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      d.set(i, j, prng->NextUnitDouble() + 0.01);
+    }
+  }
+  return d;
+}
+
+/// Two labelings partition identically iff their co-membership relations
+/// agree.
+bool SamePartition(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if ((a[i] == a[j]) != (b[i] == b[j])) return false;
+    }
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- Dendrogram --
+
+TEST(DendrogramTest, CutToClustersUndoesMerges) {
+  // Points 0,1 close; 10,11 close; far apart groups.
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 1.0, 10.0, 11.0}), Linkage::kSingle)
+          .TakeValue();
+  ASSERT_EQ(dendrogram.merges().size(), 3u);
+  auto two = dendrogram.CutToClusters(2).TakeValue();
+  EXPECT_TRUE(SamePartition(two, {0, 0, 1, 1}));
+  auto one = dendrogram.CutToClusters(1).TakeValue();
+  EXPECT_TRUE(SamePartition(one, {0, 0, 0, 0}));
+  auto four = dendrogram.CutToClusters(4).TakeValue();
+  EXPECT_TRUE(SamePartition(four, {0, 1, 2, 3}));
+  EXPECT_FALSE(dendrogram.CutToClusters(0).ok());
+  EXPECT_FALSE(dendrogram.CutToClusters(5).ok());
+}
+
+TEST(DendrogramTest, CutAtHeightRespectsThreshold) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 1.0, 10.0, 11.0}), Linkage::kSingle)
+          .TakeValue();
+  // Merges at heights 1, 1, 9 (single linkage).
+  EXPECT_TRUE(SamePartition(dendrogram.CutAtHeight(2.0), {0, 0, 1, 1}));
+  EXPECT_TRUE(SamePartition(dendrogram.CutAtHeight(0.5), {0, 1, 2, 3}));
+  EXPECT_TRUE(SamePartition(dendrogram.CutAtHeight(100.0), {0, 0, 0, 0}));
+}
+
+TEST(DendrogramTest, SingleLeafDendrogram) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({5.0}), Linkage::kAverage).TakeValue();
+  EXPECT_EQ(dendrogram.merges().size(), 0u);
+  EXPECT_EQ(dendrogram.CutToClusters(1).value(), (std::vector<int>{0}));
+}
+
+// ----------------------------------------------------------- Agglomerative --
+
+TEST(AgglomerativeTest, KnownSingleLinkageHeights) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 2.0, 5.0, 9.0}), Linkage::kSingle)
+          .TakeValue();
+  // Single linkage merges at gaps: 2, 3, 4.
+  ASSERT_EQ(dendrogram.merges().size(), 3u);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[0].height, 2.0);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[1].height, 3.0);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[2].height, 4.0);
+}
+
+TEST(AgglomerativeTest, KnownCompleteLinkageHeights) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 2.0, 5.0, 9.0}), Linkage::kComplete)
+          .TakeValue();
+  // Merges: {0,1}@2, {2,3}@4, then complete distance 9.
+  ASSERT_EQ(dendrogram.merges().size(), 3u);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[0].height, 2.0);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[1].height, 4.0);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[2].height, 9.0);
+}
+
+TEST(AgglomerativeTest, KnownAverageLinkageHeights) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 2.0, 10.0, 13.0}), Linkage::kAverage)
+          .TakeValue();
+  ASSERT_EQ(dendrogram.merges().size(), 3u);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[0].height, 2.0);
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[1].height, 3.0);
+  // Average of {|0-10|,|0-13|,|2-10|,|2-13|} = (10+13+8+11)/4 = 10.5.
+  EXPECT_DOUBLE_EQ(dendrogram.merges()[2].height, 10.5);
+}
+
+TEST(AgglomerativeTest, MergeSizesAccumulate) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 2.0, 5.0, 9.0}), Linkage::kSingle)
+          .TakeValue();
+  EXPECT_EQ(dendrogram.merges().back().size, 4u);
+}
+
+class LinkageParamTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageParamTest, NnChainMatchesNaiveGreedy) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 42);
+  for (size_t n : {2u, 3u, 5u, 10u, 25u, 60u}) {
+    DissimilarityMatrix d = RandomMatrix(n, prng.get());
+    auto fast = Agglomerative::Run(d, GetParam()).TakeValue();
+    auto naive = Agglomerative::RunNaive(d, GetParam()).TakeValue();
+    ASSERT_EQ(fast.merges().size(), naive.merges().size());
+    for (size_t k = 0; k < fast.merges().size(); ++k) {
+      EXPECT_NEAR(fast.merges()[k].height, naive.merges()[k].height, 1e-9)
+          << "n=" << n << " merge " << k;
+    }
+    // Same flat clusterings at several cuts.
+    for (size_t k : {size_t{1}, size_t{2}, n / 2 + 1, n}) {
+      EXPECT_TRUE(SamePartition(fast.CutToClusters(k).value(),
+                                naive.CutToClusters(k).value()))
+          << "n=" << n << " cut " << k;
+    }
+  }
+}
+
+TEST_P(LinkageParamTest, HeightsMonotone) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 7);
+  DissimilarityMatrix d = RandomMatrix(40, prng.get());
+  auto dendrogram = Agglomerative::Run(d, GetParam()).TakeValue();
+  EXPECT_TRUE(dendrogram.HeightsMonotone());
+}
+
+TEST_P(LinkageParamTest, WellSeparatedBlobsRecovered) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 8);
+  std::vector<double> points;
+  std::vector<int> truth;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      points.push_back(100.0 * c + prng->NextUnitDouble());
+      truth.push_back(c);
+    }
+  }
+  auto dendrogram =
+      Agglomerative::Run(FromPoints(points), GetParam()).TakeValue();
+  EXPECT_TRUE(SamePartition(dendrogram.CutToClusters(3).value(), truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, LinkageParamTest,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage, Linkage::kWard),
+                         [](const auto& info) {
+                           return std::string(LinkageToString(info.param));
+                         });
+
+TEST(AgglomerativeTest, SingleLinkageFindsElongatedShapes) {
+  // A chain of points: single linkage keeps it together, complete splits
+  // it — the paper's "arbitrary shapes" argument for hierarchical methods.
+  std::vector<double> chain;
+  for (int i = 0; i < 20; ++i) chain.push_back(i * 1.0);
+  chain.push_back(100.0);  // Lone far point.
+  auto single =
+      Agglomerative::Run(FromPoints(chain), Linkage::kSingle).TakeValue();
+  auto labels = single.CutToClusters(2).TakeValue();
+  std::vector<int> expected(20, 0);
+  expected.push_back(1);
+  EXPECT_TRUE(SamePartition(labels, expected));
+}
+
+TEST(AgglomerativeTest, EmptyMatrixRejected) {
+  DissimilarityMatrix d(0);
+  EXPECT_FALSE(Agglomerative::Run(d, Linkage::kSingle).ok());
+  EXPECT_FALSE(Agglomerative::RunNaive(d, Linkage::kSingle).ok());
+}
+
+// ------------------------------------------------------------------ DBSCAN --
+
+TEST(DbscanTest, FindsDenseClustersAndNoise) {
+  // Two dense 1-D blobs plus one isolated point.
+  std::vector<double> points{0.0, 0.1, 0.2, 0.3, 5.0, 5.1, 5.2, 5.3, 50.0};
+  Dbscan::Options options;
+  options.eps = 0.5;
+  options.min_points = 3;
+  auto labels = Dbscan::Run(FromPoints(points), options).TakeValue();
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[4], labels[7]);
+  EXPECT_NE(labels[0], labels[4]);
+  EXPECT_EQ(labels[8], Dbscan::kNoise);
+}
+
+TEST(DbscanTest, BorderPointsJoinCores) {
+  std::vector<double> points{0.0, 0.4, 0.8, 1.2};  // Chain within eps=0.5.
+  Dbscan::Options options;
+  options.eps = 0.5;
+  options.min_points = 2;
+  auto labels = Dbscan::Run(FromPoints(points), options).TakeValue();
+  for (int label : labels) EXPECT_EQ(label, 0);
+}
+
+TEST(DbscanTest, AllNoiseWhenSparse) {
+  std::vector<double> points{0.0, 10.0, 20.0};
+  Dbscan::Options options;
+  options.eps = 1.0;
+  options.min_points = 2;
+  auto labels = Dbscan::Run(FromPoints(points), options).TakeValue();
+  for (int label : labels) EXPECT_EQ(label, Dbscan::kNoise);
+}
+
+TEST(DbscanTest, ParameterValidation) {
+  DissimilarityMatrix d(3);
+  EXPECT_FALSE(Dbscan::Run(d, {.eps = -1.0, .min_points = 2}).ok());
+  EXPECT_FALSE(Dbscan::Run(d, {.eps = 1.0, .min_points = 0}).ok());
+}
+
+// ---------------------------------------------------------------- KMedoids --
+
+TEST(KMedoidsTest, RecoversSeparatedBlobs) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 9);
+  std::vector<double> points;
+  std::vector<int> truth;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      points.push_back(50.0 * c + prng->NextUnitDouble());
+      truth.push_back(c);
+    }
+  }
+  KMedoids::Options options;
+  options.k = 3;
+  auto result =
+      KMedoids::Run(FromPoints(points), options, prng.get()).TakeValue();
+  EXPECT_TRUE(SamePartition(result.labels, truth));
+  EXPECT_EQ(result.medoids.size(), 3u);
+  std::set<int> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMedoidsTest, MedoidsBelongToOwnClusters) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 10);
+  DissimilarityMatrix d = RandomMatrix(20, prng.get());
+  KMedoids::Options options;
+  options.k = 4;
+  auto result = KMedoids::Run(d, options, prng.get()).TakeValue();
+  for (size_t c = 0; c < result.medoids.size(); ++c) {
+    EXPECT_EQ(result.labels[result.medoids[c]], static_cast<int>(c));
+  }
+}
+
+TEST(KMedoidsTest, KOneAssignsEverythingTogether) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 11);
+  DissimilarityMatrix d = RandomMatrix(10, prng.get());
+  KMedoids::Options options;
+  options.k = 1;
+  auto result = KMedoids::Run(d, options, prng.get()).TakeValue();
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(KMedoidsTest, ValidatesK) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 12);
+  DissimilarityMatrix d = RandomMatrix(5, prng.get());
+  EXPECT_FALSE(KMedoids::Run(d, {.k = 0}, prng.get()).ok());
+  EXPECT_FALSE(KMedoids::Run(d, {.k = 6}, prng.get()).ok());
+}
+
+// ----------------------------------------------------------------- Quality --
+
+TEST(QualityTest, SilhouetteHighForSeparatedClusters) {
+  auto matrix = FromPoints({0.0, 0.1, 0.2, 10.0, 10.1, 10.2});
+  std::vector<int> good{0, 0, 0, 1, 1, 1};
+  std::vector<int> bad{0, 1, 0, 1, 0, 1};
+  double s_good = Quality::Silhouette(matrix, good).TakeValue();
+  double s_bad = Quality::Silhouette(matrix, bad).TakeValue();
+  EXPECT_GT(s_good, 0.9);
+  EXPECT_LT(s_bad, 0.1);
+}
+
+TEST(QualityTest, SilhouetteNeedsTwoClusters) {
+  auto matrix = FromPoints({0.0, 1.0});
+  EXPECT_FALSE(Quality::Silhouette(matrix, {0, 0}).ok());
+}
+
+TEST(QualityTest, WithinClusterMeanSquaredDistance) {
+  auto matrix = FromPoints({0.0, 2.0, 10.0});
+  auto wcmsd =
+      Quality::WithinClusterMeanSquaredDistance(matrix, {0, 0, 1}).TakeValue();
+  ASSERT_EQ(wcmsd.size(), 2u);
+  EXPECT_DOUBLE_EQ(wcmsd[0], 4.0);  // One pair at distance 2.
+  EXPECT_DOUBLE_EQ(wcmsd[1], 0.0);  // Singleton.
+}
+
+TEST(QualityTest, RandIndexBoundsAndIdentity) {
+  std::vector<int> a{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Quality::RandIndex(a, a).TakeValue(), 1.0);
+  std::vector<int> opposite{0, 1, 0, 1};
+  double r = Quality::RandIndex(a, opposite).TakeValue();
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(QualityTest, AdjustedRandIndexIdentityAndChance) {
+  std::vector<int> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(Quality::AdjustedRandIndex(a, a).TakeValue(), 1.0);
+  // Independent labelings hover near 0.
+  auto prng = MakePrng(PrngKind::kXoshiro256, 13);
+  std::vector<int> x, y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(static_cast<int>(prng->NextBounded(3)));
+    y.push_back(static_cast<int>(prng->NextBounded(3)));
+  }
+  EXPECT_NEAR(Quality::AdjustedRandIndex(x, y).TakeValue(), 0.0, 0.1);
+}
+
+TEST(QualityTest, LabelPermutationInvariance) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  std::vector<int> permuted{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Quality::AdjustedRandIndex(permuted, truth).TakeValue(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(Quality::PairwiseF1(permuted, truth).TakeValue(), 1.0);
+  EXPECT_DOUBLE_EQ(Quality::Purity(permuted, truth).TakeValue(), 1.0);
+}
+
+TEST(QualityTest, PurityOfMergedClusters) {
+  // One predicted cluster containing two true ones: purity 0.5.
+  std::vector<int> predicted{0, 0, 0, 0};
+  std::vector<int> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Quality::Purity(predicted, truth).TakeValue(), 0.5);
+}
+
+TEST(QualityTest, PairwiseF1PenalizesSplitsAndMerges) {
+  std::vector<int> truth{0, 0, 0, 0};
+  std::vector<int> split{0, 0, 1, 1};
+  double f1 = Quality::PairwiseF1(split, truth).TakeValue();
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LT(f1, 1.0);
+}
+
+TEST(QualityTest, InputValidation) {
+  EXPECT_FALSE(Quality::RandIndex({0}, {0}).ok());
+  EXPECT_FALSE(Quality::RandIndex({0, 1}, {0}).ok());
+  EXPECT_FALSE(Quality::Purity({}, {}).ok());
+  auto matrix = FromPoints({0.0, 1.0});
+  EXPECT_FALSE(Quality::Silhouette(matrix, {0}).ok());
+}
+
+
+// ------------------------------------------------------------------ Newick --
+
+TEST(NewickTest, TwoLeafTree) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 3.0}), Linkage::kSingle).TakeValue();
+  EXPECT_EQ(dendrogram.ToNewick({"A0", "B0"}).value(), "(A0:3,B0:3);");
+}
+
+TEST(NewickTest, BranchLengthsAreHeightDifferences) {
+  // Points 0,1 merge at 1; with 5 at single-linkage height 4.
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 1.0, 5.0}), Linkage::kSingle)
+          .TakeValue();
+  std::string newick = dendrogram.ToNewick({"a", "b", "c"}).TakeValue();
+  // Inner pair at height 1, root at height 4: inner branch 4-1=3; the
+  // smaller node id (leaf c) is listed first by canonical child order.
+  EXPECT_EQ(newick, "(c:4,(a:1,b:1):3);");
+}
+
+TEST(NewickTest, SingleLeaf) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({2.0}), Linkage::kAverage).TakeValue();
+  EXPECT_EQ(dendrogram.ToNewick({"only"}).value(), "only;");
+}
+
+TEST(NewickTest, ValidatesNames) {
+  auto dendrogram =
+      Agglomerative::Run(FromPoints({0.0, 1.0}), Linkage::kSingle).TakeValue();
+  EXPECT_FALSE(dendrogram.ToNewick({"a"}).ok());
+  EXPECT_FALSE(dendrogram.ToNewick({"a", "b", "c"}).ok());
+}
+
+TEST(NewickTest, BalancedParenthesesOnLargerTrees) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 20);
+  DissimilarityMatrix d = RandomMatrix(20, prng.get());
+  auto dendrogram = Agglomerative::Run(d, Linkage::kAverage).TakeValue();
+  std::vector<std::string> names;
+  for (int i = 0; i < 20; ++i) names.push_back("x" + std::to_string(i));
+  std::string newick = dendrogram.ToNewick(names).TakeValue();
+  int depth = 0;
+  for (char c : newick) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(newick.back(), ';');
+  for (const auto& name : names) {
+    EXPECT_NE(newick.find(name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ppc

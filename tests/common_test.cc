@@ -1,0 +1,275 @@
+// Unit tests for src/common: Status/Result, serialization, fixed point,
+// string helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/fixed_point.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace ppc {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad weight");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad weight");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad weight");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::ProtocolViolation("x").code(),
+            StatusCode::kProtocolViolation);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailingOperation() { return Status::DataLoss("boom"); }
+
+Status UsesReturnIfError() {
+  PPC_RETURN_IF_ERROR(FailingOperation());
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------- Result --
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> DoubleOrFail(int v) {
+  PPC_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesValueAndError) {
+  ASSERT_TRUE(DoubleOrFail(4).ok());
+  EXPECT_EQ(DoubleOrFail(4).value(), 8);
+  EXPECT_EQ(DoubleOrFail(0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, TakeValueMovesOut) {
+  Result<std::string> r = std::string("payload");
+  std::string taken = r.TakeValue();
+  EXPECT_EQ(taken, "payload");
+}
+
+// ----------------------------------------------------------------- Serde --
+
+TEST(SerdeTest, RoundTripsScalars) {
+  ByteWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefull);
+  writer.WriteI64(-42);
+  writer.WriteF64(3.25);
+  std::string bytes = writer.TakeBytes();
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.ReadU8().value(), 0xab);
+  EXPECT_EQ(reader.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.ReadI64().value(), -42);
+  EXPECT_EQ(reader.ReadF64().value(), 3.25);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.WriteU32(0x01020304);
+  const std::string& bytes = writer.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x01);
+}
+
+TEST(SerdeTest, RoundTripsVectorsAndBytes) {
+  ByteWriter writer;
+  writer.WriteBytes("hello");
+  writer.WriteU64Vector({1, 2, 3});
+  writer.WriteF64Vector({0.5, -1.25});
+  writer.WriteBytesVector({"a", "", "ccc"});
+  std::string bytes = writer.TakeBytes();
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.ReadBytes().value(), "hello");
+  EXPECT_EQ(reader.ReadU64Vector().value(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(reader.ReadF64Vector().value(), (std::vector<double>{0.5, -1.25}));
+  EXPECT_EQ(reader.ReadBytesVector().value(),
+            (std::vector<std::string>{"a", "", "ccc"}));
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+}
+
+TEST(SerdeTest, TruncatedInputIsDataLoss) {
+  ByteWriter writer;
+  writer.WriteU64(1);
+  std::string bytes = writer.TakeBytes();
+  bytes.resize(5);
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.ReadU64().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerdeTest, TruncatedVectorIsDataLoss) {
+  ByteWriter writer;
+  writer.WriteU64Vector({1, 2, 3, 4});
+  std::string bytes = writer.TakeBytes();
+  bytes.resize(bytes.size() - 3);
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.ReadU64Vector().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerdeTest, OversizedLengthPrefixRejected) {
+  ByteWriter writer;
+  writer.WriteU32(0xffffffffu);  // Claims ~4G elements.
+  std::string bytes = writer.TakeBytes();
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.ReadU64Vector().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerdeTest, ExpectEndFlagsTrailingBytes) {
+  ByteWriter writer;
+  writer.WriteU8(1);
+  writer.WriteU8(2);
+  std::string bytes = writer.TakeBytes();
+  ByteReader reader(bytes);
+  ASSERT_TRUE(reader.ReadU8().ok());
+  EXPECT_EQ(reader.ExpectEnd().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerdeTest, EmptyVectorsRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU64Vector({});
+  writer.WriteBytesVector({});
+  std::string bytes = writer.TakeBytes();
+  ByteReader reader(bytes);
+  EXPECT_TRUE(reader.ReadU64Vector().value().empty());
+  EXPECT_TRUE(reader.ReadBytesVector().value().empty());
+}
+
+// ------------------------------------------------------------ FixedPoint --
+
+TEST(FixedPointTest, EncodesWithRounding) {
+  FixedPointCodec codec = FixedPointCodec::Create(3).TakeValue();
+  EXPECT_EQ(codec.Encode(1.2344).value(), 1234);
+  EXPECT_EQ(codec.Encode(1.2346).value(), 1235);
+  EXPECT_EQ(codec.Encode(-1.2346).value(), -1235);
+  EXPECT_EQ(codec.Encode(0.0).value(), 0);
+}
+
+TEST(FixedPointTest, DecodeInvertsEncodeOnGrid) {
+  FixedPointCodec codec = FixedPointCodec::Create(4).TakeValue();
+  for (double v : {0.0, 1.5, -2.25, 1234.5678, -0.0001}) {
+    int64_t encoded = codec.Encode(v).value();
+    EXPECT_NEAR(codec.Decode(encoded), v, 1e-4);
+  }
+}
+
+TEST(FixedPointTest, DifferencesAreExact) {
+  // The protocol computes |enc(x) - enc(y)|; decoding that must equal the
+  // grid-rounded distance exactly.
+  FixedPointCodec codec = FixedPointCodec::Create(6).TakeValue();
+  int64_t a = codec.Encode(10.123456).value();
+  int64_t b = codec.Encode(-3.000001).value();
+  EXPECT_DOUBLE_EQ(codec.Decode(a - b), 13.123457);
+}
+
+TEST(FixedPointTest, RejectsBadDigits) {
+  EXPECT_FALSE(FixedPointCodec::Create(-1).ok());
+  EXPECT_FALSE(FixedPointCodec::Create(16).ok());
+  EXPECT_TRUE(FixedPointCodec::Create(0).ok());
+  EXPECT_TRUE(FixedPointCodec::Create(15).ok());
+}
+
+TEST(FixedPointTest, RejectsOverflowAndNonFinite) {
+  FixedPointCodec codec = FixedPointCodec::Create(10).TakeValue();
+  EXPECT_EQ(codec.Encode(1e9).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(codec.Encode(std::numeric_limits<double>::infinity())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(codec.Encode(std::nan("")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ StringUtil --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("one", ','), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, ","), "x,y,z");
+  EXPECT_EQ(SplitString(JoinStrings(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, TrimRemovesWhitespaceEnds) {
+  EXPECT_EQ(TrimString("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimString("hi"), "hi");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(StringUtilTest, HexEncode) {
+  EXPECT_EQ(HexEncode(std::string("\x00\xff\x10", 3)), "00ff10");
+  EXPECT_EQ(HexEncode(""), "");
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.25), "1.25");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(-2.125), "-2.125");
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,97 @@
+// Tests for the categorical comparison protocol of paper Sec. 4.3:
+// deterministic encryption preserves exactly the equality pattern, and the
+// third party's merged matrix matches plaintext computation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/categorical_protocol.h"
+#include "crypto/det_encrypt.h"
+#include "distance/comparators.h"
+
+namespace ppc {
+namespace {
+
+TEST(CategoricalProtocolTest, TokensPreserveEqualityPattern) {
+  DeterministicEncryptor enc("holders-shared-key");
+  std::vector<std::string> values{"flu", "cold", "flu", "covid", "cold"};
+  auto tokens = CategoricalProtocol::EncryptColumn(values, enc);
+  ASSERT_EQ(tokens.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      EXPECT_EQ(tokens[i] == tokens[j], values[i] == values[j])
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(CategoricalProtocolTest, TokensHidePlaintext) {
+  DeterministicEncryptor enc("holders-shared-key");
+  auto tokens = CategoricalProtocol::EncryptColumn({"flu"}, enc);
+  EXPECT_EQ(tokens[0].find("flu"), std::string::npos);
+  EXPECT_EQ(tokens[0].size(), DeterministicEncryptor::kTokenLength);
+}
+
+TEST(CategoricalProtocolTest, CrossPartyEqualityRequiresSameKey) {
+  // Both holders use the shared key -> cross-party matches work; a holder
+  // using a different key would break them (and the protocol).
+  DeterministicEncryptor shared("k1");
+  DeterministicEncryptor rogue("k2");
+  auto a = CategoricalProtocol::EncryptColumn({"flu"}, shared);
+  auto b = CategoricalProtocol::EncryptColumn({"flu"}, shared);
+  auto c = CategoricalProtocol::EncryptColumn({"flu"}, rogue);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(CategoricalProtocolTest, GlobalMatrixMatchesPlaintextDistances) {
+  DeterministicEncryptor enc("key");
+  // Two parties' columns, merged in party order.
+  std::vector<std::string> party_a{"x", "y", "x"};
+  std::vector<std::string> party_b{"y", "z"};
+  auto tokens_a = CategoricalProtocol::EncryptColumn(party_a, enc);
+  auto tokens_b = CategoricalProtocol::EncryptColumn(party_b, enc);
+  auto matrix =
+      CategoricalProtocol::BuildGlobalMatrix({tokens_a, tokens_b}).TakeValue();
+  ASSERT_EQ(matrix.num_objects(), 5u);
+
+  std::vector<std::string> merged{"x", "y", "x", "y", "z"};
+  for (size_t i = 0; i < merged.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(matrix.at(i, j),
+                Comparators::CategoricalDistance(merged[i], merged[j]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(CategoricalProtocolTest, SinglePartyDegeneratesToLocalConstruction) {
+  DeterministicEncryptor enc("key");
+  auto tokens = CategoricalProtocol::EncryptColumn({"a", "a", "b"}, enc);
+  auto matrix = CategoricalProtocol::BuildGlobalMatrix({tokens}).TakeValue();
+  EXPECT_EQ(matrix.at(1, 0), 0.0);
+  EXPECT_EQ(matrix.at(2, 0), 1.0);
+  EXPECT_EQ(matrix.at(2, 1), 1.0);
+}
+
+TEST(CategoricalProtocolTest, EmptyColumnsTolerated) {
+  DeterministicEncryptor enc("key");
+  auto tokens = CategoricalProtocol::EncryptColumn({"a"}, enc);
+  auto matrix =
+      CategoricalProtocol::BuildGlobalMatrix({tokens, {}}).TakeValue();
+  EXPECT_EQ(matrix.num_objects(), 1u);
+  EXPECT_FALSE(CategoricalProtocol::BuildGlobalMatrix({{}, {}}).ok());
+}
+
+TEST(CategoricalProtocolTest, ManyDistinctValuesAllPairwiseDistinct) {
+  DeterministicEncryptor enc("key");
+  std::vector<std::string> values;
+  for (int i = 0; i < 64; ++i) values.push_back("v" + std::to_string(i));
+  auto tokens = CategoricalProtocol::EncryptColumn(values, enc);
+  std::set<std::string> distinct(tokens.begin(), tokens.end());
+  EXPECT_EQ(distinct.size(), values.size());
+}
+
+}  // namespace
+}  // namespace ppc

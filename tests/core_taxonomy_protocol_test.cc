@@ -1,0 +1,227 @@
+// Tests for the hierarchical-categorical protocol (the implemented
+// Sec. 4.3 future work): the third party computes exact taxonomy distances
+// from deterministic path tokens without seeing a category name.
+
+#include <gtest/gtest.h>
+
+#include "core/data_holder.h"
+#include "core/session.h"
+#include "core/taxonomy_protocol.h"
+#include "core/third_party.h"
+
+namespace ppc {
+namespace {
+
+CategoryTaxonomy DiseaseTaxonomy() {
+  return CategoryTaxonomy::Create({{"viral", "disease"},
+                                   {"bacterial", "disease"},
+                                   {"influenza", "viral"},
+                                   {"corona", "viral"},
+                                   {"h5n1", "influenza"},
+                                   {"h1n1", "influenza"},
+                                   {"tb", "bacterial"}})
+      .TakeValue();
+}
+
+TEST(TaxonomyProtocolTest, GlobalMatrixMatchesPlaintext) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  DeterministicEncryptor encryptor("holders-shared-key");
+
+  std::vector<std::string> party_a{"h5n1", "tb", "corona"};
+  std::vector<std::string> party_b{"h1n1", "h5n1"};
+
+  auto tokens_a =
+      TaxonomyProtocol::EncryptColumn(party_a, taxonomy, encryptor)
+          .TakeValue();
+  auto tokens_b =
+      TaxonomyProtocol::EncryptColumn(party_b, taxonomy, encryptor)
+          .TakeValue();
+  auto secure = TaxonomyProtocol::BuildGlobalMatrix({tokens_a, tokens_b},
+                                                    taxonomy.height())
+                    .TakeValue();
+
+  std::vector<std::string> merged{"h5n1", "tb", "corona", "h1n1", "h5n1"};
+  auto reference =
+      TaxonomyProtocol::PlaintextMatrix(merged, taxonomy).TakeValue();
+  EXPECT_EQ(secure.MaxAbsDifference(reference).TakeValue(), 0.0);
+}
+
+TEST(TaxonomyProtocolTest, TokensHideCategoryNames) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  DeterministicEncryptor encryptor("key");
+  auto tokens = TaxonomyProtocol::EncryptColumn({"h5n1"}, taxonomy, encryptor)
+                    .TakeValue();
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].size(), 3u);  // Depth of h5n1.
+  for (const std::string& token : tokens[0]) {
+    EXPECT_EQ(token.find("h5n1"), std::string::npos);
+    EXPECT_EQ(token.find("viral"), std::string::npos);
+    EXPECT_EQ(token.size(), DeterministicEncryptor::kTokenLength);
+  }
+}
+
+TEST(TaxonomyProtocolTest, SharedPrefixesAlignOnlyWhenPathsAgree) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  DeterministicEncryptor encryptor("key");
+  auto tokens = TaxonomyProtocol::EncryptColumn({"h5n1", "h1n1", "tb"},
+                                                taxonomy, encryptor)
+                    .TakeValue();
+  // h5n1 and h1n1 share viral/influenza: first two tokens equal, third
+  // differs.
+  EXPECT_EQ(tokens[0][0], tokens[1][0]);
+  EXPECT_EQ(tokens[0][1], tokens[1][1]);
+  EXPECT_NE(tokens[0][2], tokens[1][2]);
+  // tb diverges at the first level already.
+  EXPECT_NE(tokens[0][0], tokens[2][0]);
+}
+
+TEST(TaxonomyProtocolTest, LevelBindingPreventsCrossDepthCollisions) {
+  // The same name at different depths must not produce equal tokens.
+  auto taxonomy =
+      CategoryTaxonomy::Create({{"x", "root"}, {"y", "x"}}).TakeValue();
+  DeterministicEncryptor encryptor("key");
+  auto tokens =
+      TaxonomyProtocol::EncryptColumn({"x", "y"}, taxonomy, encryptor)
+          .TakeValue();
+  // Path of x = [x]; path of y = [x, y]: the level-0 tokens agree...
+  EXPECT_EQ(tokens[0][0], tokens[1][0]);
+  // ...and y's level-1 token differs from x's level-0 token even though
+  // both encode a single-name step.
+  EXPECT_NE(tokens[0][0], tokens[1][1]);
+}
+
+TEST(TaxonomyProtocolTest, OrderingSurvivesTheProtocol) {
+  // Siblings < cousins < strangers must hold in the TP's matrix.
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  DeterministicEncryptor encryptor("key");
+  auto tokens = TaxonomyProtocol::EncryptColumn({"h5n1", "h1n1", "corona",
+                                                 "tb"},
+                                                taxonomy, encryptor)
+                    .TakeValue();
+  auto matrix =
+      TaxonomyProtocol::BuildGlobalMatrix({tokens}, taxonomy.height())
+          .TakeValue();
+  double siblings = matrix.at(1, 0);   // h1n1 vs h5n1.
+  double cousins = matrix.at(2, 0);    // corona vs h5n1.
+  double strangers = matrix.at(3, 0);  // tb vs h5n1.
+  EXPECT_LT(siblings, cousins);
+  EXPECT_LT(cousins, strangers);
+}
+
+TEST(TaxonomyProtocolTest, RejectsUnknownCategoriesAndBadShapes) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  DeterministicEncryptor encryptor("key");
+  EXPECT_FALSE(
+      TaxonomyProtocol::EncryptColumn({"fungal"}, taxonomy, encryptor).ok());
+  EXPECT_FALSE(TaxonomyProtocol::BuildGlobalMatrix({}, 3).ok());
+  EXPECT_FALSE(TaxonomyProtocol::BuildGlobalMatrix({{{}}}, 0).ok());
+  EXPECT_FALSE(TaxonomyProtocol::PlaintextMatrix({}, taxonomy).ok());
+}
+
+TEST(TaxonomyProtocolTest, DifferentKeysBreakCrossPartyAlignment) {
+  // All holders must share the key, exactly like the flat categorical
+  // protocol.
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  DeterministicEncryptor key1("k1"), key2("k2");
+  auto a = TaxonomyProtocol::EncryptColumn({"h5n1"}, taxonomy, key1)
+               .TakeValue();
+  auto b = TaxonomyProtocol::EncryptColumn({"h5n1"}, taxonomy, key2)
+               .TakeValue();
+  EXPECT_NE(a[0][0], b[0][0]);
+}
+
+
+// ------------------------------------------------- end-to-end via session --
+
+TEST(TaxonomyProtocolTest, SessionIntegrationMatchesPlaintextDistances) {
+  // A hierarchical categorical attribute flowing through the ordinary
+  // Fig. 11 session: the TP's matrix must equal the plaintext taxonomy
+  // distances (normalized like every attribute matrix).
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  Schema schema = Schema::Create({{"diagnosis", AttributeType::kCategorical}})
+                      .TakeValue();
+  ProtocolConfig config;
+  config.taxonomies.emplace("diagnosis", taxonomy);
+
+  DataMatrix part_a(schema), part_b(schema);
+  std::vector<std::string> values_a{"h5n1", "tb", "corona"};
+  std::vector<std::string> values_b{"h1n1", "h5n1", "influenza"};
+  for (const auto& v : values_a) {
+    ASSERT_TRUE(part_a.AppendRow({Value::Categorical(v)}).ok());
+  }
+  for (const auto& v : values_b) {
+    ASSERT_TRUE(part_b.AppendRow({Value::Categorical(v)}).ok());
+  }
+
+  InMemoryNetwork network;
+  ThirdParty tp("TP", &network, config, schema, 1);
+  DataHolder a("A", &network, config, 2);
+  DataHolder b("B", &network, config, 3);
+  ASSERT_TRUE(a.SetData(part_a).ok());
+  ASSERT_TRUE(b.SetData(part_b).ok());
+  ClusteringSession session(&network, config, schema);
+  ASSERT_TRUE(session.SetThirdParty(&tp).ok());
+  ASSERT_TRUE(session.AddDataHolder(&a).ok());
+  ASSERT_TRUE(session.AddDataHolder(&b).ok());
+  ASSERT_TRUE(session.Run().ok());
+
+  std::vector<std::string> merged = values_a;
+  merged.insert(merged.end(), values_b.begin(), values_b.end());
+  auto reference =
+      TaxonomyProtocol::PlaintextMatrix(merged, taxonomy).TakeValue();
+  reference.Normalize();  // Fig. 11 step 4, applied to the reference too.
+  const DissimilarityMatrix* secure =
+      tp.AttributeMatrixForTesting(0).TakeValue();
+  EXPECT_LT(secure->MaxAbsDifference(reference).TakeValue(), 1e-12);
+
+  // Clustering on the hierarchy: influenza family vs the rest.
+  ClusterRequest request;
+  request.num_clusters = 2;
+  auto outcome = session.RequestClustering("A", request).TakeValue();
+  std::vector<int> labels = outcome.FlatLabels(6);
+  // h5n1(0), h1n1(3), h5n1(4), influenza(5) together; tb(1), corona(2) are
+  // each closer to each other than... verify at least the flu family holds.
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[0], labels[4]);
+  EXPECT_EQ(labels[0], labels[5]);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(TaxonomyProtocolTest, SessionRejectsKindMismatch) {
+  // Holder believes the attribute is hierarchical; TP does not (configs
+  // disagree). The TP must flag the protocol violation.
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  Schema schema = Schema::Create({{"diagnosis", AttributeType::kCategorical}})
+                      .TakeValue();
+  ProtocolConfig with_taxonomy;
+  with_taxonomy.taxonomies.emplace("diagnosis", taxonomy);
+  ProtocolConfig without_taxonomy;
+
+  InMemoryNetwork network;
+  ASSERT_TRUE(network.RegisterParty("TP").ok());
+  ASSERT_TRUE(network.RegisterParty("A").ok());
+  ASSERT_TRUE(network.RegisterParty("B").ok());
+  ThirdParty tp("TP", &network, without_taxonomy, schema, 1);
+  DataHolder a("A", &network, with_taxonomy, 2);
+  DataHolder b("B", &network, with_taxonomy, 3);
+  DataMatrix part(schema);
+  ASSERT_TRUE(part.AppendRow({Value::Categorical("h5n1")}).ok());
+  ASSERT_TRUE(a.SetData(part).ok());
+  ASSERT_TRUE(b.SetData(part).ok());
+
+  ASSERT_TRUE(a.SendHello("TP").ok());
+  ASSERT_TRUE(b.SendHello("TP").ok());
+  ASSERT_TRUE(tp.ReceiveHellos({"A", "B"}).ok());
+  ASSERT_TRUE(tp.BroadcastRoster().ok());
+  ASSERT_TRUE(a.ReceiveRoster("TP").ok());
+  ASSERT_TRUE(b.ReceiveRoster("TP").ok());
+  ASSERT_TRUE(a.DistributeCategoricalKey({"A", "B"}).ok());
+  ASSERT_TRUE(b.ReceiveCategoricalKey("A").ok());
+
+  ASSERT_TRUE(a.SendCategoricalTokens(0, "TP").ok());
+  EXPECT_EQ(tp.ReceiveCategoricalTokens("A").code(),
+            StatusCode::kProtocolViolation);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,299 @@
+// Unit tests for src/crypto: SHA-256/HMAC/AES known-answer vectors, the
+// deterministic encryptor, Diffie-Hellman agreement, and Paillier
+// correctness + homomorphism.
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "crypto/aes128.h"
+#include "crypto/bigint.h"
+#include "crypto/det_encrypt.h"
+#include "crypto/diffie_hellman.h"
+#include "crypto/hmac.h"
+#include "crypto/paillier.h"
+#include "crypto/sha256.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+std::string FromHex(const std::string& hex) {
+  std::string out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<char>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- SHA-256 --
+
+TEST(Sha256Test, NistShortVectors) {
+  EXPECT_EQ(Sha256::HexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::HexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::HexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(HexEncode(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data = "privacy preserving clustering on partitioned data";
+  Sha256 hasher;
+  for (char c : data) hasher.Update(&c, 1);
+  EXPECT_EQ(hasher.Finish(), Sha256::Hash(data));
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges all hash consistently.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    std::string data(len, 'x');
+    Sha256 a;
+    a.Update(data);
+    std::string one = a.Finish();
+    Sha256 b;
+    b.Update(data.substr(0, len / 2));
+    b.Update(data.substr(len / 2));
+    EXPECT_EQ(one, b.Finish()) << "length " << len;
+  }
+}
+
+// ------------------------------------------------------------------- HMAC --
+
+TEST(HmacTest, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(HexEncode(HmacSha256::Mac("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  std::string key(131, '\xaa');
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DeriveKeySeparatesLabels) {
+  std::string master = "master-secret";
+  EXPECT_NE(HmacSha256::DeriveKey(master, "a"),
+            HmacSha256::DeriveKey(master, "b"));
+  EXPECT_EQ(HmacSha256::DeriveKey(master, "a"),
+            HmacSha256::DeriveKey(master, "a"));
+}
+
+TEST(HmacTest, VerifyConstantTimeSemantics) {
+  std::string mac = HmacSha256::Mac("k", "m");
+  EXPECT_TRUE(HmacSha256::Verify(mac, mac));
+  std::string tampered = mac;
+  tampered[3] ^= 1;
+  EXPECT_FALSE(HmacSha256::Verify(mac, tampered));
+  EXPECT_FALSE(HmacSha256::Verify(mac, mac.substr(1)));
+}
+
+// ---------------------------------------------------------------- AES-128 --
+
+TEST(Aes128Test, Fips197Vector) {
+  std::string key = FromHex("000102030405060708090a0b0c0d0e0f");
+  std::string plaintext = FromHex("00112233445566778899aabbccddeeff");
+  Aes128 aes = Aes128::Create(key).TakeValue();
+  uint8_t out[16];
+  aes.EncryptBlock(reinterpret_cast<const uint8_t*>(plaintext.data()), out);
+  EXPECT_EQ(HexEncode(std::string(reinterpret_cast<char*>(out), 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128Test, RejectsWrongKeySize) {
+  EXPECT_FALSE(Aes128::Create("short").ok());
+  EXPECT_FALSE(Aes128::Create(std::string(32, 'k')).ok());
+}
+
+TEST(Aes128CtrTest, RoundTripsArbitraryLengths) {
+  Aes128Ctr ctr = Aes128Ctr::Create(std::string(16, 'k')).TakeValue();
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+    std::string data(len, '\0');
+    for (size_t i = 0; i < len; ++i) data[i] = static_cast<char>(i * 7);
+    std::string ct = ctr.Crypt("nonce123", data);
+    EXPECT_EQ(ctr.Crypt("nonce123", ct), data) << "length " << len;
+    if (len > 0) {
+      EXPECT_NE(ct, data);
+    }
+  }
+}
+
+TEST(Aes128CtrTest, DistinctNoncesDistinctKeystreams) {
+  Aes128Ctr ctr = Aes128Ctr::Create(std::string(16, 'k')).TakeValue();
+  std::string zeros(64, '\0');
+  EXPECT_NE(ctr.Crypt("nonceAAA", zeros), ctr.Crypt("nonceBBB", zeros));
+}
+
+// ----------------------------------------------- Deterministic encryption --
+
+TEST(DetEncryptTest, DeterministicAndEqualityPreserving) {
+  DeterministicEncryptor enc("shared-key");
+  EXPECT_EQ(enc.Encrypt("flu"), enc.Encrypt("flu"));
+  EXPECT_NE(enc.Encrypt("flu"), enc.Encrypt("cold"));
+  EXPECT_EQ(enc.Encrypt("flu").size(), DeterministicEncryptor::kTokenLength);
+}
+
+TEST(DetEncryptTest, KeySeparation) {
+  DeterministicEncryptor a("key-a"), b("key-b");
+  EXPECT_NE(a.Encrypt("flu"), b.Encrypt("flu"));
+}
+
+TEST(DetEncryptTest, EmptyAndBinaryPlaintexts) {
+  DeterministicEncryptor enc("k");
+  EXPECT_EQ(enc.Encrypt("").size(), DeterministicEncryptor::kTokenLength);
+  EXPECT_NE(enc.Encrypt(std::string("\0\1", 2)),
+            enc.Encrypt(std::string("\0\2", 2)));
+}
+
+// --------------------------------------------------------- Diffie-Hellman --
+
+TEST(DiffieHellmanTest, AgreementProducesSameSeed) {
+  auto rng_a = MakePrng(PrngKind::kChaCha20, 1);
+  auto rng_b = MakePrng(PrngKind::kChaCha20, 2);
+  auto alice = DiffieHellman::Generate(rng_a.get());
+  auto bob = DiffieHellman::Generate(rng_b.get());
+
+  mpz_class shared_alice =
+      DiffieHellman::SharedElement(alice.private_key, bob.public_key);
+  mpz_class shared_bob =
+      DiffieHellman::SharedElement(bob.private_key, alice.public_key);
+  EXPECT_EQ(shared_alice, shared_bob);
+
+  EXPECT_EQ(DiffieHellman::DeriveSeed(shared_alice, "label"),
+            DiffieHellman::DeriveSeed(shared_bob, "label"));
+  EXPECT_NE(DiffieHellman::DeriveSeed(shared_alice, "label"),
+            DiffieHellman::DeriveSeed(shared_alice, "other"));
+}
+
+TEST(DiffieHellmanTest, ThirdPartyDerivesDifferentSecret) {
+  // A party not holding either private key gets a different shared element
+  // from its own exchange.
+  auto rng = MakePrng(PrngKind::kChaCha20, 3);
+  auto alice = DiffieHellman::Generate(rng.get());
+  auto bob = DiffieHellman::Generate(rng.get());
+  auto eve = DiffieHellman::Generate(rng.get());
+  mpz_class ab = DiffieHellman::SharedElement(alice.private_key,
+                                              bob.public_key);
+  mpz_class eb = DiffieHellman::SharedElement(eve.private_key,
+                                              bob.public_key);
+  EXPECT_NE(ab, eb);
+}
+
+TEST(DiffieHellmanTest, PublicKeyInGroupRange) {
+  auto rng = MakePrng(PrngKind::kChaCha20, 4);
+  auto pair = DiffieHellman::Generate(rng.get());
+  EXPECT_GT(pair.public_key, 1);
+  EXPECT_LT(pair.public_key, DiffieHellman::Modulus());
+}
+
+// ----------------------------------------------------------------- BigInt --
+
+TEST(BigIntTest, ByteRoundTrip) {
+  for (const char* decimal : {"0", "1", "255", "256", "123456789012345678901"}) {
+    mpz_class value(decimal);
+    EXPECT_EQ(bigint::FromBytes(bigint::ToBytes(value)), value);
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  auto rng = MakePrng(PrngKind::kXoshiro256, 5);
+  mpz_class bound("1000000000000000000000000");
+  for (int i = 0; i < 50; ++i) {
+    mpz_class v = bigint::RandomBelow(rng.get(), bound);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(BigIntTest, RandomPrimeIsPrimeAndSized) {
+  auto rng = MakePrng(PrngKind::kXoshiro256, 6);
+  mpz_class p = bigint::RandomPrime(rng.get(), 128);
+  EXPECT_NE(mpz_probab_prime_p(p.get_mpz_t(), 25), 0);
+  EXPECT_GE(mpz_sizeinbase(p.get_mpz_t(), 2), 128u);
+}
+
+// --------------------------------------------------------------- Paillier --
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto rng = MakePrng(PrngKind::kChaCha20, 7);
+    keys_ = GeneratePaillierKeyPair(512, rng.get()).TakeValue();
+    blinding_ = MakePrng(PrngKind::kChaCha20, 8);
+  }
+  PaillierKeyPair keys_;
+  std::unique_ptr<Prng> blinding_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (long m : {0L, 1L, 42L, 1000000L}) {
+    mpz_class c = keys_.public_key.Encrypt(mpz_class(m), blinding_.get());
+    EXPECT_EQ(keys_.private_key.Decrypt(c), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsProbabilistic) {
+  mpz_class c1 = keys_.public_key.Encrypt(7, blinding_.get());
+  mpz_class c2 = keys_.public_key.Encrypt(7, blinding_.get());
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(keys_.private_key.Decrypt(c1), keys_.private_key.Decrypt(c2));
+}
+
+TEST_F(PaillierTest, AdditiveHomomorphism) {
+  mpz_class a = keys_.public_key.Encrypt(1234, blinding_.get());
+  mpz_class b = keys_.public_key.Encrypt(8766, blinding_.get());
+  EXPECT_EQ(keys_.private_key.Decrypt(keys_.public_key.Add(a, b)), 10000);
+}
+
+TEST_F(PaillierTest, PlaintextMultiplication) {
+  mpz_class c = keys_.public_key.Encrypt(111, blinding_.get());
+  EXPECT_EQ(keys_.private_key.Decrypt(keys_.public_key.MulPlain(c, 9)), 999);
+}
+
+TEST_F(PaillierTest, SignedEncodingRoundTrip) {
+  for (int64_t m : {0ll, 5ll, -5ll, 1ll << 40, -(1ll << 40)}) {
+    mpz_class c = keys_.public_key.EncryptSigned(m, blinding_.get());
+    mpz_class d = keys_.private_key.DecryptSigned(c);
+    EXPECT_EQ(d, mpz_class(std::to_string(m)));
+  }
+}
+
+TEST_F(PaillierTest, NegationAndDifference) {
+  // Enc(x) * Enc(-y) decrypts to x - y: the core of the numeric baseline.
+  mpz_class cx = keys_.public_key.EncryptSigned(300, blinding_.get());
+  mpz_class cy = keys_.public_key.EncryptSigned(-425, blinding_.get());
+  EXPECT_EQ(keys_.private_key.DecryptSigned(keys_.public_key.Add(cx, cy)),
+            -125);
+  mpz_class neg = keys_.public_key.Negate(cx);
+  EXPECT_EQ(keys_.private_key.DecryptSigned(neg), -300);
+}
+
+TEST_F(PaillierTest, KeyGenerationRejectsTinyModulus) {
+  auto rng = MakePrng(PrngKind::kChaCha20, 9);
+  EXPECT_FALSE(GeneratePaillierKeyPair(32, rng.get()).ok());
+}
+
+TEST_F(PaillierTest, CiphertextBytesMatchesModulusSize) {
+  // n^2 of a 512-bit n is ~1024 bits = ~128 bytes.
+  EXPECT_NEAR(static_cast<double>(keys_.public_key.CiphertextBytes()), 128.0,
+              2.0);
+}
+
+}  // namespace
+}  // namespace ppc

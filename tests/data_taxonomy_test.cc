@@ -1,0 +1,149 @@
+// Tests for src/data/taxonomy.h: category hierarchies and ordinal scales —
+// the richer categorical distances the paper's Sec. 4.3 leaves as future
+// work.
+
+#include <gtest/gtest.h>
+
+#include "data/taxonomy.h"
+
+namespace ppc {
+namespace {
+
+/// A small disease taxonomy:
+///
+///   disease
+///   ├── viral
+///   │   ├── influenza
+///   │   │   ├── h5n1
+///   │   │   └── h1n1
+///   │   └── corona
+///   └── bacterial
+///       └── tb
+CategoryTaxonomy DiseaseTaxonomy() {
+  return CategoryTaxonomy::Create({{"viral", "disease"},
+                                   {"bacterial", "disease"},
+                                   {"influenza", "viral"},
+                                   {"corona", "viral"},
+                                   {"h5n1", "influenza"},
+                                   {"h1n1", "influenza"},
+                                   {"tb", "bacterial"}})
+      .TakeValue();
+}
+
+TEST(TaxonomyTest, StructureQueries) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  EXPECT_TRUE(taxonomy.Contains("h5n1"));
+  EXPECT_TRUE(taxonomy.Contains("disease"));  // Root.
+  EXPECT_FALSE(taxonomy.Contains("fungal"));
+  EXPECT_EQ(taxonomy.height(), 3u);
+  EXPECT_EQ(taxonomy.DepthOf("disease").value(), 0u);
+  EXPECT_EQ(taxonomy.DepthOf("viral").value(), 1u);
+  EXPECT_EQ(taxonomy.DepthOf("h5n1").value(), 3u);
+}
+
+TEST(TaxonomyTest, PathsExcludeRoot) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  EXPECT_EQ(taxonomy.PathTo("h5n1").value(),
+            (std::vector<std::string>{"viral", "influenza", "h5n1"}));
+  EXPECT_TRUE(taxonomy.PathTo("disease").value().empty());
+  EXPECT_FALSE(taxonomy.PathTo("nope").ok());
+}
+
+TEST(TaxonomyTest, DistanceIsNormalizedTreePathLength) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  // Identity.
+  EXPECT_DOUBLE_EQ(taxonomy.Distance("h5n1", "h5n1").value(), 0.0);
+  // Siblings: 2 hops / (2*3).
+  EXPECT_DOUBLE_EQ(taxonomy.Distance("h5n1", "h1n1").value(), 2.0 / 6.0);
+  // Cousins under "viral": h5n1 (depth 3) to corona (depth 2), LCA viral
+  // (depth 1): hops = 3 + 2 - 2 = 3.
+  EXPECT_DOUBLE_EQ(taxonomy.Distance("h5n1", "corona").value(), 3.0 / 6.0);
+  // Across the root: h5n1 to tb, LCA = root: hops = 3 + 2 = 5.
+  EXPECT_DOUBLE_EQ(taxonomy.Distance("h5n1", "tb").value(), 5.0 / 6.0);
+  // Ancestor relationship: influenza to h5n1 = 1 hop.
+  EXPECT_DOUBLE_EQ(taxonomy.Distance("influenza", "h5n1").value(), 1.0 / 6.0);
+}
+
+TEST(TaxonomyTest, DistanceIsSymmetricAndTriangular) {
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  const auto& categories = taxonomy.categories();
+  for (const auto& a : categories) {
+    for (const auto& b : categories) {
+      EXPECT_DOUBLE_EQ(taxonomy.Distance(a, b).value(),
+                       taxonomy.Distance(b, a).value());
+      for (const auto& c : categories) {
+        EXPECT_LE(taxonomy.Distance(a, c).value(),
+                  taxonomy.Distance(a, b).value() +
+                      taxonomy.Distance(b, c).value() + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TaxonomyTest, SiblingsCloserThanCousinsCloserThanStrangers) {
+  // The property that motivates hierarchical categoricals: the flat 0/1
+  // distance cannot express this ordering.
+  CategoryTaxonomy taxonomy = DiseaseTaxonomy();
+  double siblings = taxonomy.Distance("h5n1", "h1n1").value();
+  double cousins = taxonomy.Distance("h5n1", "corona").value();
+  double strangers = taxonomy.Distance("h5n1", "tb").value();
+  EXPECT_LT(siblings, cousins);
+  EXPECT_LT(cousins, strangers);
+}
+
+TEST(TaxonomyTest, RejectsMalformedTrees) {
+  // Two roots.
+  EXPECT_FALSE(CategoryTaxonomy::Create({{"a", "r1"}, {"b", "r2"}}).ok());
+  // Cycle.
+  EXPECT_FALSE(CategoryTaxonomy::Create({{"a", "b"}, {"b", "a"}}).ok());
+  // Two parents.
+  EXPECT_FALSE(
+      CategoryTaxonomy::Create({{"a", "r"}, {"b", "r"}, {"a", "b"}}).ok());
+  // Self-parent.
+  EXPECT_FALSE(CategoryTaxonomy::Create({{"a", "a"}}).ok());
+  // Empty.
+  EXPECT_FALSE(CategoryTaxonomy::Create({}).ok());
+  // Empty names.
+  EXPECT_FALSE(CategoryTaxonomy::Create({{"", "r"}}).ok());
+}
+
+TEST(TaxonomyTest, SingleEdgeTree) {
+  auto taxonomy = CategoryTaxonomy::Create({{"leaf", "root"}}).TakeValue();
+  EXPECT_EQ(taxonomy.height(), 1u);
+  EXPECT_DOUBLE_EQ(taxonomy.Distance("leaf", "root").value(), 0.5);
+}
+
+// ---------------------------------------------------------- OrdinalScale --
+
+TEST(OrdinalScaleTest, RanksFollowOrder) {
+  auto scale = OrdinalScale::Create({"low", "medium", "high"}).TakeValue();
+  EXPECT_EQ(scale.size(), 3u);
+  EXPECT_EQ(scale.RankOf("low").value(), 0);
+  EXPECT_EQ(scale.RankOf("high").value(), 2);
+  EXPECT_FALSE(scale.RankOf("extreme").ok());
+}
+
+TEST(OrdinalScaleTest, EncodeColumn) {
+  auto scale = OrdinalScale::Create({"low", "medium", "high"}).TakeValue();
+  EXPECT_EQ(scale.EncodeColumn({"high", "low", "medium"}).value(),
+            (std::vector<int64_t>{2, 0, 1}));
+  EXPECT_FALSE(scale.EncodeColumn({"high", "nope"}).ok());
+}
+
+TEST(OrdinalScaleTest, RankDistanceReflectsOrder) {
+  // |rank(a) - rank(b)| makes "low" closer to "medium" than to "high" —
+  // what the paper's flat categorical distance cannot express.
+  auto scale = OrdinalScale::Create({"low", "medium", "high"}).TakeValue();
+  int64_t low = scale.RankOf("low").value();
+  int64_t medium = scale.RankOf("medium").value();
+  int64_t high = scale.RankOf("high").value();
+  EXPECT_LT(std::abs(low - medium), std::abs(low - high));
+}
+
+TEST(OrdinalScaleTest, RejectsDuplicatesAndEmpty) {
+  EXPECT_FALSE(OrdinalScale::Create({}).ok());
+  EXPECT_FALSE(OrdinalScale::Create({"a", "b", "a"}).ok());
+}
+
+}  // namespace
+}  // namespace ppc

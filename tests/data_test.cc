@@ -1,0 +1,439 @@
+// Unit tests for src/data: values, schemas, matrices, alphabets, CSV
+// persistence, synthetic generators, and horizontal partitioning.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/alphabet.h"
+#include "data/csv.h"
+#include "data/data_matrix.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "data/schema.h"
+#include "data/value.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+Schema MixedSchema() {
+  return Schema::Create({{"age", AttributeType::kInteger},
+                         {"score", AttributeType::kReal},
+                         {"city", AttributeType::kCategorical},
+                         {"dna", AttributeType::kAlphanumeric}})
+      .TakeValue();
+}
+
+// ------------------------------------------------------------------ Value --
+
+TEST(ValueTest, FactoriesSetTypeAndPayload) {
+  EXPECT_EQ(Value::Integer(-5).type(), AttributeType::kInteger);
+  EXPECT_EQ(Value::Integer(-5).AsInteger(), -5);
+  EXPECT_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Categorical("x").AsString(), "x");
+  EXPECT_EQ(Value::Alphanumeric("ACGT").type(), AttributeType::kAlphanumeric);
+}
+
+TEST(ValueTest, EqualityRequiresTypeAndPayload) {
+  EXPECT_EQ(Value::Integer(1), Value::Integer(1));
+  EXPECT_FALSE(Value::Integer(1) == Value::Integer(2));
+  EXPECT_FALSE(Value::Categorical("a") == Value::Alphanumeric("a"));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Integer(42).ToString(), "42");
+  EXPECT_EQ(Value::Real(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Categorical("red").ToString(), "red");
+}
+
+// ----------------------------------------------------------------- Schema --
+
+TEST(SchemaTest, RejectsDuplicatesAndEmptyNames) {
+  EXPECT_FALSE(Schema::Create({{"a", AttributeType::kInteger},
+                               {"a", AttributeType::kReal}})
+                   .ok());
+  EXPECT_FALSE(Schema::Create({{"", AttributeType::kInteger}}).ok());
+}
+
+TEST(SchemaTest, IndexOfFindsAttributes) {
+  Schema schema = MixedSchema();
+  EXPECT_EQ(schema.IndexOf("city").value(), 2u);
+  EXPECT_EQ(schema.IndexOf("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateRowChecksArityAndTypes) {
+  Schema schema = MixedSchema();
+  EXPECT_TRUE(schema
+                  .ValidateRow({Value::Integer(30), Value::Real(0.5),
+                                Value::Categorical("ist"),
+                                Value::Alphanumeric("ACG")})
+                  .ok());
+  EXPECT_FALSE(schema.ValidateRow({Value::Integer(30)}).ok());
+  EXPECT_FALSE(schema
+                   .ValidateRow({Value::Real(1.0), Value::Real(0.5),
+                                 Value::Categorical("ist"),
+                                 Value::Alphanumeric("ACG")})
+                   .ok());
+}
+
+// ------------------------------------------------------------- DataMatrix --
+
+TEST(DataMatrixTest, AppendAndAccess) {
+  DataMatrix m(MixedSchema());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(30), Value::Real(0.5),
+                           Value::Categorical("ist"),
+                           Value::Alphanumeric("ACG")})
+                  .ok());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(40), Value::Real(1.5),
+                           Value::Categorical("ank"),
+                           Value::Alphanumeric("TTT")})
+                  .ok());
+  EXPECT_EQ(m.NumRows(), 2u);
+  EXPECT_EQ(m.NumColumns(), 4u);
+  EXPECT_EQ(m.At(1, 0)->AsInteger(), 40);
+  EXPECT_EQ(m.at(0, 2).AsString(), "ist");
+  EXPECT_FALSE(m.At(2, 0).ok());
+  EXPECT_FALSE(m.At(0, 9).ok());
+}
+
+TEST(DataMatrixTest, TypedColumnAccessors) {
+  DataMatrix m(MixedSchema());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(1), Value::Real(0.5),
+                           Value::Categorical("a"),
+                           Value::Alphanumeric("AC")})
+                  .ok());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(2), Value::Real(1.5),
+                           Value::Categorical("b"),
+                           Value::Alphanumeric("GT")})
+                  .ok());
+  EXPECT_EQ(m.IntegerColumn(0).value(), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(m.RealColumn(1).value(), (std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(m.StringColumn(2).value(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(m.StringColumn(3).value(),
+            (std::vector<std::string>{"AC", "GT"}));
+  // Type mismatches rejected.
+  EXPECT_FALSE(m.IntegerColumn(1).ok());
+  EXPECT_FALSE(m.RealColumn(0).ok());
+  EXPECT_FALSE(m.StringColumn(0).ok());
+}
+
+TEST(DataMatrixTest, RowReconstruction) {
+  DataMatrix m(MixedSchema());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(1), Value::Real(0.5),
+                           Value::Categorical("a"),
+                           Value::Alphanumeric("AC")})
+                  .ok());
+  auto row = m.Row(0);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[3].AsString(), "AC");
+  EXPECT_FALSE(m.Row(1).ok());
+}
+
+TEST(DataMatrixTest, SchemaViolationsRejected) {
+  DataMatrix m(MixedSchema());
+  EXPECT_FALSE(m.AppendRow({Value::Integer(1)}).ok());
+  EXPECT_EQ(m.NumRows(), 0u);
+}
+
+// --------------------------------------------------------------- Alphabet --
+
+TEST(AlphabetTest, DnaBasics) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_EQ(dna.size(), 4u);
+  EXPECT_EQ(dna.IndexOf('A').value(), 0);
+  EXPECT_EQ(dna.IndexOf('T').value(), 3);
+  EXPECT_FALSE(dna.IndexOf('X').ok());
+  EXPECT_EQ(dna.SymbolAt(2), 'G');
+}
+
+TEST(AlphabetTest, EncodeDecodeRoundTrip) {
+  Alphabet dna = Alphabet::Dna();
+  auto encoded = dna.Encode("GATTACA");
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(dna.Decode(*encoded).value(), "GATTACA");
+  EXPECT_FALSE(dna.Encode("GATTAZA").ok());
+  EXPECT_FALSE(dna.Decode({0, 9}).ok());
+}
+
+TEST(AlphabetTest, ModularArithmeticWraps) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_EQ(dna.AddMod(3, 2), 1);  // (3+2) mod 4.
+  EXPECT_EQ(dna.SubMod(1, 3), 2);  // (1-3) mod 4.
+  for (uint8_t a = 0; a < 4; ++a) {
+    for (uint8_t r = 0; r < 4; ++r) {
+      EXPECT_EQ(dna.SubMod(dna.AddMod(a, r), r), a);
+    }
+  }
+}
+
+TEST(AlphabetTest, CreateRejectsDuplicatesAndEmpty) {
+  EXPECT_FALSE(Alphabet::Create("").ok());
+  EXPECT_FALSE(Alphabet::Create("abca").ok());
+  EXPECT_TRUE(Alphabet::Create("abc").ok());
+}
+
+TEST(AlphabetTest, PresetsAreWellFormed) {
+  EXPECT_EQ(Alphabet::LowercaseAscii().size(), 26u);
+  EXPECT_EQ(Alphabet::AlphanumericLower().size(), 37u);
+  EXPECT_TRUE(Alphabet::AlphanumericLower().IndexOf(' ').ok());
+}
+
+// --------------------------------------------------------------------- CSV --
+
+TEST(CsvTest, SerializeParseRoundTrip) {
+  DataMatrix m(MixedSchema());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(30), Value::Real(0.5),
+                           Value::Categorical("ist"),
+                           Value::Alphanumeric("ACG")})
+                  .ok());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(-7), Value::Real(-1.25),
+                           Value::Categorical("ank"),
+                           Value::Alphanumeric("T")})
+                  .ok());
+  std::string text = Csv::Serialize(m).TakeValue();
+  DataMatrix parsed = Csv::Parse(text).TakeValue();
+  ASSERT_EQ(parsed.NumRows(), 2u);
+  EXPECT_TRUE(parsed.schema() == m.schema());
+  EXPECT_EQ(parsed.At(1, 0)->AsInteger(), -7);
+  EXPECT_DOUBLE_EQ(parsed.At(1, 1)->AsReal(), -1.25);
+  EXPECT_EQ(parsed.At(0, 3)->AsString(), "ACG");
+}
+
+TEST(CsvTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Csv::Parse("").ok());
+  EXPECT_FALSE(Csv::Parse("name\n1\n").ok());  // Missing :type.
+  EXPECT_FALSE(Csv::Parse("a:integer\nnot_a_number\n").ok());
+  EXPECT_FALSE(Csv::Parse("a:integer,b:real\n1\n").ok());  // Arity.
+  EXPECT_FALSE(Csv::Parse("a:badtype\n1\n").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  DataMatrix m(Schema::Create({{"v", AttributeType::kInteger}}).TakeValue());
+  ASSERT_TRUE(m.AppendRow({Value::Integer(11)}).ok());
+  std::string path = ::testing::TempDir() + "/ppc_csv_test.csv";
+  ASSERT_TRUE(Csv::WriteFile(path, m).ok());
+  DataMatrix back = Csv::ReadFile(path).TakeValue();
+  EXPECT_EQ(back.At(0, 0)->AsInteger(), 11);
+  std::remove(path.c_str());
+  EXPECT_FALSE(Csv::ReadFile(path + ".missing").ok());
+}
+
+// ------------------------------------------------------------- Generators --
+
+TEST(GeneratorsTest, GaussianMixtureShapesAndLabels) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 1);
+  auto data = Generators::GaussianMixture(
+                  100,
+                  {{{0.0, 0.0}, 0.5, 1.0}, {{10.0, 10.0}, 0.5, 1.0}},
+                  prng.get())
+                  .TakeValue();
+  EXPECT_EQ(data.data.NumRows(), 100u);
+  EXPECT_EQ(data.data.NumColumns(), 2u);
+  EXPECT_EQ(data.labels.size(), 100u);
+  std::set<int> labels(data.labels.begin(), data.labels.end());
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(GeneratorsTest, GaussianClustersAreSeparated) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 2);
+  auto data = Generators::GaussianMixture(
+                  200, {{{0.0}, 0.5, 1.0}, {{100.0}, 0.5, 1.0}}, prng.get())
+                  .TakeValue();
+  for (size_t i = 0; i < 200; ++i) {
+    double v = data.data.at(i, 0).AsReal();
+    if (data.labels[i] == 0) {
+      EXPECT_LT(std::abs(v), 10.0);
+    } else {
+      EXPECT_GT(v, 90.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, GaussianRejectsBadSpecs) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 3);
+  EXPECT_FALSE(Generators::GaussianMixture(10, {}, prng.get()).ok());
+  EXPECT_FALSE(Generators::GaussianMixture(
+                   10, {{{1.0}, 1.0, 1.0}, {{1.0, 2.0}, 1.0, 1.0}},
+                   prng.get())
+                   .ok());
+}
+
+TEST(GeneratorsTest, DnaSequencesStayInAlphabet) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 4);
+  Generators::DnaOptions options;
+  options.num_clusters = 3;
+  options.ancestor_length = 40;
+  auto data = Generators::DnaSequences(60, options, prng.get()).TakeValue();
+  EXPECT_EQ(data.data.NumRows(), 60u);
+  Alphabet dna = Alphabet::Dna();
+  for (size_t i = 0; i < 60; ++i) {
+    EXPECT_TRUE(dna.Encode(data.data.at(i, 0).AsString()).ok());
+  }
+}
+
+TEST(GeneratorsTest, DnaIntraClusterCloserThanInter) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 5);
+  Generators::DnaOptions options;
+  options.num_clusters = 2;
+  options.ancestor_length = 60;
+  options.substitution_rate = 0.03;
+  options.indel_rate = 0.0;
+  auto data = Generators::DnaSequences(30, options, prng.get()).TakeValue();
+  // Average edit distance within vs across clusters.
+  double intra = 0, inter = 0;
+  int intra_n = 0, inter_n = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      size_t d = 0;
+      const std::string& a = data.data.at(i, 0).AsString();
+      const std::string& b = data.data.at(j, 0).AsString();
+      for (size_t k = 0; k < a.size(); ++k) {
+        if (a[k] != b[k]) ++d;
+      }
+      if (data.labels[i] == data.labels[j]) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_LT(intra / intra_n, inter / inter_n);
+}
+
+TEST(GeneratorsTest, MutateRatesRoughlyRespected) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 6);
+  Alphabet dna = Alphabet::Dna();
+  std::string ancestor = Generators::RandomString(2000, dna, prng.get());
+  std::string mutated =
+      Generators::Mutate(ancestor, dna, 0.1, 0.0, prng.get());
+  ASSERT_EQ(mutated.size(), ancestor.size());
+  int diffs = 0;
+  for (size_t i = 0; i < ancestor.size(); ++i) {
+    if (ancestor[i] != mutated[i]) ++diffs;
+  }
+  // 10% substitution rate, but a quarter of substitutions hit the same
+  // symbol: expect ~7.5%.
+  EXPECT_NEAR(diffs / 2000.0, 0.075, 0.03);
+}
+
+TEST(GeneratorsTest, CategoricalClustersRespectDomain) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 7);
+  Generators::CategoricalOptions options;
+  options.num_clusters = 2;
+  options.num_attributes = 3;
+  options.domain_size = 4;
+  auto data =
+      Generators::CategoricalClusters(50, options, prng.get()).TakeValue();
+  EXPECT_EQ(data.data.NumColumns(), 3u);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      std::string v = data.data.at(i, c).AsString();
+      EXPECT_EQ(v[0], 'v');
+      EXPECT_LT(v[1] - '0', 4);
+    }
+  }
+}
+
+TEST(GeneratorsTest, MixedClustersCoverAllTypes) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 8);
+  Generators::MixedOptions options;
+  auto data = Generators::MixedClusters(40, options, Alphabet::Dna(),
+                                        prng.get())
+                  .TakeValue();
+  const Schema& schema = data.data.schema();
+  EXPECT_EQ(schema.attribute(0).type, AttributeType::kReal);
+  EXPECT_EQ(schema.attribute(schema.size() - 2).type,
+            AttributeType::kCategorical);
+  EXPECT_EQ(schema.attribute(schema.size() - 1).type,
+            AttributeType::kAlphanumeric);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  auto a = MakePrng(PrngKind::kXoshiro256, 9);
+  auto b = MakePrng(PrngKind::kXoshiro256, 9);
+  auto da = Generators::DnaSequences(10, {}, a.get()).TakeValue();
+  auto db = Generators::DnaSequences(10, {}, b.get()).TakeValue();
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(da.data.at(i, 0).AsString(), db.data.at(i, 0).AsString());
+  }
+}
+
+// ------------------------------------------------------------ Partitioner --
+
+LabeledDataset SmallDataset(size_t n) {
+  Schema schema = Schema::Create({{"v", AttributeType::kInteger}}).TakeValue();
+  LabeledDataset data{DataMatrix(schema), {}};
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        data.data.AppendRow({Value::Integer(static_cast<int64_t>(i))}).ok());
+    data.labels.push_back(static_cast<int>(i % 2));
+  }
+  return data;
+}
+
+TEST(PartitionerTest, RoundRobinDealsEvenly) {
+  auto parts = Partitioner::RoundRobin(SmallDataset(10), 3).TakeValue();
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].data.NumRows(), 4u);
+  EXPECT_EQ(parts[1].data.NumRows(), 3u);
+  EXPECT_EQ(parts[2].data.NumRows(), 3u);
+  EXPECT_EQ(parts[0].data.at(1, 0).AsInteger(), 3);  // Rows 0,3,6,9.
+}
+
+TEST(PartitionerTest, RandomCoversAllRowsOnce) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 10);
+  auto parts = Partitioner::Random(SmallDataset(20), 4, prng.get())
+                   .TakeValue();
+  size_t total = 0;
+  std::set<int64_t> seen;
+  for (const auto& part : parts) {
+    total += part.data.NumRows();
+    EXPECT_GE(part.data.NumRows(), 1u);
+    for (size_t i = 0; i < part.data.NumRows(); ++i) {
+      seen.insert(part.data.at(i, 0).AsInteger());
+    }
+  }
+  EXPECT_EQ(total, 20u);
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(PartitionerTest, ByFractionsRespectsShares) {
+  auto parts =
+      Partitioner::ByFractions(SmallDataset(100), {0.5, 0.3, 0.2}).TakeValue();
+  EXPECT_EQ(parts[0].data.NumRows(), 50u);
+  EXPECT_EQ(parts[1].data.NumRows(), 30u);
+  EXPECT_EQ(parts[2].data.NumRows(), 20u);
+  EXPECT_FALSE(Partitioner::ByFractions(SmallDataset(10), {0.5, 0.2}).ok());
+}
+
+TEST(PartitionerTest, ConcatenateInvertsRoundRobinUpToOrder) {
+  LabeledDataset original = SmallDataset(9);
+  auto parts = Partitioner::RoundRobin(original, 2).TakeValue();
+  LabeledDataset merged = Partitioner::Concatenate(parts).TakeValue();
+  EXPECT_EQ(merged.data.NumRows(), 9u);
+  std::multiset<int64_t> a, b;
+  for (size_t i = 0; i < 9; ++i) {
+    a.insert(original.data.at(i, 0).AsInteger());
+    b.insert(merged.data.at(i, 0).AsInteger());
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(PartitionerTest, LabelsTravelWithRows) {
+  auto parts = Partitioner::RoundRobin(SmallDataset(6), 2).TakeValue();
+  for (const auto& part : parts) {
+    for (size_t i = 0; i < part.data.NumRows(); ++i) {
+      EXPECT_EQ(part.labels[i],
+                static_cast<int>(part.data.at(i, 0).AsInteger() % 2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,71 @@
+#ifndef PPC_TESTS_SESSION_TEST_UTIL_H_
+#define PPC_TESTS_SESSION_TEST_UTIL_H_
+
+// Shared helpers for integration tests and benchmarks: stand up a network,
+// k data holders and a third party over given horizontal partitions, and
+// run the full session.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/data_holder.h"
+#include "core/session.h"
+#include "core/third_party.h"
+#include "data/partition.h"
+#include "net/network.h"
+
+namespace ppc {
+namespace testutil {
+
+/// Owns every party of a protocol run.
+struct SessionFixture {
+  std::unique_ptr<InMemoryNetwork> network;
+  std::unique_ptr<ThirdParty> third_party;
+  std::vector<std::unique_ptr<DataHolder>> holders;
+  std::unique_ptr<ClusteringSession> session;
+
+  /// Names are "A", "B", "C", ... in party order; the TP is "TP".
+  static std::string HolderName(size_t index) {
+    return std::string(1, static_cast<char>('A' + index));
+  }
+};
+
+/// Builds (but does not run) a session over `partitions`.
+inline Result<SessionFixture> MakeSession(
+    const Schema& schema, const std::vector<DataMatrix>& partitions,
+    const ProtocolConfig& config,
+    TransportSecurity security = TransportSecurity::kAuthenticatedEncryption,
+    uint64_t entropy_base = 9000) {
+  SessionFixture fixture;
+  fixture.network = std::make_unique<InMemoryNetwork>(security);
+  fixture.third_party = std::make_unique<ThirdParty>(
+      "TP", fixture.network.get(), config, schema, entropy_base);
+  fixture.session = std::make_unique<ClusteringSession>(fixture.network.get(),
+                                                        config, schema);
+  PPC_RETURN_IF_ERROR(fixture.session->SetThirdParty(fixture.third_party.get()));
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    auto holder = std::make_unique<DataHolder>(
+        SessionFixture::HolderName(i), fixture.network.get(), config,
+        entropy_base + 1 + i);
+    PPC_RETURN_IF_ERROR(holder->SetData(partitions[i]));
+    PPC_RETURN_IF_ERROR(fixture.session->AddDataHolder(holder.get()));
+    fixture.holders.push_back(std::move(holder));
+  }
+  return fixture;
+}
+
+/// Extracts the data matrices from labeled partitions.
+inline std::vector<DataMatrix> MatricesOf(
+    const std::vector<LabeledDataset>& parts) {
+  std::vector<DataMatrix> out;
+  out.reserve(parts.size());
+  for (const LabeledDataset& part : parts) out.push_back(part.data);
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace ppc
+
+#endif  // PPC_TESTS_SESSION_TEST_UTIL_H_

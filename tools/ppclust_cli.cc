@@ -1,0 +1,262 @@
+// ppclust_cli — operate the privacy-preserving clustering pipeline from
+// the command line, with CSV files playing the data holders' private
+// partitions.
+//
+// Commands:
+//
+//   ppclust_cli generate --kind=mixed|dna|gaussian --objects=N --parties=K
+//                        [--seed=S] [--prefix=PATH]
+//       Writes K partition files PATH.part0.csv ... and PATH.labels.csv
+//       (ground truth, for scoring only — a real deployment has none).
+//
+//   ppclust_cli cluster PART0.csv PART1.csv [...] [--clusters=K]
+//                       [--linkage=single|complete|average|ward]
+//                       [--algorithm=hier|kmedoids|dbscan]
+//                       [--weights=w0,w1,...] [--mode=batch|perpair]
+//                       [--eps=0.2] [--minpts=4] [--newick=FILE]
+//       Runs the full protocol with one data holder per file and prints
+//       the published outcome (paper Fig. 13) plus traffic statistics.
+//       --newick writes the TP-side dendrogram for phylogenetics tools
+//       (it stays TP-side: branch lengths are distances, which the paper
+//       requires the TP to keep from the holders).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "ppclust.h"
+
+namespace ppc {
+namespace {
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> named;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.named[arg.substr(2)] = "true";
+      } else {
+        flags.named[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ppclust_cli generate --kind=mixed|dna|gaussian "
+               "--objects=N --parties=K [--seed=S] [--prefix=PATH]\n"
+               "  ppclust_cli cluster PART0.csv PART1.csv [...] "
+               "[--clusters=K] [--linkage=L] [--algorithm=A] "
+               "[--weights=w0,w1] [--mode=batch|perpair] [--newick=FILE]\n");
+  return 2;
+}
+
+int RunGenerate(const Flags& flags) {
+  const std::string kind = flags.Get("kind", "mixed");
+  const size_t objects = static_cast<size_t>(flags.GetInt("objects", 30));
+  const size_t parties = static_cast<size_t>(flags.GetInt("parties", 2));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string prefix = flags.Get("prefix", "ppclust_data");
+
+  auto prng = MakePrng(PrngKind::kXoshiro256, seed);
+  Result<LabeledDataset> generated = Status::InvalidArgument("unreachable");
+  if (kind == "mixed") {
+    Generators::MixedOptions options;
+    generated = Generators::MixedClusters(objects, options, Alphabet::Dna(),
+                                          prng.get());
+  } else if (kind == "dna") {
+    generated = Generators::DnaSequences(objects, {}, prng.get());
+  } else if (kind == "gaussian") {
+    generated = Generators::GaussianMixture(
+        objects,
+        {{{0.0, 0.0}, 1.0, 1.0},
+         {{8.0, 8.0}, 1.0, 1.0},
+         {{-8.0, 8.0}, 1.0, 1.0}},
+        prng.get());
+  } else {
+    return Fail("unknown --kind '" + kind + "'");
+  }
+  if (!generated.ok()) return Fail(generated.status().ToString());
+
+  auto parts = Partitioner::RoundRobin(*generated, parties);
+  if (!parts.ok()) return Fail(parts.status().ToString());
+
+  for (size_t p = 0; p < parts->size(); ++p) {
+    std::string path = prefix + ".part" + std::to_string(p) + ".csv";
+    Status written = Csv::WriteFile(path, (*parts)[p].data);
+    if (!written.ok()) return Fail(written.ToString());
+    std::printf("wrote %s (%zu objects)\n", path.c_str(),
+                (*parts)[p].data.NumRows());
+  }
+  // Ground-truth labels in global (concatenated) order, for scoring.
+  auto merged = Partitioner::Concatenate(*parts);
+  if (!merged.ok()) return Fail(merged.status().ToString());
+  std::string labels_path = prefix + ".labels.csv";
+  std::ofstream labels(labels_path);
+  labels << "label\n";
+  for (int label : merged->labels) labels << label << "\n";
+  std::printf("wrote %s (ground truth; not part of the protocol)\n",
+              labels_path.c_str());
+  return 0;
+}
+
+int RunCluster(const Flags& flags) {
+  if (flags.positional.size() < 2) {
+    return Fail("cluster needs at least two partition CSVs (k >= 2)");
+  }
+  std::vector<DataMatrix> parts;
+  for (const std::string& path : flags.positional) {
+    auto matrix = Csv::ReadFile(path);
+    if (!matrix.ok()) return Fail(path + ": " + matrix.status().ToString());
+    parts.push_back(std::move(matrix).TakeValue());
+  }
+  const Schema& schema = parts[0].schema();
+  for (const DataMatrix& part : parts) {
+    if (!(part.schema() == schema)) {
+      return Fail("partition schemas disagree");
+    }
+  }
+
+  ProtocolConfig config;
+  config.alphabet = Alphabet::Dna();
+  if (flags.Get("alphabet", "dna") == "lowercase") {
+    config.alphabet = Alphabet::LowercaseAscii();
+  } else if (flags.Get("alphabet", "dna") == "identifier") {
+    config.alphabet = Alphabet::AlphanumericLower();
+  }
+  if (flags.Get("mode", "batch") == "perpair") {
+    config.masking_mode = MaskingMode::kPerPair;
+  }
+
+  InMemoryNetwork network;
+  ThirdParty tp("TP", &network, config, schema, 1);
+  ClusteringSession session(&network, config, schema);
+  Status status = session.SetThirdParty(&tp);
+  if (!status.ok()) return Fail(status.ToString());
+
+  std::vector<std::unique_ptr<DataHolder>> holders;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::string name(1, static_cast<char>('A' + p));
+    holders.push_back(
+        std::make_unique<DataHolder>(name, &network, config, 100 + p));
+    status = holders.back()->SetData(parts[p]);
+    if (!status.ok()) return Fail(status.ToString());
+    status = session.AddDataHolder(holders.back().get());
+    if (!status.ok()) return Fail(status.ToString());
+  }
+
+  Stopwatch stopwatch;
+  status = session.Run();
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("# protocol: %.1f ms, %llu wire bytes, %llu messages\n",
+              stopwatch.ElapsedMillis(),
+              static_cast<unsigned long long>(
+                  network.GrandTotal().wire_bytes),
+              static_cast<unsigned long long>(
+                  network.GrandTotal().messages));
+
+  ClusterRequest request;
+  request.num_clusters = static_cast<uint64_t>(flags.GetInt("clusters", 3));
+  const std::string algorithm = flags.Get("algorithm", "hier");
+  if (algorithm == "kmedoids") {
+    request.algorithm = ClusterAlgorithm::kKMedoids;
+  } else if (algorithm == "dbscan") {
+    request.algorithm = ClusterAlgorithm::kDbscan;
+    request.dbscan_eps = flags.GetDouble("eps", 0.2);
+    request.dbscan_min_points =
+        static_cast<uint64_t>(flags.GetInt("minpts", 4));
+  } else if (algorithm != "hier") {
+    return Fail("unknown --algorithm '" + algorithm + "'");
+  }
+  const std::string linkage = flags.Get("linkage", "average");
+  if (linkage == "single") {
+    request.linkage = Linkage::kSingle;
+  } else if (linkage == "complete") {
+    request.linkage = Linkage::kComplete;
+  } else if (linkage == "ward") {
+    request.linkage = Linkage::kWard;
+  } else if (linkage != "average") {
+    return Fail("unknown --linkage '" + linkage + "'");
+  }
+  const std::string weights_flag = flags.Get("weights", "");
+  if (!weights_flag.empty()) {
+    for (const std::string& w : SplitString(weights_flag, ',')) {
+      request.weights.push_back(std::atof(w.c_str()));
+    }
+  }
+
+  auto outcome = session.RequestClustering("A", request);
+  if (!outcome.ok()) return Fail(outcome.status().ToString());
+  std::printf("%s", outcome->ToString().c_str());
+  std::printf("# silhouette: %.3f\n", outcome->silhouette);
+
+  const std::string newick_path = flags.Get("newick", "");
+  if (!newick_path.empty()) {
+    // TP-side export (never published to holders: branch lengths are
+    // distances). Rebuild the dendrogram from the TP's merged matrix.
+    auto merged = tp.MergedMatrixForTesting(request.weights);
+    if (!merged.ok()) return Fail(merged.status().ToString());
+    auto dendrogram = Agglomerative::Run(*merged, request.linkage);
+    if (!dendrogram.ok()) return Fail(dendrogram.status().ToString());
+    std::vector<std::string> names;
+    size_t global = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      for (size_t i = 0; i < parts[p].NumRows(); ++i, ++global) {
+        names.push_back(std::string(1, static_cast<char>('A' + p)) +
+                        std::to_string(i));
+      }
+    }
+    auto newick = dendrogram->ToNewick(names);
+    if (!newick.ok()) return Fail(newick.status().ToString());
+    std::ofstream out(newick_path);
+    out << *newick << "\n";
+    std::printf("# wrote TP-side dendrogram to %s\n", newick_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppc
+
+int main(int argc, char** argv) {
+  if (argc < 2) return ppc::Usage();
+  std::string command = argv[1];
+  ppc::Flags flags = ppc::ParseFlags(argc, argv);
+  if (command == "generate") return ppc::RunGenerate(flags);
+  if (command == "cluster") return ppc::RunCluster(flags);
+  return ppc::Usage();
+}
