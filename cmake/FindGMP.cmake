@@ -1,0 +1,43 @@
+# FindGMP — locate the GNU MP library and its C++ bindings (gmpxx).
+#
+# Defines the imported targets GMP::gmp and GMP::gmpxx plus the usual
+# GMP_FOUND / GMP_INCLUDE_DIRS / GMP_LIBRARIES variables. Tries
+# pkg-config first and falls back to a plain header/library search so
+# the build also works where pkg-config metadata is not installed.
+
+include(FindPackageHandleStandardArgs)
+
+find_package(PkgConfig QUIET)
+if(PKG_CONFIG_FOUND)
+  pkg_check_modules(PC_GMP QUIET gmp)
+  pkg_check_modules(PC_GMPXX QUIET gmpxx)
+endif()
+
+find_path(GMP_INCLUDE_DIR NAMES gmp.h HINTS ${PC_GMP_INCLUDE_DIRS})
+find_library(GMP_LIBRARY NAMES gmp HINTS ${PC_GMP_LIBRARY_DIRS})
+find_path(GMPXX_INCLUDE_DIR NAMES gmpxx.h HINTS ${PC_GMPXX_INCLUDE_DIRS})
+find_library(GMPXX_LIBRARY NAMES gmpxx HINTS ${PC_GMPXX_LIBRARY_DIRS})
+
+find_package_handle_standard_args(GMP
+  REQUIRED_VARS GMP_LIBRARY GMP_INCLUDE_DIR GMPXX_LIBRARY GMPXX_INCLUDE_DIR)
+
+if(GMP_FOUND)
+  set(GMP_INCLUDE_DIRS ${GMP_INCLUDE_DIR} ${GMPXX_INCLUDE_DIR})
+  set(GMP_LIBRARIES ${GMPXX_LIBRARY} ${GMP_LIBRARY})
+
+  if(NOT TARGET GMP::gmp)
+    add_library(GMP::gmp UNKNOWN IMPORTED)
+    set_target_properties(GMP::gmp PROPERTIES
+      IMPORTED_LOCATION "${GMP_LIBRARY}"
+      INTERFACE_INCLUDE_DIRECTORIES "${GMP_INCLUDE_DIR}")
+  endif()
+  if(NOT TARGET GMP::gmpxx)
+    add_library(GMP::gmpxx UNKNOWN IMPORTED)
+    set_target_properties(GMP::gmpxx PROPERTIES
+      IMPORTED_LOCATION "${GMPXX_LIBRARY}"
+      INTERFACE_INCLUDE_DIRECTORIES "${GMPXX_INCLUDE_DIR}")
+    target_link_libraries(GMP::gmpxx INTERFACE GMP::gmp)
+  endif()
+endif()
+
+mark_as_advanced(GMP_INCLUDE_DIR GMP_LIBRARY GMPXX_INCLUDE_DIR GMPXX_LIBRARY)

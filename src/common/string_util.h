@@ -1,6 +1,7 @@
 #ifndef PPC_COMMON_STRING_UTIL_H_
 #define PPC_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,15 @@ std::string HexEncode(const std::string& bytes);
 /// Formats a double with `digits` significant fraction digits, trimming
 /// trailing zeros ("1.25", "3", "0.5").
 std::string FormatDouble(double value, int digits = 6);
+
+/// Whole-string parses with strtoll/strtod acceptance rules (leading
+/// whitespace, sign, hex floats, and nan/inf are valid) but nothing
+/// may follow the number, empty input fails, and out-of-range input
+/// (ERANGE, over- or underflow) fails. Return false on failure and
+/// leave `*out` untouched. Callers needing finite values must check
+/// std::isfinite on top.
+bool ParseInt64(const std::string& text, int64_t* out);
+bool ParseDouble(const std::string& text, double* out);
 
 }  // namespace ppc
 

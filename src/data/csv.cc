@@ -1,7 +1,5 @@
 #include "data/csv.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -22,19 +20,15 @@ Result<AttributeType> ParseType(const std::string& name) {
 Result<Value> ParseValue(const std::string& field, AttributeType type) {
   switch (type) {
     case AttributeType::kInteger: {
-      errno = 0;
-      char* end = nullptr;
-      long long v = std::strtoll(field.c_str(), &end, 10);
-      if (errno != 0 || end == field.c_str() || *end != '\0') {
+      int64_t v = 0;
+      if (!ParseInt64(field, &v)) {
         return Status::InvalidArgument("bad integer field '" + field + "'");
       }
       return Value::Integer(v);
     }
     case AttributeType::kReal: {
-      errno = 0;
-      char* end = nullptr;
-      double v = std::strtod(field.c_str(), &end);
-      if (errno != 0 || end == field.c_str() || *end != '\0') {
+      double v = 0;
+      if (!ParseDouble(field, &v)) {
         return Status::InvalidArgument("bad real field '" + field + "'");
       }
       return Value::Real(v);

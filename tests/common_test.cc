@@ -271,5 +271,44 @@ TEST(StringUtilTest, FormatDoubleTrimsZeros) {
   EXPECT_EQ(FormatDouble(-2.125), "-2.125");
 }
 
+TEST(StringUtilTest, ParseInt64AcceptsWholeStringIntegers) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(ParseInt64("0", &value));
+  EXPECT_EQ(value, 0);
+}
+
+TEST(StringUtilTest, ParseInt64RejectsMalformedInput) {
+  int64_t value = 123;
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("ten", &value));
+  EXPECT_FALSE(ParseInt64("4x", &value));
+  EXPECT_FALSE(ParseInt64("1.5", &value));
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &value));  // overflow
+  EXPECT_EQ(value, 123);  // untouched on failure
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsWholeStringNumbers) {
+  double value = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  EXPECT_TRUE(ParseDouble("-3", &value));
+  EXPECT_DOUBLE_EQ(value, -3.0);
+  EXPECT_TRUE(ParseDouble("1e3", &value));
+  EXPECT_DOUBLE_EQ(value, 1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsMalformedInput) {
+  double value = 9.5;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("O.2", &value));
+  EXPECT_FALSE(ParseDouble("1.5junk", &value));
+  EXPECT_FALSE(ParseDouble("1e999", &value));  // overflow
+  EXPECT_DOUBLE_EQ(value, 9.5);  // untouched on failure
+}
+
 }  // namespace
 }  // namespace ppc

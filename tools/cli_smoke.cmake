@@ -1,0 +1,55 @@
+# ctest driver for ppclust_cli smoke tests. Invoked as
+#   cmake -DCLI=<path> -DMODE=usage_error|end_to_end [-DSCRATCH=<dir>] -P ...
+# and fails via message(FATAL_ERROR) on any unexpected behaviour.
+
+if(MODE STREQUAL "usage_error")
+  # No command at all, and an unknown command: both must fail with the
+  # documented usage exit code 2, not crash or succeed.
+  execute_process(COMMAND "${CLI}" RESULT_VARIABLE code)
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "bare invocation exited ${code}, want 2")
+  endif()
+  execute_process(COMMAND "${CLI}" frobnicate RESULT_VARIABLE code)
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "unknown command exited ${code}, want 2")
+  endif()
+  execute_process(COMMAND "${CLI}" cluster RESULT_VARIABLE code)
+  if(NOT code EQUAL 1)
+    message(FATAL_ERROR "cluster with no files exited ${code}, want 1")
+  endif()
+
+elseif(MODE STREQUAL "end_to_end")
+  file(REMOVE_RECURSE "${SCRATCH}")
+  file(MAKE_DIRECTORY "${SCRATCH}")
+
+  execute_process(
+    COMMAND "${CLI}" generate --kind=mixed --objects=24 --parties=2
+            --seed=7 "--prefix=${SCRATCH}/smoke"
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "generate exited ${code}\n${out}${err}")
+  endif()
+  foreach(part smoke.part0.csv smoke.part1.csv smoke.labels.csv)
+    if(NOT EXISTS "${SCRATCH}/${part}")
+      message(FATAL_ERROR "generate did not write ${part}")
+    endif()
+  endforeach()
+
+  execute_process(
+    COMMAND "${CLI}" cluster "${SCRATCH}/smoke.part0.csv"
+            "${SCRATCH}/smoke.part1.csv" --clusters=3 --linkage=average
+            "--newick=${SCRATCH}/smoke.nwk"
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "cluster exited ${code}\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "silhouette")
+    message(FATAL_ERROR "cluster output missing silhouette line:\n${out}")
+  endif()
+  if(NOT EXISTS "${SCRATCH}/smoke.nwk")
+    message(FATAL_ERROR "cluster did not write the --newick file")
+  endif()
+
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

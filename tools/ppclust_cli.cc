@@ -12,6 +12,7 @@
 //   ppclust_cli cluster PART0.csv PART1.csv [...] [--clusters=K]
 //                       [--linkage=single|complete|average|ward]
 //                       [--algorithm=hier|kmedoids|dbscan]
+//                       [--alphabet=dna|lowercase|identifier]
 //                       [--weights=w0,w1,...] [--mode=batch|perpair]
 //                       [--eps=0.2] [--minpts=4] [--newick=FILE]
 //       Runs the full protocol with one data holder per file and prints
@@ -20,10 +21,13 @@
 //       (it stays TP-side: branch lengths are distances, which the paper
 //       requires the TP to keep from the holders).
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,9 +37,24 @@
 namespace ppc {
 namespace {
 
+// Like ParseDouble but additionally rejects nan/inf: a flag value typo
+// must never silently poison every distance comparison downstream.
+bool ParseFiniteDouble(const std::string& text, double* out) {
+  double value = 0;
+  if (!ParseDouble(text, &value) || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
 struct Flags {
   std::vector<std::string> positional;
   std::map<std::string, std::string> named;
+  // Flags given without '=value' (e.g. a bare --newick). Only --help
+  // is valid that way; commands reject the rest.
+  std::vector<std::string> bare;
+  // First malformed flag value seen by GetInt/GetDouble; commands check
+  // this before doing any work so a value typo cannot silently become 0.
+  mutable std::string value_error;
 
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = named.find(key);
@@ -43,11 +62,32 @@ struct Flags {
   }
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = named.find(key);
-    return it == named.end() ? fallback : std::atoll(it->second.c_str());
+    if (it == named.end()) return fallback;
+    int64_t value = 0;
+    if (!ParseInt64(it->second, &value)) {
+      RecordBadValue(key, it->second, "an integer");
+      return fallback;
+    }
+    return value;
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = named.find(key);
-    return it == named.end() ? fallback : std::atof(it->second.c_str());
+    if (it == named.end()) return fallback;
+    double value = 0;
+    if (!ParseFiniteDouble(it->second, &value)) {
+      RecordBadValue(key, it->second, "a finite number");
+      return fallback;
+    }
+    return value;
+  }
+
+ private:
+  void RecordBadValue(const std::string& key, const std::string& value,
+                      const std::string& expected) const {
+    if (value_error.empty()) {
+      value_error = "--" + key + " expects " + expected + ", got '" + value +
+                    "'";
+    }
   }
 };
 
@@ -59,6 +99,7 @@ Flags ParseFlags(int argc, char** argv) {
       size_t eq = arg.find('=');
       if (eq == std::string::npos) {
         flags.named[arg.substr(2)] = "true";
+        flags.bare.push_back(arg.substr(2));
       } else {
         flags.named[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
       }
@@ -74,23 +115,70 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+constexpr char kUsage[] =
+    "usage:\n"
+    "  ppclust_cli generate --kind=mixed|dna|gaussian "
+    "--objects=N --parties=K [--seed=S] [--prefix=PATH]\n"
+    "  ppclust_cli cluster PART0.csv PART1.csv [...] "
+    "[--clusters=K] [--linkage=single|complete|average|ward]\n"
+    "              [--algorithm=hier|kmedoids|dbscan] "
+    "[--eps=E] [--minpts=M]\n"
+    "              [--alphabet=dna|lowercase|identifier] "
+    "[--weights=w0,w1,...]\n"
+    "              [--mode=batch|perpair] [--newick=FILE]\n";
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  ppclust_cli generate --kind=mixed|dna|gaussian "
-               "--objects=N --parties=K [--seed=S] [--prefix=PATH]\n"
-               "  ppclust_cli cluster PART0.csv PART1.csv [...] "
-               "[--clusters=K] [--linkage=L] [--algorithm=A] "
-               "[--weights=w0,w1] [--mode=batch|perpair] [--newick=FILE]\n");
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
 }
 
+int Help() {
+  std::printf("%s", kUsage);
+  return 0;
+}
+
+// Rejects misspelled flag names: Flags::Get falls back to a default
+// for unknown keys, which would otherwise silently ignore a typo.
+// Also rejects value-less flags (a bare --newick would otherwise write
+// a dendrogram to a file literally named 'true').
+int CheckFlagNames(const Flags& flags,
+                   const std::vector<std::string>& known) {
+  if (!flags.bare.empty()) {
+    return Fail("flag '--" + flags.bare.front() + "' requires a value");
+  }
+  for (const auto& [key, value] : flags.named) {
+    bool found = false;
+    for (const std::string& name : known) {
+      if (key == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Fail("unknown flag '--" + key + "'");
+  }
+  return 0;
+}
+
 int RunGenerate(const Flags& flags) {
+  if (int bad = CheckFlagNames(
+          flags, {"kind", "objects", "parties", "seed", "prefix"})) {
+    return bad;
+  }
+  if (!flags.positional.empty()) {
+    return Fail("generate takes no positional arguments (did you mean --" +
+                flags.positional.front() + "?)");
+  }
   const std::string kind = flags.Get("kind", "mixed");
-  const size_t objects = static_cast<size_t>(flags.GetInt("objects", 30));
-  const size_t parties = static_cast<size_t>(flags.GetInt("parties", 2));
+  const int64_t objects_flag = flags.GetInt("objects", 30);
+  const int64_t parties_flag = flags.GetInt("parties", 2);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string prefix = flags.Get("prefix", "ppclust_data");
+  if (!flags.value_error.empty()) return Fail(flags.value_error);
+  // Guard the unsigned casts: -1 would otherwise wrap to ~1.8e19.
+  if (objects_flag < 0) return Fail("--objects must be non-negative");
+  if (parties_flag < 1) return Fail("--parties must be positive");
+  const size_t objects = static_cast<size_t>(objects_flag);
+  const size_t parties = static_cast<size_t>(parties_flag);
 
   auto prng = MakePrng(PrngKind::kXoshiro256, seed);
   Result<LabeledDataset> generated = Status::InvalidArgument("unreachable");
@@ -135,6 +223,11 @@ int RunGenerate(const Flags& flags) {
 }
 
 int RunCluster(const Flags& flags) {
+  if (int bad = CheckFlagNames(
+          flags, {"clusters", "linkage", "algorithm", "eps", "minpts",
+                  "alphabet", "weights", "mode", "newick"})) {
+    return bad;
+  }
   if (flags.positional.size() < 2) {
     return Fail("cluster needs at least two partition CSVs (k >= 2)");
   }
@@ -152,14 +245,21 @@ int RunCluster(const Flags& flags) {
   }
 
   ProtocolConfig config;
-  config.alphabet = Alphabet::Dna();
-  if (flags.Get("alphabet", "dna") == "lowercase") {
+  const std::string alphabet = flags.Get("alphabet", "dna");
+  if (alphabet == "dna") {
+    config.alphabet = Alphabet::Dna();
+  } else if (alphabet == "lowercase") {
     config.alphabet = Alphabet::LowercaseAscii();
-  } else if (flags.Get("alphabet", "dna") == "identifier") {
+  } else if (alphabet == "identifier") {
     config.alphabet = Alphabet::AlphanumericLower();
+  } else {
+    return Fail("unknown --alphabet '" + alphabet + "'");
   }
-  if (flags.Get("mode", "batch") == "perpair") {
+  const std::string mode = flags.Get("mode", "batch");
+  if (mode == "perpair") {
     config.masking_mode = MaskingMode::kPerPair;
+  } else if (mode != "batch") {
+    return Fail("unknown --mode '" + mode + "'");
   }
 
   InMemoryNetwork network;
@@ -179,28 +279,28 @@ int RunCluster(const Flags& flags) {
     if (!status.ok()) return Fail(status.ToString());
   }
 
-  Stopwatch stopwatch;
-  status = session.Run();
-  if (!status.ok()) return Fail(status.ToString());
-  std::printf("# protocol: %.1f ms, %llu wire bytes, %llu messages\n",
-              stopwatch.ElapsedMillis(),
-              static_cast<unsigned long long>(
-                  network.GrandTotal().wire_bytes),
-              static_cast<unsigned long long>(
-                  network.GrandTotal().messages));
-
+  // Validate all request flags before running the protocol, so a typo
+  // fails fast instead of after the (expensive) masking rounds.
   ClusterRequest request;
-  request.num_clusters = static_cast<uint64_t>(flags.GetInt("clusters", 3));
+  const int64_t clusters_flag = flags.GetInt("clusters", 3);
+  if (clusters_flag < 1) return Fail("--clusters must be positive");
+  request.num_clusters = static_cast<uint64_t>(clusters_flag);
   const std::string algorithm = flags.Get("algorithm", "hier");
   if (algorithm == "kmedoids") {
     request.algorithm = ClusterAlgorithm::kKMedoids;
   } else if (algorithm == "dbscan") {
     request.algorithm = ClusterAlgorithm::kDbscan;
     request.dbscan_eps = flags.GetDouble("eps", 0.2);
-    request.dbscan_min_points =
-        static_cast<uint64_t>(flags.GetInt("minpts", 4));
+    if (request.dbscan_eps < 0) return Fail("--eps must be non-negative");
+    const int64_t minpts_flag = flags.GetInt("minpts", 4);
+    if (minpts_flag < 1) return Fail("--minpts must be positive");
+    request.dbscan_min_points = static_cast<uint64_t>(minpts_flag);
   } else if (algorithm != "hier") {
     return Fail("unknown --algorithm '" + algorithm + "'");
+  }
+  if (algorithm != "dbscan" &&
+      (flags.named.count("eps") || flags.named.count("minpts"))) {
+    return Fail("--eps/--minpts only apply to --algorithm=dbscan");
   }
   const std::string linkage = flags.Get("linkage", "average");
   if (linkage == "single") {
@@ -215,9 +315,24 @@ int RunCluster(const Flags& flags) {
   const std::string weights_flag = flags.Get("weights", "");
   if (!weights_flag.empty()) {
     for (const std::string& w : SplitString(weights_flag, ',')) {
-      request.weights.push_back(std::atof(w.c_str()));
+      double weight = 0;
+      if (!ParseFiniteDouble(w, &weight)) {
+        return Fail("--weights expects finite numbers, got '" + w + "'");
+      }
+      request.weights.push_back(weight);
     }
   }
+  if (!flags.value_error.empty()) return Fail(flags.value_error);
+
+  Stopwatch stopwatch;
+  status = session.Run();
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("# protocol: %.1f ms, %llu wire bytes, %llu messages\n",
+              stopwatch.ElapsedMillis(),
+              static_cast<unsigned long long>(
+                  network.GrandTotal().wire_bytes),
+              static_cast<unsigned long long>(
+                  network.GrandTotal().messages));
 
   auto outcome = session.RequestClustering("A", request);
   if (!outcome.ok()) return Fail(outcome.status().ToString());
@@ -255,7 +370,15 @@ int RunCluster(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return ppc::Usage();
   std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    return ppc::Help();
+  }
   ppc::Flags flags = ppc::ParseFlags(argc, argv);
+  bool wants_help = flags.named.count("help") || flags.named.count("h");
+  for (const std::string& arg : flags.positional) {
+    if (arg == "-h") wants_help = true;
+  }
+  if (wants_help) return ppc::Help();
   if (command == "generate") return ppc::RunGenerate(flags);
   if (command == "cluster") return ppc::RunCluster(flags);
   return ppc::Usage();
