@@ -102,11 +102,10 @@ BENCHMARK(BM_LinkageVariants)->DenseRange(0, 3);
 void BM_KMedoids(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   DissimilarityMatrix d = RandomMatrix(n, 1);
-  auto prng = MakePrng(PrngKind::kXoshiro256, 2);
   KMedoids::Options options;
   options.k = 4;
   for (auto _ : state) {
-    auto assignment = KMedoids::Run(d, options, prng.get());
+    auto assignment = KMedoids::Run(d, options);
     benchmark::DoNotOptimize(assignment);
   }
   state.counters["n"] = static_cast<double>(n);
@@ -146,12 +145,11 @@ BENCHMARK(BM_ShapeRecoverySingleLinkage);
 
 void BM_ShapeRecoveryKMedoids(benchmark::State& state) {
   ChainData data = ChainClusters(90);
-  auto prng = MakePrng(PrngKind::kXoshiro256, 3);
   KMedoids::Options options;
   options.k = 2;
   double ari = 0.0;
   for (auto _ : state) {
-    auto assignment = KMedoids::Run(data.matrix, options, prng.get())
+    auto assignment = KMedoids::Run(data.matrix, options)
                           .TakeValue();
     ari = Quality::AdjustedRandIndex(assignment.labels, data.truth)
               .TakeValue();

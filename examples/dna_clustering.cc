@@ -82,6 +82,7 @@ int main() {
   std::printf("against the (hidden) generating strains:\n");
   std::printf("  adjusted Rand index: %.3f\n", ari);
   std::printf("  purity:              %.3f\n", purity);
-  std::printf("  silhouette:          %.3f\n", outcome.silhouette);
+  std::printf("  silhouette:          %.3f\n",
+              outcome.silhouette.value_or(0.0));
   return 0;
 }

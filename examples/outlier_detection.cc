@@ -50,7 +50,7 @@ int main() {
   EXAMPLE_CHECK(session.Run());
 
   DissimilarityMatrix merged =
-      ExampleUnwrap(bureau.MergedMatrixForTesting({}), "merged matrix");
+      ExampleUnwrap(bureau.MergedMatrix({}), "merged matrix");
   std::vector<PartyExtent> extents{
       {"A", 0, parts[0].data.NumRows()},
       {"B", parts[0].data.NumRows(), parts[1].data.NumRows()},

@@ -84,7 +84,7 @@ int main() {
       session.RequestClustering("A", request), "clustering request");
 
   std::printf("%s\n", outcome.ToString().c_str());
-  std::printf("silhouette: %.3f\n", outcome.silhouette);
+  std::printf("silhouette: %.3f\n", outcome.silhouette.value_or(0.0));
   std::printf("\nNote: the third party never saw a plaintext age, strain or "
               "DNA fragment;\nthe holders never saw each other's rows.\n");
   return 0;

@@ -56,7 +56,7 @@ int main() {
   // cross-party near-duplicates and publishes only the matched pairs.
   // Name similarity dominates the weighting; birth year breaks ties.
   DissimilarityMatrix merged = ExampleUnwrap(
-      matcher.MergedMatrixForTesting({0.8, 0.2}), "merged matrix");
+      matcher.MergedMatrix({0.8, 0.2}), "merged matrix");
   std::vector<PartyExtent> extents{{"A", 0, hospital_a.NumRows()},
                                    {"B", hospital_a.NumRows(),
                                     hospital_b.NumRows()}};

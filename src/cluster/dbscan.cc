@@ -15,6 +15,10 @@ Result<std::vector<int>> Dbscan::Run(const DissimilarityMatrix& matrix,
   const size_t n = matrix.num_objects();
   std::vector<int> labels(n, kNoise);
   std::vector<bool> visited(n, false);
+  // True while a point sits in the current cluster's frontier; filtering at
+  // insertion time keeps the queue O(n) per cluster instead of letting
+  // every core point re-enqueue its whole (already seen) neighborhood.
+  std::vector<bool> enqueued(n, false);
 
   auto neighbors_of = [&](size_t i) {
     std::vector<size_t> out;
@@ -25,6 +29,7 @@ Result<std::vector<int>> Dbscan::Run(const DissimilarityMatrix& matrix,
   };
 
   int next_cluster = 0;
+  std::deque<size_t> frontier;
   for (size_t i = 0; i < n; ++i) {
     if (visited[i]) continue;
     visited[i] = true;
@@ -33,17 +38,29 @@ Result<std::vector<int>> Dbscan::Run(const DissimilarityMatrix& matrix,
 
     int cluster = next_cluster++;
     labels[i] = cluster;
-    std::deque<size_t> frontier(seeds.begin(), seeds.end());
+    // Insertion-time filter, same outcome as enqueueing wholesale: a
+    // visited point could only ever be (re-)claimed as a border point, and
+    // an already-enqueued point will be expanded exactly once anyway.
+    auto enqueue = [&](const std::vector<size_t>& points) {
+      for (size_t j : points) {
+        if (visited[j]) {
+          if (labels[j] == kNoise) labels[j] = cluster;  // Border claim.
+        } else if (!enqueued[j]) {
+          enqueued[j] = true;
+          frontier.push_back(j);
+        }
+      }
+    };
+    enqueue(seeds);
     while (!frontier.empty()) {
       size_t j = frontier.front();
       frontier.pop_front();
-      if (labels[j] == kNoise) labels[j] = cluster;  // Border point claim.
-      if (visited[j]) continue;
+      enqueued[j] = false;
       visited[j] = true;
       labels[j] = cluster;
       std::vector<size_t> expansion = neighbors_of(j);
       if (expansion.size() >= options.min_points) {
-        frontier.insert(frontier.end(), expansion.begin(), expansion.end());
+        enqueue(expansion);
       }
     }
   }

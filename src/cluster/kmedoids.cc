@@ -31,9 +31,7 @@ double AssignmentCost(const DissimilarityMatrix& matrix,
 }  // namespace
 
 Result<KMedoids::Assignment> KMedoids::Run(const DissimilarityMatrix& matrix,
-                                           const Options& options,
-                                           Prng* prng) {
-  (void)prng;
+                                           const Options& options) {
   const size_t n = matrix.num_objects();
   if (options.k == 0 || options.k > n) {
     return Status::InvalidArgument("k must be in [1, num_objects]");

@@ -5,7 +5,6 @@
 
 #include "common/result.h"
 #include "distance/dissimilarity_matrix.h"
-#include "rng/prng.h"
 
 namespace ppc {
 
@@ -30,10 +29,11 @@ class KMedoids {
     double total_cost = 0.0;      // Sum of distances to assigned medoids.
   };
 
-  /// BUILD + SWAP. `prng` is unused by BUILD (greedy, deterministic) but
-  /// reserved for future restarts; pass any generator.
+  /// BUILD + SWAP. Fully deterministic: greedy BUILD picks the cost-optimal
+  /// medoid at every step (lowest index on ties), so equal inputs always
+  /// produce equal assignments — no entropy parameter to thread through.
   static Result<Assignment> Run(const DissimilarityMatrix& matrix,
-                                const Options& options, Prng* prng);
+                                const Options& options);
 };
 
 }  // namespace ppc

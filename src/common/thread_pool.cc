@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace ppc {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t num_threads,
+                             const std::function<void(size_t, size_t)>& body,
+                             size_t min_items) {
+  if (n == 0) return;
+  size_t chunks = std::min(std::max<size_t>(1, num_threads), n);
+  if (chunks == 1 || n < min_items) {
+    body(0, n);
+    return;
+  }
+  // Contiguous chunks of near-equal size; the first (n % chunks) chunks get
+  // one extra item. The caller runs chunk 0 while transient threads run the
+  // rest.
+  std::vector<std::thread> threads;
+  threads.reserve(chunks - 1);
+  size_t base = n / chunks, extra = n % chunks;
+  size_t begin = base + (extra > 0 ? 1 : 0);  // Chunk 0 is the caller's.
+  for (size_t c = 1; c < chunks; ++c) {
+    size_t size = base + (c < extra ? 1 : 0);
+    threads.emplace_back(
+        [&body, begin, size] { body(begin, begin + size); });
+    begin += size;
+  }
+  body(0, base + (extra > 0 ? 1 : 0));
+  for (std::thread& t : threads) t.join();
+}
+
+Status RunStatusTasks(std::vector<std::function<Status()>> tasks,
+                      size_t num_threads) {
+  std::vector<Status> statuses(tasks.size());
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) statuses[i] = tasks[i]();
+  } else {
+    ThreadPool pool(std::min(num_threads, tasks.size()));
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      pool.Submit([&tasks, &statuses, i] { statuses[i] = tasks[i](); });
+    }
+    pool.Wait();
+  }
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace ppc

@@ -1,5 +1,7 @@
 #include "core/alphanumeric_protocol.h"
 
+#include "common/thread_pool.h"
+
 namespace ppc {
 
 Result<std::vector<std::vector<uint8_t>>> AlphanumericProtocol::MaskStrings(
@@ -32,24 +34,28 @@ std::vector<AlphanumericProtocol::MaskedGrid>
 AlphanumericProtocol::BuildMaskedGrids(
     const std::vector<std::vector<uint8_t>>& responder_strings,
     const std::vector<std::vector<uint8_t>>& masked_initiator,
-    const Alphabet& alphabet) {
-  std::vector<MaskedGrid> grids;
-  grids.reserve(responder_strings.size() * masked_initiator.size());
-  for (const std::vector<uint8_t>& own : responder_strings) {
-    for (const std::vector<uint8_t>& masked : masked_initiator) {
-      MaskedGrid grid;
-      grid.responder_length = own.size();
-      grid.initiator_length = masked.size();
-      grid.cells.reserve(own.size() * masked.size());
-      // Fig. 9 step 3: M[q][p] = s'[p] - t[q], mod alphabet size.
-      for (uint8_t own_symbol : own) {
-        for (uint8_t masked_symbol : masked) {
-          grid.cells.push_back(alphabet.SubMod(masked_symbol, own_symbol));
+    const Alphabet& alphabet, size_t num_threads) {
+  const size_t cols = masked_initiator.size();
+  std::vector<MaskedGrid> grids(responder_strings.size() * cols);
+  ThreadPool::ParallelFor(
+      grids.size(), num_threads,
+      [&](size_t begin, size_t end) {
+        for (size_t g = begin; g < end; ++g) {
+          const std::vector<uint8_t>& own = responder_strings[g / cols];
+          const std::vector<uint8_t>& masked = masked_initiator[g % cols];
+          MaskedGrid& grid = grids[g];
+          grid.responder_length = own.size();
+          grid.initiator_length = masked.size();
+          grid.cells.reserve(own.size() * masked.size());
+          // Fig. 9 step 3: M[q][p] = s'[p] - t[q], mod alphabet size.
+          for (uint8_t own_symbol : own) {
+            for (uint8_t masked_symbol : masked) {
+              grid.cells.push_back(alphabet.SubMod(masked_symbol, own_symbol));
+            }
+          }
         }
-      }
-      grids.push_back(std::move(grid));
-    }
-  }
+      },
+      /*min_items=*/16);
   return grids;
 }
 
@@ -78,18 +84,31 @@ CharComparisonMatrix AlphanumericProtocol::DecodeCcm(const MaskedGrid& grid,
 
 Result<std::vector<uint64_t>> AlphanumericProtocol::RecoverDistances(
     const std::vector<MaskedGrid>& grids, size_t responder_count,
-    size_t initiator_count, const Alphabet& alphabet, Prng* rng_jt) {
+    size_t initiator_count, const Alphabet& alphabet, Prng* rng_jt,
+    size_t num_threads) {
   if (grids.size() != responder_count * initiator_count) {
     return Status::InvalidArgument(
         "grid count mismatch: got " + std::to_string(grids.size()) +
         ", expected " + std::to_string(responder_count * initiator_count));
   }
-  std::vector<uint64_t> distances;
-  distances.reserve(grids.size());
-  for (const MaskedGrid& grid : grids) {
-    CharComparisonMatrix ccm = DecodeCcm(grid, alphabet, rng_jt);
-    distances.push_back(EditDistance::ComputeFromCcm(ccm));
-  }
+  std::vector<uint64_t> distances(grids.size());
+  // DecodeCcm resets the generator at every grid row, so a chunk of grids
+  // only needs a fresh clone — the decode is independent of the chunking.
+  ThreadPool::ParallelFor(
+      grids.size(), num_threads,
+      [&](size_t begin, size_t end) {
+        std::unique_ptr<Prng> local;
+        Prng* rng = rng_jt;
+        if (begin != 0 || end != grids.size()) {
+          local = rng_jt->CloneFresh();
+          rng = local.get();
+        }
+        for (size_t g = begin; g < end; ++g) {
+          CharComparisonMatrix ccm = DecodeCcm(grids[g], alphabet, rng);
+          distances[g] = EditDistance::ComputeFromCcm(ccm);
+        }
+      },
+      /*min_items=*/16);
   return distances;
 }
 

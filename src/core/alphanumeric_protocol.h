@@ -46,11 +46,13 @@ class AlphanumericProtocol {
   /// string n) pair, builds the grid of symbol differences
   ///   M[q][p] = (masked_n[p] - own_m[q]) mod |A|.
   /// Output is row-major over (m, n) pairs: element m *
-  /// masked_initiator.size() + n.
+  /// masked_initiator.size() + n. Pure modular arithmetic (no generator),
+  /// so `num_threads > 1` splits the pairs across threads with identical
+  /// output.
   static std::vector<MaskedGrid> BuildMaskedGrids(
       const std::vector<std::vector<uint8_t>>& responder_strings,
       const std::vector<std::vector<uint8_t>>& masked_initiator,
-      const Alphabet& alphabet);
+      const Alphabet& alphabet, size_t num_threads = 1);
 
   /// Site TP (Fig. 10): strips the masks from one pair's grid, producing the
   /// 0/1 CCM. `rng_jt` is reset after every grid *row* (each column p is
@@ -61,10 +63,14 @@ class AlphanumericProtocol {
 
   /// Site TP, full pipeline for one pair list (Fig. 10 incl. step 6):
   /// decodes every grid and runs edit distance on the CCM. Returns row-major
-  /// `responder_count` x `initiator_count` distances.
+  /// `responder_count` x `initiator_count` distances. The decoder resets
+  /// `rng_jt` at every grid row, so with `num_threads > 1` grids are split
+  /// across threads over fresh clones of the generator — bit-identical to
+  /// the sequential pass.
   static Result<std::vector<uint64_t>> RecoverDistances(
       const std::vector<MaskedGrid>& grids, size_t responder_count,
-      size_t initiator_count, const Alphabet& alphabet, Prng* rng_jt);
+      size_t initiator_count, const Alphabet& alphabet, Prng* rng_jt,
+      size_t num_threads = 1);
 };
 
 }  // namespace ppc

@@ -1,6 +1,7 @@
 #ifndef PPC_CORE_CONFIG_H_
 #define PPC_CORE_CONFIG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -40,6 +41,14 @@ struct ProtocolConfig {
 
   /// Fixed-point precision for real-valued attributes (decimal digits kept).
   int real_decimal_digits = 6;
+
+  /// Worker threads for the concurrent protocol engine. 1 (the default)
+  /// keeps every phase on the caller's thread — the deterministic reference
+  /// schedule. Values > 1 let `ClusteringSession::Run` drive independent
+  /// protocol rounds concurrently and parallelize the O(n^2) inner loops;
+  /// because every mask stream is derived from a per-(attribute, initiator,
+  /// responder) label, the result is bit-identical to the sequential run.
+  size_t num_threads = 1;
 
   /// Alphabet of every alphanumeric attribute. The paper requires a finite,
   /// publicly known alphabet so that masking can wrap modulo its size.

@@ -188,8 +188,10 @@ Status DataHolder::SendLocalMatrices(const std::string& third_party) {
   for (size_t c = 0; c < data_.NumColumns(); ++c) {
     AttributeType type = data_.schema().attribute(c).type;
     if (type == AttributeType::kCategorical) continue;  // Sec. 4.3 path.
-    PPC_ASSIGN_OR_RETURN(DissimilarityMatrix local,
-                         LocalDissimilarity::Build(data_, c, real_codec_));
+    PPC_ASSIGN_OR_RETURN(
+        DissimilarityMatrix local,
+        LocalDissimilarity::Build(data_, c, real_codec_,
+                                  config_.num_threads));
     ByteWriter writer;
     writer.WriteU32(static_cast<uint32_t>(c));
     writer.WriteU64(local.num_objects());
@@ -255,8 +257,8 @@ Status DataHolder::RunNumericResponder(size_t column,
   uint64_t cols = 0;
   if (mode_tag == static_cast<uint8_t>(MaskingMode::kBatch)) {
     cols = masked.size();
-    comparison = NumericProtocol::BuildComparisonMatrix(own_values, masked,
-                                                        rng_jk.get());
+    comparison = NumericProtocol::BuildComparisonMatrix(
+        own_values, masked, rng_jk.get(), config_.num_threads);
   } else if (mode_tag == static_cast<uint8_t>(MaskingMode::kPerPair)) {
     if (declared_rows != own_values.size()) {
       return Status::ProtocolViolation(
@@ -331,7 +333,8 @@ Status DataHolder::RunAlphanumericResponder(size_t column,
                        EncodedStringColumn(column));
 
   std::vector<AlphanumericProtocol::MaskedGrid> grids =
-      AlphanumericProtocol::BuildMaskedGrids(own, masked, config_.alphabet);
+      AlphanumericProtocol::BuildMaskedGrids(own, masked, config_.alphabet,
+                                             config_.num_threads);
 
   ByteWriter writer;
   writer.WriteU32(static_cast<uint32_t>(column));

@@ -1,5 +1,7 @@
 #include "core/numeric_protocol.h"
 
+#include "common/thread_pool.h"
+
 namespace ppc {
 
 namespace {
@@ -28,45 +30,73 @@ std::vector<uint64_t> NumericProtocol::MaskVector(
 
 std::vector<uint64_t> NumericProtocol::BuildComparisonMatrix(
     const std::vector<int64_t>& responder_values,
-    const std::vector<uint64_t>& masked_initiator, Prng* rng_jk) {
+    const std::vector<uint64_t>& masked_initiator, Prng* rng_jk,
+    size_t num_threads) {
   const size_t rows = responder_values.size();
   const size_t cols = masked_initiator.size();
-  std::vector<uint64_t> matrix;
-  matrix.reserve(rows * cols);
-  for (size_t m = 0; m < rows; ++m) {
-    // Fig. 5 step 4: re-initialize rng_jk at every row so column n uses the
-    // same coin DHJ consumed for its nth element.
-    rng_jk->Reset();
-    for (size_t n = 0; n < cols; ++n) {
-      bool initiator_negated = rng_jk->NextParityOdd();
-      // The responder takes the *opposite* sign: (rngJK.Next()+1) % 2.
-      matrix.push_back(masked_initiator[n] +
-                       Signed(responder_values[m], !initiator_negated));
-    }
-  }
+  std::vector<uint64_t> matrix(rows * cols);
+  // Every row restarts the coin stream (Fig. 5 step 4: column n uses the
+  // same coin DHJ consumed for its nth element), so a chunk of rows only
+  // needs a fresh clone of the generator — output is independent of the
+  // chunking.
+  ThreadPool::ParallelFor(
+      rows, num_threads,
+      [&](size_t row_begin, size_t row_end) {
+        std::unique_ptr<Prng> local;
+        Prng* rng = rng_jk;
+        if (row_begin != 0 || row_end != rows) {
+          local = rng_jk->CloneFresh();
+          rng = local.get();
+        }
+        for (size_t m = row_begin; m < row_end; ++m) {
+          rng->Reset();
+          for (size_t n = 0; n < cols; ++n) {
+            bool initiator_negated = rng->NextParityOdd();
+            // The responder takes the *opposite* sign: (rngJK.Next()+1) % 2.
+            matrix[m * cols + n] =
+                masked_initiator[n] +
+                Signed(responder_values[m], !initiator_negated);
+          }
+        }
+      },
+      /*min_items=*/64);
+  // Leave the caller's generator reset-consistent, as the sequential code
+  // did after its last row.
+  rng_jk->Reset();
   return matrix;
 }
 
 Result<std::vector<uint64_t>> NumericProtocol::RecoverDistances(
     const std::vector<uint64_t>& matrix, size_t rows, size_t cols,
-    Prng* rng_jt) {
+    Prng* rng_jt, size_t num_threads) {
   if (matrix.size() != rows * cols) {
     return Status::InvalidArgument("comparison matrix size mismatch: got " +
                                    std::to_string(matrix.size()) +
                                    ", expected " +
                                    std::to_string(rows * cols));
   }
-  std::vector<uint64_t> distances;
-  distances.reserve(matrix.size());
-  for (size_t m = 0; m < rows; ++m) {
-    // Fig. 6 step 4: re-initialize rng_jt at every row (all entries of a
-    // column are disguised with the same mask).
-    rng_jt->Reset();
-    for (size_t n = 0; n < cols; ++n) {
-      uint64_t unmasked = matrix[m * cols + n] - rng_jt->Next();
-      distances.push_back(AbsFromRing(unmasked));
-    }
-  }
+  std::vector<uint64_t> distances(matrix.size());
+  // Fig. 6 step 4: re-initialize rng_jt at every row (all entries of a
+  // column are disguised with the same mask) — so row chunks work on fresh
+  // clones, exactly like BuildComparisonMatrix.
+  ThreadPool::ParallelFor(
+      rows, num_threads,
+      [&](size_t row_begin, size_t row_end) {
+        std::unique_ptr<Prng> local;
+        Prng* rng = rng_jt;
+        if (row_begin != 0 || row_end != rows) {
+          local = rng_jt->CloneFresh();
+          rng = local.get();
+        }
+        for (size_t m = row_begin; m < row_end; ++m) {
+          rng->Reset();
+          for (size_t n = 0; n < cols; ++n) {
+            uint64_t unmasked = matrix[m * cols + n] - rng->Next();
+            distances[m * cols + n] = AbsFromRing(unmasked);
+          }
+        }
+      },
+      /*min_items=*/64);
   return distances;
 }
 

@@ -42,17 +42,22 @@ class NumericProtocol {
   /// `rng_jk` is reset after every row so the nth column always sees the
   /// nth sign DHJ used. The generator is left reset-consistent (the
   /// function resets it before first use too, making calls idempotent).
+  /// With `num_threads > 1` rows are split across threads, each working on
+  /// a fresh clone of `rng_jk` — bit-identical output, since every row
+  /// restarts the stream anyway.
   static std::vector<uint64_t> BuildComparisonMatrix(
       const std::vector<int64_t>& responder_values,
-      const std::vector<uint64_t>& masked_initiator, Prng* rng_jk);
+      const std::vector<uint64_t>& masked_initiator, Prng* rng_jk,
+      size_t num_threads = 1);
 
   /// Site TP (Fig. 6): strips the masks and takes absolute values.
   /// `matrix` is row-major `rows` x `cols`; `rng_jt` is reset per row
   /// (each column was disguised with the same mask). Returns row-major
-  /// distances: element (m, n) = |x_n - y_m|.
+  /// distances: element (m, n) = |x_n - y_m|. Rows parallelize the same
+  /// way as `BuildComparisonMatrix`.
   static Result<std::vector<uint64_t>> RecoverDistances(
       const std::vector<uint64_t>& matrix, size_t rows, size_t cols,
-      Prng* rng_jt);
+      Prng* rng_jt, size_t num_threads = 1);
 
   // -- Per-pair mode (Sec. 4.1 frequency-attack mitigation) ----------------
 

@@ -92,7 +92,8 @@ void ClusteringOutcome::Serialize(ByteWriter* writer) const {
     for (const ObjectRef& ref : cluster) SerializeObjectRef(ref, writer);
   }
   writer->WriteF64Vector(within_cluster_mean_squared);
-  writer->WriteF64(silhouette);
+  writer->WriteU8(silhouette.has_value() ? 1 : 0);
+  writer->WriteF64(silhouette.value_or(0.0));
   writer->WriteU32(static_cast<uint32_t>(noise.size()));
   for (const ObjectRef& ref : noise) SerializeObjectRef(ref, writer);
 }
@@ -111,7 +112,10 @@ Result<ClusteringOutcome> ClusteringOutcome::Deserialize(ByteReader* reader) {
   }
   PPC_ASSIGN_OR_RETURN(outcome.within_cluster_mean_squared,
                        reader->ReadF64Vector());
-  PPC_ASSIGN_OR_RETURN(outcome.silhouette, reader->ReadF64());
+  PPC_ASSIGN_OR_RETURN(uint8_t has_silhouette, reader->ReadU8());
+  if (has_silhouette > 1) return Status::DataLoss("bad silhouette presence");
+  PPC_ASSIGN_OR_RETURN(double silhouette, reader->ReadF64());
+  if (has_silhouette == 1) outcome.silhouette = silhouette;
   PPC_ASSIGN_OR_RETURN(uint32_t noise_count, reader->ReadU32());
   outcome.noise.reserve(noise_count);
   for (uint32_t i = 0; i < noise_count; ++i) {

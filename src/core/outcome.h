@@ -2,6 +2,7 @@
 #define PPC_CORE_OUTCOME_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,8 +65,10 @@ struct ClusteringOutcome {
   /// Paper Sec. 5's example quality figure: per-cluster average of squared
   /// member distances, same order as `clusters`.
   std::vector<double> within_cluster_mean_squared;
-  /// Mean silhouette over all objects (0 when undefined, e.g. one cluster).
-  double silhouette = 0.0;
+  /// Mean silhouette over all objects. Unset when the score is undefined —
+  /// a single cluster, or DBSCAN noise present — so a genuine 0.0 score
+  /// stays distinguishable from "not computed".
+  std::optional<double> silhouette;
   /// Objects labeled noise by DBSCAN (empty for other algorithms).
   std::vector<ObjectRef> noise;
 

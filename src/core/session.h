@@ -53,7 +53,24 @@ class ClusteringSession {
   /// comparison protocols for every attribute (Sec. 4), global assembly and
   /// normalization (Fig. 11). After this the third party can serve
   /// clustering requests.
+  ///
+  /// With `ProtocolConfig::num_threads > 1` this dispatches to the
+  /// concurrent engine (same schedule as RunParallel); the default of 1 is
+  /// the sequential reference schedule.
   Status Run();
+
+  /// Runs the same pipeline on the concurrent engine: the paper's sites are
+  /// independent machines, so per-holder local-matrix rounds (Phase 4) and
+  /// per-(attribute x holder-pair) comparison rounds (Phase 5) execute in
+  /// parallel, grouped so that no directed channel ever carries two
+  /// in-flight protocol steps (strict per-channel topic checking is
+  /// preserved). Every mask stream is derived from a per-(attribute,
+  /// initiator, responder) label, so the third party's attribute matrices
+  /// are bit-identical to a sequential Run().
+  ///
+  /// Uses `ProtocolConfig::num_threads` workers when > 1, otherwise the
+  /// hardware concurrency.
+  Status RunParallel();
 
   /// Full request round-trip for `holder_name`: send order, let the third
   /// party serve it, receive the published outcome.
@@ -65,6 +82,24 @@ class ClusteringSession {
 
  private:
   Status ValidateSetup() const;
+  Status RunWithThreads(size_t num_threads);
+  Status RunSetupPhases(std::vector<std::string>* holder_names);
+
+  // One protocol round each, shared by the sequential and concurrent
+  // schedules so the two can never diverge. Each round performs its own
+  // sends strictly before the matching receives, which is what lets the
+  // concurrent engine run rounds on pool threads without blocking.
+
+  /// Phase 4 for one holder: ship its Fig. 12 matrices, TP installs them.
+  Status RunLocalMatrixRound(DataHolder* holder, size_t non_categorical);
+
+  /// Phase 5 for one (attribute, initiator, responder) comparison round.
+  Status RunComparisonRound(size_t column, DataHolder* initiator,
+                            DataHolder* responder);
+
+  /// Phase 5 for one categorical attribute (all holders' tokens + finalize).
+  Status RunCategoricalRound(size_t column);
+
   Result<DataHolder*> FindHolder(const std::string& name) const;
 
   InMemoryNetwork* network_;

@@ -6,6 +6,7 @@
 #include "cluster/kmedoids.h"
 #include "cluster/quality.h"
 #include "common/serde.h"
+#include "common/thread_pool.h"
 #include "core/alphanumeric_protocol.h"
 #include "core/categorical_protocol.h"
 #include "core/numeric_protocol.h"
@@ -66,6 +67,7 @@ Status ThirdParty::ReceiveHellos(const std::vector<std::string>& holders) {
   attribute_matrices_.assign(schema_.size(),
                              DissimilarityMatrix(total_objects_));
   normalized_ = false;
+  InvalidateMergedCache();
   return Status::OK();
 }
 
@@ -152,6 +154,7 @@ Status ThirdParty::ReceiveLocalMatrix(const std::string& holder) {
       global.set(entry->offset + i, entry->offset + j, local.at(i, j));
     }
   }
+  InvalidateMergedCache();
   return Status::OK();
 }
 
@@ -187,8 +190,10 @@ Status ThirdParty::ReceiveNumericComparison(const std::string& responder) {
 
   std::vector<uint64_t> distances;
   if (mode_tag == static_cast<uint8_t>(MaskingMode::kBatch)) {
-    PPC_ASSIGN_OR_RETURN(distances, NumericProtocol::RecoverDistances(
-                                        cells, rows, cols, rng_jt.get()));
+    PPC_ASSIGN_OR_RETURN(distances,
+                         NumericProtocol::RecoverDistances(
+                             cells, rows, cols, rng_jt.get(),
+                             config_.num_threads));
   } else if (mode_tag == static_cast<uint8_t>(MaskingMode::kPerPair)) {
     PPC_ASSIGN_OR_RETURN(distances, NumericProtocol::RecoverDistancesPerPair(
                                         cells, rows, cols, rng_jt.get()));
@@ -198,17 +203,25 @@ Status ThirdParty::ReceiveNumericComparison(const std::string& responder) {
 
   const bool is_real = schema_.attribute(column).type == AttributeType::kReal;
   DissimilarityMatrix& global = attribute_matrices_[column];
-  for (uint64_t m = 0; m < rows; ++m) {
-    for (uint64_t n = 0; n < cols; ++n) {
-      double distance =
-          is_real
-              ? real_codec_.Decode(
-                    static_cast<int64_t>(distances[m * cols + n]))
-              : static_cast<double>(distances[m * cols + n]);
-      global.set(responder_entry->offset + m, initiator_entry->offset + n,
-                 distance);
-    }
-  }
+  // Each (m, n) writes a distinct cell of the off-diagonal block, so the
+  // fill splits cleanly across threads.
+  ThreadPool::ParallelFor(
+      rows, config_.num_threads,
+      [&](size_t row_begin, size_t row_end) {
+        for (size_t m = row_begin; m < row_end; ++m) {
+          for (uint64_t n = 0; n < cols; ++n) {
+            double distance =
+                is_real
+                    ? real_codec_.Decode(
+                          static_cast<int64_t>(distances[m * cols + n]))
+                    : static_cast<double>(distances[m * cols + n]);
+            global.set(responder_entry->offset + m,
+                       initiator_entry->offset + n, distance);
+          }
+        }
+      },
+      /*min_items=*/128);
+  InvalidateMergedCache();
   return Status::OK();
 }
 
@@ -259,7 +272,8 @@ Status ThirdParty::ReceiveAlphanumericGrids(const std::string& responder) {
       std::vector<uint64_t> distances,
       AlphanumericProtocol::RecoverDistances(grids, responder_count,
                                              initiator_count, config_.alphabet,
-                                             rng_jt.get()));
+                                             rng_jt.get(),
+                                             config_.num_threads));
 
   DissimilarityMatrix& global = attribute_matrices_[column];
   for (uint64_t m = 0; m < responder_count; ++m) {
@@ -268,6 +282,7 @@ Status ThirdParty::ReceiveAlphanumericGrids(const std::string& responder) {
                  static_cast<double>(distances[m * initiator_count + n]));
     }
   }
+  InvalidateMergedCache();
   return Status::OK();
 }
 
@@ -353,6 +368,7 @@ Status ThirdParty::FinalizeCategorical(size_t column) {
         TaxonomyProtocol::BuildGlobalMatrix(columns,
                                             taxonomy_it->second.height()));
     attribute_matrices_[column] = std::move(matrix);
+    InvalidateMergedCache();
     return Status::OK();
   }
 
@@ -374,6 +390,7 @@ Status ThirdParty::FinalizeCategorical(size_t column) {
   PPC_ASSIGN_OR_RETURN(DissimilarityMatrix matrix,
                        CategoricalProtocol::BuildGlobalMatrix(columns));
   attribute_matrices_[column] = std::move(matrix);
+  InvalidateMergedCache();
   return Status::OK();
 }
 
@@ -385,6 +402,7 @@ Status ThirdParty::NormalizeMatrices() {
     matrix.Normalize();
   }
   normalized_ = true;
+  InvalidateMergedCache();
   return Status::OK();
 }
 
@@ -396,15 +414,35 @@ Result<const DissimilarityMatrix*> ThirdParty::AttributeMatrixForTesting(
   return &attribute_matrices_[column];
 }
 
-Result<DissimilarityMatrix> ThirdParty::MergedMatrixForTesting(
+Result<const DissimilarityMatrix*> ThirdParty::MergedMatrixRef(
     std::vector<double> weights) const {
   if (weights.empty()) weights.assign(schema_.size(), 1.0);
+  std::lock_guard<std::mutex> lock(merged_cache_mutex_);
+  auto it = merged_cache_.find(weights);
+  if (it != merged_cache_.end()) return &it->second;
   std::vector<const DissimilarityMatrix*> pointers;
   pointers.reserve(attribute_matrices_.size());
   for (const DissimilarityMatrix& m : attribute_matrices_) {
     pointers.push_back(&m);
   }
-  return DissimilarityMatrix::WeightedMerge(pointers, weights);
+  PPC_ASSIGN_OR_RETURN(DissimilarityMatrix merged,
+                       DissimilarityMatrix::WeightedMerge(pointers, weights));
+  auto [inserted, unused] =
+      merged_cache_.try_emplace(std::move(weights), std::move(merged));
+  (void)unused;
+  return &inserted->second;
+}
+
+void ThirdParty::InvalidateMergedCache() {
+  std::lock_guard<std::mutex> lock(merged_cache_mutex_);
+  merged_cache_.clear();
+}
+
+Result<DissimilarityMatrix> ThirdParty::MergedMatrix(
+    std::vector<double> weights) const {
+  PPC_ASSIGN_OR_RETURN(const DissimilarityMatrix* merged,
+                       MergedMatrixRef(std::move(weights)));
+  return *merged;
 }
 
 ObjectRef ThirdParty::RefForGlobalIndex(size_t global_index) const {
@@ -431,14 +469,14 @@ Result<ClusteringOutcome> ThirdParty::RunClustering(
     return Status::InvalidArgument("weight vector must have one entry per "
                                    "attribute");
   }
-  PPC_ASSIGN_OR_RETURN(DissimilarityMatrix merged,
-                       MergedMatrixForTesting(request.weights));
+  PPC_ASSIGN_OR_RETURN(const DissimilarityMatrix* merged,
+                       MergedMatrixRef(request.weights));
 
   std::vector<int> labels;
   switch (request.algorithm) {
     case ClusterAlgorithm::kHierarchical: {
       PPC_ASSIGN_OR_RETURN(Dendrogram dendrogram,
-                           Agglomerative::Run(merged, request.linkage));
+                           Agglomerative::Run(*merged, request.linkage));
       PPC_ASSIGN_OR_RETURN(labels,
                            dendrogram.CutToClusters(request.num_clusters));
       break;
@@ -447,7 +485,7 @@ Result<ClusteringOutcome> ThirdParty::RunClustering(
       KMedoids::Options options;
       options.k = request.num_clusters;
       PPC_ASSIGN_OR_RETURN(KMedoids::Assignment assignment,
-                           KMedoids::Run(merged, options, entropy_.get()));
+                           KMedoids::Run(*merged, options));
       labels = std::move(assignment.labels);
       break;
     }
@@ -455,7 +493,7 @@ Result<ClusteringOutcome> ThirdParty::RunClustering(
       Dbscan::Options options;
       options.eps = request.dbscan_eps;
       options.min_points = request.dbscan_min_points;
-      PPC_ASSIGN_OR_RETURN(labels, Dbscan::Run(merged, options));
+      PPC_ASSIGN_OR_RETURN(labels, Dbscan::Run(*merged, options));
       break;
     }
   }
@@ -464,9 +502,11 @@ Result<ClusteringOutcome> ThirdParty::RunClustering(
   int max_label = -1;
   for (int label : labels) max_label = std::max(max_label, label);
   outcome.clusters.resize(static_cast<size_t>(max_label + 1));
+  bool has_noise = false;
   for (size_t i = 0; i < labels.size(); ++i) {
     ObjectRef ref = RefForGlobalIndex(i);
     if (labels[i] < 0) {
+      has_noise = true;
       outcome.noise.push_back(std::move(ref));
     } else {
       outcome.clusters[labels[i]].push_back(std::move(ref));
@@ -474,25 +514,23 @@ Result<ClusteringOutcome> ThirdParty::RunClustering(
   }
 
   // Paper Sec. 5: publish per-cluster average of squared member distances.
-  outcome.within_cluster_mean_squared.reserve(outcome.clusters.size());
-  for (const auto& cluster : outcome.clusters) {
-    double sum = 0.0;
-    size_t pairs = 0;
-    for (size_t a = 1; a < cluster.size(); ++a) {
-      for (size_t b = 0; b < a; ++b) {
-        double d =
-            merged.at(cluster[a].global_index, cluster[b].global_index);
-        sum += d * d;
-        ++pairs;
-      }
-    }
-    outcome.within_cluster_mean_squared.push_back(
-        pairs == 0 ? 0.0 : sum / static_cast<double>(pairs));
+  // The quality helper orders entries by ascending label, which puts the
+  // noise pseudo-cluster (-1) first when DBSCAN produced one — drop it so
+  // the vector aligns with `outcome.clusters`.
+  PPC_ASSIGN_OR_RETURN(
+      outcome.within_cluster_mean_squared,
+      Quality::WithinClusterMeanSquaredDistance(*merged, labels));
+  if (has_noise && !outcome.within_cluster_mean_squared.empty()) {
+    outcome.within_cluster_mean_squared.erase(
+        outcome.within_cluster_mean_squared.begin());
   }
 
   if (outcome.clusters.size() >= 2 && outcome.noise.empty()) {
-    Result<double> silhouette = Quality::Silhouette(merged, labels);
-    outcome.silhouette = silhouette.ok() ? silhouette.value() : 0.0;
+    // A failure here is a real error (inconsistent labels), not a zero
+    // score — propagate it instead of publishing 0.0.
+    PPC_ASSIGN_OR_RETURN(double silhouette,
+                         Quality::Silhouette(*merged, labels));
+    outcome.silhouette = silhouette;
   }
   return outcome;
 }

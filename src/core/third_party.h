@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -96,9 +97,11 @@ class ThirdParty {
   Result<const DissimilarityMatrix*> AttributeMatrixForTesting(
       size_t column) const;
 
-  /// The weighted merge the clustering step would use.
-  Result<DissimilarityMatrix> MergedMatrixForTesting(
-      std::vector<double> weights) const;
+  /// The weighted merge the clustering step uses. Merges are cached per
+  /// weight vector (every cluster request re-uses the merge for its
+  /// weights), and the cache is invalidated whenever an attribute matrix
+  /// changes — collection steps and (re-)normalization.
+  Result<DissimilarityMatrix> MergedMatrix(std::vector<double> weights) const;
 
  private:
   struct RosterEntry {
@@ -112,6 +115,13 @@ class ThirdParty {
                                            const std::string& label) const;
   Result<ClusteringOutcome> RunClustering(const ClusterRequest& request);
   ObjectRef RefForGlobalIndex(size_t global_index) const;
+
+  /// Cache-backed merge: returns a pointer into `merged_cache_`, computing
+  /// the entry on first use for a weight vector. Entries stay valid until
+  /// the next invalidation (the cache only ever grows between those).
+  Result<const DissimilarityMatrix*> MergedMatrixRef(
+      std::vector<double> weights) const;
+  void InvalidateMergedCache();
 
   std::string name_;
   InMemoryNetwork* network_;
@@ -132,6 +142,10 @@ class ThirdParty {
            std::vector<std::optional<std::vector<TaxonomyProtocol::TokenPath>>>>
       taxonomy_tokens_;
   bool normalized_ = false;
+  // Weighted merges served so far, keyed by the request's weight vector
+  // (node-based map: entry addresses survive later insertions).
+  mutable std::mutex merged_cache_mutex_;
+  mutable std::map<std::vector<double>, DissimilarityMatrix> merged_cache_;
 };
 
 }  // namespace ppc

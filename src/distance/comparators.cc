@@ -1,8 +1,45 @@
 #include "distance/comparators.h"
 
+#include <cmath>
+
+#include "common/thread_pool.h"
 #include "distance/edit_distance.h"
 
 namespace ppc {
+
+namespace {
+
+/// Runs `cell(i, j)` over the strictly-lower triangle of an n-object
+/// matrix, splitting the *cells* (not rows — triangle rows grow linearly,
+/// so equal row counts would leave the last chunk with ~2x the work)
+/// across `num_threads`. Each (i, j) cell is an independent pure
+/// computation, so the chunking cannot change the result.
+template <typename CellFn>
+void FillLowerTriangle(size_t n, size_t num_threads, DissimilarityMatrix* d,
+                       CellFn cell) {
+  const size_t total = n < 2 ? 0 : n * (n - 1) / 2;
+  ThreadPool::ParallelFor(
+      total, num_threads,
+      [&](size_t begin, size_t end) {
+        // Packed cell c lives in row i iff i(i-1)/2 <= c < i(i+1)/2; seed
+        // (i, j) from the quadratic root, correct for rounding, then walk.
+        size_t i = static_cast<size_t>(
+            (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(begin))) / 2.0);
+        while (i > 1 && i * (i - 1) / 2 > begin) --i;
+        while ((i + 1) * i / 2 <= begin) ++i;
+        size_t j = begin - i * (i - 1) / 2;
+        for (size_t c = begin; c < end; ++c) {
+          d->set(i, j, cell(i, j));
+          if (++j == i) {
+            ++i;
+            j = 0;
+          }
+        }
+      },
+      /*min_items=*/4096);
+}
+
+}  // namespace
 
 double Comparators::NumericDistance(int64_t x, int64_t y) {
   uint64_t ux = static_cast<uint64_t>(x);
@@ -22,7 +59,8 @@ double Comparators::AlphanumericDistance(const std::string& s,
 }
 
 Result<DissimilarityMatrix> LocalDissimilarity::Build(
-    const DataMatrix& data, size_t column, const FixedPointCodec& real_codec) {
+    const DataMatrix& data, size_t column, const FixedPointCodec& real_codec,
+    size_t num_threads) {
   if (column >= data.NumColumns()) {
     return Status::OutOfRange("column " + std::to_string(column) +
                               " out of range");
@@ -35,11 +73,9 @@ Result<DissimilarityMatrix> LocalDissimilarity::Build(
     case AttributeType::kInteger: {
       PPC_ASSIGN_OR_RETURN(std::vector<int64_t> values,
                            data.IntegerColumn(column));
-      for (size_t i = 1; i < n; ++i) {
-        for (size_t j = 0; j < i; ++j) {
-          d.set(i, j, Comparators::NumericDistance(values[i], values[j]));
-        }
-      }
+      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
+        return Comparators::NumericDistance(values[i], values[j]);
+      });
       return d;
     }
     case AttributeType::kReal: {
@@ -50,33 +86,26 @@ Result<DissimilarityMatrix> LocalDissimilarity::Build(
         PPC_ASSIGN_OR_RETURN(int64_t encoded, real_codec.Encode(v));
         values.push_back(encoded);
       }
-      for (size_t i = 1; i < n; ++i) {
-        for (size_t j = 0; j < i; ++j) {
-          d.set(i, j,
-                real_codec.Decode(static_cast<int64_t>(
-                    Comparators::NumericDistance(values[i], values[j]))));
-        }
-      }
+      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
+        return real_codec.Decode(static_cast<int64_t>(
+            Comparators::NumericDistance(values[i], values[j])));
+      });
       return d;
     }
     case AttributeType::kCategorical: {
       PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
                            data.StringColumn(column));
-      for (size_t i = 1; i < n; ++i) {
-        for (size_t j = 0; j < i; ++j) {
-          d.set(i, j, Comparators::CategoricalDistance(values[i], values[j]));
-        }
-      }
+      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
+        return Comparators::CategoricalDistance(values[i], values[j]);
+      });
       return d;
     }
     case AttributeType::kAlphanumeric: {
       PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
                            data.StringColumn(column));
-      for (size_t i = 1; i < n; ++i) {
-        for (size_t j = 0; j < i; ++j) {
-          d.set(i, j, Comparators::AlphanumericDistance(values[i], values[j]));
-        }
-      }
+      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
+        return Comparators::AlphanumericDistance(values[i], values[j]);
+      });
       return d;
     }
   }
@@ -84,11 +113,13 @@ Result<DissimilarityMatrix> LocalDissimilarity::Build(
 }
 
 Result<std::vector<DissimilarityMatrix>> LocalDissimilarity::BuildAll(
-    const DataMatrix& data, const FixedPointCodec& real_codec) {
+    const DataMatrix& data, const FixedPointCodec& real_codec,
+    size_t num_threads) {
   std::vector<DissimilarityMatrix> out;
   out.reserve(data.NumColumns());
   for (size_t c = 0; c < data.NumColumns(); ++c) {
-    PPC_ASSIGN_OR_RETURN(DissimilarityMatrix d, Build(data, c, real_codec));
+    PPC_ASSIGN_OR_RETURN(DissimilarityMatrix d,
+                         Build(data, c, real_codec, num_threads));
     out.push_back(std::move(d));
   }
   return out;

@@ -43,14 +43,18 @@ class LocalDissimilarity {
   ///
   /// Real attributes are passed through `real_codec` first so the local
   /// computation is bit-identical to the fixed-point protocol output; the
-  /// other types ignore the codec.
+  /// other types ignore the codec. The O(n^2) comparison loop involves no
+  /// randomness, so with `num_threads > 1` rows are split across threads
+  /// with identical results.
   static Result<DissimilarityMatrix> Build(const DataMatrix& data,
                                            size_t column,
-                                           const FixedPointCodec& real_codec);
+                                           const FixedPointCodec& real_codec,
+                                           size_t num_threads = 1);
 
   /// Builds matrices for every attribute of `data`, in schema order.
   static Result<std::vector<DissimilarityMatrix>> BuildAll(
-      const DataMatrix& data, const FixedPointCodec& real_codec);
+      const DataMatrix& data, const FixedPointCodec& real_codec,
+      size_t num_threads = 1);
 };
 
 }  // namespace ppc

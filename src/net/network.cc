@@ -28,16 +28,45 @@ Status InMemoryNetwork::RegisterParty(const std::string& name) {
   if (name.empty()) {
     return Status::InvalidArgument("party name must be non-empty");
   }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
   auto [it, inserted] = parties_.try_emplace(name);
-  (void)it;
   if (!inserted) {
     return Status::AlreadyExists("party '" + name + "' already registered");
   }
+  it->second = std::make_unique<Endpoint>();
   return Status::OK();
 }
 
 bool InMemoryNetwork::HasParty(const std::string& name) const {
-  return parties_.find(name) != parties_.end();
+  return FindEndpoint(name) != nullptr;
+}
+
+InMemoryNetwork::Endpoint* InMemoryNetwork::FindEndpoint(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = parties_.find(name);
+  return it == parties_.end() ? nullptr : it->second.get();
+}
+
+Status InMemoryNetwork::ResolveRoute(const std::string& from,
+                                     const std::string& to,
+                                     Endpoint** receiver,
+                                     ChannelState** channel) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (parties_.find(from) == parties_.end()) {
+    return Status::NotFound("unknown sender '" + from + "'");
+  }
+  auto to_it = parties_.find(to);
+  if (to_it == parties_.end()) {
+    return Status::NotFound("unknown receiver '" + to + "'");
+  }
+  *receiver = to_it->second.get();
+  if (channel != nullptr) {
+    auto& slot = channels_[std::make_pair(from, to)];
+    if (!slot) slot = std::make_unique<ChannelState>();
+    *channel = slot.get();
+  }
+  return Status::OK();
 }
 
 std::string InMemoryNetwork::ChannelKeyFor(const std::string& from,
@@ -47,12 +76,12 @@ std::string InMemoryNetwork::ChannelKeyFor(const std::string& from,
 
 Status InMemoryNetwork::Send(const std::string& from, const std::string& to,
                              const std::string& topic, std::string payload) {
-  if (!HasParty(from)) return Status::NotFound("unknown sender '" + from + "'");
-  if (!HasParty(to)) return Status::NotFound("unknown receiver '" + to + "'");
+  Endpoint* receiver = nullptr;
+  ChannelState* channel = nullptr;
+  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, &channel));
 
-  auto channel = std::make_pair(from, to);
-  ChannelStats& stats = stats_[channel];
-
+  // Frame construction runs outside every lock; concurrent senders only
+  // contend on the atomic nonce counter.
   std::string wire;
   if (security_ == TransportSecurity::kPlaintext) {
     wire = payload;
@@ -63,112 +92,168 @@ Status InMemoryNetwork::Send(const std::string& from, const std::string& to,
     std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
     auto ctr = Aes128Ctr::Create(enc_key);
     if (!ctr.ok()) return ctr.status();
-    std::string nonce = CounterNonce(nonce_counters_[channel]++);
+    std::string nonce = CounterNonce(
+        channel->nonce_counter.fetch_add(1, std::memory_order_relaxed));
     std::string ciphertext = ctr->Crypt(nonce, payload);
     std::string mac = HmacSha256::Mac(mac_key, topic + ":" + nonce + ciphertext);
     mac.resize(kMacLength);
     wire = nonce + ciphertext + mac;
   }
 
-  stats.messages += 1;
-  stats.payload_bytes += payload.size();
-  stats.wire_bytes += wire.size();
+  channel->messages.fetch_add(1, std::memory_order_relaxed);
+  channel->payload_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+  channel->wire_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
 
-  auto tap_it = taps_.find(channel);
-  if (tap_it != taps_.end()) {
-    WireFrame frame{from, to, topic, wire};
-    for (const Tap& tap : tap_it->second) tap(frame);
+  {
+    std::lock_guard<std::mutex> tap_lock(tap_mutex_);
+    auto tap_it = taps_.find(std::make_pair(from, to));
+    if (tap_it != taps_.end()) {
+      WireFrame frame{from, to, topic, wire};
+      for (const Tap& tap : tap_it->second) tap(frame);
+    }
   }
 
-  parties_[to].inbox.push_back(Message{from, to, topic, std::move(wire)});
+  {
+    std::lock_guard<std::mutex> lock(receiver->mutex);
+    receiver->queues[from].push_back(Message{from, to, topic, std::move(wire)});
+  }
+  receiver->arrival.notify_all();
   return Status::OK();
 }
 
 Result<Message> InMemoryNetwork::Receive(const std::string& to,
                                          const std::string& from,
                                          const std::string& expected_topic) {
-  auto party_it = parties_.find(to);
-  if (party_it == parties_.end()) {
+  Endpoint* endpoint = FindEndpoint(to);
+  if (endpoint == nullptr) {
     return Status::NotFound("unknown receiver '" + to + "'");
   }
-  auto& inbox = party_it->second.inbox;
-  for (auto it = inbox.begin(); it != inbox.end(); ++it) {
-    if (it->from != from) continue;
-    if (!expected_topic.empty() && it->topic != expected_topic) {
-      return Status::ProtocolViolation(
-          "expected topic '" + expected_topic + "' from '" + from +
-          "' but next message has topic '" + it->topic + "'");
-    }
-    Message msg = std::move(*it);
-    inbox.erase(it);
+  const std::chrono::milliseconds timeout = receive_timeout();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
 
-    if (security_ == TransportSecurity::kAuthenticatedEncryption) {
-      if (msg.payload.size() < kNonceLength + kMacLength) {
-        return Status::DataLoss("wire frame shorter than nonce+mac");
+  Message msg;
+  {
+    std::unique_lock<std::mutex> lock(endpoint->mutex);
+    for (;;) {
+      auto queue_it = endpoint->queues.find(from);
+      if (queue_it != endpoint->queues.end() && !queue_it->second.empty()) {
+        Message& front = queue_it->second.front();
+        if (!expected_topic.empty() && front.topic != expected_topic) {
+          return Status::ProtocolViolation(
+              "expected topic '" + expected_topic + "' from '" + from +
+              "' but next message has topic '" + front.topic + "'");
+        }
+        msg = std::move(front);
+        queue_it->second.pop_front();
+        break;
       }
-      std::string nonce = msg.payload.substr(0, kNonceLength);
-      std::string mac = msg.payload.substr(msg.payload.size() - kMacLength);
-      std::string ciphertext = msg.payload.substr(
-          kNonceLength, msg.payload.size() - kNonceLength - kMacLength);
-
-      std::string channel_key = ChannelKeyFor(from, to);
-      std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
-      std::string expected_mac =
-          HmacSha256::Mac(mac_key, msg.topic + ":" + nonce + ciphertext);
-      expected_mac.resize(kMacLength);
-      if (!HmacSha256::Verify(expected_mac, mac)) {
-        return Status::ProtocolViolation("MAC verification failed on channel " +
-                                         from + "->" + to);
+      if (timeout.count() <= 0) {
+        return Status::NotFound("no pending message from '" + from +
+                                "' to '" + to + "'");
       }
-      std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
-      enc_key.resize(16);
-      auto ctr = Aes128Ctr::Create(enc_key);
-      if (!ctr.ok()) return ctr.status();
-      msg.payload = ctr->Crypt(nonce, ciphertext);
+      if (endpoint->arrival.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        // Re-check once: the frame may have landed between the last scan
+        // and the deadline.
+        auto late_it = endpoint->queues.find(from);
+        if (late_it != endpoint->queues.end() && !late_it->second.empty()) {
+          continue;
+        }
+        return Status::NotFound("no message from '" + from + "' to '" + to +
+                                "' within " + std::to_string(timeout.count()) +
+                                " ms");
+      }
     }
-    return msg;
   }
-  return Status::NotFound("no pending message from '" + from + "' to '" + to +
-                          "'");
+
+  // Verification and decryption run outside the queue lock.
+  if (security_ == TransportSecurity::kAuthenticatedEncryption) {
+    if (msg.payload.size() < kNonceLength + kMacLength) {
+      return Status::DataLoss("wire frame shorter than nonce+mac");
+    }
+    std::string nonce = msg.payload.substr(0, kNonceLength);
+    std::string mac = msg.payload.substr(msg.payload.size() - kMacLength);
+    std::string ciphertext = msg.payload.substr(
+        kNonceLength, msg.payload.size() - kNonceLength - kMacLength);
+
+    std::string channel_key = ChannelKeyFor(from, to);
+    std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
+    std::string expected_mac =
+        HmacSha256::Mac(mac_key, msg.topic + ":" + nonce + ciphertext);
+    expected_mac.resize(kMacLength);
+    if (!HmacSha256::Verify(expected_mac, mac)) {
+      return Status::ProtocolViolation("MAC verification failed on channel " +
+                                       from + "->" + to);
+    }
+    std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
+    enc_key.resize(16);
+    auto ctr = Aes128Ctr::Create(enc_key);
+    if (!ctr.ok()) return ctr.status();
+    msg.payload = ctr->Crypt(nonce, ciphertext);
+  }
+  return msg;
 }
 
 size_t InMemoryNetwork::PendingCount(const std::string& to) const {
-  auto it = parties_.find(to);
-  return it == parties_.end() ? 0 : it->second.inbox.size();
+  Endpoint* endpoint = FindEndpoint(to);
+  if (endpoint == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(endpoint->mutex);
+  size_t total = 0;
+  for (const auto& [from, queue] : endpoint->queues) total += queue.size();
+  return total;
 }
 
 ChannelStats InMemoryNetwork::StatsFor(const std::string& from,
                                        const std::string& to) const {
-  auto it = stats_.find(std::make_pair(from, to));
-  return it == stats_.end() ? ChannelStats{} : it->second;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = channels_.find(std::make_pair(from, to));
+  if (it == channels_.end() || !it->second) return ChannelStats{};
+  ChannelStats stats;
+  stats.messages = it->second->messages.load(std::memory_order_relaxed);
+  stats.payload_bytes =
+      it->second->payload_bytes.load(std::memory_order_relaxed);
+  stats.wire_bytes = it->second->wire_bytes.load(std::memory_order_relaxed);
+  return stats;
 }
 
 ChannelStats InMemoryNetwork::TotalSentBy(const std::string& party) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
   ChannelStats total;
-  for (const auto& [channel, stats] : stats_) {
-    if (channel.first != party) continue;
-    total.messages += stats.messages;
-    total.payload_bytes += stats.payload_bytes;
-    total.wire_bytes += stats.wire_bytes;
+  for (const auto& [channel, state] : channels_) {
+    if (channel.first != party || !state) continue;
+    total.messages += state->messages.load(std::memory_order_relaxed);
+    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
+    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 ChannelStats InMemoryNetwork::GrandTotal() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
   ChannelStats total;
-  for (const auto& [channel, stats] : stats_) {
-    (void)channel;
-    total.messages += stats.messages;
-    total.payload_bytes += stats.payload_bytes;
-    total.wire_bytes += stats.wire_bytes;
+  for (const auto& [channel, state] : channels_) {
+    if (!state) continue;
+    total.messages += state->messages.load(std::memory_order_relaxed);
+    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
+    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
   }
   return total;
 }
 
-void InMemoryNetwork::ResetStats() { stats_.clear(); }
+void InMemoryNetwork::ResetStats() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& [channel, state] : channels_) {
+    if (!state) continue;
+    state->messages.store(0, std::memory_order_relaxed);
+    state->payload_bytes.store(0, std::memory_order_relaxed);
+    state->wire_bytes.store(0, std::memory_order_relaxed);
+    // nonce_counter deliberately survives: fresh nonces forever.
+  }
+}
 
 void InMemoryNetwork::AddTap(const std::string& from, const std::string& to,
                              Tap tap) {
+  std::lock_guard<std::mutex> lock(tap_mutex_);
   taps_[std::make_pair(from, to)].push_back(std::move(tap));
 }
 
@@ -176,9 +261,14 @@ Status InMemoryNetwork::InjectFrame(const std::string& from,
                                     const std::string& to,
                                     const std::string& topic,
                                     std::string wire_bytes) {
-  if (!HasParty(from)) return Status::NotFound("unknown sender '" + from + "'");
-  if (!HasParty(to)) return Status::NotFound("unknown receiver '" + to + "'");
-  parties_[to].inbox.push_back(Message{from, to, topic, std::move(wire_bytes)});
+  Endpoint* receiver = nullptr;
+  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, nullptr));
+  {
+    std::lock_guard<std::mutex> lock(receiver->mutex);
+    receiver->queues[from].push_back(
+        Message{from, to, topic, std::move(wire_bytes)});
+  }
+  receiver->arrival.notify_all();
   return Status::OK();
 }
 

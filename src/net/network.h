@@ -1,11 +1,15 @@
 #ifndef PPC_NET_NETWORK_H_
 #define PPC_NET_NETWORK_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <set>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,11 +40,17 @@ enum class TransportSecurity {
 /// registered eavesdropper taps observe exactly the on-wire bytes, which is
 /// what the channel-security experiment (E12) needs.
 ///
-/// Single-threaded by design: the protocol drivers interleave party steps
-/// deterministically, so no locking is required.
+/// Thread-safe: the concurrent protocol engine drives several party steps
+/// at once, so per-receiver queues are mutex-protected, traffic counters
+/// are atomic, and `Receive` can optionally block on a condition variable
+/// until a matching frame arrives (see `set_receive_timeout`). Encryption
+/// and MAC verification run outside all locks, so senders on distinct
+/// channels do not serialize on the crypto work.
 class InMemoryNetwork {
  public:
-  /// Callback invoked for every frame crossing a tapped channel.
+  /// Callback invoked for every frame crossing a tapped channel. Taps run
+  /// serialized under one lock, so callbacks need no synchronization of
+  /// their own.
   using Tap = std::function<void(const WireFrame&)>;
 
   explicit InMemoryNetwork(
@@ -58,9 +68,23 @@ class InMemoryNetwork {
 
   /// Receives the oldest pending message addressed to `to` from `from`.
   /// If `expected_topic` is non-empty, a topic mismatch is a protocol
-  /// violation (the message is left queued).
+  /// violation (the message is left queued). With a nonzero
+  /// `receive_timeout`, an empty channel blocks on a condition variable
+  /// until a message arrives or the timeout elapses (then kNotFound);
+  /// with the default zero timeout an empty channel is kNotFound
+  /// immediately.
   Result<Message> Receive(const std::string& to, const std::string& from,
                           const std::string& expected_topic = "");
+
+  /// How long `Receive` waits for a message on an empty channel. Zero
+  /// (the default) means non-blocking.
+  void set_receive_timeout(std::chrono::milliseconds timeout) {
+    receive_timeout_.store(timeout.count(), std::memory_order_relaxed);
+  }
+  std::chrono::milliseconds receive_timeout() const {
+    return std::chrono::milliseconds(
+        receive_timeout_.load(std::memory_order_relaxed));
+  }
 
   /// Number of undelivered messages addressed to `to`.
   size_t PendingCount(const std::string& to) const;
@@ -91,20 +115,53 @@ class InMemoryNetwork {
   TransportSecurity security() const { return security_; }
 
  private:
+  /// One receiver: a queue per sending peer, guarded by one mutex so a
+  /// blocked `Receive` can wait for any sender's arrival notification.
   struct Endpoint {
-    std::deque<Message> inbox;
+    mutable std::mutex mutex;
+    std::condition_variable arrival;
+    std::map<std::string, std::deque<Message>> queues;  // keyed by sender.
+  };
+
+  /// Per-directed-channel counters. Plain atomics: senders on the same
+  /// channel bump them without taking any lock. The nonce counter survives
+  /// ResetStats() so no (key, nonce) pair is ever reused.
+  struct ChannelState {
+    std::atomic<uint64_t> messages{0};
+    std::atomic<uint64_t> payload_bytes{0};
+    std::atomic<uint64_t> wire_bytes{0};
+    std::atomic<uint64_t> nonce_counter{0};
   };
 
   std::string ChannelKeyFor(const std::string& from,
                             const std::string& to) const;
 
+  /// Registry lookups (shared, read-mostly): endpoint for `name`, or
+  /// nullptr.
+  Endpoint* FindEndpoint(const std::string& name) const;
+
+  /// Resolves sender, receiver endpoint, and channel state (created on
+  /// first use) in one registry lock — Send's whole routing lookup.
+  Status ResolveRoute(const std::string& from, const std::string& to,
+                      Endpoint** receiver, ChannelState** channel);
+
   TransportSecurity security_;
   std::string master_key_;  // Root of per-channel transport keys.
-  std::map<std::string, Endpoint> parties_;
-  std::map<std::pair<std::string, std::string>, ChannelStats> stats_;
-  // Nonce counters survive ResetStats() so no (key, nonce) pair is reused.
-  std::map<std::pair<std::string, std::string>, uint64_t> nonce_counters_;
+
+  /// Guards the *structure* of the registry maps below. Endpoint and
+  /// ChannelState objects are heap-allocated and never destroyed while the
+  /// network lives, so pointers obtained under this mutex stay valid after
+  /// it is released.
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Endpoint>> parties_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<ChannelState>>
+      channels_;
+
+  /// Guards tap registration and serializes tap invocation.
+  mutable std::mutex tap_mutex_;
   std::map<std::pair<std::string, std::string>, std::vector<Tap>> taps_;
+
+  std::atomic<int64_t> receive_timeout_{0};  // Milliseconds.
 };
 
 }  // namespace ppc

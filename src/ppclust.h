@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/data_holder.h"
 #include "core/outcome.h"

@@ -114,7 +114,7 @@ TEST(RecordLinkageTest, EndToEndThroughSecureSession) {
   ASSERT_TRUE(fixture.session->Run().ok());
 
   auto merged =
-      fixture.third_party->MergedMatrixForTesting({1.0, 1.0}).TakeValue();
+      fixture.third_party->MergedMatrix({1.0, 1.0}).TakeValue();
   RecordLinkage::Options options;
   options.threshold = 0.01;
   auto links =
@@ -198,7 +198,7 @@ TEST(OutlierDetectionTest, EndToEndThroughSecureSession) {
       MakeSession(schema, MatricesOf(parts), config).TakeValue();
   ASSERT_TRUE(fixture.session->Run().ok());
 
-  auto merged = fixture.third_party->MergedMatrixForTesting({}).TakeValue();
+  auto merged = fixture.third_party->MergedMatrix({}).TakeValue();
   OutlierDetection::Options options;
   options.distance_threshold = 0.5;
   options.min_far_fraction = 0.99;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <set>
 
 #include "cluster/agglomerative.h"
@@ -237,6 +238,78 @@ TEST(DbscanTest, ParameterValidation) {
   EXPECT_FALSE(Dbscan::Run(d, {.eps = 1.0, .min_points = 0}).ok());
 }
 
+// Reference implementation with the pre-optimization frontier behavior
+// (every core point re-enqueues its whole neighborhood, duplicates and
+// visited points included). The shipped version filters at insertion time;
+// this pins down that the filtering is behavior-preserving.
+std::vector<int> DbscanWholesaleFrontierReference(
+    const DissimilarityMatrix& matrix, const Dbscan::Options& options) {
+  const size_t n = matrix.num_objects();
+  std::vector<int> labels(n, Dbscan::kNoise);
+  std::vector<bool> visited(n, false);
+  auto neighbors_of = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (matrix.at(i, j) <= options.eps) out.push_back(j);
+    }
+    return out;
+  };
+  int next_cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    std::vector<size_t> seeds = neighbors_of(i);
+    if (seeds.size() < options.min_points) continue;
+    int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<size_t> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == Dbscan::kNoise) labels[j] = cluster;
+      if (visited[j]) continue;
+      visited[j] = true;
+      labels[j] = cluster;
+      std::vector<size_t> expansion = neighbors_of(j);
+      if (expansion.size() >= options.min_points) {
+        frontier.insert(frontier.end(), expansion.begin(), expansion.end());
+      }
+    }
+  }
+  return labels;
+}
+
+TEST(DbscanTest, InsertionFilteredFrontierMatchesWholesaleReference) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 99);
+  for (size_t n : {10, 30, 60}) {
+    DissimilarityMatrix d = RandomMatrix(n, prng.get());
+    for (double eps : {0.05, 0.2, 0.5, 0.9}) {
+      for (size_t min_points : {2, 4, 8}) {
+        Dbscan::Options options;
+        options.eps = eps;
+        options.min_points = min_points;
+        auto labels = Dbscan::Run(d, options).TakeValue();
+        EXPECT_EQ(labels, DbscanWholesaleFrontierReference(d, options))
+            << "n=" << n << " eps=" << eps << " min_points=" << min_points;
+      }
+    }
+  }
+}
+
+TEST(DbscanTest, DenseDataMatchesReference) {
+  // Fully dense neighborhood graph: the worst case for wholesale
+  // re-enqueueing (every expansion used to append all n neighbors).
+  auto points = std::vector<double>();
+  for (size_t i = 0; i < 50; ++i) points.push_back(0.001 * i);
+  auto d = FromPoints(points);
+  Dbscan::Options options;
+  options.eps = 1.0;
+  options.min_points = 3;
+  auto labels = Dbscan::Run(d, options).TakeValue();
+  EXPECT_EQ(labels, DbscanWholesaleFrontierReference(d, options));
+  for (int label : labels) EXPECT_EQ(label, 0);
+}
+
 // ---------------------------------------------------------------- KMedoids --
 
 TEST(KMedoidsTest, RecoversSeparatedBlobs) {
@@ -252,7 +325,7 @@ TEST(KMedoidsTest, RecoversSeparatedBlobs) {
   KMedoids::Options options;
   options.k = 3;
   auto result =
-      KMedoids::Run(FromPoints(points), options, prng.get()).TakeValue();
+      KMedoids::Run(FromPoints(points), options).TakeValue();
   EXPECT_TRUE(SamePartition(result.labels, truth));
   EXPECT_EQ(result.medoids.size(), 3u);
   std::set<int> labels(result.labels.begin(), result.labels.end());
@@ -264,7 +337,7 @@ TEST(KMedoidsTest, MedoidsBelongToOwnClusters) {
   DissimilarityMatrix d = RandomMatrix(20, prng.get());
   KMedoids::Options options;
   options.k = 4;
-  auto result = KMedoids::Run(d, options, prng.get()).TakeValue();
+  auto result = KMedoids::Run(d, options).TakeValue();
   for (size_t c = 0; c < result.medoids.size(); ++c) {
     EXPECT_EQ(result.labels[result.medoids[c]], static_cast<int>(c));
   }
@@ -275,15 +348,29 @@ TEST(KMedoidsTest, KOneAssignsEverythingTogether) {
   DissimilarityMatrix d = RandomMatrix(10, prng.get());
   KMedoids::Options options;
   options.k = 1;
-  auto result = KMedoids::Run(d, options, prng.get()).TakeValue();
+  auto result = KMedoids::Run(d, options).TakeValue();
   for (int label : result.labels) EXPECT_EQ(label, 0);
 }
 
 TEST(KMedoidsTest, ValidatesK) {
   auto prng = MakePrng(PrngKind::kXoshiro256, 12);
   DissimilarityMatrix d = RandomMatrix(5, prng.get());
-  EXPECT_FALSE(KMedoids::Run(d, {.k = 0}, prng.get()).ok());
-  EXPECT_FALSE(KMedoids::Run(d, {.k = 6}, prng.get()).ok());
+  EXPECT_FALSE(KMedoids::Run(d, {.k = 0}).ok());
+  EXPECT_FALSE(KMedoids::Run(d, {.k = 6}).ok());
+}
+
+TEST(KMedoidsTest, FullyDeterministic) {
+  // No entropy parameter: repeated runs over the same matrix must agree
+  // exactly (the greedy BUILD breaks ties toward the lowest index).
+  auto prng = MakePrng(PrngKind::kXoshiro256, 21);
+  DissimilarityMatrix d = RandomMatrix(25, prng.get());
+  KMedoids::Options options;
+  options.k = 4;
+  auto first = KMedoids::Run(d, options).TakeValue();
+  auto second = KMedoids::Run(d, options).TakeValue();
+  EXPECT_EQ(first.labels, second.labels);
+  EXPECT_EQ(first.medoids, second.medoids);
+  EXPECT_EQ(first.total_cost, second.total_cost);
 }
 
 // ----------------------------------------------------------------- Quality --

@@ -285,6 +285,12 @@ TEST(SessionTest, DbscanRequestLabelsNoise) {
   ASSERT_EQ(outcome.noise.size(), 1u);
   // The outlier 100.0 went to party A (global index 8 is row 4 of A).
   EXPECT_EQ(outcome.noise[0].party, "A");
+  // Noise makes the silhouette undefined — it must be absent, not 0.0.
+  EXPECT_FALSE(outcome.silhouette.has_value());
+  // The published quality vector covers the real clusters only (the noise
+  // pseudo-cluster is dropped).
+  EXPECT_EQ(outcome.within_cluster_mean_squared.size(),
+            outcome.clusters.size());
 }
 
 TEST(SessionTest, WeightVectorSelectsAttributes) {
@@ -362,6 +368,31 @@ TEST(OutcomeTest, SerializationRoundTrip) {
   EXPECT_EQ(back.silhouette, 0.75);
   ASSERT_EQ(back.noise.size(), 1u);
   EXPECT_EQ(back.noise[0].Display(), "B2");
+}
+
+TEST(OutcomeTest, SerializationPreservesAbsentSilhouette) {
+  // An unset silhouette (undefined score) must round-trip as unset — it is
+  // not the same published result as a genuine 0.0.
+  ClusteringOutcome outcome;
+  outcome.clusters = {{{"A", 0, 0}}};
+  outcome.within_cluster_mean_squared = {0.0};
+
+  ByteWriter writer;
+  outcome.Serialize(&writer);
+  std::string bytes = writer.TakeBytes();
+  ByteReader reader(bytes);
+  ClusteringOutcome back = ClusteringOutcome::Deserialize(&reader).TakeValue();
+  EXPECT_FALSE(back.silhouette.has_value());
+
+  outcome.silhouette = 0.0;
+  ByteWriter writer_zero;
+  outcome.Serialize(&writer_zero);
+  std::string zero_bytes = writer_zero.TakeBytes();
+  ByteReader zero_reader(zero_bytes);
+  ClusteringOutcome back_zero =
+      ClusteringOutcome::Deserialize(&zero_reader).TakeValue();
+  ASSERT_TRUE(back_zero.silhouette.has_value());
+  EXPECT_EQ(*back_zero.silhouette, 0.0);
 }
 
 TEST(OutcomeTest, RequestSerializationRoundTrip) {

@@ -5,10 +5,12 @@
 // k data holders and a third party over given horizontal partitions, and
 // run the full session.
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "core/config.h"
 #include "core/data_holder.h"
 #include "core/session.h"
@@ -32,22 +34,41 @@ struct SessionFixture {
   }
 };
 
+/// Thread-count override for whole-suite concurrency runs: when
+/// PPC_NUM_THREADS is set (the CI threaded job exports it), every fixture
+/// whose test did not pick an explicit thread count runs the concurrent
+/// engine with that many workers. Parallel runs are bit-identical to
+/// sequential ones, so the suite's assertions hold unchanged.
+inline size_t ThreadsFromEnv() {
+  const char* env = std::getenv("PPC_NUM_THREADS");
+  if (env == nullptr) return 0;
+  int64_t value = 0;
+  if (!ParseInt64(env, &value) || value < 1) return 0;
+  return static_cast<size_t>(value);
+}
+
 /// Builds (but does not run) a session over `partitions`.
 inline Result<SessionFixture> MakeSession(
     const Schema& schema, const std::vector<DataMatrix>& partitions,
     const ProtocolConfig& config,
     TransportSecurity security = TransportSecurity::kAuthenticatedEncryption,
     uint64_t entropy_base = 9000) {
+  ProtocolConfig effective = config;
+  if (effective.num_threads <= 1) {
+    if (size_t env_threads = ThreadsFromEnv(); env_threads > 0) {
+      effective.num_threads = env_threads;
+    }
+  }
   SessionFixture fixture;
   fixture.network = std::make_unique<InMemoryNetwork>(security);
   fixture.third_party = std::make_unique<ThirdParty>(
-      "TP", fixture.network.get(), config, schema, entropy_base);
+      "TP", fixture.network.get(), effective, schema, entropy_base);
   fixture.session = std::make_unique<ClusteringSession>(fixture.network.get(),
-                                                        config, schema);
+                                                        effective, schema);
   PPC_RETURN_IF_ERROR(fixture.session->SetThirdParty(fixture.third_party.get()));
   for (size_t i = 0; i < partitions.size(); ++i) {
     auto holder = std::make_unique<DataHolder>(
-        SessionFixture::HolderName(i), fixture.network.get(), config,
+        SessionFixture::HolderName(i), fixture.network.get(), effective,
         entropy_base + 1 + i);
     PPC_RETURN_IF_ERROR(holder->SetData(partitions[i]));
     PPC_RETURN_IF_ERROR(fixture.session->AddDataHolder(holder.get()));

@@ -1,5 +1,6 @@
 # ctest driver for ppclust_cli smoke tests. Invoked as
-#   cmake -DCLI=<path> -DMODE=usage_error|end_to_end [-DSCRATCH=<dir>] -P ...
+#   cmake -DCLI=<path> -DMODE=usage_error|end_to_end|threaded
+#         [-DSCRATCH=<dir>] -P ...
 # and fails via message(FATAL_ERROR) on any unexpected behaviour.
 
 if(MODE STREQUAL "usage_error")
@@ -48,6 +49,43 @@ elseif(MODE STREQUAL "end_to_end")
   endif()
   if(NOT EXISTS "${SCRATCH}/smoke.nwk")
     message(FATAL_ERROR "cluster did not write the --newick file")
+  endif()
+
+elseif(MODE STREQUAL "threaded")
+  # The concurrent engine must publish the exact same outcome as the
+  # sequential run: compare full cluster output across --threads values,
+  # ignoring only the wall-clock line.
+  file(REMOVE_RECURSE "${SCRATCH}")
+  file(MAKE_DIRECTORY "${SCRATCH}")
+
+  execute_process(
+    COMMAND "${CLI}" generate --kind=mixed --objects=24 --parties=3
+            --seed=11 "--prefix=${SCRATCH}/smoke"
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "generate exited ${code}\n${out}${err}")
+  endif()
+
+  foreach(threads 1 4)
+    execute_process(
+      COMMAND "${CLI}" cluster "${SCRATCH}/smoke.part0.csv"
+              "${SCRATCH}/smoke.part1.csv" "${SCRATCH}/smoke.part2.csv"
+              --clusters=3 --threads=${threads}
+      RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+              "cluster --threads=${threads} exited ${code}\n${out}${err}")
+    endif()
+    # Drop the timing line; everything else must match bit for bit.
+    string(REGEX REPLACE "# protocol:[^\n]*\n" "" out "${out}")
+    set(out_${threads} "${out}")
+  endforeach()
+  set(sequential "${out_1}")
+  set(threaded "${out_4}")
+  if(NOT sequential STREQUAL threaded)
+    message(FATAL_ERROR "threaded outcome diverged from sequential:\n"
+            "--- threads=1 ---\n${sequential}\n"
+            "--- threads=4 ---\n${threaded}")
   endif()
 
 else()

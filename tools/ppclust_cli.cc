@@ -125,7 +125,7 @@ constexpr char kUsage[] =
     "[--eps=E] [--minpts=M]\n"
     "              [--alphabet=dna|lowercase|identifier] "
     "[--weights=w0,w1,...]\n"
-    "              [--mode=batch|perpair] [--newick=FILE]\n";
+    "              [--mode=batch|perpair] [--threads=N] [--newick=FILE]\n";
 
 int Usage() {
   std::fprintf(stderr, "%s", kUsage);
@@ -225,7 +225,7 @@ int RunGenerate(const Flags& flags) {
 int RunCluster(const Flags& flags) {
   if (int bad = CheckFlagNames(
           flags, {"clusters", "linkage", "algorithm", "eps", "minpts",
-                  "alphabet", "weights", "mode", "newick"})) {
+                  "alphabet", "weights", "mode", "threads", "newick"})) {
     return bad;
   }
   if (flags.positional.size() < 2) {
@@ -261,6 +261,9 @@ int RunCluster(const Flags& flags) {
   } else if (mode != "batch") {
     return Fail("unknown --mode '" + mode + "'");
   }
+  const int64_t threads_flag = flags.GetInt("threads", 1);
+  if (threads_flag < 1) return Fail("--threads must be positive");
+  config.num_threads = static_cast<size_t>(threads_flag);
 
   InMemoryNetwork network;
   ThirdParty tp("TP", &network, config, schema, 1);
@@ -337,13 +340,17 @@ int RunCluster(const Flags& flags) {
   auto outcome = session.RequestClustering("A", request);
   if (!outcome.ok()) return Fail(outcome.status().ToString());
   std::printf("%s", outcome->ToString().c_str());
-  std::printf("# silhouette: %.3f\n", outcome->silhouette);
+  if (outcome->silhouette.has_value()) {
+    std::printf("# silhouette: %.3f\n", *outcome->silhouette);
+  } else {
+    std::printf("# silhouette: n/a (undefined for this outcome)\n");
+  }
 
   const std::string newick_path = flags.Get("newick", "");
   if (!newick_path.empty()) {
     // TP-side export (never published to holders: branch lengths are
     // distances). Rebuild the dendrogram from the TP's merged matrix.
-    auto merged = tp.MergedMatrixForTesting(request.weights);
+    auto merged = tp.MergedMatrix(request.weights);
     if (!merged.ok()) return Fail(merged.status().ToString());
     auto dendrogram = Agglomerative::Run(*merged, request.linkage);
     if (!dendrogram.ok()) return Fail(dendrogram.status().ToString());
