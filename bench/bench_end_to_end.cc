@@ -14,6 +14,7 @@
 
 #include "data/generators.h"
 #include "data/partition.h"
+#include "net/tcp_network.h"
 #include "session_test_util.h"
 
 namespace ppc {
@@ -220,6 +221,59 @@ void BM_SessionTransportAblation(benchmark::State& state) {
   state.SetLabel(secure ? "aes-ctr+hmac" : "plaintext");
 }
 BENCHMARK(BM_SessionTransportAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Transport-backend ablation: the identical session over the in-memory
+// simulator versus real loopback TCP sockets (single endpoint hosting all
+// parties — every frame still crosses the kernel's socket path). The gap
+// is the per-message deployment overhead a multi-site run pays on top of
+// the protocol's own crypto and arithmetic.
+void BM_SessionTransportBackend(benchmark::State& state) {
+  const bool tcp = state.range(0) != 0;
+  LabeledDataset data = NumericDataset(128, 4);
+  auto parts = Partitioner::RoundRobin(data, 2).TakeValue();
+  const Schema& schema = data.data.schema();
+  ProtocolConfig config;
+
+  uint64_t wire_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      std::unique_ptr<Network> network;
+      if (tcp) {
+        auto endpoint = TcpNetwork::Create({}).TakeValue();
+        endpoint->set_receive_timeout(std::chrono::seconds(30));
+        network = std::move(endpoint);
+      } else {
+        network = std::make_unique<InMemoryNetwork>();
+      }
+      ThirdParty tp("TP", network.get(), config, schema, 9000);
+      ClusteringSession session(network.get(), config, schema);
+      std::vector<std::unique_ptr<DataHolder>> holders;
+      bool setup_ok = session.SetThirdParty(&tp).ok();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        holders.push_back(std::make_unique<DataHolder>(
+            testutil::SessionFixture::HolderName(i), network.get(), config,
+            9001 + i));
+        setup_ok = setup_ok && holders.back()->SetData(parts[i].data).ok() &&
+                   session.AddDataHolder(holders.back().get()).ok();
+      }
+      state.ResumeTiming();
+      bool ok = setup_ok && session.Run().ok();
+      benchmark::DoNotOptimize(ok);
+      // Teardown (for TCP: listener shutdown + thread joins) happens
+      // inside this paused scope — only the protocol run is measured.
+      state.PauseTiming();
+      wire_bytes = network->GrandTotal().wire_bytes;
+    }
+    state.ResumeTiming();
+  }
+  state.counters["wire_B"] = static_cast<double>(wire_bytes);
+  state.SetLabel(tcp ? "tcp-loopback" : "in-memory");
+}
+BENCHMARK(BM_SessionTransportBackend)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

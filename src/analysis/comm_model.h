@@ -16,9 +16,11 @@ namespace ppc {
 ///   alphanumeric: initiator O(n^2 + n p), responder O(m^2 + m q n p)
 ///   categorical:  each party O(n)
 ///
-/// The communication-cost experiments (E8-E10) assert that the bytes
-/// observed on the simulated wire equal these predictions, then print the
-/// measured-vs-model table per size sweep.
+/// The communication-cost experiments (E8-E10) assert that the payload
+/// bytes observed on the wire — via any `Network` backend's channel
+/// stats, simulator or TCP alike, since both account the identical
+/// frames — equal these predictions, then print the measured-vs-model
+/// table per size sweep.
 class CommModel {
  public:
   /// Serialization constants (see common/serde.h): u32 length prefix etc.

@@ -16,6 +16,10 @@ namespace ppc {
 /// (x'' - r) or (r - x'')". This is exactly why the paper requires secured
 /// channels; experiment E12 shows the attack succeeding on a plaintext
 /// transport and collapsing on the authenticated-encryption transport.
+/// Captures come from `Network::AddTap`, which observes the identical
+/// wire bytes on every backend (the in-memory simulator and TCP share
+/// one `SecureChannel` framing), so the analysis transfers unchanged to
+/// a deployed multi-site run.
 class EavesdropAttack {
  public:
   /// Candidate pair for one initiator object: the two values the TP cannot

@@ -42,12 +42,19 @@ struct ProtocolConfig {
   /// Fixed-point precision for real-valued attributes (decimal digits kept).
   int real_decimal_digits = 6;
 
-  /// Worker threads for the concurrent protocol engine. 1 (the default)
-  /// keeps every phase on the caller's thread — the deterministic reference
-  /// schedule. Values > 1 let `ClusteringSession::Run` drive independent
-  /// protocol rounds concurrently and parallelize the O(n^2) inner loops;
-  /// because every mask stream is derived from a per-(attribute, initiator,
-  /// responder) label, the result is bit-identical to the sequential run.
+  /// Worker threads for the concurrent protocol engine. The single rule,
+  /// honored by both `ClusteringSession::Run` and `RunParallel`:
+  ///
+  ///   * 1 (the default) — every phase on the caller's thread, the
+  ///     deterministic sequential reference schedule.
+  ///   * 0 — auto: resolve to the hardware concurrency.
+  ///   * n > 1 — the concurrent engine with exactly n workers, driving
+  ///     independent protocol rounds concurrently and parallelizing the
+  ///     O(n^2) inner loops.
+  ///
+  /// Because every mask stream is derived from a per-(attribute,
+  /// initiator, responder) label, results are bit-identical across thread
+  /// counts.
   size_t num_threads = 1;
 
   /// Alphabet of every alphanumeric attribute. The paper requires a finite,

@@ -43,7 +43,7 @@ std::vector<uint8_t> SymbolsFromBytes(const std::string& bytes) {
 
 }  // namespace
 
-DataHolder::DataHolder(std::string name, InMemoryNetwork* network,
+DataHolder::DataHolder(std::string name, Network* network,
                        ProtocolConfig config, uint64_t entropy_seed)
     : name_(std::move(name)),
       network_(network),

@@ -19,17 +19,20 @@ namespace ppc {
 
 /// One data-holder site (a "DHJ"/"DHK" of the paper): owns a horizontal
 /// partition of the data matrix and participates in the comparison
-/// protocols. All communication goes through the `InMemoryNetwork`, so its
-/// traffic is accounted and tappable like a real deployment's.
+/// protocols. All communication goes through the abstract `Network`
+/// transport — the in-process simulator and the TCP backend are
+/// interchangeable — so its traffic is accounted and tappable like a real
+/// deployment's.
 ///
-/// The session driver (`ClusteringSession`) sequences the method calls; the
+/// A schedule driver (`ClusteringSession` in-process, `PartyRunner` when
+/// each party is its own OS process) sequences the method calls; the
 /// holder itself never inspects another party's state in-process.
 class DataHolder {
  public:
   /// `entropy_seed` seeds the holder's local randomness (DH private keys,
   /// categorical key generation). Deployments would use OS entropy; a seed
   /// keeps experiments reproducible.
-  DataHolder(std::string name, InMemoryNetwork* network, ProtocolConfig config,
+  DataHolder(std::string name, Network* network, ProtocolConfig config,
              uint64_t entropy_seed);
 
   /// Installs this holder's horizontal partition. All rows must match the
@@ -122,7 +125,7 @@ class DataHolder {
                                          const std::string& label) const;
 
   std::string name_;
-  InMemoryNetwork* network_;
+  Network* network_;
   ProtocolConfig config_;
   FixedPointCodec real_codec_;
   DataMatrix data_;

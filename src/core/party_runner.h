@@ -1,0 +1,63 @@
+#ifndef PPC_CORE_PARTY_RUNNER_H_
+#define PPC_CORE_PARTY_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/data_holder.h"
+#include "core/outcome.h"
+#include "core/third_party.h"
+#include "data/schema.h"
+
+namespace ppc {
+
+/// The shared session plan every process of a distributed run is launched
+/// with: the roster order and the third party's name. Together with the
+/// (also shared) `ProtocolConfig` and `Schema`, it makes each party's side
+/// of the protocol schedule fully determined — no control plane is needed
+/// beyond the messages themselves.
+struct SessionPlan {
+  /// Data-holder names in roster order. The first holder distributes the
+  /// categorical key and issues the clustering request.
+  std::vector<std::string> holder_order;
+  std::string third_party = "TP";
+};
+
+/// One party's side of the `ClusteringSession` schedule, for deployments
+/// where each party is its own OS process (or thread) on a distributed
+/// `Network` backend.
+///
+/// `ClusteringSession` interleaves all parties' steps on one thread; these
+/// drivers are the per-party projection of that exact schedule. Sends are
+/// non-blocking on every backend, and each receive names its peer and
+/// topic, so blocking receives (a nonzero `Network` receive timeout is
+/// required) are the only synchronization the run needs. Message contents
+/// and per-channel orders are identical to the in-process session, which is
+/// what keeps a distributed run's dissimilarity matrices bit-identical to
+/// the simulator's.
+class PartyRunner {
+ public:
+  /// Runs a data holder's side of phases 1-5 (hello through comparison
+  /// rounds). The holder must have its data installed and appear in
+  /// `plan.holder_order`.
+  static Status RunHolder(DataHolder* holder, const SessionPlan& plan,
+                          const Schema& schema);
+
+  /// Runs the third party's side of phases 1-6 (hellos through
+  /// normalization). After this returns the third party can serve
+  /// clustering requests.
+  static Status RunThirdParty(ThirdParty* third_party, const SessionPlan& plan,
+                              const Schema& schema);
+
+  /// Full request round-trip for a holder whose schedule already ran:
+  /// sends the order and blocks for the published outcome. The third-party
+  /// process must call `ThirdParty::ServeClusterRequest` for this holder.
+  static Result<ClusteringOutcome> RequestClustering(
+      DataHolder* holder, const SessionPlan& plan,
+      const ClusterRequest& request);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_PARTY_RUNNER_H_

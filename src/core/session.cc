@@ -7,7 +7,7 @@
 
 namespace ppc {
 
-ClusteringSession::ClusteringSession(InMemoryNetwork* network,
+ClusteringSession::ClusteringSession(Network* network,
                                      ProtocolConfig config, Schema schema)
     : network_(network),
       config_(std::move(config)),
@@ -141,18 +141,33 @@ Status ClusteringSession::RunCategoricalRound(size_t column) {
   return third_party_->FinalizeCategorical(column);
 }
 
+namespace {
+
+/// The single `ProtocolConfig::num_threads` rule (documented in config.h):
+/// 0 = auto (hardware concurrency), otherwise exactly the configured
+/// count. Both Run() and RunParallel() resolve through here so the two
+/// entry points can never disagree on what a thread count means.
+size_t ResolveNumThreads(size_t configured) {
+  if (configured == 0) {
+    return std::max(2u, std::thread::hardware_concurrency());
+  }
+  return configured;
+}
+
+}  // namespace
+
 Status ClusteringSession::Run() {
-  return RunWithThreads(std::max<size_t>(1, config_.num_threads));
+  const size_t num_threads = ResolveNumThreads(config_.num_threads);
+  return RunWithSchedule(/*concurrent=*/num_threads > 1, num_threads);
 }
 
 Status ClusteringSession::RunParallel() {
-  size_t num_threads = config_.num_threads > 1
-                           ? config_.num_threads
-                           : std::max(2u, std::thread::hardware_concurrency());
-  return RunWithThreads(num_threads);
+  return RunWithSchedule(/*concurrent=*/true,
+                         ResolveNumThreads(config_.num_threads));
 }
 
-Status ClusteringSession::RunWithThreads(size_t num_threads) {
+Status ClusteringSession::RunWithSchedule(bool concurrent,
+                                          size_t num_threads) {
   if (ran_) return Status::FailedPrecondition("session already ran");
   PPC_RETURN_IF_ERROR(ValidateSetup());
 
@@ -164,7 +179,7 @@ Status ClusteringSession::RunWithThreads(size_t num_threads) {
     if (spec.type != AttributeType::kCategorical) ++non_categorical;
   }
 
-  if (num_threads <= 1) {
+  if (!concurrent) {
     // Sequential reference schedule: the paper's Fig. 11 loop, one party
     // step at a time.
 

@@ -17,14 +17,19 @@ namespace ppc {
 /// Drives the full protocol of paper Fig. 11 across the registered parties.
 ///
 /// Every party runs in-process, but *all* inter-party state flows through
-/// the `InMemoryNetwork` — the session only sequences whose turn it is, the
-/// way a real deployment's control plane (or simply the arrival of
-/// messages) would. This keeps byte accounting and eavesdropping
-/// experiments faithful while making runs deterministic.
+/// the abstract `Network` transport — the session only sequences whose turn
+/// it is, the way a real deployment's control plane (or simply the arrival
+/// of messages) would. This keeps byte accounting and eavesdropping
+/// experiments faithful while making runs deterministic. Any backend works:
+/// the in-memory simulator gives zero-latency deterministic runs, and a
+/// `TcpNetwork` (with a nonzero receive timeout) sends the very same
+/// schedule over real sockets. For one-party-per-process deployments use
+/// `PartyRunner` instead.
 ///
-/// Usage:
+/// Usage — `net` is any `ppc::Network` backend (the in-memory simulator
+/// from net/in_memory_network.h for experiments; the TCP backend works
+/// unchanged, given a nonzero receive timeout):
 /// ```
-///   InMemoryNetwork net;
 ///   ThirdParty tp("TP", &net, config, schema, /*entropy_seed=*/1);
 ///   DataHolder a("A", &net, config, 2), b("B", &net, config, 3);
 ///   a.SetData(part_a); b.SetData(part_b);
@@ -37,7 +42,7 @@ namespace ppc {
 /// ```
 class ClusteringSession {
  public:
-  ClusteringSession(InMemoryNetwork* network, ProtocolConfig config,
+  ClusteringSession(Network* network, ProtocolConfig config,
                     Schema schema);
 
   /// Registers the third party on the network. Must be called exactly once,
@@ -54,9 +59,11 @@ class ClusteringSession {
   /// normalization (Fig. 11). After this the third party can serve
   /// clustering requests.
   ///
-  /// With `ProtocolConfig::num_threads > 1` this dispatches to the
-  /// concurrent engine (same schedule as RunParallel); the default of 1 is
-  /// the sequential reference schedule.
+  /// Thread count follows the single `ProtocolConfig::num_threads` rule
+  /// (see config.h): 1 (the default) runs the sequential reference
+  /// schedule; 0 resolves to the hardware concurrency; any resolved count
+  /// > 1 dispatches to the concurrent engine with exactly that many
+  /// workers.
   Status Run();
 
   /// Runs the same pipeline on the concurrent engine: the paper's sites are
@@ -68,8 +75,12 @@ class ClusteringSession {
   /// initiator, responder) label, so the third party's attribute matrices
   /// are bit-identical to a sequential Run().
   ///
-  /// Uses `ProtocolConfig::num_threads` workers when > 1, otherwise the
-  /// hardware concurrency.
+  /// The worker count follows the same `ProtocolConfig::num_threads` rule
+  /// as `Run()` — 0 = hardware concurrency, otherwise exactly the
+  /// configured count. The only difference from `Run()` is that the
+  /// concurrent grouping is used even when the resolved count is 1 (one
+  /// worker draining the grouped rounds), which exists so tests can
+  /// exercise the concurrent schedule deterministically.
   Status RunParallel();
 
   /// Full request round-trip for `holder_name`: send order, let the third
@@ -82,7 +93,10 @@ class ClusteringSession {
 
  private:
   Status ValidateSetup() const;
-  Status RunWithThreads(size_t num_threads);
+  /// Shared driver behind Run()/RunParallel(): `concurrent` selects the
+  /// grouped schedule, `num_threads` the worker count (>= 1, already
+  /// resolved by the num_threads rule).
+  Status RunWithSchedule(bool concurrent, size_t num_threads);
   Status RunSetupPhases(std::vector<std::string>* holder_names);
 
   // One protocol round each, shared by the sequential and concurrent
@@ -102,7 +116,7 @@ class ClusteringSession {
 
   Result<DataHolder*> FindHolder(const std::string& name) const;
 
-  InMemoryNetwork* network_;
+  Network* network_;
   ProtocolConfig config_;
   Schema schema_;
   ThirdParty* third_party_ = nullptr;

@@ -35,7 +35,7 @@ std::string AlnumLabel(size_t column, const std::string& initiator,
 
 }  // namespace
 
-ThirdParty::ThirdParty(std::string name, InMemoryNetwork* network,
+ThirdParty::ThirdParty(std::string name, Network* network,
                        ProtocolConfig config, Schema schema,
                        uint64_t entropy_seed)
     : name_(std::move(name)),

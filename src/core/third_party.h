@@ -33,7 +33,7 @@ namespace ppc {
 /// parties can use distance scores to infer private information").
 class ThirdParty {
  public:
-  ThirdParty(std::string name, InMemoryNetwork* network, ProtocolConfig config,
+  ThirdParty(std::string name, Network* network, ProtocolConfig config,
              Schema schema, uint64_t entropy_seed);
 
   const std::string& name() const { return name_; }
@@ -124,7 +124,7 @@ class ThirdParty {
   void InvalidateMergedCache();
 
   std::string name_;
-  InMemoryNetwork* network_;
+  Network* network_;
   ProtocolConfig config_;
   Schema schema_;
   FixedPointCodec real_codec_;

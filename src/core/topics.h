@@ -4,7 +4,7 @@
 namespace ppc {
 
 /// Message topics of the wire protocol, one per protocol step. Receivers
-/// pass the expected topic to `InMemoryNetwork::Receive`, so an out-of-step
+/// pass the expected topic to `Network::Receive`, so an out-of-step
 /// peer surfaces as a kProtocolViolation instead of a misparse.
 namespace topics {
 
@@ -20,6 +20,10 @@ inline constexpr char kAlnumGrids[] = "alphanumeric.masked_grids";
 inline constexpr char kCategoricalTokens[] = "categorical.tokens";
 inline constexpr char kClusterRequest[] = "cluster.request";
 inline constexpr char kClusterOutcome[] = "cluster.outcome";
+/// Control-plane forward of a published outcome from the requesting data
+/// holder to a multi-process run's coordinator (never carries matrices —
+/// only what the third party already published to that holder).
+inline constexpr char kCoordinatorOutcome[] = "ctl.outcome";
 
 }  // namespace topics
 }  // namespace ppc

@@ -1,0 +1,184 @@
+#include "net/channel_transport.h"
+
+#include "net/secure_channel.h"
+
+namespace ppc {
+
+ChannelTransport::ChannelTransport(TransportSecurity security)
+    : security_(security), master_key_(SecureChannel::kMasterKey) {}
+
+ChannelTransport::Endpoint* ChannelTransport::FindEndpoint(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = parties_.find(name);
+  return it == parties_.end() ? nullptr : it->second.get();
+}
+
+ChannelTransport::ChannelState* ChannelTransport::ChannelForLocked(
+    const std::string& from, const std::string& to) {
+  auto& slot = channels_[std::make_pair(from, to)];
+  if (!slot) slot = std::make_unique<ChannelState>();
+  return slot.get();
+}
+
+Result<std::string> ChannelTransport::PrepareFrame(const std::string& from,
+                                                   const std::string& to,
+                                                   const std::string& topic,
+                                                   const std::string& payload,
+                                                   ChannelState* channel) {
+  // Frame construction runs outside every lock; concurrent senders only
+  // contend on the atomic nonce counter.
+  std::string wire;
+  if (security_ == TransportSecurity::kPlaintext) {
+    wire = payload;
+  } else {
+    PPC_ASSIGN_OR_RETURN(
+        wire, SecureChannel::Seal(
+                  SecureChannel::ChannelKey(master_key_, from, to), topic,
+                  channel->nonce_counter.fetch_add(1,
+                                                   std::memory_order_relaxed),
+                  payload));
+  }
+
+  channel->messages.fetch_add(1, std::memory_order_relaxed);
+  channel->payload_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+  channel->wire_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> tap_lock(tap_mutex_);
+    auto tap_it = taps_.find(std::make_pair(from, to));
+    if (tap_it != taps_.end()) {
+      WireFrame frame{from, to, topic, wire};
+      for (const Tap& tap : tap_it->second) tap(frame);
+    }
+  }
+  return wire;
+}
+
+void ChannelTransport::DeliverLocal(Endpoint* endpoint, Message message) {
+  {
+    std::lock_guard<std::mutex> lock(endpoint->mutex);
+    endpoint->queues[message.from].push_back(std::move(message));
+  }
+  endpoint->arrival.notify_all();
+}
+
+Result<Message> ChannelTransport::Receive(const std::string& to,
+                                          const std::string& from,
+                                          const std::string& expected_topic) {
+  Endpoint* endpoint = FindEndpoint(to);
+  if (endpoint == nullptr) {
+    return Status::NotFound("unknown receiver '" + to + "'");
+  }
+  const std::chrono::milliseconds timeout = receive_timeout();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+
+  Message msg;
+  {
+    std::unique_lock<std::mutex> lock(endpoint->mutex);
+    for (;;) {
+      auto queue_it = endpoint->queues.find(from);
+      if (queue_it != endpoint->queues.end() && !queue_it->second.empty()) {
+        Message& front = queue_it->second.front();
+        if (!expected_topic.empty() && front.topic != expected_topic) {
+          return Status::ProtocolViolation(
+              "expected topic '" + expected_topic + "' from '" + from +
+              "' but next message has topic '" + front.topic + "'");
+        }
+        msg = std::move(front);
+        queue_it->second.pop_front();
+        break;
+      }
+      if (timeout.count() <= 0) {
+        return Status::NotFound("no pending message from '" + from +
+                                "' to '" + to + "'");
+      }
+      if (endpoint->arrival.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        // Re-check once: the frame may have landed between the last scan
+        // and the deadline.
+        auto late_it = endpoint->queues.find(from);
+        if (late_it != endpoint->queues.end() && !late_it->second.empty()) {
+          continue;
+        }
+        return Status::NotFound("no message from '" + from + "' to '" + to +
+                                "' within " + std::to_string(timeout.count()) +
+                                " ms");
+      }
+    }
+  }
+
+  // Verification and decryption run outside the queue lock.
+  if (security_ == TransportSecurity::kAuthenticatedEncryption) {
+    PPC_ASSIGN_OR_RETURN(
+        msg.payload,
+        SecureChannel::Open(SecureChannel::ChannelKey(master_key_, from, to),
+                            msg.topic, msg.payload, from + "->" + to));
+  }
+  return msg;
+}
+
+size_t ChannelTransport::PendingCount(const std::string& to) const {
+  Endpoint* endpoint = FindEndpoint(to);
+  if (endpoint == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(endpoint->mutex);
+  size_t total = 0;
+  for (const auto& [from, queue] : endpoint->queues) total += queue.size();
+  return total;
+}
+
+ChannelStats ChannelTransport::StatsFor(const std::string& from,
+                                        const std::string& to) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = channels_.find(std::make_pair(from, to));
+  if (it == channels_.end() || !it->second) return ChannelStats{};
+  ChannelStats stats;
+  stats.messages = it->second->messages.load(std::memory_order_relaxed);
+  stats.payload_bytes =
+      it->second->payload_bytes.load(std::memory_order_relaxed);
+  stats.wire_bytes = it->second->wire_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ChannelStats ChannelTransport::TotalSentBy(const std::string& party) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ChannelStats total;
+  for (const auto& [channel, state] : channels_) {
+    if (channel.first != party || !state) continue;
+    total.messages += state->messages.load(std::memory_order_relaxed);
+    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
+    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ChannelStats ChannelTransport::GrandTotal() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ChannelStats total;
+  for (const auto& [channel, state] : channels_) {
+    if (!state) continue;
+    total.messages += state->messages.load(std::memory_order_relaxed);
+    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
+    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ChannelTransport::ResetStats() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& [channel, state] : channels_) {
+    if (!state) continue;
+    state->messages.store(0, std::memory_order_relaxed);
+    state->payload_bytes.store(0, std::memory_order_relaxed);
+    state->wire_bytes.store(0, std::memory_order_relaxed);
+    // nonce_counter deliberately survives: fresh nonces forever.
+  }
+}
+
+void ChannelTransport::AddTap(const std::string& from, const std::string& to,
+                              Tap tap) {
+  std::lock_guard<std::mutex> lock(tap_mutex_);
+  taps_[std::make_pair(from, to)].push_back(std::move(tap));
+}
+
+}  // namespace ppc

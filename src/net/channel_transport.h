@@ -1,0 +1,122 @@
+#ifndef PPC_NET_CHANNEL_TRANSPORT_H_
+#define PPC_NET_CHANNEL_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/message.h"
+#include "net/network.h"
+
+namespace ppc {
+
+/// Shared machinery for `Network` backends that deliver frames into
+/// per-receiver FIFO queues with per-directed-channel accounting — which
+/// is every backend in the tree. One implementation of the
+/// contract-critical paths (blocking `Receive` with timeout and strict
+/// topic checking, pending counts, stats aggregation and reset, tap
+/// fan-out, `SecureChannel` seal/open) keeps the in-memory simulator and
+/// the TCP transport behaviorally identical by construction; the
+/// transport-conformance suite then only has to catch divergence in what
+/// subclasses add: party registration and frame routing (`RegisterParty`,
+/// `Send`, `InjectFrame`, `HasParty`).
+class ChannelTransport : public Network {
+ public:
+  // -- The shared half of the Network contract ------------------------------
+
+  Result<Message> Receive(const std::string& to, const std::string& from,
+                          const std::string& expected_topic = "") override;
+
+  void set_receive_timeout(std::chrono::milliseconds timeout) override {
+    receive_timeout_.store(timeout.count(), std::memory_order_relaxed);
+  }
+  std::chrono::milliseconds receive_timeout() const override {
+    return std::chrono::milliseconds(
+        receive_timeout_.load(std::memory_order_relaxed));
+  }
+
+  size_t PendingCount(const std::string& to) const override;
+  ChannelStats StatsFor(const std::string& from,
+                        const std::string& to) const override;
+  ChannelStats TotalSentBy(const std::string& party) const override;
+  ChannelStats GrandTotal() const override;
+  void ResetStats() override;
+  void AddTap(const std::string& from, const std::string& to,
+              Tap tap) override;
+  TransportSecurity security() const override { return security_; }
+
+ protected:
+  explicit ChannelTransport(TransportSecurity security);
+
+  /// One receiver: a queue per sending peer, guarded by one mutex so a
+  /// blocked `Receive` can wait for any sender's arrival notification.
+  struct Endpoint {
+    mutable std::mutex mutex;
+    std::condition_variable arrival;
+    std::map<std::string, std::deque<Message>> queues;  // keyed by sender.
+  };
+
+  /// Per-directed-channel counters. Plain atomics: senders on the same
+  /// channel bump them without taking any lock. The nonce counter survives
+  /// ResetStats() so no (key, nonce) pair is ever reused.
+  struct ChannelState {
+    std::atomic<uint64_t> messages{0};
+    std::atomic<uint64_t> payload_bytes{0};
+    std::atomic<uint64_t> wire_bytes{0};
+    std::atomic<uint64_t> nonce_counter{0};
+  };
+
+  /// Registry lookup (takes registry_mutex_): endpoint for `name`, or
+  /// nullptr. Endpoint and ChannelState objects are heap-allocated and
+  /// never destroyed while the transport lives, so returned pointers stay
+  /// valid after the lock is released.
+  Endpoint* FindEndpoint(const std::string& name) const;
+
+  /// Requires registry_mutex_ held: the channel state for `from` -> `to`,
+  /// created on first use.
+  ChannelState* ChannelForLocked(const std::string& from,
+                                 const std::string& to);
+
+  /// Send-side frame preparation, identical across backends: seals the
+  /// payload under the directed channel's key (pass-through on a
+  /// plaintext transport), bumps the channel's traffic counters, and
+  /// fires taps with exactly the on-wire bytes. Runs outside every lock
+  /// except the tap serialization.
+  Result<std::string> PrepareFrame(const std::string& from,
+                                   const std::string& to,
+                                   const std::string& topic,
+                                   const std::string& payload,
+                                   ChannelState* channel);
+
+  /// Enqueues `message` at `endpoint` and wakes blocked receivers.
+  static void DeliverLocal(Endpoint* endpoint, Message message);
+
+  /// Guards the *structure* of parties_ / channels_ (and any registry
+  /// state a subclass keeps alongside them, e.g. remote addresses).
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Endpoint>> parties_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<ChannelState>>
+      channels_;
+
+ private:
+  TransportSecurity security_;
+  std::string master_key_;  // Root of per-channel transport keys.
+
+  /// Guards tap registration and serializes tap invocation.
+  mutable std::mutex tap_mutex_;
+  std::map<std::pair<std::string, std::string>, std::vector<Tap>> taps_;
+
+  std::atomic<int64_t> receive_timeout_{0};  // Milliseconds.
+};
+
+}  // namespace ppc
+
+#endif  // PPC_NET_CHANNEL_TRANSPORT_H_

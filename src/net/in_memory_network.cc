@@ -1,0 +1,63 @@
+#include "net/in_memory_network.h"
+
+namespace ppc {
+
+InMemoryNetwork::InMemoryNetwork(TransportSecurity security)
+    : ChannelTransport(security) {}
+
+Status InMemoryNetwork::RegisterParty(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("party name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto [it, inserted] = parties_.try_emplace(name);
+  if (!inserted) {
+    return Status::AlreadyExists("party '" + name + "' already registered");
+  }
+  it->second = std::make_unique<Endpoint>();
+  return Status::OK();
+}
+
+bool InMemoryNetwork::HasParty(const std::string& name) const {
+  return FindEndpoint(name) != nullptr;
+}
+
+Status InMemoryNetwork::ResolveRoute(const std::string& from,
+                                     const std::string& to,
+                                     Endpoint** receiver,
+                                     ChannelState** channel) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (parties_.find(from) == parties_.end()) {
+    return Status::NotFound("unknown sender '" + from + "'");
+  }
+  auto to_it = parties_.find(to);
+  if (to_it == parties_.end()) {
+    return Status::NotFound("unknown receiver '" + to + "'");
+  }
+  *receiver = to_it->second.get();
+  if (channel != nullptr) *channel = ChannelForLocked(from, to);
+  return Status::OK();
+}
+
+Status InMemoryNetwork::Send(const std::string& from, const std::string& to,
+                             const std::string& topic, std::string payload) {
+  Endpoint* receiver = nullptr;
+  ChannelState* channel = nullptr;
+  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, &channel));
+  PPC_ASSIGN_OR_RETURN(std::string wire,
+                       PrepareFrame(from, to, topic, payload, channel));
+  DeliverLocal(receiver, Message{from, to, topic, std::move(wire)});
+  return Status::OK();
+}
+
+Status InMemoryNetwork::InjectFrame(const std::string& from,
+                                    const std::string& to,
+                                    const std::string& topic,
+                                    std::string wire_bytes) {
+  Endpoint* receiver = nullptr;
+  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, nullptr));
+  DeliverLocal(receiver, Message{from, to, topic, std::move(wire_bytes)});
+  return Status::OK();
+}
+
+}  // namespace ppc

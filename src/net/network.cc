@@ -1,275 +1,8 @@
 #include "net/network.h"
 
-#include "crypto/aes128.h"
-#include "crypto/hmac.h"
-
 namespace ppc {
 
-namespace {
-constexpr size_t kNonceLength = 8;
-constexpr size_t kMacLength = 16;
-
-std::string CounterNonce(uint64_t counter) {
-  std::string nonce(kNonceLength, '\0');
-  for (size_t i = 0; i < kNonceLength; ++i) {
-    nonce[i] = static_cast<char>((counter >> (8 * i)) & 0xff);
-  }
-  return nonce;
-}
-}  // namespace
-
-InMemoryNetwork::InMemoryNetwork(TransportSecurity security)
-    : security_(security),
-      // Models transport keys established out of band (e.g. TLS); the
-      // protocol's security analysis treats channel encryption as given.
-      master_key_("ppc-transport-master-key-v1") {}
-
-Status InMemoryNetwork::RegisterParty(const std::string& name) {
-  if (name.empty()) {
-    return Status::InvalidArgument("party name must be non-empty");
-  }
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  auto [it, inserted] = parties_.try_emplace(name);
-  if (!inserted) {
-    return Status::AlreadyExists("party '" + name + "' already registered");
-  }
-  it->second = std::make_unique<Endpoint>();
-  return Status::OK();
-}
-
-bool InMemoryNetwork::HasParty(const std::string& name) const {
-  return FindEndpoint(name) != nullptr;
-}
-
-InMemoryNetwork::Endpoint* InMemoryNetwork::FindEndpoint(
-    const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  auto it = parties_.find(name);
-  return it == parties_.end() ? nullptr : it->second.get();
-}
-
-Status InMemoryNetwork::ResolveRoute(const std::string& from,
-                                     const std::string& to,
-                                     Endpoint** receiver,
-                                     ChannelState** channel) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  if (parties_.find(from) == parties_.end()) {
-    return Status::NotFound("unknown sender '" + from + "'");
-  }
-  auto to_it = parties_.find(to);
-  if (to_it == parties_.end()) {
-    return Status::NotFound("unknown receiver '" + to + "'");
-  }
-  *receiver = to_it->second.get();
-  if (channel != nullptr) {
-    auto& slot = channels_[std::make_pair(from, to)];
-    if (!slot) slot = std::make_unique<ChannelState>();
-    *channel = slot.get();
-  }
-  return Status::OK();
-}
-
-std::string InMemoryNetwork::ChannelKeyFor(const std::string& from,
-                                           const std::string& to) const {
-  return HmacSha256::DeriveKey(master_key_, "channel:" + from + "->" + to);
-}
-
-Status InMemoryNetwork::Send(const std::string& from, const std::string& to,
-                             const std::string& topic, std::string payload) {
-  Endpoint* receiver = nullptr;
-  ChannelState* channel = nullptr;
-  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, &channel));
-
-  // Frame construction runs outside every lock; concurrent senders only
-  // contend on the atomic nonce counter.
-  std::string wire;
-  if (security_ == TransportSecurity::kPlaintext) {
-    wire = payload;
-  } else {
-    std::string channel_key = ChannelKeyFor(from, to);
-    std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
-    enc_key.resize(16);
-    std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
-    auto ctr = Aes128Ctr::Create(enc_key);
-    if (!ctr.ok()) return ctr.status();
-    std::string nonce = CounterNonce(
-        channel->nonce_counter.fetch_add(1, std::memory_order_relaxed));
-    std::string ciphertext = ctr->Crypt(nonce, payload);
-    std::string mac = HmacSha256::Mac(mac_key, topic + ":" + nonce + ciphertext);
-    mac.resize(kMacLength);
-    wire = nonce + ciphertext + mac;
-  }
-
-  channel->messages.fetch_add(1, std::memory_order_relaxed);
-  channel->payload_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
-  channel->wire_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
-
-  {
-    std::lock_guard<std::mutex> tap_lock(tap_mutex_);
-    auto tap_it = taps_.find(std::make_pair(from, to));
-    if (tap_it != taps_.end()) {
-      WireFrame frame{from, to, topic, wire};
-      for (const Tap& tap : tap_it->second) tap(frame);
-    }
-  }
-
-  {
-    std::lock_guard<std::mutex> lock(receiver->mutex);
-    receiver->queues[from].push_back(Message{from, to, topic, std::move(wire)});
-  }
-  receiver->arrival.notify_all();
-  return Status::OK();
-}
-
-Result<Message> InMemoryNetwork::Receive(const std::string& to,
-                                         const std::string& from,
-                                         const std::string& expected_topic) {
-  Endpoint* endpoint = FindEndpoint(to);
-  if (endpoint == nullptr) {
-    return Status::NotFound("unknown receiver '" + to + "'");
-  }
-  const std::chrono::milliseconds timeout = receive_timeout();
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-
-  Message msg;
-  {
-    std::unique_lock<std::mutex> lock(endpoint->mutex);
-    for (;;) {
-      auto queue_it = endpoint->queues.find(from);
-      if (queue_it != endpoint->queues.end() && !queue_it->second.empty()) {
-        Message& front = queue_it->second.front();
-        if (!expected_topic.empty() && front.topic != expected_topic) {
-          return Status::ProtocolViolation(
-              "expected topic '" + expected_topic + "' from '" + from +
-              "' but next message has topic '" + front.topic + "'");
-        }
-        msg = std::move(front);
-        queue_it->second.pop_front();
-        break;
-      }
-      if (timeout.count() <= 0) {
-        return Status::NotFound("no pending message from '" + from +
-                                "' to '" + to + "'");
-      }
-      if (endpoint->arrival.wait_until(lock, deadline) ==
-          std::cv_status::timeout) {
-        // Re-check once: the frame may have landed between the last scan
-        // and the deadline.
-        auto late_it = endpoint->queues.find(from);
-        if (late_it != endpoint->queues.end() && !late_it->second.empty()) {
-          continue;
-        }
-        return Status::NotFound("no message from '" + from + "' to '" + to +
-                                "' within " + std::to_string(timeout.count()) +
-                                " ms");
-      }
-    }
-  }
-
-  // Verification and decryption run outside the queue lock.
-  if (security_ == TransportSecurity::kAuthenticatedEncryption) {
-    if (msg.payload.size() < kNonceLength + kMacLength) {
-      return Status::DataLoss("wire frame shorter than nonce+mac");
-    }
-    std::string nonce = msg.payload.substr(0, kNonceLength);
-    std::string mac = msg.payload.substr(msg.payload.size() - kMacLength);
-    std::string ciphertext = msg.payload.substr(
-        kNonceLength, msg.payload.size() - kNonceLength - kMacLength);
-
-    std::string channel_key = ChannelKeyFor(from, to);
-    std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
-    std::string expected_mac =
-        HmacSha256::Mac(mac_key, msg.topic + ":" + nonce + ciphertext);
-    expected_mac.resize(kMacLength);
-    if (!HmacSha256::Verify(expected_mac, mac)) {
-      return Status::ProtocolViolation("MAC verification failed on channel " +
-                                       from + "->" + to);
-    }
-    std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
-    enc_key.resize(16);
-    auto ctr = Aes128Ctr::Create(enc_key);
-    if (!ctr.ok()) return ctr.status();
-    msg.payload = ctr->Crypt(nonce, ciphertext);
-  }
-  return msg;
-}
-
-size_t InMemoryNetwork::PendingCount(const std::string& to) const {
-  Endpoint* endpoint = FindEndpoint(to);
-  if (endpoint == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(endpoint->mutex);
-  size_t total = 0;
-  for (const auto& [from, queue] : endpoint->queues) total += queue.size();
-  return total;
-}
-
-ChannelStats InMemoryNetwork::StatsFor(const std::string& from,
-                                       const std::string& to) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  auto it = channels_.find(std::make_pair(from, to));
-  if (it == channels_.end() || !it->second) return ChannelStats{};
-  ChannelStats stats;
-  stats.messages = it->second->messages.load(std::memory_order_relaxed);
-  stats.payload_bytes =
-      it->second->payload_bytes.load(std::memory_order_relaxed);
-  stats.wire_bytes = it->second->wire_bytes.load(std::memory_order_relaxed);
-  return stats;
-}
-
-ChannelStats InMemoryNetwork::TotalSentBy(const std::string& party) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  ChannelStats total;
-  for (const auto& [channel, state] : channels_) {
-    if (channel.first != party || !state) continue;
-    total.messages += state->messages.load(std::memory_order_relaxed);
-    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
-    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-ChannelStats InMemoryNetwork::GrandTotal() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  ChannelStats total;
-  for (const auto& [channel, state] : channels_) {
-    if (!state) continue;
-    total.messages += state->messages.load(std::memory_order_relaxed);
-    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
-    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-void InMemoryNetwork::ResetStats() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  for (auto& [channel, state] : channels_) {
-    if (!state) continue;
-    state->messages.store(0, std::memory_order_relaxed);
-    state->payload_bytes.store(0, std::memory_order_relaxed);
-    state->wire_bytes.store(0, std::memory_order_relaxed);
-    // nonce_counter deliberately survives: fresh nonces forever.
-  }
-}
-
-void InMemoryNetwork::AddTap(const std::string& from, const std::string& to,
-                             Tap tap) {
-  std::lock_guard<std::mutex> lock(tap_mutex_);
-  taps_[std::make_pair(from, to)].push_back(std::move(tap));
-}
-
-Status InMemoryNetwork::InjectFrame(const std::string& from,
-                                    const std::string& to,
-                                    const std::string& topic,
-                                    std::string wire_bytes) {
-  Endpoint* receiver = nullptr;
-  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, nullptr));
-  {
-    std::lock_guard<std::mutex> lock(receiver->mutex);
-    receiver->queues[from].push_back(
-        Message{from, to, topic, std::move(wire_bytes)});
-  }
-  receiver->arrival.notify_all();
-  return Status::OK();
-}
+// Out-of-line key function so the interface's vtable has a home TU.
+Network::~Network() = default;
 
 }  // namespace ppc

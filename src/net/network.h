@@ -1,17 +1,10 @@
 #ifndef PPC_NET_NETWORK_H_
 #define PPC_NET_NETWORK_H_
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
+#include <cstddef>
 #include <functional>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -19,7 +12,7 @@
 
 namespace ppc {
 
-/// Transport security of the simulated links.
+/// Transport security of the links between parties.
 enum class TransportSecurity {
   /// Frames carry the plaintext payload; an eavesdropper sees everything.
   /// This reproduces the *insecure channel* setting of the paper's Sec. 4.1
@@ -31,137 +24,107 @@ enum class TransportSecurity {
   kAuthenticatedEncryption,
 };
 
-/// In-memory message router between named parties.
+/// Abstract point-to-point message transport between named parties.
 ///
-/// Models the paper's distributed deployment: k data-holder sites plus the
-/// third party exchanging point-to-point messages. Delivery is FIFO per
-/// (sender, receiver) pair. Every frame updates byte counters, which is what
-/// the communication-cost experiments (DESIGN.md E8-E10, E13) measure, and
-/// registered eavesdropper taps observe exactly the on-wire bytes, which is
-/// what the channel-security experiment (E12) needs.
+/// This is the seam between the protocol stack and the deployment: the
+/// paper's k data-holder sites plus the third party exchange point-to-point
+/// messages, and everything in `src/core` (parties, session drivers) talks
+/// only to this interface. Two backends ship with the library:
 ///
-/// Thread-safe: the concurrent protocol engine drives several party steps
-/// at once, so per-receiver queues are mutex-protected, traffic counters
-/// are atomic, and `Receive` can optionally block on a condition variable
-/// until a matching frame arrives (see `set_receive_timeout`). Encryption
-/// and MAC verification run outside all locks, so senders on distinct
-/// channels do not serialize on the crypto work.
-class InMemoryNetwork {
+///   * `InMemoryNetwork` — all parties in one process; deterministic,
+///     zero-latency, the simulator every experiment runs on.
+///   * `TcpNetwork` — parties spread over OS processes/machines, frames
+///     carried over TCP sockets.
+///
+/// Contract shared by every implementation:
+///
+///   * Delivery is FIFO per directed (sender, receiver) channel.
+///   * `Send` accounts one message and its payload/wire byte counts on the
+///     sending side before it returns; `Receive` verifies and decrypts.
+///   * With `TransportSecurity::kAuthenticatedEncryption` the on-wire frame
+///     is nonce || AES-128-CTR ciphertext || truncated HMAC-SHA-256 MAC
+///     under a per-directed-channel key (see `SecureChannel`), identical
+///     across backends so captures and byte accounting are comparable.
+///   * Registered eavesdropper taps observe exactly the on-wire bytes of
+///     every frame crossing their channel, on the sending side.
+///   * Delivery may be asynchronous (it is on TCP): the only guaranteed way
+///     to observe a sent message is a `Receive` with a nonzero timeout.
+///
+/// All methods are thread-safe; the concurrent protocol engine drives
+/// several party steps at once.
+class Network {
  public:
   /// Callback invoked for every frame crossing a tapped channel. Taps run
   /// serialized under one lock, so callbacks need no synchronization of
   /// their own.
   using Tap = std::function<void(const WireFrame&)>;
 
-  explicit InMemoryNetwork(
-      TransportSecurity security = TransportSecurity::kAuthenticatedEncryption);
+  virtual ~Network();
 
-  /// Registers a party name. Fails with kAlreadyExists on duplicates.
-  Status RegisterParty(const std::string& name);
+  /// Registers a party name hosted by this transport endpoint. Fails with
+  /// kAlreadyExists on duplicates and kInvalidArgument on empty names.
+  virtual Status RegisterParty(const std::string& name) = 0;
 
-  /// True iff `name` is registered.
-  bool HasParty(const std::string& name) const;
+  /// True iff `name` is known to this transport (hosted here, or — for
+  /// distributed backends — reachable at a known remote address).
+  virtual bool HasParty(const std::string& name) const = 0;
 
-  /// Sends `payload` from `from` to `to` under `topic`.
-  Status Send(const std::string& from, const std::string& to,
-              const std::string& topic, std::string payload);
+  /// Sends `payload` from `from` to `to` under `topic`. `from` must be
+  /// hosted by this endpoint; unknown parties are kNotFound.
+  virtual Status Send(const std::string& from, const std::string& to,
+                      const std::string& topic, std::string payload) = 0;
 
   /// Receives the oldest pending message addressed to `to` from `from`.
   /// If `expected_topic` is non-empty, a topic mismatch is a protocol
   /// violation (the message is left queued). With a nonzero
-  /// `receive_timeout`, an empty channel blocks on a condition variable
-  /// until a message arrives or the timeout elapses (then kNotFound);
-  /// with the default zero timeout an empty channel is kNotFound
-  /// immediately.
-  Result<Message> Receive(const std::string& to, const std::string& from,
-                          const std::string& expected_topic = "");
+  /// `receive_timeout`, an empty channel blocks until a message arrives or
+  /// the timeout elapses (then kNotFound); with a zero timeout an empty
+  /// channel is kNotFound immediately.
+  virtual Result<Message> Receive(const std::string& to,
+                                  const std::string& from,
+                                  const std::string& expected_topic = "") = 0;
 
   /// How long `Receive` waits for a message on an empty channel. Zero
-  /// (the default) means non-blocking.
-  void set_receive_timeout(std::chrono::milliseconds timeout) {
-    receive_timeout_.store(timeout.count(), std::memory_order_relaxed);
-  }
-  std::chrono::milliseconds receive_timeout() const {
-    return std::chrono::milliseconds(
-        receive_timeout_.load(std::memory_order_relaxed));
-  }
+  /// means non-blocking; distributed backends need a nonzero timeout for
+  /// any cross-process receive.
+  virtual void set_receive_timeout(std::chrono::milliseconds timeout) = 0;
+  virtual std::chrono::milliseconds receive_timeout() const = 0;
 
-  /// Number of undelivered messages addressed to `to`.
-  size_t PendingCount(const std::string& to) const;
+  /// Number of undelivered messages addressed to the locally hosted party
+  /// `to` (0 for parties not hosted here).
+  virtual size_t PendingCount(const std::string& to) const = 0;
 
-  /// Traffic counters for the directed channel `from` -> `to`.
-  ChannelStats StatsFor(const std::string& from, const std::string& to) const;
+  /// Traffic counters for the directed channel `from` -> `to`, as observed
+  /// by this endpoint (on distributed backends each endpoint accounts the
+  /// channels its hosted parties send on).
+  virtual ChannelStats StatsFor(const std::string& from,
+                                const std::string& to) const = 0;
 
   /// Sum of counters over all channels where `party` is the sender.
-  ChannelStats TotalSentBy(const std::string& party) const;
+  virtual ChannelStats TotalSentBy(const std::string& party) const = 0;
 
-  /// Sum over every channel in the network.
-  ChannelStats GrandTotal() const;
+  /// Sum over every channel this endpoint accounts.
+  virtual ChannelStats GrandTotal() const = 0;
 
-  /// Resets all traffic counters (queues are unaffected).
-  void ResetStats();
+  /// Resets all traffic counters (queues and nonce counters are
+  /// unaffected, so no (key, nonce) pair is ever reused).
+  virtual void ResetStats() = 0;
 
   /// Installs an eavesdropper on the directed channel `from` -> `to`.
-  void AddTap(const std::string& from, const std::string& to, Tap tap);
+  /// Fires on the sending side for every subsequent frame.
+  virtual void AddTap(const std::string& from, const std::string& to,
+                      Tap tap) = 0;
 
-  /// Fault-injection hook: enqueues `wire_bytes` as if they had crossed the
-  /// wire from `from` to `to` (no encryption, no accounting). Lets tests
-  /// deliver tampered or replayed frames to exercise the receiver's
-  /// integrity checks. Not used by the protocols themselves.
-  Status InjectFrame(const std::string& from, const std::string& to,
-                     const std::string& topic, std::string wire_bytes);
+  /// Fault-injection hook: delivers `wire_bytes` as if they had crossed
+  /// the wire from `from` to `to` (no encryption, no accounting, no taps).
+  /// Lets tests deliver tampered or replayed frames to exercise the
+  /// receiver's integrity checks. Not used by the protocols themselves.
+  virtual Status InjectFrame(const std::string& from, const std::string& to,
+                             const std::string& topic,
+                             std::string wire_bytes) = 0;
 
   /// The transport security mode of this network.
-  TransportSecurity security() const { return security_; }
-
- private:
-  /// One receiver: a queue per sending peer, guarded by one mutex so a
-  /// blocked `Receive` can wait for any sender's arrival notification.
-  struct Endpoint {
-    mutable std::mutex mutex;
-    std::condition_variable arrival;
-    std::map<std::string, std::deque<Message>> queues;  // keyed by sender.
-  };
-
-  /// Per-directed-channel counters. Plain atomics: senders on the same
-  /// channel bump them without taking any lock. The nonce counter survives
-  /// ResetStats() so no (key, nonce) pair is ever reused.
-  struct ChannelState {
-    std::atomic<uint64_t> messages{0};
-    std::atomic<uint64_t> payload_bytes{0};
-    std::atomic<uint64_t> wire_bytes{0};
-    std::atomic<uint64_t> nonce_counter{0};
-  };
-
-  std::string ChannelKeyFor(const std::string& from,
-                            const std::string& to) const;
-
-  /// Registry lookups (shared, read-mostly): endpoint for `name`, or
-  /// nullptr.
-  Endpoint* FindEndpoint(const std::string& name) const;
-
-  /// Resolves sender, receiver endpoint, and channel state (created on
-  /// first use) in one registry lock — Send's whole routing lookup.
-  Status ResolveRoute(const std::string& from, const std::string& to,
-                      Endpoint** receiver, ChannelState** channel);
-
-  TransportSecurity security_;
-  std::string master_key_;  // Root of per-channel transport keys.
-
-  /// Guards the *structure* of the registry maps below. Endpoint and
-  /// ChannelState objects are heap-allocated and never destroyed while the
-  /// network lives, so pointers obtained under this mutex stay valid after
-  /// it is released.
-  mutable std::mutex registry_mutex_;
-  std::map<std::string, std::unique_ptr<Endpoint>> parties_;
-  std::map<std::pair<std::string, std::string>, std::unique_ptr<ChannelState>>
-      channels_;
-
-  /// Guards tap registration and serializes tap invocation.
-  mutable std::mutex tap_mutex_;
-  std::map<std::pair<std::string, std::string>, std::vector<Tap>> taps_;
-
-  std::atomic<int64_t> receive_timeout_{0};  // Milliseconds.
+  virtual TransportSecurity security() const = 0;
 };
 
 }  // namespace ppc

@@ -1,0 +1,71 @@
+#include "net/secure_channel.h"
+
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
+
+namespace ppc {
+
+namespace {
+
+std::string CounterNonce(uint64_t counter) {
+  std::string nonce(SecureChannel::kNonceLength, '\0');
+  for (size_t i = 0; i < SecureChannel::kNonceLength; ++i) {
+    nonce[i] = static_cast<char>((counter >> (8 * i)) & 0xff);
+  }
+  return nonce;
+}
+
+}  // namespace
+
+const char SecureChannel::kMasterKey[] = "ppc-transport-master-key-v1";
+
+std::string SecureChannel::ChannelKey(const std::string& master_key,
+                                      const std::string& from,
+                                      const std::string& to) {
+  return HmacSha256::DeriveKey(master_key, "channel:" + from + "->" + to);
+}
+
+Result<std::string> SecureChannel::Seal(const std::string& channel_key,
+                                        const std::string& topic,
+                                        uint64_t nonce_counter,
+                                        const std::string& payload) {
+  std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
+  enc_key.resize(16);
+  std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
+  auto ctr = Aes128Ctr::Create(enc_key);
+  if (!ctr.ok()) return ctr.status();
+  std::string nonce = CounterNonce(nonce_counter);
+  std::string ciphertext = ctr->Crypt(nonce, payload);
+  std::string mac = HmacSha256::Mac(mac_key, topic + ":" + nonce + ciphertext);
+  mac.resize(kMacLength);
+  return nonce + ciphertext + mac;
+}
+
+Result<std::string> SecureChannel::Open(const std::string& channel_key,
+                                        const std::string& topic,
+                                        const std::string& wire,
+                                        const std::string& channel_name) {
+  if (wire.size() < kNonceLength + kMacLength) {
+    return Status::DataLoss("wire frame shorter than nonce+mac");
+  }
+  std::string nonce = wire.substr(0, kNonceLength);
+  std::string mac = wire.substr(wire.size() - kMacLength);
+  std::string ciphertext =
+      wire.substr(kNonceLength, wire.size() - kNonceLength - kMacLength);
+
+  std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
+  std::string expected_mac =
+      HmacSha256::Mac(mac_key, topic + ":" + nonce + ciphertext);
+  expected_mac.resize(kMacLength);
+  if (!HmacSha256::Verify(expected_mac, mac)) {
+    return Status::ProtocolViolation("MAC verification failed on channel " +
+                                     channel_name);
+  }
+  std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
+  enc_key.resize(16);
+  auto ctr = Aes128Ctr::Create(enc_key);
+  if (!ctr.ok()) return ctr.status();
+  return ctr->Crypt(nonce, ciphertext);
+}
+
+}  // namespace ppc

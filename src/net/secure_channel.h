@@ -1,0 +1,62 @@
+#ifndef PPC_NET_SECURE_CHANNEL_H_
+#define PPC_NET_SECURE_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace ppc {
+
+/// The per-directed-channel transport cryptography shared by every
+/// `Network` backend: AES-128-CTR encryption plus a truncated
+/// HMAC-SHA-256 MAC bound to the message topic. One implementation keeps
+/// the in-memory simulator and the TCP transport bit-identical on the
+/// wire, so eavesdropping experiments and byte accounting transfer
+/// between deployments.
+///
+/// Frame layout (authenticated-encryption mode):
+///
+///   nonce (8 bytes, little-endian counter) ||
+///   AES-128-CTR(payload)                   ||
+///   HMAC-SHA-256(topic ":" nonce ciphertext)[0..16)
+///
+/// Keys are derived from a per-channel key, itself derived from a master
+/// key and the directed channel name — modeling transport keys
+/// established out of band (e.g. TLS); the protocol's security analysis
+/// treats channel encryption as given.
+class SecureChannel {
+ public:
+  static constexpr size_t kNonceLength = 8;
+  static constexpr size_t kMacLength = 16;
+
+  /// The master key every backend derives channel keys from. A real
+  /// deployment would provision per-site keys; the constant models the
+  /// "channels are secured out of band" assumption and keeps independent
+  /// processes interoperable.
+  static const char kMasterKey[];
+
+  /// Derives the directed-channel key for `from` -> `to`.
+  static std::string ChannelKey(const std::string& master_key,
+                                const std::string& from,
+                                const std::string& to);
+
+  /// Seals `payload` into a wire frame under `channel_key`, using
+  /// `nonce_counter` as the (never reused) per-channel nonce.
+  static Result<std::string> Seal(const std::string& channel_key,
+                                  const std::string& topic,
+                                  uint64_t nonce_counter,
+                                  const std::string& payload);
+
+  /// Verifies and decrypts a wire frame produced by `Seal`. `channel_name`
+  /// only decorates error messages ("A->B"). Returns kDataLoss on frames
+  /// shorter than nonce+mac and kProtocolViolation on MAC mismatch.
+  static Result<std::string> Open(const std::string& channel_key,
+                                  const std::string& topic,
+                                  const std::string& wire,
+                                  const std::string& channel_name);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_NET_SECURE_CHANNEL_H_

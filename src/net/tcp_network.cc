@@ -1,0 +1,478 @@
+#include "net/tcp_network.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace ppc {
+
+namespace {
+
+/// Connection preamble: wrong-protocol or wrong-version peers are cut off
+/// before any frame parsing.
+constexpr char kPreamble[4] = {'P', 'P', 'T', '1'};
+
+/// Upper bound on a single frame; anything larger is a corrupt length
+/// prefix, not a protocol message (the biggest legitimate payloads are the
+/// alphanumeric grid shipments, far below this).
+constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Bound on frames parked for not-yet-registered parties; beyond it a
+/// peer is flooding a name this endpoint will never host.
+constexpr size_t kMaxUnclaimedFrames = 4096;
+
+/// Reads exactly `len` bytes; false on EOF/error/shutdown.
+bool ReadExact(int fd, char* buffer, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::recv(fd, buffer + done, len - done, 0);
+    if (n == 0) return false;  // Orderly EOF.
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Writes all of `data`; false on error.
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Result<in_addr> ParseHost(const std::string& host) {
+  std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address '" + host +
+                                   "'");
+  }
+  return addr;
+}
+
+void SetNoDelay(int fd) {
+  // Protocol rounds are request/response over small frames; Nagle would
+  // add 40ms stalls to every round trip.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpNetwork>> TcpNetwork::Create(
+    const Options& options) {
+  PPC_ASSIGN_OR_RETURN(in_addr host, ParseHost(options.listen_host));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = host;
+  addr.sin_port = htons(options.listen_port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("bind(" + options.listen_host + ":" +
+                                     std::to_string(options.listen_port) +
+                                     "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status =
+        Status::Internal(std::string("listen(): ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status status = Status::Internal(std::string("getsockname(): ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TcpNetwork>(
+      new TcpNetwork(options, fd, ntohs(bound.sin_port)));
+}
+
+TcpNetwork::TcpNetwork(const Options& options, int listen_fd,
+                       uint16_t listen_port)
+    : ChannelTransport(options.security),
+      connect_timeout_(options.connect_timeout),
+      listen_host_(options.listen_host == "localhost" ? "127.0.0.1"
+                                                      : options.listen_host),
+      listen_fd_(listen_fd),
+      listen_port_(listen_port) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpNetwork::~TcpNetwork() {
+  shutting_down_.store(true, std::memory_order_release);
+  // Unblock accept(); readers are unblocked by shutting their fds down.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(reader_mutex_);
+    // Finished readers already closed their fd; the kernel may have
+    // recycled the number for an unrelated socket, so only sweep fds
+    // whose reader is still live.
+    for (const auto& [fd, thread] : readers_) {
+      (void)thread;
+      if (std::find(finished_fds_.begin(), finished_fds_.end(), fd) ==
+          finished_fds_.end()) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& [addr, conn] : connections_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Readers exit on the shutdown and close their own fds; join them all
+    // (the map can only shrink now that the accept thread is gone).
+    std::map<int, std::thread> readers;
+    {
+      std::lock_guard<std::mutex> lock(reader_mutex_);
+      readers.swap(readers_);
+      finished_fds_.clear();
+    }
+    for (auto& [fd, thread] : readers) thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& [addr, conn] : connections_) ::close(conn->fd);
+    connections_.clear();
+  }
+  ::close(listen_fd_);
+}
+
+void TcpNetwork::ReapFinishedReadersLocked() {
+  for (int fd : finished_fds_) {
+    auto it = readers_.find(fd);
+    if (it == readers_.end()) continue;
+    // The reader registered completion as its last act before returning;
+    // this join waits out only its final epilogue.
+    it->second.join();
+    readers_.erase(it);
+  }
+  finished_fds_.clear();
+}
+
+void TcpNetwork::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      // Transient conditions (a peer resetting before accept runs —
+      // ECONNABORTED — or fd-table pressure) must not kill the accept
+      // loop: a deaf listener deadlocks every later protocol round. The
+      // brief sleep keeps a persistent error from spinning the thread.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    SetNoDelay(fd);
+    // Registration and the shutdown check share reader_mutex_: either the
+    // destructor's shutdown sweep sees this fd, or we see shutting_down_
+    // here — a reader can never outlive the sweep unobserved.
+    std::lock_guard<std::mutex> lock(reader_mutex_);
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    // Long-lived endpoints see peers come and go; reclaim completed
+    // readers (and their closed fds) instead of accumulating them.
+    ReapFinishedReadersLocked();
+    readers_.emplace(fd, std::thread([this, fd] { ReaderLoop(fd); }));
+  }
+}
+
+void TcpNetwork::ReaderLoop(int fd) {
+  ReaderLoopBody(fd);
+  // Single exit point: release the fd and hand the thread to the reaper.
+  // Closing under reader_mutex_ keeps the destructor's shutdown sweep
+  // from racing a concurrent close (and a recycled fd number is re-added
+  // to readers_ under the same lock by the accept loop).
+  std::lock_guard<std::mutex> lock(reader_mutex_);
+  ::close(fd);
+  finished_fds_.push_back(fd);
+}
+
+void TcpNetwork::ReaderLoopBody(int fd) {
+  char preamble[sizeof(kPreamble)];
+  if (!ReadExact(fd, preamble, sizeof(preamble)) ||
+      std::memcmp(preamble, kPreamble, sizeof(kPreamble)) != 0) {
+    return;
+  }
+  for (;;) {
+    char len_bytes[4];
+    if (!ReadExact(fd, len_bytes, sizeof(len_bytes))) return;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<unsigned char>(len_bytes[i]))
+             << (8 * i);
+    }
+    if (len == 0 || len > kMaxFrameBytes) return;
+
+    // Grow the buffer with the bytes actually received instead of
+    // trusting the prefix: a lying 1 GiB length costs the peer its
+    // connection, not this process a 1 GiB allocation.
+    std::string body;
+    while (body.size() < len) {
+      size_t chunk = std::min<size_t>(len - body.size(), 256 * 1024);
+      size_t offset = body.size();
+      body.resize(offset + chunk);
+      if (!ReadExact(fd, body.data() + offset, chunk)) return;
+    }
+
+    ByteReader reader(body);
+    auto from = reader.ReadBytes();
+    auto to = reader.ReadBytes();
+    auto topic = reader.ReadBytes();
+    auto wire = reader.ReadBytes();
+    if (!from.ok() || !to.ok() || !topic.ok() || !wire.ok() ||
+        !reader.AtEnd()) {
+      return;  // Framing is broken; drop the peer.
+    }
+    Deliver(Message{std::move(*from), std::move(*to), std::move(*topic),
+                    std::move(*wire)});
+  }
+}
+
+void TcpNetwork::Deliver(Message message) {
+  Endpoint* endpoint = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = parties_.find(message.to);
+    if (it == parties_.end()) {
+      // The receiver has not registered (yet): in a multi-process launch
+      // a fast peer's first frames can beat the local RegisterParty call.
+      // Park them; RegisterParty drains the stash in arrival order.
+      size_t parked = unclaimed_frames_.load(std::memory_order_relaxed);
+      if (parked >= kMaxUnclaimedFrames) {
+        dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      unclaimed_[message.to].push_back(std::move(message));
+      unclaimed_frames_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    endpoint = it->second.get();
+  }
+  DeliverLocal(endpoint, std::move(message));
+}
+
+Status TcpNetwork::RegisterParty(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("party name must be non-empty");
+  }
+  Endpoint* endpoint = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (remotes_.count(name) != 0) {
+      return Status::AlreadyExists("party '" + name +
+                                   "' already known as remote");
+    }
+    auto [it, inserted] = parties_.try_emplace(name);
+    if (!inserted) {
+      return Status::AlreadyExists("party '" + name + "' already registered");
+    }
+    it->second = std::make_unique<Endpoint>();
+    endpoint = it->second.get();
+    // Hand over frames that arrived before this registration. Still under
+    // the registry lock, so no new arrival can slip between the drain and
+    // the endpoint becoming visible — per-channel FIFO is preserved
+    // (lock order registry -> endpoint matches Deliver's).
+    auto parked = unclaimed_.find(name);
+    if (parked != unclaimed_.end()) {
+      std::lock_guard<std::mutex> queue_lock(endpoint->mutex);
+      for (Message& message : parked->second) {
+        endpoint->queues[message.from].push_back(std::move(message));
+        unclaimed_frames_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      unclaimed_.erase(parked);
+    }
+  }
+  endpoint->arrival.notify_all();
+  return Status::OK();
+}
+
+Status TcpNetwork::AddRemoteParty(const std::string& name,
+                                  const std::string& host, uint16_t port) {
+  if (name.empty()) {
+    return Status::InvalidArgument("party name must be non-empty");
+  }
+  PPC_RETURN_IF_ERROR(ParseHost(host).status());
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (parties_.count(name) != 0) {
+    return Status::AlreadyExists("party '" + name +
+                                 "' already registered locally");
+  }
+  auto [it, inserted] = remotes_.try_emplace(name, RemoteAddress{host, port});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("remote party '" + name +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+bool TcpNetwork::HasParty(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return parties_.count(name) != 0 || remotes_.count(name) != 0;
+}
+
+Status TcpNetwork::ResolveRoute(const std::string& from, const std::string& to,
+                                std::string* dest_addr,
+                                ChannelState** channel) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (parties_.find(from) == parties_.end()) {
+    return Status::NotFound("unknown sender '" + from + "'");
+  }
+  if (parties_.count(to) != 0) {
+    // Hosted here: loop the frame through our own listener so local and
+    // remote parties are indistinguishable on the wire. Dial the bound
+    // interface (a wildcard bind is reachable via loopback).
+    *dest_addr = (listen_host_ == "0.0.0.0" ? "127.0.0.1" : listen_host_) +
+                 ":" + std::to_string(listen_port_);
+  } else if (auto it = remotes_.find(to); it != remotes_.end()) {
+    *dest_addr = it->second.host + ":" + std::to_string(it->second.port);
+  } else {
+    return Status::NotFound("unknown receiver '" + to + "'");
+  }
+  if (channel != nullptr) *channel = ChannelForLocked(from, to);
+  return Status::OK();
+}
+
+Status TcpNetwork::WriteFrame(const std::string& dest_addr,
+                              const std::string& from, const std::string& to,
+                              const std::string& topic,
+                              const std::string& wire) {
+  // Get or dial the connection for this destination endpoint.
+  Connection* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    auto& slot = connections_[dest_addr];
+    if (!slot) slot = std::make_unique<Connection>();
+    conn = slot.get();
+  }
+
+  ByteWriter body;
+  body.WriteBytes(from);
+  body.WriteBytes(to);
+  body.WriteBytes(topic);
+  body.WriteBytes(wire);
+  if (body.size() > kMaxFrameBytes) {
+    // Mirror the receiver's limit: past it the peer would drop the whole
+    // connection (and past u32 range the length prefix would wrap), so
+    // fail the send loudly instead.
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(body.size()) +
+        " bytes exceeds the transport's frame limit (" +
+        std::to_string(kMaxFrameBytes) + ")");
+  }
+  ByteWriter framed;
+  framed.WriteU32(static_cast<uint32_t>(body.size()));
+  const std::string& payload = body.bytes();
+
+  std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+  if (conn->fd < 0) {
+    // Dial, retrying refused connections until the deadline: in a
+    // multi-process launch the peer may not have bound its listener yet.
+    size_t colon = dest_addr.rfind(':');
+    PPC_ASSIGN_OR_RETURN(in_addr host, ParseHost(dest_addr.substr(0, colon)));
+    int port = std::stoi(dest_addr.substr(colon + 1));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = host;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+
+    const auto deadline = std::chrono::steady_clock::now() + connect_timeout_;
+    for (;;) {
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        return Status::Internal(std::string("socket(): ") +
+                                std::strerror(errno));
+      }
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        SetNoDelay(fd);
+        if (!WriteAll(fd, kPreamble, sizeof(kPreamble))) {
+          ::close(fd);
+          return Status::Internal("tcp preamble write to " + dest_addr +
+                                  " failed");
+        }
+        conn->fd = fd;
+        break;
+      }
+      int saved = errno;
+      ::close(fd);
+      if ((saved == ECONNREFUSED || saved == ETIMEDOUT) &&
+          std::chrono::steady_clock::now() < deadline &&
+          !shutting_down_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return Status::Internal("connect(" + dest_addr +
+                              "): " + std::strerror(saved));
+    }
+  }
+  if (!WriteAll(conn->fd, framed.bytes().data(), framed.bytes().size()) ||
+      !WriteAll(conn->fd, payload.data(), payload.size())) {
+    const int saved = errno;  // close() below may clobber it.
+    // The connection is dead; drop it so a later send can re-dial.
+    ::close(conn->fd);
+    conn->fd = -1;
+    return Status::Internal("tcp write to " + dest_addr + " failed: " +
+                            std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+Status TcpNetwork::Send(const std::string& from, const std::string& to,
+                        const std::string& topic, std::string payload) {
+  std::string dest_addr;
+  ChannelState* channel = nullptr;
+  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &dest_addr, &channel));
+  PPC_ASSIGN_OR_RETURN(std::string wire,
+                       PrepareFrame(from, to, topic, payload, channel));
+  return WriteFrame(dest_addr, from, to, topic, wire);
+}
+
+Status TcpNetwork::InjectFrame(const std::string& from, const std::string& to,
+                               const std::string& topic,
+                               std::string wire_bytes) {
+  std::string dest_addr;
+  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &dest_addr, nullptr));
+  // Raw bytes straight onto the wire: no sealing, no accounting, no taps —
+  // the receiver's integrity checks are the subject under test.
+  return WriteFrame(dest_addr, from, to, topic, wire_bytes);
+}
+
+}  // namespace ppc

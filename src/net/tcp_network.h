@@ -1,0 +1,182 @@
+#ifndef PPC_NET_TCP_NETWORK_H_
+#define PPC_NET_TCP_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/channel_transport.h"
+
+namespace ppc {
+
+/// TCP `Network` backend: the paper's deployment for real — each OS
+/// process hosts one (or more) parties, and frames travel over
+/// loopback/BSD sockets instead of in-process queues.
+///
+/// One `TcpNetwork` instance is one transport endpoint: it listens on
+/// `Options::listen_host:listen_port`, hosts the parties registered via
+/// `RegisterParty`, and knows how to reach remote parties added with
+/// `AddRemoteParty`. Every frame — including frames between two parties
+/// hosted on the *same* instance — crosses a real TCP connection, so a
+/// single-process run over this backend still exercises the exact bytes a
+/// multi-machine deployment would ship.
+///
+/// Wire format per connection: a 4-byte preamble "PPT1", then
+/// length-prefixed frames (u32 little-endian byte count, then a serde
+/// record: from, to, topic, wire bytes). The wire bytes themselves carry
+/// the same per-directed-channel AES-128-CTR + HMAC framing as
+/// `InMemoryNetwork` (both inherit it from `ChannelTransport` /
+/// `SecureChannel`), so captures, byte accounting and the eavesdropping
+/// experiments are identical across backends.
+///
+/// Semantics relative to the `Network` contract:
+///   * Delivery is FIFO per directed channel (all frames between two
+///     endpoints share one ordered connection per direction).
+///   * Delivery is asynchronous: `Send` returns once the frame is written
+///     to the socket; observe arrivals via `Receive` with a nonzero
+///     `receive_timeout`.
+///   * Stats/taps/nonce counters are accounted on the sending endpoint;
+///     each directed channel has exactly one sending endpoint, so nonces
+///     never collide across processes. Accounting happens at frame
+///     preparation, before the socket write: a `Send` that then fails
+///     (dead peer) is still counted and tapped — the run is aborting on
+///     that error anyway, and a spent nonce must never be reused.
+///   * Frames arriving for a party this endpoint has not (yet) registered
+///     are parked and handed over by `RegisterParty` — a fast peer's
+///     hello cannot be lost to the startup race of a slow process.
+///
+/// Thread-safe; an internal accept thread plus one reader thread per
+/// inbound connection drain sockets into per-receiver queues continuously,
+/// so protocol-level sends can never deadlock on full socket buffers.
+class TcpNetwork : public ChannelTransport {
+ public:
+  struct Options {
+    /// Local listen address. Port 0 lets the kernel pick (see
+    /// `listen_port()`); IPv4 only — the paper's sites are a handful of
+    /// named endpoints, and loopback is the test deployment.
+    std::string listen_host = "127.0.0.1";
+    uint16_t listen_port = 0;
+    TransportSecurity security = TransportSecurity::kAuthenticatedEncryption;
+    /// How long `Send` keeps retrying a refused dial before failing —
+    /// covers the startup race where a peer process has not bound its
+    /// listener yet.
+    std::chrono::milliseconds connect_timeout{5000};
+  };
+
+  /// Binds the listener and starts the accept loop.
+  static Result<std::unique_ptr<TcpNetwork>> Create(const Options& options);
+
+  ~TcpNetwork() override;
+
+  /// The bound listen port (resolves kernel-assigned port 0).
+  uint16_t listen_port() const { return listen_port_; }
+
+  /// Declares `name` reachable at `host:port` (another TcpNetwork's
+  /// listener). Fails with kAlreadyExists if the name is already local or
+  /// remote.
+  Status AddRemoteParty(const std::string& name, const std::string& host,
+                        uint16_t port);
+
+  // -- The backend half of the Network contract ------------------------------
+
+  Status RegisterParty(const std::string& name) override;
+  bool HasParty(const std::string& name) const override;
+  Status Send(const std::string& from, const std::string& to,
+              const std::string& topic, std::string payload) override;
+  Status InjectFrame(const std::string& from, const std::string& to,
+                     const std::string& topic,
+                     std::string wire_bytes) override;
+
+  /// Frames currently parked for parties this endpoint does not (yet)
+  /// host; they are delivered the moment `RegisterParty` runs, preserving
+  /// per-channel FIFO order.
+  uint64_t UnclaimedFrameCount() const {
+    return unclaimed_frames_.load(std::memory_order_relaxed);
+  }
+
+  /// Frames dropped because the unclaimed stash overflowed (a peer
+  /// flooding a name this endpoint never registers). TCP has no way to
+  /// bounce them back to the caller.
+  uint64_t DroppedFrameCount() const {
+    return dropped_frames_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RemoteAddress {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  /// One outbound connection, keyed by "host:port". The write mutex
+  /// serializes whole frames, which is what preserves per-channel FIFO
+  /// when several protocol threads send to the same endpoint.
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+  };
+
+  TcpNetwork(const Options& options, int listen_fd, uint16_t listen_port);
+
+  void AcceptLoop();
+  /// Wraps ReaderLoopBody with the single exit path: close the fd and
+  /// queue the thread for reaping.
+  void ReaderLoop(int fd);
+  void ReaderLoopBody(int fd);
+  /// Joins readers that have announced completion. Requires
+  /// reader_mutex_ held.
+  void ReapFinishedReadersLocked();
+  /// Enqueues an arrived frame into the hosted receiver's queue, or parks
+  /// it until that receiver registers.
+  void Deliver(Message message);
+
+  /// Send-side route lookup: `from` must be hosted here; resolves the
+  /// destination endpoint address ("host:port") and the channel counters.
+  Status ResolveRoute(const std::string& from, const std::string& to,
+                      std::string* dest_addr, ChannelState** channel);
+  /// Gets (dialing if needed, with refused-connection retry) the outbound
+  /// connection to `dest_addr` and writes one framed message on it.
+  Status WriteFrame(const std::string& dest_addr, const std::string& from,
+                    const std::string& to, const std::string& topic,
+                    const std::string& wire);
+
+  const std::chrono::milliseconds connect_timeout_;
+  const std::string listen_host_;  // For self-dialing locally hosted parties.
+
+  int listen_fd_ = -1;
+  uint16_t listen_port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> shutting_down_{false};
+
+  // Registry state beyond the base's parties_/channels_, guarded by the
+  // shared registry_mutex_.
+  std::map<std::string, RemoteAddress> remotes_;
+  /// Arrivals for receivers with no endpoint yet, in arrival order;
+  /// drained into the endpoint by RegisterParty.
+  std::map<std::string, std::deque<Message>> unclaimed_;
+
+  mutable std::mutex conn_mutex_;
+  std::map<std::string, std::unique_ptr<Connection>> connections_;
+
+  /// Inbound-connection readers, keyed by fd, plus the fds whose readers
+  /// have finished (closed their fd) and await a join — reaped by the
+  /// accept loop so long-lived endpoints do not accumulate dead
+  /// threads/fds. Guarded by reader_mutex_.
+  mutable std::mutex reader_mutex_;
+  std::map<int, std::thread> readers_;
+  std::vector<int> finished_fds_;
+
+  std::atomic<uint64_t> unclaimed_frames_{0};
+  std::atomic<uint64_t> dropped_frames_{0};
+};
+
+}  // namespace ppc
+
+#endif  // PPC_NET_TCP_NETWORK_H_

@@ -8,6 +8,9 @@
 /// Typical entry points:
 ///   * `ppc::ClusteringSession` — run the full multi-party pipeline.
 ///   * `ppc::DataHolder` / `ppc::ThirdParty` — the protocol roles.
+///   * `ppc::Network` — the transport seam; `ppc::InMemoryNetwork` is the
+///     in-process simulator, `ppc::TcpNetwork` the socket deployment, and
+///     `ppc::PartyRunner` drives one party's schedule per process.
 ///   * `ppc::Generators` / `ppc::Partitioner` — synthetic workloads.
 ///   * `ppc::Agglomerative` / `ppc::Dbscan` / `ppc::KMedoids` — clustering.
 ///   * `ppc::RecordLinkage` / `ppc::OutlierDetection` — further
@@ -28,6 +31,7 @@
 #include "core/config.h"
 #include "core/data_holder.h"
 #include "core/outcome.h"
+#include "core/party_runner.h"
 #include "core/session.h"
 #include "core/taxonomy_protocol.h"
 #include "core/third_party.h"
@@ -41,7 +45,9 @@
 #include "distance/comparators.h"
 #include "distance/dissimilarity_matrix.h"
 #include "distance/edit_distance.h"
+#include "net/in_memory_network.h"
 #include "net/network.h"
+#include "net/tcp_network.h"
 #include "rng/prng.h"
 
 #endif  // PPC_PPCLUST_H_

@@ -12,7 +12,7 @@
 #include "core/third_party.h"
 #include "core/topics.h"
 #include "data/schema.h"
-#include "net/network.h"
+#include "net/in_memory_network.h"
 
 namespace ppc {
 namespace {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/data_holder.h"
+#include "net/in_memory_network.h"
 #include "core/session.h"
 #include "core/taxonomy_protocol.h"
 #include "core/third_party.h"

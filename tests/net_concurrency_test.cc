@@ -10,7 +10,7 @@
 #include <thread>
 #include <vector>
 
-#include "net/network.h"
+#include "net/in_memory_network.h"
 
 namespace ppc {
 namespace {

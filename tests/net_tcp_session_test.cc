@@ -1,0 +1,265 @@
+// End-to-end protocol runs over the TCP transport must be byte-equivalent
+// to the in-memory simulator: identical per-attribute dissimilarity
+// matrices at the third party and an identical published outcome. This is
+// the acceptance bar for the transport abstraction — the paper's protocol
+// cannot tell which wire it is running on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/party_runner.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "net/tcp_network.h"
+#include "session_test_util.h"
+
+namespace ppc {
+namespace {
+
+using testutil::MakeSession;
+using testutil::MatricesOf;
+using testutil::SessionFixture;
+
+constexpr uint64_t kEntropyBase = 9000;  // Matches MakeSession's default.
+constexpr std::chrono::milliseconds kNetTimeout{20000};
+
+LabeledDataset MixedDataset(size_t n, uint64_t seed) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, seed);
+  Generators::MixedOptions options;
+  options.num_clusters = 3;
+  return Generators::MixedClusters(n, options, Alphabet::Dna(), prng.get())
+      .TakeValue();
+}
+
+ClusterRequest HierRequest() {
+  ClusterRequest request;
+  request.num_clusters = 3;
+  return request;
+}
+
+/// The in-memory reference: protocol + one clustering order.
+struct Reference {
+  SessionFixture fixture;
+  ClusteringOutcome outcome;
+};
+
+Reference RunInMemoryReference(const LabeledDataset& data,
+                               const std::vector<LabeledDataset>& parts,
+                               const ProtocolConfig& config) {
+  Reference ref{
+      MakeSession(data.data.schema(), MatricesOf(parts), config).TakeValue(),
+      {}};
+  EXPECT_TRUE(ref.fixture.session->Run().ok());
+  ref.outcome =
+      ref.fixture.session->RequestClustering("A", HierRequest()).TakeValue();
+  return ref;
+}
+
+void ExpectSameMatrices(const ThirdParty& tcp_tp, const ThirdParty& ref_tp,
+                        const Schema& schema) {
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const DissimilarityMatrix* over_tcp =
+        tcp_tp.AttributeMatrixForTesting(c).TakeValue();
+    const DissimilarityMatrix* reference =
+        ref_tp.AttributeMatrixForTesting(c).TakeValue();
+    // Bit-identical, not merely close: same masks, same arithmetic, only
+    // the wire differs.
+    EXPECT_EQ(over_tcp->packed_cells(), reference->packed_cells())
+        << "attribute " << c << " (" << schema.attribute(c).name << ")";
+  }
+}
+
+void ExpectSameOutcome(const ClusteringOutcome& tcp_outcome,
+                       const ClusteringOutcome& ref_outcome) {
+  EXPECT_EQ(tcp_outcome.ToString(), ref_outcome.ToString());
+  EXPECT_EQ(tcp_outcome.silhouette.has_value(),
+            ref_outcome.silhouette.has_value());
+  if (tcp_outcome.silhouette && ref_outcome.silhouette) {
+    EXPECT_DOUBLE_EQ(*tcp_outcome.silhouette, *ref_outcome.silhouette);
+  }
+}
+
+// The interleaved ClusteringSession driver, unchanged, over one TCP
+// endpoint hosting every party: all frames really cross loopback sockets.
+TEST(TcpSessionTest, SingleEndpointSessionMatchesInMemory) {
+  LabeledDataset data = MixedDataset(18, 5);
+  auto parts = Partitioner::RoundRobin(data, 2).TakeValue();
+  ProtocolConfig config;
+  Reference ref = RunInMemoryReference(data, parts, config);
+
+  auto net = TcpNetwork::Create({});
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  (*net)->set_receive_timeout(kNetTimeout);
+
+  ThirdParty tp("TP", net->get(), config, data.data.schema(), kEntropyBase);
+  ClusteringSession session(net->get(), config, data.data.schema());
+  ASSERT_TRUE(session.SetThirdParty(&tp).ok());
+  std::vector<std::unique_ptr<DataHolder>> holders;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    holders.push_back(std::make_unique<DataHolder>(
+        SessionFixture::HolderName(i), net->get(), config,
+        kEntropyBase + 1 + i));
+    ASSERT_TRUE(holders.back()->SetData(parts[i].data).ok());
+    ASSERT_TRUE(session.AddDataHolder(holders.back().get()).ok());
+  }
+  ASSERT_TRUE(session.Run().ok());
+
+  ExpectSameMatrices(tp, *ref.fixture.third_party, data.data.schema());
+  auto outcome = session.RequestClustering("A", HierRequest());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ExpectSameOutcome(*outcome, ref.outcome);
+}
+
+// The real deployment shape: one TCP endpoint per party (third party plus
+// k holders), each driving its own PartyRunner schedule on its own thread,
+// synchronized by blocking receives alone.
+TEST(TcpSessionTest, MultiEndpointPartyRunnerMatchesInMemory) {
+  LabeledDataset data = MixedDataset(18, 6);
+  auto parts = Partitioner::RoundRobin(data, 2).TakeValue();
+  ProtocolConfig config;
+  Reference ref = RunInMemoryReference(data, parts, config);
+
+  auto net_tp = TcpNetwork::Create({});
+  auto net_a = TcpNetwork::Create({});
+  auto net_b = TcpNetwork::Create({});
+  ASSERT_TRUE(net_tp.ok() && net_a.ok() && net_b.ok());
+
+  struct Site {
+    TcpNetwork* net;
+    const char* party;
+  };
+  const std::vector<Site> sites = {{net_tp->get(), "TP"},
+                                   {net_a->get(), "A"},
+                                   {net_b->get(), "B"}};
+  for (const Site& site : sites) {
+    site.net->set_receive_timeout(kNetTimeout);
+    ASSERT_TRUE(site.net->RegisterParty(site.party).ok());
+    for (const Site& peer : sites) {
+      if (peer.net == site.net) continue;
+      ASSERT_TRUE(site.net
+                      ->AddRemoteParty(peer.party, "127.0.0.1",
+                                       peer.net->listen_port())
+                      .ok());
+    }
+  }
+
+  SessionPlan plan;
+  plan.holder_order = {"A", "B"};
+
+  ThirdParty tp("TP", net_tp->get(), config, data.data.schema(),
+                kEntropyBase);
+  DataHolder holder_a("A", net_a->get(), config, kEntropyBase + 1);
+  DataHolder holder_b("B", net_b->get(), config, kEntropyBase + 2);
+  ASSERT_TRUE(holder_a.SetData(parts[0].data).ok());
+  ASSERT_TRUE(holder_b.SetData(parts[1].data).ok());
+
+  Status tp_status, b_status;
+  std::thread tp_thread([&] {
+    tp_status = PartyRunner::RunThirdParty(&tp, plan, data.data.schema());
+    if (tp_status.ok()) tp_status = tp.ServeClusterRequest("A");
+  });
+  std::thread b_thread([&] {
+    b_status = PartyRunner::RunHolder(&holder_b, plan, data.data.schema());
+  });
+
+  Status a_status =
+      PartyRunner::RunHolder(&holder_a, plan, data.data.schema());
+  Result<ClusteringOutcome> outcome =
+      a_status.ok()
+          ? PartyRunner::RequestClustering(&holder_a, plan, HierRequest())
+          : Result<ClusteringOutcome>(a_status);
+  tp_thread.join();
+  b_thread.join();
+
+  ASSERT_TRUE(a_status.ok()) << a_status.ToString();
+  ASSERT_TRUE(b_status.ok()) << b_status.ToString();
+  ASSERT_TRUE(tp_status.ok()) << tp_status.ToString();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  ExpectSameMatrices(tp, *ref.fixture.third_party, data.data.schema());
+  ExpectSameOutcome(*outcome, ref.outcome);
+
+  // Byte accounting in the distributed run is per endpoint: each site
+  // accounts exactly what its hosted party sent.
+  EXPECT_EQ(net_a->get()->GrandTotal().messages,
+            net_a->get()->TotalSentBy("A").messages);
+  EXPECT_GT(net_a->get()->TotalSentBy("A").wire_bytes, 0u);
+  EXPECT_EQ(net_tp->get()->TotalSentBy("A").messages, 0u);
+}
+
+// PartyRunner is transport-agnostic: the same per-party drivers, run as
+// three threads over the shared in-memory backend, reproduce the
+// interleaved session bit for bit.
+TEST(PartyRunnerTest, InMemoryPartyRunnerMatchesSession) {
+  LabeledDataset data = MixedDataset(18, 7);
+  auto parts = Partitioner::RoundRobin(data, 3).TakeValue();
+  ProtocolConfig config;
+  Reference ref = RunInMemoryReference(data, parts, config);
+
+  InMemoryNetwork net;
+  net.set_receive_timeout(kNetTimeout);
+  ASSERT_TRUE(net.RegisterParty("TP").ok());
+  ASSERT_TRUE(net.RegisterParty("A").ok());
+  ASSERT_TRUE(net.RegisterParty("B").ok());
+  ASSERT_TRUE(net.RegisterParty("C").ok());
+
+  SessionPlan plan;
+  plan.holder_order = {"A", "B", "C"};
+
+  ThirdParty tp("TP", &net, config, data.data.schema(), kEntropyBase);
+  std::vector<std::unique_ptr<DataHolder>> holders;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    holders.push_back(std::make_unique<DataHolder>(
+        plan.holder_order[i], &net, config, kEntropyBase + 1 + i));
+    ASSERT_TRUE(holders[i]->SetData(parts[i].data).ok());
+  }
+
+  Status tp_status;
+  std::vector<Status> holder_status(holders.size());
+  std::thread tp_thread([&] {
+    tp_status = PartyRunner::RunThirdParty(&tp, plan, data.data.schema());
+    if (tp_status.ok()) tp_status = tp.ServeClusterRequest("A");
+  });
+  std::vector<std::thread> holder_threads;
+  for (size_t i = 0; i < holders.size(); ++i) {
+    holder_threads.emplace_back([&, i] {
+      holder_status[i] =
+          PartyRunner::RunHolder(holders[i].get(), plan, data.data.schema());
+    });
+  }
+  for (std::thread& thread : holder_threads) thread.join();
+  for (size_t i = 0; i < holders.size(); ++i) {
+    ASSERT_TRUE(holder_status[i].ok()) << holder_status[i].ToString();
+  }
+  auto outcome =
+      PartyRunner::RequestClustering(holders[0].get(), plan, HierRequest());
+  tp_thread.join();
+  ASSERT_TRUE(tp_status.ok()) << tp_status.ToString();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  ExpectSameMatrices(tp, *ref.fixture.third_party, data.data.schema());
+  ExpectSameOutcome(*outcome, ref.outcome);
+}
+
+// Rejection paths of the plan validation.
+TEST(PartyRunnerTest, RejectsBadPlans) {
+  InMemoryNetwork net;
+  ProtocolConfig config;
+  Schema schema =
+      Schema::Create({{"age", AttributeType::kInteger}}).TakeValue();
+  DataHolder holder("A", &net, config, 1);
+  SessionPlan plan;
+  plan.holder_order = {"A"};
+  EXPECT_EQ(PartyRunner::RunHolder(&holder, plan, schema).code(),
+            StatusCode::kFailedPrecondition);
+  plan.holder_order = {"B", "C"};
+  EXPECT_EQ(PartyRunner::RunHolder(&holder, plan, schema).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "net/network.h"
+#include "net/in_memory_network.h"
 
 namespace ppc {
 namespace {
@@ -100,6 +100,43 @@ TEST_P(NetworkTest, PendingCount) {
   ASSERT_TRUE(net_->Send("TP", "B", "t", "y").ok());
   EXPECT_EQ(net_->PendingCount("B"), 2u);
 }
+
+// ------------------------------------------------------ registry edges --
+// The cases the transport-conformance suite also exercises on TcpNetwork;
+// kept here too so a failure pinpoints the in-memory registry itself.
+
+TEST_P(NetworkTest, PendingCountForUnregisteredPartyIsZero) {
+  ASSERT_TRUE(net_->Send("A", "B", "t", "x").ok());
+  EXPECT_EQ(net_->PendingCount("ghost"), 0u);
+  EXPECT_EQ(net_->PendingCount(""), 0u);
+}
+
+TEST_P(NetworkTest, PendingCountDropsAsMessagesAreConsumed) {
+  ASSERT_TRUE(net_->Send("A", "B", "t", "x").ok());
+  ASSERT_TRUE(net_->Send("TP", "B", "t", "y").ok());
+  ASSERT_TRUE(net_->Receive("B", "A", "t").ok());
+  EXPECT_EQ(net_->PendingCount("B"), 1u);
+  ASSERT_TRUE(net_->Receive("B", "TP", "t").ok());
+  EXPECT_EQ(net_->PendingCount("B"), 0u);
+}
+
+TEST_P(NetworkTest, ReceiveFromUnregisteredSenderIsNotFound) {
+  // The receiver exists but the named sender never registered: an empty
+  // channel, not an error class of its own — and nothing may be consumed.
+  ASSERT_TRUE(net_->Send("A", "B", "t", "x").ok());
+  EXPECT_EQ(net_->Receive("B", "ghost", "t").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(net_->PendingCount("B"), 1u);
+}
+
+TEST_P(NetworkTest, ReceiveForUnregisteredReceiverIsNotFound) {
+  EXPECT_EQ(net_->Receive("ghost", "A", "t").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(net_->Receive("", "A").status().code(), StatusCode::kNotFound);
+}
+
+// (ResetStats nonce survival is covered for both backends by the
+// transport-conformance suite's NoncesStayFreshAcrossResetStats.)
 
 INSTANTIATE_TEST_SUITE_P(
     BothTransports, NetworkTest,

@@ -1,0 +1,371 @@
+// Transport-conformance suite: every `Network` backend must honor the
+// same contract — FIFO per directed channel, blocking receive with
+// timeout, strict topic checking, send-side byte accounting, taps,
+// registry edge cases, and rejection of tampered frames. The suite runs
+// identically over `InMemoryNetwork` and `TcpNetwork`, which is what makes
+// the two interchangeable under the protocol stack.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/in_memory_network.h"
+#include "net/network.h"
+#include "net/tcp_network.h"
+
+namespace ppc {
+namespace {
+
+enum class BackendKind { kInMemory, kTcp };
+
+struct ConformanceParam {
+  BackendKind backend;
+  TransportSecurity security;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<ConformanceParam>& info) {
+  std::string name = info.param.backend == BackendKind::kInMemory
+                         ? "InMemory"
+                         : "Tcp";
+  name += info.param.security == TransportSecurity::kPlaintext ? "Plaintext"
+                                                               : "Encrypted";
+  return name;
+}
+
+class TransportConformanceTest
+    : public ::testing::TestWithParam<ConformanceParam> {
+ protected:
+  void SetUp() override {
+    if (GetParam().backend == BackendKind::kInMemory) {
+      net_ = std::make_unique<InMemoryNetwork>(GetParam().security);
+    } else {
+      TcpNetwork::Options options;
+      options.security = GetParam().security;
+      auto created = TcpNetwork::Create(options);
+      ASSERT_TRUE(created.ok()) << created.status().ToString();
+      net_ = std::move(created).TakeValue();
+    }
+    ASSERT_TRUE(net_->RegisterParty("A").ok());
+    ASSERT_TRUE(net_->RegisterParty("B").ok());
+    ASSERT_TRUE(net_->RegisterParty("TP").ok());
+    // TCP delivery is asynchronous; a nonzero timeout is the contract's
+    // only guaranteed way to observe a sent frame, and it must be a no-op
+    // for the in-memory backend.
+    net_->set_receive_timeout(std::chrono::milliseconds(5000));
+  }
+
+  /// Polls until `to` has `expected` pending messages (TCP needs the
+  /// reader thread to drain the socket first).
+  bool WaitForPending(const std::string& to, size_t expected) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (net_->PendingCount(to) != expected) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+
+  std::unique_ptr<Network> net_;
+};
+
+TEST_P(TransportConformanceTest, DeliversPayloadIntact) {
+  std::string payload("bytes \x01\x02\x00 with nul", 18);
+  ASSERT_TRUE(net_->Send("A", "B", "topic.x", payload).ok());
+  auto msg = net_->Receive("B", "A", "topic.x");
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->payload, payload);
+  EXPECT_EQ(msg->from, "A");
+  EXPECT_EQ(msg->to, "B");
+  EXPECT_EQ(msg->topic, "topic.x");
+}
+
+TEST_P(TransportConformanceTest, FifoPerDirectedChannel) {
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(net_->Send("A", "B", "t", "msg-" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto msg = net_->Receive("B", "A", "t");
+    ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+    EXPECT_EQ(msg->payload, "msg-" + std::to_string(i));
+  }
+}
+
+TEST_P(TransportConformanceTest, InterleavedSendersSelectedByFrom) {
+  ASSERT_TRUE(net_->Send("A", "TP", "t", "from-a").ok());
+  ASSERT_TRUE(net_->Send("B", "TP", "t", "from-b").ok());
+  EXPECT_EQ(net_->Receive("TP", "B", "t")->payload, "from-b");
+  EXPECT_EQ(net_->Receive("TP", "A", "t")->payload, "from-a");
+}
+
+TEST_P(TransportConformanceTest, TopicMismatchIsProtocolViolationAndKeeps) {
+  ASSERT_TRUE(net_->Send("A", "B", "actual", "x").ok());
+  auto wrong = net_->Receive("B", "A", "expected");
+  EXPECT_EQ(wrong.status().code(), StatusCode::kProtocolViolation);
+  // The message stays queued and the next well-topiced receive gets it.
+  auto right = net_->Receive("B", "A", "actual");
+  ASSERT_TRUE(right.ok()) << right.status().ToString();
+  EXPECT_EQ(right->payload, "x");
+}
+
+TEST_P(TransportConformanceTest, BlockingReceiveWakesOnLateArrival) {
+  std::thread sender([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(net_->Send("A", "B", "late", "worth the wait").ok());
+  });
+  auto msg = net_->Receive("B", "A", "late");
+  sender.join();
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->payload, "worth the wait");
+}
+
+TEST_P(TransportConformanceTest, EmptyChannelTimesOutAsNotFound) {
+  net_->set_receive_timeout(std::chrono::milliseconds(50));
+  const auto start = std::chrono::steady_clock::now();
+  auto msg = net_->Receive("B", "A", "t");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(msg.status().code(), StatusCode::kNotFound);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(45));
+}
+
+TEST_P(TransportConformanceTest, ZeroTimeoutIsImmediateNotFound) {
+  net_->set_receive_timeout(std::chrono::milliseconds(0));
+  EXPECT_EQ(net_->Receive("B", "A", "t").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(TransportConformanceTest, UnknownPartiesRejected) {
+  EXPECT_EQ(net_->Send("ghost", "B", "t", "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(net_->Send("A", "ghost", "t", "x").code(), StatusCode::kNotFound);
+  net_->set_receive_timeout(std::chrono::milliseconds(0));
+  EXPECT_EQ(net_->Receive("ghost", "A").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(net_->HasParty("ghost"));
+  EXPECT_TRUE(net_->HasParty("A"));
+}
+
+TEST_P(TransportConformanceTest, DuplicateRegistrationRejected) {
+  EXPECT_EQ(net_->RegisterParty("A").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(net_->RegisterParty("").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(TransportConformanceTest, StatsCountPayloadAndWireBytesExactly) {
+  ASSERT_TRUE(net_->Send("A", "B", "t", std::string(100, 'x')).ok());
+  ASSERT_TRUE(net_->Send("A", "B", "t", std::string(28, 'y')).ok());
+  ChannelStats stats = net_->StatsFor("A", "B");
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.payload_bytes, 128u);
+  if (GetParam().security == TransportSecurity::kPlaintext) {
+    EXPECT_EQ(stats.wire_bytes, 128u);
+  } else {
+    // nonce (8) + MAC (16) per message, identical on every backend.
+    EXPECT_EQ(stats.wire_bytes, 128u + 2 * 24u);
+  }
+}
+
+TEST_P(TransportConformanceTest, StatsAggregationsAndReset) {
+  ASSERT_TRUE(net_->Send("A", "B", "t", "12345").ok());
+  ASSERT_TRUE(net_->Send("A", "TP", "t", "123").ok());
+  ASSERT_TRUE(net_->Send("B", "TP", "t", "1").ok());
+  EXPECT_EQ(net_->TotalSentBy("A").payload_bytes, 8u);
+  EXPECT_EQ(net_->GrandTotal().payload_bytes, 9u);
+  EXPECT_EQ(net_->GrandTotal().messages, 3u);
+  net_->ResetStats();
+  EXPECT_EQ(net_->GrandTotal().messages, 0u);
+}
+
+TEST_P(TransportConformanceTest, PendingCountObservesDeliveries) {
+  EXPECT_EQ(net_->PendingCount("B"), 0u);
+  ASSERT_TRUE(net_->Send("A", "B", "t", "x").ok());
+  ASSERT_TRUE(net_->Send("TP", "B", "t", "y").ok());
+  EXPECT_TRUE(WaitForPending("B", 2));
+  EXPECT_EQ(net_->PendingCount("ghost"), 0u);
+}
+
+TEST_P(TransportConformanceTest, TapSeesExactlyTheWireBytes) {
+  std::vector<WireFrame> captured;
+  net_->AddTap("A", "B", [&](const WireFrame& f) { captured.push_back(f); });
+  ASSERT_TRUE(net_->Send("A", "B", "t", "secret-value").ok());
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].from, "A");
+  EXPECT_EQ(captured[0].topic, "t");
+  if (GetParam().security == TransportSecurity::kPlaintext) {
+    EXPECT_EQ(captured[0].wire_bytes, "secret-value");
+  } else {
+    EXPECT_EQ(captured[0].wire_bytes.find("secret-value"), std::string::npos);
+  }
+  // Either way the legitimate receiver sees the plaintext.
+  EXPECT_EQ(net_->Receive("B", "A", "t")->payload, "secret-value");
+}
+
+TEST_P(TransportConformanceTest, NoncesStayFreshAcrossResetStats) {
+  if (GetParam().security != TransportSecurity::kAuthenticatedEncryption) {
+    GTEST_SKIP() << "nonces only exist on the encrypted transport";
+  }
+  std::vector<std::string> frames;
+  net_->AddTap("A", "B",
+               [&](const WireFrame& f) { frames.push_back(f.wire_bytes); });
+  ASSERT_TRUE(net_->Send("A", "B", "t", "same-payload").ok());
+  net_->ResetStats();
+  EXPECT_EQ(net_->StatsFor("A", "B").messages, 0u);
+  ASSERT_TRUE(net_->Send("A", "B", "t", "same-payload").ok());
+  ASSERT_EQ(frames.size(), 2u);
+  // A reset must not rewind the nonce counter: identical plaintexts still
+  // encrypt to different frames, and both still authenticate.
+  EXPECT_NE(frames[0], frames[1]);
+  EXPECT_EQ(net_->Receive("B", "A", "t")->payload, "same-payload");
+  EXPECT_EQ(net_->Receive("B", "A", "t")->payload, "same-payload");
+  // Counters restarted from zero after the reset.
+  EXPECT_EQ(net_->StatsFor("A", "B").messages, 1u);
+}
+
+TEST_P(TransportConformanceTest, TruncatedInjectedFrameIsDataLoss) {
+  if (GetParam().security != TransportSecurity::kAuthenticatedEncryption) {
+    GTEST_SKIP() << "plaintext frames have no integrity envelope";
+  }
+  // Shorter than nonce+MAC: the receiver must flag data loss, not parse.
+  ASSERT_TRUE(net_->InjectFrame("A", "B", "t", "short").ok());
+  EXPECT_EQ(net_->Receive("B", "A", "t").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_P(TransportConformanceTest, TamperedInjectedFrameFailsTheMac) {
+  if (GetParam().security != TransportSecurity::kAuthenticatedEncryption) {
+    GTEST_SKIP() << "plaintext frames have no integrity envelope";
+  }
+  ASSERT_TRUE(net_->InjectFrame("A", "B", "t", std::string(48, 'z')).ok());
+  EXPECT_EQ(net_->Receive("B", "A", "t").status().code(),
+            StatusCode::kProtocolViolation);
+}
+
+TEST_P(TransportConformanceTest, InjectedPlaintextFrameIsDeliveredVerbatim) {
+  if (GetParam().security != TransportSecurity::kPlaintext) {
+    GTEST_SKIP() << "verbatim delivery is the plaintext-mode behavior";
+  }
+  ASSERT_TRUE(net_->InjectFrame("A", "B", "t", "raw-wire-bytes").ok());
+  auto msg = net_->Receive("B", "A", "t");
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->payload, "raw-wire-bytes");
+}
+
+TEST_P(TransportConformanceTest, InjectFrameSkipsAccounting) {
+  ASSERT_TRUE(
+      net_->InjectFrame("A", "B", "t", std::string(64, 'q')).ok());
+  EXPECT_EQ(net_->StatsFor("A", "B").messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, TransportConformanceTest,
+    ::testing::Values(
+        ConformanceParam{BackendKind::kInMemory,
+                         TransportSecurity::kPlaintext},
+        ConformanceParam{BackendKind::kInMemory,
+                         TransportSecurity::kAuthenticatedEncryption},
+        ConformanceParam{BackendKind::kTcp, TransportSecurity::kPlaintext},
+        ConformanceParam{BackendKind::kTcp,
+                         TransportSecurity::kAuthenticatedEncryption}),
+    ParamName);
+
+// --------------------------------------------------------- TCP-specific --
+
+TEST(TcpNetworkTest, ListenPortIsResolved) {
+  auto net = TcpNetwork::Create({});
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_GT((*net)->listen_port(), 0);
+}
+
+TEST(TcpNetworkTest, RemoteAndLocalNamesCannotCollide) {
+  auto net = TcpNetwork::Create({});
+  ASSERT_TRUE(net.ok());
+  ASSERT_TRUE((*net)->RegisterParty("A").ok());
+  EXPECT_EQ((*net)->AddRemoteParty("A", "127.0.0.1", 1).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE((*net)->AddRemoteParty("R", "127.0.0.1", 1).ok());
+  EXPECT_EQ((*net)->RegisterParty("R").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ((*net)->AddRemoteParty("R", "127.0.0.1", 2).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE((*net)->HasParty("R"));
+}
+
+TEST(TcpNetworkTest, RejectsUnparseableHosts) {
+  auto net = TcpNetwork::Create({});
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ((*net)->AddRemoteParty("X", "not-a-host", 1).code(),
+            StatusCode::kInvalidArgument);
+  TcpNetwork::Options bad;
+  bad.listen_host = "999.999.0.1";
+  EXPECT_EQ(TcpNetwork::Create(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TcpNetworkTest, CrossEndpointDelivery) {
+  // Two endpoints, one party each — the minimal genuinely-distributed
+  // topology, both directions.
+  auto net_a = TcpNetwork::Create({});
+  auto net_b = TcpNetwork::Create({});
+  ASSERT_TRUE(net_a.ok() && net_b.ok());
+  ASSERT_TRUE((*net_a)->RegisterParty("A").ok());
+  ASSERT_TRUE((*net_b)->RegisterParty("B").ok());
+  ASSERT_TRUE(
+      (*net_a)->AddRemoteParty("B", "127.0.0.1", (*net_b)->listen_port())
+          .ok());
+  ASSERT_TRUE(
+      (*net_b)->AddRemoteParty("A", "127.0.0.1", (*net_a)->listen_port())
+          .ok());
+  (*net_a)->set_receive_timeout(std::chrono::milliseconds(5000));
+  (*net_b)->set_receive_timeout(std::chrono::milliseconds(5000));
+
+  ASSERT_TRUE((*net_a)->Send("A", "B", "ping", "over the wire").ok());
+  auto at_b = (*net_b)->Receive("B", "A", "ping");
+  ASSERT_TRUE(at_b.ok()) << at_b.status().ToString();
+  EXPECT_EQ(at_b->payload, "over the wire");
+
+  ASSERT_TRUE((*net_b)->Send("B", "A", "pong", "and back").ok());
+  auto at_a = (*net_a)->Receive("A", "B", "pong");
+  ASSERT_TRUE(at_a.ok()) << at_a.status().ToString();
+  EXPECT_EQ(at_a->payload, "and back");
+
+  // Send-side accounting lands on the sending endpoint.
+  EXPECT_EQ((*net_a)->StatsFor("A", "B").messages, 1u);
+  EXPECT_EQ((*net_b)->StatsFor("B", "A").messages, 1u);
+  EXPECT_EQ((*net_a)->StatsFor("B", "A").messages, 0u);
+}
+
+TEST(TcpNetworkTest, EarlyFramesWaitForRegistrationAndThenDeliver) {
+  // The multi-process startup race: a fast peer's frames reach an
+  // endpoint before the slow process registers its party. They must be
+  // parked and delivered on registration — losing a hello deadlocks a
+  // whole protocol run.
+  auto net_a = TcpNetwork::Create({});
+  auto net_b = TcpNetwork::Create({});
+  ASSERT_TRUE(net_a.ok() && net_b.ok());
+  ASSERT_TRUE((*net_a)->RegisterParty("A").ok());
+  ASSERT_TRUE(
+      (*net_a)->AddRemoteParty("B", "127.0.0.1", (*net_b)->listen_port())
+          .ok());
+  // B's endpoint is listening but "B" is not registered yet.
+  ASSERT_TRUE((*net_a)->Send("A", "B", "hello", "first").ok());
+  ASSERT_TRUE((*net_a)->Send("A", "B", "hello", "second").ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((*net_b)->UnclaimedFrameCount() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ((*net_b)->UnclaimedFrameCount(), 2u);
+  EXPECT_EQ((*net_b)->PendingCount("B"), 0u);
+
+  ASSERT_TRUE((*net_b)->RegisterParty("B").ok());
+  EXPECT_EQ((*net_b)->UnclaimedFrameCount(), 0u);
+  (*net_b)->set_receive_timeout(std::chrono::milliseconds(5000));
+  // Drained in arrival order: per-channel FIFO survives the stash.
+  EXPECT_EQ((*net_b)->Receive("B", "A", "hello")->payload, "first");
+  EXPECT_EQ((*net_b)->Receive("B", "A", "hello")->payload, "second");
+  EXPECT_EQ((*net_b)->DroppedFrameCount(), 0u);
+}
+
+}  // namespace
+}  // namespace ppc

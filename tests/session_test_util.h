@@ -16,7 +16,7 @@
 #include "core/session.h"
 #include "core/third_party.h"
 #include "data/partition.h"
-#include "net/network.h"
+#include "net/in_memory_network.h"
 
 namespace ppc {
 namespace testutil {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Multi-process TCP smoke test: runs the quickstart scenario as four OS
+# processes (coordinator + third party + two data holders) on loopback and
+# asserts the coordinator's published outcome is identical to an
+# in-process `cluster` run over the same partitions.
+#
+# Usage: cli_tcp_smoke.sh <path-to-ppclust_cli> <scratch-dir>
+
+set -u
+
+CLI="$1"
+SCRATCH="$2"
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in tp b a coord; do
+    if [ -s "$SCRATCH/$log.err" ]; then
+      echo "--- $log stderr ---" >&2
+      cat "$SCRATCH/$log.err" >&2
+    fi
+  done
+  exit 1
+}
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+
+"$CLI" generate --kind=mixed --objects=20 --parties=2 --seed=7 \
+  "--prefix=$SCRATCH/smoke" > /dev/null || fail "generate exited nonzero"
+
+# The in-process reference run (strip the timing line; everything else
+# must match byte for byte).
+"$CLI" cluster "$SCRATCH/smoke.part0.csv" "$SCRATCH/smoke.part1.csv" \
+  --clusters=3 > "$SCRATCH/inmem.out" || fail "in-process cluster failed"
+grep -v '^# protocol:' "$SCRATCH/inmem.out" > "$SCRATCH/inmem.trimmed"
+
+# Loopback deployment: one port per party, random base to dodge parallel
+# ctest runs.
+BASE=$((20000 + RANDOM % 12000))  # stay below the ephemeral range (32768+)
+PEERS="A=127.0.0.1:$BASE,B=127.0.0.1:$((BASE + 1))"
+PEERS="$PEERS,TP=127.0.0.1:$((BASE + 2)),COORD=127.0.0.1:$((BASE + 3))"
+COMMON=(--holders=A,B "--peers=$PEERS" --net-timeout-ms=60000)
+
+"$CLI" cluster --role=third-party "--schema=$SCRATCH/smoke.part0.csv" \
+  "${COMMON[@]}" 2> "$SCRATCH/tp.err" &
+TP_PID=$!
+"$CLI" cluster "$SCRATCH/smoke.part1.csv" --role=holder --party=B \
+  "${COMMON[@]}" 2> "$SCRATCH/b.err" &
+B_PID=$!
+"$CLI" cluster "$SCRATCH/smoke.part0.csv" --role=holder --party=A \
+  --clusters=3 "${COMMON[@]}" 2> "$SCRATCH/a.err" &
+A_PID=$!
+
+# The coordinator owns no data and simply prints what the protocol
+# publishes; run it in the foreground so this script blocks on the result.
+"$CLI" cluster --role=coordinator "${COMMON[@]}" \
+  > "$SCRATCH/tcp.out" 2> "$SCRATCH/coord.err"
+COORD_CODE=$?
+
+wait "$TP_PID"; TP_CODE=$?
+wait "$B_PID"; B_CODE=$?
+wait "$A_PID"; A_CODE=$?
+
+[ "$TP_CODE" -eq 0 ] || fail "third-party process exited $TP_CODE"
+[ "$B_CODE" -eq 0 ] || fail "holder B process exited $B_CODE"
+[ "$A_CODE" -eq 0 ] || fail "holder A process exited $A_CODE"
+[ "$COORD_CODE" -eq 0 ] || fail "coordinator process exited $COORD_CODE"
+
+diff -u "$SCRATCH/inmem.trimmed" "$SCRATCH/tcp.out" > "$SCRATCH/outcome.diff" \
+  || fail "TCP outcome diverged from the in-process run:
+$(cat "$SCRATCH/outcome.diff")"
+
+echo "PASS: 4-process TCP run published the same outcome as the in-process run"

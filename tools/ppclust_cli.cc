@@ -20,8 +20,25 @@
 //       --newick writes the TP-side dendrogram for phylogenetics tools
 //       (it stays TP-side: branch lengths are distances, which the paper
 //       requires the TP to keep from the holders).
+//
+//   Multi-process deployment: the same `cluster` command, one process per
+//   party, connected over TCP (see README "Deployment modes"):
+//
+//   ppclust_cli cluster PART.csv --role=holder --party=A
+//               --holders=A,B --peers=A=HOST:PORT,B=...,TP=...,COORD=...
+//               [request flags as above]
+//   ppclust_cli cluster --role=third-party --schema=ANY.csv
+//               --holders=... --peers=...
+//   ppclust_cli cluster --role=coordinator --holders=... --peers=...
+//       Every process is launched with the same --holders roster and
+//       --peers address map. Holders own one partition CSV each; the
+//       third party needs only the agreed schema (the header/types of any
+//       CSV with matching columns); the coordinator owns nothing and
+//       prints the published outcome, so its stdout matches an in-process
+//       `cluster` run on the concatenated partitions.
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +49,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/topics.h"
 #include "ppclust.h"
 
 namespace ppc {
@@ -125,7 +143,13 @@ constexpr char kUsage[] =
     "[--eps=E] [--minpts=M]\n"
     "              [--alphabet=dna|lowercase|identifier] "
     "[--weights=w0,w1,...]\n"
-    "              [--mode=batch|perpair] [--threads=N] [--newick=FILE]\n";
+    "              [--mode=batch|perpair] [--threads=N] [--newick=FILE]\n"
+    "  ppclust_cli cluster [PART.csv] --role=holder|third-party|coordinator\n"
+    "              --holders=A,B,... --peers=NAME=HOST:PORT,...\n"
+    "              [--party=NAME] [--schema=FILE.csv] [--third-party=TP]\n"
+    "              [--coordinator=COORD] [--net-timeout-ms=30000]\n"
+    "              [--entropy-seed=S]   (one OS process per party; see\n"
+    "              README \"Deployment modes\")\n";
 
 int Usage() {
   std::fprintf(stderr, "%s", kUsage);
@@ -222,11 +246,351 @@ int RunGenerate(const Flags& flags) {
   return 0;
 }
 
+// Parses the protocol-configuration flags shared by every deployment mode
+// (--alphabet, --mode, --threads). Returns 0 on success, the Fail() exit
+// code otherwise.
+int ParseProtocolConfig(const Flags& flags, ProtocolConfig* config) {
+  const std::string alphabet = flags.Get("alphabet", "dna");
+  if (alphabet == "dna") {
+    config->alphabet = Alphabet::Dna();
+  } else if (alphabet == "lowercase") {
+    config->alphabet = Alphabet::LowercaseAscii();
+  } else if (alphabet == "identifier") {
+    config->alphabet = Alphabet::AlphanumericLower();
+  } else {
+    return Fail("unknown --alphabet '" + alphabet + "'");
+  }
+  const std::string mode = flags.Get("mode", "batch");
+  if (mode == "perpair") {
+    config->masking_mode = MaskingMode::kPerPair;
+  } else if (mode != "batch") {
+    return Fail("unknown --mode '" + mode + "'");
+  }
+  // The num_threads rule (core/config.h): 0 = auto, 1 = sequential,
+  // n > 1 = concurrent engine with n workers.
+  const int64_t threads_flag = flags.GetInt("threads", 1);
+  if (threads_flag < 0) {
+    return Fail("--threads must be non-negative (0 = hardware concurrency)");
+  }
+  config->num_threads = static_cast<size_t>(threads_flag);
+  return 0;
+}
+
+// Parses and validates the clustering-request flags. Returns 0 on
+// success; doing this before running the protocol means a typo fails fast
+// instead of after the (expensive) masking rounds.
+int ParseClusterRequest(const Flags& flags, ClusterRequest* request) {
+  const int64_t clusters_flag = flags.GetInt("clusters", 3);
+  if (clusters_flag < 1) return Fail("--clusters must be positive");
+  request->num_clusters = static_cast<uint64_t>(clusters_flag);
+  const std::string algorithm = flags.Get("algorithm", "hier");
+  if (algorithm == "kmedoids") {
+    request->algorithm = ClusterAlgorithm::kKMedoids;
+  } else if (algorithm == "dbscan") {
+    request->algorithm = ClusterAlgorithm::kDbscan;
+    request->dbscan_eps = flags.GetDouble("eps", 0.2);
+    if (request->dbscan_eps < 0) return Fail("--eps must be non-negative");
+    const int64_t minpts_flag = flags.GetInt("minpts", 4);
+    if (minpts_flag < 1) return Fail("--minpts must be positive");
+    request->dbscan_min_points = static_cast<uint64_t>(minpts_flag);
+  } else if (algorithm != "hier") {
+    return Fail("unknown --algorithm '" + algorithm + "'");
+  }
+  if (algorithm != "dbscan" &&
+      (flags.named.count("eps") || flags.named.count("minpts"))) {
+    return Fail("--eps/--minpts only apply to --algorithm=dbscan");
+  }
+  const std::string linkage = flags.Get("linkage", "average");
+  if (linkage == "single") {
+    request->linkage = Linkage::kSingle;
+  } else if (linkage == "complete") {
+    request->linkage = Linkage::kComplete;
+  } else if (linkage == "ward") {
+    request->linkage = Linkage::kWard;
+  } else if (linkage != "average") {
+    return Fail("unknown --linkage '" + linkage + "'");
+  }
+  const std::string weights_flag = flags.Get("weights", "");
+  if (!weights_flag.empty()) {
+    for (const std::string& w : SplitString(weights_flag, ',')) {
+      double weight = 0;
+      if (!ParseFiniteDouble(w, &weight)) {
+        return Fail("--weights expects finite numbers, got '" + w + "'");
+      }
+      request->weights.push_back(weight);
+    }
+  }
+  return 0;
+}
+
+// Prints a published outcome exactly the way the in-process `cluster`
+// command does, so multi-process runs can be diffed against it.
+void PrintOutcome(const ClusteringOutcome& outcome) {
+  std::printf("%s", outcome.ToString().c_str());
+  if (outcome.silhouette.has_value()) {
+    std::printf("# silhouette: %.3f\n", *outcome.silhouette);
+  } else {
+    std::printf("# silhouette: n/a (undefined for this outcome)\n");
+  }
+}
+
+// -- Multi-process deployment (--role) --------------------------------------
+
+struct PeerEntry {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// Parses "NAME=HOST:PORT,NAME=HOST:PORT,...".
+int ParsePeers(const std::string& text,
+               std::map<std::string, PeerEntry>* peers) {
+  if (text.empty()) {
+    return Fail("--peers=NAME=HOST:PORT,... is required for --role");
+  }
+  for (const std::string& item : SplitString(text, ',')) {
+    size_t eq = item.find('=');
+    size_t colon = item.rfind(':');
+    if (eq == std::string::npos || colon == std::string::npos || colon < eq) {
+      return Fail("--peers entries must look like NAME=HOST:PORT, got '" +
+                  item + "'");
+    }
+    std::string name = item.substr(0, eq);
+    std::string host = item.substr(eq + 1, colon - eq - 1);
+    int64_t port = 0;
+    if (name.empty() || host.empty() ||
+        !ParseInt64(item.substr(colon + 1), &port) || port < 1 ||
+        port > 65535) {
+      return Fail("--peers entries must look like NAME=HOST:PORT, got '" +
+                  item + "'");
+    }
+    auto [it, inserted] = peers->emplace(
+        name, PeerEntry{host, static_cast<uint16_t>(port)});
+    (void)it;
+    if (!inserted) return Fail("--peers lists '" + name + "' twice");
+  }
+  return 0;
+}
+
+// One process of a distributed protocol run: stands up a TcpNetwork
+// endpoint hosting this process's party and runs that party's side of the
+// schedule (see PartyRunner). The roster comes from --holders, addresses
+// from --peers; all processes must be launched with the same roster,
+// schema, and protocol flags.
+int RunClusterRole(const Flags& flags) {
+  const std::string role = flags.Get("role", "");
+  if (role != "holder" && role != "third-party" && role != "coordinator") {
+    return Fail("unknown --role '" + role +
+                "' (want holder, third-party, or coordinator)");
+  }
+  const std::string tp_name = flags.Get("third-party", "TP");
+  const std::string coord_name = flags.Get("coordinator", "COORD");
+
+  std::vector<std::string> holder_order;
+  for (const std::string& name : SplitString(flags.Get("holders", ""), ',')) {
+    if (name.empty()) return Fail("--holders lists an empty holder name");
+    for (const std::string& seen : holder_order) {
+      // A duplicate would make every process hang out its receive
+      // timeout waiting for the phantom second holder's messages.
+      if (seen == name) return Fail("--holders lists '" + name + "' twice");
+    }
+    holder_order.push_back(name);
+  }
+  if (holder_order.size() < 2) {
+    return Fail(
+        "--holders must list at least two holder names in roster order");
+  }
+  std::map<std::string, PeerEntry> peers;
+  if (int bad = ParsePeers(flags.Get("peers", ""), &peers)) return bad;
+
+  // Capped at 7 days so even the coordinator's 10x window stays far from
+  // overflowing the nanosecond deadline arithmetic in blocking receives.
+  constexpr int64_t kMaxNetTimeoutMs = 7 * 24 * 60 * 60 * 1000LL;
+  const int64_t timeout_ms = flags.GetInt("net-timeout-ms", 30000);
+  if (timeout_ms < 1 || timeout_ms > kMaxNetTimeoutMs) {
+    return Fail("--net-timeout-ms must be between 1 and " +
+                std::to_string(kMaxNetTimeoutMs) + " (7 days)");
+  }
+
+  std::string party = flags.Get(
+      "party", role == "third-party"
+                   ? tp_name
+                   : (role == "coordinator" ? coord_name : ""));
+  if (party.empty()) {
+    return Fail("--role=holder requires --party=<holder name>");
+  }
+  // For the singleton roles the party name is fixed by --third-party /
+  // --coordinator; a diverging --party would register one name on the
+  // network while the protocol objects speak as another, and every peer
+  // would hang until its receive timeout.
+  if (role == "third-party" && party != tp_name) {
+    return Fail("--role=third-party is named by --third-party (" + tp_name +
+                "); drop --party=" + party);
+  }
+  if (role == "coordinator" && party != coord_name) {
+    return Fail("--role=coordinator is named by --coordinator (" +
+                coord_name + "); drop --party=" + party);
+  }
+
+  ProtocolConfig config;
+  if (int bad = ParseProtocolConfig(flags, &config)) return bad;
+  ClusterRequest request;
+  if (int bad = ParseClusterRequest(flags, &request)) return bad;
+  if (!flags.value_error.empty()) return Fail(flags.value_error);
+  if (flags.named.count("newick")) {
+    // The dendrogram export is TP-side state; no process in a distributed
+    // run both holds the merged matrix and serves the operator's shell.
+    return Fail("--newick is not supported with --role (the dendrogram "
+                "stays at the third party); run the in-process form");
+  }
+
+  auto own = peers.find(party);
+  if (own == peers.end()) {
+    return Fail("--peers does not list this process's party '" + party + "'");
+  }
+
+  TcpNetwork::Options options;
+  options.listen_host = own->second.host;
+  options.listen_port = own->second.port;
+  options.connect_timeout = std::chrono::milliseconds(timeout_ms);
+  auto network = TcpNetwork::Create(options);
+  if (!network.ok()) return Fail(network.status().ToString());
+  (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms));
+  Status status = (*network)->RegisterParty(party);
+  if (!status.ok()) return Fail(status.ToString());
+  for (const auto& [name, entry] : peers) {
+    if (name == party) continue;
+    status = (*network)->AddRemoteParty(name, entry.host, entry.port);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+
+  SessionPlan plan;
+  plan.holder_order = holder_order;
+  plan.third_party = tp_name;
+
+  if (role == "third-party") {
+    const std::string schema_path = flags.Get("schema", "");
+    if (schema_path.empty() || !flags.positional.empty()) {
+      return Fail(
+          "--role=third-party takes no partition CSVs; pass the agreed "
+          "schema via --schema=FILE.csv (values are ignored)");
+    }
+    auto schema_matrix = Csv::ReadFile(schema_path);
+    if (!schema_matrix.ok()) {
+      return Fail(schema_path + ": " + schema_matrix.status().ToString());
+    }
+    const int64_t tp_seed = flags.GetInt("entropy-seed", 1);
+    if (!flags.value_error.empty()) return Fail(flags.value_error);
+    ThirdParty tp(tp_name, network->get(), config, schema_matrix->schema(),
+                  static_cast<uint64_t>(tp_seed));
+    status = PartyRunner::RunThirdParty(&tp, plan, schema_matrix->schema());
+    if (!status.ok()) return Fail(status.ToString());
+    // Serve the requesting holder's order, then retire.
+    status = tp.ServeClusterRequest(holder_order[0]);
+    if (!status.ok()) return Fail(status.ToString());
+    std::fprintf(stderr, "# %s: served %s; sent %llu wire bytes\n",
+                 tp_name.c_str(), holder_order[0].c_str(),
+                 static_cast<unsigned long long>(
+                     (*network)->TotalSentBy(tp_name).wire_bytes));
+    return 0;
+  }
+
+  if (role == "coordinator") {
+    if (!flags.positional.empty()) {
+      return Fail("--role=coordinator takes no partition CSVs");
+    }
+    // The requesting holder forwards the published outcome only after the
+    // whole protocol completes, so this one receive must outlast every
+    // per-message wait the other processes use: give it 10x the
+    // per-message budget rather than making operators size one flag for
+    // two different scales. (The flag's 7-day cap keeps 10x far inside
+    // the deadline arithmetic's range.)
+    (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms * 10));
+    auto msg = (*network)->Receive(party, holder_order[0],
+                                   topics::kCoordinatorOutcome);
+    if (!msg.ok()) return Fail(msg.status().ToString());
+    ByteReader reader(msg->payload);
+    auto outcome = ClusteringOutcome::Deserialize(&reader);
+    if (!outcome.ok()) return Fail(outcome.status().ToString());
+    status = reader.ExpectEnd();
+    if (!status.ok()) return Fail(status.ToString());
+    PrintOutcome(*outcome);
+    return 0;
+  }
+
+  size_t my_index = holder_order.size();
+  for (size_t i = 0; i < holder_order.size(); ++i) {
+    if (holder_order[i] == party) {
+      my_index = i;
+      break;
+    }
+  }
+  if (my_index == holder_order.size()) {
+    return Fail("--party '" + party + "' is not listed in --holders");
+  }
+  if (flags.positional.size() != 1) {
+    return Fail("--role=holder takes exactly one partition CSV");
+  }
+  auto matrix = Csv::ReadFile(flags.positional[0]);
+  if (!matrix.ok()) {
+    return Fail(flags.positional[0] + ": " + matrix.status().ToString());
+  }
+
+  // Default entropy seeds match the in-process `cluster` command (TP = 1,
+  // holder p = 100 + p), so a TCP deployment publishes the identical
+  // outcome for identical partitions.
+  const int64_t holder_seed =
+      flags.GetInt("entropy-seed", 100 + static_cast<int64_t>(my_index));
+  if (!flags.value_error.empty()) return Fail(flags.value_error);
+  DataHolder holder(party, network->get(), config,
+                    static_cast<uint64_t>(holder_seed));
+  status = holder.SetData(std::move(*matrix));
+  if (!status.ok()) return Fail(status.ToString());
+
+  status = PartyRunner::RunHolder(&holder, plan, holder.data().schema());
+  if (!status.ok()) return Fail(status.ToString());
+  std::fprintf(stderr, "# %s: protocol done; sent %llu wire bytes\n",
+               party.c_str(),
+               static_cast<unsigned long long>(
+                   (*network)->TotalSentBy(party).wire_bytes));
+
+  if (my_index != 0) return 0;
+
+  // The first roster holder issues the clustering order and publishes the
+  // outcome — to the coordinator when one is deployed, to stdout
+  // otherwise. Like the coordinator's wait, this receive spans the third
+  // party's remaining rounds plus the clustering computation itself, so
+  // it gets the same 10x budget rather than the per-message one.
+  (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms * 10));
+  auto outcome = PartyRunner::RequestClustering(&holder, plan, request);
+  if (!outcome.ok()) return Fail(outcome.status().ToString());
+  if (peers.count(coord_name) != 0) {
+    ByteWriter writer;
+    outcome->Serialize(&writer);
+    status = (*network)->Send(party, coord_name, topics::kCoordinatorOutcome,
+                              writer.TakeBytes());
+    if (!status.ok()) return Fail(status.ToString());
+  } else {
+    PrintOutcome(*outcome);
+  }
+  return 0;
+}
+
 int RunCluster(const Flags& flags) {
   if (int bad = CheckFlagNames(
           flags, {"clusters", "linkage", "algorithm", "eps", "minpts",
-                  "alphabet", "weights", "mode", "threads", "newick"})) {
+                  "alphabet", "weights", "mode", "threads", "newick",
+                  "role", "party", "peers", "holders", "third-party",
+                  "coordinator", "net-timeout-ms", "entropy-seed",
+                  "schema"})) {
     return bad;
+  }
+  if (flags.named.count("role")) return RunClusterRole(flags);
+  for (const char* role_only :
+       {"party", "peers", "holders", "third-party", "coordinator",
+        "net-timeout-ms", "entropy-seed", "schema"}) {
+    if (flags.named.count(role_only)) {
+      return Fail(std::string("--") + role_only + " requires --role");
+    }
   }
   if (flags.positional.size() < 2) {
     return Fail("cluster needs at least two partition CSVs (k >= 2)");
@@ -245,25 +609,7 @@ int RunCluster(const Flags& flags) {
   }
 
   ProtocolConfig config;
-  const std::string alphabet = flags.Get("alphabet", "dna");
-  if (alphabet == "dna") {
-    config.alphabet = Alphabet::Dna();
-  } else if (alphabet == "lowercase") {
-    config.alphabet = Alphabet::LowercaseAscii();
-  } else if (alphabet == "identifier") {
-    config.alphabet = Alphabet::AlphanumericLower();
-  } else {
-    return Fail("unknown --alphabet '" + alphabet + "'");
-  }
-  const std::string mode = flags.Get("mode", "batch");
-  if (mode == "perpair") {
-    config.masking_mode = MaskingMode::kPerPair;
-  } else if (mode != "batch") {
-    return Fail("unknown --mode '" + mode + "'");
-  }
-  const int64_t threads_flag = flags.GetInt("threads", 1);
-  if (threads_flag < 1) return Fail("--threads must be positive");
-  config.num_threads = static_cast<size_t>(threads_flag);
+  if (int bad = ParseProtocolConfig(flags, &config)) return bad;
 
   InMemoryNetwork network;
   ThirdParty tp("TP", &network, config, schema, 1);
@@ -282,49 +628,8 @@ int RunCluster(const Flags& flags) {
     if (!status.ok()) return Fail(status.ToString());
   }
 
-  // Validate all request flags before running the protocol, so a typo
-  // fails fast instead of after the (expensive) masking rounds.
   ClusterRequest request;
-  const int64_t clusters_flag = flags.GetInt("clusters", 3);
-  if (clusters_flag < 1) return Fail("--clusters must be positive");
-  request.num_clusters = static_cast<uint64_t>(clusters_flag);
-  const std::string algorithm = flags.Get("algorithm", "hier");
-  if (algorithm == "kmedoids") {
-    request.algorithm = ClusterAlgorithm::kKMedoids;
-  } else if (algorithm == "dbscan") {
-    request.algorithm = ClusterAlgorithm::kDbscan;
-    request.dbscan_eps = flags.GetDouble("eps", 0.2);
-    if (request.dbscan_eps < 0) return Fail("--eps must be non-negative");
-    const int64_t minpts_flag = flags.GetInt("minpts", 4);
-    if (minpts_flag < 1) return Fail("--minpts must be positive");
-    request.dbscan_min_points = static_cast<uint64_t>(minpts_flag);
-  } else if (algorithm != "hier") {
-    return Fail("unknown --algorithm '" + algorithm + "'");
-  }
-  if (algorithm != "dbscan" &&
-      (flags.named.count("eps") || flags.named.count("minpts"))) {
-    return Fail("--eps/--minpts only apply to --algorithm=dbscan");
-  }
-  const std::string linkage = flags.Get("linkage", "average");
-  if (linkage == "single") {
-    request.linkage = Linkage::kSingle;
-  } else if (linkage == "complete") {
-    request.linkage = Linkage::kComplete;
-  } else if (linkage == "ward") {
-    request.linkage = Linkage::kWard;
-  } else if (linkage != "average") {
-    return Fail("unknown --linkage '" + linkage + "'");
-  }
-  const std::string weights_flag = flags.Get("weights", "");
-  if (!weights_flag.empty()) {
-    for (const std::string& w : SplitString(weights_flag, ',')) {
-      double weight = 0;
-      if (!ParseFiniteDouble(w, &weight)) {
-        return Fail("--weights expects finite numbers, got '" + w + "'");
-      }
-      request.weights.push_back(weight);
-    }
-  }
+  if (int bad = ParseClusterRequest(flags, &request)) return bad;
   if (!flags.value_error.empty()) return Fail(flags.value_error);
 
   Stopwatch stopwatch;
@@ -339,12 +644,7 @@ int RunCluster(const Flags& flags) {
 
   auto outcome = session.RequestClustering("A", request);
   if (!outcome.ok()) return Fail(outcome.status().ToString());
-  std::printf("%s", outcome->ToString().c_str());
-  if (outcome->silhouette.has_value()) {
-    std::printf("# silhouette: %.3f\n", *outcome->silhouette);
-  } else {
-    std::printf("# silhouette: n/a (undefined for this outcome)\n");
-  }
+  PrintOutcome(*outcome);
 
   const std::string newick_path = flags.Get("newick", "");
   if (!newick_path.empty()) {
