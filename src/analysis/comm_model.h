@@ -2,9 +2,15 @@
 #define PPC_ANALYSIS_COMM_MODEL_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "core/config.h"
+#include "core/schedule.h"
+#include "net/network.h"
 
 namespace ppc {
 
@@ -80,6 +86,62 @@ class CommModel {
     }
     return total;
   }
+};
+
+/// Per-holder inputs the schedule-driven traffic predictions need: object
+/// counts for the numeric/matrix payloads, per-object string lengths (in
+/// alphabet symbols — one symbol per character) for the alphanumeric ones.
+struct HolderTrafficProfile {
+  uint64_t objects = 0;
+  std::map<size_t, std::vector<uint64_t>> string_lengths;  // column -> sizes
+};
+
+/// Closed-form traffic predictions driven by the schedule graph: every
+/// send step of the graph is priced with the `CommModel` formula its topic
+/// tag selects, then summed per paper phase. This is the model half of the
+/// predicted-vs-measured breakdown the CLI `analyze` command prints (and
+/// the E8-E10 experiments assert).
+class ScheduleCommModel {
+ public:
+  /// Predicted protocol payload bytes per phase. Only phases with a
+  /// closed form appear in the map — 4 (local matrices) and 5 (comparison
+  /// and categorical rounds); setup phases ship variable-length key
+  /// material the model deliberately does not cover. Fails if a profile
+  /// is missing for a holder (or string lengths for an alphanumeric
+  /// attribute), and for taxonomic attributes (their payloads depend on
+  /// private per-object depths).
+  static Result<std::map<int, uint64_t>> PredictPhasePayloads(
+      const Schedule& schedule, const ProtocolConfig& config,
+      const std::map<std::string, HolderTrafficProfile>& profiles);
+};
+
+/// The measurement half: taps every directed channel the schedule uses
+/// and attributes each observed frame to its paper phase through the
+/// graph's topic tags. Works on any `Network` backend — taps observe the
+/// identical wire bytes on the simulator and over TCP.
+class ScheduleTrafficAudit {
+ public:
+  struct PhaseTraffic {
+    uint64_t messages = 0;
+    /// Bytes on the wire (includes nonce/MAC framing when secured).
+    uint64_t wire_bytes = 0;
+    /// Application payload bytes (wire minus the constant per-frame
+    /// transport framing) — the quantity `ScheduleCommModel` predicts.
+    uint64_t payload_bytes = 0;
+  };
+
+  /// Installs taps on `network` for every channel in `schedule`. Call
+  /// before the protocol runs; the audit must outlive the network's use.
+  void Attach(Network* network, const Schedule& schedule);
+
+  /// Accumulated traffic per phase (phases without traffic are absent).
+  std::map<int, PhaseTraffic> PhaseTotals() const;
+
+ private:
+  std::map<std::string, int> topic_phases_;
+  uint64_t frame_overhead_ = 0;
+  mutable std::mutex mutex_;
+  std::map<int, PhaseTraffic> totals_;
 };
 
 }  // namespace ppc

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kProtocolViolation:
       return "ProtocolViolation";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
     case StatusCode::kUnimplemented:

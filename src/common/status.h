@@ -25,6 +25,9 @@ enum class StatusCode {
   kDataLoss,
   /// A protocol participant sent a message that violates the protocol.
   kProtocolViolation,
+  /// The peer could not prove it is authorized (e.g. failed the transport
+  /// connection-authentication handshake).
+  kPermissionDenied,
   /// Arithmetic would overflow the representable range.
   kOutOfRange,
   /// The requested feature is recognized but not implemented.
@@ -70,6 +73,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
   static Status ProtocolViolation(std::string msg) {
     return Status(StatusCode::kProtocolViolation, std::move(msg));

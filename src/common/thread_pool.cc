@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <set>
 
 namespace ppc {
 
@@ -78,6 +79,87 @@ void ThreadPool::ParallelFor(size_t n, size_t num_threads,
   }
   body(0, base + (extra > 0 ? 1 : 0));
   for (std::thread& t : threads) t.join();
+}
+
+Status RunDagTasks(std::vector<std::function<Status()>> tasks,
+                   const std::vector<std::vector<uint32_t>>& deps,
+                   size_t num_threads) {
+  const size_t n = tasks.size();
+  if (deps.size() != n) {
+    return Status::InvalidArgument("RunDagTasks: tasks/deps size mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t dep : deps[i]) {
+      if (dep >= i) {
+        return Status::InvalidArgument(
+            "RunDagTasks: dependencies must point strictly backward");
+      }
+    }
+  }
+  if (n == 0) return Status::OK();
+
+  if (num_threads <= 1) {
+    // Backward-pointing deps make index order a topological order, so the
+    // inline run needs no bookkeeping at all.
+    for (size_t i = 0; i < n; ++i) {
+      PPC_RETURN_IF_ERROR(tasks[i]());
+    }
+    return Status::OK();
+  }
+
+  std::vector<size_t> indegree(n, 0);
+  std::vector<std::vector<uint32_t>> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    indegree[i] = deps[i].size();
+    for (uint32_t dep : deps[i]) {
+      children[dep].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::set<uint32_t> ready;  // Ordered: workers pick the lowest index.
+  size_t outstanding = n;
+  bool aborted = false;
+  size_t first_failed = n;
+  Status failure = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.insert(static_cast<uint32_t>(i));
+  }
+
+  auto worker = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      wake.wait(lock, [&] {
+        return aborted || outstanding == 0 || !ready.empty();
+      });
+      if (aborted || outstanding == 0) return;
+      uint32_t id = *ready.begin();
+      ready.erase(ready.begin());
+      lock.unlock();
+      Status status = tasks[id]();
+      lock.lock();
+      if (!status.ok()) {
+        if (id < first_failed) {
+          first_failed = id;
+          failure = std::move(status);
+        }
+        aborted = true;  // Skip everything not yet started.
+      }
+      --outstanding;
+      for (uint32_t child : children[id]) {
+        if (--indegree[child] == 0) ready.insert(child);
+      }
+      wake.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  const size_t worker_count = std::min(num_threads, n);
+  threads.reserve(worker_count);
+  for (size_t t = 0; t < worker_count; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  return failure;
 }
 
 Status RunStatusTasks(std::vector<std::function<Status()>> tasks,

@@ -73,6 +73,22 @@ class ThreadPool {
 Status RunStatusTasks(std::vector<std::function<Status()>> tasks,
                       size_t num_threads);
 
+/// Ready-set execution of a dependency graph: task `i` starts only after
+/// every task in `deps[i]` completed successfully. Dependencies must point
+/// strictly backward (`deps[i]` < i), which both guarantees acyclicity and
+/// makes index order a valid topological order.
+///
+/// With `num_threads <= 1` tasks run inline in index order (deterministic;
+/// the first failure is returned immediately). With more threads, workers
+/// repeatedly pick the lowest-index ready task; tasks must not block on
+/// other *queued* tasks (the schedule graph's data edges are what
+/// discharges that obligation for protocol receives). On a failure no new
+/// task is started — in-flight tasks finish, the rest are skipped — and
+/// the recorded failure with the smallest task index is returned.
+Status RunDagTasks(std::vector<std::function<Status()>> tasks,
+                   const std::vector<std::vector<uint32_t>>& deps,
+                   size_t num_threads);
+
 }  // namespace ppc
 
 #endif  // PPC_COMMON_THREAD_POOL_H_

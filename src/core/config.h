@@ -28,6 +28,22 @@ enum class MaskingMode : uint8_t {
 /// Canonical name of `mode` ("batch" / "per-pair").
 const char* MaskingModeToString(MaskingMode mode);
 
+/// How much parallelism the protocol schedule graph exposes to the
+/// concurrent executor (core/schedule.h). Results are bit-identical either
+/// way; only the dependency edges differ.
+enum class ScheduleGranularity : uint8_t {
+  /// Full dependency tracking: a responder round depends only on its own
+  /// inbound message, so per-attribute computes of one responder — and
+  /// phase-5 work overlapping phase-4 stragglers — run concurrently.
+  kFine = 0,
+  /// Conservative escape hatch: extra edges serialize each responder's
+  /// phase-5 rounds (the pre-graph engine's responder grouping).
+  kGrouped = 1,
+};
+
+/// Canonical name of `granularity` ("fine" / "grouped").
+const char* ScheduleGranularityToString(ScheduleGranularity granularity);
+
 /// Shared parameters every participant (data holders and third party) must
 /// agree on before the protocol starts, alongside the attribute `Schema`.
 struct ProtocolConfig {
@@ -56,6 +72,11 @@ struct ProtocolConfig {
   /// initiator, responder) label, results are bit-identical across thread
   /// counts.
   size_t num_threads = 1;
+
+  /// Dependency granularity of the schedule graph the concurrent executor
+  /// runs (ignored by the sequential reference schedule). See
+  /// `ScheduleGranularity`.
+  ScheduleGranularity schedule_granularity = ScheduleGranularity::kFine;
 
   /// Alphabet of every alphanumeric attribute. The paper requires a finite,
   /// publicly known alphabet so that masking can wrap modulo its size.

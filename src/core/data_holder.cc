@@ -41,6 +41,21 @@ std::vector<uint8_t> SymbolsFromBytes(const std::string& bytes) {
   return std::vector<uint8_t>(bytes.begin(), bytes.end());
 }
 
+// Stash slots for payloads staged between split protocol steps. A column
+// has exactly one attribute type, so numeric and alphanumeric stages can
+// share the inbound/outbound namespaces.
+std::string LocalMatrixSlot(size_t column) {
+  return "local-matrix:" + std::to_string(column);
+}
+
+std::string InboundSlot(size_t column, const std::string& initiator) {
+  return "inbound:" + std::to_string(column) + ":" + initiator;
+}
+
+std::string OutboundSlot(size_t column, const std::string& initiator) {
+  return "outbound:" + std::to_string(column) + ":" + initiator;
+}
+
 }  // namespace
 
 DataHolder::DataHolder(std::string name, Network* network,
@@ -184,20 +199,58 @@ Result<std::unique_ptr<Prng>> DataHolder::PairPrng(
   return MakePrngFromKey(config_.prng_kind, key);
 }
 
+Result<std::string> DataHolder::TakePending(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  auto it = pending_.find(slot);
+  if (it == pending_.end()) {
+    return Status::FailedPrecondition("no staged payload for '" + slot +
+                                      "' (prior protocol stage missing)");
+  }
+  std::string payload = std::move(it->second);
+  pending_.erase(it);
+  return payload;
+}
+
+void DataHolder::StashPending(const std::string& slot, std::string payload) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  pending_[slot] = std::move(payload);
+}
+
+Status DataHolder::BuildLocalMatrix(size_t column) {
+  if (column >= data_.NumColumns()) {
+    return Status::InvalidArgument("attribute " + std::to_string(column) +
+                                   " out of range");
+  }
+  if (data_.schema().attribute(column).type == AttributeType::kCategorical) {
+    return Status::InvalidArgument(
+        "categorical attributes have no local matrices");
+  }
+  PPC_ASSIGN_OR_RETURN(
+      DissimilarityMatrix local,
+      LocalDissimilarity::Build(data_, column, real_codec_,
+                                config_.num_threads));
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteU64(local.num_objects());
+  writer.WriteF64Vector(local.packed_cells());
+  StashPending(LocalMatrixSlot(column), writer.TakeBytes());
+  return Status::OK();
+}
+
+Status DataHolder::SendLocalMatrix(size_t column,
+                                   const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(std::string payload,
+                       TakePending(LocalMatrixSlot(column)));
+  return network_->Send(name_, third_party, topics::kLocalMatrix,
+                        std::move(payload));
+}
+
 Status DataHolder::SendLocalMatrices(const std::string& third_party) {
   for (size_t c = 0; c < data_.NumColumns(); ++c) {
     AttributeType type = data_.schema().attribute(c).type;
     if (type == AttributeType::kCategorical) continue;  // Sec. 4.3 path.
-    PPC_ASSIGN_OR_RETURN(
-        DissimilarityMatrix local,
-        LocalDissimilarity::Build(data_, c, real_codec_,
-                                  config_.num_threads));
-    ByteWriter writer;
-    writer.WriteU32(static_cast<uint32_t>(c));
-    writer.WriteU64(local.num_objects());
-    writer.WriteF64Vector(local.packed_cells());
-    PPC_RETURN_IF_ERROR(network_->Send(name_, third_party, topics::kLocalMatrix,
-                                       writer.TakeBytes()));
+    PPC_RETURN_IF_ERROR(BuildLocalMatrix(c));
+    PPC_RETURN_IF_ERROR(SendLocalMatrix(c, third_party));
   }
   return Status::OK();
 }
@@ -229,13 +282,20 @@ Status DataHolder::RunNumericInitiator(size_t column,
                         writer.TakeBytes());
 }
 
-Status DataHolder::RunNumericResponder(size_t column,
-                                       const std::string& initiator,
-                                       const std::string& third_party) {
+Status DataHolder::ReceiveNumericMasked(size_t column,
+                                        const std::string& initiator) {
   PPC_ASSIGN_OR_RETURN(
       Message msg,
       network_->Receive(name_, initiator, topics::kNumericMasked));
-  ByteReader reader(msg.payload);
+  StashPending(InboundSlot(column, initiator), std::move(msg.payload));
+  return Status::OK();
+}
+
+Status DataHolder::BuildNumericComparison(size_t column,
+                                          const std::string& initiator) {
+  PPC_ASSIGN_OR_RETURN(std::string inbound,
+                       TakePending(InboundSlot(column, initiator)));
+  ByteReader reader(inbound);
   PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
   if (attr != column) {
     return Status::ProtocolViolation("initiator sent attribute " +
@@ -283,8 +343,25 @@ Status DataHolder::RunNumericResponder(size_t column,
   writer.WriteU64(own_values.size());
   writer.WriteU64(cols);
   writer.WriteU64Vector(comparison);
+  StashPending(OutboundSlot(column, initiator), writer.TakeBytes());
+  return Status::OK();
+}
+
+Status DataHolder::SendNumericComparison(size_t column,
+                                         const std::string& initiator,
+                                         const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(std::string payload,
+                       TakePending(OutboundSlot(column, initiator)));
   return network_->Send(name_, third_party, topics::kNumericComparison,
-                        writer.TakeBytes());
+                        std::move(payload));
+}
+
+Status DataHolder::RunNumericResponder(size_t column,
+                                       const std::string& initiator,
+                                       const std::string& third_party) {
+  PPC_RETURN_IF_ERROR(ReceiveNumericMasked(column, initiator));
+  PPC_RETURN_IF_ERROR(BuildNumericComparison(column, initiator));
+  return SendNumericComparison(column, initiator, third_party);
 }
 
 Status DataHolder::RunAlphanumericInitiator(size_t column,
@@ -308,12 +385,19 @@ Status DataHolder::RunAlphanumericInitiator(size_t column,
                         writer.TakeBytes());
 }
 
-Status DataHolder::RunAlphanumericResponder(size_t column,
-                                            const std::string& initiator,
-                                            const std::string& third_party) {
+Status DataHolder::ReceiveAlphanumericMasked(size_t column,
+                                             const std::string& initiator) {
   PPC_ASSIGN_OR_RETURN(
       Message msg, network_->Receive(name_, initiator, topics::kAlnumMasked));
-  ByteReader reader(msg.payload);
+  StashPending(InboundSlot(column, initiator), std::move(msg.payload));
+  return Status::OK();
+}
+
+Status DataHolder::BuildAlphanumericGrids(size_t column,
+                                          const std::string& initiator) {
+  PPC_ASSIGN_OR_RETURN(std::string inbound,
+                       TakePending(InboundSlot(column, initiator)));
+  ByteReader reader(inbound);
   PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
   if (attr != column) {
     return Status::ProtocolViolation("initiator sent attribute " +
@@ -346,8 +430,25 @@ Status DataHolder::RunAlphanumericResponder(size_t column,
     writer.WriteU32(static_cast<uint32_t>(grid.initiator_length));
     writer.WriteBytes(std::string(grid.cells.begin(), grid.cells.end()));
   }
+  StashPending(OutboundSlot(column, initiator), writer.TakeBytes());
+  return Status::OK();
+}
+
+Status DataHolder::SendAlphanumericGrids(size_t column,
+                                         const std::string& initiator,
+                                         const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(std::string payload,
+                       TakePending(OutboundSlot(column, initiator)));
   return network_->Send(name_, third_party, topics::kAlnumGrids,
-                        writer.TakeBytes());
+                        std::move(payload));
+}
+
+Status DataHolder::RunAlphanumericResponder(size_t column,
+                                            const std::string& initiator,
+                                            const std::string& third_party) {
+  PPC_RETURN_IF_ERROR(ReceiveAlphanumericMasked(column, initiator));
+  PPC_RETURN_IF_ERROR(BuildAlphanumericGrids(column, initiator));
+  return SendAlphanumericGrids(column, initiator, third_party);
 }
 
 Status DataHolder::SendCategoricalTokens(size_t column,

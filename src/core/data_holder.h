@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,24 +70,65 @@ class DataHolder {
   Status ReceiveCategoricalKey(const std::string& from);
 
   // -- Protocol steps (per attribute) ---------------------------------------
+  //
+  // The heavy steps are split receive/build/send so the schedule graph
+  // (core/schedule.h) can keep per-channel FIFO order while running a
+  // responder's per-attribute computations concurrently: a receive stashes
+  // the raw inbound payload (cheap, FIFO-critical), a build consumes the
+  // stash and produces the outbound payload (expensive, order-free), a
+  // send ships it (cheap, FIFO-critical). The Run* compositions perform
+  // all stages inline — handy for unit tests and single-step drivers; the
+  // executors never use them.
 
-  /// Fig. 12 + ship: builds local dissimilarity matrices for every numeric
-  /// and alphanumeric attribute and sends them to the third party.
+  /// Fig. 12 for one attribute: builds the local dissimilarity matrix of
+  /// `column` and stashes the serialized message.
+  Status BuildLocalMatrix(size_t column);
+
+  /// Ships the stashed local matrix of `column` to the third party.
+  Status SendLocalMatrix(size_t column, const std::string& third_party);
+
+  /// Fig. 12 + ship for every numeric and alphanumeric attribute
+  /// (BuildLocalMatrix + SendLocalMatrix in column order).
   Status SendLocalMatrices(const std::string& third_party);
 
   /// Fig. 4 (or the per-pair variant): masks this site's column `column`
   /// and sends it to `responder`.
   Status RunNumericInitiator(size_t column, const std::string& responder);
 
-  /// Fig. 5: consumes the initiator's masked vector, builds the pair-wise
-  /// comparison matrix, ships it to the third party.
+  /// Receives the initiator's masked vector for `column` and stashes it.
+  Status ReceiveNumericMasked(size_t column, const std::string& initiator);
+
+  /// Fig. 5 arithmetic: builds the pair-wise comparison matrix from the
+  /// stashed masked vector; stashes the result message.
+  Status BuildNumericComparison(size_t column, const std::string& initiator);
+
+  /// Ships the stashed comparison matrix for (`column`, `initiator`) to
+  /// the third party.
+  Status SendNumericComparison(size_t column, const std::string& initiator,
+                               const std::string& third_party);
+
+  /// Fig. 5 composition: ReceiveNumericMasked + BuildNumericComparison +
+  /// SendNumericComparison.
   Status RunNumericResponder(size_t column, const std::string& initiator,
                              const std::string& third_party);
 
   /// Fig. 8: masks this site's strings and sends them to `responder`.
   Status RunAlphanumericInitiator(size_t column, const std::string& responder);
 
-  /// Fig. 9: builds intermediary CCM grids, ships them to the third party.
+  /// Receives the initiator's masked strings for `column` and stashes them.
+  Status ReceiveAlphanumericMasked(size_t column, const std::string& initiator);
+
+  /// Fig. 9 arithmetic: builds the intermediary CCM grids from the stashed
+  /// masked strings; stashes the result message.
+  Status BuildAlphanumericGrids(size_t column, const std::string& initiator);
+
+  /// Ships the stashed grids for (`column`, `initiator`) to the third
+  /// party.
+  Status SendAlphanumericGrids(size_t column, const std::string& initiator,
+                               const std::string& third_party);
+
+  /// Fig. 9 composition: ReceiveAlphanumericMasked + BuildAlphanumericGrids
+  /// + SendAlphanumericGrids.
   Status RunAlphanumericResponder(size_t column, const std::string& initiator,
                                   const std::string& third_party);
 
@@ -124,6 +166,11 @@ class DataHolder {
   Result<std::unique_ptr<Prng>> PairPrng(const std::string& peer,
                                          const std::string& label) const;
 
+  /// Moves `slot` out of the pending-stage map under the stash lock;
+  /// kFailedPrecondition if the prior stage has not stashed it.
+  Result<std::string> TakePending(const std::string& slot);
+  void StashPending(const std::string& slot, std::string payload);
+
   std::string name_;
   Network* network_;
   ProtocolConfig config_;
@@ -135,6 +182,14 @@ class DataHolder {
   std::vector<std::pair<std::string, uint64_t>> roster_;
   std::string tp_name_;  // Recorded at SendHello; used to pick the rJT seed.
   std::string categorical_key_;
+
+  /// Payloads staged between split protocol steps (inbound masked data
+  /// waiting for its build; built messages waiting for their send), keyed
+  /// by a stage+attribute+peer label. Concurrent builds of different
+  /// attributes touch the map at once, hence the mutex; the staged bytes
+  /// themselves are owned by exactly one in-flight step.
+  mutable std::mutex pending_mutex_;
+  std::map<std::string, std::string> pending_;
 };
 
 }  // namespace ppc

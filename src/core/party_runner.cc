@@ -1,19 +1,14 @@
 #include "core/party_runner.h"
 
-#include "data/value.h"
-
 namespace ppc {
 
 namespace {
 
-bool HasCategorical(const Schema& schema) {
-  for (const AttributeSpec& spec : schema.attributes()) {
-    if (spec.type == AttributeType::kCategorical) return true;
-  }
-  return false;
-}
-
-Status ValidatePlan(const SessionPlan& plan) {
+Status HolderInPlan(const SessionPlan& plan, const std::string& name) {
+  // The same plan preconditions Schedule::Build enforces for the run
+  // drivers, kept here too so plan-less entry points (RequestClustering)
+  // fail with the precondition diagnostic instead of deep in the
+  // transport.
   if (plan.holder_order.size() < 2) {
     return Status::FailedPrecondition(
         "the protocol requires at least two data holders (k >= 2)");
@@ -21,12 +16,8 @@ Status ValidatePlan(const SessionPlan& plan) {
   if (plan.third_party.empty()) {
     return Status::InvalidArgument("plan names no third party");
   }
-  return Status::OK();
-}
-
-Result<size_t> HolderIndex(const SessionPlan& plan, const std::string& name) {
-  for (size_t i = 0; i < plan.holder_order.size(); ++i) {
-    if (plan.holder_order[i] == name) return i;
+  for (const std::string& holder : plan.holder_order) {
+    if (holder == name) return Status::OK();
   }
   return Status::NotFound("holder '" + name + "' is not in the session plan");
 }
@@ -35,129 +26,27 @@ Result<size_t> HolderIndex(const SessionPlan& plan, const std::string& name) {
 
 Status PartyRunner::RunHolder(DataHolder* holder, const SessionPlan& plan,
                               const Schema& schema) {
-  PPC_RETURN_IF_ERROR(ValidatePlan(plan));
-  PPC_ASSIGN_OR_RETURN(size_t my_index, HolderIndex(plan, holder->name()));
-  const std::string& tp = plan.third_party;
-
-  // Phase 1: hello / roster.
-  PPC_RETURN_IF_ERROR(holder->SendHello(tp));
-  PPC_RETURN_IF_ERROR(holder->ReceiveRoster(tp));
-
-  // Phase 2: Diffie-Hellman seed agreement. All sends go out before any
-  // receive so no two holders can wait on each other; per directed channel
-  // this is the same single kDhPublic message the in-process session
-  // produces.
-  for (const std::string& peer : plan.holder_order) {
-    if (peer == holder->name()) continue;
-    PPC_RETURN_IF_ERROR(holder->SendDhPublic(peer));
-  }
-  PPC_RETURN_IF_ERROR(holder->SendDhPublic(tp));
-  for (const std::string& peer : plan.holder_order) {
-    if (peer == holder->name()) continue;
-    PPC_RETURN_IF_ERROR(holder->ReceiveDhPublicAndDerive(peer));
-  }
-  PPC_RETURN_IF_ERROR(holder->ReceiveDhPublicAndDerive(tp));
-
-  // Phase 3: categorical key among data holders (TP excluded), only when
-  // the schema needs it.
-  if (HasCategorical(schema)) {
-    if (my_index == 0) {
-      PPC_RETURN_IF_ERROR(
-          holder->DistributeCategoricalKey(plan.holder_order));
-    } else {
-      PPC_RETURN_IF_ERROR(
-          holder->ReceiveCategoricalKey(plan.holder_order[0]));
-    }
-  }
-
-  // Phase 4: local dissimilarity matrices (Fig. 12 at this site).
-  PPC_RETURN_IF_ERROR(holder->SendLocalMatrices(tp));
-
-  // Phase 5: this holder's steps of the per-attribute comparison loop, in
-  // the sequential session's (attribute, initiator, responder) order.
-  for (size_t c = 0; c < schema.size(); ++c) {
-    if (schema.attribute(c).type == AttributeType::kCategorical) {
-      PPC_RETURN_IF_ERROR(holder->SendCategoricalTokens(c, tp));
-      continue;
-    }
-    const bool numeric = IsNumericType(schema.attribute(c).type);
-    for (size_t i = 0; i < plan.holder_order.size(); ++i) {
-      for (size_t j = i + 1; j < plan.holder_order.size(); ++j) {
-        if (i == my_index) {
-          const std::string& responder = plan.holder_order[j];
-          PPC_RETURN_IF_ERROR(
-              numeric ? holder->RunNumericInitiator(c, responder)
-                      : holder->RunAlphanumericInitiator(c, responder));
-        } else if (j == my_index) {
-          const std::string& initiator = plan.holder_order[i];
-          PPC_RETURN_IF_ERROR(
-              numeric ? holder->RunNumericResponder(c, initiator, tp)
-                      : holder->RunAlphanumericResponder(c, initiator, tp));
-        }
-      }
-    }
-  }
-  return Status::OK();
+  PPC_RETURN_IF_ERROR(HolderInPlan(plan, holder->name()));
+  PPC_ASSIGN_OR_RETURN(Schedule schedule, Schedule::Build(plan, schema));
+  return ScheduleExecutor::RunParty(schedule, holder);
 }
 
 Status PartyRunner::RunThirdParty(ThirdParty* third_party,
                                   const SessionPlan& plan,
                                   const Schema& schema) {
-  PPC_RETURN_IF_ERROR(ValidatePlan(plan));
-
-  // Phase 1: hello / roster.
-  PPC_RETURN_IF_ERROR(third_party->ReceiveHellos(plan.holder_order));
-  PPC_RETURN_IF_ERROR(third_party->BroadcastRoster());
-
-  // Phase 2: DH with every holder (derives the paper's rJT seeds).
-  for (const std::string& holder : plan.holder_order) {
-    PPC_RETURN_IF_ERROR(third_party->SendDhPublic(holder));
+  if (third_party->name() != plan.third_party) {
+    return Status::InvalidArgument("third party '" + third_party->name() +
+                                   "' does not match the plan's '" +
+                                   plan.third_party + "'");
   }
-  for (const std::string& holder : plan.holder_order) {
-    PPC_RETURN_IF_ERROR(third_party->ReceiveDhPublicAndDerive(holder));
-  }
-
-  // Phase 3 (categorical key) never involves the third party.
-
-  // Phase 4: one local matrix per non-categorical attribute per holder.
-  size_t non_categorical = 0;
-  for (const AttributeSpec& spec : schema.attributes()) {
-    if (spec.type != AttributeType::kCategorical) ++non_categorical;
-  }
-  for (const std::string& holder : plan.holder_order) {
-    for (size_t a = 0; a < non_categorical; ++a) {
-      PPC_RETURN_IF_ERROR(third_party->ReceiveLocalMatrix(holder));
-    }
-  }
-
-  // Phase 5: collect comparison results in the sequential session's order.
-  for (size_t c = 0; c < schema.size(); ++c) {
-    if (schema.attribute(c).type == AttributeType::kCategorical) {
-      for (const std::string& holder : plan.holder_order) {
-        PPC_RETURN_IF_ERROR(third_party->ReceiveCategoricalTokens(holder));
-      }
-      PPC_RETURN_IF_ERROR(third_party->FinalizeCategorical(c));
-      continue;
-    }
-    const bool numeric = IsNumericType(schema.attribute(c).type);
-    for (size_t i = 0; i < plan.holder_order.size(); ++i) {
-      for (size_t j = i + 1; j < plan.holder_order.size(); ++j) {
-        const std::string& responder = plan.holder_order[j];
-        PPC_RETURN_IF_ERROR(
-            numeric ? third_party->ReceiveNumericComparison(responder)
-                    : third_party->ReceiveAlphanumericGrids(responder));
-      }
-    }
-  }
-
-  // Phase 6: normalization (Fig. 11 step 4).
-  return third_party->NormalizeMatrices();
+  PPC_ASSIGN_OR_RETURN(Schedule schedule, Schedule::Build(plan, schema));
+  return ScheduleExecutor::RunParty(schedule, third_party);
 }
 
 Result<ClusteringOutcome> PartyRunner::RequestClustering(
     DataHolder* holder, const SessionPlan& plan,
     const ClusterRequest& request) {
-  PPC_RETURN_IF_ERROR(ValidatePlan(plan));
+  PPC_RETURN_IF_ERROR(HolderInPlan(plan, holder->name()));
   PPC_RETURN_IF_ERROR(
       holder->SendClusterRequest(plan.third_party, request));
   return holder->ReceiveClusterOutcome(plan.third_party);

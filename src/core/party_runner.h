@@ -7,35 +7,28 @@
 #include "common/result.h"
 #include "core/data_holder.h"
 #include "core/outcome.h"
+#include "core/schedule.h"
 #include "core/third_party.h"
 #include "data/schema.h"
 
 namespace ppc {
 
-/// The shared session plan every process of a distributed run is launched
-/// with: the roster order and the third party's name. Together with the
-/// (also shared) `ProtocolConfig` and `Schema`, it makes each party's side
-/// of the protocol schedule fully determined — no control plane is needed
-/// beyond the messages themselves.
-struct SessionPlan {
-  /// Data-holder names in roster order. The first holder distributes the
-  /// categorical key and issues the clustering request.
-  std::vector<std::string> holder_order;
-  std::string third_party = "TP";
-};
-
-/// One party's side of the `ClusteringSession` schedule, for deployments
-/// where each party is its own OS process (or thread) on a distributed
-/// `Network` backend.
+/// One party's side of the protocol schedule, for deployments where each
+/// party is its own OS process (or thread) on a distributed `Network`
+/// backend.
 ///
-/// `ClusteringSession` interleaves all parties' steps on one thread; these
-/// drivers are the per-party projection of that exact schedule. Sends are
+/// Every process builds the identical `Schedule` graph from the shared
+/// `SessionPlan` + `Schema` (see core/schedule.h) and runs its own steps
+/// in the graph's canonical order — the per-party projection of the exact
+/// schedule `ClusteringSession` interleaves in-process. Sends are
 /// non-blocking on every backend, and each receive names its peer and
 /// topic, so blocking receives (a nonzero `Network` receive timeout is
-/// required) are the only synchronization the run needs. Message contents
-/// and per-channel orders are identical to the in-process session, which is
-/// what keeps a distributed run's dissimilarity matrices bit-identical to
-/// the simulator's.
+/// required) are the only synchronization the run needs; because every
+/// process follows one global canonical order, a receive can only wait on
+/// a send that is globally earlier, so no wait cycle is possible. Message
+/// contents and per-channel orders are identical to the in-process
+/// session, which is what keeps a distributed run's dissimilarity matrices
+/// bit-identical to the simulator's.
 class PartyRunner {
  public:
   /// Runs a data holder's side of phases 1-5 (hello through comparison

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <thread>
 
-#include "common/thread_pool.h"
-
 namespace ppc {
 
 ClusteringSession::ClusteringSession(Network* network,
@@ -51,96 +49,6 @@ Status ClusteringSession::ValidateSetup() const {
   return Status::OK();
 }
 
-Status ClusteringSession::RunSetupPhases(
-    std::vector<std::string>* holder_names) {
-  const std::string tp = third_party_->name();
-
-  // Phase 1: hello / roster.
-  holder_names->clear();
-  holder_names->reserve(holders_.size());
-  for (DataHolder* holder : holders_) {
-    PPC_RETURN_IF_ERROR(holder->SendHello(tp));
-    holder_names->push_back(holder->name());
-  }
-  PPC_RETURN_IF_ERROR(third_party_->ReceiveHellos(*holder_names));
-  PPC_RETURN_IF_ERROR(third_party_->BroadcastRoster());
-  for (DataHolder* holder : holders_) {
-    PPC_RETURN_IF_ERROR(holder->ReceiveRoster(tp));
-  }
-
-  // Phase 2: Diffie-Hellman seed agreement. Holder pairs derive the rJK
-  // seeds; each holder derives its rJT seed with the third party.
-  for (size_t i = 0; i < holders_.size(); ++i) {
-    for (size_t j = i + 1; j < holders_.size(); ++j) {
-      PPC_RETURN_IF_ERROR(holders_[i]->SendDhPublic(holders_[j]->name()));
-      PPC_RETURN_IF_ERROR(holders_[j]->SendDhPublic(holders_[i]->name()));
-      PPC_RETURN_IF_ERROR(
-          holders_[i]->ReceiveDhPublicAndDerive(holders_[j]->name()));
-      PPC_RETURN_IF_ERROR(
-          holders_[j]->ReceiveDhPublicAndDerive(holders_[i]->name()));
-    }
-  }
-  for (DataHolder* holder : holders_) {
-    PPC_RETURN_IF_ERROR(holder->SendDhPublic(tp));
-    PPC_RETURN_IF_ERROR(third_party_->SendDhPublic(holder->name()));
-    PPC_RETURN_IF_ERROR(holder->ReceiveDhPublicAndDerive(tp));
-    PPC_RETURN_IF_ERROR(third_party_->ReceiveDhPublicAndDerive(holder->name()));
-  }
-
-  // Phase 3: categorical key among data holders (TP excluded), only when
-  // the schema needs it.
-  bool has_categorical = false;
-  for (const AttributeSpec& spec : schema_.attributes()) {
-    if (spec.type == AttributeType::kCategorical) has_categorical = true;
-  }
-  if (has_categorical) {
-    PPC_RETURN_IF_ERROR(holders_[0]->DistributeCategoricalKey(*holder_names));
-    for (size_t i = 1; i < holders_.size(); ++i) {
-      PPC_RETURN_IF_ERROR(
-          holders_[i]->ReceiveCategoricalKey(holders_[0]->name()));
-    }
-  }
-  return Status::OK();
-}
-
-Status ClusteringSession::RunLocalMatrixRound(DataHolder* holder,
-                                              size_t non_categorical) {
-  const std::string& tp = third_party_->name();
-  PPC_RETURN_IF_ERROR(holder->SendLocalMatrices(tp));
-  for (size_t a = 0; a < non_categorical; ++a) {
-    PPC_RETURN_IF_ERROR(third_party_->ReceiveLocalMatrix(holder->name()));
-  }
-  return Status::OK();
-}
-
-Status ClusteringSession::RunComparisonRound(size_t column,
-                                             DataHolder* initiator,
-                                             DataHolder* responder) {
-  const std::string& tp = third_party_->name();
-  if (IsNumericType(schema_.attribute(column).type)) {
-    PPC_RETURN_IF_ERROR(
-        initiator->RunNumericInitiator(column, responder->name()));
-    PPC_RETURN_IF_ERROR(
-        responder->RunNumericResponder(column, initiator->name(), tp));
-    return third_party_->ReceiveNumericComparison(responder->name());
-  }
-  PPC_RETURN_IF_ERROR(
-      initiator->RunAlphanumericInitiator(column, responder->name()));
-  PPC_RETURN_IF_ERROR(
-      responder->RunAlphanumericResponder(column, initiator->name(), tp));
-  return third_party_->ReceiveAlphanumericGrids(responder->name());
-}
-
-Status ClusteringSession::RunCategoricalRound(size_t column) {
-  const std::string& tp = third_party_->name();
-  for (DataHolder* holder : holders_) {
-    PPC_RETURN_IF_ERROR(holder->SendCategoricalTokens(column, tp));
-    PPC_RETURN_IF_ERROR(
-        third_party_->ReceiveCategoricalTokens(holder->name()));
-  }
-  return third_party_->FinalizeCategorical(column);
-}
-
 namespace {
 
 /// The single `ProtocolConfig::num_threads` rule (documented in config.h):
@@ -158,108 +66,33 @@ size_t ResolveNumThreads(size_t configured) {
 
 Status ClusteringSession::Run() {
   const size_t num_threads = ResolveNumThreads(config_.num_threads);
-  return RunWithSchedule(/*concurrent=*/num_threads > 1, num_threads);
+  return RunSchedule(/*concurrent=*/num_threads > 1, num_threads);
 }
 
 Status ClusteringSession::RunParallel() {
-  return RunWithSchedule(/*concurrent=*/true,
-                         ResolveNumThreads(config_.num_threads));
+  return RunSchedule(/*concurrent=*/true,
+                     ResolveNumThreads(config_.num_threads));
 }
 
-Status ClusteringSession::RunWithSchedule(bool concurrent,
-                                          size_t num_threads) {
+Status ClusteringSession::RunSchedule(bool concurrent, size_t num_threads) {
   if (ran_) return Status::FailedPrecondition("session already ran");
   PPC_RETURN_IF_ERROR(ValidateSetup());
 
-  std::vector<std::string> holder_names;
-  PPC_RETURN_IF_ERROR(RunSetupPhases(&holder_names));
-
-  size_t non_categorical = 0;
-  for (const AttributeSpec& spec : schema_.attributes()) {
-    if (spec.type != AttributeType::kCategorical) ++non_categorical;
+  SessionPlan plan;
+  plan.holder_order.reserve(holders_.size());
+  for (DataHolder* holder : holders_) {
+    plan.holder_order.push_back(holder->name());
   }
+  plan.third_party = third_party_->name();
 
-  if (!concurrent) {
-    // Sequential reference schedule: the paper's Fig. 11 loop, one party
-    // step at a time.
+  Schedule::Options options;
+  options.granularity = config_.schedule_granularity;
+  PPC_ASSIGN_OR_RETURN(Schedule schedule,
+                       Schedule::Build(plan, schema_, options));
 
-    // Phase 4: local dissimilarity matrices (Fig. 12 at every site).
-    for (DataHolder* holder : holders_) {
-      PPC_RETURN_IF_ERROR(RunLocalMatrixRound(holder, non_categorical));
-    }
-
-    // Phase 5: pairwise comparison protocols, per attribute (Fig. 11 loop).
-    for (size_t c = 0; c < schema_.size(); ++c) {
-      if (schema_.attribute(c).type == AttributeType::kCategorical) {
-        PPC_RETURN_IF_ERROR(RunCategoricalRound(c));
-        continue;
-      }
-      for (size_t i = 0; i < holders_.size(); ++i) {
-        for (size_t j = i + 1; j < holders_.size(); ++j) {
-          PPC_RETURN_IF_ERROR(RunComparisonRound(c, holders_[i], holders_[j]));
-        }
-      }
-    }
-  } else {
-    // Concurrent engine, built from the exact same rounds as above. Work
-    // is grouped so every directed channel is driven by exactly one task:
-    // a round performs each Send before the matching Receive on its own
-    // thread, which keeps the network's strict per-channel topic checking
-    // valid and means no Receive ever blocks on another task. All
-    // cross-task writes land in disjoint blocks of the third party's
-    // attribute matrices, and every mask stream is derived from a
-    // per-(attribute, initiator, responder) label — so the result is
-    // bit-identical to the sequential schedule.
-
-    // Phase 4: one task per holder (the holder's site computes and ships
-    // its Fig. 12 matrices; the TP installs that holder's diagonal blocks).
-    {
-      std::vector<std::function<Status()>> tasks;
-      tasks.reserve(holders_.size());
-      for (DataHolder* holder : holders_) {
-        tasks.push_back([this, holder, non_categorical]() -> Status {
-          return RunLocalMatrixRound(holder, non_categorical);
-        });
-      }
-      PPC_RETURN_IF_ERROR(RunStatusTasks(std::move(tasks), num_threads));
-    }
-
-    // Phase 5a: categorical attributes stay on this thread — their token
-    // columns accumulate in shared third-party maps, and running them
-    // first keeps the holder->TP channels free for the comparison rounds.
-    for (size_t c = 0; c < schema_.size(); ++c) {
-      if (schema_.attribute(c).type == AttributeType::kCategorical) {
-        PPC_RETURN_IF_ERROR(RunCategoricalRound(c));
-      }
-    }
-
-    // Phase 5b: comparison rounds, grouped by responder. Responder j's
-    // task owns channels i->j (every initiator i < j) and j->TP, so the
-    // per-(attribute x pair) rounds of different responders run fully
-    // concurrently.
-    {
-      std::vector<std::function<Status()>> tasks;
-      tasks.reserve(holders_.size());
-      for (size_t j = 1; j < holders_.size(); ++j) {
-        tasks.push_back([this, j]() -> Status {
-          for (size_t c = 0; c < schema_.size(); ++c) {
-            if (schema_.attribute(c).type == AttributeType::kCategorical) {
-              continue;
-            }
-            for (size_t i = 0; i < j; ++i) {
-              PPC_RETURN_IF_ERROR(
-                  RunComparisonRound(c, holders_[i], holders_[j]));
-            }
-          }
-          return Status::OK();
-        });
-      }
-      PPC_RETURN_IF_ERROR(RunStatusTasks(std::move(tasks), num_threads));
-    }
-  }
-
-  // Phase 6: normalization (Fig. 11 step 4).
-  PPC_RETURN_IF_ERROR(third_party_->NormalizeMatrices());
+  ScheduleExecutor executor(&schedule, third_party_, holders_);
+  PPC_RETURN_IF_ERROR(concurrent ? executor.RunConcurrent(num_threads)
+                                 : executor.RunSequential());
   ran_ = true;
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/data_holder.h"
 #include "core/outcome.h"
+#include "core/schedule.h"
 #include "core/third_party.h"
 #include "data/schema.h"
 #include "net/network.h"
@@ -19,12 +20,15 @@ namespace ppc {
 /// Every party runs in-process, but *all* inter-party state flows through
 /// the abstract `Network` transport — the session only sequences whose turn
 /// it is, the way a real deployment's control plane (or simply the arrival
-/// of messages) would. This keeps byte accounting and eavesdropping
-/// experiments faithful while making runs deterministic. Any backend works:
-/// the in-memory simulator gives zero-latency deterministic runs, and a
-/// `TcpNetwork` (with a nonzero receive timeout) sends the very same
-/// schedule over real sockets. For one-party-per-process deployments use
-/// `PartyRunner` instead.
+/// of messages) would. The sequencing itself lives in the dependency-
+/// tracked `Schedule` graph (core/schedule.h): this class builds the graph
+/// for its roster and hands it to a `ScheduleExecutor` — the sequential
+/// executor for the deterministic reference run, the thread-pool executor
+/// for the concurrent engine. Any backend works: the in-memory simulator
+/// gives zero-latency deterministic runs, and a `TcpNetwork` (with a
+/// nonzero receive timeout) carries the very same schedule over real
+/// sockets. For one-party-per-process deployments use `PartyRunner`, the
+/// per-party projection of the same graph.
 ///
 /// Usage — `net` is any `ppc::Network` backend (the in-memory simulator
 /// from net/in_memory_network.h for experiments; the TCP backend works
@@ -60,27 +64,29 @@ class ClusteringSession {
   /// clustering requests.
   ///
   /// Thread count follows the single `ProtocolConfig::num_threads` rule
-  /// (see config.h): 1 (the default) runs the sequential reference
-  /// schedule; 0 resolves to the hardware concurrency; any resolved count
-  /// > 1 dispatches to the concurrent engine with exactly that many
-  /// workers.
+  /// (see config.h): 1 (the default) runs the schedule in its canonical
+  /// order — the deterministic sequential reference; 0 resolves to the
+  /// hardware concurrency; any resolved count > 1 dispatches to the
+  /// thread-pool executor with exactly that many workers.
   Status Run();
 
-  /// Runs the same pipeline on the concurrent engine: the paper's sites are
-  /// independent machines, so per-holder local-matrix rounds (Phase 4) and
-  /// per-(attribute x holder-pair) comparison rounds (Phase 5) execute in
-  /// parallel, grouped so that no directed channel ever carries two
-  /// in-flight protocol steps (strict per-channel topic checking is
-  /// preserved). Every mask stream is derived from a per-(attribute,
-  /// initiator, responder) label, so the third party's attribute matrices
-  /// are bit-identical to a sequential Run().
+  /// Runs the same pipeline on the thread-pool executor: every schedule
+  /// step whose dependencies completed is eligible, so the paper's
+  /// independent site work — per-(attribute x holder-pair) comparison
+  /// rounds included — executes in parallel, with per-directed-channel
+  /// wire order pinned by the graph's channel edges.
+  /// `ProtocolConfig::schedule_granularity` picks the fine graph or the
+  /// conservative responder-grouped one; every mask stream is derived from
+  /// a per-(attribute, initiator, responder) label, so the third party's
+  /// matrices are bit-identical to a sequential Run() either way.
   ///
   /// The worker count follows the same `ProtocolConfig::num_threads` rule
   /// as `Run()` — 0 = hardware concurrency, otherwise exactly the
   /// configured count. The only difference from `Run()` is that the
-  /// concurrent grouping is used even when the resolved count is 1 (one
-  /// worker draining the grouped rounds), which exists so tests can
-  /// exercise the concurrent schedule deterministically.
+  /// ready-set executor is used even when the resolved count is 1 (one
+  /// worker draining the ready set in deterministic canonical order),
+  /// which exists so tests can exercise the concurrent path
+  /// deterministically.
   Status RunParallel();
 
   /// Full request round-trip for `holder_name`: send order, let the third
@@ -93,26 +99,10 @@ class ClusteringSession {
 
  private:
   Status ValidateSetup() const;
-  /// Shared driver behind Run()/RunParallel(): `concurrent` selects the
-  /// grouped schedule, `num_threads` the worker count (>= 1, already
+  /// Shared driver behind Run()/RunParallel(): builds the schedule graph
+  /// and runs it on the chosen executor (`num_threads` >= 1, already
   /// resolved by the num_threads rule).
-  Status RunWithSchedule(bool concurrent, size_t num_threads);
-  Status RunSetupPhases(std::vector<std::string>* holder_names);
-
-  // One protocol round each, shared by the sequential and concurrent
-  // schedules so the two can never diverge. Each round performs its own
-  // sends strictly before the matching receives, which is what lets the
-  // concurrent engine run rounds on pool threads without blocking.
-
-  /// Phase 4 for one holder: ship its Fig. 12 matrices, TP installs them.
-  Status RunLocalMatrixRound(DataHolder* holder, size_t non_categorical);
-
-  /// Phase 5 for one (attribute, initiator, responder) comparison round.
-  Status RunComparisonRound(size_t column, DataHolder* initiator,
-                            DataHolder* responder);
-
-  /// Phase 5 for one categorical attribute (all holders' tokens + finalize).
-  Status RunCategoricalRound(size_t column);
+  Status RunSchedule(bool concurrent, size_t num_threads);
 
   Result<DataHolder*> FindHolder(const std::string& name) const;
 

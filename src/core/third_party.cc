@@ -159,14 +159,30 @@ Status ThirdParty::ReceiveLocalMatrix(const std::string& holder) {
 }
 
 Status ThirdParty::ReceiveNumericComparison(const std::string& responder) {
-  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
-                       FindRosterEntry(responder));
   PPC_ASSIGN_OR_RETURN(
       Message msg,
       network_->Receive(name_, responder, topics::kNumericComparison));
-  ByteReader reader(msg.payload);
+  return InstallNumericPayload(msg.payload, responder, Expected{});
+}
+
+Status ThirdParty::InstallNumericPayload(const std::string& payload,
+                                         const std::string& responder,
+                                         const Expected& expected) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
+                       FindRosterEntry(responder));
+  ByteReader reader(payload);
   PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
   PPC_ASSIGN_OR_RETURN(std::string initiator, reader.ReadBytes());
+  if (expected.column != nullptr && column != *expected.column) {
+    return Status::ProtocolViolation(
+        "responder sent attribute " + std::to_string(column) +
+        ", the schedule expects " + std::to_string(*expected.column));
+  }
+  if (expected.initiator != nullptr && initiator != *expected.initiator) {
+    return Status::ProtocolViolation("responder echoed initiator '" +
+                                     initiator + "', the schedule expects '" +
+                                     *expected.initiator + "'");
+  }
   PPC_ASSIGN_OR_RETURN(uint8_t mode_tag, reader.ReadU8());
   PPC_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
   PPC_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadU64());
@@ -226,13 +242,29 @@ Status ThirdParty::ReceiveNumericComparison(const std::string& responder) {
 }
 
 Status ThirdParty::ReceiveAlphanumericGrids(const std::string& responder) {
-  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
-                       FindRosterEntry(responder));
   PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, responder,
                                                       topics::kAlnumGrids));
-  ByteReader reader(msg.payload);
+  return InstallAlphanumericPayload(msg.payload, responder, Expected{});
+}
+
+Status ThirdParty::InstallAlphanumericPayload(const std::string& payload,
+                                              const std::string& responder,
+                                              const Expected& expected) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
+                       FindRosterEntry(responder));
+  ByteReader reader(payload);
   PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
   PPC_ASSIGN_OR_RETURN(std::string initiator, reader.ReadBytes());
+  if (expected.column != nullptr && column != *expected.column) {
+    return Status::ProtocolViolation(
+        "responder sent attribute " + std::to_string(column) +
+        ", the schedule expects " + std::to_string(*expected.column));
+  }
+  if (expected.initiator != nullptr && initiator != *expected.initiator) {
+    return Status::ProtocolViolation("responder echoed initiator '" +
+                                     initiator + "', the schedule expects '" +
+                                     *expected.initiator + "'");
+  }
   PPC_ASSIGN_OR_RETURN(uint64_t responder_count, reader.ReadU64());
   PPC_ASSIGN_OR_RETURN(uint64_t initiator_count, reader.ReadU64());
 
@@ -284,6 +316,51 @@ Status ThirdParty::ReceiveAlphanumericGrids(const std::string& responder) {
   }
   InvalidateMergedCache();
   return Status::OK();
+}
+
+Status ThirdParty::CollectComparison(size_t column,
+                                     const std::string& initiator,
+                                     const std::string& responder) {
+  if (column >= schema_.size()) {
+    return Status::InvalidArgument("attribute " + std::to_string(column) +
+                                   " out of range");
+  }
+  const AttributeType type = schema_.attribute(column).type;
+  if (type == AttributeType::kCategorical) {
+    return Status::InvalidArgument(
+        "categorical attributes have no comparison rounds");
+  }
+  const char* topic = IsNumericType(type) ? topics::kNumericComparison
+                                          : topics::kAlnumGrids;
+  PPC_ASSIGN_OR_RETURN(Message msg,
+                       network_->Receive(name_, responder, topic));
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  pending_comparisons_[{column, initiator, responder}] =
+      std::move(msg.payload);
+  return Status::OK();
+}
+
+Status ThirdParty::InstallComparison(size_t column,
+                                     const std::string& initiator,
+                                     const std::string& responder) {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    auto it = pending_comparisons_.find({column, initiator, responder});
+    if (it == pending_comparisons_.end()) {
+      return Status::FailedPrecondition(
+          "no collected comparison payload for attribute " +
+          std::to_string(column) + ", pair " + initiator + "/" + responder);
+    }
+    payload = std::move(it->second);
+    pending_comparisons_.erase(it);
+  }
+  Expected expected;
+  expected.column = &column;
+  expected.initiator = &initiator;
+  return IsNumericType(schema_.attribute(column).type)
+             ? InstallNumericPayload(payload, responder, expected)
+             : InstallAlphanumericPayload(payload, responder, expected);
 }
 
 Status ThirdParty::ReceiveCategoricalTokens(const std::string& holder) {

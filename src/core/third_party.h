@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/fixed_point.h"
@@ -69,6 +70,26 @@ class ThirdParty {
   /// edit distance (Fig. 10), fills the off-diagonal block.
   Status ReceiveAlphanumericGrids(const std::string& responder);
 
+  // Split halves of the two receive-and-install steps above, used by the
+  // schedule executors (core/schedule.h): `CollectComparison` performs only
+  // the network receive (cheap — it is what must stay in per-channel FIFO
+  // order) and stashes the raw payload; `InstallComparison` does the mask
+  // stripping / edit-distance work and the block fill, which is order-free
+  // across (attribute, pair) — that is where the fine schedule's
+  // parallelism comes from. The expected attribute and initiator are known
+  // to the schedule, so the install additionally rejects a payload whose
+  // self-description disagrees with the protocol position it arrived in.
+
+  /// Receives the next comparison result of `responder` — the schedule
+  /// says it is attribute `column` with `initiator` — and stashes it.
+  Status CollectComparison(size_t column, const std::string& initiator,
+                           const std::string& responder);
+
+  /// Unmasks and installs the stashed comparison result for (`column`,
+  /// `initiator`, `responder`).
+  Status InstallComparison(size_t column, const std::string& initiator,
+                           const std::string& responder);
+
   /// Receives one holder's deterministic tokens for categorical attribute
   /// `column` (Sec. 4.3).
   Status ReceiveCategoricalTokens(const std::string& holder);
@@ -113,6 +134,19 @@ class ThirdParty {
   Result<const RosterEntry*> FindRosterEntry(const std::string& holder) const;
   Result<std::unique_ptr<Prng>> HolderPrng(const std::string& holder,
                                            const std::string& label) const;
+
+  /// Constraints the schedule imposes on a comparison payload's
+  /// self-description; the plain Receive* entry points pass none.
+  struct Expected {
+    const size_t* column = nullptr;
+    const std::string* initiator = nullptr;
+  };
+  Status InstallNumericPayload(const std::string& payload,
+                               const std::string& responder,
+                               const Expected& expected);
+  Status InstallAlphanumericPayload(const std::string& payload,
+                                    const std::string& responder,
+                                    const Expected& expected);
   Result<ClusteringOutcome> RunClustering(const ClusterRequest& request);
   ObjectRef RefForGlobalIndex(size_t global_index) const;
 
@@ -146,6 +180,13 @@ class ThirdParty {
   // (node-based map: entry addresses survive later insertions).
   mutable std::mutex merged_cache_mutex_;
   mutable std::map<std::vector<double>, DissimilarityMatrix> merged_cache_;
+
+  // Comparison payloads staged between CollectComparison and
+  // InstallComparison, keyed by (column, initiator, responder). Collects
+  // on different channels run concurrently, hence the mutex.
+  mutable std::mutex pending_mutex_;
+  std::map<std::tuple<size_t, std::string, std::string>, std::string>
+      pending_comparisons_;
 };
 
 }  // namespace ppc

@@ -25,6 +25,18 @@ std::string SecureChannel::ChannelKey(const std::string& master_key,
   return HmacSha256::DeriveKey(master_key, "channel:" + from + "->" + to);
 }
 
+std::string SecureChannel::ConnectionAuthKey(const std::string& master_key) {
+  return HmacSha256::DeriveKey(master_key, "connection-auth");
+}
+
+std::string SecureChannel::ConnectionAuthResponse(
+    const std::string& auth_key, const std::string& label,
+    const std::string& challenge) {
+  std::string response = HmacSha256::Mac(auth_key, label + ":" + challenge);
+  response.resize(kMacLength);
+  return response;
+}
+
 Result<std::string> SecureChannel::Seal(const std::string& channel_key,
                                         const std::string& topic,
                                         uint64_t nonce_counter,

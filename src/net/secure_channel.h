@@ -29,6 +29,9 @@ class SecureChannel {
  public:
   static constexpr size_t kNonceLength = 8;
   static constexpr size_t kMacLength = 16;
+  /// Length of a connection-authentication challenge (TCP preamble
+  /// handshake).
+  static constexpr size_t kChallengeLength = 16;
 
   /// The master key every backend derives channel keys from. A real
   /// deployment would provision per-site keys; the constant models the
@@ -40,6 +43,21 @@ class SecureChannel {
   static std::string ChannelKey(const std::string& master_key,
                                 const std::string& from,
                                 const std::string& to);
+
+  /// Derives the key both ends of a TCP connection prove knowledge of in
+  /// the challenge-response preamble (`TcpNetwork`), so arbitrary
+  /// processes cannot attach to a listener. Separate label from the
+  /// channel keys: a connection authenticates an endpoint, not a directed
+  /// party channel.
+  static std::string ConnectionAuthKey(const std::string& master_key);
+
+  /// The expected answer to a connection-auth `challenge`:
+  /// HMAC(auth_key, label || challenge) truncated to kMacLength. `label`
+  /// distinguishes the two handshake directions so a response can never be
+  /// reflected back.
+  static std::string ConnectionAuthResponse(const std::string& auth_key,
+                                            const std::string& label,
+                                            const std::string& challenge);
 
   /// Seals `payload` into a wire frame under `channel_key`, using
   /// `nonce_counter` as the (never reused) per-channel nonce.

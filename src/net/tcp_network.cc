@@ -9,16 +9,25 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
 
 #include "common/serde.h"
+#include "crypto/hmac.h"
 
 namespace ppc {
 
 namespace {
 
 /// Connection preamble: wrong-protocol or wrong-version peers are cut off
-/// before any frame parsing.
-constexpr char kPreamble[4] = {'P', 'P', 'T', '1'};
+/// before any frame parsing. "PPT2" = length-prefixed frames behind the
+/// mutual challenge-response handshake ("PPT1" was the unauthenticated
+/// predecessor; a v1 peer is cut off here).
+constexpr char kPreamble[4] = {'P', 'P', 'T', '2'};
+
+/// Handshake direction labels — a response to one direction's challenge
+/// can never be replayed for the other.
+constexpr char kDialAuthLabel[] = "dial";
+constexpr char kAcceptAuthLabel[] = "accept";
 
 /// Upper bound on a single frame; anything larger is a corrupt length
 /// prefix, not a protocol message (the biggest legitimate payloads are the
@@ -75,6 +84,31 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Bounds blocking reads on `fd` (0 restores fully blocking reads). Used
+/// only around the auth handshake so a silent peer cannot park a thread
+/// forever; frame reads stay unbounded (idle protocol connections are
+/// legitimate).
+void SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Fresh OS-entropy challenge. Challenges never touch protocol bytes or
+/// nonces, so run determinism is unaffected.
+std::string RandomChallenge() {
+  std::string challenge(SecureChannel::kChallengeLength, '\0');
+  std::random_device entropy;
+  for (size_t i = 0; i < challenge.size(); i += 4) {
+    uint32_t word = entropy();
+    for (size_t b = 0; b < 4 && i + b < challenge.size(); ++b) {
+      challenge[i + b] = static_cast<char>((word >> (8 * b)) & 0xff);
+    }
+  }
+  return challenge;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<TcpNetwork>> TcpNetwork::Create(
@@ -124,6 +158,7 @@ TcpNetwork::TcpNetwork(const Options& options, int listen_fd,
       connect_timeout_(options.connect_timeout),
       listen_host_(options.listen_host == "localhost" ? "127.0.0.1"
                                                       : options.listen_host),
+      auth_key_(SecureChannel::ConnectionAuthKey(options.auth_secret)),
       listen_fd_(listen_fd),
       listen_port_(listen_port) {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -225,11 +260,34 @@ void TcpNetwork::ReaderLoop(int fd) {
 }
 
 void TcpNetwork::ReaderLoopBody(int fd) {
+  // Challenge-response handshake before any frame is accepted: the dialer
+  // must answer our challenge under the shared connection-auth key. The
+  // recv timeout bounds every handshake read so a silent or stalling
+  // dialer cannot park this thread; it is lifted for the frame loop.
+  SetRecvTimeout(fd, connect_timeout_);
   char preamble[sizeof(kPreamble)];
   if (!ReadExact(fd, preamble, sizeof(preamble)) ||
       std::memcmp(preamble, kPreamble, sizeof(kPreamble)) != 0) {
     return;
   }
+  std::string dialer_challenge(SecureChannel::kChallengeLength, '\0');
+  if (!ReadExact(fd, dialer_challenge.data(), dialer_challenge.size())) {
+    return;
+  }
+  const std::string acceptor_challenge = RandomChallenge();
+  const std::string greeting =
+      acceptor_challenge + SecureChannel::ConnectionAuthResponse(
+                               auth_key_, kDialAuthLabel, dialer_challenge);
+  if (!WriteAll(fd, greeting.data(), greeting.size())) return;
+  std::string dialer_response(SecureChannel::kMacLength, '\0');
+  if (!ReadExact(fd, dialer_response.data(), dialer_response.size())) return;
+  if (!HmacSha256::Verify(
+          SecureChannel::ConnectionAuthResponse(auth_key_, kAcceptAuthLabel,
+                                                acceptor_challenge),
+          dialer_response)) {
+    return;  // Wrong secret: drop the connection, no frame was read.
+  }
+  SetRecvTimeout(fd, std::chrono::milliseconds(0));
   for (;;) {
     char len_bytes[4];
     if (!ReadExact(fd, len_bytes, sizeof(len_bytes))) return;
@@ -423,11 +481,48 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
       if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
           0) {
         SetNoDelay(fd);
-        if (!WriteAll(fd, kPreamble, sizeof(kPreamble))) {
+        // Mutual challenge-response: prove knowledge of the shared secret
+        // to the listener, and require the same proof back before any
+        // protocol frame leaves this process.
+        const std::string dialer_challenge = RandomChallenge();
+        const std::string hello =
+            std::string(kPreamble, sizeof(kPreamble)) + dialer_challenge;
+        if (!WriteAll(fd, hello.data(), hello.size())) {
           ::close(fd);
           return Status::Internal("tcp preamble write to " + dest_addr +
                                   " failed");
         }
+        SetRecvTimeout(fd, connect_timeout_);
+        std::string greeting(
+            SecureChannel::kChallengeLength + SecureChannel::kMacLength,
+            '\0');
+        if (!ReadExact(fd, greeting.data(), greeting.size())) {
+          ::close(fd);
+          return Status::PermissionDenied(
+              "listener at " + dest_addr +
+              " did not answer the connection-auth challenge");
+        }
+        const std::string acceptor_challenge =
+            greeting.substr(0, SecureChannel::kChallengeLength);
+        const std::string acceptor_response =
+            greeting.substr(SecureChannel::kChallengeLength);
+        if (!HmacSha256::Verify(
+                SecureChannel::ConnectionAuthResponse(
+                    auth_key_, kDialAuthLabel, dialer_challenge),
+                acceptor_response)) {
+          ::close(fd);
+          return Status::PermissionDenied(
+              "listener at " + dest_addr +
+              " failed the connection-auth challenge (wrong secret?)");
+        }
+        const std::string response = SecureChannel::ConnectionAuthResponse(
+            auth_key_, kAcceptAuthLabel, acceptor_challenge);
+        if (!WriteAll(fd, response.data(), response.size())) {
+          ::close(fd);
+          return Status::Internal("tcp auth response write to " + dest_addr +
+                                  " failed");
+        }
+        SetRecvTimeout(fd, std::chrono::milliseconds(0));
         conn->fd = fd;
         break;
       }

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "net/channel_transport.h"
+#include "net/secure_channel.h"
 
 namespace ppc {
 
@@ -29,13 +30,22 @@ namespace ppc {
 /// single-process run over this backend still exercises the exact bytes a
 /// multi-machine deployment would ship.
 ///
-/// Wire format per connection: a 4-byte preamble "PPT1", then
+/// Wire format per connection: a 4-byte preamble "PPT2" followed by a
+/// mutual HMAC challenge-response handshake over a key derived from
+/// `Options::auth_secret` (dialer sends its 16-byte challenge with the
+/// preamble; the acceptor answers with its own challenge plus the
+/// response; the dialer verifies and responds in turn — distinct
+/// direction labels prevent reflection). No frame is accepted, in either
+/// direction, before the peer proves knowledge of the shared secret, so
+/// arbitrary processes can no longer attach to a listener. Then
 /// length-prefixed frames (u32 little-endian byte count, then a serde
 /// record: from, to, topic, wire bytes). The wire bytes themselves carry
 /// the same per-directed-channel AES-128-CTR + HMAC framing as
 /// `InMemoryNetwork` (both inherit it from `ChannelTransport` /
 /// `SecureChannel`), so captures, byte accounting and the eavesdropping
-/// experiments are identical across backends.
+/// experiments are identical across backends. Handshake bytes are
+/// connection plumbing, not protocol traffic: they appear in no channel's
+/// stats or taps (like the preamble itself).
 ///
 /// Semantics relative to the `Network` contract:
 ///   * Delivery is FIFO per directed channel (all frames between two
@@ -69,6 +79,14 @@ class TcpNetwork : public ChannelTransport {
     /// covers the startup race where a peer process has not bound its
     /// listener yet.
     std::chrono::milliseconds connect_timeout{5000};
+    /// Secret behind the per-connection challenge-response preamble. All
+    /// endpoints of one deployment must share it; it defaults to the same
+    /// provisioned-out-of-band master secret the channel keys derive from
+    /// (`SecureChannel::kMasterKey`). A connection whose peer cannot
+    /// answer the challenge is dropped before any frame is read, and
+    /// `Send` fails with kPermissionDenied when the *listener* cannot
+    /// prove itself.
+    std::string auth_secret = SecureChannel::kMasterKey;
   };
 
   /// Binds the listener and starts the accept loop.
@@ -149,6 +167,7 @@ class TcpNetwork : public ChannelTransport {
 
   const std::chrono::milliseconds connect_timeout_;
   const std::string listen_host_;  // For self-dialing locally hosted parties.
+  const std::string auth_key_;     // Connection-auth key (from auth_secret).
 
   int listen_fd_ = -1;
   uint16_t listen_port_ = 0;

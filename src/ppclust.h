@@ -32,6 +32,7 @@
 #include "core/data_holder.h"
 #include "core/outcome.h"
 #include "core/party_runner.h"
+#include "core/schedule.h"
 #include "core/session.h"
 #include "core/taxonomy_protocol.h"
 #include "core/third_party.h"

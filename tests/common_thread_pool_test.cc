@@ -141,5 +141,65 @@ TEST(RunStatusTasksTest, SequentialModeRunsInline) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(RunDagTasksTest, RespectsDependencies) {
+  // Diamond: 0 -> {1, 2} -> 3. Completion times must honor the edges no
+  // matter how workers interleave.
+  std::atomic<int> clock{0};
+  std::vector<int> finished(4, -1);
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back([&clock, &finished, i]() -> Status {
+      finished[i] = clock.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  std::vector<std::vector<uint32_t>> deps = {{}, {0}, {0}, {1, 2}};
+  ASSERT_TRUE(RunDagTasks(std::move(tasks), deps, 4).ok());
+  EXPECT_LT(finished[0], finished[1]);
+  EXPECT_LT(finished[0], finished[2]);
+  EXPECT_LT(finished[1], finished[3]);
+  EXPECT_LT(finished[2], finished[3]);
+}
+
+TEST(RunDagTasksTest, FailureSkipsUnstartedWork) {
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  tasks.push_back([]() -> Status { return Status::Internal("boom"); });
+  tasks.push_back([&ran]() -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  std::vector<std::vector<uint32_t>> deps = {{}, {0}};
+  Status status = RunDagTasks(std::move(tasks), deps, 4);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "boom");
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(RunDagTasksTest, SingleWorkerRunsCanonicalOrder) {
+  std::vector<int> order;
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back([&order, i]() -> Status {
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  std::vector<std::vector<uint32_t>> deps(6);
+  deps[3] = {1};
+  deps[5] = {4, 2};
+  ASSERT_TRUE(RunDagTasks(std::move(tasks), deps, 1).ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(RunDagTasksTest, RejectsForwardDependencies) {
+  std::vector<std::function<Status()>> tasks(2, []() -> Status {
+    return Status::OK();
+  });
+  std::vector<std::vector<uint32_t>> deps = {{1}, {}};
+  EXPECT_EQ(RunDagTasks(std::move(tasks), deps, 2).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ppc

@@ -47,6 +47,18 @@ inline size_t ThreadsFromEnv() {
   return static_cast<size_t>(value);
 }
 
+/// Schedule-granularity override, same idea: PPC_SCHEDULE=fine|grouped
+/// (the CI matrix legs export it) picks the concurrent executor's graph
+/// for every fixture. Either graph is bit-identical to sequential, so all
+/// assertions hold unchanged.
+inline ScheduleGranularity ScheduleFromEnv(ScheduleGranularity fallback) {
+  const char* env = std::getenv("PPC_SCHEDULE");
+  if (env == nullptr) return fallback;
+  if (std::string(env) == "grouped") return ScheduleGranularity::kGrouped;
+  if (std::string(env) == "fine") return ScheduleGranularity::kFine;
+  return fallback;
+}
+
 /// Builds (but does not run) a session over `partitions`.
 inline Result<SessionFixture> MakeSession(
     const Schema& schema, const std::vector<DataMatrix>& partitions,
@@ -58,6 +70,13 @@ inline Result<SessionFixture> MakeSession(
     if (size_t env_threads = ThreadsFromEnv(); env_threads > 0) {
       effective.num_threads = env_threads;
     }
+  }
+  if (effective.schedule_granularity == ScheduleGranularity::kFine) {
+    // Like the thread override: defer to a test's explicit non-default
+    // choice (a grouped-pinning test must stay grouped under the fine
+    // CI leg).
+    effective.schedule_granularity =
+        ScheduleFromEnv(effective.schedule_granularity);
   }
   SessionFixture fixture;
   fixture.network = std::make_unique<InMemoryNetwork>(security);

@@ -51,6 +51,47 @@ elseif(MODE STREQUAL "end_to_end")
     message(FATAL_ERROR "cluster did not write the --newick file")
   endif()
 
+elseif(MODE STREQUAL "analyze")
+  # The analyze command runs the protocol and checks its own closed-form
+  # traffic model against channel taps (exits 1 on any byte mismatch), for
+  # both schedule granularities.
+  file(REMOVE_RECURSE "${SCRATCH}")
+  file(MAKE_DIRECTORY "${SCRATCH}")
+
+  execute_process(
+    COMMAND "${CLI}" generate --kind=mixed --objects=24 --parties=3
+            --seed=5 "--prefix=${SCRATCH}/smoke"
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "generate exited ${code}\n${out}${err}")
+  endif()
+
+  foreach(schedule fine grouped)
+    execute_process(
+      COMMAND "${CLI}" analyze "${SCRATCH}/smoke.part0.csv"
+              "${SCRATCH}/smoke.part1.csv" "${SCRATCH}/smoke.part2.csv"
+              --schedule=${schedule} --threads=2
+      RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+              "analyze --schedule=${schedule} exited ${code}\n${out}${err}")
+    endif()
+    if(NOT out MATCHES "schedule: ${schedule}")
+      message(FATAL_ERROR "analyze did not report its schedule:\n${out}")
+    endif()
+    if(NOT out MATCHES "comparison rounds")
+      message(FATAL_ERROR "analyze output missing the phase table:\n${out}")
+    endif()
+  endforeach()
+
+  execute_process(
+    COMMAND "${CLI}" analyze "${SCRATCH}/smoke.part0.csv"
+            "${SCRATCH}/smoke.part1.csv" --schedule=bogus
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 1)
+    message(FATAL_ERROR "bogus --schedule exited ${code}, want 1")
+  endif()
+
 elseif(MODE STREQUAL "threaded")
   # The concurrent engine must publish the exact same outcome as the
   # sequential run: compare full cluster output across --threads values,
@@ -66,27 +107,32 @@ elseif(MODE STREQUAL "threaded")
     message(FATAL_ERROR "generate exited ${code}\n${out}${err}")
   endif()
 
-  foreach(threads 1 4)
+  # threads x schedule sweep: the concurrent engine on either schedule
+  # graph must match the sequential output bit for bit.
+  foreach(leg "1;fine" "4;fine" "4;grouped")
+    list(GET leg 0 threads)
+    list(GET leg 1 schedule)
     execute_process(
       COMMAND "${CLI}" cluster "${SCRATCH}/smoke.part0.csv"
               "${SCRATCH}/smoke.part1.csv" "${SCRATCH}/smoke.part2.csv"
-              --clusters=3 --threads=${threads}
+              --clusters=3 --threads=${threads} --schedule=${schedule}
       RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
     if(NOT code EQUAL 0)
       message(FATAL_ERROR
-              "cluster --threads=${threads} exited ${code}\n${out}${err}")
+              "cluster --threads=${threads} --schedule=${schedule} "
+              "exited ${code}\n${out}${err}")
     endif()
     # Drop the timing line; everything else must match bit for bit.
     string(REGEX REPLACE "# protocol:[^\n]*\n" "" out "${out}")
-    set(out_${threads} "${out}")
+    set(out_${threads}_${schedule} "${out}")
   endforeach()
-  set(sequential "${out_1}")
-  set(threaded "${out_4}")
-  if(NOT sequential STREQUAL threaded)
-    message(FATAL_ERROR "threaded outcome diverged from sequential:\n"
-            "--- threads=1 ---\n${sequential}\n"
-            "--- threads=4 ---\n${threaded}")
-  endif()
+  foreach(leg 4_fine 4_grouped)
+    if(NOT out_1_fine STREQUAL out_${leg})
+      message(FATAL_ERROR "threaded outcome diverged from sequential:\n"
+              "--- threads=1 ---\n${out_1_fine}\n"
+              "--- ${leg} ---\n${out_${leg}}")
+    endif()
+  endforeach()
 
 else()
   message(FATAL_ERROR "unknown MODE '${MODE}'")

@@ -21,6 +21,14 @@
 //       (it stays TP-side: branch lengths are distances, which the paper
 //       requires the TP to keep from the holders).
 //
+//   ppclust_cli analyze PART0.csv PART1.csv [...] [--alphabet=...]
+//                       [--mode=batch|perpair] [--threads=N]
+//                       [--schedule=fine|grouped]
+//       Runs the protocol and prints the per-phase communication table:
+//       messages, wire/payload bytes measured on channel taps, and the
+//       schedule graph's closed-form payload prediction (phases 4-5 must
+//       match to the byte, or the command fails).
+//
 //   Multi-process deployment: the same `cluster` command, one process per
 //   party, connected over TCP (see README "Deployment modes"):
 //
@@ -48,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/comm_model.h"
 #include "common/string_util.h"
 #include "core/topics.h"
 #include "ppclust.h"
@@ -143,7 +152,12 @@ constexpr char kUsage[] =
     "[--eps=E] [--minpts=M]\n"
     "              [--alphabet=dna|lowercase|identifier] "
     "[--weights=w0,w1,...]\n"
-    "              [--mode=batch|perpair] [--threads=N] [--newick=FILE]\n"
+    "              [--mode=batch|perpair] [--threads=N]\n"
+    "              [--schedule=fine|grouped] [--newick=FILE]\n"
+    "  ppclust_cli analyze PART0.csv PART1.csv [...] "
+    "[--alphabet=...] [--mode=...]\n"
+    "              [--threads=N] [--schedule=fine|grouped]   "
+    "(per-phase predicted-vs-measured traffic)\n"
     "  ppclust_cli cluster [PART.csv] --role=holder|third-party|coordinator\n"
     "              --holders=A,B,... --peers=NAME=HOST:PORT,...\n"
     "              [--party=NAME] [--schema=FILE.csv] [--third-party=TP]\n"
@@ -265,6 +279,16 @@ int ParseProtocolConfig(const Flags& flags, ProtocolConfig* config) {
     config->masking_mode = MaskingMode::kPerPair;
   } else if (mode != "batch") {
     return Fail("unknown --mode '" + mode + "'");
+  }
+  // Escape hatch for the concurrent engine's schedule graph: "fine" (the
+  // default) exposes the full dependency structure, "grouped" keeps the
+  // conservative responder-grouped serialization. Results are identical.
+  const std::string schedule = flags.Get("schedule", "fine");
+  if (schedule == "grouped") {
+    config->schedule_granularity = ScheduleGranularity::kGrouped;
+  } else if (schedule != "fine") {
+    return Fail("unknown --schedule '" + schedule +
+                "' (want fine or grouped)");
   }
   // The num_threads rule (core/config.h): 0 = auto, 1 = sequential,
   // n > 1 = concurrent engine with n workers.
@@ -575,13 +599,150 @@ int RunClusterRole(const Flags& flags) {
   return 0;
 }
 
+// Loads the partition CSVs named by the positional arguments (>= 2
+// required) and checks they agree on one schema.
+int LoadPartitions(const Flags& flags, const char* command,
+                   std::vector<DataMatrix>* parts) {
+  if (flags.positional.size() < 2) {
+    return Fail(std::string(command) +
+                " needs at least two partition CSVs (k >= 2)");
+  }
+  for (const std::string& path : flags.positional) {
+    auto matrix = Csv::ReadFile(path);
+    if (!matrix.ok()) return Fail(path + ": " + matrix.status().ToString());
+    parts->push_back(std::move(matrix).TakeValue());
+  }
+  const Schema& schema = (*parts)[0].schema();
+  for (const DataMatrix& part : *parts) {
+    if (!(part.schema() == schema)) {
+      return Fail("partition schemas disagree");
+    }
+  }
+  return 0;
+}
+
+// `analyze` — run the protocol over the partitions and print the paper's
+// communication-cost table: per phase, the bytes the schedule graph's
+// closed-form model predicts next to the bytes the channel taps measured.
+int RunAnalyze(const Flags& flags) {
+  if (int bad = CheckFlagNames(flags,
+                               {"alphabet", "mode", "threads", "schedule"})) {
+    return bad;
+  }
+  std::vector<DataMatrix> parts;
+  if (int bad = LoadPartitions(flags, "analyze", &parts)) return bad;
+  ProtocolConfig config;
+  if (int bad = ParseProtocolConfig(flags, &config)) return bad;
+  if (!flags.value_error.empty()) return Fail(flags.value_error);
+  const Schema& schema = parts[0].schema();
+
+  // The identical graph every driver of this run builds (the construction
+  // is deterministic in plan + schema), used here for the model and the
+  // topic -> phase attribution of tapped frames.
+  SessionPlan plan;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    plan.holder_order.push_back(std::string(1, static_cast<char>('A' + p)));
+  }
+  Schedule::Options schedule_options;
+  schedule_options.granularity = config.schedule_granularity;
+  auto schedule = Schedule::Build(plan, schema, schedule_options);
+  if (!schedule.ok()) return Fail(schedule.status().ToString());
+
+  std::map<std::string, HolderTrafficProfile> profiles;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    HolderTrafficProfile& profile = profiles[plan.holder_order[p]];
+    profile.objects = parts[p].NumRows();
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (schema.attribute(c).type != AttributeType::kAlphanumeric) continue;
+      auto strings = parts[p].StringColumn(c);
+      if (!strings.ok()) return Fail(strings.status().ToString());
+      std::vector<uint64_t>& lengths = profile.string_lengths[c];
+      for (const std::string& s : *strings) lengths.push_back(s.size());
+    }
+  }
+  auto predicted =
+      ScheduleCommModel::PredictPhasePayloads(*schedule, config, profiles);
+  if (!predicted.ok()) return Fail(predicted.status().ToString());
+
+  InMemoryNetwork network;
+  ScheduleTrafficAudit audit;
+  audit.Attach(&network, *schedule);
+  ThirdParty tp("TP", &network, config, schema, 1);
+  ClusteringSession session(&network, config, schema);
+  Status status = session.SetThirdParty(&tp);
+  if (!status.ok()) return Fail(status.ToString());
+  std::vector<std::unique_ptr<DataHolder>> holders;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    holders.push_back(std::make_unique<DataHolder>(
+        plan.holder_order[p], &network, config, 100 + p));
+    status = holders.back()->SetData(parts[p]);
+    if (!status.ok()) return Fail(status.ToString());
+    status = session.AddDataHolder(holders.back().get());
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  Stopwatch stopwatch;
+  status = session.Run();
+  if (!status.ok()) return Fail(status.ToString());
+
+  static constexpr const char* kPhaseNames[] = {
+      "?",
+      "hello/roster",
+      "key agreement",
+      "categorical key",
+      "local matrices (Fig. 12)",
+      "comparison rounds (Sec. 4)",
+      "normalization",
+  };
+  std::printf("# schedule: %s, %zu steps, protocol %.1f ms\n",
+              ScheduleGranularityToString(config.schedule_granularity),
+              schedule->steps().size(), stopwatch.ElapsedMillis());
+  std::printf("# %-29s %8s %12s %12s %12s\n", "phase", "msgs", "wire B",
+              "payload B", "model B");
+  auto totals = audit.PhaseTotals();
+  for (const auto& [phase, traffic] : totals) {
+    std::printf("  %d %-27s %8llu %12llu %12llu ", phase, kPhaseNames[phase],
+                static_cast<unsigned long long>(traffic.messages),
+                static_cast<unsigned long long>(traffic.wire_bytes),
+                static_cast<unsigned long long>(traffic.payload_bytes));
+    auto model = predicted->find(phase);
+    if (model == predicted->end()) {
+      std::printf("%12s\n", "-");
+    } else if (model->second == traffic.payload_bytes) {
+      std::printf("%11llu=\n",
+                  static_cast<unsigned long long>(model->second));
+    } else {
+      std::printf("%11llu!\n",
+                  static_cast<unsigned long long>(model->second));
+    }
+  }
+  // The model must price phases 4 and 5 to the byte — anything else is a
+  // drifted serializer or a wrong formula, worth a loud exit code.
+  for (const auto& [phase, bytes] : *predicted) {
+    auto measured = totals.find(phase);
+    if (measured == totals.end() || measured->second.payload_bytes != bytes) {
+      return Fail("model mismatch in phase " + std::to_string(phase) +
+                  ": predicted " + std::to_string(bytes) + " payload bytes" +
+                  (measured == totals.end()
+                       ? std::string(", measured none")
+                       : ", measured " +
+                             std::to_string(measured->second.payload_bytes)));
+    }
+  }
+  std::printf("# total: %llu wire bytes, %llu messages\n",
+              static_cast<unsigned long long>(
+                  network.GrandTotal().wire_bytes),
+              static_cast<unsigned long long>(
+                  network.GrandTotal().messages));
+  return 0;
+}
+
 int RunCluster(const Flags& flags) {
   if (int bad = CheckFlagNames(
           flags, {"clusters", "linkage", "algorithm", "eps", "minpts",
                   "alphabet", "weights", "mode", "threads", "newick",
-                  "role", "party", "peers", "holders", "third-party",
-                  "coordinator", "net-timeout-ms", "entropy-seed",
-                  "schema"})) {
+                  "schedule", "role", "party", "peers", "holders",
+                  "third-party", "coordinator", "net-timeout-ms",
+                  "entropy-seed", "schema"})) {
     return bad;
   }
   if (flags.named.count("role")) return RunClusterRole(flags);
@@ -592,21 +753,9 @@ int RunCluster(const Flags& flags) {
       return Fail(std::string("--") + role_only + " requires --role");
     }
   }
-  if (flags.positional.size() < 2) {
-    return Fail("cluster needs at least two partition CSVs (k >= 2)");
-  }
   std::vector<DataMatrix> parts;
-  for (const std::string& path : flags.positional) {
-    auto matrix = Csv::ReadFile(path);
-    if (!matrix.ok()) return Fail(path + ": " + matrix.status().ToString());
-    parts.push_back(std::move(matrix).TakeValue());
-  }
+  if (int bad = LoadPartitions(flags, "cluster", &parts)) return bad;
   const Schema& schema = parts[0].schema();
-  for (const DataMatrix& part : parts) {
-    if (!(part.schema() == schema)) {
-      return Fail("partition schemas disagree");
-    }
-  }
 
   ProtocolConfig config;
   if (int bad = ParseProtocolConfig(flags, &config)) return bad;
@@ -688,5 +837,6 @@ int main(int argc, char** argv) {
   if (wants_help) return ppc::Help();
   if (command == "generate") return ppc::RunGenerate(flags);
   if (command == "cluster") return ppc::RunCluster(flags);
+  if (command == "analyze") return ppc::RunAnalyze(flags);
   return ppc::Usage();
 }
