@@ -7,15 +7,19 @@ constexpr uint32_t kMaxVectorLength = 1u << 28;  // 256M elements: sanity cap.
 }  // namespace
 
 void ByteWriter::WriteU32(uint32_t v) {
+  char bytes[4];
   for (int i = 0; i < 4; ++i) {
-    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   }
+  buffer_.append(bytes, 4);
 }
 
 void ByteWriter::WriteU64(uint64_t v) {
+  char bytes[8];
   for (int i = 0; i < 8; ++i) {
-    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   }
+  buffer_.append(bytes, 8);
 }
 
 void ByteWriter::WriteF64(double v) {
@@ -26,21 +30,32 @@ void ByteWriter::WriteF64(double v) {
 }
 
 void ByteWriter::WriteBytes(const std::string& bytes) {
-  WriteU32(static_cast<uint32_t>(bytes.size()));
-  buffer_.append(bytes);
+  WriteBytes(bytes.data(), bytes.size());
+}
+
+void ByteWriter::WriteBytes(const void* data, size_t length) {
+  WriteU32(static_cast<uint32_t>(length));
+  if (length > 0) {
+    buffer_.append(static_cast<const char*>(data), length);
+  }
 }
 
 void ByteWriter::WriteU64Vector(const std::vector<uint64_t>& values) {
+  Reserve(4 + 8 * values.size());
   WriteU32(static_cast<uint32_t>(values.size()));
   for (uint64_t v : values) WriteU64(v);
 }
 
 void ByteWriter::WriteF64Vector(const std::vector<double>& values) {
+  Reserve(4 + 8 * values.size());
   WriteU32(static_cast<uint32_t>(values.size()));
   for (double v : values) WriteF64(v);
 }
 
 void ByteWriter::WriteBytesVector(const std::vector<std::string>& values) {
+  size_t total = 4;
+  for (const std::string& v : values) total += 4 + v.size();
+  Reserve(total);
   WriteU32(static_cast<uint32_t>(values.size()));
   for (const std::string& v : values) WriteBytes(v);
 }
@@ -93,11 +108,18 @@ Result<double> ByteReader::ReadF64() {
 }
 
 Result<std::string> ByteReader::ReadBytes() {
+  PPC_ASSIGN_OR_RETURN(std::string_view view, ReadBytesView());
+  // Construct the result straight from the wire bytes — no intermediate
+  // substring temporary.
+  return std::string(view);
+}
+
+Result<std::string_view> ByteReader::ReadBytesView() {
   PPC_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
   PPC_RETURN_IF_ERROR(Need(n));
-  std::string out = data_.substr(pos_, n);
+  std::string_view view(data_.data() + pos_, n);
   pos_ += n;
-  return out;
+  return view;
 }
 
 Result<std::vector<uint64_t>> ByteReader::ReadU64Vector() {

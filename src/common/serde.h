@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -19,6 +20,13 @@ namespace ppc {
 class ByteWriter {
  public:
   ByteWriter() = default;
+
+  /// Pre-sizes the buffer for `additional` more bytes. The protocol's hot
+  /// encoders know their payload size up front (matrix/vector payloads),
+  /// so one reservation replaces the append-path's geometric regrowth.
+  void Reserve(size_t additional) {
+    buffer_.reserve(buffer_.size() + additional);
+  }
 
   /// Appends a single byte.
   void WriteU8(uint8_t v) { buffer_.push_back(v); }
@@ -37,6 +45,10 @@ class ByteWriter {
 
   /// Appends a length-prefixed byte string (u32 length + raw bytes).
   void WriteBytes(const std::string& bytes);
+
+  /// As `WriteBytes`, straight from a raw buffer — no intermediate
+  /// std::string for callers whose bytes live in another container.
+  void WriteBytes(const void* data, size_t length);
 
   /// Appends a length-prefixed vector of u64 values.
   void WriteU64Vector(const std::vector<uint64_t>& values);
@@ -77,6 +89,11 @@ class ByteReader {
   Result<int64_t> ReadI64();
   Result<double> ReadF64();
   Result<std::string> ReadBytes();
+
+  /// Zero-copy variant of `ReadBytes`: the view aliases the reader's
+  /// underlying buffer, valid only while that buffer outlives it. For
+  /// decoders that inspect or compare a field without keeping it.
+  Result<std::string_view> ReadBytesView();
   Result<std::vector<uint64_t>> ReadU64Vector();
   Result<std::vector<double>> ReadF64Vector();
   Result<std::vector<std::string>> ReadBytesVector();

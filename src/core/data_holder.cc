@@ -230,6 +230,7 @@ Status DataHolder::BuildLocalMatrix(size_t column) {
       LocalDissimilarity::Build(data_, column, real_codec_,
                                 config_.num_threads));
   ByteWriter writer;
+  writer.Reserve(4 + 8 + 4 + 8 * local.packed_cells().size());
   writer.WriteU32(static_cast<uint32_t>(column));
   writer.WriteU64(local.num_objects());
   writer.WriteF64Vector(local.packed_cells());
@@ -265,19 +266,22 @@ Status DataHolder::RunNumericInitiator(size_t column,
   PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
                        PairPrng(tp_name_, label));
 
-  ByteWriter writer;
-  writer.WriteU32(static_cast<uint32_t>(column));
-  writer.WriteU8(static_cast<uint8_t>(config_.masking_mode));
+  std::vector<uint64_t> masked;
+  uint64_t declared_rows = 0;
   if (config_.masking_mode == MaskingMode::kBatch) {
-    writer.WriteU64(0);
-    writer.WriteU64Vector(
-        NumericProtocol::MaskVector(values, rng_jt.get(), rng_jk.get()));
+    masked = NumericProtocol::MaskVector(values, rng_jt.get(), rng_jk.get());
   } else {
     PPC_ASSIGN_OR_RETURN(uint64_t responder_count, RosterCount(responder));
-    writer.WriteU64(responder_count);
-    writer.WriteU64Vector(NumericProtocol::MaskMatrixPerPair(
-        values, responder_count, rng_jt.get(), rng_jk.get()));
+    declared_rows = responder_count;
+    masked = NumericProtocol::MaskMatrixPerPair(values, responder_count,
+                                                rng_jt.get(), rng_jk.get());
   }
+  ByteWriter writer;
+  writer.Reserve(4 + 1 + 8 + 4 + 8 * masked.size());
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteU8(static_cast<uint8_t>(config_.masking_mode));
+  writer.WriteU64(declared_rows);
+  writer.WriteU64Vector(masked);
   return network_->Send(name_, responder, topics::kNumericMasked,
                         writer.TakeBytes());
 }
@@ -337,6 +341,8 @@ Status DataHolder::BuildNumericComparison(size_t column,
   }
 
   ByteWriter writer;
+  writer.Reserve(4 + 4 + initiator.size() + 1 + 8 + 8 + 4 +
+                 8 * comparison.size());
   writer.WriteU32(static_cast<uint32_t>(column));
   writer.WriteBytes(initiator);
   writer.WriteU8(mode_tag);
@@ -420,7 +426,10 @@ Status DataHolder::BuildAlphanumericGrids(size_t column,
       AlphanumericProtocol::BuildMaskedGrids(own, masked, config_.alphabet,
                                              config_.num_threads);
 
+  size_t grid_bytes = 0;
+  for (const auto& grid : grids) grid_bytes += 4 + 4 + 4 + grid.cells.size();
   ByteWriter writer;
+  writer.Reserve(4 + 4 + initiator.size() + 8 + 8 + grid_bytes);
   writer.WriteU32(static_cast<uint32_t>(column));
   writer.WriteBytes(initiator);
   writer.WriteU64(own.size());
@@ -428,7 +437,7 @@ Status DataHolder::BuildAlphanumericGrids(size_t column,
   for (const auto& grid : grids) {
     writer.WriteU32(static_cast<uint32_t>(grid.responder_length));
     writer.WriteU32(static_cast<uint32_t>(grid.initiator_length));
-    writer.WriteBytes(std::string(grid.cells.begin(), grid.cells.end()));
+    writer.WriteBytes(grid.cells.data(), grid.cells.size());
   }
   StashPending(OutboundSlot(column, initiator), writer.TakeBytes());
   return Status::OK();

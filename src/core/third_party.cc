@@ -286,7 +286,9 @@ Status ThirdParty::InstallAlphanumericPayload(const std::string& payload,
     AlphanumericProtocol::MaskedGrid grid;
     PPC_ASSIGN_OR_RETURN(uint32_t rlen, reader.ReadU32());
     PPC_ASSIGN_OR_RETURN(uint32_t ilen, reader.ReadU32());
-    PPC_ASSIGN_OR_RETURN(std::string cells, reader.ReadBytes());
+    // View straight into the payload: the cells are copied exactly once,
+    // into the grid itself.
+    PPC_ASSIGN_OR_RETURN(std::string_view cells, reader.ReadBytesView());
     if (cells.size() != size_t{rlen} * ilen) {
       return Status::ProtocolViolation("grid cell count mismatch");
     }

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PPC_AES_HAVE_X86 1
+#endif
+
 namespace ppc {
 
 namespace {
@@ -37,14 +42,74 @@ inline uint8_t XTime(uint8_t x) {
   return static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
 }
 
+constexpr uint32_t XTimeC(uint32_t x) {
+  return ((x << 1) ^ ((x & 0x80) ? 0x1bu : 0u)) & 0xffu;
+}
+
+/// The four encryption T-tables: Te0[x] packs the MixColumns-multiplied
+/// S-box output {02·S, 01·S, 01·S, 03·S} into one big-endian word; Te1..3
+/// are its byte rotations. One round then costs 16 table lookups and 16
+/// XORs instead of per-byte field arithmetic.
+struct TeTables {
+  uint32_t t0[256], t1[256], t2[256], t3[256];
+};
+
+constexpr TeTables MakeTeTables() {
+  TeTables t{};
+  for (int i = 0; i < 256; ++i) {
+    const uint32_t s = kSbox[i];
+    const uint32_t s2 = XTimeC(s);
+    const uint32_t s3 = s2 ^ s;
+    const uint32_t w = (s2 << 24) | (s << 16) | (s << 8) | s3;
+    t.t0[i] = w;
+    t.t1[i] = (w >> 8) | (w << 24);
+    t.t2[i] = (w >> 16) | (w << 16);
+    t.t3[i] = (w >> 24) | (w << 8);
+  }
+  return t;
+}
+
+constexpr TeTables kTe = MakeTeTables();
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline void StoreBe32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
 }  // namespace
 
+bool Aes128::AesniSupported() {
+#if defined(PPC_AES_HAVE_X86)
+  return __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
 Result<Aes128> Aes128::Create(const std::string& key) {
+  return CreateWithKernel(key,
+                          AesniSupported() ? Kernel::kAesni : Kernel::kTTable);
+}
+
+Result<Aes128> Aes128::CreateWithKernel(const std::string& key,
+                                        Kernel kernel) {
   if (key.size() != 16) {
     return Status::InvalidArgument("AES-128 key must be 16 bytes, got " +
                                    std::to_string(key.size()));
   }
+  if (kernel == Kernel::kAesni && !AesniSupported()) {
+    return Status::InvalidArgument("AES-NI kernel not supported on this CPU");
+  }
   Aes128 aes;
+  aes.kernel_ = kernel;
   // Key expansion: 11 round keys of 16 bytes.
   uint8_t w[176];
   std::memcpy(w, key.data(), 16);
@@ -65,11 +130,98 @@ Result<Aes128> Aes128::Create(const std::string& key) {
   }
   for (int r = 0; r < 11; ++r) {
     std::memcpy(aes.round_keys_[r].data(), w + 16 * r, 16);
+    for (int c = 0; c < 4; ++c) {
+      aes.round_words_[4 * r + c] = LoadBe32(w + 16 * r + 4 * c);
+    }
   }
   return aes;
 }
 
 void Aes128::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  switch (kernel_) {
+    case Kernel::kScalar:
+      EncryptBlockScalar(in, out);
+      return;
+    case Kernel::kTTable:
+      EncryptBlockTTable(in, out);
+      return;
+    case Kernel::kAesni:
+#if defined(PPC_AES_HAVE_X86)
+      EncryptBlockAesni(in, out);
+      return;
+#else
+      EncryptBlockTTable(in, out);
+      return;
+#endif
+  }
+}
+
+void Aes128::Encrypt4Blocks(const uint8_t in[64], uint8_t out[64]) const {
+#if defined(PPC_AES_HAVE_X86)
+  if (kernel_ == Kernel::kAesni) {
+    Encrypt4BlocksAesni(in, out);
+    return;
+  }
+#endif
+  for (int b = 0; b < 4; ++b) EncryptBlock(in + 16 * b, out + 16 * b);
+}
+
+void Aes128::EncryptBlockTTable(const uint8_t in[16], uint8_t out[16]) const {
+  const uint32_t* rk = round_words_.data();
+  uint32_t s0 = LoadBe32(in) ^ rk[0];
+  uint32_t s1 = LoadBe32(in + 4) ^ rk[1];
+  uint32_t s2 = LoadBe32(in + 8) ^ rk[2];
+  uint32_t s3 = LoadBe32(in + 12) ^ rk[3];
+
+  for (int round = 1; round < 10; ++round) {
+    rk += 4;
+    const uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xff] ^
+                        kTe.t2[(s2 >> 8) & 0xff] ^ kTe.t3[s3 & 0xff] ^ rk[0];
+    const uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xff] ^
+                        kTe.t2[(s3 >> 8) & 0xff] ^ kTe.t3[s0 & 0xff] ^ rk[1];
+    const uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xff] ^
+                        kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^ rk[2];
+    const uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xff] ^
+                        kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  rk += 4;
+  const uint32_t o0 =
+      ((static_cast<uint32_t>(kSbox[s0 >> 24]) << 24) |
+       (static_cast<uint32_t>(kSbox[(s1 >> 16) & 0xff]) << 16) |
+       (static_cast<uint32_t>(kSbox[(s2 >> 8) & 0xff]) << 8) |
+       static_cast<uint32_t>(kSbox[s3 & 0xff])) ^
+      rk[0];
+  const uint32_t o1 =
+      ((static_cast<uint32_t>(kSbox[s1 >> 24]) << 24) |
+       (static_cast<uint32_t>(kSbox[(s2 >> 16) & 0xff]) << 16) |
+       (static_cast<uint32_t>(kSbox[(s3 >> 8) & 0xff]) << 8) |
+       static_cast<uint32_t>(kSbox[s0 & 0xff])) ^
+      rk[1];
+  const uint32_t o2 =
+      ((static_cast<uint32_t>(kSbox[s2 >> 24]) << 24) |
+       (static_cast<uint32_t>(kSbox[(s3 >> 16) & 0xff]) << 16) |
+       (static_cast<uint32_t>(kSbox[(s0 >> 8) & 0xff]) << 8) |
+       static_cast<uint32_t>(kSbox[s1 & 0xff])) ^
+      rk[2];
+  const uint32_t o3 =
+      ((static_cast<uint32_t>(kSbox[s3 >> 24]) << 24) |
+       (static_cast<uint32_t>(kSbox[(s0 >> 16) & 0xff]) << 16) |
+       (static_cast<uint32_t>(kSbox[(s1 >> 8) & 0xff]) << 8) |
+       static_cast<uint32_t>(kSbox[s2 & 0xff])) ^
+      rk[3];
+  StoreBe32(o0, out);
+  StoreBe32(o1, out + 4);
+  StoreBe32(o2, out + 8);
+  StoreBe32(o3, out + 12);
+}
+
+void Aes128::EncryptBlockScalar(const uint8_t in[16], uint8_t out[16]) const {
   uint8_t state[16];
   for (int i = 0; i < 16; ++i) state[i] = in[i] ^ round_keys_[0][i];
 
@@ -112,34 +264,131 @@ void Aes128::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
   std::memcpy(out, state, 16);
 }
 
+#if defined(PPC_AES_HAVE_X86)
+
+__attribute__((target("aes,sse2"))) void Aes128::EncryptBlockAesni(
+    const uint8_t in[16], uint8_t out[16]) const {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  s = _mm_xor_si128(
+      s, _mm_loadu_si128(
+             reinterpret_cast<const __m128i*>(round_keys_[0].data())));
+  for (int r = 1; r < 10; ++r) {
+    s = _mm_aesenc_si128(
+        s, _mm_loadu_si128(
+               reinterpret_cast<const __m128i*>(round_keys_[r].data())));
+  }
+  s = _mm_aesenclast_si128(
+      s, _mm_loadu_si128(
+             reinterpret_cast<const __m128i*>(round_keys_[10].data())));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
+__attribute__((target("aes,sse2"))) void Aes128::Encrypt4BlocksAesni(
+    const uint8_t in[64], uint8_t out[64]) const {
+  // Four blocks in flight hide the aesenc latency behind its throughput.
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i rk =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(round_keys_[0].data()));
+  __m128i s0 = _mm_xor_si128(_mm_loadu_si128(src), rk);
+  __m128i s1 = _mm_xor_si128(_mm_loadu_si128(src + 1), rk);
+  __m128i s2 = _mm_xor_si128(_mm_loadu_si128(src + 2), rk);
+  __m128i s3 = _mm_xor_si128(_mm_loadu_si128(src + 3), rk);
+  for (int r = 1; r < 10; ++r) {
+    rk = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_keys_[r].data()));
+    s0 = _mm_aesenc_si128(s0, rk);
+    s1 = _mm_aesenc_si128(s1, rk);
+    s2 = _mm_aesenc_si128(s2, rk);
+    s3 = _mm_aesenc_si128(s3, rk);
+  }
+  rk = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(round_keys_[10].data()));
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+  _mm_storeu_si128(dst, _mm_aesenclast_si128(s0, rk));
+  _mm_storeu_si128(dst + 1, _mm_aesenclast_si128(s1, rk));
+  _mm_storeu_si128(dst + 2, _mm_aesenclast_si128(s2, rk));
+  _mm_storeu_si128(dst + 3, _mm_aesenclast_si128(s3, rk));
+}
+
+#endif  // PPC_AES_HAVE_X86
+
 Result<Aes128Ctr> Aes128Ctr::Create(const std::string& key) {
   PPC_ASSIGN_OR_RETURN(Aes128 cipher, Aes128::Create(key));
   return Aes128Ctr(std::move(cipher));
 }
 
-std::string Aes128Ctr::Crypt(const std::string& nonce,
-                             const std::string& data) const {
-  std::string out = data;
-  uint8_t counter_block[16] = {0};
-  size_t nonce_len = nonce.size() < 8 ? nonce.size() : 8;
-  std::memcpy(counter_block, nonce.data(), nonce_len);
+Result<Aes128Ctr> Aes128Ctr::CreateWithKernel(const std::string& key,
+                                              Aes128::Kernel kernel) {
+  PPC_ASSIGN_OR_RETURN(Aes128 cipher, Aes128::CreateWithKernel(key, kernel));
+  return Aes128Ctr(std::move(cipher));
+}
 
-  uint8_t keystream[16];
-  uint64_t counter = 0;
-  for (size_t offset = 0; offset < out.size(); offset += 16) {
-    for (int i = 0; i < 8; ++i) {
-      counter_block[8 + i] = static_cast<uint8_t>(counter >> (56 - 8 * i));
-    }
-    cipher_.EncryptBlock(counter_block, keystream);
-    size_t chunk = out.size() - offset;
-    if (chunk > 16) chunk = 16;
-    for (size_t i = 0; i < chunk; ++i) {
-      out[offset + i] = static_cast<char>(
-          static_cast<uint8_t>(out[offset + i]) ^ keystream[i]);
-    }
-    ++counter;
-  }
+Result<std::string> Aes128Ctr::Crypt(const std::string& nonce,
+                                     const std::string& data) const {
+  std::string out = data;
+  PPC_RETURN_IF_ERROR(CryptInPlace(nonce, out.data(), out.size()));
   return out;
+}
+
+Status Aes128Ctr::CryptInPlace(const std::string& nonce, char* data,
+                               size_t length) const {
+  if (nonce.size() != kNonceLength) {
+    return Status::InvalidArgument(
+        "AES-CTR nonce must be exactly " + std::to_string(kNonceLength) +
+        " bytes, got " + std::to_string(nonce.size()));
+  }
+  // Counter-block batch: nonce || big-endian block counter, four blocks at
+  // a time so the AES-NI kernel can pipeline them.
+  uint8_t blocks[64];
+  uint8_t keystream[64];
+  for (int b = 0; b < 4; ++b) {
+    std::memcpy(blocks + 16 * b, nonce.data(), kNonceLength);
+  }
+  uint64_t counter = 0;
+  size_t offset = 0;
+
+  const auto set_counter = [&blocks](int slot, uint64_t value) {
+    uint8_t* p = blocks + 16 * slot + 8;
+    for (int i = 0; i < 8; ++i) {
+      p[i] = static_cast<uint8_t>(value >> (56 - 8 * i));
+    }
+  };
+
+  while (length - offset >= 64) {
+    for (int b = 0; b < 4; ++b) set_counter(b, counter++);
+    cipher_.Encrypt4Blocks(blocks, keystream);
+    // XOR word-wide; memcpy keeps the loads/stores alignment-safe and
+    // compiles to plain 64-bit ops.
+    for (int i = 0; i < 8; ++i) {
+      uint64_t v, k;
+      std::memcpy(&v, data + offset + 8 * i, 8);
+      std::memcpy(&k, keystream + 8 * i, 8);
+      v ^= k;
+      std::memcpy(data + offset + 8 * i, &v, 8);
+    }
+    offset += 64;
+  }
+
+  while (offset < length) {
+    set_counter(0, counter++);
+    cipher_.EncryptBlock(blocks, keystream);
+    size_t chunk = length - offset;
+    if (chunk > 16) chunk = 16;
+    size_t i = 0;
+    for (; i + 8 <= chunk; i += 8) {
+      uint64_t v, k;
+      std::memcpy(&v, data + offset + i, 8);
+      std::memcpy(&k, keystream + i, 8);
+      v ^= k;
+      std::memcpy(data + offset + i, &v, 8);
+    }
+    for (; i < chunk; ++i) {
+      data[offset + i] = static_cast<char>(
+          static_cast<uint8_t>(data[offset + i]) ^ keystream[i]);
+    }
+    offset += chunk;
+  }
+  return Status::OK();
 }
 
 }  // namespace ppc

@@ -11,17 +11,66 @@ namespace ppc {
 
 /// AES-128 block cipher (FIPS 197), encrypt direction only — sufficient for
 /// CTR mode, which is what the secure-channel transport uses.
+///
+/// Three interchangeable kernels compute the identical function:
+///
+///   * kScalar — byte-wise SubBytes/ShiftRows/MixColumns loops. The
+///     readable reference implementation the others are tested against.
+///   * kTTable — word-oriented T-table rounds (four 1 KiB lookup tables
+///     combining SubBytes+ShiftRows+MixColumns per 32-bit column). The
+///     portable fast path, ~4-5x the scalar kernel. Like the scalar
+///     S-box path it replaces, its key-dependent table indices are a
+///     classic cache-timing side channel — acceptable for this system's
+///     threat model (transport keys model channels secured out of band;
+///     parties are not co-located with adversaries), and moot wherever
+///     AES-NI is available, which is the default whenever the CPU has it.
+///   * kAesni — hardware AES round instructions, used when the CPU
+///     supports them. Fastest by another order of magnitude.
+///
+/// `Create` picks the best kernel for the host; `CreateWithKernel` pins one
+/// (tests pin each kernel against the FIPS-197 / SP 800-38A vectors).
 class Aes128 {
  public:
-  /// Expands a 16-byte key. Fails with kInvalidArgument on wrong key size.
+  enum class Kernel : uint8_t { kScalar, kTTable, kAesni };
+
+  /// Expands a 16-byte key and selects the fastest supported kernel.
+  /// Fails with kInvalidArgument on wrong key size.
   static Result<Aes128> Create(const std::string& key);
+
+  /// Expands the key and pins `kernel`. Fails with kInvalidArgument on
+  /// wrong key size or when `kernel` is kAesni on a CPU without AES-NI.
+  static Result<Aes128> CreateWithKernel(const std::string& key,
+                                         Kernel kernel);
+
+  /// True when the host CPU exposes the AES round instructions.
+  static bool AesniSupported();
+
+  Kernel kernel() const { return kernel_; }
 
   /// Encrypts one 16-byte block `in` into `out` (may alias).
   void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
 
+  /// Encrypts four independent 16-byte blocks — the CTR keystream batch.
+  /// On the AES-NI kernel the four blocks pipeline through the AES unit;
+  /// elsewhere this is four sequential block encryptions.
+  void Encrypt4Blocks(const uint8_t in[64], uint8_t out[64]) const;
+
  private:
   Aes128() = default;
+
+  void EncryptBlockScalar(const uint8_t in[16], uint8_t out[16]) const;
+  void EncryptBlockTTable(const uint8_t in[16], uint8_t out[16]) const;
+#if defined(__x86_64__) || defined(__i386__)
+  void EncryptBlockAesni(const uint8_t in[16], uint8_t out[16]) const;
+  void Encrypt4BlocksAesni(const uint8_t in[64], uint8_t out[64]) const;
+#endif
+
+  /// Round keys as bytes (scalar + AES-NI kernels load these directly).
   std::array<std::array<uint8_t, 16>, 11> round_keys_;
+  /// The same schedule packed as big-endian words, one per state column
+  /// (the T-table kernel's operand layout).
+  std::array<uint32_t, 44> round_words_;
+  Kernel kernel_ = Kernel::kScalar;
 };
 
 /// AES-128-CTR keystream cipher.
@@ -29,14 +78,33 @@ class Aes128 {
 /// Encryption and decryption are the same operation (XOR with the keystream
 /// generated from a per-message nonce). The secure channel pairs this with
 /// HMAC-SHA-256 in encrypt-then-MAC composition.
+///
+/// Counter-block layout: `nonce (8 bytes) || big-endian 64-bit block
+/// counter starting at 0` — fixed, because it is on the wire format of
+/// every transport frame.
 class Aes128Ctr {
  public:
+  /// Exact nonce length `Crypt` accepts. Matches the transport frame's
+  /// nonce field (`SecureChannel::kNonceLength`).
+  static constexpr size_t kNonceLength = 8;
+
   /// `key` must be 16 bytes.
   static Result<Aes128Ctr> Create(const std::string& key);
 
+  /// As `Create`, with the block-cipher kernel pinned (for tests).
+  static Result<Aes128Ctr> CreateWithKernel(const std::string& key,
+                                            Aes128::Kernel kernel);
+
   /// XORs `data` with the keystream for (`nonce`, counter=0...). `nonce`
-  /// must be 8 bytes; each message must use a fresh nonce under one key.
-  std::string Crypt(const std::string& nonce, const std::string& data) const;
+  /// must be exactly `kNonceLength` bytes (kInvalidArgument otherwise);
+  /// each message must use a fresh nonce under one key.
+  Result<std::string> Crypt(const std::string& nonce,
+                            const std::string& data) const;
+
+  /// In-place variant: XORs the keystream into `data[0..length)` with no
+  /// allocation. Same nonce contract as `Crypt`.
+  Status CryptInPlace(const std::string& nonce, char* data,
+                      size_t length) const;
 
  private:
   explicit Aes128Ctr(Aes128 cipher) : cipher_(std::move(cipher)) {}

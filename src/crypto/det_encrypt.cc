@@ -1,11 +1,13 @@
 #include "crypto/det_encrypt.h"
 
-#include "crypto/hmac.h"
-
 namespace ppc {
 
 std::string DeterministicEncryptor::Encrypt(const std::string& plaintext) const {
-  std::string mac = HmacSha256::Mac(key_, "ppc-detenc:" + plaintext);
+  // Streamed over the precomputed key: no per-value concatenation buffer.
+  HmacSha256::Stream stream(key_);
+  stream.Update("ppc-detenc:");
+  stream.Update(plaintext);
+  std::string mac = stream.Finish();
   mac.resize(kTokenLength);
   return mac;
 }

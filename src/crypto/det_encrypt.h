@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "crypto/hmac.h"
+
 namespace ppc {
 
 /// Deterministic, equality-preserving encryption for categorical values
@@ -13,11 +15,13 @@ namespace ppc {
 /// categorical distance function (0 iff equal) on tokens alone, and — being
 /// non-colluding and keyless — learns only the equality pattern, exactly as
 /// the paper argues. Implemented as a PRF: token = HMAC-SHA-256(key,
-/// domain-separated plaintext), truncated to 16 bytes.
+/// domain-separated plaintext), truncated to 16 bytes. The HMAC key
+/// schedule is precomputed once per encryptor, so a whole column encrypts
+/// without re-deriving it per value.
 class DeterministicEncryptor {
  public:
   /// `key` may be any byte string; it is conditioned through the PRF.
-  explicit DeterministicEncryptor(std::string key) : key_(std::move(key)) {}
+  explicit DeterministicEncryptor(const std::string& key) : key_(key) {}
 
   /// Returns the 16-byte token for `plaintext`.
   std::string Encrypt(const std::string& plaintext) const;
@@ -26,7 +30,7 @@ class DeterministicEncryptor {
   static constexpr size_t kTokenLength = 16;
 
  private:
-  std::string key_;
+  HmacSha256::Key key_;
 };
 
 }  // namespace ppc

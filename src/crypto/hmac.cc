@@ -1,32 +1,43 @@
 #include "crypto/hmac.h"
 
+#include <array>
+
 #include "crypto/sha256.h"
 
 namespace ppc {
 
-std::string HmacSha256::Mac(const std::string& key,
-                            const std::string& message) {
+HmacSha256::Key::Key(const std::string& key) {
   constexpr size_t kBlockSize = 64;
   std::string k = key;
   if (k.size() > kBlockSize) k = Sha256::Hash(k);
   k.resize(kBlockSize, '\0');
 
-  std::string inner_pad(kBlockSize, '\0');
-  std::string outer_pad(kBlockSize, '\0');
+  std::array<uint8_t, kBlockSize> pad;
   for (size_t i = 0; i < kBlockSize; ++i) {
-    inner_pad[i] = static_cast<char>(k[i] ^ 0x36);
-    outer_pad[i] = static_cast<char>(k[i] ^ 0x5c);
+    pad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
   }
+  inner_midstate_.Update(pad.data(), kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    pad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+  outer_midstate_.Update(pad.data(), kBlockSize);
+}
 
-  Sha256 inner;
-  inner.Update(inner_pad);
-  inner.Update(message);
-  std::string inner_digest = inner.Finish();
+std::string HmacSha256::Key::Mac(const std::string& message) const {
+  Stream stream(*this);
+  stream.Update(message);
+  return stream.Finish();
+}
 
-  Sha256 outer;
-  outer.Update(outer_pad);
-  outer.Update(inner_digest);
-  return outer.Finish();
+std::string HmacSha256::Stream::Finish() {
+  std::string inner_digest = inner_.Finish();
+  outer_.Update(inner_digest);
+  return outer_.Finish();
+}
+
+std::string HmacSha256::Mac(const std::string& key,
+                            const std::string& message) {
+  return Key(key).Mac(message);
 }
 
 bool HmacSha256::Verify(const std::string& expected,

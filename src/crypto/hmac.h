@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "crypto/sha256.h"
+
 namespace ppc {
 
 /// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
@@ -12,7 +14,53 @@ namespace ppc {
 /// and labeled key derivation from Diffie-Hellman shared secrets.
 class HmacSha256 {
  public:
-  /// Computes HMAC-SHA-256(key, message); returns 32 raw bytes.
+  class Stream;
+
+  /// A precomputed HMAC key: the SHA-256 midstates left after absorbing the
+  /// ipad and opad blocks. Building one costs two compressions; every
+  /// subsequent Mac()/Stream clones the midstates instead of re-deriving
+  /// the pads, so the per-message fixed cost collapses to the two final
+  /// compressions the construction fundamentally requires. Immutable after
+  /// construction and safe to share across threads.
+  class Key {
+   public:
+    explicit Key(const std::string& key);
+
+    /// HMAC-SHA-256(key, message); returns 32 raw bytes.
+    std::string Mac(const std::string& message) const;
+
+   private:
+    friend class Stream;
+    Sha256 inner_midstate_;
+    Sha256 outer_midstate_;
+  };
+
+  /// Incremental HMAC over a precomputed `Key`: absorb the message in
+  /// pieces — no concatenation buffer — then `Finish`. One Stream per
+  /// message. The Stream owns copies of both midstates, so it stays
+  /// valid even if the Key it was built from is destroyed.
+  class Stream {
+   public:
+    explicit Stream(const Key& key)
+        : inner_(key.inner_midstate_), outer_(key.outer_midstate_) {}
+
+    void Update(const void* data, size_t length) {
+      inner_.Update(data, length);
+    }
+    void Update(const std::string& data) { inner_.Update(data); }
+
+    /// Finalizes and returns the 32-byte MAC. One-shot: create a new
+    /// Stream for the next message.
+    std::string Finish();
+
+   private:
+    Sha256 inner_;
+    Sha256 outer_;
+  };
+
+  /// Computes HMAC-SHA-256(key, message); returns 32 raw bytes. One-shot
+  /// convenience over `Key`; amortize the key schedule with `Key` when
+  /// MACing many messages under one key.
   static std::string Mac(const std::string& key, const std::string& message);
 
   /// Derives a labeled subkey: HMAC(key, label). Distinct labels yield

@@ -4,6 +4,11 @@
 
 #include "common/string_util.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PPC_SHA_HAVE_X86 1
+#endif
+
 namespace ppc {
 
 namespace {
@@ -25,6 +30,24 @@ inline uint32_t Rotr(uint32_t x, int k) { return (x >> k) | (x << (32 - k)); }
 
 }  // namespace
 
+bool Sha256::ShaNiSupported() {
+#if defined(PPC_SHA_HAVE_X86)
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+#else
+  return false;
+#endif
+}
+
+Sha256::Sha256(Kernel kernel) {
+  if (kernel == Kernel::kAuto) {
+    kernel_ = ShaNiSupported() ? Kernel::kShaNi : Kernel::kScalar;
+  } else {
+    kernel_ = kernel;
+  }
+  Reset();
+}
+
 void Sha256::Reset() {
   state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
@@ -35,7 +58,9 @@ void Sha256::Reset() {
 void Sha256::Update(const void* data, size_t length) {
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   bit_count_ += static_cast<uint64_t>(length) * 8;
-  while (length > 0) {
+  // Top up a partially filled buffer first, then stream whole blocks
+  // straight from the input without the bounce through buffer_.
+  if (buffer_len_ > 0) {
     size_t take = 64 - buffer_len_;
     if (take > length) take = length;
     std::memcpy(buffer_.data() + buffer_len_, bytes, take);
@@ -47,23 +72,32 @@ void Sha256::Update(const void* data, size_t length) {
       buffer_len_ = 0;
     }
   }
+  while (length >= 64) {
+    ProcessBlock(bytes);
+    bytes += 64;
+    length -= 64;
+  }
+  if (length > 0) {
+    std::memcpy(buffer_.data(), bytes, length);
+    buffer_len_ = length;
+  }
 }
 
 std::string Sha256::Finish() {
   // Padding: 0x80, zeros, 64-bit big-endian bit count.
-  uint64_t bits = bit_count_;
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  uint8_t zero = 0;
-  while (buffer_len_ != 56) Update(&zero, 1);
-  uint8_t len_bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  const uint64_t bits = bit_count_;
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, 64 - buffer_len_);
+    ProcessBlock(buffer_.data());
+    buffer_len_ = 0;
   }
-  // Bypass bit counting for the length block itself.
-  uint64_t saved = bit_count_;
-  Update(len_bytes, 8);
-  bit_count_ = saved;
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+  ProcessBlock(buffer_.data());
+  buffer_len_ = 0;
 
   std::string digest(32, '\0');
   for (int i = 0; i < 8; ++i) {
@@ -76,6 +110,16 @@ std::string Sha256::Finish() {
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) {
+#if defined(PPC_SHA_HAVE_X86)
+  if (kernel_ == Kernel::kShaNi) {
+    ProcessBlockShaNi(block);
+    return;
+  }
+#endif
+  ProcessBlockScalar(block);
+}
+
+void Sha256::ProcessBlockScalar(const uint8_t* block) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
@@ -116,6 +160,213 @@ void Sha256::ProcessBlock(const uint8_t* block) {
   state_[6] += g;
   state_[7] += h;
 }
+
+#if defined(PPC_SHA_HAVE_X86)
+
+// The canonical SHA-NI compression sequence (Intel's reference ordering):
+// state lives in two xmm registers as ABEF / CDGH, each _mm_sha256rnds2
+// advances four rounds, and the message schedule is maintained with
+// _mm_sha256msg1/msg2 plus one _mm_alignr_epi8 per four rounds.
+__attribute__((target("sha,sse4.1,ssse3"))) void Sha256::ProcessBlockShaNi(
+    const uint8_t* block) {
+  __m128i state0, state1, msg, tmp;
+  __m128i msg0, msg1, msg2, msg3;
+
+  const __m128i kShuffleMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_[0]));
+  state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state_[4]));
+
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);          // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);    // EFGH
+  state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0); // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  // Rounds 0-3.
+  msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  msg0 = _mm_shuffle_epi8(msg, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 4-7.
+  msg1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16));
+  msg1 = _mm_shuffle_epi8(msg1, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11.
+  msg2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32));
+  msg2 = _mm_shuffle_epi8(msg2, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 12-15.
+  msg3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48));
+  msg3 = _mm_shuffle_epi8(msg3, kShuffleMask);
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-19.
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 20-23.
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 24-27.
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 28-31.
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 32-35.
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 36-39.
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 40-43.
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 44-47.
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 48-51.
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 52-55.
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 56-59.
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 60-63.
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);    // ABEF
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state_[4]), state1);
+}
+
+#endif  // PPC_SHA_HAVE_X86
 
 std::string Sha256::Hash(const std::string& data) {
   Sha256 hasher;

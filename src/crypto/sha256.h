@@ -11,9 +11,33 @@ namespace ppc {
 ///
 /// Used for key derivation (hashing Diffie-Hellman shared secrets into PRNG
 /// seeds), HMAC, and the deterministic encryption of categorical values.
+///
+/// Copying a hasher clones its midstate: the copy continues the absorbed
+/// prefix independently of the original. HMAC exploits this to precompute
+/// the ipad/opad block per key and amortize it across messages
+/// (`HmacSha256::Key`).
+///
+/// Two compression kernels compute the identical function: the portable
+/// scalar rounds (the reference) and the SHA-NI instruction path, selected
+/// at construction when the CPU supports it. Tests pin each kernel against
+/// the FIPS 180-4 vectors.
 class Sha256 {
  public:
-  Sha256() { Reset(); }
+  enum class Kernel : uint8_t {
+    kAuto,    ///< Resolves to kShaNi when supported, else kScalar.
+    kScalar,  ///< Portable reference rounds.
+    kShaNi,   ///< Hardware SHA extensions.
+  };
+
+  explicit Sha256(Kernel kernel = Kernel::kAuto);
+  Sha256(const Sha256&) = default;
+  Sha256& operator=(const Sha256&) = default;
+
+  /// True when the host CPU exposes the SHA-256 extensions.
+  static bool ShaNiSupported();
+
+  /// The kernel this hasher resolved to (never kAuto).
+  Kernel kernel() const { return kernel_; }
 
   /// Clears all state, ready to hash a new message.
   void Reset();
@@ -34,11 +58,16 @@ class Sha256 {
 
  private:
   void ProcessBlock(const uint8_t* block);
+  void ProcessBlockScalar(const uint8_t* block);
+#if defined(__x86_64__) || defined(__i386__)
+  void ProcessBlockShaNi(const uint8_t* block);
+#endif
 
   std::array<uint32_t, 8> state_;
   uint64_t bit_count_;
   std::array<uint8_t, 64> buffer_;
   size_t buffer_len_;
+  Kernel kernel_;
 };
 
 }  // namespace ppc

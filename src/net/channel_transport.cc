@@ -10,6 +10,11 @@ ChannelTransport::ChannelTransport(TransportSecurity security)
 ChannelTransport::Endpoint* ChannelTransport::FindEndpoint(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
+  return FindEndpointLocked(name);
+}
+
+ChannelTransport::Endpoint* ChannelTransport::FindEndpointLocked(
+    const std::string& name) const {
   auto it = parties_.find(name);
   return it == parties_.end() ? nullptr : it->second.get();
 }
@@ -17,8 +22,39 @@ ChannelTransport::Endpoint* ChannelTransport::FindEndpoint(
 ChannelTransport::ChannelState* ChannelTransport::ChannelForLocked(
     const std::string& from, const std::string& to) {
   auto& slot = channels_[std::make_pair(from, to)];
-  if (!slot) slot = std::make_unique<ChannelState>();
+  if (!slot) {
+    slot = std::make_unique<ChannelState>();
+    slot->name = from + "->" + to;
+    if (security_ == TransportSecurity::kAuthenticatedEncryption) {
+      // All key derivation and key expansion for this directed channel
+      // happens here, once; every later Seal/Open reuses the context.
+      slot->crypto = std::make_unique<SecureChannel::Context>(
+          SecureChannel::ChannelKey(master_key_, from, to));
+    }
+  }
   return slot.get();
+}
+
+ChannelTransport::Endpoint* ChannelTransport::ResolveReceive(
+    const std::string& to, const std::string& from,
+    ChannelState** channel) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  Endpoint* endpoint = FindEndpointLocked(to);
+  if (endpoint == nullptr) return nullptr;
+  if (channel != nullptr) {
+    // Look up without creating: a Receive for a sender that never sends
+    // must leave no channel state behind. The state is created lazily
+    // (ChannelFor) only once a frame has actually arrived.
+    auto it = channels_.find(std::make_pair(from, to));
+    *channel = (it != channels_.end()) ? it->second.get() : nullptr;
+  }
+  return endpoint;
+}
+
+ChannelTransport::ChannelState* ChannelTransport::ChannelFor(
+    const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return ChannelForLocked(from, to);
 }
 
 Result<std::string> ChannelTransport::PrepareFrame(const std::string& from,
@@ -33,8 +69,8 @@ Result<std::string> ChannelTransport::PrepareFrame(const std::string& from,
     wire = payload;
   } else {
     PPC_ASSIGN_OR_RETURN(
-        wire, SecureChannel::Seal(
-                  SecureChannel::ChannelKey(master_key_, from, to), topic,
+        wire, channel->crypto->Seal(
+                  topic,
                   channel->nonce_counter.fetch_add(1,
                                                    std::memory_order_relaxed),
                   payload));
@@ -66,7 +102,13 @@ void ChannelTransport::DeliverLocal(Endpoint* endpoint, Message message) {
 Result<Message> ChannelTransport::Receive(const std::string& to,
                                           const std::string& from,
                                           const std::string& expected_topic) {
-  Endpoint* endpoint = FindEndpoint(to);
+  // One registry lock resolves both the endpoint and the channel's
+  // cached crypto state up front.
+  ChannelState* channel = nullptr;
+  Endpoint* endpoint = ResolveReceive(
+      to, from,
+      security() == TransportSecurity::kAuthenticatedEncryption ? &channel
+                                                                : nullptr);
   if (endpoint == nullptr) {
     return Status::NotFound("unknown receiver '" + to + "'");
   }
@@ -108,12 +150,15 @@ Result<Message> ChannelTransport::Receive(const std::string& to,
     }
   }
 
-  // Verification and decryption run outside the queue lock.
-  if (security_ == TransportSecurity::kAuthenticatedEncryption) {
+  // Verification and decryption run outside the queue lock, against the
+  // channel's cached context (and cached name — no per-frame string
+  // building). Steady state resolves both with the endpoint above; only
+  // the channel's first-ever frame pays the locked create-on-use lookup.
+  if (security() == TransportSecurity::kAuthenticatedEncryption) {
+    if (channel == nullptr) channel = ChannelFor(from, to);
     PPC_ASSIGN_OR_RETURN(
         msg.payload,
-        SecureChannel::Open(SecureChannel::ChannelKey(master_key_, from, to),
-                            msg.topic, msg.payload, from + "->" + to));
+        channel->crypto->Open(msg.topic, msg.payload, channel->name));
   }
   return msg;
 }

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "net/secure_channel.h"
 
 namespace ppc {
 
@@ -72,6 +73,13 @@ class ChannelTransport : public Network {
     std::atomic<uint64_t> payload_bytes{0};
     std::atomic<uint64_t> wire_bytes{0};
     std::atomic<uint64_t> nonce_counter{0};
+    /// Cached seal/open context (derived subkeys, AES key schedule, HMAC
+    /// midstates), created with the channel on an authenticated-encryption
+    /// transport; null on plaintext transports. Immutable once built, so
+    /// concurrent Seal/Open need no lock.
+    std::unique_ptr<SecureChannel::Context> crypto;
+    /// "from->to", cached so per-frame error decoration costs nothing.
+    std::string name;
   };
 
   /// Registry lookup (takes registry_mutex_): endpoint for `name`, or
@@ -80,10 +88,29 @@ class ChannelTransport : public Network {
   /// valid after the lock is released.
   Endpoint* FindEndpoint(const std::string& name) const;
 
+  /// As `FindEndpoint`, requiring registry_mutex_ held — the one lookup
+  /// both it and `ResolveReceive` share.
+  Endpoint* FindEndpointLocked(const std::string& name) const;
+
   /// Requires registry_mutex_ held: the channel state for `from` -> `to`,
-  /// created on first use.
+  /// created on first use (including its crypto context, so the key
+  /// derivation cost is paid exactly once per directed channel).
   ChannelState* ChannelForLocked(const std::string& from,
                                  const std::string& to);
+
+  /// One registry-locked lookup for the whole receive path: the endpoint
+  /// for `to` (nullptr if unregistered) and, when `channel` is non-null,
+  /// the `from` -> `to` channel state if that channel already exists
+  /// (never created here — a fruitless Receive must leave no state
+  /// behind). Returned pointers stay valid for the transport's lifetime.
+  Endpoint* ResolveReceive(const std::string& to, const std::string& from,
+                           ChannelState** channel);
+
+  /// Registry-locked create-on-use lookup of the `from` -> `to` channel —
+  /// the receive-side counterpart of the state `PrepareFrame` gets
+  /// handed; called once per channel, for the first frame that actually
+  /// arrives.
+  ChannelState* ChannelFor(const std::string& from, const std::string& to);
 
   /// Send-side frame preparation, identical across backends: seals the
   /// payload under the directed channel's key (pass-through on a

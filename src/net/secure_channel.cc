@@ -1,7 +1,6 @@
 #include "net/secure_channel.h"
 
-#include "crypto/aes128.h"
-#include "crypto/hmac.h"
+#include <cstring>
 
 namespace ppc {
 
@@ -15,7 +14,16 @@ std::string CounterNonce(uint64_t counter) {
   return nonce;
 }
 
+std::string DeriveEncKey(const std::string& channel_key) {
+  std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
+  enc_key.resize(16);
+  return enc_key;
+}
+
 }  // namespace
+
+static_assert(SecureChannel::kNonceLength == Aes128Ctr::kNonceLength,
+              "frame nonce field must match the AES-CTR nonce contract");
 
 const char SecureChannel::kMasterKey[] = "ppc-transport-master-key-v1";
 
@@ -37,47 +45,77 @@ std::string SecureChannel::ConnectionAuthResponse(
   return response;
 }
 
+SecureChannel::Context::Context(const std::string& channel_key)
+    // A 16-byte key can only fail Create on a size mismatch, which
+    // DeriveEncKey rules out.
+    : ctr_(Aes128Ctr::Create(DeriveEncKey(channel_key)).TakeValue()),
+      mac_key_(HmacSha256::DeriveKey(channel_key, "mac")) {}
+
+Result<std::string> SecureChannel::Context::Seal(
+    const std::string& topic, uint64_t nonce_counter,
+    const std::string& payload) const {
+  const std::string nonce = CounterNonce(nonce_counter);
+  // Single pre-sized frame buffer: nonce || ciphertext || mac.
+  std::string wire(kNonceLength + payload.size() + kMacLength, '\0');
+  std::memcpy(wire.data(), nonce.data(), kNonceLength);
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + kNonceLength, payload.data(), payload.size());
+  }
+  PPC_RETURN_IF_ERROR(
+      ctr_.CryptInPlace(nonce, wire.data() + kNonceLength, payload.size()));
+
+  // MAC input is topic ":" nonce ciphertext; nonce and ciphertext are
+  // already adjacent in the frame, so the whole input streams through
+  // without being concatenated anywhere.
+  HmacSha256::Stream mac(mac_key_);
+  mac.Update(topic);
+  mac.Update(":", 1);
+  mac.Update(wire.data(), kNonceLength + payload.size());
+  const std::string digest = mac.Finish();
+  std::memcpy(wire.data() + kNonceLength + payload.size(), digest.data(),
+              kMacLength);
+  return wire;
+}
+
+Result<std::string> SecureChannel::Context::Open(
+    const std::string& topic, const std::string& wire,
+    const std::string& channel_name) const {
+  if (wire.size() < kNonceLength + kMacLength) {
+    return Status::DataLoss("wire frame shorter than nonce+mac");
+  }
+  const size_t ciphertext_length = wire.size() - kNonceLength - kMacLength;
+
+  HmacSha256::Stream mac(mac_key_);
+  mac.Update(topic);
+  mac.Update(":", 1);
+  mac.Update(wire.data(), kNonceLength + ciphertext_length);
+  std::string expected_mac = mac.Finish();
+  expected_mac.resize(kMacLength);
+  if (!HmacSha256::Verify(expected_mac,
+                          wire.substr(wire.size() - kMacLength))) {
+    return Status::ProtocolViolation("MAC verification failed on channel " +
+                                     channel_name);
+  }
+
+  const std::string nonce = wire.substr(0, kNonceLength);
+  std::string plaintext(wire.data() + kNonceLength, ciphertext_length);
+  PPC_RETURN_IF_ERROR(
+      ctr_.CryptInPlace(nonce, plaintext.data(), plaintext.size()));
+  return plaintext;
+}
+
 Result<std::string> SecureChannel::Seal(const std::string& channel_key,
                                         const std::string& topic,
                                         uint64_t nonce_counter,
                                         const std::string& payload) {
-  std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
-  enc_key.resize(16);
-  std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
-  auto ctr = Aes128Ctr::Create(enc_key);
-  if (!ctr.ok()) return ctr.status();
-  std::string nonce = CounterNonce(nonce_counter);
-  std::string ciphertext = ctr->Crypt(nonce, payload);
-  std::string mac = HmacSha256::Mac(mac_key, topic + ":" + nonce + ciphertext);
-  mac.resize(kMacLength);
-  return nonce + ciphertext + mac;
+  return Context(channel_key).Seal(topic, nonce_counter, payload);
 }
 
 Result<std::string> SecureChannel::Open(const std::string& channel_key,
                                         const std::string& topic,
                                         const std::string& wire,
                                         const std::string& channel_name) {
-  if (wire.size() < kNonceLength + kMacLength) {
-    return Status::DataLoss("wire frame shorter than nonce+mac");
-  }
-  std::string nonce = wire.substr(0, kNonceLength);
-  std::string mac = wire.substr(wire.size() - kMacLength);
-  std::string ciphertext =
-      wire.substr(kNonceLength, wire.size() - kNonceLength - kMacLength);
-
-  std::string mac_key = HmacSha256::DeriveKey(channel_key, "mac");
-  std::string expected_mac =
-      HmacSha256::Mac(mac_key, topic + ":" + nonce + ciphertext);
-  expected_mac.resize(kMacLength);
-  if (!HmacSha256::Verify(expected_mac, mac)) {
-    return Status::ProtocolViolation("MAC verification failed on channel " +
-                                     channel_name);
-  }
-  std::string enc_key = HmacSha256::DeriveKey(channel_key, "enc");
-  enc_key.resize(16);
-  auto ctr = Aes128Ctr::Create(enc_key);
-  if (!ctr.ok()) return ctr.status();
-  return ctr->Crypt(nonce, ciphertext);
+  return Context(channel_key).Open(topic, wire, channel_name);
 }
 
 }  // namespace ppc

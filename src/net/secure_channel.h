@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/result.h"
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
 
 namespace ppc {
 
@@ -25,6 +27,12 @@ namespace ppc {
 /// key and the directed channel name — modeling transport keys
 /// established out of band (e.g. TLS); the protocol's security analysis
 /// treats channel encryption as given.
+///
+/// Hot-path usage is through `Context`: the enc/mac subkey derivations,
+/// the AES key expansion, and the HMAC pad midstates are computed once per
+/// directed channel, so steady-state Seal/Open performs zero key
+/// derivations. The static `Seal`/`Open` are the one-shot reference —
+/// identical bytes, re-deriving everything per call.
 class SecureChannel {
  public:
   static constexpr size_t kNonceLength = 8;
@@ -38,6 +46,37 @@ class SecureChannel {
   /// "channels are secured out of band" assumption and keeps independent
   /// processes interoperable.
   static const char kMasterKey[];
+
+  /// The cached cryptographic state of one directed channel: the AES-128
+  /// key schedule for the derived enc subkey and the precomputed HMAC
+  /// ipad/opad midstates for the derived mac subkey. Construction performs
+  /// all key derivation; Seal/Open afterwards touch only the payload.
+  /// Immutable after construction — safe for concurrent Seal/Open calls.
+  class Context {
+   public:
+    explicit Context(const std::string& channel_key);
+
+    /// Seals `payload` into a wire frame, using `nonce_counter` as the
+    /// (never reused) per-channel nonce. The frame is assembled in one
+    /// pre-sized buffer: the payload is copied in once, encrypted in
+    /// place, and MACed incrementally — no intermediate full-payload
+    /// copies.
+    Result<std::string> Seal(const std::string& topic, uint64_t nonce_counter,
+                             const std::string& payload) const;
+
+    /// Verifies and decrypts a wire frame produced by `Seal`.
+    /// `channel_name` only decorates error messages ("A->B"). Returns
+    /// kDataLoss on frames shorter than nonce+mac and kProtocolViolation
+    /// on MAC mismatch. The MAC is checked incrementally over the frame
+    /// bytes; only the plaintext buffer is allocated.
+    Result<std::string> Open(const std::string& topic,
+                             const std::string& wire,
+                             const std::string& channel_name) const;
+
+   private:
+    Aes128Ctr ctr_;
+    HmacSha256::Key mac_key_;
+  };
 
   /// Derives the directed-channel key for `from` -> `to`.
   static std::string ChannelKey(const std::string& master_key,
@@ -59,16 +98,15 @@ class SecureChannel {
                                             const std::string& label,
                                             const std::string& challenge);
 
-  /// Seals `payload` into a wire frame under `channel_key`, using
-  /// `nonce_counter` as the (never reused) per-channel nonce.
+  /// One-shot reference for `Context::Seal`: derives the channel context
+  /// and seals in one call. Bit-identical output; pay the derivation cost
+  /// per frame only where a channel is used once (tests, tools).
   static Result<std::string> Seal(const std::string& channel_key,
                                   const std::string& topic,
                                   uint64_t nonce_counter,
                                   const std::string& payload);
 
-  /// Verifies and decrypts a wire frame produced by `Seal`. `channel_name`
-  /// only decorates error messages ("A->B"). Returns kDataLoss on frames
-  /// shorter than nonce+mac and kProtocolViolation on MAC mismatch.
+  /// One-shot reference for `Context::Open`; see `Seal`.
   static Result<std::string> Open(const std::string& channel_key,
                                   const std::string& topic,
                                   const std::string& wire,

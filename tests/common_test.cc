@@ -193,6 +193,50 @@ TEST(SerdeTest, EmptyVectorsRoundTrip) {
   EXPECT_TRUE(reader.ReadBytesVector().value().empty());
 }
 
+TEST(SerdeTest, ReserveDoesNotChangeBytes) {
+  // Reserve is a capacity hint only: interleaved with writes, the encoded
+  // bytes are identical to an unreserved writer's.
+  ByteWriter reserved;
+  reserved.Reserve(4 + 4 + 5 + 4 + 8 * 3);
+  reserved.WriteU32(7);
+  reserved.WriteBytes("hello");
+  reserved.Reserve(1000);  // Oversized hints are harmless too.
+  reserved.WriteU64Vector({1, 2, 3});
+
+  ByteWriter plain;
+  plain.WriteU32(7);
+  plain.WriteBytes("hello");
+  plain.WriteU64Vector({1, 2, 3});
+  EXPECT_EQ(reserved.bytes(), plain.bytes());
+  EXPECT_EQ(reserved.size(), plain.size());
+}
+
+TEST(SerdeTest, ReadBytesViewAliasesBuffer) {
+  ByteWriter writer;
+  writer.WriteBytes("zero-copy");
+  writer.WriteU32(99);
+  std::string bytes = writer.TakeBytes();
+  ByteReader reader(bytes);
+  std::string_view view = reader.ReadBytesView().value();
+  EXPECT_EQ(view, "zero-copy");
+  // The view points into the reader's buffer, not a copy.
+  EXPECT_GE(view.data(), bytes.data());
+  EXPECT_LT(view.data(), bytes.data() + bytes.size());
+  // The reader advances past the field like ReadBytes would.
+  EXPECT_EQ(reader.ReadU32().value(), 99u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, ReadBytesViewTruncationIsDataLoss) {
+  ByteWriter writer;
+  writer.WriteU32(1000);  // Length prefix promising bytes that never come.
+  std::string bytes = writer.TakeBytes();
+  ByteReader reader(bytes);
+  auto result = reader.ReadBytesView();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
 // ------------------------------------------------------------ FixedPoint --
 
 TEST(FixedPointTest, EncodesWithRounding) {

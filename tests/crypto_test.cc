@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
 #include "common/string_util.h"
 #include "crypto/aes128.h"
 #include "crypto/bigint.h"
@@ -67,6 +71,53 @@ TEST(Sha256Test, PaddingBoundaries) {
   }
 }
 
+TEST(Sha256Test, ScalarKernelMatchesNistVectors) {
+  // FIPS 180-4 vectors against the pinned portable kernel, so the
+  // hardware path never becomes the only checked implementation.
+  Sha256 scalar(Sha256::Kernel::kScalar);
+  scalar.Update("abc");
+  EXPECT_EQ(HexEncode(scalar.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  Sha256 scalar2(Sha256::Kernel::kScalar);
+  scalar2.Update("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(HexEncode(scalar2.Finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, KernelsAgreeOnArbitraryMessages) {
+  if (!Sha256::ShaNiSupported()) {
+    GTEST_SKIP() << "SHA-NI not available on this CPU";
+  }
+  auto rng = MakePrng(PrngKind::kXoshiro256, 42);
+  for (size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    std::string data(len, '\0');
+    for (size_t i = 0; i < len; ++i) {
+      data[i] = static_cast<char>(rng->Next() & 0xff);
+    }
+    Sha256 scalar(Sha256::Kernel::kScalar);
+    Sha256 shani(Sha256::Kernel::kShaNi);
+    scalar.Update(data);
+    shani.Update(data);
+    EXPECT_EQ(scalar.Finish(), shani.Finish()) << "length " << len;
+  }
+}
+
+TEST(Sha256Test, MidstateCloneContinuesIndependently) {
+  // Copying a hasher mid-message clones the midstate: both the original
+  // and the copy finish correctly on their own suffixes. This is the
+  // property HMAC's precomputed keys rely on.
+  Sha256 base;
+  base.Update("abcdbcdecdefdefgefghfghighijhijkijkl");  // Partial message.
+  Sha256 fork = base;
+  base.Update("jklmklmnlmnomnopnopq");
+  EXPECT_EQ(HexEncode(base.Finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // The fork was unaffected by the original's continuation.
+  fork.Update("jklmklmnlmnomnopnopq");
+  EXPECT_EQ(HexEncode(fork.Finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
 // ------------------------------------------------------------------- HMAC --
 
 TEST(HmacTest, Rfc4231Case1) {
@@ -85,6 +136,90 @@ TEST(HmacTest, Rfc4231Case6LongKey) {
   EXPECT_EQ(HexEncode(HmacSha256::Mac(
                 key, "Test Using Larger Than Block-Size Key - Hash Key First")),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  std::string key(20, '\xaa');
+  std::string data(50, '\xdd');
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case4) {
+  std::string key;
+  for (int i = 1; i <= 25; ++i) key.push_back(static_cast<char>(i));
+  std::string data(50, '\xcd');
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacTest, Rfc4231Case5Truncated) {
+  // The truncated-output case — the same truncation the secure channel
+  // applies to its 16-byte frame MAC.
+  std::string key(20, '\x0c');
+  std::string mac = HmacSha256::Mac(key, "Test With Truncation");
+  mac.resize(16);
+  EXPECT_EQ(HexEncode(mac), "a3b6167473100ee06e0c796c2955552b");
+}
+
+TEST(HmacTest, Rfc4231Case7LongKeyLongData) {
+  std::string key(131, '\xaa');
+  EXPECT_EQ(
+      HexEncode(HmacSha256::Mac(
+          key,
+          "This is a test using a larger than block-size key and a larger "
+          "than block-size data. The key needs to be hashed before being "
+          "used by the HMAC algorithm.")),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacTest, PrecomputedKeyMatchesOneShot) {
+  HmacSha256::Key key("shared-secret");
+  for (const std::string& message :
+       {std::string(""), std::string("short"), std::string(1000, 'm')}) {
+    EXPECT_EQ(key.Mac(message), HmacSha256::Mac("shared-secret", message));
+  }
+  // Long keys get hashed down to block size first; the precomputed form
+  // must apply the same conditioning.
+  std::string long_key(131, '\xaa');
+  HmacSha256::Key conditioned(long_key);
+  EXPECT_EQ(conditioned.Mac("msg"), HmacSha256::Mac(long_key, "msg"));
+}
+
+TEST(HmacTest, StreamMatchesOneShotAcrossChunkings) {
+  HmacSha256::Key key("stream-key");
+  std::string message;
+  for (int i = 0; i < 300; ++i) message.push_back(static_cast<char>(i * 11));
+  const std::string expected = key.Mac(message);
+  for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 300u}) {
+    HmacSha256::Stream stream(key);
+    for (size_t pos = 0; pos < message.size(); pos += chunk) {
+      stream.Update(message.substr(pos, chunk));
+    }
+    EXPECT_EQ(stream.Finish(), expected) << "chunk " << chunk;
+  }
+}
+
+TEST(HmacTest, StreamOutlivesItsKey) {
+  // A Stream owns midstate copies, so it stays valid after the Key that
+  // seeded it is destroyed.
+  const std::string expected = HmacSha256::Mac("k", "message");
+  auto make_stream = [] {
+    HmacSha256::Key key("k");
+    return HmacSha256::Stream(key);  // `key` dies here.
+  };
+  HmacSha256::Stream stream = make_stream();
+  stream.Update("message");
+  EXPECT_EQ(stream.Finish(), expected);
+}
+
+TEST(HmacTest, OneKeyServesManyStreams) {
+  HmacSha256::Key key("reusable");
+  HmacSha256::Stream a(key), b(key);
+  a.Update("message-a");
+  b.Update("message-b");
+  EXPECT_EQ(a.Finish(), HmacSha256::Mac("reusable", "message-a"));
+  EXPECT_EQ(b.Finish(), HmacSha256::Mac("reusable", "message-b"));
 }
 
 TEST(HmacTest, DeriveKeySeparatesLabels) {
@@ -106,14 +241,134 @@ TEST(HmacTest, VerifyConstantTimeSemantics) {
 
 // ---------------------------------------------------------------- AES-128 --
 
-TEST(Aes128Test, Fips197Vector) {
-  std::string key = FromHex("000102030405060708090a0b0c0d0e0f");
-  std::string plaintext = FromHex("00112233445566778899aabbccddeeff");
-  Aes128 aes = Aes128::Create(key).TakeValue();
+/// Every available block-cipher kernel: the scalar reference, the T-table
+/// fast path, and AES-NI when the CPU has it.
+std::vector<Aes128::Kernel> AvailableAesKernels() {
+  std::vector<Aes128::Kernel> kernels = {Aes128::Kernel::kScalar,
+                                         Aes128::Kernel::kTTable};
+  if (Aes128::AesniSupported()) kernels.push_back(Aes128::Kernel::kAesni);
+  return kernels;
+}
+
+std::string EncryptOneBlock(const Aes128& aes, const std::string& plaintext) {
   uint8_t out[16];
   aes.EncryptBlock(reinterpret_cast<const uint8_t*>(plaintext.data()), out);
-  EXPECT_EQ(HexEncode(std::string(reinterpret_cast<char*>(out), 16)),
-            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  return std::string(reinterpret_cast<char*>(out), 16);
+}
+
+TEST(Aes128Test, Fips197VectorAllKernels) {
+  std::string key = FromHex("000102030405060708090a0b0c0d0e0f");
+  std::string plaintext = FromHex("00112233445566778899aabbccddeeff");
+  for (Aes128::Kernel kernel : AvailableAesKernels()) {
+    Aes128 aes = Aes128::CreateWithKernel(key, kernel).TakeValue();
+    EXPECT_EQ(HexEncode(EncryptOneBlock(aes, plaintext)),
+              "69c4e0d86a7b0430d8cdb78070b4c55a")
+        << "kernel " << static_cast<int>(kernel);
+  }
+}
+
+TEST(Aes128Test, Sp800_38aEcbVectorsAllKernels) {
+  // NIST SP 800-38A F.1.1, ECB-AES128.Encrypt: four blocks.
+  std::string key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const struct {
+    const char* plaintext;
+    const char* ciphertext;
+  } kVectors[] = {
+      {"6bc1bee22e409f96e93d7e117393172a",
+       "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51",
+       "f5d3d58503b9699de785895a96fdbaaf"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef",
+       "43b1cd7f598ece23881b00e3ed030688"},
+      {"f69f2445df4f9b17ad2b417be66c3710",
+       "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+  for (Aes128::Kernel kernel : AvailableAesKernels()) {
+    Aes128 aes = Aes128::CreateWithKernel(key, kernel).TakeValue();
+    for (const auto& vec : kVectors) {
+      EXPECT_EQ(HexEncode(EncryptOneBlock(aes, FromHex(vec.plaintext))),
+                vec.ciphertext)
+          << "kernel " << static_cast<int>(kernel);
+    }
+  }
+}
+
+TEST(Aes128Test, Sp800_38aCtrComposition) {
+  // NIST SP 800-38A F.5.1, CTR-AES128.Encrypt: the published counter
+  // blocks run through each block-cipher kernel, composed into CTR by
+  // XOR. (The transport's own nonce||counter layout is pinned separately
+  // below; this checks the cipher+XOR composition against published
+  // constants.)
+  std::string key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const struct {
+    const char* counter_block;
+    const char* plaintext;
+    const char* ciphertext;
+  } kVectors[] = {
+      {"f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff",
+       "6bc1bee22e409f96e93d7e117393172a",
+       "874d6191b620e3261bef6864990db6ce"},
+      {"f0f1f2f3f4f5f6f7f8f9fafbfcfdff00",
+       "ae2d8a571e03ac9c9eb76fac45af8e51",
+       "9806f66b7970fdff8617187bb9fffdff"},
+      {"f0f1f2f3f4f5f6f7f8f9fafbfcfdff01",
+       "30c81c46a35ce411e5fbc1191a0a52ef",
+       "5ae4df3edbd5d35e5b4f09020db03eab"},
+      {"f0f1f2f3f4f5f6f7f8f9fafbfcfdff02",
+       "f69f2445df4f9b17ad2b417be66c3710",
+       "1e031dda2fbe03d1792170a0f3009cee"},
+  };
+  for (Aes128::Kernel kernel : AvailableAesKernels()) {
+    Aes128 aes = Aes128::CreateWithKernel(key, kernel).TakeValue();
+    for (const auto& vec : kVectors) {
+      std::string keystream = EncryptOneBlock(aes, FromHex(vec.counter_block));
+      std::string plaintext = FromHex(vec.plaintext);
+      std::string ciphertext(16, '\0');
+      for (int i = 0; i < 16; ++i) {
+        ciphertext[i] = static_cast<char>(plaintext[i] ^ keystream[i]);
+      }
+      EXPECT_EQ(HexEncode(ciphertext), vec.ciphertext)
+          << "kernel " << static_cast<int>(kernel);
+    }
+  }
+}
+
+TEST(Aes128Test, KernelsAgreeOnRandomBlocks) {
+  auto rng = MakePrng(PrngKind::kXoshiro256, 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string key(16, '\0');
+    uint8_t in[16];
+    for (int i = 0; i < 16; ++i) {
+      key[i] = static_cast<char>(rng->Next() & 0xff);
+      in[i] = static_cast<uint8_t>(rng->Next() & 0xff);
+    }
+    std::string reference;
+    for (Aes128::Kernel kernel : AvailableAesKernels()) {
+      Aes128 aes = Aes128::CreateWithKernel(key, kernel).TakeValue();
+      uint8_t out[16];
+      aes.EncryptBlock(in, out);
+      std::string got(reinterpret_cast<char*>(out), 16);
+      if (reference.empty()) {
+        reference = got;
+      } else {
+        EXPECT_EQ(got, reference) << "kernel " << static_cast<int>(kernel);
+      }
+      // The four-block batch is the CTR hot path; it must agree with
+      // block-at-a-time on every kernel.
+      uint8_t batch_in[64], batch_out[64], single_out[64];
+      for (int b = 0; b < 4; ++b) {
+        for (int i = 0; i < 16; ++i) {
+          batch_in[16 * b + i] = static_cast<uint8_t>(rng->Next() & 0xff);
+        }
+      }
+      aes.Encrypt4Blocks(batch_in, batch_out);
+      for (int b = 0; b < 4; ++b) {
+        aes.EncryptBlock(batch_in + 16 * b, single_out + 16 * b);
+      }
+      EXPECT_EQ(std::memcmp(batch_out, single_out, 64), 0)
+          << "kernel " << static_cast<int>(kernel);
+    }
+  }
 }
 
 TEST(Aes128Test, RejectsWrongKeySize) {
@@ -123,21 +378,99 @@ TEST(Aes128Test, RejectsWrongKeySize) {
 
 TEST(Aes128CtrTest, RoundTripsArbitraryLengths) {
   Aes128Ctr ctr = Aes128Ctr::Create(std::string(16, 'k')).TakeValue();
-  for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u, 100u, 1000u}) {
     std::string data(len, '\0');
     for (size_t i = 0; i < len; ++i) data[i] = static_cast<char>(i * 7);
-    std::string ct = ctr.Crypt("nonce123", data);
-    EXPECT_EQ(ctr.Crypt("nonce123", ct), data) << "length " << len;
+    std::string ct = ctr.Crypt("nonce123", data).TakeValue();
+    EXPECT_EQ(ctr.Crypt("nonce123", ct).TakeValue(), data)
+        << "length " << len;
     if (len > 0) {
       EXPECT_NE(ct, data);
     }
   }
 }
 
+TEST(Aes128CtrTest, KernelsProduceIdenticalKeystream) {
+  // The CTR construction (nonce || big-endian counter, multi-block batch,
+  // word-wide XOR) is on the wire format; every kernel must produce the
+  // same bytes for lengths straddling the 64-byte batch boundary.
+  std::string key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  for (size_t len : {0u, 1u, 16u, 63u, 64u, 65u, 128u, 130u, 1000u}) {
+    std::string data(len, '\0');
+    for (size_t i = 0; i < len; ++i) data[i] = static_cast<char>(i * 13);
+    std::string reference;
+    for (Aes128::Kernel kernel : AvailableAesKernels()) {
+      Aes128Ctr ctr = Aes128Ctr::CreateWithKernel(key, kernel).TakeValue();
+      std::string got = ctr.Crypt("nonce123", data).TakeValue();
+      if (reference.empty() && len > 0) {
+        reference = got;
+      } else if (len > 0) {
+        EXPECT_EQ(got, reference)
+            << "kernel " << static_cast<int>(kernel) << " length " << len;
+      }
+    }
+  }
+}
+
+TEST(Aes128CtrTest, MatchesManualBlockComposition) {
+  // Pins the transport's counter-block layout: nonce in bytes 0..8, then
+  // a big-endian 64-bit block counter starting at zero.
+  std::string key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes = Aes128::Create(key).TakeValue();
+  Aes128Ctr ctr = Aes128Ctr::Create(key).TakeValue();
+  const std::string nonce = FromHex("f0f1f2f3f4f5f6f7");
+  std::string data(40, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+
+  std::string expected = data;
+  for (size_t block = 0; 16 * block < data.size(); ++block) {
+    uint8_t counter_block[16];
+    std::memcpy(counter_block, nonce.data(), 8);
+    for (int i = 0; i < 8; ++i) {
+      counter_block[8 + i] =
+          static_cast<uint8_t>(static_cast<uint64_t>(block) >> (56 - 8 * i));
+    }
+    uint8_t keystream[16];
+    aes.EncryptBlock(counter_block, keystream);
+    for (size_t i = 16 * block; i < data.size() && i < 16 * (block + 1);
+         ++i) {
+      expected[i] = static_cast<char>(expected[i] ^ keystream[i % 16]);
+    }
+  }
+  EXPECT_EQ(ctr.Crypt(nonce, data).TakeValue(), expected);
+}
+
+TEST(Aes128CtrTest, InPlaceMatchesAllocating) {
+  Aes128Ctr ctr = Aes128Ctr::Create(std::string(16, 'k')).TakeValue();
+  std::string data(333, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i * 3);
+  std::string expected = ctr.Crypt("nonce123", data).TakeValue();
+  std::string in_place = data;
+  ASSERT_TRUE(
+      ctr.CryptInPlace("nonce123", in_place.data(), in_place.size()).ok());
+  EXPECT_EQ(in_place, expected);
+}
+
+TEST(Aes128CtrTest, RejectsWrongNonceLength) {
+  // A short nonce used to be zero-padded silently — a (key, nonce) reuse
+  // hazard. It is now a contract violation.
+  Aes128Ctr ctr = Aes128Ctr::Create(std::string(16, 'k')).TakeValue();
+  for (const std::string& nonce :
+       {std::string(""), std::string("short"), std::string(9, 'n'),
+        std::string(16, 'n')}) {
+    auto result = ctr.Crypt(nonce, "payload");
+    ASSERT_FALSE(result.ok()) << "nonce length " << nonce.size();
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    std::string buf = "payload";
+    EXPECT_FALSE(ctr.CryptInPlace(nonce, buf.data(), buf.size()).ok());
+  }
+}
+
 TEST(Aes128CtrTest, DistinctNoncesDistinctKeystreams) {
   Aes128Ctr ctr = Aes128Ctr::Create(std::string(16, 'k')).TakeValue();
   std::string zeros(64, '\0');
-  EXPECT_NE(ctr.Crypt("nonceAAA", zeros), ctr.Crypt("nonceBBB", zeros));
+  EXPECT_NE(ctr.Crypt("nonceAAA", zeros).TakeValue(),
+            ctr.Crypt("nonceBBB", zeros).TakeValue());
 }
 
 // ----------------------------------------------- Deterministic encryption --

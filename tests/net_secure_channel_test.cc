@@ -1,0 +1,147 @@
+// SecureChannel unit tests: the cached per-channel Context against the
+// one-shot reference path, and a golden wire frame pinned to hex constants
+// captured from the pre-optimization implementation — the secure-channel
+// rewrite must never change a single wire byte.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "net/secure_channel.h"
+
+namespace ppc {
+namespace {
+
+std::string GoldenPayload() {
+  std::string payload;
+  for (int i = 0; i < 100; ++i) payload.push_back(static_cast<char>(i * 7));
+  return payload;
+}
+
+// Captured from the implementation predating the cached-context /
+// fast-kernel rewrite (same seal inputs, byte for byte).
+constexpr char kGoldenChannelKeyHex[] =
+    "47378b27a252b7f21a7bf838548d28b39a4388e1a653f80b6e5fc44025251fe0";
+constexpr char kGoldenWireHex[] =
+    "2a00000000000000872d746c6ba9ace6199a1a19e67d497d66980358191a320b42cec742"
+    "989e7a9fb158d0d61642a41c1af9cc21a1def24230c1c2a34aef60e385ff8f7a7606ea35"
+    "c37c73a5573d76a7a6281842228ceb576d1174965687a3c0af7b085cfc60bd6db15ad8a0"
+    "c5f976d10f539b4d07bc1a3ab7ee8ac4";
+constexpr char kGoldenEmptyWireHex[] =
+    "00000000000000000b6cc6025b2f2ce5ad602808d3fb88ca";
+
+TEST(SecureChannelTest, ChannelKeyDerivationPinned) {
+  EXPECT_EQ(HexEncode(SecureChannel::ChannelKey(SecureChannel::kMasterKey,
+                                                "alice", "bob")),
+            kGoldenChannelKeyHex);
+}
+
+TEST(SecureChannelTest, GoldenFrameUnchangedByRewrite) {
+  const std::string key =
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "alice", "bob");
+  SecureChannel::Context context(key);
+
+  auto context_wire = context.Seal("demo.topic", 42, GoldenPayload());
+  ASSERT_TRUE(context_wire.ok());
+  EXPECT_EQ(HexEncode(context_wire.value()), kGoldenWireHex);
+
+  auto static_wire = SecureChannel::Seal(key, "demo.topic", 42,
+                                         GoldenPayload());
+  ASSERT_TRUE(static_wire.ok());
+  EXPECT_EQ(HexEncode(static_wire.value()), kGoldenWireHex);
+
+  auto empty_wire = context.Seal("t", 0, "");
+  ASSERT_TRUE(empty_wire.ok());
+  EXPECT_EQ(HexEncode(empty_wire.value()), kGoldenEmptyWireHex);
+}
+
+TEST(SecureChannelTest, ContextAndStaticPathsInteroperate) {
+  const std::string key =
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "a", "b");
+  SecureChannel::Context context(key);
+  const std::string payload = "cross-path payload";
+
+  auto context_sealed = context.Seal("topic.x", 7, payload);
+  ASSERT_TRUE(context_sealed.ok());
+  auto static_opened =
+      SecureChannel::Open(key, "topic.x", context_sealed.value(), "a->b");
+  ASSERT_TRUE(static_opened.ok());
+  EXPECT_EQ(static_opened.value(), payload);
+
+  auto static_sealed = SecureChannel::Seal(key, "topic.x", 7, payload);
+  ASSERT_TRUE(static_sealed.ok());
+  EXPECT_EQ(static_sealed.value(), context_sealed.value());
+  auto context_opened = context.Open("topic.x", static_sealed.value(), "a->b");
+  ASSERT_TRUE(context_opened.ok());
+  EXPECT_EQ(context_opened.value(), payload);
+}
+
+TEST(SecureChannelTest, RoundTripsPayloadSizes) {
+  SecureChannel::Context context(
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "a", "b"));
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u, 4096u}) {
+    std::string payload(len, '\0');
+    for (size_t i = 0; i < len; ++i) payload[i] = static_cast<char>(i * 5);
+    auto wire = context.Seal("t", len, payload);
+    ASSERT_TRUE(wire.ok()) << "length " << len;
+    EXPECT_EQ(wire.value().size(), SecureChannel::kNonceLength + len +
+                                       SecureChannel::kMacLength);
+    auto opened = context.Open("t", wire.value(), "a->b");
+    ASSERT_TRUE(opened.ok()) << "length " << len;
+    EXPECT_EQ(opened.value(), payload) << "length " << len;
+  }
+}
+
+TEST(SecureChannelTest, TamperedFrameFailsMac) {
+  SecureChannel::Context context(
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "a", "b"));
+  auto wire = context.Seal("t", 3, "authentic payload");
+  ASSERT_TRUE(wire.ok());
+  // Flip one bit anywhere — nonce, ciphertext, or MAC.
+  for (size_t pos : {size_t{0}, size_t{9}, wire.value().size() - 1}) {
+    std::string tampered = wire.value();
+    tampered[pos] = static_cast<char>(tampered[pos] ^ 1);
+    auto opened = context.Open("t", tampered, "a->b");
+    ASSERT_FALSE(opened.ok()) << "byte " << pos;
+    EXPECT_EQ(opened.status().code(), StatusCode::kProtocolViolation);
+  }
+}
+
+TEST(SecureChannelTest, MacIsBoundToTopic) {
+  SecureChannel::Context context(
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "a", "b"));
+  auto wire = context.Seal("topic.real", 1, "payload");
+  ASSERT_TRUE(wire.ok());
+  auto opened = context.Open("topic.forged", wire.value(), "a->b");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kProtocolViolation);
+}
+
+TEST(SecureChannelTest, ShortFrameIsDataLoss) {
+  SecureChannel::Context context(
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "a", "b"));
+  std::string too_short(
+      SecureChannel::kNonceLength + SecureChannel::kMacLength - 1, 'x');
+  auto opened = context.Open("t", too_short, "a->b");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SecureChannelTest, DistinctChannelKeysDistinctFrames) {
+  SecureChannel::Context ab(
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "a", "b"));
+  SecureChannel::Context ba(
+      SecureChannel::ChannelKey(SecureChannel::kMasterKey, "b", "a"));
+  auto wire_ab = ab.Seal("t", 5, "same payload");
+  auto wire_ba = ba.Seal("t", 5, "same payload");
+  ASSERT_TRUE(wire_ab.ok());
+  ASSERT_TRUE(wire_ba.ok());
+  EXPECT_NE(wire_ab.value(), wire_ba.value());
+  // And the reverse channel cannot open the forward channel's frames.
+  EXPECT_FALSE(ba.Open("t", wire_ab.value(), "a->b").ok());
+}
+
+}  // namespace
+}  // namespace ppc
