@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "PermissionDenied";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

@@ -30,6 +30,9 @@ enum class StatusCode {
   kPermissionDenied,
   /// Arithmetic would overflow the representable range.
   kOutOfRange,
+  /// A finite resource is used up (e.g. a channel's nonce space) and the
+  /// operation can never succeed again on this object.
+  kResourceExhausted,
   /// The requested feature is recognized but not implemented.
   kUnimplemented,
   /// Catch-all for internal invariant failures.
@@ -82,6 +85,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

@@ -1,0 +1,90 @@
+#include "core/session_registry.h"
+
+#include <utility>
+
+namespace ppc {
+
+Status SessionRegistry::StartSession(const std::string& id, SessionBody body) {
+  if (id.empty()) {
+    return Status::InvalidArgument(
+        "session id must be non-empty (the empty id is the transport's "
+        "default session)");
+  }
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(id);
+    if (!inserted) {
+      return Status::AlreadyExists("session '" + id + "' already started");
+    }
+    it->second = std::make_unique<Entry>();
+    entry = it->second.get();
+    entry->view = std::make_unique<SessionNetwork>(transport_, id);
+  }
+  // The thread starts outside the registry lock; `entry` is stable (never
+  // erased) and the worker touches only its own fields.
+  entry->worker = std::thread([entry, body = std::move(body)] {
+    entry->result = body(entry->view.get());
+    entry->done.store(true, std::memory_order_release);
+  });
+  return Status::OK();
+}
+
+Status SessionRegistry::Join(Entry* entry) {
+  {
+    std::lock_guard<std::mutex> lock(entry->join_mutex);
+    if (entry->worker.joinable()) entry->worker.join();
+  }
+  return entry->result;
+}
+
+Status SessionRegistry::WaitSession(const std::string& id) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      return Status::NotFound("session '" + id + "' was never started");
+    }
+    entry = it->second.get();
+  }
+  return Join(entry);
+}
+
+Status SessionRegistry::WaitAll() {
+  // Snapshot under the lock, join outside it: a body may StartSession.
+  std::vector<std::pair<std::string, Entry*>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(entries_.size());
+    for (auto& [id, entry] : entries_) entries.emplace_back(id, entry.get());
+  }
+  Status first_error;
+  for (auto& [id, entry] : entries) {
+    Status status = Join(entry);
+    if (!status.ok() && first_error.ok()) {
+      first_error = Status(status.code(),
+                           "session '" + id + "': " + status.message());
+    }
+  }
+  return first_error;
+}
+
+size_t SessionRegistry::ActiveCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t active = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (!entry->done.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+std::vector<std::string> SessionRegistry::SessionIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace ppc

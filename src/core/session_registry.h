@@ -1,0 +1,88 @@
+#ifndef PPC_CORE_SESSION_REGISTRY_H_
+#define PPC_CORE_SESSION_REGISTRY_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "net/session_network.h"
+
+namespace ppc {
+
+/// Runs N concurrent logical clustering sessions over one shared
+/// transport. Each started session gets its own `SessionNetwork` view
+/// (binding its id over the shared `Network`) and its own worker thread
+/// running the caller's body — typically a `PartyRunner` role or a full
+/// `ClusteringSession` — so many schedule-graph executions proceed at
+/// once while every frame crosses the same pooled, authenticated
+/// connections.
+///
+/// Session ids are single-use per registry: a duplicate (or empty — that
+/// is the transport's default session) id is refused. The registry owns
+/// the views and threads; the caller guarantees the transport and
+/// whatever state the bodies capture outlive it. All methods are
+/// thread-safe.
+class SessionRegistry {
+ public:
+  /// One session's whole execution, handed its session-scoped network.
+  /// The returned status is the session's outcome (see `WaitSession`).
+  using SessionBody = std::function<Status(Network* session_net)>;
+
+  explicit SessionRegistry(Network* transport) : transport_(transport) {}
+
+  /// Joins every session still running.
+  ~SessionRegistry() { (void)WaitAll(); }
+
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  /// Starts session `id` on its own thread. kInvalidArgument on an empty
+  /// id, kAlreadyExists on a reused one (even after it finished — a
+  /// session id names one protocol execution, ever).
+  Status StartSession(const std::string& id, SessionBody body);
+
+  /// Blocks until session `id` finishes and returns its body's status
+  /// (kNotFound for an id never started). Safe to call repeatedly and
+  /// concurrently.
+  Status WaitSession(const std::string& id);
+
+  /// Waits for every session; returns the first non-OK session status (in
+  /// session-id order), decorated with the session id.
+  Status WaitAll();
+
+  /// Sessions started and not yet finished.
+  size_t ActiveCount() const;
+
+  /// Every session id ever started, in id order.
+  std::vector<std::string> SessionIds() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SessionNetwork> view;
+    std::thread worker;
+    std::mutex join_mutex;      // Serializes the one join.
+    Status result;              // Valid once done is true.
+    std::atomic<bool> done{false};
+  };
+
+  /// Joins `entry`'s worker exactly once and returns its result.
+  static Status Join(Entry* entry);
+
+  Network* transport_;
+  mutable std::mutex mutex_;
+  /// Entries are never erased while the registry lives, so bare pointers
+  /// taken under the lock stay valid after it is released.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CORE_SESSION_REGISTRY_H_

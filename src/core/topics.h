@@ -24,6 +24,12 @@ inline constexpr char kClusterOutcome[] = "cluster.outcome";
 /// holder to a multi-process run's coordinator (never carries matrices —
 /// only what the third party already published to that holder).
 inline constexpr char kCoordinatorOutcome[] = "ctl.outcome";
+/// Control-plane job submission to a `serve` daemon (always on the
+/// default session): names the session id to start plus the clustering
+/// request parameters, or tells the daemon to shut down. Each session's
+/// protocol traffic then flows session-scoped, so N in-flight jobs never
+/// interleave streams.
+inline constexpr char kJobSubmit[] = "ctl.job";
 
 }  // namespace topics
 }  // namespace ppc

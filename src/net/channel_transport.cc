@@ -1,5 +1,8 @@
 #include "net/channel_transport.h"
 
+#include <limits>
+#include <vector>
+
 #include "net/secure_channel.h"
 
 namespace ppc {
@@ -20,23 +23,26 @@ ChannelTransport::Endpoint* ChannelTransport::FindEndpointLocked(
 }
 
 ChannelTransport::ChannelState* ChannelTransport::ChannelForLocked(
-    const std::string& from, const std::string& to) {
-  auto& slot = channels_[std::make_pair(from, to)];
+    const std::string& session, const std::string& from,
+    const std::string& to) {
+  auto& slot = channels_[ChannelKey(session, from, to)];
   if (!slot) {
     slot = std::make_unique<ChannelState>();
-    slot->name = from + "->" + to;
+    slot->name = session.empty() ? from + "->" + to
+                                 : from + "->" + to + "#" + session;
     if (security_ == TransportSecurity::kAuthenticatedEncryption) {
       // All key derivation and key expansion for this directed channel
-      // happens here, once; every later Seal/Open reuses the context.
+      // happens here, once; every later Seal/Open reuses the context. The
+      // key binds the session id, so cross-session frames never verify.
       slot->crypto = std::make_unique<SecureChannel::Context>(
-          SecureChannel::ChannelKey(master_key_, from, to));
+          SecureChannel::ChannelKey(master_key_, from, to, session));
     }
   }
   return slot.get();
 }
 
 ChannelTransport::Endpoint* ChannelTransport::ResolveReceive(
-    const std::string& to, const std::string& from,
+    const std::string& session, const std::string& to, const std::string& from,
     ChannelState** channel) {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   Endpoint* endpoint = FindEndpointLocked(to);
@@ -45,48 +51,66 @@ ChannelTransport::Endpoint* ChannelTransport::ResolveReceive(
     // Look up without creating: a Receive for a sender that never sends
     // must leave no channel state behind. The state is created lazily
     // (ChannelFor) only once a frame has actually arrived.
-    auto it = channels_.find(std::make_pair(from, to));
+    auto it = channels_.find(ChannelKey(session, from, to));
     *channel = (it != channels_.end()) ? it->second.get() : nullptr;
   }
   return endpoint;
 }
 
 ChannelTransport::ChannelState* ChannelTransport::ChannelFor(
-    const std::string& from, const std::string& to) {
+    const std::string& session, const std::string& from,
+    const std::string& to) {
   std::lock_guard<std::mutex> lock(registry_mutex_);
-  return ChannelForLocked(from, to);
+  return ChannelForLocked(session, from, to);
 }
 
-Result<std::string> ChannelTransport::PrepareFrame(const std::string& from,
-                                                   const std::string& to,
-                                                   const std::string& topic,
-                                                   const std::string& payload,
-                                                   ChannelState* channel) {
+Result<std::string> ChannelTransport::PrepareFrame(
+    const std::string& session, const std::string& from, const std::string& to,
+    const std::string& topic, const std::string& payload,
+    ChannelState* channel) {
   // Frame construction runs outside every lock; concurrent senders only
   // contend on the atomic nonce counter.
   std::string wire;
   if (security_ == TransportSecurity::kPlaintext) {
     wire = payload;
   } else {
-    PPC_ASSIGN_OR_RETURN(
-        wire, channel->crypto->Seal(
-                  topic,
-                  channel->nonce_counter.fetch_add(1,
-                                                   std::memory_order_relaxed),
-                  payload));
+    // Claim the next nonce, refusing once the space is spent: the counter
+    // parks at the max value forever rather than wrapping to 0, because a
+    // reused (key, nonce) pair breaks CTR mode outright.
+    uint64_t nonce = channel->nonce_counter.load(std::memory_order_relaxed);
+    do {
+      if (nonce == std::numeric_limits<uint64_t>::max()) {
+        return Status::ResourceExhausted(
+            "channel " + channel->name +
+            " has exhausted its nonce space (2^64-1 frames); no further "
+            "frame can be sealed on it");
+      }
+    } while (!channel->nonce_counter.compare_exchange_weak(
+        nonce, nonce + 1, std::memory_order_relaxed));
+    PPC_ASSIGN_OR_RETURN(wire, channel->crypto->Seal(topic, nonce, payload));
   }
 
   channel->messages.fetch_add(1, std::memory_order_relaxed);
   channel->payload_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
   channel->wire_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
 
+  // Snapshot the matching taps under the lock, invoke them outside it:
+  // taps are user callbacks (observers, latency injectors) and must not
+  // serialize concurrent senders on other channels or sessions.
+  std::vector<Tap> matching;
   {
     std::lock_guard<std::mutex> tap_lock(tap_mutex_);
     auto tap_it = taps_.find(std::make_pair(from, to));
     if (tap_it != taps_.end()) {
-      WireFrame frame{from, to, topic, wire};
-      for (const Tap& tap : tap_it->second) tap(frame);
+      for (const TapEntry& entry : tap_it->second) {
+        if (entry.filtered && entry.session != session) continue;
+        matching.push_back(entry.tap);
+      }
     }
+  }
+  if (!matching.empty()) {
+    WireFrame frame{from, to, topic, wire, session};
+    for (const Tap& tap : matching) tap(frame);
   }
   return wire;
 }
@@ -94,19 +118,21 @@ Result<std::string> ChannelTransport::PrepareFrame(const std::string& from,
 void ChannelTransport::DeliverLocal(Endpoint* endpoint, Message message) {
   {
     std::lock_guard<std::mutex> lock(endpoint->mutex);
-    endpoint->queues[message.from].push_back(std::move(message));
+    endpoint->queues[std::make_pair(message.session, message.from)].push_back(
+        std::move(message));
   }
   endpoint->arrival.notify_all();
 }
 
-Result<Message> ChannelTransport::Receive(const std::string& to,
-                                          const std::string& from,
-                                          const std::string& expected_topic) {
+Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
+                                            const std::string& to,
+                                            const std::string& from,
+                                            const std::string& expected_topic) {
   // One registry lock resolves both the endpoint and the channel's
   // cached crypto state up front.
   ChannelState* channel = nullptr;
   Endpoint* endpoint = ResolveReceive(
-      to, from,
+      session, to, from,
       security() == TransportSecurity::kAuthenticatedEncryption ? &channel
                                                                 : nullptr);
   if (endpoint == nullptr) {
@@ -114,12 +140,13 @@ Result<Message> ChannelTransport::Receive(const std::string& to,
   }
   const std::chrono::milliseconds timeout = receive_timeout();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto queue_key = std::make_pair(session, from);
 
   Message msg;
   {
     std::unique_lock<std::mutex> lock(endpoint->mutex);
     for (;;) {
-      auto queue_it = endpoint->queues.find(from);
+      auto queue_it = endpoint->queues.find(queue_key);
       if (queue_it != endpoint->queues.end() && !queue_it->second.empty()) {
         Message& front = queue_it->second.front();
         if (!expected_topic.empty() && front.topic != expected_topic) {
@@ -139,7 +166,7 @@ Result<Message> ChannelTransport::Receive(const std::string& to,
           std::cv_status::timeout) {
         // Re-check once: the frame may have landed between the last scan
         // and the deadline.
-        auto late_it = endpoint->queues.find(from);
+        auto late_it = endpoint->queues.find(queue_key);
         if (late_it != endpoint->queues.end() && !late_it->second.empty()) {
           continue;
         }
@@ -155,7 +182,7 @@ Result<Message> ChannelTransport::Receive(const std::string& to,
   // building). Steady state resolves both with the endpoint above; only
   // the channel's first-ever frame pays the locked create-on-use lookup.
   if (security() == TransportSecurity::kAuthenticatedEncryption) {
-    if (channel == nullptr) channel = ChannelFor(from, to);
+    if (channel == nullptr) channel = ChannelFor(session, from, to);
     PPC_ASSIGN_OR_RETURN(
         msg.payload,
         channel->crypto->Open(msg.topic, msg.payload, channel->name));
@@ -168,14 +195,43 @@ size_t ChannelTransport::PendingCount(const std::string& to) const {
   if (endpoint == nullptr) return 0;
   std::lock_guard<std::mutex> lock(endpoint->mutex);
   size_t total = 0;
-  for (const auto& [from, queue] : endpoint->queues) total += queue.size();
+  for (const auto& [key, queue] : endpoint->queues) total += queue.size();
+  return total;
+}
+
+size_t ChannelTransport::PendingCountOn(const std::string& session,
+                                        const std::string& to) const {
+  Endpoint* endpoint = FindEndpoint(to);
+  if (endpoint == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(endpoint->mutex);
+  size_t total = 0;
+  for (const auto& [key, queue] : endpoint->queues) {
+    if (key.first == session) total += queue.size();
+  }
   return total;
 }
 
 ChannelStats ChannelTransport::StatsFor(const std::string& from,
                                         const std::string& to) const {
+  // Sums the from -> to channels of every session: what this endpoint
+  // shipped between the two parties, regardless of the session it
+  // belonged to. StatsOn isolates one session.
   std::lock_guard<std::mutex> lock(registry_mutex_);
-  auto it = channels_.find(std::make_pair(from, to));
+  ChannelStats total;
+  for (const auto& [key, state] : channels_) {
+    if (std::get<1>(key) != from || std::get<2>(key) != to || !state) continue;
+    total.messages += state->messages.load(std::memory_order_relaxed);
+    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
+    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ChannelStats ChannelTransport::StatsOn(const std::string& session,
+                                       const std::string& from,
+                                       const std::string& to) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto it = channels_.find(ChannelKey(session, from, to));
   if (it == channels_.end() || !it->second) return ChannelStats{};
   ChannelStats stats;
   stats.messages = it->second->messages.load(std::memory_order_relaxed);
@@ -188,8 +244,23 @@ ChannelStats ChannelTransport::StatsFor(const std::string& from,
 ChannelStats ChannelTransport::TotalSentBy(const std::string& party) const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   ChannelStats total;
-  for (const auto& [channel, state] : channels_) {
-    if (channel.first != party || !state) continue;
+  for (const auto& [key, state] : channels_) {
+    if (std::get<1>(key) != party || !state) continue;
+    total.messages += state->messages.load(std::memory_order_relaxed);
+    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
+    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ChannelStats ChannelTransport::TotalSentByOn(const std::string& session,
+                                             const std::string& party) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ChannelStats total;
+  for (const auto& [key, state] : channels_) {
+    if (std::get<0>(key) != session || std::get<1>(key) != party || !state) {
+      continue;
+    }
     total.messages += state->messages.load(std::memory_order_relaxed);
     total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
     total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
@@ -200,8 +271,20 @@ ChannelStats ChannelTransport::TotalSentBy(const std::string& party) const {
 ChannelStats ChannelTransport::GrandTotal() const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   ChannelStats total;
-  for (const auto& [channel, state] : channels_) {
+  for (const auto& [key, state] : channels_) {
     if (!state) continue;
+    total.messages += state->messages.load(std::memory_order_relaxed);
+    total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
+    total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ChannelStats ChannelTransport::GrandTotalOn(const std::string& session) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ChannelStats total;
+  for (const auto& [key, state] : channels_) {
+    if (std::get<0>(key) != session || !state) continue;
     total.messages += state->messages.load(std::memory_order_relaxed);
     total.payload_bytes += state->payload_bytes.load(std::memory_order_relaxed);
     total.wire_bytes += state->wire_bytes.load(std::memory_order_relaxed);
@@ -211,7 +294,7 @@ ChannelStats ChannelTransport::GrandTotal() const {
 
 void ChannelTransport::ResetStats() {
   std::lock_guard<std::mutex> lock(registry_mutex_);
-  for (auto& [channel, state] : channels_) {
+  for (auto& [key, state] : channels_) {
     if (!state) continue;
     state->messages.store(0, std::memory_order_relaxed);
     state->payload_bytes.store(0, std::memory_order_relaxed);
@@ -220,10 +303,34 @@ void ChannelTransport::ResetStats() {
   }
 }
 
+void ChannelTransport::AddTapEntry(const std::string& from,
+                                   const std::string& to, TapEntry entry) {
+  std::lock_guard<std::mutex> lock(tap_mutex_);
+  taps_[std::make_pair(from, to)].push_back(std::move(entry));
+}
+
 void ChannelTransport::AddTap(const std::string& from, const std::string& to,
                               Tap tap) {
-  std::lock_guard<std::mutex> lock(tap_mutex_);
-  taps_[std::make_pair(from, to)].push_back(std::move(tap));
+  AddTapEntry(from, to, TapEntry{false, std::string(), std::move(tap)});
+}
+
+void ChannelTransport::AddTapOn(const std::string& session,
+                                const std::string& from, const std::string& to,
+                                Tap tap) {
+  AddTapEntry(from, to, TapEntry{true, session, std::move(tap)});
+}
+
+Status ChannelTransport::SetNonceCounterForTesting(const std::string& session,
+                                                   const std::string& from,
+                                                   const std::string& to,
+                                                   uint64_t value) {
+  if (security_ != TransportSecurity::kAuthenticatedEncryption) {
+    return Status::FailedPrecondition(
+        "plaintext transports have no nonce counters");
+  }
+  ChannelState* channel = ChannelFor(session, from, to);
+  channel->nonce_counter.store(value, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 }  // namespace ppc

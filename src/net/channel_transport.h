@@ -9,6 +9,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -22,19 +24,40 @@ namespace ppc {
 /// Shared machinery for `Network` backends that deliver frames into
 /// per-receiver FIFO queues with per-directed-channel accounting — which
 /// is every backend in the tree. One implementation of the
-/// contract-critical paths (blocking `Receive` with timeout and strict
-/// topic checking, pending counts, stats aggregation and reset, tap
-/// fan-out, `SecureChannel` seal/open) keeps the in-memory simulator and
-/// the TCP transport behaviorally identical by construction; the
-/// transport-conformance suite then only has to catch divergence in what
-/// subclasses add: party registration and frame routing (`RegisterParty`,
-/// `Send`, `InjectFrame`, `HasParty`).
+/// contract-critical paths (session demultiplexing, blocking `Receive`
+/// with timeout and strict topic checking, pending counts, stats
+/// aggregation and reset, tap fan-out, `SecureChannel` seal/open) keeps
+/// the in-memory simulator and the TCP transport behaviorally identical
+/// by construction; the transport-conformance suite then only has to
+/// catch divergence in what subclasses add: party registration and frame
+/// routing (`RegisterParty`, `SendOn`, `InjectFrameOn`, `HasParty`).
+///
+/// Sessions: every directed channel is keyed `(session, from, to)` — its
+/// own FIFO queue, counters, nonce counter, and crypto context (keys
+/// derived per session, see `SecureChannel::ChannelKey`). The default
+/// session is the pre-multiplexing transport, bit-for-bit.
 class ChannelTransport : public Network {
  public:
   // -- The shared half of the Network contract ------------------------------
 
+  Status Send(const std::string& from, const std::string& to,
+              const std::string& topic, std::string payload) override {
+    return SendOn(kDefaultSession, from, to, topic, std::move(payload));
+  }
   Result<Message> Receive(const std::string& to, const std::string& from,
-                          const std::string& expected_topic = "") override;
+                          const std::string& expected_topic = "") override {
+    return ReceiveOn(kDefaultSession, to, from, expected_topic);
+  }
+  Status InjectFrame(const std::string& from, const std::string& to,
+                     const std::string& topic,
+                     std::string wire_bytes) override {
+    return InjectFrameOn(kDefaultSession, from, to, topic,
+                         std::move(wire_bytes));
+  }
+
+  Result<Message> ReceiveOn(const std::string& session, const std::string& to,
+                            const std::string& from,
+                            const std::string& expected_topic = "") override;
 
   void set_receive_timeout(std::chrono::milliseconds timeout) override {
     receive_timeout_.store(timeout.count(), std::memory_order_relaxed);
@@ -45,24 +68,44 @@ class ChannelTransport : public Network {
   }
 
   size_t PendingCount(const std::string& to) const override;
+  size_t PendingCountOn(const std::string& session,
+                        const std::string& to) const override;
   ChannelStats StatsFor(const std::string& from,
                         const std::string& to) const override;
+  ChannelStats StatsOn(const std::string& session, const std::string& from,
+                       const std::string& to) const override;
   ChannelStats TotalSentBy(const std::string& party) const override;
+  ChannelStats TotalSentByOn(const std::string& session,
+                             const std::string& party) const override;
   ChannelStats GrandTotal() const override;
+  ChannelStats GrandTotalOn(const std::string& session) const override;
   void ResetStats() override;
   void AddTap(const std::string& from, const std::string& to,
               Tap tap) override;
+  void AddTapOn(const std::string& session, const std::string& from,
+                const std::string& to, Tap tap) override;
   TransportSecurity security() const override { return security_; }
+
+  /// Test hook for the nonce-exhaustion contract: pins the nonce counter
+  /// of the `(session, from, to)` channel (created on first use) so a
+  /// test can reach the end of the nonce space without sending 2^64
+  /// frames. kFailedPrecondition on a plaintext transport, which has no
+  /// nonces.
+  Status SetNonceCounterForTesting(const std::string& session,
+                                   const std::string& from,
+                                   const std::string& to, uint64_t value);
 
  protected:
   explicit ChannelTransport(TransportSecurity security);
 
-  /// One receiver: a queue per sending peer, guarded by one mutex so a
-  /// blocked `Receive` can wait for any sender's arrival notification.
+  /// One receiver: a FIFO queue per (session, sending peer), guarded by
+  /// one mutex so a blocked `Receive` can wait for any arrival
+  /// notification addressed to it.
   struct Endpoint {
     mutable std::mutex mutex;
     std::condition_variable arrival;
-    std::map<std::string, std::deque<Message>> queues;  // keyed by sender.
+    /// Keyed by (session, sender).
+    std::map<std::pair<std::string, std::string>, std::deque<Message>> queues;
   };
 
   /// Per-directed-channel counters. Plain atomics: senders on the same
@@ -78,9 +121,13 @@ class ChannelTransport : public Network {
     /// transport; null on plaintext transports. Immutable once built, so
     /// concurrent Seal/Open need no lock.
     std::unique_ptr<SecureChannel::Context> crypto;
-    /// "from->to", cached so per-frame error decoration costs nothing.
+    /// "from->to" (default session) or "from->to#session", cached so
+    /// per-frame error decoration costs nothing.
     std::string name;
   };
+
+  /// (session, from, to) — the identity of one directed channel.
+  using ChannelKey = std::tuple<std::string, std::string, std::string>;
 
   /// Registry lookup (takes registry_mutex_): endpoint for `name`, or
   /// nullptr. Endpoint and ChannelState objects are heap-allocated and
@@ -92,54 +139,70 @@ class ChannelTransport : public Network {
   /// both it and `ResolveReceive` share.
   Endpoint* FindEndpointLocked(const std::string& name) const;
 
-  /// Requires registry_mutex_ held: the channel state for `from` -> `to`,
-  /// created on first use (including its crypto context, so the key
-  /// derivation cost is paid exactly once per directed channel).
-  ChannelState* ChannelForLocked(const std::string& from,
+  /// Requires registry_mutex_ held: the channel state for `from` -> `to`
+  /// on `session`, created on first use (including its crypto context, so
+  /// the key derivation cost is paid exactly once per directed channel).
+  ChannelState* ChannelForLocked(const std::string& session,
+                                 const std::string& from,
                                  const std::string& to);
 
   /// One registry-locked lookup for the whole receive path: the endpoint
   /// for `to` (nullptr if unregistered) and, when `channel` is non-null,
-  /// the `from` -> `to` channel state if that channel already exists
-  /// (never created here — a fruitless Receive must leave no state
+  /// the session's `from` -> `to` channel state if that channel already
+  /// exists (never created here — a fruitless Receive must leave no state
   /// behind). Returned pointers stay valid for the transport's lifetime.
-  Endpoint* ResolveReceive(const std::string& to, const std::string& from,
-                           ChannelState** channel);
+  Endpoint* ResolveReceive(const std::string& session, const std::string& to,
+                           const std::string& from, ChannelState** channel);
 
-  /// Registry-locked create-on-use lookup of the `from` -> `to` channel —
-  /// the receive-side counterpart of the state `PrepareFrame` gets
-  /// handed; called once per channel, for the first frame that actually
-  /// arrives.
-  ChannelState* ChannelFor(const std::string& from, const std::string& to);
+  /// Registry-locked create-on-use lookup of the session's `from` -> `to`
+  /// channel — the receive-side counterpart of the state `PrepareFrame`
+  /// gets handed; called once per channel, for the first frame that
+  /// actually arrives.
+  ChannelState* ChannelFor(const std::string& session, const std::string& from,
+                           const std::string& to);
 
   /// Send-side frame preparation, identical across backends: seals the
   /// payload under the directed channel's key (pass-through on a
   /// plaintext transport), bumps the channel's traffic counters, and
-  /// fires taps with exactly the on-wire bytes. Runs outside every lock
+  /// fires taps with exactly the on-wire bytes. Refuses with
+  /// kResourceExhausted once the channel's nonce space is spent (2^64-1
+  /// frames) — a nonce must never be reused. Runs outside every lock
   /// except the tap serialization.
-  Result<std::string> PrepareFrame(const std::string& from,
+  Result<std::string> PrepareFrame(const std::string& session,
+                                   const std::string& from,
                                    const std::string& to,
                                    const std::string& topic,
                                    const std::string& payload,
                                    ChannelState* channel);
 
-  /// Enqueues `message` at `endpoint` and wakes blocked receivers.
+  /// Enqueues `message` at `endpoint` (under its session/sender queue) and
+  /// wakes blocked receivers.
   static void DeliverLocal(Endpoint* endpoint, Message message);
 
   /// Guards the *structure* of parties_ / channels_ (and any registry
   /// state a subclass keeps alongside them, e.g. remote addresses).
   mutable std::mutex registry_mutex_;
   std::map<std::string, std::unique_ptr<Endpoint>> parties_;
-  std::map<std::pair<std::string, std::string>, std::unique_ptr<ChannelState>>
-      channels_;
+  std::map<ChannelKey, std::unique_ptr<ChannelState>> channels_;
 
  private:
+  /// One registered eavesdropper: fires for every frame of its channel,
+  /// or only for one session's frames when filtered.
+  struct TapEntry {
+    bool filtered = false;
+    std::string session;
+    Tap tap;
+  };
+
+  void AddTapEntry(const std::string& from, const std::string& to,
+                   TapEntry entry);
+
   TransportSecurity security_;
   std::string master_key_;  // Root of per-channel transport keys.
 
   /// Guards tap registration and serializes tap invocation.
   mutable std::mutex tap_mutex_;
-  std::map<std::pair<std::string, std::string>, std::vector<Tap>> taps_;
+  std::map<std::pair<std::string, std::string>, std::vector<TapEntry>> taps_;
 
   std::atomic<int64_t> receive_timeout_{0};  // Milliseconds.
 };

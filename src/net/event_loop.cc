@@ -1,0 +1,172 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace ppc {
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Status::Internal(std::string("epoll_create1(): ") +
+                            std::strerror(errno));
+  }
+  int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    Status status = Status::Internal(std::string("eventfd(): ") +
+                                     std::strerror(errno));
+    ::close(epoll_fd);
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+    Status status = Status::Internal(std::string("epoll_ctl(wakeup): ") +
+                                     std::strerror(errno));
+    ::close(wake_fd);
+    ::close(epoll_fd);
+    return status;
+  }
+  return std::unique_ptr<EventLoop>(new EventLoop(epoll_fd, wake_fd));
+}
+
+EventLoop::EventLoop(int epoll_fd, int wake_fd)
+    : epoll_fd_(epoll_fd), wake_fd_(wake_fd) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::Stop() {
+  bool expected = false;
+  if (stopping_.compare_exchange_strong(expected, true)) {
+    uint64_t one = 1;
+    // A full eventfd counter cannot happen here (one pending wakeup is
+    // enough to observe stopping_), so a short write is not retried.
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+  if (thread_.joinable() && !OnLoopThread()) thread_.join();
+}
+
+void EventLoop::Post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+Status EventLoop::Watch(int fd, uint32_t events, IoCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(add): ") +
+                            std::strerror(errno));
+  }
+  watches_[fd] = std::move(callback);
+  return Status::OK();
+}
+
+Status EventLoop::Rearm(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(mod): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Unwatch(int fd) {
+  if (watches_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+uint64_t EventLoop::ScheduleAt(std::chrono::steady_clock::time_point deadline,
+                               Task task) {
+  uint64_t id = next_timer_id_++;
+  timers_.emplace(deadline, Timer{id, std::move(task)});
+  return id;
+}
+
+void EventLoop::Cancel(uint64_t timer_id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.id == timer_id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+void EventLoop::RunPostedTasks() {
+  // Swap the queue out under the lock, run outside it: a task may Post.
+  std::deque<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (Task& task : tasks) task();
+}
+
+int EventLoop::FireDueTimers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    // Extract before firing: the task may add or cancel timers.
+    Task task = std::move(timers_.begin()->second.task);
+    timers_.erase(timers_.begin());
+    task();
+  }
+  if (timers_.empty()) return -1;
+  auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  timers_.begin()->first - std::chrono::steady_clock::now())
+                  .count();
+  if (wait < 1) return 1;  // Due now-ish: come back immediately-ish.
+  return static_cast<int>(std::min<int64_t>(wait, 60'000));
+}
+
+void EventLoop::Run() {
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    RunPostedTasks();
+    if (stopping_.load(std::memory_order_acquire)) return;
+    int timeout_ms = FireDueTimers();
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll itself failed; nothing sane left to do.
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      // The callback may Unwatch any fd (including its own) — re-resolve
+      // and skip fds whose watch vanished earlier this batch.
+      auto it = watches_.find(fd);
+      if (it == watches_.end()) continue;
+      // Copy: the callback may Unwatch(fd), destroying the stored one.
+      IoCallback callback = it->second;
+      callback(events[i].events);
+    }
+  }
+}
+
+}  // namespace ppc

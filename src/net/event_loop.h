@@ -1,0 +1,117 @@
+#ifndef PPC_NET_EVENT_LOOP_H_
+#define PPC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppc {
+
+/// A single-threaded epoll reactor: one thread multiplexes every
+/// registered file descriptor (level-triggered), runs posted tasks, and
+/// fires deadline timers. `TcpNetwork` drives its listener and all inbound
+/// connections through one of these instead of an accept thread plus a
+/// reader thread per connection — the thread count of an endpoint is now
+/// constant in the number of peers and sessions.
+///
+/// Threading contract:
+///   * `Post` is safe from any thread (it is how outside threads reach
+///     the loop); the task runs on the loop thread.
+///   * `Watch` / `Rearm` / `Unwatch` / `ScheduleAt` / `Cancel` must run on
+///     the loop thread (i.e. from a posted task or an I/O callback) —
+///     keeping all fd bookkeeping single-threaded is what makes the
+///     reactor data-race-free without a lock around it.
+///   * Callbacks own their fds: the loop never closes one.
+///
+/// Destruction stops the loop and joins the thread; pending tasks that
+/// never ran are dropped.
+class EventLoop {
+ public:
+  /// Fired with the ready `epoll` event mask (EPOLLIN, EPOLLOUT, ...).
+  using IoCallback = std::function<void(uint32_t events)>;
+  using Task = std::function<void()>;
+
+  /// Creates the epoll instance, the wakeup eventfd, and starts the loop
+  /// thread.
+  static Result<std::unique_ptr<EventLoop>> Create();
+
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Enqueues `task` for the loop thread and wakes it. Safe from any
+  /// thread, including the loop thread itself. After `Stop` the task is
+  /// accepted but never runs.
+  void Post(Task task);
+
+  /// Registers `fd` for `events`; `callback` fires on the loop thread
+  /// whenever the fd is ready. Loop thread only.
+  Status Watch(int fd, uint32_t events, IoCallback callback);
+
+  /// Changes the event mask of a watched fd. Loop thread only.
+  Status Rearm(int fd, uint32_t events);
+
+  /// Deregisters `fd` (the fd stays open — callbacks own their fds).
+  /// Safe to call for an fd that is not watched. Loop thread only.
+  void Unwatch(int fd);
+
+  /// Runs `task` on the loop thread at (or shortly after) `deadline`;
+  /// returns an id for `Cancel`. Loop thread only.
+  uint64_t ScheduleAt(std::chrono::steady_clock::time_point deadline,
+                      Task task);
+
+  /// Cancels a scheduled timer; a no-op if it already fired. Loop thread
+  /// only.
+  void Cancel(uint64_t timer_id);
+
+  /// True iff the caller is the loop thread.
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+  /// Stops the loop and joins the thread (idempotent; the destructor
+  /// calls it). After this, posted tasks never run.
+  void Stop();
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd);
+
+  void Run();
+  void RunPostedTasks();
+  /// Fires due timers; returns the epoll timeout (ms) until the next one,
+  /// or -1 when none is pending.
+  int FireDueTimers();
+
+  struct Timer {
+    uint64_t id = 0;
+    Task task;
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Post/Stop kick epoll_wait.
+  std::atomic<bool> stopping_{false};
+
+  std::mutex post_mutex_;
+  std::deque<Task> posted_;  // Guarded by post_mutex_.
+
+  // Loop-thread state: no locks — only Run() and callbacks touch these.
+  std::map<int, IoCallback> watches_;
+  std::multimap<std::chrono::steady_clock::time_point, Timer> timers_;
+  uint64_t next_timer_id_ = 1;
+
+  std::thread thread_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_NET_EVENT_LOOP_H_

@@ -22,7 +22,8 @@ bool InMemoryNetwork::HasParty(const std::string& name) const {
   return FindEndpoint(name) != nullptr;
 }
 
-Status InMemoryNetwork::ResolveRoute(const std::string& from,
+Status InMemoryNetwork::ResolveRoute(const std::string& session,
+                                     const std::string& from,
                                      const std::string& to,
                                      Endpoint** receiver,
                                      ChannelState** channel) {
@@ -35,28 +36,32 @@ Status InMemoryNetwork::ResolveRoute(const std::string& from,
     return Status::NotFound("unknown receiver '" + to + "'");
   }
   *receiver = to_it->second.get();
-  if (channel != nullptr) *channel = ChannelForLocked(from, to);
+  if (channel != nullptr) *channel = ChannelForLocked(session, from, to);
   return Status::OK();
 }
 
-Status InMemoryNetwork::Send(const std::string& from, const std::string& to,
-                             const std::string& topic, std::string payload) {
+Status InMemoryNetwork::SendOn(const std::string& session,
+                               const std::string& from, const std::string& to,
+                               const std::string& topic, std::string payload) {
   Endpoint* receiver = nullptr;
   ChannelState* channel = nullptr;
-  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, &channel));
-  PPC_ASSIGN_OR_RETURN(std::string wire,
-                       PrepareFrame(from, to, topic, payload, channel));
-  DeliverLocal(receiver, Message{from, to, topic, std::move(wire)});
+  PPC_RETURN_IF_ERROR(ResolveRoute(session, from, to, &receiver, &channel));
+  PPC_ASSIGN_OR_RETURN(
+      std::string wire,
+      PrepareFrame(session, from, to, topic, payload, channel));
+  DeliverLocal(receiver, Message{from, to, topic, std::move(wire), session});
   return Status::OK();
 }
 
-Status InMemoryNetwork::InjectFrame(const std::string& from,
-                                    const std::string& to,
-                                    const std::string& topic,
-                                    std::string wire_bytes) {
+Status InMemoryNetwork::InjectFrameOn(const std::string& session,
+                                      const std::string& from,
+                                      const std::string& to,
+                                      const std::string& topic,
+                                      std::string wire_bytes) {
   Endpoint* receiver = nullptr;
-  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &receiver, nullptr));
-  DeliverLocal(receiver, Message{from, to, topic, std::move(wire_bytes)});
+  PPC_RETURN_IF_ERROR(ResolveRoute(session, from, to, &receiver, nullptr));
+  DeliverLocal(receiver,
+               Message{from, to, topic, std::move(wire_bytes), session});
   return Status::OK();
 }
 

@@ -14,10 +14,10 @@ namespace ppc {
 ///
 /// Models the paper's distributed deployment: k data-holder sites plus the
 /// third party exchanging point-to-point messages. Delivery is FIFO per
-/// (sender, receiver) pair. Every frame updates byte counters, which is what
-/// the communication-cost experiments (DESIGN.md E8-E10, E13) measure, and
-/// registered eavesdropper taps observe exactly the on-wire bytes, which is
-/// what the channel-security experiment (E12) needs.
+/// (session, sender, receiver) triple. Every frame updates byte counters,
+/// which is what the communication-cost experiments (DESIGN.md E8-E10, E13)
+/// measure, and registered eavesdropper taps observe exactly the on-wire
+/// bytes, which is what the channel-security experiment (E12) needs.
 ///
 /// Thread-safe: the concurrent protocol engine drives several party steps
 /// at once, so per-receiver queues are mutex-protected, traffic counters
@@ -34,17 +34,19 @@ class InMemoryNetwork : public ChannelTransport {
 
   Status RegisterParty(const std::string& name) override;
   bool HasParty(const std::string& name) const override;
-  Status Send(const std::string& from, const std::string& to,
-              const std::string& topic, std::string payload) override;
-  Status InjectFrame(const std::string& from, const std::string& to,
-                     const std::string& topic,
-                     std::string wire_bytes) override;
+  Status SendOn(const std::string& session, const std::string& from,
+                const std::string& to, const std::string& topic,
+                std::string payload) override;
+  Status InjectFrameOn(const std::string& session, const std::string& from,
+                       const std::string& to, const std::string& topic,
+                       std::string wire_bytes) override;
 
  private:
   /// Resolves sender, receiver endpoint, and channel state (created on
   /// first use) in one registry lock — Send's whole routing lookup.
-  Status ResolveRoute(const std::string& from, const std::string& to,
-                      Endpoint** receiver, ChannelState** channel);
+  Status ResolveRoute(const std::string& session, const std::string& from,
+                      const std::string& to, Endpoint** receiver,
+                      ChannelState** channel);
 };
 
 }  // namespace ppc

@@ -5,25 +5,40 @@
 
 namespace ppc {
 
+/// The logical session id of the single-session deployments that predate
+/// session multiplexing. The plain `Network` methods (`Send`, `Receive`,
+/// ...) operate on this session; the `...On` variants take an explicit
+/// id. Default-session traffic is byte-identical to the pre-multiplexing
+/// wire format's, so captures and goldens carry over.
+inline constexpr char kDefaultSession[] = "";
+
 /// A protocol message between two named parties.
 ///
 /// `topic` identifies the protocol step (e.g. "numeric.masked_vector") so a
 /// receiver can assert it is getting the message it expects; `payload` is an
 /// opaque byte string produced by `ByteWriter`.
+///
+/// `session` names the logical clustering session the message belongs to;
+/// concurrent sessions multiplexed over one transport are demultiplexed by
+/// this field (empty = the default session). Declared last so existing
+/// four-field aggregate initializers keep meaning what they meant.
 struct Message {
   std::string from;
   std::string to;
   std::string topic;
   std::string payload;
+  std::string session;
 };
 
 /// What an eavesdropper on a channel observes for one message: the frame
-/// actually on the wire (ciphertext when the transport is secured).
+/// actually on the wire (ciphertext when the transport is secured), plus
+/// the session it was sent on.
 struct WireFrame {
   std::string from;
   std::string to;
   std::string topic;
   std::string wire_bytes;
+  std::string session;
 };
 
 /// Cumulative traffic counters for one directed channel.

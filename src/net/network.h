@@ -38,7 +38,8 @@ enum class TransportSecurity {
 ///
 /// Contract shared by every implementation:
 ///
-///   * Delivery is FIFO per directed (sender, receiver) channel.
+///   * Delivery is FIFO per directed (sender, receiver) channel *within a
+///     session*; frames of different sessions are independent streams.
 ///   * `Send` accounts one message and its payload/wire byte counts on the
 ///     sending side before it returns; `Receive` verifies and decrypts.
 ///   * With `TransportSecurity::kAuthenticatedEncryption` the on-wire frame
@@ -49,6 +50,17 @@ enum class TransportSecurity {
 ///     every frame crossing their channel, on the sending side.
 ///   * Delivery may be asynchronous (it is on TCP): the only guaranteed way
 ///     to observe a sent message is a `Receive` with a nonzero timeout.
+///
+/// Session multiplexing: N concurrent logical clustering sessions share one
+/// transport (and, on TCP, one authenticated physical connection per party
+/// pair). Each directed channel is keyed per `(session, from, to)` — its
+/// own FIFO stream, traffic counters, nonce counter, and (on secured
+/// transports) its own derived `SecureChannel` keys, so a frame sealed on
+/// one session can never verify on another. The plain methods operate on
+/// the default session (`kDefaultSession`, the empty id) and are exactly
+/// the pre-multiplexing behavior; the `...On` variants take an explicit
+/// session id. `SessionNetwork` adapts a session id back to the plain
+/// interface so the protocol stack runs unchanged per session.
 ///
 /// All methods are thread-safe; the concurrent protocol engine drives
 /// several party steps at once.
@@ -111,7 +123,10 @@ class Network {
   virtual void ResetStats() = 0;
 
   /// Installs an eavesdropper on the directed channel `from` -> `to`.
-  /// Fires on the sending side for every subsequent frame.
+  /// Fires on the sending side for every subsequent frame, on the
+  /// sender's thread and outside transport locks — concurrent senders
+  /// may invoke the same tap concurrently, and a tap that blocks (e.g. a
+  /// latency injector) delays only its own sender.
   virtual void AddTap(const std::string& from, const std::string& to,
                       Tap tap) = 0;
 
@@ -125,6 +140,54 @@ class Network {
 
   /// The transport security mode of this network.
   virtual TransportSecurity security() const = 0;
+
+  // -- Session-scoped variants ----------------------------------------------
+  //
+  // Distinct names (not overloads) so implementations overriding one set
+  // never hide the other. The plain methods above are equivalent to these
+  // with `session == kDefaultSession`.
+
+  /// `Send` on an explicit session.
+  virtual Status SendOn(const std::string& session, const std::string& from,
+                        const std::string& to, const std::string& topic,
+                        std::string payload) = 0;
+
+  /// `Receive` on an explicit session; only frames sent on that session
+  /// are visible.
+  virtual Result<Message> ReceiveOn(const std::string& session,
+                                    const std::string& to,
+                                    const std::string& from,
+                                    const std::string& expected_topic = "") = 0;
+
+  /// Undelivered messages addressed to `to` on `session` alone (the plain
+  /// `PendingCount` sums every session).
+  virtual size_t PendingCountOn(const std::string& session,
+                                const std::string& to) const = 0;
+
+  /// Counters of the `(session, from, to)` channel alone (the plain
+  /// `StatsFor` sums the `from` -> `to` channels of every session).
+  virtual ChannelStats StatsOn(const std::string& session,
+                               const std::string& from,
+                               const std::string& to) const = 0;
+
+  /// `TotalSentBy`, restricted to channels of `session`.
+  virtual ChannelStats TotalSentByOn(const std::string& session,
+                                     const std::string& party) const = 0;
+
+  /// `GrandTotal`, restricted to channels of `session`.
+  virtual ChannelStats GrandTotalOn(const std::string& session) const = 0;
+
+  /// Installs a tap that fires only for frames of `session` (the plain
+  /// `AddTap` observes the channel across all sessions; the frame's
+  /// `session` field says which one it crossed on).
+  virtual void AddTapOn(const std::string& session, const std::string& from,
+                        const std::string& to, Tap tap) = 0;
+
+  /// `InjectFrame` into an explicit session's stream.
+  virtual Status InjectFrameOn(const std::string& session,
+                               const std::string& from, const std::string& to,
+                               const std::string& topic,
+                               std::string wire_bytes) = 0;
 };
 
 }  // namespace ppc

@@ -33,6 +33,17 @@ std::string SecureChannel::ChannelKey(const std::string& master_key,
   return HmacSha256::DeriveKey(master_key, "channel:" + from + "->" + to);
 }
 
+std::string SecureChannel::ChannelKey(const std::string& master_key,
+                                      const std::string& from,
+                                      const std::string& to,
+                                      const std::string& session) {
+  if (session.empty()) return ChannelKey(master_key, from, to);
+  // '#' never appears in a party name's position in the plain label, so
+  // the session-qualified label space cannot collide with it.
+  return HmacSha256::DeriveKey(
+      master_key, "channel:" + from + "->" + to + "#" + session);
+}
+
 std::string SecureChannel::ConnectionAuthKey(const std::string& master_key) {
   return HmacSha256::DeriveKey(master_key, "connection-auth");
 }

@@ -83,6 +83,16 @@ class SecureChannel {
                                 const std::string& from,
                                 const std::string& to);
 
+  /// Derives the directed-channel key for `from` -> `to` within logical
+  /// session `session`. The default session (empty id) uses the plain
+  /// channel derivation above, so single-session deployments stay
+  /// byte-identical on the wire; every other session gets its own key, so
+  /// a frame sealed on one session can never verify on another.
+  static std::string ChannelKey(const std::string& master_key,
+                                const std::string& from,
+                                const std::string& to,
+                                const std::string& session);
+
   /// Derives the key both ends of a TCP connection prove knowledge of in
   /// the challenge-response preamble (`TcpNetwork`), so arbitrary
   /// processes cannot attach to a listener. Separate label from the

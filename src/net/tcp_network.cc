@@ -1,8 +1,10 @@
 #include "net/tcp_network.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,6 +12,7 @@
 #include <cerrno>
 #include <cstring>
 #include <random>
+#include <thread>
 
 #include "common/serde.h"
 #include "crypto/hmac.h"
@@ -19,10 +22,11 @@ namespace ppc {
 namespace {
 
 /// Connection preamble: wrong-protocol or wrong-version peers are cut off
-/// before any frame parsing. "PPT2" = length-prefixed frames behind the
-/// mutual challenge-response handshake ("PPT1" was the unauthenticated
-/// predecessor; a v1 peer is cut off here).
-constexpr char kPreamble[4] = {'P', 'P', 'T', '2'};
+/// before any frame parsing. "PPT3" = session-multiplexed length-prefixed
+/// frames behind the mutual challenge-response handshake ("PPT2" framed
+/// records without the session field; "PPT1" was the unauthenticated
+/// predecessor; peers of either version are cut off here).
+constexpr char kPreamble[4] = {'P', 'P', 'T', '3'};
 
 /// Handshake direction labels — a response to one direction's challenge
 /// can never be replayed for the other.
@@ -38,7 +42,16 @@ constexpr uint32_t kMaxFrameBytes = 1u << 30;
 /// peer is flooding a name this endpoint will never host.
 constexpr size_t kMaxUnclaimedFrames = 4096;
 
-/// Reads exactly `len` bytes; false on EOF/error/shutdown.
+/// Dial-retry backoff bounds: first retry after ~kDialBackoffFloor, then
+/// doubling (plus up-to-100% jitter) up to kDialBackoffCeil, so a herd of
+/// daemons restarting against one listener spreads out instead of
+/// re-dialing in lockstep.
+constexpr std::chrono::milliseconds kDialBackoffFloor{10};
+constexpr std::chrono::milliseconds kDialBackoffCeil{640};
+
+/// Reads exactly `len` bytes from a blocking fd; false on
+/// EOF/error/shutdown. (Outbound dial handshakes only — inbound reads are
+/// nonblocking, driven by the event loop.)
 bool ReadExact(int fd, char* buffer, size_t len) {
   size_t done = 0;
   while (done < len) {
@@ -84,10 +97,14 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 /// Bounds blocking reads on `fd` (0 restores fully blocking reads). Used
-/// only around the auth handshake so a silent peer cannot park a thread
-/// forever; frame reads stay unbounded (idle protocol connections are
-/// legitimate).
+/// only around the outbound-dial auth handshake so a silent listener
+/// cannot park a sender forever; frame writes stay unbounded.
 void SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
@@ -148,179 +165,230 @@ Result<std::unique_ptr<TcpNetwork>> TcpNetwork::Create(
     ::close(fd);
     return status;
   }
-  return std::unique_ptr<TcpNetwork>(
-      new TcpNetwork(options, fd, ntohs(bound.sin_port)));
+  SetNonBlocking(fd);  // Accepts run on the event loop.
+
+  auto loop = EventLoop::Create();
+  if (!loop.ok()) {
+    ::close(fd);
+    return loop.status();
+  }
+  return std::unique_ptr<TcpNetwork>(new TcpNetwork(
+      options, fd, ntohs(bound.sin_port), std::move(loop).TakeValue()));
 }
 
 TcpNetwork::TcpNetwork(const Options& options, int listen_fd,
-                       uint16_t listen_port)
+                       uint16_t listen_port, std::unique_ptr<EventLoop> loop)
     : ChannelTransport(options.security),
       connect_timeout_(options.connect_timeout),
       listen_host_(options.listen_host == "localhost" ? "127.0.0.1"
                                                       : options.listen_host),
       auth_key_(SecureChannel::ConnectionAuthKey(options.auth_secret)),
       listen_fd_(listen_fd),
-      listen_port_(listen_port) {
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+      listen_port_(listen_port),
+      loop_(std::move(loop)) {
+  // Registering the watch must happen on the loop thread; every member
+  // the handler touches is initialized by now.
+  loop_->Post([this] {
+    (void)loop_->Watch(listen_fd_, EPOLLIN,
+                       [this](uint32_t events) { HandleAccept(events); });
+  });
 }
 
 TcpNetwork::~TcpNetwork() {
   shutting_down_.store(true, std::memory_order_release);
-  // Unblock accept(); readers are unblocked by shutting their fds down.
-  ::shutdown(listen_fd_, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(reader_mutex_);
-    // Finished readers already closed their fd; the kernel may have
-    // recycled the number for an unrelated socket, so only sweep fds
-    // whose reader is still live.
-    for (const auto& [fd, thread] : readers_) {
-      (void)thread;
-      if (std::find(finished_fds_.begin(), finished_fds_.end(), fd) ==
-          finished_fds_.end()) {
-        ::shutdown(fd, SHUT_RDWR);
-      }
+    // Unblock senders mid-write and stop dial retries.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& [addr, conn] : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
+  // Joining the loop ends all inbound I/O; after this the inbound map is
+  // plain single-threaded state.
+  loop_->Stop();
+  for (auto& [fd, conn] : inbound_) ::close(fd);
+  inbound_.clear();
+  ::close(listen_fd_);
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (auto& [addr, conn] : connections_) ::shutdown(conn->fd, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    // Readers exit on the shutdown and close their own fds; join them all
-    // (the map can only shrink now that the accept thread is gone).
-    std::map<int, std::thread> readers;
-    {
-      std::lock_guard<std::mutex> lock(reader_mutex_);
-      readers.swap(readers_);
-      finished_fds_.clear();
+    for (auto& [addr, conn] : connections_) {
+      if (conn->fd >= 0) ::close(conn->fd);
     }
-    for (auto& [fd, thread] : readers) thread.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (auto& [addr, conn] : connections_) ::close(conn->fd);
     connections_.clear();
   }
-  ::close(listen_fd_);
 }
 
-void TcpNetwork::ReapFinishedReadersLocked() {
-  for (int fd : finished_fds_) {
-    auto it = readers_.find(fd);
-    if (it == readers_.end()) continue;
-    // The reader registered completion as its last act before returning;
-    // this join waits out only its final epilogue.
-    it->second.join();
-    readers_.erase(it);
-  }
-  finished_fds_.clear();
-}
-
-void TcpNetwork::AcceptLoop() {
+void TcpNetwork::HandleAccept(uint32_t /*events*/) {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (shutting_down_.load(std::memory_order_acquire)) {
-      if (fd >= 0) ::close(fd);
-      return;
-    }
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
       // Transient conditions (a peer resetting before accept runs —
-      // ECONNABORTED — or fd-table pressure) must not kill the accept
-      // loop: a deaf listener deadlocks every later protocol round. The
-      // brief sleep keeps a persistent error from spinning the thread.
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      continue;
+      // ECONNABORTED — or fd-table pressure) must not kill the listener:
+      // a deaf listener deadlocks every later protocol round. Mask the
+      // watch briefly so a persistent error cannot spin the loop.
+      (void)loop_->Rearm(listen_fd_, 0);
+      loop_->ScheduleAt(
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(10),
+          [this] { (void)loop_->Rearm(listen_fd_, EPOLLIN); });
+      return;
     }
     SetNoDelay(fd);
-    // Registration and the shutdown check share reader_mutex_: either the
-    // destructor's shutdown sweep sees this fd, or we see shutting_down_
-    // here — a reader can never outlive the sweep unobserved.
-    std::lock_guard<std::mutex> lock(reader_mutex_);
-    if (shutting_down_.load(std::memory_order_acquire)) {
+    auto conn = std::make_unique<InboundConn>();
+    conn->fd = fd;
+    // A dialer that never completes the handshake is dropped at the
+    // deadline — it cannot hold connection state forever.
+    conn->handshake_timer = loop_->ScheduleAt(
+        std::chrono::steady_clock::now() + connect_timeout_, [this, fd] {
+          auto it = inbound_.find(fd);
+          if (it != inbound_.end() &&
+              it->second->phase != InboundConn::Phase::kFrames) {
+            DropConn(fd);
+          }
+        });
+    InboundConn* raw = conn.get();
+    inbound_.emplace(fd, std::move(conn));
+    Status watched = loop_->Watch(
+        fd, EPOLLIN, [this, fd](uint32_t events) { HandleConnIo(fd, events); });
+    if (!watched.ok()) {
+      loop_->Cancel(raw->handshake_timer);
+      inbound_.erase(fd);
       ::close(fd);
-      return;
     }
-    // Long-lived endpoints see peers come and go; reclaim completed
-    // readers (and their closed fds) instead of accumulating them.
-    ReapFinishedReadersLocked();
-    readers_.emplace(fd, std::thread([this, fd] { ReaderLoop(fd); }));
   }
 }
 
-void TcpNetwork::ReaderLoop(int fd) {
-  ReaderLoopBody(fd);
-  // Single exit point: release the fd and hand the thread to the reaper.
-  // Closing under reader_mutex_ keeps the destructor's shutdown sweep
-  // from racing a concurrent close (and a recycled fd number is re-added
-  // to readers_ under the same lock by the accept loop).
-  std::lock_guard<std::mutex> lock(reader_mutex_);
-  ::close(fd);
-  finished_fds_.push_back(fd);
+void TcpNetwork::HandleConnIo(int fd, uint32_t events) {
+  auto it = inbound_.find(fd);
+  if (it == inbound_.end()) return;
+  InboundConn* conn = it->second.get();
+
+  if ((events & EPOLLOUT) != 0 && !FlushConn(conn)) {
+    DropConn(fd);
+    return;
+  }
+
+  bool peer_closed = false;
+  if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+    char buffer[64 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        conn->inbuf.append(buffer, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      peer_closed = true;  // Hard socket error; parse what arrived, drop.
+      break;
+    }
+  }
+
+  if (!AdvanceConn(conn) || peer_closed) DropConn(fd);
 }
 
-void TcpNetwork::ReaderLoopBody(int fd) {
-  // Challenge-response handshake before any frame is accepted: the dialer
-  // must answer our challenge under the shared connection-auth key. The
-  // recv timeout bounds every handshake read so a silent or stalling
-  // dialer cannot park this thread; it is lifted for the frame loop.
-  SetRecvTimeout(fd, connect_timeout_);
-  char preamble[sizeof(kPreamble)];
-  if (!ReadExact(fd, preamble, sizeof(preamble)) ||
-      std::memcmp(preamble, kPreamble, sizeof(kPreamble)) != 0) {
-    return;
+bool TcpNetwork::FlushConn(InboundConn* conn) {
+  while (!conn->outbuf.empty()) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data(), conn->outbuf.size(),
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return loop_->Rearm(conn->fd, EPOLLIN | EPOLLOUT).ok();
+      }
+      return false;
+    }
+    conn->outbuf.erase(0, static_cast<size_t>(n));
   }
-  std::string dialer_challenge(SecureChannel::kChallengeLength, '\0');
-  if (!ReadExact(fd, dialer_challenge.data(), dialer_challenge.size())) {
-    return;
+  return loop_->Rearm(conn->fd, EPOLLIN).ok();
+}
+
+bool TcpNetwork::AdvanceConn(InboundConn* conn) {
+  size_t pos = 0;
+  const std::string& buf = conn->inbuf;
+
+  if (conn->phase == InboundConn::Phase::kAwaitHello) {
+    const size_t hello_size =
+        sizeof(kPreamble) + SecureChannel::kChallengeLength;
+    if (buf.size() < hello_size) return true;  // Need more bytes.
+    if (std::memcmp(buf.data(), kPreamble, sizeof(kPreamble)) != 0) {
+      return false;  // Wrong protocol or version.
+    }
+    const std::string dialer_challenge =
+        buf.substr(sizeof(kPreamble), SecureChannel::kChallengeLength);
+    pos = hello_size;
+    conn->acceptor_challenge = RandomChallenge();
+    conn->outbuf +=
+        conn->acceptor_challenge +
+        SecureChannel::ConnectionAuthResponse(auth_key_, kDialAuthLabel,
+                                              dialer_challenge);
+    conn->phase = InboundConn::Phase::kAwaitResponse;
+    if (!FlushConn(conn)) return false;
   }
-  const std::string acceptor_challenge = RandomChallenge();
-  const std::string greeting =
-      acceptor_challenge + SecureChannel::ConnectionAuthResponse(
-                               auth_key_, kDialAuthLabel, dialer_challenge);
-  if (!WriteAll(fd, greeting.data(), greeting.size())) return;
-  std::string dialer_response(SecureChannel::kMacLength, '\0');
-  if (!ReadExact(fd, dialer_response.data(), dialer_response.size())) return;
-  if (!HmacSha256::Verify(
-          SecureChannel::ConnectionAuthResponse(auth_key_, kAcceptAuthLabel,
-                                                acceptor_challenge),
-          dialer_response)) {
-    return;  // Wrong secret: drop the connection, no frame was read.
+
+  if (conn->phase == InboundConn::Phase::kAwaitResponse) {
+    if (buf.size() - pos < SecureChannel::kMacLength) {
+      conn->inbuf.erase(0, pos);
+      return true;
+    }
+    const std::string response = buf.substr(pos, SecureChannel::kMacLength);
+    pos += SecureChannel::kMacLength;
+    if (!HmacSha256::Verify(
+            SecureChannel::ConnectionAuthResponse(
+                auth_key_, kAcceptAuthLabel, conn->acceptor_challenge),
+            response)) {
+      return false;  // Wrong secret: drop the connection, no frame read.
+    }
+    loop_->Cancel(conn->handshake_timer);
+    conn->phase = InboundConn::Phase::kFrames;
   }
-  SetRecvTimeout(fd, std::chrono::milliseconds(0));
-  for (;;) {
-    char len_bytes[4];
-    if (!ReadExact(fd, len_bytes, sizeof(len_bytes))) return;
+
+  // Authenticated: drain every complete length-prefixed frame. The buffer
+  // only ever holds bytes the peer actually sent, so a lying 1 GiB length
+  // prefix costs the peer its connection, not this process an allocation.
+  while (buf.size() - pos >= 4) {
     uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<uint32_t>(static_cast<unsigned char>(len_bytes[i]))
+      len |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(buf[pos + static_cast<size_t>(i)]))
              << (8 * i);
     }
-    if (len == 0 || len > kMaxFrameBytes) return;
+    if (len == 0 || len > kMaxFrameBytes) return false;
+    if (buf.size() - pos - 4 < len) break;  // Frame still in flight.
 
-    // Grow the buffer with the bytes actually received instead of
-    // trusting the prefix: a lying 1 GiB length costs the peer its
-    // connection, not this process a 1 GiB allocation.
-    std::string body;
-    while (body.size() < len) {
-      size_t chunk = std::min<size_t>(len - body.size(), 256 * 1024);
-      size_t offset = body.size();
-      body.resize(offset + chunk);
-      if (!ReadExact(fd, body.data() + offset, chunk)) return;
-    }
+    const std::string body = buf.substr(pos + 4, len);
+    pos += 4 + static_cast<size_t>(len);
 
     ByteReader reader(body);
     auto from = reader.ReadBytes();
     auto to = reader.ReadBytes();
     auto topic = reader.ReadBytes();
+    auto session = reader.ReadBytes();
     auto wire = reader.ReadBytes();
-    if (!from.ok() || !to.ok() || !topic.ok() || !wire.ok() ||
-        !reader.AtEnd()) {
-      return;  // Framing is broken; drop the peer.
+    if (!from.ok() || !to.ok() || !topic.ok() || !session.ok() ||
+        !wire.ok() || !reader.AtEnd()) {
+      return false;  // Framing is broken; drop the peer.
     }
     Deliver(Message{std::move(*from), std::move(*to), std::move(*topic),
-                    std::move(*wire)});
+                    std::move(*wire), std::move(*session)});
   }
+  conn->inbuf.erase(0, pos);
+  return true;
+}
+
+void TcpNetwork::DropConn(int fd) {
+  auto it = inbound_.find(fd);
+  if (it == inbound_.end()) return;
+  loop_->Cancel(it->second->handshake_timer);
+  loop_->Unwatch(fd);
+  ::close(fd);
+  inbound_.erase(it);
 }
 
 void TcpNetwork::Deliver(Message message) {
@@ -371,7 +439,8 @@ Status TcpNetwork::RegisterParty(const std::string& name) {
     if (parked != unclaimed_.end()) {
       std::lock_guard<std::mutex> queue_lock(endpoint->mutex);
       for (Message& message : parked->second) {
-        endpoint->queues[message.from].push_back(std::move(message));
+        endpoint->queues[std::make_pair(message.session, message.from)]
+            .push_back(std::move(message));
         unclaimed_frames_.fetch_sub(1, std::memory_order_relaxed);
       }
       unclaimed_.erase(parked);
@@ -406,7 +475,8 @@ bool TcpNetwork::HasParty(const std::string& name) const {
   return parties_.count(name) != 0 || remotes_.count(name) != 0;
 }
 
-Status TcpNetwork::ResolveRoute(const std::string& from, const std::string& to,
+Status TcpNetwork::ResolveRoute(const std::string& session,
+                                const std::string& from, const std::string& to,
                                 std::string* dest_addr,
                                 ChannelState** channel) {
   std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -424,15 +494,17 @@ Status TcpNetwork::ResolveRoute(const std::string& from, const std::string& to,
   } else {
     return Status::NotFound("unknown receiver '" + to + "'");
   }
-  if (channel != nullptr) *channel = ChannelForLocked(from, to);
+  if (channel != nullptr) *channel = ChannelForLocked(session, from, to);
   return Status::OK();
 }
 
 Status TcpNetwork::WriteFrame(const std::string& dest_addr,
+                              const std::string& session,
                               const std::string& from, const std::string& to,
                               const std::string& topic,
                               const std::string& wire) {
-  // Get or dial the connection for this destination endpoint.
+  // Get or dial the pooled connection for this destination endpoint —
+  // shared by every session sending there.
   Connection* conn = nullptr;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
@@ -445,6 +517,7 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
   body.WriteBytes(from);
   body.WriteBytes(to);
   body.WriteBytes(topic);
+  body.WriteBytes(session);
   body.WriteBytes(wire);
   if (body.size() > kMaxFrameBytes) {
     // Mirror the receiver's limit: past it the peer would drop the whole
@@ -472,6 +545,10 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
     addr.sin_port = htons(static_cast<uint16_t>(port));
 
     const auto deadline = std::chrono::steady_clock::now() + connect_timeout_;
+    // Capped exponential backoff with jitter between retries; the jitter
+    // source is per-dial and never touches protocol bytes.
+    std::chrono::milliseconds backoff = kDialBackoffFloor;
+    std::minstd_rand jitter_rng(std::random_device{}());
     for (;;) {
       int fd = ::socket(AF_INET, SOCK_STREAM, 0);
       if (fd < 0) {
@@ -528,10 +605,19 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
       }
       int saved = errno;
       ::close(fd);
-      if ((saved == ECONNREFUSED || saved == ETIMEDOUT) &&
-          std::chrono::steady_clock::now() < deadline &&
+      const auto now = std::chrono::steady_clock::now();
+      if ((saved == ECONNREFUSED || saved == ETIMEDOUT) && now < deadline &&
           !shutting_down_.load(std::memory_order_acquire)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        auto jitter = std::chrono::milliseconds(
+            std::uniform_int_distribution<int64_t>(0, backoff.count())(
+                jitter_rng));
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now);
+        std::this_thread::sleep_for(
+            std::min(backoff + jitter, std::max(remaining,
+                                                std::chrono::milliseconds(1))));
+        backoff = std::min(backoff * 2, kDialBackoffCeil);
         continue;
       }
       return Status::Internal("connect(" + dest_addr +
@@ -550,24 +636,28 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
   return Status::OK();
 }
 
-Status TcpNetwork::Send(const std::string& from, const std::string& to,
-                        const std::string& topic, std::string payload) {
+Status TcpNetwork::SendOn(const std::string& session, const std::string& from,
+                          const std::string& to, const std::string& topic,
+                          std::string payload) {
   std::string dest_addr;
   ChannelState* channel = nullptr;
-  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &dest_addr, &channel));
-  PPC_ASSIGN_OR_RETURN(std::string wire,
-                       PrepareFrame(from, to, topic, payload, channel));
-  return WriteFrame(dest_addr, from, to, topic, wire);
+  PPC_RETURN_IF_ERROR(ResolveRoute(session, from, to, &dest_addr, &channel));
+  PPC_ASSIGN_OR_RETURN(
+      std::string wire,
+      PrepareFrame(session, from, to, topic, payload, channel));
+  return WriteFrame(dest_addr, session, from, to, topic, wire);
 }
 
-Status TcpNetwork::InjectFrame(const std::string& from, const std::string& to,
-                               const std::string& topic,
-                               std::string wire_bytes) {
+Status TcpNetwork::InjectFrameOn(const std::string& session,
+                                 const std::string& from,
+                                 const std::string& to,
+                                 const std::string& topic,
+                                 std::string wire_bytes) {
   std::string dest_addr;
-  PPC_RETURN_IF_ERROR(ResolveRoute(from, to, &dest_addr, nullptr));
+  PPC_RETURN_IF_ERROR(ResolveRoute(session, from, to, &dest_addr, nullptr));
   // Raw bytes straight onto the wire: no sealing, no accounting, no taps —
   // the receiver's integrity checks are the subject under test.
-  return WriteFrame(dest_addr, from, to, topic, wire_bytes);
+  return WriteFrame(dest_addr, session, from, to, topic, wire_bytes);
 }
 
 }  // namespace ppc

@@ -8,12 +8,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "net/channel_transport.h"
+#include "net/event_loop.h"
 #include "net/secure_channel.h"
 
 namespace ppc {
@@ -30,7 +30,7 @@ namespace ppc {
 /// single-process run over this backend still exercises the exact bytes a
 /// multi-machine deployment would ship.
 ///
-/// Wire format per connection: a 4-byte preamble "PPT2" followed by a
+/// Wire format per connection: a 4-byte preamble "PPT3" followed by a
 /// mutual HMAC challenge-response handshake over a key derived from
 /// `Options::auth_secret` (dialer sends its 16-byte challenge with the
 /// preamble; the acceptor answers with its own challenge plus the
@@ -39,17 +39,23 @@ namespace ppc {
 /// direction, before the peer proves knowledge of the shared secret, so
 /// arbitrary processes can no longer attach to a listener. Then
 /// length-prefixed frames (u32 little-endian byte count, then a serde
-/// record: from, to, topic, wire bytes). The wire bytes themselves carry
-/// the same per-directed-channel AES-128-CTR + HMAC framing as
+/// record: from, to, topic, session, wire bytes). The session field is
+/// what multiplexes N concurrent logical clustering sessions over the one
+/// authenticated connection per endpoint pair — this connection pool is
+/// shared by every session. The wire bytes themselves carry the same
+/// per-(session, directed channel) AES-128-CTR + HMAC framing as
 /// `InMemoryNetwork` (both inherit it from `ChannelTransport` /
 /// `SecureChannel`), so captures, byte accounting and the eavesdropping
 /// experiments are identical across backends. Handshake bytes are
 /// connection plumbing, not protocol traffic: they appear in no channel's
-/// stats or taps (like the preamble itself).
+/// stats or taps (like the preamble itself). ("PPT2" framed the record
+/// without the session field; "PPT1" was the unauthenticated predecessor;
+/// peers of either version are cut off at the preamble.)
 ///
 /// Semantics relative to the `Network` contract:
-///   * Delivery is FIFO per directed channel (all frames between two
-///     endpoints share one ordered connection per direction).
+///   * Delivery is FIFO per (session, directed channel) — all frames
+///     between two endpoints share one ordered connection per direction,
+///     and the demux preserves arrival order within each session stream.
 ///   * Delivery is asynchronous: `Send` returns once the frame is written
 ///     to the socket; observe arrivals via `Receive` with a nonzero
 ///     `receive_timeout`.
@@ -63,9 +69,13 @@ namespace ppc {
 ///     are parked and handed over by `RegisterParty` — a fast peer's
 ///     hello cannot be lost to the startup race of a slow process.
 ///
-/// Thread-safe; an internal accept thread plus one reader thread per
-/// inbound connection drain sockets into per-receiver queues continuously,
-/// so protocol-level sends can never deadlock on full socket buffers.
+/// Thread-safe. Inbound I/O — accepting, the acceptor side of the
+/// handshake, frame reassembly — runs on one `EventLoop` thread
+/// multiplexing every connection over epoll, so the endpoint's thread
+/// count is constant no matter how many peers connect or how many
+/// sessions share the transport. Outbound writes run on the sending
+/// protocol threads, serialized per connection, so sends never queue
+/// behind an event loop.
 class TcpNetwork : public ChannelTransport {
  public:
   struct Options {
@@ -77,7 +87,9 @@ class TcpNetwork : public ChannelTransport {
     TransportSecurity security = TransportSecurity::kAuthenticatedEncryption;
     /// How long `Send` keeps retrying a refused dial before failing —
     /// covers the startup race where a peer process has not bound its
-    /// listener yet.
+    /// listener yet. Retries back off exponentially with jitter (capped),
+    /// so a herd of daemons restarting does not hammer the listener in
+    /// lockstep.
     std::chrono::milliseconds connect_timeout{5000};
     /// Secret behind the per-connection challenge-response preamble. All
     /// endpoints of one deployment must share it; it defaults to the same
@@ -89,7 +101,7 @@ class TcpNetwork : public ChannelTransport {
     std::string auth_secret = SecureChannel::kMasterKey;
   };
 
-  /// Binds the listener and starts the accept loop.
+  /// Binds the listener and starts the event loop.
   static Result<std::unique_ptr<TcpNetwork>> Create(const Options& options);
 
   ~TcpNetwork() override;
@@ -107,11 +119,12 @@ class TcpNetwork : public ChannelTransport {
 
   Status RegisterParty(const std::string& name) override;
   bool HasParty(const std::string& name) const override;
-  Status Send(const std::string& from, const std::string& to,
-              const std::string& topic, std::string payload) override;
-  Status InjectFrame(const std::string& from, const std::string& to,
-                     const std::string& topic,
-                     std::string wire_bytes) override;
+  Status SendOn(const std::string& session, const std::string& from,
+                const std::string& to, const std::string& topic,
+                std::string payload) override;
+  Status InjectFrameOn(const std::string& session, const std::string& from,
+                       const std::string& to, const std::string& topic,
+                       std::string wire_bytes) override;
 
   /// Frames currently parked for parties this endpoint does not (yet)
   /// host; they are delivered the moment `RegisterParty` runs, preserving
@@ -133,37 +146,62 @@ class TcpNetwork : public ChannelTransport {
     uint16_t port = 0;
   };
 
-  /// One outbound connection, keyed by "host:port". The write mutex
-  /// serializes whole frames, which is what preserves per-channel FIFO
-  /// when several protocol threads send to the same endpoint.
+  /// One outbound connection, keyed by "host:port" in the shared pool.
+  /// The write mutex serializes whole frames, which is what preserves
+  /// per-channel FIFO when several protocol threads — and several
+  /// sessions — send to the same endpoint.
   struct Connection {
     int fd = -1;
     std::mutex write_mutex;
   };
 
-  TcpNetwork(const Options& options, int listen_fd, uint16_t listen_port);
+  /// One accepted connection's state machine, driven by the event loop:
+  /// nonblocking reads accumulate into `inbuf`, and `AdvanceConn` parses
+  /// as much handshake/frame data as has arrived. Touched only on the
+  /// loop thread.
+  struct InboundConn {
+    int fd = -1;
+    enum class Phase {
+      kAwaitHello,     // Expecting preamble + dialer challenge.
+      kAwaitResponse,  // Greeting sent; expecting dialer's response MAC.
+      kFrames,         // Authenticated; length-prefixed frames.
+    };
+    Phase phase = Phase::kAwaitHello;
+    std::string inbuf;             // Received, not yet parsed.
+    std::string outbuf;            // Greeting bytes the socket would not take.
+    std::string acceptor_challenge;
+    uint64_t handshake_timer = 0;  // Drops the conn if auth stalls.
+  };
 
-  void AcceptLoop();
-  /// Wraps ReaderLoopBody with the single exit path: close the fd and
-  /// queue the thread for reaping.
-  void ReaderLoop(int fd);
-  void ReaderLoopBody(int fd);
-  /// Joins readers that have announced completion. Requires
-  /// reader_mutex_ held.
-  void ReapFinishedReadersLocked();
+  TcpNetwork(const Options& options, int listen_fd, uint16_t listen_port,
+             std::unique_ptr<EventLoop> loop);
+
+  // Loop-thread handlers.
+  void HandleAccept(uint32_t events);
+  void HandleConnIo(int fd, uint32_t events);
+  /// Parses everything parseable in `conn->inbuf`; false = protocol
+  /// violation or auth failure, drop the connection.
+  bool AdvanceConn(InboundConn* conn);
+  /// Tries to flush `conn->outbuf`; arms EPOLLOUT while bytes remain.
+  bool FlushConn(InboundConn* conn);
+  void DropConn(int fd);
+
   /// Enqueues an arrived frame into the hosted receiver's queue, or parks
   /// it until that receiver registers.
   void Deliver(Message message);
 
   /// Send-side route lookup: `from` must be hosted here; resolves the
-  /// destination endpoint address ("host:port") and the channel counters.
-  Status ResolveRoute(const std::string& from, const std::string& to,
-                      std::string* dest_addr, ChannelState** channel);
-  /// Gets (dialing if needed, with refused-connection retry) the outbound
-  /// connection to `dest_addr` and writes one framed message on it.
-  Status WriteFrame(const std::string& dest_addr, const std::string& from,
-                    const std::string& to, const std::string& topic,
-                    const std::string& wire);
+  /// destination endpoint address ("host:port") and the session's channel
+  /// counters.
+  Status ResolveRoute(const std::string& session, const std::string& from,
+                      const std::string& to, std::string* dest_addr,
+                      ChannelState** channel);
+  /// Gets (dialing if needed, with backed-off retry on refusal) the
+  /// pooled outbound connection to `dest_addr` and writes one framed
+  /// message on it.
+  Status WriteFrame(const std::string& dest_addr, const std::string& session,
+                    const std::string& from, const std::string& to,
+                    const std::string& topic, const std::string& wire);
 
   const std::chrono::milliseconds connect_timeout_;
   const std::string listen_host_;  // For self-dialing locally hosted parties.
@@ -171,8 +209,14 @@ class TcpNetwork : public ChannelTransport {
 
   int listen_fd_ = -1;
   uint16_t listen_port_ = 0;
-  std::thread accept_thread_;
   std::atomic<bool> shutting_down_{false};
+
+  /// The reactor owning all inbound I/O. Declared after the fds it
+  /// watches, destroyed (joined) in the destructor before they close.
+  std::unique_ptr<EventLoop> loop_;
+  /// Accepted connections by fd; loop-thread-only (no lock — the
+  /// destructor touches it only after the loop has been joined).
+  std::map<int, std::unique_ptr<InboundConn>> inbound_;
 
   // Registry state beyond the base's parties_/channels_, guarded by the
   // shared registry_mutex_.
@@ -183,14 +227,6 @@ class TcpNetwork : public ChannelTransport {
 
   mutable std::mutex conn_mutex_;
   std::map<std::string, std::unique_ptr<Connection>> connections_;
-
-  /// Inbound-connection readers, keyed by fd, plus the fds whose readers
-  /// have finished (closed their fd) and await a join — reaped by the
-  /// accept loop so long-lived endpoints do not accumulate dead
-  /// threads/fds. Guarded by reader_mutex_.
-  mutable std::mutex reader_mutex_;
-  std::map<int, std::thread> readers_;
-  std::vector<int> finished_fds_;
 
   std::atomic<uint64_t> unclaimed_frames_{0};
   std::atomic<uint64_t> dropped_frames_{0};

@@ -1,0 +1,252 @@
+// SessionRegistry: N complete clustering protocol executions running
+// concurrently over ONE shared transport — every session's frames cross
+// the same registered parties (and, on TCP, the same pooled loopback
+// connections), demultiplexed purely by session id. The acceptance bar is
+// the same as for the transport abstraction itself: each concurrent
+// session's third-party matrices and published outcome must be
+// bit-identical to a fresh single-session in-memory run of the same
+// dataset and seeds. Any cross-session frame leakage, key sharing, or
+// queue interleave breaks that equality loudly.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/party_runner.h"
+#include "core/session_registry.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "net/in_memory_network.h"
+#include "net/tcp_network.h"
+#include "session_test_util.h"
+
+namespace ppc {
+namespace {
+
+using testutil::MakeSession;
+using testutil::MatricesOf;
+using testutil::SessionFixture;
+
+constexpr uint64_t kEntropyBase = 9000;  // Matches MakeSession's default.
+constexpr std::chrono::milliseconds kNetTimeout{20000};
+
+enum class BackendKind { kInMemory, kTcp };
+
+std::string ParamName(const ::testing::TestParamInfo<BackendKind>& info) {
+  return info.param == BackendKind::kInMemory ? "InMemory" : "Tcp";
+}
+
+LabeledDataset MixedDataset(size_t n, uint64_t seed) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, seed);
+  Generators::MixedOptions options;
+  options.num_clusters = 3;
+  return Generators::MixedClusters(n, options, Alphabet::Dna(), prng.get())
+      .TakeValue();
+}
+
+ClusterRequest HierRequest() {
+  ClusterRequest request;
+  request.num_clusters = 3;
+  return request;
+}
+
+void ExpectSameMatrices(const ThirdParty& got_tp, const ThirdParty& ref_tp,
+                        const Schema& schema, const std::string& session_id) {
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const DissimilarityMatrix* got =
+        got_tp.AttributeMatrixForTesting(c).TakeValue();
+    const DissimilarityMatrix* reference =
+        ref_tp.AttributeMatrixForTesting(c).TakeValue();
+    EXPECT_EQ(got->packed_cells(), reference->packed_cells())
+        << "session " << session_id << ", attribute " << c << " ("
+        << schema.attribute(c).name << ")";
+  }
+}
+
+/// Everything one concurrent session owns. Each session clusters a
+/// DIFFERENT dataset (its own seed) with the SAME party names and entropy
+/// seeds — so any frame that strays across sessions changes a matrix and
+/// fails the bit-equality below.
+struct SessionRun {
+  std::string id;
+  uint64_t data_seed = 0;
+  LabeledDataset data;
+  std::vector<LabeledDataset> parts;
+  ProtocolConfig config;
+  std::unique_ptr<ThirdParty> tp;
+  std::vector<std::unique_ptr<DataHolder>> holders;
+  Result<ClusteringOutcome> outcome{Status::Internal("session never ran")};
+};
+
+class MultiSessionTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kInMemory) {
+      net_ = std::make_unique<InMemoryNetwork>();
+    } else {
+      auto created = TcpNetwork::Create({});
+      ASSERT_TRUE(created.ok()) << created.status().ToString();
+      net_ = std::move(created).TakeValue();
+    }
+    // Parties belong to the shared transport; sessions share the roster.
+    ASSERT_TRUE(net_->RegisterParty("TP").ok());
+    ASSERT_TRUE(net_->RegisterParty("A").ok());
+    ASSERT_TRUE(net_->RegisterParty("B").ok());
+    net_->set_receive_timeout(kNetTimeout);
+  }
+
+  std::unique_ptr<Network> net_;
+};
+
+TEST_P(MultiSessionTest, ConcurrentSessionsMatchSingleSessionBitForBit) {
+  SessionPlan plan;
+  plan.holder_order = {"A", "B"};
+
+  std::vector<SessionRun> runs(3);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    runs[i].id = "job-" + std::to_string(i + 1);
+    runs[i].data_seed = 5 + i;
+    runs[i].data = MixedDataset(18, runs[i].data_seed);
+    runs[i].parts = Partitioner::RoundRobin(runs[i].data, 2).TakeValue();
+  }
+
+  SessionRegistry registry(net_.get());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    SessionRun* run = &runs[i];
+    Status started = registry.StartSession(run->id, [run, &plan](
+                                                        Network* snet) {
+      const Schema& schema = run->data.data.schema();
+      run->tp = std::make_unique<ThirdParty>("TP", snet, run->config, schema,
+                                             kEntropyBase);
+      for (size_t h = 0; h < run->parts.size(); ++h) {
+        run->holders.push_back(std::make_unique<DataHolder>(
+            plan.holder_order[h], snet, run->config, kEntropyBase + 1 + h));
+        PPC_RETURN_IF_ERROR(run->holders[h]->SetData(run->parts[h].data));
+      }
+      // Within the session the roles are still concurrent peers: third
+      // party and holder B on their own threads, holder A driving the
+      // clustering request inline.
+      Status tp_status, b_status;
+      std::thread tp_thread([&] {
+        tp_status = PartyRunner::RunThirdParty(run->tp.get(), plan, schema);
+        if (tp_status.ok()) tp_status = run->tp->ServeClusterRequest("A");
+      });
+      std::thread b_thread([&] {
+        b_status =
+            PartyRunner::RunHolder(run->holders[1].get(), plan, schema);
+      });
+      Status a_status =
+          PartyRunner::RunHolder(run->holders[0].get(), plan, schema);
+      if (a_status.ok()) {
+        run->outcome = PartyRunner::RequestClustering(run->holders[0].get(),
+                                                      plan, HierRequest());
+      }
+      tp_thread.join();
+      b_thread.join();
+      PPC_RETURN_IF_ERROR(a_status);
+      PPC_RETURN_IF_ERROR(b_status);
+      PPC_RETURN_IF_ERROR(tp_status);
+      return run->outcome.status();
+    });
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  // Ids are single-use, even while running.
+  EXPECT_EQ(registry.StartSession("job-1", [](Network*) {
+    return Status::OK();
+  }).code(),
+            StatusCode::kAlreadyExists);
+
+  Status all = registry.WaitAll();
+  ASSERT_TRUE(all.ok()) << all.ToString();
+  EXPECT_EQ(registry.ActiveCount(), 0u);
+  EXPECT_EQ(registry.SessionIds(),
+            (std::vector<std::string>{"job-1", "job-2", "job-3"}));
+
+  // Each concurrent run equals its own fresh single-session reference.
+  for (SessionRun& run : runs) {
+    SessionFixture ref =
+        MakeSession(run.data.data.schema(), MatricesOf(run.parts), run.config)
+            .TakeValue();
+    ASSERT_TRUE(ref.session->Run().ok());
+    ClusteringOutcome ref_outcome =
+        ref.session->RequestClustering("A", HierRequest()).TakeValue();
+
+    ASSERT_TRUE(run.outcome.ok()) << run.id << ": "
+                                  << run.outcome.status().ToString();
+    ExpectSameMatrices(*run.tp, *ref.third_party, run.data.data.schema(),
+                       run.id);
+    EXPECT_EQ(run.outcome->ToString(), ref_outcome.ToString()) << run.id;
+    if (run.outcome->silhouette && ref_outcome.silhouette) {
+      EXPECT_DOUBLE_EQ(*run.outcome->silhouette, *ref_outcome.silhouette);
+    }
+  }
+
+  // The shared transport really carried every session: per-session
+  // accounting is non-empty and distinct per session id.
+  for (const SessionRun& run : runs) {
+    EXPECT_GT(net_->TotalSentByOn(run.id, "TP").messages, 0u) << run.id;
+  }
+  EXPECT_EQ(net_->TotalSentByOn("job-never", "TP").messages, 0u);
+}
+
+TEST_P(MultiSessionTest, RegistrySemantics) {
+  SessionRegistry registry(net_.get());
+
+  // Empty id is the transport's default session — refused.
+  EXPECT_EQ(registry.StartSession("", [](Network*) {
+    return Status::OK();
+  }).code(),
+            StatusCode::kInvalidArgument);
+  // Waiting on an unknown id is kNotFound, not a hang.
+  EXPECT_EQ(registry.WaitSession("ghost").code(), StatusCode::kNotFound);
+
+  // Three bodies that each block until all three are running: proof the
+  // registry really runs sessions concurrently, not serially.
+  std::mutex mutex;
+  std::condition_variable all_started;
+  int started = 0;
+  auto rendezvous = [&](Network* snet) -> Status {
+    EXPECT_NE(snet, nullptr);
+    std::unique_lock<std::mutex> lock(mutex);
+    if (++started == 3) all_started.notify_all();
+    const bool ok = all_started.wait_for(
+        lock, std::chrono::seconds(10), [&] { return started == 3; });
+    return ok ? Status::OK()
+              : Status::Internal("peers never started — sessions serialized?");
+  };
+  for (const char* id : {"r1", "r2", "r3"}) {
+    ASSERT_TRUE(registry.StartSession(id, rendezvous).ok());
+  }
+  EXPECT_TRUE(registry.WaitSession("r2").ok());
+  EXPECT_TRUE(registry.WaitAll().ok());
+  // WaitSession stays callable after completion and returns the result.
+  EXPECT_TRUE(registry.WaitSession("r2").ok());
+
+  // A failed session's status is decorated with its id by WaitAll.
+  ASSERT_TRUE(registry
+                  .StartSession("bad",
+                                [](Network*) {
+                                  return Status::Internal("body exploded");
+                                })
+                  .ok());
+  Status all = registry.WaitAll();
+  EXPECT_EQ(all.code(), StatusCode::kInternal);
+  EXPECT_NE(all.message().find("session 'bad'"), std::string::npos)
+      << all.ToString();
+  EXPECT_NE(all.message().find("body exploded"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, MultiSessionTest,
+                         ::testing::Values(BackendKind::kInMemory,
+                                           BackendKind::kTcp),
+                         ParamName);
+
+}  // namespace
+}  // namespace ppc

@@ -100,7 +100,7 @@ TEST(TcpAuthTest, RawSocketWithWrongResponseCannotAttach) {
   int fd = DialRaw((*net)->listen_port());
   // Speak the right preamble and challenge lengths but answer garbage.
   ASSERT_TRUE(SendAll(
-      fd, "PPT2" + std::string(SecureChannel::kChallengeLength, 'x')));
+      fd, "PPT3" + std::string(SecureChannel::kChallengeLength, 'x')));
   std::string greeting = RecvUpTo(
       fd, SecureChannel::kChallengeLength + SecureChannel::kMacLength);
   ASSERT_EQ(greeting.size(),
@@ -115,14 +115,19 @@ TEST(TcpAuthTest, RawSocketWithWrongResponseCannotAttach) {
 }
 
 TEST(TcpAuthTest, ObsoletePreambleVersionIsCutOff) {
+  // "PPT1" (unauthenticated) and "PPT2" (no session field in the frame
+  // record) are both prior wire versions; either dialer is cut off before
+  // any challenge is exchanged.
   auto net = TcpNetwork::Create({});
   ASSERT_TRUE(net.ok());
   ASSERT_TRUE((*net)->RegisterParty("B").ok());
-  int fd = DialRaw((*net)->listen_port());
-  ASSERT_TRUE(SendAll(
-      fd, "PPT1" + std::string(SecureChannel::kChallengeLength, 'x')));
-  EXPECT_EQ(RecvUpTo(fd, 1), "");  // Closed before any challenge.
-  ::close(fd);
+  for (const char* obsolete : {"PPT1", "PPT2"}) {
+    int fd = DialRaw((*net)->listen_port());
+    ASSERT_TRUE(SendAll(
+        fd, obsolete + std::string(SecureChannel::kChallengeLength, 'x')));
+    EXPECT_EQ(RecvUpTo(fd, 1), "") << obsolete;  // Closed, no challenge.
+    ::close(fd);
+  }
 }
 
 TEST(TcpAuthTest, CorrectResponderGetsFramesAccepted) {
@@ -138,7 +143,7 @@ TEST(TcpAuthTest, CorrectResponderGetsFramesAccepted) {
       SecureChannel::ConnectionAuthKey(SecureChannel::kMasterKey);
   int fd = DialRaw((*net)->listen_port());
   const std::string dialer_challenge(SecureChannel::kChallengeLength, 'c');
-  ASSERT_TRUE(SendAll(fd, "PPT2" + dialer_challenge));
+  ASSERT_TRUE(SendAll(fd, "PPT3" + dialer_challenge));
   std::string greeting = RecvUpTo(
       fd, SecureChannel::kChallengeLength + SecureChannel::kMacLength);
   ASSERT_EQ(greeting.size(),

@@ -4,6 +4,13 @@
 // registry edge cases, and rejection of tampered frames. The suite runs
 // identically over `InMemoryNetwork` and `TcpNetwork`, which is what makes
 // the two interchangeable under the protocol stack.
+//
+// Every case additionally runs in a *multiplexed* mode: the backend is
+// wrapped in a `SessionNetwork` view bound to session "s1" while chaff
+// traffic sits queued on session "s2" of the same transport. The whole
+// contract must hold bit-identically with a foreign session in flight,
+// and the chaff must come out of "s2" untouched afterwards — that is the
+// isolation guarantee concurrent clustering sessions rely on.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +21,7 @@
 
 #include "net/in_memory_network.h"
 #include "net/network.h"
+#include "net/session_network.h"
 #include "net/tcp_network.h"
 
 namespace ppc {
@@ -24,7 +32,11 @@ enum class BackendKind { kInMemory, kTcp };
 struct ConformanceParam {
   BackendKind backend;
   TransportSecurity security;
+  bool multiplexed;
 };
+
+constexpr char kChaffSession[] = "s2";
+constexpr char kChaffTopic[] = "chaff.t";
 
 std::string ParamName(const ::testing::TestParamInfo<ConformanceParam>& info) {
   std::string name = info.param.backend == BackendKind::kInMemory
@@ -32,6 +44,7 @@ std::string ParamName(const ::testing::TestParamInfo<ConformanceParam>& info) {
                          : "Tcp";
   name += info.param.security == TransportSecurity::kPlaintext ? "Plaintext"
                                                                : "Encrypted";
+  if (info.param.multiplexed) name += "Mux";
   return name;
 }
 
@@ -40,25 +53,58 @@ class TransportConformanceTest
  protected:
   void SetUp() override {
     if (GetParam().backend == BackendKind::kInMemory) {
-      net_ = std::make_unique<InMemoryNetwork>(GetParam().security);
+      base_ = std::make_unique<InMemoryNetwork>(GetParam().security);
     } else {
       TcpNetwork::Options options;
       options.security = GetParam().security;
       auto created = TcpNetwork::Create(options);
       ASSERT_TRUE(created.ok()) << created.status().ToString();
-      net_ = std::move(created).TakeValue();
+      base_ = std::move(created).TakeValue();
     }
-    ASSERT_TRUE(net_->RegisterParty("A").ok());
-    ASSERT_TRUE(net_->RegisterParty("B").ok());
-    ASSERT_TRUE(net_->RegisterParty("TP").ok());
+    ASSERT_TRUE(base_->RegisterParty("A").ok());
+    ASSERT_TRUE(base_->RegisterParty("B").ok());
+    ASSERT_TRUE(base_->RegisterParty("TP").ok());
     // TCP delivery is asynchronous; a nonzero timeout is the contract's
     // only guaranteed way to observe a sent frame, and it must be a no-op
     // for the in-memory backend.
-    net_->set_receive_timeout(std::chrono::milliseconds(5000));
+    base_->set_receive_timeout(std::chrono::milliseconds(5000));
+    if (GetParam().multiplexed) {
+      // Park chaff on a foreign session before wrapping: no case below
+      // may ever observe it through the "s1"-bound view.
+      ASSERT_TRUE(
+          base_->SendOn(kChaffSession, "A", "B", kChaffTopic, "chaff-1").ok());
+      ASSERT_TRUE(
+          base_->SendOn(kChaffSession, "A", "B", kChaffTopic, "chaff-2").ok());
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (base_->PendingCountOn(kChaffSession, "B") != 2) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "chaff frames never arrived";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      view_ = std::make_unique<SessionNetwork>(base_.get(), "s1");
+      net_ = view_.get();
+    } else {
+      net_ = base_.get();
+    }
+  }
+
+  void TearDown() override {
+    if (!GetParam().multiplexed || base_ == nullptr) return;
+    // Whatever the case did on "s1", the foreign session's frames are
+    // still queued and still decode to their original payloads.
+    EXPECT_EQ(base_->PendingCountOn(kChaffSession, "B"), 2u);
+    auto first = base_->ReceiveOn(kChaffSession, "B", "A", kChaffTopic);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(first->payload, "chaff-1");
+    EXPECT_EQ(first->session, kChaffSession);
+    auto second = base_->ReceiveOn(kChaffSession, "B", "A", kChaffTopic);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_EQ(second->payload, "chaff-2");
   }
 
   /// Polls until `to` has `expected` pending messages (TCP needs the
-  /// reader thread to drain the socket first).
+  /// event loop to drain the socket first).
   bool WaitForPending(const std::string& to, size_t expected) {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(5);
@@ -69,7 +115,10 @@ class TransportConformanceTest
     return true;
   }
 
-  std::unique_ptr<Network> net_;
+  std::unique_ptr<Network> base_;
+  std::unique_ptr<SessionNetwork> view_;
+  /// The network under test: the backend itself, or its "s1" view.
+  Network* net_ = nullptr;
 };
 
 TEST_P(TransportConformanceTest, DeliversPayloadIntact) {
@@ -148,7 +197,13 @@ TEST_P(TransportConformanceTest, UnknownPartiesRejected) {
 }
 
 TEST_P(TransportConformanceTest, DuplicateRegistrationRejected) {
-  EXPECT_EQ(net_->RegisterParty("A").code(), StatusCode::kAlreadyExists);
+  // Parties belong to the transport, not a session: the base rejects a
+  // duplicate, while a session view tolerates it (N concurrent sessions
+  // all "register" the same shared roster).
+  EXPECT_EQ(base_->RegisterParty("A").code(), StatusCode::kAlreadyExists);
+  if (GetParam().multiplexed) {
+    EXPECT_TRUE(net_->RegisterParty("A").ok());
+  }
   EXPECT_EQ(net_->RegisterParty("").code(), StatusCode::kInvalidArgument);
 }
 
@@ -260,13 +315,22 @@ TEST_P(TransportConformanceTest, InjectFrameSkipsAccounting) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, TransportConformanceTest,
     ::testing::Values(
+        ConformanceParam{BackendKind::kInMemory, TransportSecurity::kPlaintext,
+                         false},
         ConformanceParam{BackendKind::kInMemory,
-                         TransportSecurity::kPlaintext},
-        ConformanceParam{BackendKind::kInMemory,
-                         TransportSecurity::kAuthenticatedEncryption},
-        ConformanceParam{BackendKind::kTcp, TransportSecurity::kPlaintext},
+                         TransportSecurity::kAuthenticatedEncryption, false},
+        ConformanceParam{BackendKind::kTcp, TransportSecurity::kPlaintext,
+                         false},
         ConformanceParam{BackendKind::kTcp,
-                         TransportSecurity::kAuthenticatedEncryption}),
+                         TransportSecurity::kAuthenticatedEncryption, false},
+        ConformanceParam{BackendKind::kInMemory, TransportSecurity::kPlaintext,
+                         true},
+        ConformanceParam{BackendKind::kInMemory,
+                         TransportSecurity::kAuthenticatedEncryption, true},
+        ConformanceParam{BackendKind::kTcp, TransportSecurity::kPlaintext,
+                         true},
+        ConformanceParam{BackendKind::kTcp,
+                         TransportSecurity::kAuthenticatedEncryption, true}),
     ParamName);
 
 // --------------------------------------------------------- TCP-specific --

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Daemon-mode smoke test: three resident `serve` processes (third party +
+# two data holders) accept THREE concurrent clustering jobs fired by one
+# `submit`, each job a session multiplexed over the daemons' shared
+# authenticated connections. Every session's published outcome must be
+# byte-identical to an in-process `cluster` run over the same partitions,
+# and the daemons must drain and exit cleanly on the shutdown record.
+#
+# Usage: cli_serve_smoke.sh <path-to-ppclust_cli> <scratch-dir>
+
+set -u
+
+CLI="$1"
+SCRATCH="$2"
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in tp b a submit; do
+    if [ -s "$SCRATCH/$log.err" ]; then
+      echo "--- $log stderr ---" >&2
+      cat "$SCRATCH/$log.err" >&2
+    fi
+  done
+  exit 1
+}
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+
+"$CLI" generate --kind=mixed --objects=20 --parties=2 --seed=7 \
+  "--prefix=$SCRATCH/smoke" > /dev/null || fail "generate exited nonzero"
+
+# The in-process reference run (strip the timing line); every submitted
+# job must publish exactly this outcome.
+"$CLI" cluster "$SCRATCH/smoke.part0.csv" "$SCRATCH/smoke.part1.csv" \
+  --clusters=3 > "$SCRATCH/inmem.out" || fail "in-process cluster failed"
+grep -v '^# protocol:' "$SCRATCH/inmem.out" > "$SCRATCH/inmem.trimmed"
+
+JOBS=3
+
+# Loopback deployment: one port per party, random base to dodge parallel
+# ctest runs.
+BASE=$((20000 + RANDOM % 12000))  # stay below the ephemeral range (32768+)
+PEERS="A=127.0.0.1:$BASE,B=127.0.0.1:$((BASE + 1))"
+PEERS="$PEERS,TP=127.0.0.1:$((BASE + 2)),COORD=127.0.0.1:$((BASE + 3))"
+COMMON=(--holders=A,B "--peers=$PEERS" --net-timeout-ms=60000)
+
+"$CLI" serve --role=third-party "--schema=$SCRATCH/smoke.part0.csv" \
+  "${COMMON[@]}" 2> "$SCRATCH/tp.err" &
+TP_PID=$!
+"$CLI" serve "$SCRATCH/smoke.part1.csv" --role=holder --party=B \
+  "${COMMON[@]}" 2> "$SCRATCH/b.err" &
+B_PID=$!
+"$CLI" serve "$SCRATCH/smoke.part0.csv" --role=holder --party=A \
+  "${COMMON[@]}" 2> "$SCRATCH/a.err" &
+A_PID=$!
+
+# All jobs are fired before any outcome is collected, so the daemons run
+# the three sessions concurrently; the trailing shutdown record (the
+# default) retires them once every session drained.
+"$CLI" submit --jobs=$JOBS --clusters=3 "${COMMON[@]}" \
+  > "$SCRATCH/serve.out" 2> "$SCRATCH/submit.err"
+SUBMIT_CODE=$?
+
+wait "$TP_PID"; TP_CODE=$?
+wait "$B_PID"; B_CODE=$?
+wait "$A_PID"; A_CODE=$?
+
+[ "$SUBMIT_CODE" -eq 0 ] || fail "submit exited $SUBMIT_CODE"
+[ "$TP_CODE" -eq 0 ] || fail "third-party daemon exited $TP_CODE"
+[ "$B_CODE" -eq 0 ] || fail "holder B daemon exited $B_CODE"
+[ "$A_CODE" -eq 0 ] || fail "holder A daemon exited $A_CODE"
+
+# Submit prints `# session <id>` then the outcome, per job. Each job's
+# block must equal the in-process reference.
+grep -c '^# session ' "$SCRATCH/serve.out" | grep -qx "$JOBS" \
+  || fail "expected $JOBS session outcomes in submit output"
+grep -v '^# session ' "$SCRATCH/serve.out" > "$SCRATCH/serve.trimmed"
+for _ in $(seq "$JOBS"); do cat "$SCRATCH/inmem.trimmed"; done \
+  > "$SCRATCH/expected.trimmed"
+diff -u "$SCRATCH/expected.trimmed" "$SCRATCH/serve.trimmed" \
+  > "$SCRATCH/outcome.diff" \
+  || fail "a session's outcome diverged from the in-process run:
+$(cat "$SCRATCH/outcome.diff")"
+
+grep -q "served $JOBS sessions" "$SCRATCH/tp.err" \
+  || fail "third-party daemon did not report serving $JOBS sessions"
+
+echo "PASS: $JOBS concurrent daemon-mode sessions each published the in-process outcome"

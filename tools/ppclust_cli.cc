@@ -44,6 +44,23 @@
 //       CSV with matching columns); the coordinator owns nothing and
 //       prints the published outcome, so its stdout matches an in-process
 //       `cluster` run on the concatenated partitions.
+//
+//   Daemon mode: the same processes stay resident and serve many
+//   clustering jobs concurrently, each job a session multiplexed over the
+//   daemons' single authenticated connection per party pair:
+//
+//   ppclust_cli serve PART.csv --role=holder --party=A --holders=A,B
+//               --peers=A=...,B=...,TP=...,COORD=...
+//   ppclust_cli serve --role=third-party --schema=ANY.csv --holders=...
+//               --peers=...
+//   ppclust_cli submit --jobs=N [--clusters=K] --holders=... --peers=...
+//       `serve` loops on control-plane job submissions (topic ctl.job,
+//       default session) and runs each job's protocol side on its own
+//       session id via SessionRegistry. `submit` (run from the COORD
+//       address) fires N jobs at every daemon, then collects and prints
+//       each session's published outcome — byte-identical to the
+//       in-process `cluster` output per job — and finally shuts the
+//       daemons down (unless --shutdown=false).
 
 #include <cerrno>
 #include <chrono>
@@ -58,6 +75,7 @@
 
 #include "analysis/comm_model.h"
 #include "common/string_util.h"
+#include "core/session_registry.h"
 #include "core/topics.h"
 #include "ppclust.h"
 
@@ -163,7 +181,14 @@ constexpr char kUsage[] =
     "              [--party=NAME] [--schema=FILE.csv] [--third-party=TP]\n"
     "              [--coordinator=COORD] [--net-timeout-ms=30000]\n"
     "              [--entropy-seed=S]   (one OS process per party; see\n"
-    "              README \"Deployment modes\")\n";
+    "              README \"Deployment modes\")\n"
+    "  ppclust_cli serve [PART.csv] --role=holder|third-party\n"
+    "              --holders=... --peers=...   (resident daemon: runs each\n"
+    "              submitted job as a concurrent session; flags as above)\n"
+    "  ppclust_cli submit --jobs=N [--clusters=K] [--session-prefix=job-]\n"
+    "              [--shutdown=true] --holders=... --peers=...\n"
+    "              (fire N concurrent jobs at the serve daemons from the\n"
+    "              COORD address and print each session's outcome)\n";
 
 int Usage() {
   std::fprintf(stderr, "%s", kUsage);
@@ -599,6 +624,341 @@ int RunClusterRole(const Flags& flags) {
   return 0;
 }
 
+// -- Daemon mode (serve / submit) --------------------------------------------
+
+/// Control-plane job record carried on topics::kJobSubmit (always on the
+/// transport's default session): kind ("job" or "shutdown"), the session
+/// id the job runs under, and the requested cluster count. Protocol
+/// parameters beyond that are fixed at daemon startup — every job a
+/// daemon serves uses the daemon's --alphabet/--mode/... flags.
+struct JobRecord {
+  std::string kind;
+  std::string session;
+  uint64_t num_clusters = 0;
+
+  std::string Serialize() const {
+    ByteWriter writer;
+    writer.WriteBytes(kind);
+    writer.WriteBytes(session);
+    writer.WriteU64(num_clusters);
+    return writer.TakeBytes();
+  }
+
+  static Result<JobRecord> Deserialize(const std::string& payload) {
+    ByteReader reader(payload);
+    JobRecord record;
+    auto kind = reader.ReadBytes();
+    if (!kind.ok()) return kind.status();
+    record.kind = std::move(*kind);
+    auto session = reader.ReadBytes();
+    if (!session.ok()) return session.status();
+    record.session = std::move(*session);
+    auto clusters = reader.ReadU64();
+    if (!clusters.ok()) return clusters.status();
+    record.num_clusters = *clusters;
+    Status end = reader.ExpectEnd();
+    if (!end.ok()) return end;
+    return record;
+  }
+};
+
+/// Stands up this process's TCP endpoint at its --peers address, registers
+/// its party, and wires every other peer as a remote.
+Result<std::unique_ptr<TcpNetwork>> SetUpEndpoint(
+    const std::string& party, const std::map<std::string, PeerEntry>& peers,
+    int64_t timeout_ms) {
+  auto own = peers.find(party);
+  if (own == peers.end()) {
+    return Status::InvalidArgument("--peers does not list this process's "
+                                   "party '" + party + "'");
+  }
+  TcpNetwork::Options options;
+  options.listen_host = own->second.host;
+  options.listen_port = own->second.port;
+  options.connect_timeout = std::chrono::milliseconds(timeout_ms);
+  auto network = TcpNetwork::Create(options);
+  if (!network.ok()) return network.status();
+  (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms));
+  Status status = (*network)->RegisterParty(party);
+  if (!status.ok()) return status;
+  for (const auto& [name, entry] : peers) {
+    if (name == party) continue;
+    status = (*network)->AddRemoteParty(name, entry.host, entry.port);
+    if (!status.ok()) return status;
+  }
+  return std::move(network).TakeValue();
+}
+
+// Parses --holders; >= 2 distinct names required (same contract as the
+// --role deployment).
+int ParseHolderOrder(const Flags& flags,
+                     std::vector<std::string>* holder_order) {
+  for (const std::string& name : SplitString(flags.Get("holders", ""), ',')) {
+    if (name.empty()) return Fail("--holders lists an empty holder name");
+    for (const std::string& seen : *holder_order) {
+      if (seen == name) return Fail("--holders lists '" + name + "' twice");
+    }
+    holder_order->push_back(name);
+  }
+  if (holder_order->size() < 2) {
+    return Fail(
+        "--holders must list at least two holder names in roster order");
+  }
+  return 0;
+}
+
+// `serve` — a resident protocol party. Loops on control-plane job
+// submissions from the coordinator and runs each job as its own logical
+// session, concurrently, over this one endpoint: every in-flight job's
+// frames share the same authenticated connections, demultiplexed by
+// session id. A "shutdown" record drains the in-flight sessions and
+// exits.
+int RunServe(const Flags& flags) {
+  if (int bad = CheckFlagNames(
+          flags, {"role", "party", "holders", "peers", "third-party",
+                  "coordinator", "net-timeout-ms", "entropy-seed", "schema",
+                  "alphabet", "mode", "threads", "schedule"})) {
+    return bad;
+  }
+  const std::string role = flags.Get("role", "");
+  if (role != "holder" && role != "third-party") {
+    return Fail("serve needs --role=holder or --role=third-party (the "
+                "coordinator side is `submit`)");
+  }
+  const std::string tp_name = flags.Get("third-party", "TP");
+  const std::string coord_name = flags.Get("coordinator", "COORD");
+
+  std::vector<std::string> holder_order;
+  if (int bad = ParseHolderOrder(flags, &holder_order)) return bad;
+  std::map<std::string, PeerEntry> peers;
+  if (int bad = ParsePeers(flags.Get("peers", ""), &peers)) return bad;
+
+  constexpr int64_t kMaxNetTimeoutMs = 7 * 24 * 60 * 60 * 1000LL;
+  const int64_t timeout_ms = flags.GetInt("net-timeout-ms", 30000);
+  if (timeout_ms < 1 || timeout_ms > kMaxNetTimeoutMs) {
+    return Fail("--net-timeout-ms must be between 1 and " +
+                std::to_string(kMaxNetTimeoutMs) + " (7 days)");
+  }
+
+  const std::string party =
+      flags.Get("party", role == "third-party" ? tp_name : "");
+  if (party.empty()) {
+    return Fail("--role=holder requires --party=<holder name>");
+  }
+  if (role == "third-party" && party != tp_name) {
+    return Fail("--role=third-party is named by --third-party (" + tp_name +
+                "); drop --party=" + party);
+  }
+
+  ProtocolConfig config;
+  if (int bad = ParseProtocolConfig(flags, &config)) return bad;
+
+  // The daemon's data (one partition CSV) or agreed schema is fixed at
+  // startup; every job clusters it.
+  size_t my_index = holder_order.size();
+  DataMatrix matrix;
+  if (role == "holder") {
+    for (size_t i = 0; i < holder_order.size(); ++i) {
+      if (holder_order[i] == party) my_index = i;
+    }
+    if (my_index == holder_order.size()) {
+      return Fail("--party '" + party + "' is not listed in --holders");
+    }
+    if (flags.positional.size() != 1) {
+      return Fail("serve --role=holder takes exactly one partition CSV");
+    }
+    auto loaded = Csv::ReadFile(flags.positional[0]);
+    if (!loaded.ok()) {
+      return Fail(flags.positional[0] + ": " + loaded.status().ToString());
+    }
+    matrix = std::move(loaded).TakeValue();
+  } else {
+    const std::string schema_path = flags.Get("schema", "");
+    if (schema_path.empty() || !flags.positional.empty()) {
+      return Fail(
+          "serve --role=third-party takes no partition CSVs; pass the "
+          "agreed schema via --schema=FILE.csv (values are ignored)");
+    }
+    auto loaded = Csv::ReadFile(schema_path);
+    if (!loaded.ok()) {
+      return Fail(schema_path + ": " + loaded.status().ToString());
+    }
+    matrix = std::move(loaded).TakeValue();
+  }
+  const Schema schema = matrix.schema();
+
+  // Entropy defaults match the in-process `cluster` command (TP = 1,
+  // holder p = 100 + p): a daemon fleet publishes the identical outcome
+  // for identical partitions, job after job.
+  const int64_t default_seed =
+      role == "third-party" ? 1 : 100 + static_cast<int64_t>(my_index);
+  const uint64_t entropy_seed =
+      static_cast<uint64_t>(flags.GetInt("entropy-seed", default_seed));
+  if (!flags.value_error.empty()) return Fail(flags.value_error);
+
+  auto network = SetUpEndpoint(party, peers, timeout_ms);
+  if (!network.ok()) return Fail(network.status().ToString());
+
+  SessionPlan plan;
+  plan.holder_order = holder_order;
+  plan.third_party = tp_name;
+
+  SessionRegistry registry(network->get());
+  std::fprintf(stderr, "# %s: serving (role %s, listening on %u)\n",
+               party.c_str(), role.c_str(), (*network)->listen_port());
+  size_t served = 0;
+  for (;;) {
+    auto msg = (*network)->Receive(party, coord_name, topics::kJobSubmit);
+    if (!msg.ok()) {
+      // An idle window with no submissions is not an error for a daemon.
+      if (msg.status().code() == StatusCode::kNotFound) continue;
+      return Fail(msg.status().ToString());
+    }
+    auto job = JobRecord::Deserialize(msg->payload);
+    if (!job.ok()) return Fail("bad job record: " + job.status().ToString());
+    if (job->kind == "shutdown") break;
+    if (job->kind != "job") {
+      return Fail("unknown control record kind '" + job->kind + "'");
+    }
+    ClusterRequest request;
+    request.num_clusters = job->num_clusters;
+
+    // Everything the session body touches is captured by value: the loop
+    // (and any number of sibling sessions) keeps running while it works.
+    SessionRegistry::SessionBody body;
+    if (role == "third-party") {
+      body = [tp_name, config, schema, entropy_seed, plan](Network* snet) {
+        ThirdParty tp(tp_name, snet, config, schema, entropy_seed);
+        Status status = PartyRunner::RunThirdParty(&tp, plan, schema);
+        if (!status.ok()) return status;
+        return tp.ServeClusterRequest(plan.holder_order[0]);
+      };
+    } else {
+      const bool requests_clustering = my_index == 0;
+      body = [party, coord_name, config, schema, entropy_seed, plan, matrix,
+              request, requests_clustering](Network* snet) {
+        DataHolder holder(party, snet, config, entropy_seed);
+        Status status = holder.SetData(matrix);
+        if (!status.ok()) return status;
+        status = PartyRunner::RunHolder(&holder, plan, schema);
+        if (!status.ok()) return status;
+        if (!requests_clustering) return Status::OK();
+        auto outcome = PartyRunner::RequestClustering(&holder, plan, request);
+        if (!outcome.ok()) return outcome.status();
+        ByteWriter writer;
+        outcome->Serialize(&writer);
+        // Session-scoped: the submitter collects each job's outcome off
+        // that job's own session.
+        return snet->Send(party, coord_name, topics::kCoordinatorOutcome,
+                          writer.TakeBytes());
+      };
+    }
+    Status started = registry.StartSession(job->session, std::move(body));
+    if (!started.ok()) return Fail(started.ToString());
+    ++served;
+  }
+
+  Status all = registry.WaitAll();
+  if (!all.ok()) return Fail(all.ToString());
+  std::fprintf(stderr, "# %s: served %zu sessions; sent %llu wire bytes\n",
+               party.c_str(), served,
+               static_cast<unsigned long long>(
+                   (*network)->TotalSentBy(party).wire_bytes));
+  return 0;
+}
+
+// `submit` — the coordinator side of daemon mode: fires N jobs at every
+// serve daemon (all N are in flight at once), then collects and prints
+// each session's published outcome in submission order, and finally sends
+// the shutdown record.
+int RunSubmit(const Flags& flags) {
+  if (int bad = CheckFlagNames(
+          flags, {"holders", "peers", "third-party", "coordinator", "jobs",
+                  "clusters", "session-prefix", "net-timeout-ms",
+                  "shutdown"})) {
+    return bad;
+  }
+  if (!flags.positional.empty()) {
+    return Fail("submit takes no positional arguments");
+  }
+  const std::string tp_name = flags.Get("third-party", "TP");
+  const std::string coord_name = flags.Get("coordinator", "COORD");
+  std::vector<std::string> holder_order;
+  if (int bad = ParseHolderOrder(flags, &holder_order)) return bad;
+  std::map<std::string, PeerEntry> peers;
+  if (int bad = ParsePeers(flags.Get("peers", ""), &peers)) return bad;
+
+  constexpr int64_t kMaxNetTimeoutMs = 7 * 24 * 60 * 60 * 1000LL;
+  const int64_t timeout_ms = flags.GetInt("net-timeout-ms", 30000);
+  if (timeout_ms < 1 || timeout_ms > kMaxNetTimeoutMs / 10) {
+    return Fail("--net-timeout-ms must be between 1 and " +
+                std::to_string(kMaxNetTimeoutMs / 10));
+  }
+  const int64_t jobs = flags.GetInt("jobs", 1);
+  if (jobs < 1) return Fail("--jobs must be positive");
+  const int64_t clusters = flags.GetInt("clusters", 3);
+  if (clusters < 1) return Fail("--clusters must be positive");
+  const std::string prefix = flags.Get("session-prefix", "job-");
+  const std::string shutdown = flags.Get("shutdown", "true");
+  if (shutdown != "true" && shutdown != "false") {
+    return Fail("--shutdown expects true or false");
+  }
+  if (!flags.value_error.empty()) return Fail(flags.value_error);
+
+  auto network = SetUpEndpoint(coord_name, peers, timeout_ms);
+  if (!network.ok()) return Fail(network.status().ToString());
+
+  std::vector<std::string> participants;
+  participants.push_back(tp_name);
+  for (const std::string& holder : holder_order) {
+    participants.push_back(holder);
+  }
+
+  // Fire every job before collecting anything: all N sessions execute
+  // concurrently inside the daemons.
+  std::vector<std::string> sessions;
+  for (int64_t j = 0; j < jobs; ++j) {
+    JobRecord job{"job", prefix + std::to_string(j + 1),
+                  static_cast<uint64_t>(clusters)};
+    sessions.push_back(job.session);
+    const std::string payload = job.Serialize();
+    for (const std::string& participant : participants) {
+      Status sent = (*network)->Send(coord_name, participant,
+                                     topics::kJobSubmit, payload);
+      if (!sent.ok()) return Fail(sent.ToString());
+    }
+  }
+
+  // Each outcome wait spans a whole protocol run plus the clustering
+  // computation, so it gets the coordinator's 10x budget.
+  (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms * 10));
+  for (const std::string& session : sessions) {
+    auto msg = (*network)->ReceiveOn(session, coord_name, holder_order[0],
+                                     topics::kCoordinatorOutcome);
+    if (!msg.ok()) {
+      return Fail("session '" + session + "': " + msg.status().ToString());
+    }
+    ByteReader reader(msg->payload);
+    auto outcome = ClusteringOutcome::Deserialize(&reader);
+    if (!outcome.ok()) return Fail(outcome.status().ToString());
+    Status end = reader.ExpectEnd();
+    if (!end.ok()) return Fail(end.ToString());
+    std::printf("# session %s\n", session.c_str());
+    PrintOutcome(*outcome);
+  }
+
+  if (shutdown == "true") {
+    (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms));
+    const std::string payload = JobRecord{"shutdown", "", 0}.Serialize();
+    for (const std::string& participant : participants) {
+      Status sent = (*network)->Send(coord_name, participant,
+                                     topics::kJobSubmit, payload);
+      if (!sent.ok()) return Fail(sent.ToString());
+    }
+  }
+  return 0;
+}
+
 // Loads the partition CSVs named by the positional arguments (>= 2
 // required) and checks they agree on one schema.
 int LoadPartitions(const Flags& flags, const char* command,
@@ -838,5 +1198,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return ppc::RunGenerate(flags);
   if (command == "cluster") return ppc::RunCluster(flags);
   if (command == "analyze") return ppc::RunAnalyze(flags);
+  if (command == "serve") return ppc::RunServe(flags);
+  if (command == "submit") return ppc::RunSubmit(flags);
   return ppc::Usage();
 }
