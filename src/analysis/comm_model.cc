@@ -137,7 +137,7 @@ void ScheduleTrafficAudit::Attach(Network* network,
     network->AddTap(from, to, [this](const WireFrame& frame) {
       auto phase = topic_phases_.find(frame.topic);
       if (phase == topic_phases_.end()) return;  // Not a protocol step.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       PhaseTraffic& traffic = totals_[phase->second];
       traffic.messages += 1;
       traffic.wire_bytes += frame.wire_bytes.size();
@@ -148,7 +148,7 @@ void ScheduleTrafficAudit::Attach(Network* network,
 
 std::map<int, ScheduleTrafficAudit::PhaseTraffic>
 ScheduleTrafficAudit::PhaseTotals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return totals_;
 }
 

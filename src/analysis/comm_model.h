@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "core/schedule.h"
 #include "net/network.h"
@@ -140,8 +140,8 @@ class ScheduleTrafficAudit {
  private:
   std::map<std::string, int> topic_phases_;
   uint64_t frame_overhead_ = 0;
-  mutable std::mutex mutex_;
-  std::map<int, PhaseTraffic> totals_;
+  mutable Mutex mutex_;
+  std::map<int, PhaseTraffic> totals_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ppc

@@ -19,8 +19,11 @@ namespace ppc {
 /// if (!m.ok()) return m.status();
 /// Use(m.value());
 /// ```
+///
+/// `[[nodiscard]]` for the same reason as `Status`: dropping a Result
+/// drops the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

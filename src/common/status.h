@@ -51,7 +51,11 @@ const char* StatusCodeToString(StatusCode code);
 /// Status s = matrix.Append(row);
 /// if (!s.ok()) return s;
 /// ```
-class Status {
+///
+/// `[[nodiscard]]`: a dropped Status is a swallowed failure, so every
+/// call returning one must be checked, propagated, or explicitly
+/// discarded with a `(void)` cast carrying a reason comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -15,42 +15,41 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -116,8 +115,11 @@ Status RunDagTasks(std::vector<std::function<Status()>> tasks,
     }
   }
 
-  std::mutex mutex;
-  std::condition_variable wake;
+  // The scheduler state below is all guarded by `mutex` (locals cannot
+  // carry GUARDED_BY, but every access happens inside the MutexLock
+  // scope or between its Lock/Unlock pairs).
+  Mutex mutex;
+  CondVar wake;
   std::set<uint32_t> ready;  // Ordered: workers pick the lowest index.
   size_t outstanding = n;
   bool aborted = false;
@@ -128,17 +130,15 @@ Status RunDagTasks(std::vector<std::function<Status()>> tasks,
   }
 
   auto worker = [&] {
-    std::unique_lock<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     for (;;) {
-      wake.wait(lock, [&] {
-        return aborted || outstanding == 0 || !ready.empty();
-      });
+      while (!aborted && outstanding != 0 && ready.empty()) wake.Wait(mutex);
       if (aborted || outstanding == 0) return;
       uint32_t id = *ready.begin();
       ready.erase(ready.begin());
-      lock.unlock();
+      lock.Unlock();
       Status status = tasks[id]();
-      lock.lock();
+      lock.Lock();
       if (!status.ok()) {
         if (id < first_failed) {
           first_failed = id;
@@ -150,7 +150,7 @@ Status RunDagTasks(std::vector<std::function<Status()>> tasks,
       for (uint32_t child : children[id]) {
         if (--indegree[child] == 0) ready.insert(child);
       }
-      wake.notify_all();
+      wake.NotifyAll();
     }
   };
 

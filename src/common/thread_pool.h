@@ -1,15 +1,14 @@
 #ifndef PPC_COMMON_THREAD_POOL_H_
 #define PPC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ppc {
 
@@ -36,10 +35,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -55,14 +54,14 @@ class ThreadPool {
                           size_t min_items = 2048);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // Queued + currently running tasks.
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;  // Queued + running tasks.
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -200,7 +200,7 @@ Result<std::unique_ptr<Prng>> DataHolder::PairPrng(
 }
 
 Result<std::string> DataHolder::TakePending(const std::string& slot) {
-  std::lock_guard<std::mutex> lock(pending_mutex_);
+  MutexLock lock(pending_mutex_);
   auto it = pending_.find(slot);
   if (it == pending_.end()) {
     return Status::FailedPrecondition("no staged payload for '" + slot +
@@ -212,7 +212,7 @@ Result<std::string> DataHolder::TakePending(const std::string& slot) {
 }
 
 void DataHolder::StashPending(const std::string& slot, std::string payload) {
-  std::lock_guard<std::mutex> lock(pending_mutex_);
+  MutexLock lock(pending_mutex_);
   pending_[slot] = std::move(payload);
 }
 

@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/fixed_point.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "core/outcome.h"
 #include "crypto/diffie_hellman.h"
@@ -188,8 +188,8 @@ class DataHolder {
   /// by a stage+attribute+peer label. Concurrent builds of different
   /// attributes touch the map at once, hence the mutex; the staged bytes
   /// themselves are owned by exactly one in-flight step.
-  mutable std::mutex pending_mutex_;
-  std::map<std::string, std::string> pending_;
+  mutable Mutex pending_mutex_;
+  std::map<std::string, std::string> pending_ GUARDED_BY(pending_mutex_);
 };
 
 }  // namespace ppc

@@ -10,19 +10,22 @@ Status SessionRegistry::StartSession(const std::string& id, SessionBody body) {
         "session id must be non-empty (the empty id is the transport's "
         "default session)");
   }
-  Entry* entry = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = entries_.try_emplace(id);
-    if (!inserted) {
-      return Status::AlreadyExists("session '" + id + "' already started");
-    }
-    it->second = std::make_unique<Entry>();
-    entry = it->second.get();
-    entry->view = std::make_unique<SessionNetwork>(transport_, id);
+  MutexLock lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(id);
+  if (!inserted) {
+    return Status::AlreadyExists("session '" + id + "' already started");
   }
-  // The thread starts outside the registry lock; `entry` is stable (never
-  // erased) and the worker touches only its own fields.
+  it->second = std::make_unique<Entry>();
+  Entry* entry = it->second.get();
+  entry->view = std::make_unique<SessionNetwork>(transport_, id);
+  // The worker thread must be assigned BEFORE the registry lock is
+  // released: the entry becomes findable the moment `mutex_` drops, and a
+  // concurrent WaitSession that found a default-constructed handle would
+  // see joinable()==false and return the default-OK result while the body
+  // is still running (plus an unsynchronized read of the handle itself).
+  // Lock order mutex_ -> join_mutex is deadlock-free: Join takes only
+  // join_mutex.
+  MutexLock handle_lock(entry->join_mutex);
   entry->worker = std::thread([entry, body = std::move(body)] {
     entry->result = body(entry->view.get());
     entry->done.store(true, std::memory_order_release);
@@ -32,7 +35,7 @@ Status SessionRegistry::StartSession(const std::string& id, SessionBody body) {
 
 Status SessionRegistry::Join(Entry* entry) {
   {
-    std::lock_guard<std::mutex> lock(entry->join_mutex);
+    MutexLock lock(entry->join_mutex);
     if (entry->worker.joinable()) entry->worker.join();
   }
   return entry->result;
@@ -41,7 +44,7 @@ Status SessionRegistry::Join(Entry* entry) {
 Status SessionRegistry::WaitSession(const std::string& id) {
   Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(id);
     if (it == entries_.end()) {
       return Status::NotFound("session '" + id + "' was never started");
@@ -55,7 +58,7 @@ Status SessionRegistry::WaitAll() {
   // Snapshot under the lock, join outside it: a body may StartSession.
   std::vector<std::pair<std::string, Entry*>> entries;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries.reserve(entries_.size());
     for (auto& [id, entry] : entries_) entries.emplace_back(id, entry.get());
   }
@@ -71,7 +74,7 @@ Status SessionRegistry::WaitAll() {
 }
 
 size_t SessionRegistry::ActiveCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t active = 0;
   for (const auto& [id, entry] : entries_) {
     if (!entry->done.load(std::memory_order_acquire)) ++active;
@@ -80,7 +83,7 @@ size_t SessionRegistry::ActiveCount() const {
 }
 
 std::vector<std::string> SessionRegistry::SessionIds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> ids;
   ids.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) ids.push_back(id);

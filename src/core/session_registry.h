@@ -5,13 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/network.h"
 #include "net/session_network.h"
 
@@ -47,40 +47,46 @@ class SessionRegistry {
   /// Starts session `id` on its own thread. kInvalidArgument on an empty
   /// id, kAlreadyExists on a reused one (even after it finished — a
   /// session id names one protocol execution, ever).
-  Status StartSession(const std::string& id, SessionBody body);
+  Status StartSession(const std::string& id, SessionBody body)
+      EXCLUDES(mutex_);
 
   /// Blocks until session `id` finishes and returns its body's status
   /// (kNotFound for an id never started). Safe to call repeatedly and
   /// concurrently.
-  Status WaitSession(const std::string& id);
+  Status WaitSession(const std::string& id) EXCLUDES(mutex_);
 
   /// Waits for every session; returns the first non-OK session status (in
   /// session-id order), decorated with the session id.
-  Status WaitAll();
+  Status WaitAll() EXCLUDES(mutex_);
 
   /// Sessions started and not yet finished.
-  size_t ActiveCount() const;
+  size_t ActiveCount() const EXCLUDES(mutex_);
 
   /// Every session id ever started, in id order.
-  std::vector<std::string> SessionIds() const;
+  std::vector<std::string> SessionIds() const EXCLUDES(mutex_);
 
  private:
   struct Entry {
     std::unique_ptr<SessionNetwork> view;
-    std::thread worker;
-    std::mutex join_mutex;      // Serializes the one join.
-    Status result;              // Valid once done is true.
+    Mutex join_mutex;  // Serializes the one join; guards the thread handle.
+    std::thread worker GUARDED_BY(join_mutex);
+    /// NOT lock-guarded on purpose: the worker writes it, and exactly the
+    /// threads that have joined the worker (under join_mutex) read it —
+    /// join() is the happens-before edge. Putting it under join_mutex
+    /// would tempt a worker-side lock, which deadlocks against Join
+    /// holding join_mutex across the join.
+    Status result;  // Valid once done is true.
     std::atomic<bool> done{false};
   };
 
   /// Joins `entry`'s worker exactly once and returns its result.
-  static Status Join(Entry* entry);
+  static Status Join(Entry* entry) EXCLUDES(entry->join_mutex);
 
   Network* transport_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Entries are never erased while the registry lives, so bare pointers
   /// taken under the lock stay valid after it is released.
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ppc

@@ -336,7 +336,7 @@ Status ThirdParty::CollectComparison(size_t column,
                                           : topics::kAlnumGrids;
   PPC_ASSIGN_OR_RETURN(Message msg,
                        network_->Receive(name_, responder, topic));
-  std::lock_guard<std::mutex> lock(pending_mutex_);
+  MutexLock lock(pending_mutex_);
   pending_comparisons_[{column, initiator, responder}] =
       std::move(msg.payload);
   return Status::OK();
@@ -347,7 +347,7 @@ Status ThirdParty::InstallComparison(size_t column,
                                      const std::string& responder) {
   std::string payload;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     auto it = pending_comparisons_.find({column, initiator, responder});
     if (it == pending_comparisons_.end()) {
       return Status::FailedPrecondition(
@@ -496,7 +496,7 @@ Result<const DissimilarityMatrix*> ThirdParty::AttributeMatrixForTesting(
 Result<const DissimilarityMatrix*> ThirdParty::MergedMatrixRef(
     std::vector<double> weights) const {
   if (weights.empty()) weights.assign(schema_.size(), 1.0);
-  std::lock_guard<std::mutex> lock(merged_cache_mutex_);
+  MutexLock lock(merged_cache_mutex_);
   auto it = merged_cache_.find(weights);
   if (it != merged_cache_.end()) return &it->second;
   std::vector<const DissimilarityMatrix*> pointers;
@@ -513,7 +513,7 @@ Result<const DissimilarityMatrix*> ThirdParty::MergedMatrixRef(
 }
 
 void ThirdParty::InvalidateMergedCache() {
-  std::lock_guard<std::mutex> lock(merged_cache_mutex_);
+  MutexLock lock(merged_cache_mutex_);
   merged_cache_.clear();
 }
 

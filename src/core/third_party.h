@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
@@ -11,6 +10,7 @@
 
 #include "common/fixed_point.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "core/outcome.h"
 #include "core/taxonomy_protocol.h"
@@ -178,15 +178,16 @@ class ThirdParty {
   bool normalized_ = false;
   // Weighted merges served so far, keyed by the request's weight vector
   // (node-based map: entry addresses survive later insertions).
-  mutable std::mutex merged_cache_mutex_;
-  mutable std::map<std::vector<double>, DissimilarityMatrix> merged_cache_;
+  mutable Mutex merged_cache_mutex_;
+  mutable std::map<std::vector<double>, DissimilarityMatrix> merged_cache_
+      GUARDED_BY(merged_cache_mutex_);
 
   // Comparison payloads staged between CollectComparison and
   // InstallComparison, keyed by (column, initiator, responder). Collects
   // on different channels run concurrently, hence the mutex.
-  mutable std::mutex pending_mutex_;
+  mutable Mutex pending_mutex_;
   std::map<std::tuple<size_t, std::string, std::string>, std::string>
-      pending_comparisons_;
+      pending_comparisons_ GUARDED_BY(pending_mutex_);
 };
 
 }  // namespace ppc

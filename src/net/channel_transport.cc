@@ -12,7 +12,7 @@ ChannelTransport::ChannelTransport(TransportSecurity security)
 
 ChannelTransport::Endpoint* ChannelTransport::FindEndpoint(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   return FindEndpointLocked(name);
 }
 
@@ -44,7 +44,7 @@ ChannelTransport::ChannelState* ChannelTransport::ChannelForLocked(
 ChannelTransport::Endpoint* ChannelTransport::ResolveReceive(
     const std::string& session, const std::string& to, const std::string& from,
     ChannelState** channel) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   Endpoint* endpoint = FindEndpointLocked(to);
   if (endpoint == nullptr) return nullptr;
   if (channel != nullptr) {
@@ -60,7 +60,7 @@ ChannelTransport::Endpoint* ChannelTransport::ResolveReceive(
 ChannelTransport::ChannelState* ChannelTransport::ChannelFor(
     const std::string& session, const std::string& from,
     const std::string& to) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   return ChannelForLocked(session, from, to);
 }
 
@@ -99,7 +99,7 @@ Result<std::string> ChannelTransport::PrepareFrame(
   // serialize concurrent senders on other channels or sessions.
   std::vector<Tap> matching;
   {
-    std::lock_guard<std::mutex> tap_lock(tap_mutex_);
+    MutexLock tap_lock(tap_mutex_);
     auto tap_it = taps_.find(std::make_pair(from, to));
     if (tap_it != taps_.end()) {
       for (const TapEntry& entry : tap_it->second) {
@@ -117,11 +117,11 @@ Result<std::string> ChannelTransport::PrepareFrame(
 
 void ChannelTransport::DeliverLocal(Endpoint* endpoint, Message message) {
   {
-    std::lock_guard<std::mutex> lock(endpoint->mutex);
+    MutexLock lock(endpoint->mutex);
     endpoint->queues[std::make_pair(message.session, message.from)].push_back(
         std::move(message));
   }
-  endpoint->arrival.notify_all();
+  endpoint->arrival.NotifyAll();
 }
 
 Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
@@ -144,7 +144,7 @@ Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
 
   Message msg;
   {
-    std::unique_lock<std::mutex> lock(endpoint->mutex);
+    MutexLock lock(endpoint->mutex);
     for (;;) {
       auto queue_it = endpoint->queues.find(queue_key);
       if (queue_it != endpoint->queues.end() && !queue_it->second.empty()) {
@@ -162,7 +162,7 @@ Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
         return Status::NotFound("no pending message from '" + from +
                                 "' to '" + to + "'");
       }
-      if (endpoint->arrival.wait_until(lock, deadline) ==
+      if (endpoint->arrival.WaitUntil(endpoint->mutex, deadline) ==
           std::cv_status::timeout) {
         // Re-check once: the frame may have landed between the last scan
         // and the deadline.
@@ -193,7 +193,7 @@ Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
 size_t ChannelTransport::PendingCount(const std::string& to) const {
   Endpoint* endpoint = FindEndpoint(to);
   if (endpoint == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(endpoint->mutex);
+  MutexLock lock(endpoint->mutex);
   size_t total = 0;
   for (const auto& [key, queue] : endpoint->queues) total += queue.size();
   return total;
@@ -203,7 +203,7 @@ size_t ChannelTransport::PendingCountOn(const std::string& session,
                                         const std::string& to) const {
   Endpoint* endpoint = FindEndpoint(to);
   if (endpoint == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(endpoint->mutex);
+  MutexLock lock(endpoint->mutex);
   size_t total = 0;
   for (const auto& [key, queue] : endpoint->queues) {
     if (key.first == session) total += queue.size();
@@ -216,7 +216,7 @@ ChannelStats ChannelTransport::StatsFor(const std::string& from,
   // Sums the from -> to channels of every session: what this endpoint
   // shipped between the two parties, regardless of the session it
   // belonged to. StatsOn isolates one session.
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   ChannelStats total;
   for (const auto& [key, state] : channels_) {
     if (std::get<1>(key) != from || std::get<2>(key) != to || !state) continue;
@@ -230,7 +230,7 @@ ChannelStats ChannelTransport::StatsFor(const std::string& from,
 ChannelStats ChannelTransport::StatsOn(const std::string& session,
                                        const std::string& from,
                                        const std::string& to) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   auto it = channels_.find(ChannelKey(session, from, to));
   if (it == channels_.end() || !it->second) return ChannelStats{};
   ChannelStats stats;
@@ -242,7 +242,7 @@ ChannelStats ChannelTransport::StatsOn(const std::string& session,
 }
 
 ChannelStats ChannelTransport::TotalSentBy(const std::string& party) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   ChannelStats total;
   for (const auto& [key, state] : channels_) {
     if (std::get<1>(key) != party || !state) continue;
@@ -255,7 +255,7 @@ ChannelStats ChannelTransport::TotalSentBy(const std::string& party) const {
 
 ChannelStats ChannelTransport::TotalSentByOn(const std::string& session,
                                              const std::string& party) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   ChannelStats total;
   for (const auto& [key, state] : channels_) {
     if (std::get<0>(key) != session || std::get<1>(key) != party || !state) {
@@ -269,7 +269,7 @@ ChannelStats ChannelTransport::TotalSentByOn(const std::string& session,
 }
 
 ChannelStats ChannelTransport::GrandTotal() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   ChannelStats total;
   for (const auto& [key, state] : channels_) {
     if (!state) continue;
@@ -281,7 +281,7 @@ ChannelStats ChannelTransport::GrandTotal() const {
 }
 
 ChannelStats ChannelTransport::GrandTotalOn(const std::string& session) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   ChannelStats total;
   for (const auto& [key, state] : channels_) {
     if (std::get<0>(key) != session || !state) continue;
@@ -293,7 +293,7 @@ ChannelStats ChannelTransport::GrandTotalOn(const std::string& session) const {
 }
 
 void ChannelTransport::ResetStats() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   for (auto& [key, state] : channels_) {
     if (!state) continue;
     state->messages.store(0, std::memory_order_relaxed);
@@ -305,7 +305,7 @@ void ChannelTransport::ResetStats() {
 
 void ChannelTransport::AddTapEntry(const std::string& from,
                                    const std::string& to, TapEntry entry) {
-  std::lock_guard<std::mutex> lock(tap_mutex_);
+  MutexLock lock(tap_mutex_);
   taps_[std::make_pair(from, to)].push_back(std::move(entry));
 }
 

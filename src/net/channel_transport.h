@@ -2,12 +2,10 @@
 #define PPC_NET_CHANNEL_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -15,6 +13,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "net/secure_channel.h"
@@ -57,7 +56,8 @@ class ChannelTransport : public Network {
 
   Result<Message> ReceiveOn(const std::string& session, const std::string& to,
                             const std::string& from,
-                            const std::string& expected_topic = "") override;
+                            const std::string& expected_topic = "") override
+      EXCLUDES(registry_mutex_);
 
   void set_receive_timeout(std::chrono::milliseconds timeout) override {
     receive_timeout_.store(timeout.count(), std::memory_order_relaxed);
@@ -67,23 +67,30 @@ class ChannelTransport : public Network {
         receive_timeout_.load(std::memory_order_relaxed));
   }
 
-  size_t PendingCount(const std::string& to) const override;
+  size_t PendingCount(const std::string& to) const override
+      EXCLUDES(registry_mutex_);
   size_t PendingCountOn(const std::string& session,
-                        const std::string& to) const override;
+                        const std::string& to) const override
+      EXCLUDES(registry_mutex_);
   ChannelStats StatsFor(const std::string& from,
-                        const std::string& to) const override;
+                        const std::string& to) const override
+      EXCLUDES(registry_mutex_);
   ChannelStats StatsOn(const std::string& session, const std::string& from,
-                       const std::string& to) const override;
-  ChannelStats TotalSentBy(const std::string& party) const override;
+                       const std::string& to) const override
+      EXCLUDES(registry_mutex_);
+  ChannelStats TotalSentBy(const std::string& party) const override
+      EXCLUDES(registry_mutex_);
   ChannelStats TotalSentByOn(const std::string& session,
-                             const std::string& party) const override;
-  ChannelStats GrandTotal() const override;
-  ChannelStats GrandTotalOn(const std::string& session) const override;
-  void ResetStats() override;
-  void AddTap(const std::string& from, const std::string& to,
-              Tap tap) override;
+                             const std::string& party) const override
+      EXCLUDES(registry_mutex_);
+  ChannelStats GrandTotal() const override EXCLUDES(registry_mutex_);
+  ChannelStats GrandTotalOn(const std::string& session) const override
+      EXCLUDES(registry_mutex_);
+  void ResetStats() override EXCLUDES(registry_mutex_);
+  void AddTap(const std::string& from, const std::string& to, Tap tap) override
+      EXCLUDES(tap_mutex_);
   void AddTapOn(const std::string& session, const std::string& from,
-                const std::string& to, Tap tap) override;
+                const std::string& to, Tap tap) override EXCLUDES(tap_mutex_);
   TransportSecurity security() const override { return security_; }
 
   /// Test hook for the nonce-exhaustion contract: pins the nonce counter
@@ -93,7 +100,8 @@ class ChannelTransport : public Network {
   /// nonces.
   Status SetNonceCounterForTesting(const std::string& session,
                                    const std::string& from,
-                                   const std::string& to, uint64_t value);
+                                   const std::string& to, uint64_t value)
+      EXCLUDES(registry_mutex_);
 
  protected:
   explicit ChannelTransport(TransportSecurity security);
@@ -102,10 +110,11 @@ class ChannelTransport : public Network {
   /// one mutex so a blocked `Receive` can wait for any arrival
   /// notification addressed to it.
   struct Endpoint {
-    mutable std::mutex mutex;
-    std::condition_variable arrival;
+    mutable Mutex mutex;
+    CondVar arrival;
     /// Keyed by (session, sender).
-    std::map<std::pair<std::string, std::string>, std::deque<Message>> queues;
+    std::map<std::pair<std::string, std::string>, std::deque<Message>> queues
+        GUARDED_BY(mutex);
   };
 
   /// Per-directed-channel counters. Plain atomics: senders on the same
@@ -133,18 +142,20 @@ class ChannelTransport : public Network {
   /// nullptr. Endpoint and ChannelState objects are heap-allocated and
   /// never destroyed while the transport lives, so returned pointers stay
   /// valid after the lock is released.
-  Endpoint* FindEndpoint(const std::string& name) const;
+  Endpoint* FindEndpoint(const std::string& name) const
+      EXCLUDES(registry_mutex_);
 
   /// As `FindEndpoint`, requiring registry_mutex_ held — the one lookup
   /// both it and `ResolveReceive` share.
-  Endpoint* FindEndpointLocked(const std::string& name) const;
+  Endpoint* FindEndpointLocked(const std::string& name) const
+      REQUIRES(registry_mutex_);
 
-  /// Requires registry_mutex_ held: the channel state for `from` -> `to`
-  /// on `session`, created on first use (including its crypto context, so
-  /// the key derivation cost is paid exactly once per directed channel).
+  /// The channel state for `from` -> `to` on `session`, created on first
+  /// use (including its crypto context, so the key derivation cost is
+  /// paid exactly once per directed channel).
   ChannelState* ChannelForLocked(const std::string& session,
-                                 const std::string& from,
-                                 const std::string& to);
+                                 const std::string& from, const std::string& to)
+      REQUIRES(registry_mutex_);
 
   /// One registry-locked lookup for the whole receive path: the endpoint
   /// for `to` (nullptr if unregistered) and, when `channel` is non-null,
@@ -152,14 +163,15 @@ class ChannelTransport : public Network {
   /// exists (never created here — a fruitless Receive must leave no state
   /// behind). Returned pointers stay valid for the transport's lifetime.
   Endpoint* ResolveReceive(const std::string& session, const std::string& to,
-                           const std::string& from, ChannelState** channel);
+                           const std::string& from, ChannelState** channel)
+      EXCLUDES(registry_mutex_);
 
   /// Registry-locked create-on-use lookup of the session's `from` -> `to`
   /// channel — the receive-side counterpart of the state `PrepareFrame`
   /// gets handed; called once per channel, for the first frame that
   /// actually arrives.
   ChannelState* ChannelFor(const std::string& session, const std::string& from,
-                           const std::string& to);
+                           const std::string& to) EXCLUDES(registry_mutex_);
 
   /// Send-side frame preparation, identical across backends: seals the
   /// payload under the directed channel's key (pass-through on a
@@ -173,7 +185,8 @@ class ChannelTransport : public Network {
                                    const std::string& to,
                                    const std::string& topic,
                                    const std::string& payload,
-                                   ChannelState* channel);
+                                   ChannelState* channel)
+      EXCLUDES(tap_mutex_);
 
   /// Enqueues `message` at `endpoint` (under its session/sender queue) and
   /// wakes blocked receivers.
@@ -181,9 +194,11 @@ class ChannelTransport : public Network {
 
   /// Guards the *structure* of parties_ / channels_ (and any registry
   /// state a subclass keeps alongside them, e.g. remote addresses).
-  mutable std::mutex registry_mutex_;
-  std::map<std::string, std::unique_ptr<Endpoint>> parties_;
-  std::map<ChannelKey, std::unique_ptr<ChannelState>> channels_;
+  mutable Mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Endpoint>> parties_
+      GUARDED_BY(registry_mutex_);
+  std::map<ChannelKey, std::unique_ptr<ChannelState>> channels_
+      GUARDED_BY(registry_mutex_);
 
  private:
   /// One registered eavesdropper: fires for every frame of its channel,
@@ -195,14 +210,16 @@ class ChannelTransport : public Network {
   };
 
   void AddTapEntry(const std::string& from, const std::string& to,
-                   TapEntry entry);
+                   TapEntry entry) EXCLUDES(tap_mutex_);
 
   TransportSecurity security_;
   std::string master_key_;  // Root of per-channel transport keys.
 
-  /// Guards tap registration and serializes tap invocation.
-  mutable std::mutex tap_mutex_;
-  std::map<std::pair<std::string, std::string>, std::vector<TapEntry>> taps_;
+  /// Guards tap registration (tap invocation snapshots under the lock
+  /// and fires outside it).
+  mutable Mutex tap_mutex_;
+  std::map<std::pair<std::string, std::string>, std::vector<TapEntry>> taps_
+      GUARDED_BY(tap_mutex_);
 
   std::atomic<int64_t> receive_timeout_{0};  // Milliseconds.
 };

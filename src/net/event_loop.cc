@@ -61,7 +61,7 @@ void EventLoop::Stop() {
 
 void EventLoop::Post(Task task) {
   {
-    std::lock_guard<std::mutex> lock(post_mutex_);
+    MutexLock lock(post_mutex_);
     posted_.push_back(std::move(task));
   }
   uint64_t one = 1;
@@ -116,7 +116,7 @@ void EventLoop::RunPostedTasks() {
   // Swap the queue out under the lock, run outside it: a task may Post.
   std::deque<Task> tasks;
   {
-    std::lock_guard<std::mutex> lock(post_mutex_);
+    MutexLock lock(post_mutex_);
     tasks.swap(posted_);
   }
   for (Task& task : tasks) task();

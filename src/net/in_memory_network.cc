@@ -9,7 +9,7 @@ Status InMemoryNetwork::RegisterParty(const std::string& name) {
   if (name.empty()) {
     return Status::InvalidArgument("party name must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   auto [it, inserted] = parties_.try_emplace(name);
   if (!inserted) {
     return Status::AlreadyExists("party '" + name + "' already registered");
@@ -27,7 +27,7 @@ Status InMemoryNetwork::ResolveRoute(const std::string& session,
                                      const std::string& to,
                                      Endpoint** receiver,
                                      ChannelState** channel) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   if (parties_.find(from) == parties_.end()) {
     return Status::NotFound("unknown sender '" + from + "'");
   }

@@ -32,21 +32,24 @@ class InMemoryNetwork : public ChannelTransport {
   explicit InMemoryNetwork(
       TransportSecurity security = TransportSecurity::kAuthenticatedEncryption);
 
-  Status RegisterParty(const std::string& name) override;
-  bool HasParty(const std::string& name) const override;
+  Status RegisterParty(const std::string& name) override
+      EXCLUDES(registry_mutex_);
+  bool HasParty(const std::string& name) const override
+      EXCLUDES(registry_mutex_);
   Status SendOn(const std::string& session, const std::string& from,
                 const std::string& to, const std::string& topic,
-                std::string payload) override;
+                std::string payload) override EXCLUDES(registry_mutex_);
   Status InjectFrameOn(const std::string& session, const std::string& from,
                        const std::string& to, const std::string& topic,
-                       std::string wire_bytes) override;
+                       std::string wire_bytes) override
+      EXCLUDES(registry_mutex_);
 
  private:
   /// Resolves sender, receiver endpoint, and channel state (created on
   /// first use) in one registry lock — Send's whole routing lookup.
   Status ResolveRoute(const std::string& session, const std::string& from,
                       const std::string& to, Endpoint** receiver,
-                      ChannelState** channel);
+                      ChannelState** channel) EXCLUDES(registry_mutex_);
 };
 
 }  // namespace ppc

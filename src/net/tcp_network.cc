@@ -197,10 +197,13 @@ TcpNetwork::TcpNetwork(const Options& options, int listen_fd,
 TcpNetwork::~TcpNetwork() {
   shutting_down_.store(true, std::memory_order_release);
   {
-    // Unblock senders mid-write and stop dial retries.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    // Unblock senders mid-write and stop dial retries. Deliberately does
+    // NOT take any write_mutex: the stuck writer holds it, and shutdown()
+    // on the (atomic) fd is what releases that writer.
+    MutexLock lock(conn_mutex_);
     for (auto& [addr, conn] : connections_) {
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      int fd = conn->fd.load(std::memory_order_acquire);
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }
   }
   // Joining the loop ends all inbound I/O; after this the inbound map is
@@ -210,9 +213,12 @@ TcpNetwork::~TcpNetwork() {
   inbound_.clear();
   ::close(listen_fd_);
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     for (auto& [addr, conn] : connections_) {
-      if (conn->fd >= 0) ::close(conn->fd);
+      // exchange() so a sender's error path and this teardown can never
+      // both close one fd.
+      int fd = conn->fd.exchange(-1, std::memory_order_acq_rel);
+      if (fd >= 0) ::close(fd);
     }
     connections_.clear();
   }
@@ -394,7 +400,7 @@ void TcpNetwork::DropConn(int fd) {
 void TcpNetwork::Deliver(Message message) {
   Endpoint* endpoint = nullptr;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     auto it = parties_.find(message.to);
     if (it == parties_.end()) {
       // The receiver has not registered (yet): in a multi-process launch
@@ -420,7 +426,7 @@ Status TcpNetwork::RegisterParty(const std::string& name) {
   }
   Endpoint* endpoint = nullptr;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     if (remotes_.count(name) != 0) {
       return Status::AlreadyExists("party '" + name +
                                    "' already known as remote");
@@ -437,7 +443,7 @@ Status TcpNetwork::RegisterParty(const std::string& name) {
     // (lock order registry -> endpoint matches Deliver's).
     auto parked = unclaimed_.find(name);
     if (parked != unclaimed_.end()) {
-      std::lock_guard<std::mutex> queue_lock(endpoint->mutex);
+      MutexLock queue_lock(endpoint->mutex);
       for (Message& message : parked->second) {
         endpoint->queues[std::make_pair(message.session, message.from)]
             .push_back(std::move(message));
@@ -446,7 +452,7 @@ Status TcpNetwork::RegisterParty(const std::string& name) {
       unclaimed_.erase(parked);
     }
   }
-  endpoint->arrival.notify_all();
+  endpoint->arrival.NotifyAll();
   return Status::OK();
 }
 
@@ -456,7 +462,7 @@ Status TcpNetwork::AddRemoteParty(const std::string& name,
     return Status::InvalidArgument("party name must be non-empty");
   }
   PPC_RETURN_IF_ERROR(ParseHost(host).status());
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   if (parties_.count(name) != 0) {
     return Status::AlreadyExists("party '" + name +
                                  "' already registered locally");
@@ -471,7 +477,7 @@ Status TcpNetwork::AddRemoteParty(const std::string& name,
 }
 
 bool TcpNetwork::HasParty(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   return parties_.count(name) != 0 || remotes_.count(name) != 0;
 }
 
@@ -479,7 +485,7 @@ Status TcpNetwork::ResolveRoute(const std::string& session,
                                 const std::string& from, const std::string& to,
                                 std::string* dest_addr,
                                 ChannelState** channel) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   if (parties_.find(from) == parties_.end()) {
     return Status::NotFound("unknown sender '" + from + "'");
   }
@@ -507,7 +513,7 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
   // shared by every session sending there.
   Connection* conn = nullptr;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     auto& slot = connections_[dest_addr];
     if (!slot) slot = std::make_unique<Connection>();
     conn = slot.get();
@@ -532,8 +538,9 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
   framed.WriteU32(static_cast<uint32_t>(body.size()));
   const std::string& payload = body.bytes();
 
-  std::lock_guard<std::mutex> write_lock(conn->write_mutex);
-  if (conn->fd < 0) {
+  MutexLock write_lock(conn->write_mutex);
+  int sock = conn->fd.load(std::memory_order_acquire);
+  if (sock < 0) {
     // Dial, retrying refused connections until the deadline: in a
     // multi-process launch the peer may not have bound its listener yet.
     size_t colon = dest_addr.rfind(':');
@@ -600,7 +607,8 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
                                   " failed");
         }
         SetRecvTimeout(fd, std::chrono::milliseconds(0));
-        conn->fd = fd;
+        conn->fd.store(fd, std::memory_order_release);
+        sock = fd;
         break;
       }
       int saved = errno;
@@ -624,12 +632,15 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
                               "): " + std::strerror(saved));
     }
   }
-  if (!WriteAll(conn->fd, framed.bytes().data(), framed.bytes().size()) ||
-      !WriteAll(conn->fd, payload.data(), payload.size())) {
+  if (!WriteAll(sock, framed.bytes().data(), framed.bytes().size()) ||
+      !WriteAll(sock, payload.data(), payload.size())) {
     const int saved = errno;  // close() below may clobber it.
     // The connection is dead; drop it so a later send can re-dial.
-    ::close(conn->fd);
-    conn->fd = -1;
+    // exchange() so this path and the destructor's teardown can never
+    // both close the fd (the destructor shuts the socket down to unblock
+    // this very write, then races here).
+    int dead = conn->fd.exchange(-1, std::memory_order_acq_rel);
+    if (dead >= 0) ::close(dead);
     return Status::Internal("tcp write to " + dest_addr + " failed: " +
                             std::strerror(saved));
   }

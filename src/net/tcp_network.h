@@ -6,12 +6,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/channel_transport.h"
 #include "net/event_loop.h"
 #include "net/secure_channel.h"
@@ -117,14 +117,17 @@ class TcpNetwork : public ChannelTransport {
 
   // -- The backend half of the Network contract ------------------------------
 
-  Status RegisterParty(const std::string& name) override;
-  bool HasParty(const std::string& name) const override;
+  Status RegisterParty(const std::string& name) override
+      EXCLUDES(registry_mutex_);
+  bool HasParty(const std::string& name) const override
+      EXCLUDES(registry_mutex_);
   Status SendOn(const std::string& session, const std::string& from,
                 const std::string& to, const std::string& topic,
-                std::string payload) override;
+                std::string payload) override EXCLUDES(registry_mutex_);
   Status InjectFrameOn(const std::string& session, const std::string& from,
                        const std::string& to, const std::string& topic,
-                       std::string wire_bytes) override;
+                       std::string wire_bytes) override
+      EXCLUDES(registry_mutex_);
 
   /// Frames currently parked for parties this endpoint does not (yet)
   /// host; they are delivered the moment `RegisterParty` runs, preserving
@@ -147,12 +150,18 @@ class TcpNetwork : public ChannelTransport {
   };
 
   /// One outbound connection, keyed by "host:port" in the shared pool.
-  /// The write mutex serializes whole frames, which is what preserves
-  /// per-channel FIFO when several protocol threads — and several
-  /// sessions — send to the same endpoint.
+  /// The write mutex serializes whole frames (dial included), which is
+  /// what preserves per-channel FIFO when several protocol threads — and
+  /// several sessions — send to the same endpoint. `fd` is atomic rather
+  /// than GUARDED_BY(write_mutex) for exactly one reason: the destructor
+  /// must `shutdown()` a connection mid-write to unblock a stuck sender,
+  /// and taking write_mutex there would wait on the very writer it is
+  /// trying to release. Writers still mutate fd only under write_mutex;
+  /// the lifecycle paths swap it with `exchange` so a send error and the
+  /// destructor can never double-close one fd.
   struct Connection {
-    int fd = -1;
-    std::mutex write_mutex;
+    std::atomic<int> fd{-1};
+    Mutex write_mutex;
   };
 
   /// One accepted connection's state machine, driven by the event loop:
@@ -195,13 +204,14 @@ class TcpNetwork : public ChannelTransport {
   /// counters.
   Status ResolveRoute(const std::string& session, const std::string& from,
                       const std::string& to, std::string* dest_addr,
-                      ChannelState** channel);
+                      ChannelState** channel) EXCLUDES(registry_mutex_);
   /// Gets (dialing if needed, with backed-off retry on refusal) the
   /// pooled outbound connection to `dest_addr` and writes one framed
   /// message on it.
   Status WriteFrame(const std::string& dest_addr, const std::string& session,
                     const std::string& from, const std::string& to,
-                    const std::string& topic, const std::string& wire);
+                    const std::string& topic, const std::string& wire)
+      EXCLUDES(conn_mutex_);
 
   const std::chrono::milliseconds connect_timeout_;
   const std::string listen_host_;  // For self-dialing locally hosted parties.
@@ -220,13 +230,17 @@ class TcpNetwork : public ChannelTransport {
 
   // Registry state beyond the base's parties_/channels_, guarded by the
   // shared registry_mutex_.
-  std::map<std::string, RemoteAddress> remotes_;
+  std::map<std::string, RemoteAddress> remotes_ GUARDED_BY(registry_mutex_);
   /// Arrivals for receivers with no endpoint yet, in arrival order;
   /// drained into the endpoint by RegisterParty.
-  std::map<std::string, std::deque<Message>> unclaimed_;
+  std::map<std::string, std::deque<Message>> unclaimed_
+      GUARDED_BY(registry_mutex_);
 
-  mutable std::mutex conn_mutex_;
-  std::map<std::string, std::unique_ptr<Connection>> connections_;
+  /// Guards the *structure* of the outbound pool; each Connection's
+  /// writes are serialized by its own write_mutex, never under this one.
+  mutable Mutex conn_mutex_;
+  std::map<std::string, std::unique_ptr<Connection>> connections_
+      GUARDED_BY(conn_mutex_);
 
   std::atomic<uint64_t> unclaimed_frames_{0};
   std::atomic<uint64_t> dropped_frames_{0};

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -241,6 +242,48 @@ TEST_P(MultiSessionTest, RegistrySemantics) {
   EXPECT_NE(all.message().find("session 'bad'"), std::string::npos)
       << all.ToString();
   EXPECT_NE(all.message().find("body exploded"), std::string::npos);
+}
+
+TEST_P(MultiSessionTest, WaitSessionNeverReturnsBeforeBodyFinishes) {
+  // Regression: StartSession used to publish the entry into the registry
+  // and only then, outside every lock, assign the worker thread handle. A
+  // WaitSession racing into that window found a default-constructed
+  // handle (joinable() == false) and returned the default-OK result while
+  // the body was still running. The waiter below starts before the
+  // session exists and joins the instant the id becomes findable — with
+  // the old ordering this trips the finished-flag assertion within a few
+  // iterations; with the worker assigned under the registry lock it can
+  // never fire. (The TSan CI job additionally catches the old ordering
+  // deterministically: the handle write raced the waiter's locked read
+  // with no happens-before edge.)
+  for (int round = 0; round < 200; ++round) {
+    SessionRegistry registry(net_.get());
+    const std::string id = "racy-" + std::to_string(round);
+    std::atomic<bool> finished{false};
+
+    std::thread waiter([&] {
+      for (;;) {
+        Status status = registry.WaitSession(id);
+        if (status.code() == StatusCode::kNotFound) continue;  // Not yet.
+        EXPECT_TRUE(status.ok()) << status.ToString();
+        EXPECT_TRUE(finished.load(std::memory_order_acquire))
+            << "WaitSession returned before the session body finished";
+        return;
+      }
+    });
+
+    ASSERT_TRUE(registry
+                    .StartSession(id,
+                                  [&](Network*) {
+                                    std::this_thread::sleep_for(
+                                        std::chrono::milliseconds(2));
+                                    finished.store(
+                                        true, std::memory_order_release);
+                                    return Status::OK();
+                                  })
+                    .ok());
+    waiter.join();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, MultiSessionTest,

@@ -1,0 +1,28 @@
+// Static-analysis fixture (negative): writes a GUARDED_BY member with
+// no lock held. The static_thread_safety_fail_guarded ctest check
+// compiles this with -Wthread-safety -Werror=thread-safety and asserts
+// the compile FAILS (WILL_FAIL) — proving the annotations in
+// common/thread_annotations.h actually have teeth under Clang rather
+// than silently expanding to nothing.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BAD: mutex_ not held.
+  }
+
+ private:
+  ppc::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Static-analysis fixture (negative): calls a REQUIRES(mutex) function
+// without holding the mutex. Compiled by the
+// static_thread_safety_fail_requires ctest check, which asserts the
+// compile FAILS under -Wthread-safety -Werror=thread-safety.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int ReadLocked() REQUIRES(mutex_) { return value_; }
+
+  int Read() {
+    return ReadLocked();  // BAD: caller does not hold mutex_.
+  }
+
+ private:
+  ppc::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Read();
+}

@@ -1,0 +1,55 @@
+// Static-analysis fixture (positive): correct lock discipline through
+// the annotated wrappers. Compiled with
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// by the static_thread_safety_ok ctest check; it must be clean — if
+// this file warns, the wrappers' annotations themselves regressed.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mutex_) {
+    ppc::MutexLock lock(mutex_);
+    ++value_;
+    changed_.NotifyAll();
+  }
+
+  int WaitForAtLeast(int threshold) EXCLUDES(mutex_) {
+    ppc::MutexLock lock(mutex_);
+    while (value_ < threshold) changed_.Wait(mutex_);
+    return value_;
+  }
+
+  int ReadLocked() REQUIRES(mutex_) { return value_; }
+
+  int Read() EXCLUDES(mutex_) {
+    ppc::MutexLock lock(mutex_);
+    return ReadLocked();
+  }
+
+  /// The relockable-scope pattern RunDagTasks uses: drop the lock around
+  /// side work, retake it before touching guarded state again.
+  void IncrementTwiceWithGap() EXCLUDES(mutex_) {
+    ppc::MutexLock lock(mutex_);
+    ++value_;
+    lock.Unlock();
+    // ... unguarded side work runs here ...
+    lock.Lock();
+    ++value_;
+  }
+
+ private:
+  ppc::Mutex mutex_;
+  ppc::CondVar changed_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.IncrementTwiceWithGap();
+  return counter.Read() - counter.WaitForAtLeast(3);
+}

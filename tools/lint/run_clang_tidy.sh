@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the repo's curated clang-tidy profile (.clang-tidy at the root)
+# over every first-party translation unit in a build tree's
+# compile_commands.json. Warnings are errors (WarningsAsErrors: '*'), so
+# a non-zero exit means a real finding.
+#
+# Usage: run_clang_tidy.sh [BUILD_DIR]   (default: build)
+#
+# Requires clang-tidy on PATH (or CLANG_TIDY set); configure the build
+# tree first — CMAKE_EXPORT_COMPILE_COMMANDS is on by default in this
+# project. CI runs this in the static-analysis job; locally it is
+# optional (the container toolchain may be GCC-only).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: '${CLANG_TIDY}' not found on PATH" >&2
+  echo "(install clang-tidy or set CLANG_TIDY; CI does this)" >&2
+  exit 2
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: ${BUILD_DIR}/compile_commands.json missing —" >&2
+  echo "configure first: cmake -B ${BUILD_DIR} -S ${REPO_ROOT}" >&2
+  exit 2
+fi
+
+# First-party TUs only: vendored/external sources in the compilation
+# database (GoogleTest, benchmark, ...) are not ours to lint.
+mapfile -t FILES < <(
+  python3 - "${BUILD_DIR}/compile_commands.json" "${REPO_ROOT}" <<'EOF'
+import json, os, sys
+db, root = sys.argv[1], os.path.realpath(sys.argv[2])
+files = set()
+for entry in json.load(open(db)):
+    path = os.path.realpath(
+        os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src" + os.sep, "tools" + os.sep)) and \
+       not rel.startswith(os.path.join("tools", "lint", "testdata") + os.sep):
+        files.add(path)
+for path in sorted(files):
+    print(path)
+EOF
+)
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no first-party TUs in ${BUILD_DIR}" >&2
+  exit 2
+fi
+
+echo "clang-tidy ($("${CLANG_TIDY}" --version | head -n1)) over ${#FILES[@]} TUs"
+STATUS=0
+for file in "${FILES[@]}"; do
+  "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${file}" || STATUS=1
+done
+if [[ ${STATUS} -ne 0 ]]; then
+  echo "clang-tidy: findings above are errors (WarningsAsErrors: '*')" >&2
+fi
+exit ${STATUS}

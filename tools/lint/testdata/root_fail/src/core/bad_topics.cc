@@ -1,0 +1,13 @@
+// Fail fixture for the topic-literals rule: wire topics spelled as
+// string literals instead of the ppc::topics constants.
+namespace ppc {
+
+const char* Step() {
+  return "numeric.masked_vector";  // EXPECT-LINT: topic-literals
+}
+
+const char* Control() {
+  return "ctl.job";  // EXPECT-LINT: topic-literals
+}
+
+}  // namespace ppc

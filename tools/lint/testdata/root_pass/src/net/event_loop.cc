@@ -1,0 +1,24 @@
+// Pass fixture: the same shapes as the fail tree, written the way the
+// repo rules require — annotated wrappers, no blocking receive on the
+// reactor, topics only via constants. Mentions that must NOT fire:
+// "Receive(" in this comment is commentary, not code, and the string
+// below merely *contains* a topic-like word without being one.
+#include "common/thread_annotations.h"
+#include "core/topics.h"
+
+namespace ppc {
+
+class GoodReactor {
+ public:
+  void OnReadable() {
+    MutexLock lock(mu_);
+    last_topic_ = topics::kNumericMasked;
+  }
+
+ private:
+  Mutex mu_;
+  const char* last_topic_ GUARDED_BY(mu_) = "";
+  const char* note_ = "this is not a session.hello-adjacent literal";
+};
+
+}  // namespace ppc
