@@ -10,7 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "data/generators.h"
 #include "data/partition.h"
@@ -23,14 +29,17 @@ namespace {
 using testutil::MakeSession;
 using testutil::MatricesOf;
 
-// The PPC_NUM_THREADS / PPC_SCHEDULE ctest overrides
+// The PPC_NUM_THREADS / PPC_SCHEDULE / PPC_TILE_SIZE ctest overrides
 // (tests/session_test_util.h) must not leak into benchmark fixtures:
-// thread counts and schedule granularity here are part of the experiment
-// design, and a silently-overridden leg would corrupt the committed
-// baselines (e.g. a BM_SessionSchedule 'fine' label running grouped).
+// thread counts, schedule granularity and tiling here are part of the
+// experiment design, and a silently-overridden leg would corrupt the
+// committed baselines (e.g. a BM_SessionTiled tile=0 label running tiled,
+// or a kernel leg pinned to scalar).
 [[maybe_unused]] const bool kThreadEnvCleared = [] {
   unsetenv("PPC_NUM_THREADS");
   unsetenv("PPC_SCHEDULE");
+  unsetenv("PPC_TILE_SIZE");
+  unsetenv("PPC_FORCE_SCALAR_KERNELS");
   return true;
 }();
 
@@ -124,6 +133,79 @@ BENCHMARK(BM_SessionPlusClustering)
     ->Arg(64)
     ->Arg(128)
     ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Per-leg peak-RSS accounting for the tiling sweep: getrusage's ru_maxrss
+// is monotonic over the process lifetime, so instead reset the kernel's
+// VmHWM watermark before each leg (write "5" to /proc/self/clear_refs)
+// and read it back from /proc/self/status afterwards. The watermark resets
+// to the *current* RSS, so first return the allocator's retained free heap
+// to the kernel — otherwise small legs after a big one inherit its floor.
+// Linux/glibc-only; the helpers degrade to no-op/0 elsewhere.
+void ResetPeakRss() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+}
+
+double PeakRssMb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  double mb = 0.0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long kb = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+}
+
+// The tentpole sweep: whole-matrix (tile=0) versus tiled phase-4/5
+// pipelines at tile sizes 32 and 128, over growing object counts. Two
+// things to read off each leg: wall-clock (the tiled graph must not cost
+// throughput — same arithmetic, same wire bytes modulo per-tile headers)
+// and peak_rss_MB (the point of tiling: peak memory tracks O(n * tile)
+// working sets instead of O(n^2) whole-matrix staging buffers).
+void BM_SessionTiled(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t tile = static_cast<size_t>(state.range(1));
+  LabeledDataset data = NumericDataset(n, 8);
+  auto parts = Partitioner::RoundRobin(data, 2).TakeValue();
+  ProtocolConfig config;
+  config.tile_size = tile;
+
+  uint64_t wire_bytes = 0;
+  double peak_mb = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fixture =
+        MakeSession(data.data.schema(), MatricesOf(parts), config).TakeValue();
+    ResetPeakRss();
+    state.ResumeTiming();
+    bool ok = fixture.session->Run().ok();
+    benchmark::DoNotOptimize(ok);
+    state.PauseTiming();
+    peak_mb = PeakRssMb();
+    wire_bytes = fixture.network->GrandTotal().wire_bytes;
+    state.ResumeTiming();
+  }
+  state.counters["objects"] = static_cast<double>(n);
+  state.counters["tile"] = static_cast<double>(tile);
+  state.counters["wire_B"] = static_cast<double>(wire_bytes);
+  state.counters["peak_rss_MB"] = peak_mb;
+  state.SetItemsProcessed(state.iterations() * n * n);
+  state.SetLabel(tile == 0 ? "whole-matrix" : "tiled");
+}
+BENCHMARK(BM_SessionTiled)
+    ->ArgsProduct({{128, 512, 1024}, {0, 32, 128}})
     ->Unit(benchmark::kMillisecond);
 
 // Concurrent protocol engine: the same full session as

@@ -44,6 +44,8 @@ namespace {
 [[maybe_unused]] const bool kThreadEnvCleared = [] {
   unsetenv("PPC_NUM_THREADS");
   unsetenv("PPC_SCHEDULE");
+  unsetenv("PPC_TILE_SIZE");
+  unsetenv("PPC_FORCE_SCALAR_KERNELS");
   return true;
 }();
 

@@ -27,6 +27,21 @@ uint64_t CommModel::AlnumResponderPayload(
   return total;
 }
 
+uint64_t CommModel::AlnumResponderTilePayload(
+    const std::vector<uint64_t>& responder_lengths, uint64_t row_begin,
+    uint64_t row_end, const std::vector<uint64_t>& initiator_lengths,
+    uint64_t initiator_name_length) {
+  uint64_t total = kAttrHeader + kVectorHeader + initiator_name_length +
+                   3 * kU64;
+  for (uint64_t r = row_begin; r < row_end && r < responder_lengths.size();
+       ++r) {
+    for (uint64_t p : initiator_lengths) {
+      total += 4 + 4 + kVectorHeader + responder_lengths[r] * p;
+    }
+  }
+  return total;
+}
+
 namespace {
 
 Result<const HolderTrafficProfile*> FindProfile(
@@ -64,6 +79,11 @@ Result<std::map<int, uint64_t>> ScheduleCommModel::PredictPhasePayloads(
     uint64_t payload = 0;
     switch (step.kind) {
       case StepKind::kLocalMatrixSend: {
+        if (step.tiled) {
+          payload =
+              CommModel::LocalMatrixTilePayload(step.row_begin, step.row_end);
+          break;
+        }
         PPC_ASSIGN_OR_RETURN(const HolderTrafficProfile* sender,
                              FindProfile(profiles, step.actor));
         payload = CommModel::LocalMatrixPayload(sender->objects);
@@ -72,6 +92,14 @@ Result<std::map<int, uint64_t>> ScheduleCommModel::PredictPhasePayloads(
       case StepKind::kComparisonInit: {
         PPC_ASSIGN_OR_RETURN(const HolderTrafficProfile* initiator,
                              FindProfile(profiles, step.actor));
+        if (step.tiled) {
+          // Only the per-pair numeric initiator is tiled (fresh masks per
+          // responder-row tile); batch and alphanumeric initiators ship one
+          // whole message through the untiled formula below.
+          payload = CommModel::NumericInitiatorTilePayload(
+              initiator->objects, step.row_begin, step.row_end);
+          break;
+        }
         if (schedule.IsNumericColumn(step.column)) {
           PPC_ASSIGN_OR_RETURN(const HolderTrafficProfile* responder,
                                FindProfile(profiles, step.peer));
@@ -91,9 +119,14 @@ Result<std::map<int, uint64_t>> ScheduleCommModel::PredictPhasePayloads(
         PPC_ASSIGN_OR_RETURN(const HolderTrafficProfile* initiator,
                              FindProfile(profiles, step.initiator));
         if (schedule.IsNumericColumn(step.column)) {
-          payload = CommModel::NumericResponderPayload(
-              responder->objects, initiator->objects,
-              step.initiator.size());
+          payload =
+              step.tiled
+                  ? CommModel::NumericResponderTilePayload(
+                        initiator->objects, step.row_begin, step.row_end,
+                        step.initiator.size())
+                  : CommModel::NumericResponderPayload(
+                        responder->objects, initiator->objects,
+                        step.initiator.size());
         } else {
           PPC_ASSIGN_OR_RETURN(
               const std::vector<uint64_t>* responder_lengths,
@@ -101,8 +134,14 @@ Result<std::map<int, uint64_t>> ScheduleCommModel::PredictPhasePayloads(
           PPC_ASSIGN_OR_RETURN(
               const std::vector<uint64_t>* initiator_lengths,
               FindLengths(*initiator, step.initiator, step.column));
-          payload = CommModel::AlnumResponderPayload(
-              *responder_lengths, *initiator_lengths, step.initiator.size());
+          payload =
+              step.tiled
+                  ? CommModel::AlnumResponderTilePayload(
+                        *responder_lengths, step.row_begin, step.row_end,
+                        *initiator_lengths, step.initiator.size())
+                  : CommModel::AlnumResponderPayload(*responder_lengths,
+                                                     *initiator_lengths,
+                                                     step.initiator.size());
         }
         break;
       }

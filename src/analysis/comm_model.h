@@ -70,6 +70,48 @@ class CommModel {
       const std::vector<uint64_t>& initiator_lengths,
       uint64_t initiator_name_length);
 
+  // -- Tiled payloads (tile_size > 0 schedules) ------------------------------
+  // Row-range tiles repeat the attribute header and add the [row_begin,
+  // row_end) range to every message, so total tiled bytes exceed the
+  // whole-matrix total by exactly (tiles - 1) headers per round — which is
+  // why `analyze` reconciles to the byte at any tile size.
+
+  /// Packed-triangle cells of rows [0, r): r * (r - 1) / 2.
+  static uint64_t TriangleCells(uint64_t r) { return r * (r - 1) / 2; }
+
+  /// Fig.-12 local-matrix tile: attr + total rows + range + the packed
+  /// cells of rows [row_begin, row_end).
+  static uint64_t LocalMatrixTilePayload(uint64_t row_begin,
+                                         uint64_t row_end) {
+    return kAttrHeader + 3 * kU64 + kVectorHeader +
+           (TriangleCells(row_end) - TriangleCells(row_begin)) * kF64;
+  }
+
+  /// Per-pair numeric initiator tile: fresh masks for responder rows
+  /// [row_begin, row_end) against all n initiator objects. (Batch and
+  /// alphanumeric initiator messages are never tiled.)
+  static uint64_t NumericInitiatorTilePayload(uint64_t n, uint64_t row_begin,
+                                              uint64_t row_end) {
+    return kAttrHeader + /*mode*/ 1 + 2 * kU64 + kVectorHeader +
+           (row_end - row_begin) * n * kU64;
+  }
+
+  /// Numeric responder -> TP tile: comparison rows [row_begin, row_end)
+  /// x n, plus the initiator-name echo, masking tag, range and width.
+  static uint64_t NumericResponderTilePayload(uint64_t n, uint64_t row_begin,
+                                              uint64_t row_end,
+                                              uint64_t initiator_name_length) {
+    return kAttrHeader + kVectorHeader + initiator_name_length + /*mode*/ 1 +
+           3 * kU64 + kVectorHeader + (row_end - row_begin) * n * kU64;
+  }
+
+  /// Alphanumeric responder -> TP tile: CCM grids of responder strings
+  /// [row_begin, row_end) against every initiator string.
+  static uint64_t AlnumResponderTilePayload(
+      const std::vector<uint64_t>& responder_lengths, uint64_t row_begin,
+      uint64_t row_end, const std::vector<uint64_t>& initiator_lengths,
+      uint64_t initiator_name_length);
+
   /// Categorical party -> TP payload: kind tag + one 16-byte token per
   /// object (flat protocol).
   static uint64_t CategoricalPayload(uint64_t n) {

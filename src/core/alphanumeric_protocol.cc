@@ -1,6 +1,10 @@
 #include "core/alphanumeric_protocol.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/thread_pool.h"
+#include "distance/kernels.h"
 
 namespace ppc {
 
@@ -36,22 +40,37 @@ AlphanumericProtocol::BuildMaskedGrids(
     const std::vector<std::vector<uint8_t>>& masked_initiator,
     const Alphabet& alphabet, size_t num_threads) {
   const size_t cols = masked_initiator.size();
+  const size_t alphabet_size = alphabet.size();
+  // The SubMod row kernel wants its left operand already reduced mod |A|
+  // (Alphabet::SubMod reduces silently). Masked strings arrive over the wire,
+  // so reduce each once up front — O(strings), shared by every grid in the
+  // column — instead of per cell.
+  std::vector<std::vector<uint8_t>> reduced = masked_initiator;
+  for (std::vector<uint8_t>& s : reduced) {
+    for (uint8_t& symbol : s) {
+      if (symbol >= alphabet_size) {
+        symbol = static_cast<uint8_t>(symbol % alphabet_size);
+      }
+    }
+  }
   std::vector<MaskedGrid> grids(responder_strings.size() * cols);
   ThreadPool::ParallelFor(
       grids.size(), num_threads,
       [&](size_t begin, size_t end) {
         for (size_t g = begin; g < end; ++g) {
           const std::vector<uint8_t>& own = responder_strings[g / cols];
-          const std::vector<uint8_t>& masked = masked_initiator[g % cols];
+          const std::vector<uint8_t>& masked = reduced[g % cols];
           MaskedGrid& grid = grids[g];
           grid.responder_length = own.size();
           grid.initiator_length = masked.size();
-          grid.cells.reserve(own.size() * masked.size());
-          // Fig. 9 step 3: M[q][p] = s'[p] - t[q], mod alphabet size.
-          for (uint8_t own_symbol : own) {
-            for (uint8_t masked_symbol : masked) {
-              grid.cells.push_back(alphabet.SubMod(masked_symbol, own_symbol));
-            }
+          grid.cells.resize(own.size() * masked.size());
+          // Fig. 9 step 3: M[q][p] = s'[p] - t[q], mod alphabet size —
+          // every row subtracts one constant symbol from the same masked
+          // string, which is exactly the SubMod row kernel.
+          for (size_t q = 0; q < own.size(); ++q) {
+            DistanceKernels::SubModRow(masked.data(), own[q], alphabet_size,
+                                       grid.cells.data() + q * masked.size(),
+                                       masked.size());
           }
         }
       },
@@ -92,23 +111,61 @@ Result<std::vector<uint64_t>> AlphanumericProtocol::RecoverDistances(
         ", expected " + std::to_string(responder_count * initiator_count));
   }
   std::vector<uint64_t> distances(grids.size());
-  // DecodeCcm resets the generator at every grid row, so a chunk of grids
-  // only needs a fresh clone — the decode is independent of the chunking.
+  // DecodeCcm resets the generator at every grid *row* (column p is always
+  // masked with the pth random symbol), so every row of every grid strips
+  // the same mask prefix. Draw it once, to the longest initiator length —
+  // NextBounded's rejection sampling consumes a deterministic stream, so the
+  // first p draws after a Reset are the same no matter how many follow. The
+  // decode then reduces to a byte-compare row kernel: residue (cell - r_p)
+  // mod |A| is zero iff cell == r_p, given both operands are reduced mod
+  // |A|. Masks are (NextBounded); cells arrive over the wire, so reject
+  // out-of-range cells instead of silently reducing them.
+  const size_t alphabet_size = alphabet.size();
+  size_t max_initiator_length = 0;
+  for (const MaskedGrid& grid : grids) {
+    max_initiator_length = std::max(max_initiator_length,
+                                    grid.initiator_length);
+  }
+  std::vector<uint8_t> mask_prefix(max_initiator_length);
+  if (!grids.empty()) {
+    rng_jt->Reset();
+    for (size_t p = 0; p < max_initiator_length; ++p) {
+      mask_prefix[p] = static_cast<uint8_t>(rng_jt->NextBounded(alphabet_size));
+    }
+  }
+  std::atomic<bool> malformed{false};
   ThreadPool::ParallelFor(
       grids.size(), num_threads,
       [&](size_t begin, size_t end) {
-        std::unique_ptr<Prng> local;
-        Prng* rng = rng_jt;
-        if (begin != 0 || end != grids.size()) {
-          local = rng_jt->CloneFresh();
-          rng = local.get();
-        }
         for (size_t g = begin; g < end; ++g) {
-          CharComparisonMatrix ccm = DecodeCcm(grids[g], alphabet, rng);
+          const MaskedGrid& grid = grids[g];
+          const size_t rows = grid.responder_length;
+          const size_t cols = grid.initiator_length;
+          if (grid.cells.size() != rows * cols) {
+            malformed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          for (uint8_t cell : grid.cells) {
+            if (cell >= alphabet_size) {
+              malformed.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+          CharComparisonMatrix ccm(rows, cols);
+          for (size_t q = 0; q < rows; ++q) {
+            DistanceKernels::NotEqualRow(grid.cells.data() + q * cols,
+                                         mask_prefix.data(),
+                                         ccm.MutableRow(q), cols);
+          }
           distances[g] = EditDistance::ComputeFromCcm(ccm);
         }
       },
       /*min_items=*/16);
+  if (malformed.load(std::memory_order_relaxed)) {
+    return Status::ProtocolViolation(
+        "malformed masked grid: cell count mismatch or symbol outside "
+        "alphabet");
+  }
   return distances;
 }
 

@@ -64,9 +64,12 @@ class AlphanumericProtocol {
   /// Site TP, full pipeline for one pair list (Fig. 10 incl. step 6):
   /// decodes every grid and runs edit distance on the CCM. Returns row-major
   /// `responder_count` x `initiator_count` distances. The decoder resets
-  /// `rng_jt` at every grid row, so with `num_threads > 1` grids are split
-  /// across threads over fresh clones of the generator — bit-identical to
-  /// the sequential pass.
+  /// `rng_jt` at every grid row, so the mask prefix is hoisted once and the
+  /// grids are swept with the byte-compare row kernel (distance/kernels.h) —
+  /// bit-identical to the sequential reference at any `num_threads`. Grids
+  /// come off the wire: fails with ProtocolViolation on a cell count
+  /// mismatch or a cell outside the alphabet (which the masking sites never
+  /// produce).
   static Result<std::vector<uint64_t>> RecoverDistances(
       const std::vector<MaskedGrid>& grids, size_t responder_count,
       size_t initiator_count, const Alphabet& alphabet, Prng* rng_jt,

@@ -78,6 +78,19 @@ struct ProtocolConfig {
   /// `ScheduleGranularity`.
   ScheduleGranularity schedule_granularity = ScheduleGranularity::kFine;
 
+  /// Row-tile height for the quadratic phases (4 and 5). 0 (the default)
+  /// ships each local matrix and comparison result as one whole-matrix
+  /// message — the paper's original shape, byte-identical to every prior
+  /// release. A positive value splits those payloads into row-range tiles
+  /// of at most `tile_size` responder rows each, streamed through their own
+  /// schedule-graph steps: the third party starts unmasking early tiles
+  /// while later tiles are still being built and sent, and peak per-message
+  /// memory drops from O(n^2) to O(n * tile_size). Final matrices (and
+  /// therefore dendrograms/outcomes) are bit-identical at every tile size;
+  /// wire framing differs (per-tile headers), which the communication
+  /// model prices exactly.
+  size_t tile_size = 0;
+
   /// Alphabet of every alphanumeric attribute. The paper requires a finite,
   /// publicly known alphabet so that masking can wrap modulo its size.
   Alphabet alphabet = Alphabet::Dna();

@@ -56,6 +56,14 @@ std::string OutboundSlot(size_t column, const std::string& initiator) {
   return "outbound:" + std::to_string(column) + ":" + initiator;
 }
 
+// Qualifies a stash slot or PRNG label with a tile's first row. Slots keep
+// concurrent tile stages of one attribute apart; labels give each per-pair
+// tile an independent mask stream (any consistent stream recovers the same
+// distances, so tiling never changes the final matrices).
+std::string TileSuffix(uint64_t row_begin) {
+  return ":t" + std::to_string(row_begin);
+}
+
 }  // namespace
 
 DataHolder::DataHolder(std::string name, Network* network,
@@ -214,6 +222,28 @@ Result<std::string> DataHolder::TakePending(const std::string& slot) {
 void DataHolder::StashPending(const std::string& slot, std::string payload) {
   MutexLock lock(pending_mutex_);
   pending_[slot] = std::move(payload);
+}
+
+void DataHolder::StashPendingShared(const std::string& slot,
+                                    std::string payload, uint32_t uses) {
+  MutexLock lock(pending_mutex_);
+  pending_shared_[slot] = {std::move(payload), uses};
+}
+
+Result<std::string> DataHolder::ConsumePendingShared(const std::string& slot) {
+  MutexLock lock(pending_mutex_);
+  auto it = pending_shared_.find(slot);
+  if (it == pending_shared_.end()) {
+    return Status::FailedPrecondition("no shared staged payload for '" + slot +
+                                      "' (prior protocol stage missing)");
+  }
+  if (it->second.second <= 1) {
+    std::string payload = std::move(it->second.first);
+    pending_shared_.erase(it);
+    return payload;
+  }
+  --it->second.second;
+  return it->second.first;
 }
 
 Status DataHolder::BuildLocalMatrix(size_t column) {
@@ -458,6 +488,290 @@ Status DataHolder::RunAlphanumericResponder(size_t column,
   PPC_RETURN_IF_ERROR(ReceiveAlphanumericMasked(column, initiator));
   PPC_RETURN_IF_ERROR(BuildAlphanumericGrids(column, initiator));
   return SendAlphanumericGrids(column, initiator, third_party);
+}
+
+// -- Tiled protocol steps ------------------------------------------------------
+
+Status DataHolder::BuildLocalMatrixTile(size_t column, uint64_t row_begin,
+                                        uint64_t row_end) {
+  if (column >= data_.NumColumns()) {
+    return Status::InvalidArgument("attribute " + std::to_string(column) +
+                                   " out of range");
+  }
+  if (data_.schema().attribute(column).type == AttributeType::kCategorical) {
+    return Status::InvalidArgument(
+        "categorical attributes have no local matrices");
+  }
+  PPC_ASSIGN_OR_RETURN(
+      std::vector<double> cells,
+      LocalDissimilarity::BuildRows(data_, column, real_codec_, row_begin,
+                                    row_end, config_.num_threads));
+  ByteWriter writer;
+  writer.Reserve(4 + 8 * 3 + 4 + 8 * cells.size());
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteU64(data_.NumRows());
+  writer.WriteU64(row_begin);
+  writer.WriteU64(row_end);
+  writer.WriteF64Vector(cells);
+  StashPending(LocalMatrixSlot(column) + TileSuffix(row_begin),
+               writer.TakeBytes());
+  return Status::OK();
+}
+
+Status DataHolder::SendLocalMatrixTile(size_t column, uint64_t row_begin,
+                                       const std::string& third_party) {
+  PPC_ASSIGN_OR_RETURN(
+      std::string payload,
+      TakePending(LocalMatrixSlot(column) + TileSuffix(row_begin)));
+  return network_->Send(name_, third_party, topics::kLocalMatrix,
+                        std::move(payload));
+}
+
+Status DataHolder::RunNumericInitiatorTile(size_t column,
+                                           const std::string& responder,
+                                           uint64_t row_begin,
+                                           uint64_t row_end) {
+  if (config_.masking_mode != MaskingMode::kPerPair) {
+    return Status::FailedPrecondition(
+        "tiled initiator steps exist only in per-pair masking mode");
+  }
+  if (row_begin > row_end) {
+    return Status::InvalidArgument("inverted tile row range");
+  }
+  PPC_ASSIGN_OR_RETURN(std::vector<int64_t> values,
+                       EncodedNumericColumn(column));
+  const std::string label =
+      NumericLabel(column, name_, responder) + TileSuffix(row_begin);
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jk,
+                       PairPrng(responder, label));
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                       PairPrng(tp_name_, label));
+  std::vector<uint64_t> masked = NumericProtocol::MaskMatrixPerPair(
+      values, row_end - row_begin, rng_jt.get(), rng_jk.get());
+  ByteWriter writer;
+  writer.Reserve(4 + 1 + 8 + 8 + 4 + 8 * masked.size());
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteU8(static_cast<uint8_t>(config_.masking_mode));
+  writer.WriteU64(row_begin);
+  writer.WriteU64(row_end);
+  writer.WriteU64Vector(masked);
+  return network_->Send(name_, responder, topics::kNumericMasked,
+                        writer.TakeBytes());
+}
+
+Status DataHolder::ReceiveNumericMaskedTile(size_t column,
+                                            const std::string& initiator,
+                                            uint64_t row_begin) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg,
+      network_->Receive(name_, initiator, topics::kNumericMasked));
+  StashPending(InboundSlot(column, initiator) + TileSuffix(row_begin),
+               std::move(msg.payload));
+  return Status::OK();
+}
+
+Status DataHolder::ReceiveNumericMaskedShared(size_t column,
+                                              const std::string& initiator,
+                                              uint32_t uses) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg,
+      network_->Receive(name_, initiator, topics::kNumericMasked));
+  StashPendingShared(InboundSlot(column, initiator), std::move(msg.payload),
+                     uses);
+  return Status::OK();
+}
+
+Status DataHolder::ReceiveAlphanumericMaskedShared(size_t column,
+                                                   const std::string& initiator,
+                                                   uint32_t uses) {
+  PPC_ASSIGN_OR_RETURN(
+      Message msg, network_->Receive(name_, initiator, topics::kAlnumMasked));
+  StashPendingShared(InboundSlot(column, initiator), std::move(msg.payload),
+                     uses);
+  return Status::OK();
+}
+
+Status DataHolder::BuildNumericComparisonTile(size_t column,
+                                              const std::string& initiator,
+                                              uint64_t row_begin,
+                                              uint64_t row_end) {
+  PPC_ASSIGN_OR_RETURN(std::vector<int64_t> own_values,
+                       EncodedNumericColumn(column));
+  if (row_begin > row_end || row_end > own_values.size()) {
+    return Status::InvalidArgument("tile row range [" +
+                                   std::to_string(row_begin) + ", " +
+                                   std::to_string(row_end) +
+                                   ") out of range for " +
+                                   std::to_string(own_values.size()) +
+                                   " objects");
+  }
+  const std::vector<int64_t> own_slice(own_values.begin() + row_begin,
+                                       own_values.begin() + row_end);
+  const uint64_t rows = row_end - row_begin;
+
+  std::vector<uint64_t> comparison;
+  uint64_t cols = 0;
+  if (config_.masking_mode == MaskingMode::kBatch) {
+    // Every tile reads the same whole masked vector (the shared stash) and
+    // a fresh generator — every comparison row consumes the identical sign
+    // prefix, so a row slice is bit-identical to the same rows of the
+    // whole-matrix build.
+    PPC_ASSIGN_OR_RETURN(std::string inbound,
+                         ConsumePendingShared(InboundSlot(column, initiator)));
+    ByteReader reader(inbound);
+    PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+    if (attr != column) {
+      return Status::ProtocolViolation("initiator sent attribute " +
+                                       std::to_string(attr) + ", expected " +
+                                       std::to_string(column));
+    }
+    PPC_ASSIGN_OR_RETURN(uint8_t mode_tag, reader.ReadU8());
+    PPC_ASSIGN_OR_RETURN(uint64_t declared_rows, reader.ReadU64());
+    (void)declared_rows;
+    PPC_ASSIGN_OR_RETURN(std::vector<uint64_t> masked, reader.ReadU64Vector());
+    PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+    if (mode_tag != static_cast<uint8_t>(MaskingMode::kBatch)) {
+      return Status::ProtocolViolation(
+          "initiator masking mode disagrees with this site's configuration");
+    }
+    const std::string label = NumericLabel(column, initiator, name_);
+    PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jk,
+                         PairPrng(initiator, label));
+    cols = masked.size();
+    comparison = NumericProtocol::BuildComparisonMatrix(
+        own_slice, masked, rng_jk.get(), config_.num_threads);
+  } else {
+    // Per-pair masks are consumed linearly across rows, so each tile is a
+    // self-contained round over a tile-fresh mask stream.
+    PPC_ASSIGN_OR_RETURN(
+        std::string inbound,
+        TakePending(InboundSlot(column, initiator) + TileSuffix(row_begin)));
+    ByteReader reader(inbound);
+    PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+    if (attr != column) {
+      return Status::ProtocolViolation("initiator sent attribute " +
+                                       std::to_string(attr) + ", expected " +
+                                       std::to_string(column));
+    }
+    PPC_ASSIGN_OR_RETURN(uint8_t mode_tag, reader.ReadU8());
+    PPC_ASSIGN_OR_RETURN(uint64_t declared_begin, reader.ReadU64());
+    PPC_ASSIGN_OR_RETURN(uint64_t declared_end, reader.ReadU64());
+    PPC_ASSIGN_OR_RETURN(std::vector<uint64_t> masked, reader.ReadU64Vector());
+    PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+    if (mode_tag != static_cast<uint8_t>(MaskingMode::kPerPair)) {
+      return Status::ProtocolViolation(
+          "initiator masking mode disagrees with this site's configuration");
+    }
+    if (declared_begin != row_begin || declared_end != row_end) {
+      return Status::ProtocolViolation(
+          "initiator tile covers rows [" + std::to_string(declared_begin) +
+          ", " + std::to_string(declared_end) + "), the schedule expects [" +
+          std::to_string(row_begin) + ", " + std::to_string(row_end) + ")");
+    }
+    if (rows == 0 || masked.size() % rows != 0) {
+      return Status::ProtocolViolation("per-pair mask tile not rectangular");
+    }
+    cols = masked.size() / rows;
+    const std::string label =
+        NumericLabel(column, initiator, name_) + TileSuffix(row_begin);
+    PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jk,
+                         PairPrng(initiator, label));
+    PPC_ASSIGN_OR_RETURN(comparison,
+                         NumericProtocol::AddResponderPerPair(
+                             own_slice, cols, masked, rng_jk.get()));
+  }
+
+  ByteWriter writer;
+  writer.Reserve(4 + 4 + initiator.size() + 1 + 8 * 3 + 4 +
+                 8 * comparison.size());
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteBytes(initiator);
+  writer.WriteU8(static_cast<uint8_t>(config_.masking_mode));
+  writer.WriteU64(row_begin);
+  writer.WriteU64(row_end);
+  writer.WriteU64(cols);
+  writer.WriteU64Vector(comparison);
+  StashPending(OutboundSlot(column, initiator) + TileSuffix(row_begin),
+               writer.TakeBytes());
+  return Status::OK();
+}
+
+Status DataHolder::BuildAlphanumericGridsTile(size_t column,
+                                              const std::string& initiator,
+                                              uint64_t row_begin,
+                                              uint64_t row_end) {
+  PPC_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> own,
+                       EncodedStringColumn(column));
+  if (row_begin > row_end || row_end > own.size()) {
+    return Status::InvalidArgument(
+        "tile row range [" + std::to_string(row_begin) + ", " +
+        std::to_string(row_end) + ") out of range for " +
+        std::to_string(own.size()) + " objects");
+  }
+  PPC_ASSIGN_OR_RETURN(std::string inbound,
+                       ConsumePendingShared(InboundSlot(column, initiator)));
+  ByteReader reader(inbound);
+  PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+  if (attr != column) {
+    return Status::ProtocolViolation("initiator sent attribute " +
+                                     std::to_string(attr) + ", expected " +
+                                     std::to_string(column));
+  }
+  PPC_ASSIGN_OR_RETURN(std::vector<std::string> masked_bytes,
+                       reader.ReadBytesVector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  std::vector<std::vector<uint8_t>> masked;
+  masked.reserve(masked_bytes.size());
+  for (const std::string& bytes : masked_bytes) {
+    masked.push_back(SymbolsFromBytes(bytes));
+  }
+  const std::vector<std::vector<uint8_t>> own_slice(own.begin() + row_begin,
+                                                    own.begin() + row_end);
+  std::vector<AlphanumericProtocol::MaskedGrid> grids =
+      AlphanumericProtocol::BuildMaskedGrids(own_slice, masked,
+                                             config_.alphabet,
+                                             config_.num_threads);
+
+  size_t grid_bytes = 0;
+  for (const auto& grid : grids) grid_bytes += 4 + 4 + 4 + grid.cells.size();
+  ByteWriter writer;
+  writer.Reserve(4 + 4 + initiator.size() + 8 * 3 + grid_bytes);
+  writer.WriteU32(static_cast<uint32_t>(column));
+  writer.WriteBytes(initiator);
+  writer.WriteU64(row_begin);
+  writer.WriteU64(row_end);
+  writer.WriteU64(masked.size());
+  for (const auto& grid : grids) {
+    writer.WriteU32(static_cast<uint32_t>(grid.responder_length));
+    writer.WriteU32(static_cast<uint32_t>(grid.initiator_length));
+    writer.WriteBytes(grid.cells.data(), grid.cells.size());
+  }
+  StashPending(OutboundSlot(column, initiator) + TileSuffix(row_begin),
+               writer.TakeBytes());
+  return Status::OK();
+}
+
+Status DataHolder::SendNumericComparisonTile(size_t column,
+                                             const std::string& initiator,
+                                             const std::string& third_party,
+                                             uint64_t row_begin) {
+  PPC_ASSIGN_OR_RETURN(
+      std::string payload,
+      TakePending(OutboundSlot(column, initiator) + TileSuffix(row_begin)));
+  return network_->Send(name_, third_party, topics::kNumericComparison,
+                        std::move(payload));
+}
+
+Status DataHolder::SendAlphanumericGridsTile(size_t column,
+                                             const std::string& initiator,
+                                             const std::string& third_party,
+                                             uint64_t row_begin) {
+  PPC_ASSIGN_OR_RETURN(
+      std::string payload,
+      TakePending(OutboundSlot(column, initiator) + TileSuffix(row_begin)));
+  return network_->Send(name_, third_party, topics::kAlnumGrids,
+                        std::move(payload));
 }
 
 Status DataHolder::SendCategoricalTokens(size_t column,

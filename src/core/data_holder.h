@@ -136,6 +136,71 @@ class DataHolder {
   /// the tokens to the third party.
   Status SendCategoricalTokens(size_t column, const std::string& third_party);
 
+  // -- Tiled protocol steps (tile_size > 0 schedules) ------------------------
+  //
+  // Row-range variants of the quadratic steps above: each handles triangle
+  // or block rows [row_begin, row_end) of one attribute's payload, so no
+  // step ever materializes more than one tile of a local or comparison
+  // matrix and the third party pipelines installs against later builds.
+  // Final matrices are bit-identical to the whole-matrix steps at any
+  // tiling; only the wire framing differs (per-tile headers, and fresh
+  // per-tile mask streams in per-pair mode — any consistent mask stream
+  // recovers the same distances).
+
+  /// Fig. 12, rows [row_begin, row_end) only: builds that slice of the
+  /// local dissimilarity matrix of `column` and stashes the tile message.
+  Status BuildLocalMatrixTile(size_t column, uint64_t row_begin,
+                              uint64_t row_end);
+
+  /// Ships the stashed local-matrix tile of (`column`, `row_begin`).
+  Status SendLocalMatrixTile(size_t column, uint64_t row_begin,
+                             const std::string& third_party);
+
+  /// Per-pair masking only: masks this site's column against responder rows
+  /// [row_begin, row_end) with a tile-fresh mask stream and sends the tile.
+  /// (Batch and alphanumeric initiators are not tiled — every tile build
+  /// reads the same whole masked message.)
+  Status RunNumericInitiatorTile(size_t column, const std::string& responder,
+                                 uint64_t row_begin, uint64_t row_end);
+
+  /// Receives the initiator's per-pair masked tile for (`column`,
+  /// `row_begin`) and stashes it.
+  Status ReceiveNumericMaskedTile(size_t column, const std::string& initiator,
+                                  uint64_t row_begin);
+
+  /// Receives the initiator's whole masked vector for `column` and stashes
+  /// it for `uses` tile builds (refcounted — the stash lives until the last
+  /// build consumes it).
+  Status ReceiveNumericMaskedShared(size_t column, const std::string& initiator,
+                                    uint32_t uses);
+
+  /// Alphanumeric analog of ReceiveNumericMaskedShared.
+  Status ReceiveAlphanumericMaskedShared(size_t column,
+                                         const std::string& initiator,
+                                         uint32_t uses);
+
+  /// Fig. 5 arithmetic for own rows [row_begin, row_end): builds that slice
+  /// of the comparison matrix (batch mode reads the shared masked vector;
+  /// per-pair mode its own masked tile) and stashes the tile message.
+  Status BuildNumericComparisonTile(size_t column, const std::string& initiator,
+                                    uint64_t row_begin, uint64_t row_end);
+
+  /// Fig. 9 arithmetic for own strings [row_begin, row_end): builds those
+  /// rows of CCM grids from the shared masked strings; stashes the tile.
+  Status BuildAlphanumericGridsTile(size_t column, const std::string& initiator,
+                                    uint64_t row_begin, uint64_t row_end);
+
+  /// Ships the stashed comparison tile for (`column`, `initiator`,
+  /// `row_begin`) to the third party.
+  Status SendNumericComparisonTile(size_t column, const std::string& initiator,
+                                   const std::string& third_party,
+                                   uint64_t row_begin);
+
+  /// Ships the stashed grid tile for (`column`, `initiator`, `row_begin`).
+  Status SendAlphanumericGridsTile(size_t column, const std::string& initiator,
+                                   const std::string& third_party,
+                                   uint64_t row_begin);
+
   // -- Results ---------------------------------------------------------------
 
   /// Sends a clustering order (weights + algorithm choice) to the third
@@ -150,6 +215,10 @@ class DataHolder {
   /// Object count of `party` from the roster (available after
   /// ReceiveRoster).
   Result<uint64_t> RosterCount(const std::string& party) const;
+
+  /// The protocol configuration this holder runs with (schedule drivers
+  /// consult it to build matching tiled graphs).
+  const ProtocolConfig& config() const { return config_; }
 
  private:
   /// The column as protocol integers: raw int64 for integer attributes,
@@ -171,6 +240,13 @@ class DataHolder {
   Result<std::string> TakePending(const std::string& slot);
   void StashPending(const std::string& slot, std::string payload);
 
+  /// Refcounted variant for payloads shared by several tile builds: the
+  /// stash records `uses`, each consume copies the payload and decrements
+  /// (the last consumer moves it out and erases the slot).
+  void StashPendingShared(const std::string& slot, std::string payload,
+                          uint32_t uses);
+  Result<std::string> ConsumePendingShared(const std::string& slot);
+
   std::string name_;
   Network* network_;
   ProtocolConfig config_;
@@ -190,6 +266,8 @@ class DataHolder {
   /// themselves are owned by exactly one in-flight step.
   mutable Mutex pending_mutex_;
   std::map<std::string, std::string> pending_ GUARDED_BY(pending_mutex_);
+  std::map<std::string, std::pair<std::string, uint32_t>> pending_shared_
+      GUARDED_BY(pending_mutex_);
 };
 
 }  // namespace ppc

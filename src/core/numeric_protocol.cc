@@ -1,6 +1,7 @@
 #include "core/numeric_protocol.h"
 
 #include "common/thread_pool.h"
+#include "distance/kernels.h"
 
 namespace ppc {
 
@@ -36,27 +37,28 @@ std::vector<uint64_t> NumericProtocol::BuildComparisonMatrix(
   const size_t cols = masked_initiator.size();
   std::vector<uint64_t> matrix(rows * cols);
   // Every row restarts the coin stream (Fig. 5 step 4: column n uses the
-  // same coin DHJ consumed for its nth element), so a chunk of rows only
-  // needs a fresh clone of the generator — output is independent of the
-  // chunking.
+  // same coin DHJ consumed for its nth element) — so every row reads the
+  // *identical* sign prefix. Hoist it once into a negate-mask row (all-ones
+  // where the responder takes the opposite of the initiator's coin, i.e.
+  // where the coin came up even), then sweep the rows with the branch-free
+  // SIMD-dispatched kernel. No generator state remains in the inner loop,
+  // so any chunking is bit-identical.
+  std::vector<uint64_t> negate_mask(cols);
+  if (rows > 0) {
+    rng_jk->Reset();
+    for (size_t n = 0; n < cols; ++n) {
+      bool initiator_negated = rng_jk->NextParityOdd();
+      negate_mask[n] = initiator_negated ? 0 : ~uint64_t{0};
+    }
+  }
   ThreadPool::ParallelFor(
       rows, num_threads,
       [&](size_t row_begin, size_t row_end) {
-        std::unique_ptr<Prng> local;
-        Prng* rng = rng_jk;
-        if (row_begin != 0 || row_end != rows) {
-          local = rng_jk->CloneFresh();
-          rng = local.get();
-        }
         for (size_t m = row_begin; m < row_end; ++m) {
-          rng->Reset();
-          for (size_t n = 0; n < cols; ++n) {
-            bool initiator_negated = rng->NextParityOdd();
-            // The responder takes the *opposite* sign: (rngJK.Next()+1) % 2.
-            matrix[m * cols + n] =
-                masked_initiator[n] +
-                Signed(responder_values[m], !initiator_negated);
-          }
+          DistanceKernels::AddSignedRow(
+              masked_initiator.data(), negate_mask.data(),
+              static_cast<uint64_t>(responder_values[m]),
+              matrix.data() + m * cols, cols);
         }
       },
       /*min_items=*/64);
@@ -77,23 +79,22 @@ Result<std::vector<uint64_t>> NumericProtocol::RecoverDistances(
   }
   std::vector<uint64_t> distances(matrix.size());
   // Fig. 6 step 4: re-initialize rng_jt at every row (all entries of a
-  // column are disguised with the same mask) — so row chunks work on fresh
-  // clones, exactly like BuildComparisonMatrix.
+  // column are disguised with the same mask) — so every row subtracts the
+  // identical mask prefix. Draw it once, then sweep the rows with the
+  // subtract-and-abs kernel; the inner loop is generator-free, so any
+  // chunking is bit-identical. Callers derive a fresh generator per payload
+  // and drop it afterwards, so its end state is not part of the contract.
+  std::vector<uint64_t> masks(cols);
+  if (rows > 0) {
+    rng_jt->Reset();
+    for (size_t n = 0; n < cols; ++n) masks[n] = rng_jt->Next();
+  }
   ThreadPool::ParallelFor(
       rows, num_threads,
       [&](size_t row_begin, size_t row_end) {
-        std::unique_ptr<Prng> local;
-        Prng* rng = rng_jt;
-        if (row_begin != 0 || row_end != rows) {
-          local = rng_jt->CloneFresh();
-          rng = local.get();
-        }
         for (size_t m = row_begin; m < row_end; ++m) {
-          rng->Reset();
-          for (size_t n = 0; n < cols; ++n) {
-            uint64_t unmasked = matrix[m * cols + n] - rng->Next();
-            distances[m * cols + n] = AbsFromRing(unmasked);
-          }
+          DistanceKernels::SubAbsRow(matrix.data() + m * cols, masks.data(),
+                                     distances.data() + m * cols, cols);
         }
       },
       /*min_items=*/64);

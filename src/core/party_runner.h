@@ -33,7 +33,10 @@ class PartyRunner {
  public:
   /// Runs a data holder's side of phases 1-5 (hello through comparison
   /// rounds). The holder must have its data installed and appear in
-  /// `plan.holder_order`.
+  /// `plan.holder_order`. When the holder's config sets `tile_size > 0`
+  /// the run is two-stage: setup phases on the untiled graph, then the
+  /// quadratic phases on the tiled graph built from the roster's object
+  /// counts (see ScheduleExecutor::RunParty's phase-bounded overloads).
   static Status RunHolder(DataHolder* holder, const SessionPlan& plan,
                           const Schema& schema);
 

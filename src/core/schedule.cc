@@ -115,6 +115,28 @@ ScheduleStep MakeStep(StepKind kind, int phase, std::string actor) {
   return step;
 }
 
+struct RowRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// Row tiles of a party with `n` objects: [0,T), [T,2T), ..., last one
+/// clipped to n. tile >= n degenerates to the single tile [0, n); n == 0
+/// still yields one (empty) tile so the round's messages flow and the
+/// third party can validate the roster count.
+std::vector<RowRange> TileRanges(uint64_t n, size_t tile) {
+  std::vector<RowRange> ranges;
+  const uint64_t step = static_cast<uint64_t>(tile);
+  if (n == 0) {
+    ranges.push_back({0, 0});
+    return ranges;
+  }
+  for (uint64_t begin = 0; begin < n; begin += step) {
+    ranges.push_back({begin, std::min<uint64_t>(n, begin + step)});
+  }
+  return ranges;
+}
+
 }  // namespace
 
 Schedule::Schedule(SessionPlan plan, Schema schema)
@@ -154,9 +176,21 @@ Result<Schedule> Schedule::Build(const SessionPlan& plan, const Schema& schema,
     }
   }
 
+  const bool tiled = options.tile_size > 0;
+  if (tiled &&
+      options.holder_objects.size() != plan.holder_order.size()) {
+    return Status::InvalidArgument(
+        "tiled schedule (tile_size > 0) needs one holder_objects entry per "
+        "holder — tile boundaries are part of the graph");
+  }
+
   const std::vector<std::string>& holders = plan.holder_order;
   const std::string& tp = plan.third_party;
   const size_t k = holders.size();
+  // Holder -> object count; only consulted when tiling.
+  auto holder_rows = [&](size_t holder_index) -> uint64_t {
+    return tiled ? options.holder_objects[holder_index] : 0;
+  };
   GraphBuilder b;
 
   // -- Phases 1-3: setup, one chain in canonical order. ----------------------
@@ -261,35 +295,56 @@ Result<Schedule> Schedule::Build(const SessionPlan& plan, const Schema& schema,
   const uint32_t setup_end = prev;
 
   // -- Phase 4: local dissimilarity matrices. --------------------------------
+  // Tiled runs split each per-attribute matrix into row-range tiles, each
+  // with its own build/send/receive steps: the third party installs early
+  // tiles while the holder is still computing later ones, and nothing ever
+  // materializes more than one tile's worth of payload per message.
   std::vector<uint32_t> tp_terminal;  // Everything kNormalize waits on.
-  for (const std::string& h : holders) {
+  for (size_t hi = 0; hi < k; ++hi) {
+    const std::string& h = holders[hi];
+    const std::vector<RowRange> tiles =
+        tiled ? TileRanges(holder_rows(hi), options.tile_size)
+              : std::vector<RowRange>{RowRange{}};
     for (size_t c = 0; c < schema.size(); ++c) {
       if (schema.attribute(c).type == AttributeType::kCategorical) continue;
-      ScheduleStep build = MakeStep(StepKind::kLocalMatrixBuild, 4, h);
-      build.column = c;
-      uint32_t bid = b.Add(std::move(build));
-      b.AddDep(bid, setup_end);
+      for (const RowRange& r : tiles) {
+        ScheduleStep build = MakeStep(StepKind::kLocalMatrixBuild, 4, h);
+        build.column = c;
+        build.tiled = tiled;
+        build.row_begin = r.begin;
+        build.row_end = r.end;
+        uint32_t bid = b.Add(std::move(build));
+        b.AddDep(bid, setup_end);
 
-      ScheduleStep send = MakeStep(StepKind::kLocalMatrixSend, 4, h);
-      send.peer = tp;
-      send.column = c;
-      send.topic = topics::kLocalMatrix;
-      send.sends = true;
-      uint32_t sid = b.Add(std::move(send));
-      b.AddDep(sid, bid);
-      b.NoteSend(sid, h, tp);
+        ScheduleStep send = MakeStep(StepKind::kLocalMatrixSend, 4, h);
+        send.peer = tp;
+        send.column = c;
+        send.topic = topics::kLocalMatrix;
+        send.sends = true;
+        send.tiled = tiled;
+        send.row_begin = r.begin;
+        send.row_end = r.end;
+        uint32_t sid = b.Add(std::move(send));
+        b.AddDep(sid, bid);
+        b.NoteSend(sid, h, tp);
+      }
     }
     for (size_t c = 0; c < schema.size(); ++c) {
       if (schema.attribute(c).type == AttributeType::kCategorical) continue;
-      ScheduleStep recv = MakeStep(StepKind::kLocalMatrixReceive, 4, tp);
-      recv.peer = h;
-      recv.column = c;
-      recv.topic = topics::kLocalMatrix;
-      recv.receives = true;
-      uint32_t rid = b.Add(std::move(recv));
-      b.AddDep(rid, setup_end);
-      b.NoteReceive(rid, h, tp);
-      tp_terminal.push_back(rid);
+      for (const RowRange& r : tiles) {
+        ScheduleStep recv = MakeStep(StepKind::kLocalMatrixReceive, 4, tp);
+        recv.peer = h;
+        recv.column = c;
+        recv.topic = topics::kLocalMatrix;
+        recv.receives = true;
+        recv.tiled = tiled;
+        recv.row_begin = r.begin;
+        recv.row_end = r.end;
+        uint32_t rid = b.Add(std::move(recv));
+        b.AddDep(rid, setup_end);
+        b.NoteReceive(rid, h, tp);
+        tp_terminal.push_back(rid);
+      }
     }
   }
 
@@ -347,68 +402,133 @@ Result<Schedule> Schedule::Build(const SessionPlan& plan, const Schema& schema,
     const char* result_topic = IsNumericType(schema.attribute(c).type)
                                    ? topics::kNumericComparison
                                    : topics::kAlnumGrids;
+    const bool numeric = IsNumericType(schema.attribute(c).type);
     for (size_t i = 0; i < k; ++i) {
       for (size_t j = i + 1; j < k; ++j) {
         const std::string& initiator = holders[i];
         const std::string& responder = holders[j];
+        // Tiles split the responder's rows of the comparison payload. The
+        // batch and alphanumeric initiators still ship one whole masked
+        // message (every tile build reads it — the receive records how
+        // many, for the refcounted stash); the per-pair numeric initiator
+        // draws a fresh mask stream per tile, so its sends tile too.
+        const std::vector<RowRange> tiles =
+            tiled ? TileRanges(holder_rows(j), options.tile_size)
+                  : std::vector<RowRange>{RowRange{}};
+        const bool tiled_init =
+            tiled && numeric && options.masking == MaskingMode::kPerPair;
 
-        ScheduleStep init = MakeStep(StepKind::kComparisonInit, 5, initiator);
-        init.peer = responder;
-        init.column = c;
-        init.topic = masked_topic;
-        init.sends = true;
-        uint32_t init_id = b.Add(std::move(init));
-        b.AddDep(init_id, setup_end);
-        b.NoteSend(init_id, initiator, responder);
-        group_chain(responder, init_id);
+        uint32_t shared_recv_id = 0;
+        if (!tiled_init) {
+          ScheduleStep init = MakeStep(StepKind::kComparisonInit, 5,
+                                       initiator);
+          init.peer = responder;
+          init.column = c;
+          init.topic = masked_topic;
+          init.sends = true;
+          uint32_t init_id = b.Add(std::move(init));
+          b.AddDep(init_id, setup_end);
+          b.NoteSend(init_id, initiator, responder);
+          group_chain(responder, init_id);
 
-        ScheduleStep recv = MakeStep(StepKind::kComparisonReceive, 5,
-                                     responder);
-        recv.peer = initiator;
-        recv.column = c;
-        recv.topic = masked_topic;
-        recv.receives = true;
-        uint32_t recv_id = b.Add(std::move(recv));
-        b.NoteReceive(recv_id, initiator, responder);
-        group_chain(responder, recv_id);
+          ScheduleStep recv = MakeStep(StepKind::kComparisonReceive, 5,
+                                       responder);
+          recv.peer = initiator;
+          recv.column = c;
+          recv.topic = masked_topic;
+          recv.receives = true;
+          if (tiled) {
+            recv.shared_uses = static_cast<uint32_t>(tiles.size());
+          }
+          shared_recv_id = b.Add(std::move(recv));
+          b.NoteReceive(shared_recv_id, initiator, responder);
+          group_chain(responder, shared_recv_id);
+        }
 
-        ScheduleStep build = MakeStep(StepKind::kComparisonBuild, 5,
-                                      responder);
-        build.peer = initiator;
-        build.column = c;
-        uint32_t build_id = b.Add(std::move(build));
-        b.AddDep(build_id, recv_id);
-        group_chain(responder, build_id);
+        for (const RowRange& r : tiles) {
+          uint32_t build_dep = shared_recv_id;
+          if (tiled_init) {
+            ScheduleStep init = MakeStep(StepKind::kComparisonInit, 5,
+                                         initiator);
+            init.peer = responder;
+            init.column = c;
+            init.topic = masked_topic;
+            init.sends = true;
+            init.tiled = true;
+            init.row_begin = r.begin;
+            init.row_end = r.end;
+            uint32_t init_id = b.Add(std::move(init));
+            b.AddDep(init_id, setup_end);
+            b.NoteSend(init_id, initiator, responder);
+            group_chain(responder, init_id);
 
-        ScheduleStep send = MakeStep(StepKind::kComparisonSend, 5, responder);
-        send.peer = tp;
-        send.initiator = initiator;
-        send.column = c;
-        send.topic = result_topic;
-        send.sends = true;
-        uint32_t send_id = b.Add(std::move(send));
-        b.AddDep(send_id, build_id);
-        b.NoteSend(send_id, responder, tp);
-        group_chain(responder, send_id);
+            ScheduleStep recv = MakeStep(StepKind::kComparisonReceive, 5,
+                                         responder);
+            recv.peer = initiator;
+            recv.column = c;
+            recv.topic = masked_topic;
+            recv.receives = true;
+            recv.tiled = true;
+            recv.row_begin = r.begin;
+            recv.row_end = r.end;
+            build_dep = b.Add(std::move(recv));
+            b.NoteReceive(build_dep, initiator, responder);
+            group_chain(responder, build_dep);
+          }
 
-        ScheduleStep collect = MakeStep(StepKind::kComparisonCollect, 5, tp);
-        collect.peer = responder;
-        collect.initiator = initiator;
-        collect.column = c;
-        collect.topic = result_topic;
-        collect.receives = true;
-        uint32_t collect_id = b.Add(std::move(collect));
-        b.NoteReceive(collect_id, responder, tp);
-        group_chain(responder, collect_id);
+          ScheduleStep build = MakeStep(StepKind::kComparisonBuild, 5,
+                                        responder);
+          build.peer = initiator;
+          build.column = c;
+          build.tiled = tiled;
+          build.row_begin = r.begin;
+          build.row_end = r.end;
+          uint32_t build_id = b.Add(std::move(build));
+          b.AddDep(build_id, build_dep);
+          group_chain(responder, build_id);
 
-        ScheduleStep install = MakeStep(StepKind::kComparisonInstall, 5, tp);
-        install.peer = responder;
-        install.initiator = initiator;
-        install.column = c;
-        uint32_t install_id = b.Add(std::move(install));
-        b.AddDep(install_id, collect_id);
-        group_chain(responder, install_id);
-        tp_terminal.push_back(install_id);
+          ScheduleStep send = MakeStep(StepKind::kComparisonSend, 5,
+                                       responder);
+          send.peer = tp;
+          send.initiator = initiator;
+          send.column = c;
+          send.topic = result_topic;
+          send.sends = true;
+          send.tiled = tiled;
+          send.row_begin = r.begin;
+          send.row_end = r.end;
+          uint32_t send_id = b.Add(std::move(send));
+          b.AddDep(send_id, build_id);
+          b.NoteSend(send_id, responder, tp);
+          group_chain(responder, send_id);
+
+          ScheduleStep collect = MakeStep(StepKind::kComparisonCollect, 5,
+                                          tp);
+          collect.peer = responder;
+          collect.initiator = initiator;
+          collect.column = c;
+          collect.topic = result_topic;
+          collect.receives = true;
+          collect.tiled = tiled;
+          collect.row_begin = r.begin;
+          collect.row_end = r.end;
+          uint32_t collect_id = b.Add(std::move(collect));
+          b.NoteReceive(collect_id, responder, tp);
+          group_chain(responder, collect_id);
+
+          ScheduleStep install = MakeStep(StepKind::kComparisonInstall, 5,
+                                          tp);
+          install.peer = responder;
+          install.initiator = initiator;
+          install.column = c;
+          install.tiled = tiled;
+          install.row_begin = r.begin;
+          install.row_end = r.end;
+          uint32_t install_id = b.Add(std::move(install));
+          b.AddDep(install_id, collect_id);
+          group_chain(responder, install_id);
+          tp_terminal.push_back(install_id);
+        }
       }
     }
   }
@@ -538,35 +658,82 @@ Status ExecuteScheduleStep(const Schedule& schedule, const ScheduleStep& step,
     case StepKind::kCategoricalKeyReceive:
       return holder->ReceiveCategoricalKey(step.peer);
     case StepKind::kLocalMatrixBuild:
-      return holder->BuildLocalMatrix(step.column);
+      return step.tiled ? holder->BuildLocalMatrixTile(
+                              step.column, step.row_begin, step.row_end)
+                        : holder->BuildLocalMatrix(step.column);
     case StepKind::kLocalMatrixSend:
-      return holder->SendLocalMatrix(step.column, plan.third_party);
+      return step.tiled
+                 ? holder->SendLocalMatrixTile(step.column, step.row_begin,
+                                               plan.third_party)
+                 : holder->SendLocalMatrix(step.column, plan.third_party);
     case StepKind::kLocalMatrixReceive:
-      return third_party->ReceiveLocalMatrix(step.peer);
+      return step.tiled ? third_party->ReceiveLocalMatrixTile(step.peer)
+                        : third_party->ReceiveLocalMatrix(step.peer);
     case StepKind::kComparisonInit:
+      if (step.tiled) {
+        // Only the per-pair numeric initiator tiles its sends.
+        return holder->RunNumericInitiatorTile(step.column, step.peer,
+                                               step.row_begin, step.row_end);
+      }
       return schedule.IsNumericColumn(step.column)
                  ? holder->RunNumericInitiator(step.column, step.peer)
                  : holder->RunAlphanumericInitiator(step.column, step.peer);
     case StepKind::kComparisonReceive:
+      if (step.tiled) {
+        return holder->ReceiveNumericMaskedTile(step.column, step.peer,
+                                                step.row_begin);
+      }
+      if (step.shared_uses > 0) {
+        return schedule.IsNumericColumn(step.column)
+                   ? holder->ReceiveNumericMaskedShared(step.column, step.peer,
+                                                        step.shared_uses)
+                   : holder->ReceiveAlphanumericMaskedShared(
+                         step.column, step.peer, step.shared_uses);
+      }
       return schedule.IsNumericColumn(step.column)
                  ? holder->ReceiveNumericMasked(step.column, step.peer)
                  : holder->ReceiveAlphanumericMasked(step.column, step.peer);
     case StepKind::kComparisonBuild:
+      if (step.tiled) {
+        return schedule.IsNumericColumn(step.column)
+                   ? holder->BuildNumericComparisonTile(
+                         step.column, step.peer, step.row_begin, step.row_end)
+                   : holder->BuildAlphanumericGridsTile(
+                         step.column, step.peer, step.row_begin, step.row_end);
+      }
       return schedule.IsNumericColumn(step.column)
                  ? holder->BuildNumericComparison(step.column, step.peer)
                  : holder->BuildAlphanumericGrids(step.column, step.peer);
     case StepKind::kComparisonSend:
+      if (step.tiled) {
+        return schedule.IsNumericColumn(step.column)
+                   ? holder->SendNumericComparisonTile(
+                         step.column, step.initiator, plan.third_party,
+                         step.row_begin)
+                   : holder->SendAlphanumericGridsTile(
+                         step.column, step.initiator, plan.third_party,
+                         step.row_begin);
+      }
       return schedule.IsNumericColumn(step.column)
                  ? holder->SendNumericComparison(step.column, step.initiator,
                                                  plan.third_party)
                  : holder->SendAlphanumericGrids(step.column, step.initiator,
                                                  plan.third_party);
     case StepKind::kComparisonCollect:
-      return third_party->CollectComparison(step.column, step.initiator,
-                                            step.peer);
+      return step.tiled
+                 ? third_party->CollectComparisonTile(step.column,
+                                                      step.initiator,
+                                                      step.peer,
+                                                      step.row_begin)
+                 : third_party->CollectComparison(step.column, step.initiator,
+                                                  step.peer);
     case StepKind::kComparisonInstall:
-      return third_party->InstallComparison(step.column, step.initiator,
-                                            step.peer);
+      return step.tiled
+                 ? third_party->InstallComparisonTile(
+                       step.column, step.initiator, step.peer, step.row_begin,
+                       step.row_end)
+                 : third_party->InstallComparison(step.column, step.initiator,
+                                                  step.peer);
     case StepKind::kCategoricalTokensSend:
       return holder->SendCategoricalTokens(step.column, plan.third_party);
     case StepKind::kCategoricalTokensReceive:
@@ -621,17 +788,30 @@ Status ScheduleExecutor::RunConcurrent(size_t num_threads) {
 
 Status ScheduleExecutor::RunParty(const Schedule& schedule,
                                   DataHolder* holder) {
+  return RunParty(schedule, holder, 1, kLastPhase);
+}
+
+Status ScheduleExecutor::RunParty(const Schedule& schedule,
+                                  ThirdParty* third_party) {
+  return RunParty(schedule, third_party, 1, kLastPhase);
+}
+
+Status ScheduleExecutor::RunParty(const Schedule& schedule, DataHolder* holder,
+                                  int phase_begin, int phase_end) {
   for (const ScheduleStep& step : schedule.steps()) {
     if (step.actor != holder->name()) continue;
+    if (step.phase < phase_begin || step.phase > phase_end) continue;
     PPC_RETURN_IF_ERROR(ExecuteScheduleStep(schedule, step, holder, nullptr));
   }
   return Status::OK();
 }
 
 Status ScheduleExecutor::RunParty(const Schedule& schedule,
-                                  ThirdParty* third_party) {
+                                  ThirdParty* third_party, int phase_begin,
+                                  int phase_end) {
   for (const ScheduleStep& step : schedule.steps()) {
     if (step.actor != third_party->name()) continue;
+    if (step.phase < phase_begin || step.phase > phase_end) continue;
     PPC_RETURN_IF_ERROR(
         ExecuteScheduleStep(schedule, step, nullptr, third_party));
   }

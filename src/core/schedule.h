@@ -71,6 +71,10 @@ const char* StepKindToString(StepKind kind);
 
 inline constexpr size_t kNoColumn = static_cast<size_t>(-1);
 
+/// Highest paper phase a schedule step can carry (1 = hello .. 6 =
+/// normalize). Phase-bounded executors use it as the open upper bound.
+inline constexpr int kLastPhase = 6;
+
 /// One node of the protocol schedule graph.
 struct ScheduleStep {
   StepKind kind;
@@ -103,6 +107,18 @@ struct ScheduleStep {
   /// Always strictly smaller than the step's own id, so index order is a
   /// topological order.
   std::vector<uint32_t> deps;
+  /// Tiled quadratic phases (Options::tile_size > 0): true when this step
+  /// covers only the actor-row range [row_begin, row_end) of its phase-4
+  /// local matrix or phase-5 comparison payload, instead of the whole
+  /// matrix. Tile steps use the tile entry points of the parties.
+  bool tiled = false;
+  uint64_t row_begin = 0;
+  uint64_t row_end = 0;
+  /// For the one shared `kComparisonReceive` of a tiled batch/alphanumeric
+  /// round: how many downstream tile builds consume the stashed inbound
+  /// masked payload (they run in any order, so the stash is refcounted).
+  /// 0 on every other step.
+  uint32_t shared_uses = 0;
 };
 
 /// The dependency-tracked protocol schedule: one graph, three executors.
@@ -133,6 +149,24 @@ class Schedule {
     /// conservative schedule, kept as an escape hatch (CLI
     /// `--schedule=grouped`); results are bit-identical either way.
     ScheduleGranularity granularity = ScheduleGranularity::kFine;
+    /// Row-tile height for phases 4-5 (ProtocolConfig::tile_size). 0 keeps
+    /// the whole-matrix steps. A positive value splits every local-matrix
+    /// and comparison round into per-tile build/send/collect/install steps
+    /// over row ranges of at most `tile_size` rows, so the third party
+    /// unmasks early tiles while later ones are still in flight. Requires
+    /// `holder_objects`.
+    size_t tile_size = 0;
+    /// Masking mode of the run (ProtocolConfig::masking_mode). Only
+    /// consulted when tiling: the per-pair protocol's initiator payload is
+    /// itself row-tiled (one masked tile per fresh tile generator), while
+    /// the batch initiator ships one whole masked vector that every tile
+    /// build shares.
+    MaskingMode masking = MaskingMode::kBatch;
+    /// Object count of each holder, parallel to `plan.holder_order`.
+    /// Required when tile_size > 0 (tile boundaries are part of the graph);
+    /// ignored otherwise. Every process of a distributed run learns these
+    /// counts from the phase-1 roster, so all build the identical graph.
+    std::vector<uint64_t> holder_objects;
   };
 
   /// Builds the schedule graph for `plan` over `schema`. Fails if the plan
@@ -203,6 +237,19 @@ class ScheduleExecutor {
   /// send that is globally earlier — no wait cycle is possible.
   static Status RunParty(const Schedule& schedule, DataHolder* holder);
   static Status RunParty(const Schedule& schedule, ThirdParty* third_party);
+
+  /// Same, restricted to steps whose phase lies in [phase_begin, phase_end].
+  /// Tiled distributed runs use this split: phases 1-3 are identical in
+  /// tiled and untiled graphs (tiling only reshapes phases 4-5), so a
+  /// process runs setup from the untiled graph, learns every holder's
+  /// object count from the roster, builds the tiled graph those counts
+  /// determine, and resumes from phase 4 there. Canonical order lists the
+  /// phases in ascending order, so the two half-runs concatenate into
+  /// exactly the tiled graph's per-party projection.
+  static Status RunParty(const Schedule& schedule, DataHolder* holder,
+                         int phase_begin, int phase_end);
+  static Status RunParty(const Schedule& schedule, ThirdParty* third_party,
+                         int phase_begin, int phase_end);
 
  private:
   Status ExecuteStep(const ScheduleStep& step) const;

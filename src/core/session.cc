@@ -87,6 +87,16 @@ Status ClusteringSession::RunSchedule(bool concurrent, size_t num_threads) {
 
   Schedule::Options options;
   options.granularity = config_.schedule_granularity;
+  options.tile_size = config_.tile_size;
+  options.masking = config_.masking_mode;
+  if (config_.tile_size > 0) {
+    // Tile boundaries are part of the graph; in-process the object counts
+    // are simply the holders' own (what phase 1 would announce).
+    options.holder_objects.reserve(holders_.size());
+    for (DataHolder* holder : holders_) {
+      options.holder_objects.push_back(holder->NumObjects());
+    }
+  }
   PPC_ASSIGN_OR_RETURN(Schedule schedule,
                        Schedule::Build(plan, schema_, options));
 

@@ -13,6 +13,7 @@
 #include "core/topics.h"
 #include "crypto/bigint.h"
 #include "crypto/hmac.h"
+#include "distance/kernels.h"
 
 namespace ppc {
 
@@ -32,6 +33,15 @@ std::string AlnumLabel(size_t column, const std::string& initiator,
   return "alnum:" + std::to_string(column) + ":" + initiator + ":" +
          responder;
 }
+
+// Tile-qualified PRNG label — must mirror the data holders' derivation for
+// per-pair tile streams.
+std::string TileSuffix(uint64_t row_begin) {
+  return ":t" + std::to_string(row_begin);
+}
+
+/// Packed strictly-lower-triangle cells strictly above row `r`.
+size_t CellsBeforeRow(size_t r) { return r * (r - 1) / 2; }
 
 }  // namespace
 
@@ -217,28 +227,59 @@ Status ThirdParty::InstallNumericPayload(const std::string& payload,
     return Status::ProtocolViolation("unknown masking mode tag");
   }
 
+  FillNumericBlock(column, responder_entry->offset, initiator_entry->offset,
+                   distances, rows, cols);
+  InvalidateMergedCache();
+  return Status::OK();
+}
+
+void ThirdParty::FillNumericBlock(size_t column, size_t global_row_begin,
+                                  size_t initiator_offset,
+                                  const std::vector<uint64_t>& distances,
+                                  size_t rows, size_t cols) {
   const bool is_real = schema_.attribute(column).type == AttributeType::kReal;
+  // Decode is a single multiply by the codec's inverse scale; Decode(1)
+  // recovers that factor exactly.
+  const double inverse_scale = real_codec_.Decode(1);
   DissimilarityMatrix& global = attribute_matrices_[column];
-  // Each (m, n) writes a distinct cell of the off-diagonal block, so the
-  // fill splits cleanly across threads.
+  double* packed = global.MutablePackedCells();
+  // When every cell of the block sits below the diagonal in (responder,
+  // initiator) orientation, each distance row lands on a contiguous run of
+  // the packed triangle and the u64 -> double row kernel writes it
+  // directly. Otherwise (responder roster-ordered before the initiator) the
+  // packed slots are a triangle *column*, so convert through a row buffer
+  // and scatter. Each (m, n) writes a distinct cell either way, so the fill
+  // splits cleanly across threads.
+  const bool contiguous = global_row_begin >= initiator_offset + cols;
   ThreadPool::ParallelFor(
       rows, config_.num_threads,
       [&](size_t row_begin, size_t row_end) {
+        std::vector<double> buffer;
+        if (!contiguous) buffer.resize(cols);
         for (size_t m = row_begin; m < row_end; ++m) {
-          for (uint64_t n = 0; n < cols; ++n) {
-            double distance =
-                is_real
-                    ? real_codec_.Decode(
-                          static_cast<int64_t>(distances[m * cols + n]))
-                    : static_cast<double>(distances[m * cols + n]);
-            global.set(responder_entry->offset + m,
-                       initiator_entry->offset + n, distance);
+          const uint64_t* src = distances.data() + m * cols;
+          double* dst;
+          if (contiguous) {
+            const size_t r = global_row_begin + m;
+            dst = packed + r * (r - 1) / 2 + initiator_offset;
+          } else {
+            dst = buffer.data();
+          }
+          if (is_real) {
+            DistanceKernels::U64ToDoubleScaledRow(src, inverse_scale, dst,
+                                                  cols);
+          } else {
+            DistanceKernels::U64ToDoubleRow(src, dst, cols);
+          }
+          if (!contiguous) {
+            for (size_t n = 0; n < cols; ++n) {
+              global.set(global_row_begin + m, initiator_offset + n,
+                         buffer[n]);
+            }
           }
         }
       },
       /*min_items=*/128);
-  InvalidateMergedCache();
-  return Status::OK();
 }
 
 Status ThirdParty::ReceiveAlphanumericGrids(const std::string& responder) {
@@ -337,7 +378,7 @@ Status ThirdParty::CollectComparison(size_t column,
   PPC_ASSIGN_OR_RETURN(Message msg,
                        network_->Receive(name_, responder, topic));
   MutexLock lock(pending_mutex_);
-  pending_comparisons_[{column, initiator, responder}] =
+  pending_comparisons_[{column, initiator, responder, 0}] =
       std::move(msg.payload);
   return Status::OK();
 }
@@ -348,7 +389,7 @@ Status ThirdParty::InstallComparison(size_t column,
   std::string payload;
   {
     MutexLock lock(pending_mutex_);
-    auto it = pending_comparisons_.find({column, initiator, responder});
+    auto it = pending_comparisons_.find({column, initiator, responder, 0});
     if (it == pending_comparisons_.end()) {
       return Status::FailedPrecondition(
           "no collected comparison payload for attribute " +
@@ -363,6 +404,271 @@ Status ThirdParty::InstallComparison(size_t column,
   return IsNumericType(schema_.attribute(column).type)
              ? InstallNumericPayload(payload, responder, expected)
              : InstallAlphanumericPayload(payload, responder, expected);
+}
+
+Result<uint64_t> ThirdParty::RosterCount(const std::string& holder) const {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* entry, FindRosterEntry(holder));
+  return entry->count;
+}
+
+Status ThirdParty::ReceiveLocalMatrixTile(const std::string& holder) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* entry, FindRosterEntry(holder));
+  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, holder,
+                                                      topics::kLocalMatrix));
+  ByteReader reader(msg.payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
+  PPC_ASSIGN_OR_RETURN(uint64_t n, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t row_begin, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t row_end, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(std::vector<double> cells, reader.ReadF64Vector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  if (column >= schema_.size()) {
+    return Status::ProtocolViolation("local matrix for unknown attribute " +
+                                     std::to_string(column));
+  }
+  if (schema_.attribute(column).type == AttributeType::kCategorical) {
+    return Status::ProtocolViolation(
+        "categorical attributes have no local matrices");
+  }
+  if (n != entry->count) {
+    return Status::ProtocolViolation(
+        "local matrix has " + std::to_string(n) + " objects, roster says " +
+        std::to_string(entry->count));
+  }
+  if (row_begin > row_end || row_end > n) {
+    return Status::ProtocolViolation("local matrix tile row range [" +
+                                     std::to_string(row_begin) + ", " +
+                                     std::to_string(row_end) +
+                                     ") out of range");
+  }
+  if (cells.size() != CellsBeforeRow(row_end) - CellsBeforeRow(row_begin)) {
+    return Status::ProtocolViolation("local matrix tile cell count mismatch");
+  }
+
+  DissimilarityMatrix& global = attribute_matrices_[column];
+  size_t c = 0;
+  for (uint64_t i = row_begin; i < row_end; ++i) {
+    for (uint64_t j = 0; j < i; ++j) {
+      global.set(entry->offset + i, entry->offset + j, cells[c++]);
+    }
+  }
+  InvalidateMergedCache();
+  return Status::OK();
+}
+
+Status ThirdParty::CollectComparisonTile(size_t column,
+                                         const std::string& initiator,
+                                         const std::string& responder,
+                                         uint64_t row_begin) {
+  if (column >= schema_.size()) {
+    return Status::InvalidArgument("attribute " + std::to_string(column) +
+                                   " out of range");
+  }
+  const AttributeType type = schema_.attribute(column).type;
+  if (type == AttributeType::kCategorical) {
+    return Status::InvalidArgument(
+        "categorical attributes have no comparison rounds");
+  }
+  const char* topic = IsNumericType(type) ? topics::kNumericComparison
+                                          : topics::kAlnumGrids;
+  PPC_ASSIGN_OR_RETURN(Message msg,
+                       network_->Receive(name_, responder, topic));
+  MutexLock lock(pending_mutex_);
+  pending_comparisons_[{column, initiator, responder, row_begin}] =
+      std::move(msg.payload);
+  return Status::OK();
+}
+
+Status ThirdParty::InstallComparisonTile(size_t column,
+                                         const std::string& initiator,
+                                         const std::string& responder,
+                                         uint64_t row_begin,
+                                         uint64_t row_end) {
+  std::string payload;
+  {
+    MutexLock lock(pending_mutex_);
+    auto it =
+        pending_comparisons_.find({column, initiator, responder, row_begin});
+    if (it == pending_comparisons_.end()) {
+      return Status::FailedPrecondition(
+          "no collected comparison tile for attribute " +
+          std::to_string(column) + ", pair " + initiator + "/" + responder +
+          ", rows from " + std::to_string(row_begin));
+    }
+    payload = std::move(it->second);
+    pending_comparisons_.erase(it);
+  }
+  return IsNumericType(schema_.attribute(column).type)
+             ? InstallNumericTilePayload(payload, responder, column, initiator,
+                                         row_begin, row_end)
+             : InstallAlphanumericTilePayload(payload, responder, column,
+                                              initiator, row_begin, row_end);
+}
+
+Status ThirdParty::InstallNumericTilePayload(const std::string& payload,
+                                             const std::string& responder,
+                                             size_t column,
+                                             const std::string& initiator,
+                                             uint64_t row_begin,
+                                             uint64_t row_end) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
+                       FindRosterEntry(responder));
+  ByteReader reader(payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+  PPC_ASSIGN_OR_RETURN(std::string declared_initiator, reader.ReadBytes());
+  PPC_ASSIGN_OR_RETURN(uint8_t mode_tag, reader.ReadU8());
+  PPC_ASSIGN_OR_RETURN(uint64_t declared_begin, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t declared_end, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(std::vector<uint64_t> cells, reader.ReadU64Vector());
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  if (attr != column) {
+    return Status::ProtocolViolation(
+        "responder sent attribute " + std::to_string(attr) +
+        ", the schedule expects " + std::to_string(column));
+  }
+  if (declared_initiator != initiator) {
+    return Status::ProtocolViolation("responder echoed initiator '" +
+                                     declared_initiator +
+                                     "', the schedule expects '" + initiator +
+                                     "'");
+  }
+  if (declared_begin != row_begin || declared_end != row_end) {
+    return Status::ProtocolViolation(
+        "comparison tile covers rows [" + std::to_string(declared_begin) +
+        ", " + std::to_string(declared_end) + "), the schedule expects [" +
+        std::to_string(row_begin) + ", " + std::to_string(row_end) + ")");
+  }
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* initiator_entry,
+                       FindRosterEntry(initiator));
+  if (column >= schema_.size() ||
+      !IsNumericType(schema_.attribute(column).type)) {
+    return Status::ProtocolViolation("comparison matrix for non-numeric "
+                                     "attribute " + std::to_string(column));
+  }
+  if (row_begin > row_end || row_end > responder_entry->count ||
+      cols != initiator_entry->count) {
+    return Status::ProtocolViolation("comparison tile shape mismatch");
+  }
+  const uint64_t rows = row_end - row_begin;
+  if (cells.size() != rows * cols) {
+    return Status::ProtocolViolation("comparison tile cell count mismatch");
+  }
+
+  std::vector<uint64_t> distances;
+  if (mode_tag == static_cast<uint8_t>(MaskingMode::kBatch)) {
+    // Batch tiles share the column's mask stream: every row strips the same
+    // hoisted prefix, so a row slice recovers exactly like the whole matrix.
+    const std::string label = NumericLabel(column, initiator, responder);
+    PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                         HolderPrng(initiator, label));
+    PPC_ASSIGN_OR_RETURN(distances,
+                         NumericProtocol::RecoverDistances(
+                             cells, rows, cols, rng_jt.get(),
+                             config_.num_threads));
+  } else if (mode_tag == static_cast<uint8_t>(MaskingMode::kPerPair)) {
+    // Per-pair tiles each carry an independent, tile-labelled mask stream.
+    const std::string label =
+        NumericLabel(column, initiator, responder) + TileSuffix(row_begin);
+    PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                         HolderPrng(initiator, label));
+    PPC_ASSIGN_OR_RETURN(distances, NumericProtocol::RecoverDistancesPerPair(
+                                        cells, rows, cols, rng_jt.get()));
+  } else {
+    return Status::ProtocolViolation("unknown masking mode tag");
+  }
+
+  FillNumericBlock(column, responder_entry->offset + row_begin,
+                   initiator_entry->offset, distances, rows, cols);
+  InvalidateMergedCache();
+  return Status::OK();
+}
+
+Status ThirdParty::InstallAlphanumericTilePayload(const std::string& payload,
+                                                  const std::string& responder,
+                                                  size_t column,
+                                                  const std::string& initiator,
+                                                  uint64_t row_begin,
+                                                  uint64_t row_end) {
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* responder_entry,
+                       FindRosterEntry(responder));
+  ByteReader reader(payload);
+  PPC_ASSIGN_OR_RETURN(uint32_t attr, reader.ReadU32());
+  PPC_ASSIGN_OR_RETURN(std::string declared_initiator, reader.ReadBytes());
+  PPC_ASSIGN_OR_RETURN(uint64_t declared_begin, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t declared_end, reader.ReadU64());
+  PPC_ASSIGN_OR_RETURN(uint64_t initiator_count, reader.ReadU64());
+
+  if (attr != column) {
+    return Status::ProtocolViolation(
+        "responder sent attribute " + std::to_string(attr) +
+        ", the schedule expects " + std::to_string(column));
+  }
+  if (declared_initiator != initiator) {
+    return Status::ProtocolViolation("responder echoed initiator '" +
+                                     declared_initiator +
+                                     "', the schedule expects '" + initiator +
+                                     "'");
+  }
+  if (declared_begin != row_begin || declared_end != row_end) {
+    return Status::ProtocolViolation(
+        "grid tile covers rows [" + std::to_string(declared_begin) + ", " +
+        std::to_string(declared_end) + "), the schedule expects [" +
+        std::to_string(row_begin) + ", " + std::to_string(row_end) + ")");
+  }
+  PPC_ASSIGN_OR_RETURN(const RosterEntry* initiator_entry,
+                       FindRosterEntry(initiator));
+  if (column >= schema_.size() ||
+      schema_.attribute(column).type != AttributeType::kAlphanumeric) {
+    return Status::ProtocolViolation("grids for non-alphanumeric attribute " +
+                                     std::to_string(column));
+  }
+  if (row_begin > row_end || row_end > responder_entry->count ||
+      initiator_count != initiator_entry->count) {
+    return Status::ProtocolViolation("grid tile shape mismatch");
+  }
+  const uint64_t rows = row_end - row_begin;
+
+  std::vector<AlphanumericProtocol::MaskedGrid> grids;
+  grids.reserve(rows * initiator_count);
+  for (uint64_t g = 0; g < rows * initiator_count; ++g) {
+    AlphanumericProtocol::MaskedGrid grid;
+    PPC_ASSIGN_OR_RETURN(uint32_t rlen, reader.ReadU32());
+    PPC_ASSIGN_OR_RETURN(uint32_t ilen, reader.ReadU32());
+    PPC_ASSIGN_OR_RETURN(std::string_view cells, reader.ReadBytesView());
+    if (cells.size() != size_t{rlen} * ilen) {
+      return Status::ProtocolViolation("grid cell count mismatch");
+    }
+    grid.responder_length = rlen;
+    grid.initiator_length = ilen;
+    grid.cells.assign(cells.begin(), cells.end());
+    grids.push_back(std::move(grid));
+  }
+  PPC_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  // The decode prefix is per-row (Fig. 10), so every tile shares the
+  // column's mask stream — same label as the whole-matrix round.
+  const std::string label = AlnumLabel(column, initiator, responder);
+  PPC_ASSIGN_OR_RETURN(std::unique_ptr<Prng> rng_jt,
+                       HolderPrng(initiator, label));
+  PPC_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> distances,
+      AlphanumericProtocol::RecoverDistances(grids, rows, initiator_count,
+                                             config_.alphabet, rng_jt.get(),
+                                             config_.num_threads));
+
+  DissimilarityMatrix& global = attribute_matrices_[column];
+  for (uint64_t m = 0; m < rows; ++m) {
+    for (uint64_t n = 0; n < initiator_count; ++n) {
+      global.set(responder_entry->offset + row_begin + m,
+                 initiator_entry->offset + n,
+                 static_cast<double>(distances[m * initiator_count + n]));
+    }
+  }
+  InvalidateMergedCache();
+  return Status::OK();
 }
 
 Status ThirdParty::ReceiveCategoricalTokens(const std::string& holder) {

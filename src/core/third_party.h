@@ -90,6 +90,37 @@ class ThirdParty {
   Status InstallComparison(size_t column, const std::string& initiator,
                            const std::string& responder);
 
+  // -- Tiled collection (tile_size > 0 schedules) ----------------------------
+  // Row-range variants: each message carries triangle or block rows
+  // [row_begin, row_end) of one attribute's payload, so early tiles install
+  // while holders still compute later ones and peak memory per in-flight
+  // payload is O(tile x row length). Final matrices are bit-identical to
+  // the whole-matrix steps at any tiling.
+
+  /// Receives one local-matrix tile from `holder` and installs its rows on
+  /// the diagonal block of the attribute matrix.
+  Status ReceiveLocalMatrixTile(const std::string& holder);
+
+  /// Receives the next comparison tile of `responder` — the schedule says
+  /// attribute `column`, `initiator`, rows from `row_begin` — and stashes
+  /// it under that tile key.
+  Status CollectComparisonTile(size_t column, const std::string& initiator,
+                               const std::string& responder,
+                               uint64_t row_begin);
+
+  /// Unmasks and installs the stashed comparison tile for (`column`,
+  /// `initiator`, `responder`, rows [row_begin, row_end)).
+  Status InstallComparisonTile(size_t column, const std::string& initiator,
+                               const std::string& responder,
+                               uint64_t row_begin, uint64_t row_end);
+
+  /// Object count of `holder` from the roster (available after
+  /// ReceiveHellos; schedule drivers consult it to build tiled graphs).
+  Result<uint64_t> RosterCount(const std::string& holder) const;
+
+  /// The protocol configuration this party runs with.
+  const ProtocolConfig& config() const { return config_; }
+
   /// Receives one holder's deterministic tokens for categorical attribute
   /// `column` (Sec. 4.3).
   Status ReceiveCategoricalTokens(const std::string& holder);
@@ -147,6 +178,25 @@ class ThirdParty {
   Status InstallAlphanumericPayload(const std::string& payload,
                                     const std::string& responder,
                                     const Expected& expected);
+  Status InstallNumericTilePayload(const std::string& payload,
+                                   const std::string& responder, size_t column,
+                                   const std::string& initiator,
+                                   uint64_t row_begin, uint64_t row_end);
+  Status InstallAlphanumericTilePayload(const std::string& payload,
+                                        const std::string& responder,
+                                        size_t column,
+                                        const std::string& initiator,
+                                        uint64_t row_begin, uint64_t row_end);
+
+  /// Writes one recovered-distance block into attribute `column`'s global
+  /// matrix: `distances` is `rows` x `cols`, its (m, n) landing at global
+  /// pair (global_row_begin + m, initiator_offset + n). Real attributes are
+  /// decoded through the fixed-point codec; the u64 -> double conversions
+  /// run on the SIMD-dispatched row kernels.
+  void FillNumericBlock(size_t column, size_t global_row_begin,
+                        size_t initiator_offset,
+                        const std::vector<uint64_t>& distances, size_t rows,
+                        size_t cols);
   Result<ClusteringOutcome> RunClustering(const ClusterRequest& request);
   ObjectRef RefForGlobalIndex(size_t global_index) const;
 
@@ -183,10 +233,11 @@ class ThirdParty {
       GUARDED_BY(merged_cache_mutex_);
 
   // Comparison payloads staged between CollectComparison and
-  // InstallComparison, keyed by (column, initiator, responder). Collects
-  // on different channels run concurrently, hence the mutex.
+  // InstallComparison, keyed by (column, initiator, responder, row_begin) —
+  // whole-matrix rounds use row_begin 0. Collects on different channels run
+  // concurrently, hence the mutex.
   mutable Mutex pending_mutex_;
-  std::map<std::tuple<size_t, std::string, std::string>, std::string>
+  std::map<std::tuple<size_t, std::string, std::string, uint64_t>, std::string>
       pending_comparisons_ GUARDED_BY(pending_mutex_);
 };
 

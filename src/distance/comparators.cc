@@ -1,42 +1,145 @@
 #include "distance/comparators.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/thread_pool.h"
 #include "distance/edit_distance.h"
+#include "distance/kernels.h"
 
 namespace ppc {
 
 namespace {
 
-/// Runs `cell(i, j)` over the strictly-lower triangle of an n-object
-/// matrix, splitting the *cells* (not rows — triangle rows grow linearly,
-/// so equal row counts would leave the last chunk with ~2x the work)
-/// across `num_threads`. Each (i, j) cell is an independent pure
-/// computation, so the chunking cannot change the result.
-template <typename CellFn>
-void FillLowerTriangle(size_t n, size_t num_threads, DissimilarityMatrix* d,
-                       CellFn cell) {
-  const size_t total = n < 2 ? 0 : n * (n - 1) / 2;
-  ThreadPool::ParallelFor(
-      total, num_threads,
-      [&](size_t begin, size_t end) {
-        // Packed cell c lives in row i iff i(i-1)/2 <= c < i(i+1)/2; seed
-        // (i, j) from the quadratic root, correct for rounding, then walk.
-        size_t i = static_cast<size_t>(
-            (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(begin))) / 2.0);
-        while (i > 1 && i * (i - 1) / 2 > begin) --i;
-        while ((i + 1) * i / 2 <= begin) ++i;
-        size_t j = begin - i * (i - 1) / 2;
-        for (size_t c = begin; c < end; ++c) {
-          d->set(i, j, cell(i, j));
-          if (++j == i) {
-            ++i;
-            j = 0;
-          }
-        }
-      },
-      /*min_items=*/4096);
+/// Number of packed strictly-lower-triangle cells strictly above row `r`:
+/// rows 0..r-1 hold 0 + 1 + ... + (r-1) = r(r-1)/2 cells.
+size_t CellsBeforeRow(size_t r) { return r * (r - 1) / 2; }
+
+/// Walks packed cells [cell_begin, cell_end) of the strict lower triangle,
+/// invoking `row_fn(i, j_begin, j_end, out_row)` once per maximal per-row
+/// segment — row i's cells are (i, 0) .. (i, i-1) — where `out_row` points
+/// at the output slot of cell (i, j_begin). `out` is the output slot of
+/// `cell_begin` itself, so callers can hand in a slice that starts mid-
+/// triangle.
+template <typename RowFn>
+void ForEachPackedRowSegment(size_t cell_begin, size_t cell_end, double* out,
+                             RowFn row_fn) {
+  // Packed cell c lives in row i iff i(i-1)/2 <= c < i(i+1)/2; seed i from
+  // the quadratic root, correct for rounding, then walk.
+  size_t i = static_cast<size_t>(
+      (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(cell_begin))) / 2.0);
+  while (i > 1 && i * (i - 1) / 2 > cell_begin) --i;
+  while ((i + 1) * i / 2 <= cell_begin) ++i;
+  size_t j = cell_begin - CellsBeforeRow(i);
+  size_t c = cell_begin;
+  while (c < cell_end) {
+    const size_t segment = std::min(cell_end - c, i - j);
+    row_fn(i, j, j + segment, out + (c - cell_begin));
+    c += segment;
+    j += segment;
+    if (j == i) {
+      ++i;
+      j = 0;
+    }
+  }
+}
+
+/// Fills the packed cells of triangle rows [row_begin, row_end) for
+/// attribute `column`, writing to `out` (which points at the slot of packed
+/// cell row_begin(row_begin-1)/2). Splits the *cells* (not rows — triangle
+/// rows grow linearly, so equal row counts would leave the last chunk with
+/// ~2x the work) across `num_threads`; every cell is a pure computation, so
+/// the chunking cannot change the result. Numeric rows go through the
+/// SIMD-dispatched row kernels (distance/kernels.h).
+Status FillPackedRows(const DataMatrix& data, size_t column,
+                      const FixedPointCodec& real_codec, size_t row_begin,
+                      size_t row_end, size_t num_threads, double* out) {
+  const size_t cell_begin = CellsBeforeRow(row_begin);
+  const size_t cell_end = CellsBeforeRow(row_end);
+  const size_t total = cell_end - cell_begin;
+  const AttributeType type = data.schema().attribute(column).type;
+
+  switch (type) {
+    case AttributeType::kInteger: {
+      PPC_ASSIGN_OR_RETURN(std::vector<int64_t> values,
+                           data.IntegerColumn(column));
+      ThreadPool::ParallelFor(
+          total, num_threads,
+          [&](size_t begin, size_t end) {
+            ForEachPackedRowSegment(
+                cell_begin + begin, cell_begin + end, out + begin,
+                [&](size_t i, size_t j_begin, size_t j_end, double* row_out) {
+                  DistanceKernels::AbsDiffRow(values[i],
+                                              values.data() + j_begin,
+                                              row_out, j_end - j_begin);
+                });
+          },
+          /*min_items=*/4096);
+      return Status::OK();
+    }
+    case AttributeType::kReal: {
+      PPC_ASSIGN_OR_RETURN(std::vector<double> raw, data.RealColumn(column));
+      std::vector<int64_t> values;
+      values.reserve(raw.size());
+      for (double v : raw) {
+        PPC_ASSIGN_OR_RETURN(int64_t encoded, real_codec.Encode(v));
+        values.push_back(encoded);
+      }
+      // Decode is a single multiply by the codec's inverse scale;
+      // Decode(1) recovers that factor exactly.
+      const double inverse_scale = real_codec.Decode(1);
+      ThreadPool::ParallelFor(
+          total, num_threads,
+          [&](size_t begin, size_t end) {
+            ForEachPackedRowSegment(
+                cell_begin + begin, cell_begin + end, out + begin,
+                [&](size_t i, size_t j_begin, size_t j_end, double* row_out) {
+                  DistanceKernels::AbsDiffScaledRow(
+                      values[i], values.data() + j_begin, inverse_scale,
+                      row_out, j_end - j_begin);
+                });
+          },
+          /*min_items=*/4096);
+      return Status::OK();
+    }
+    case AttributeType::kCategorical: {
+      PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
+                           data.StringColumn(column));
+      ThreadPool::ParallelFor(
+          total, num_threads,
+          [&](size_t begin, size_t end) {
+            ForEachPackedRowSegment(
+                cell_begin + begin, cell_begin + end, out + begin,
+                [&](size_t i, size_t j_begin, size_t j_end, double* row_out) {
+                  for (size_t j = j_begin; j < j_end; ++j) {
+                    row_out[j - j_begin] =
+                        Comparators::CategoricalDistance(values[i], values[j]);
+                  }
+                });
+          },
+          /*min_items=*/4096);
+      return Status::OK();
+    }
+    case AttributeType::kAlphanumeric: {
+      PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
+                           data.StringColumn(column));
+      ThreadPool::ParallelFor(
+          total, num_threads,
+          [&](size_t begin, size_t end) {
+            ForEachPackedRowSegment(
+                cell_begin + begin, cell_begin + end, out + begin,
+                [&](size_t i, size_t j_begin, size_t j_end, double* row_out) {
+                  for (size_t j = j_begin; j < j_end; ++j) {
+                    row_out[j - j_begin] = Comparators::AlphanumericDistance(
+                        values[i], values[j]);
+                  }
+                });
+          },
+          /*min_items=*/4096);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable attribute type");
 }
 
 }  // namespace
@@ -67,49 +170,30 @@ Result<DissimilarityMatrix> LocalDissimilarity::Build(
   }
   const size_t n = data.NumRows();
   DissimilarityMatrix d(n);
-  const AttributeType type = data.schema().attribute(column).type;
+  PPC_RETURN_IF_ERROR(FillPackedRows(data, column, real_codec, 0, n,
+                                     num_threads, d.MutablePackedCells()));
+  return d;
+}
 
-  switch (type) {
-    case AttributeType::kInteger: {
-      PPC_ASSIGN_OR_RETURN(std::vector<int64_t> values,
-                           data.IntegerColumn(column));
-      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
-        return Comparators::NumericDistance(values[i], values[j]);
-      });
-      return d;
-    }
-    case AttributeType::kReal: {
-      PPC_ASSIGN_OR_RETURN(std::vector<double> raw, data.RealColumn(column));
-      std::vector<int64_t> values;
-      values.reserve(raw.size());
-      for (double v : raw) {
-        PPC_ASSIGN_OR_RETURN(int64_t encoded, real_codec.Encode(v));
-        values.push_back(encoded);
-      }
-      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
-        return real_codec.Decode(static_cast<int64_t>(
-            Comparators::NumericDistance(values[i], values[j])));
-      });
-      return d;
-    }
-    case AttributeType::kCategorical: {
-      PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
-                           data.StringColumn(column));
-      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
-        return Comparators::CategoricalDistance(values[i], values[j]);
-      });
-      return d;
-    }
-    case AttributeType::kAlphanumeric: {
-      PPC_ASSIGN_OR_RETURN(std::vector<std::string> values,
-                           data.StringColumn(column));
-      FillLowerTriangle(n, num_threads, &d, [&](size_t i, size_t j) {
-        return Comparators::AlphanumericDistance(values[i], values[j]);
-      });
-      return d;
-    }
+Result<std::vector<double>> LocalDissimilarity::BuildRows(
+    const DataMatrix& data, size_t column, const FixedPointCodec& real_codec,
+    size_t row_begin, size_t row_end, size_t num_threads) {
+  if (column >= data.NumColumns()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
   }
-  return Status::Internal("unreachable attribute type");
+  const size_t n = data.NumRows();
+  if (row_begin > row_end || row_end > n) {
+    return Status::OutOfRange("row range [" + std::to_string(row_begin) +
+                              ", " + std::to_string(row_end) +
+                              ") out of range for " + std::to_string(n) +
+                              " objects");
+  }
+  std::vector<double> cells(CellsBeforeRow(row_end) -
+                            CellsBeforeRow(row_begin));
+  PPC_RETURN_IF_ERROR(FillPackedRows(data, column, real_codec, row_begin,
+                                     row_end, num_threads, cells.data()));
+  return cells;
 }
 
 Result<std::vector<DissimilarityMatrix>> LocalDissimilarity::BuildAll(

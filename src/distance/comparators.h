@@ -51,6 +51,16 @@ class LocalDissimilarity {
                                            const FixedPointCodec& real_codec,
                                            size_t num_threads = 1);
 
+  /// Builds only triangle rows [row_begin, row_end) of the matrix for
+  /// attribute `column` — one tile of the tiled phase-4 pipeline. Returns
+  /// the packed strictly-lower-triangle cells of those rows, i.e. packed
+  /// indices [r0(r0-1)/2, r1(r1-1)/2), bit-identical to the same slice of
+  /// `Build(...)` at any tiling or thread count. Peak memory is O(rows in
+  /// the tile x row length) instead of O(n^2).
+  static Result<std::vector<double>> BuildRows(
+      const DataMatrix& data, size_t column, const FixedPointCodec& real_codec,
+      size_t row_begin, size_t row_end, size_t num_threads = 1);
+
   /// Builds matrices for every attribute of `data`, in schema order.
   static Result<std::vector<DissimilarityMatrix>> BuildAll(
       const DataMatrix& data, const FixedPointCodec& real_codec,

@@ -65,6 +65,12 @@ class DissimilarityMatrix {
   /// The packed strictly-lower-triangle cells, row-major (serialization).
   const std::vector<double>& packed_cells() const { return cells_; }
 
+  /// Mutable base pointer into the packed cells: row i of the strict lower
+  /// triangle occupies [i(i-1)/2, i(i+1)/2). The distance row kernels
+  /// (distance/kernels.h) write whole rows through this instead of per-cell
+  /// set() calls.
+  double* MutablePackedCells() { return cells_.data(); }
+
   /// Rebuilds a matrix from `packed_cells()` output. `cells` must have
   /// exactly n(n-1)/2 entries.
   static Result<DissimilarityMatrix> FromPacked(size_t num_objects,

@@ -37,6 +37,12 @@ class CharComparisonMatrix {
     cells_[i * target_length_ + j] = value;
   }
 
+  /// Mutable pointer to row `i` (target_length() cells) — the CCM decode
+  /// kernel (distance/kernels.h) writes whole rows. data() arithmetic, not
+  /// operator[]: a zero-length row of an empty grid is a valid (null,
+  /// never-dereferenced) row pointer.
+  uint8_t* MutableRow(size_t i) { return cells_.data() + i * target_length_; }
+
   friend bool operator==(const CharComparisonMatrix& a,
                          const CharComparisonMatrix& b) = default;
 

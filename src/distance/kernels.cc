@@ -1,0 +1,384 @@
+#include "distance/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define PPC_KERNELS_HAVE_AVX2 1
+#endif
+
+namespace ppc {
+
+namespace {
+
+std::atomic<int> g_pin{-1};
+
+bool ScalarForced() {
+  const char* env = std::getenv("PPC_FORCE_SCALAR_KERNELS");
+  if (env == nullptr) return false;
+  // Any value but an explicit "0" (and the empty string) forces scalar.
+  return env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+DistanceKernels::Kernel DetectKernel() {
+  if (ScalarForced()) return DistanceKernels::Kernel::kScalar;
+  return DistanceKernels::Avx2Supported() ? DistanceKernels::Kernel::kAvx2
+                                          : DistanceKernels::Kernel::kScalar;
+}
+
+// -- Scalar reference rows ----------------------------------------------------
+// These are the semantics; the AVX2 rows below must match them bit for bit
+// (the conformance suite pins each kernel over adversarial inputs).
+
+void AddSignedRowScalar(const uint64_t* masked, const uint64_t* negate_mask,
+                        uint64_t value, uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    // (v ^ m) - m is v when m == 0 and -v (ring negation) when m == ~0.
+    out[i] = masked[i] + ((value ^ negate_mask[i]) - negate_mask[i]);
+  }
+}
+
+void SubAbsRowScalar(const uint64_t* cells, const uint64_t* masks,
+                     uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t d = cells[i] - masks[i];
+    // Sign-extend the top bit; (d ^ s) - s = |d| as a signed ring element,
+    // exactly NumericProtocol::AbsFromRing (incl. d = INT64_MIN).
+    uint64_t s = static_cast<uint64_t>(
+        -static_cast<int64_t>(d >> 63));
+    out[i] = (d ^ s) - s;
+  }
+}
+
+inline uint64_t AbsDiffU64(int64_t x, int64_t y) {
+  uint64_t ux = static_cast<uint64_t>(x);
+  uint64_t uy = static_cast<uint64_t>(y);
+  return x >= y ? ux - uy : uy - ux;
+}
+
+void AbsDiffRowScalar(int64_t value, const int64_t* values, double* out,
+                      size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = static_cast<double>(AbsDiffU64(value, values[j]));
+  }
+}
+
+void AbsDiffScaledRowScalar(int64_t value, const int64_t* values, double scale,
+                            double* out, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = static_cast<double>(AbsDiffU64(value, values[j])) * scale;
+  }
+}
+
+void U64ToDoubleRowScalar(const uint64_t* in, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(in[i]);
+}
+
+void U64ToDoubleScaledRowScalar(const uint64_t* in, double scale, double* out,
+                                size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(in[i]) * scale;
+}
+
+void SubModRowScalar(const uint8_t* masked, uint8_t own_symbol,
+                     uint8_t wrap_add, uint8_t* out, size_t n) {
+  for (size_t p = 0; p < n; ++p) {
+    uint8_t d = static_cast<uint8_t>(masked[p] - own_symbol);
+    if (masked[p] < own_symbol) d = static_cast<uint8_t>(d + wrap_add);
+    out[p] = d;
+  }
+}
+
+void NotEqualRowScalar(const uint8_t* cells, const uint8_t* masks,
+                       uint8_t* out, size_t n) {
+  for (size_t p = 0; p < n; ++p) out[p] = cells[p] == masks[p] ? 0 : 1;
+}
+
+// -- AVX2 rows ----------------------------------------------------------------
+
+#if defined(PPC_KERNELS_HAVE_AVX2)
+
+__attribute__((target("avx2"))) void AddSignedRowAvx2(
+    const uint64_t* masked, const uint64_t* negate_mask, uint64_t value,
+    uint64_t* out, size_t n) {
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i m = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(masked + i));
+    __m256i neg = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(negate_mask + i));
+    __m256i sv = _mm256_sub_epi64(_mm256_xor_si256(v, neg), neg);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(m, sv));
+  }
+  AddSignedRowScalar(masked + i, negate_mask + i, value, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void SubAbsRowAvx2(const uint64_t* cells,
+                                                   const uint64_t* masks,
+                                                   uint64_t* out, size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i c = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cells + i));
+    __m256i m = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(masks + i));
+    __m256i d = _mm256_sub_epi64(c, m);
+    __m256i s = _mm256_cmpgt_epi64(zero, d);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_sub_epi64(_mm256_xor_si256(d, s), s));
+  }
+  SubAbsRowScalar(cells + i, masks + i, out + i, n - i);
+}
+
+/// Exact-rounding uint64 -> double (the 2^52/2^84 split): the high and low
+/// 32-bit halves are placed into the mantissas of 2^84 and 2^52 anchors,
+/// and one subtraction + one addition reassemble the value; the single
+/// rounding in the final addition is the correctly rounded result, i.e.
+/// bit-identical to static_cast<double>(uint64_t) in every lane.
+__attribute__((target("avx2"))) inline __m256d U64ToDoubleVec(__m256i x) {
+  const __m256i hi_anchor =
+      _mm256_set1_epi64x(0x4530000000000000LL);  // double 2^84.
+  const __m256i lo_anchor =
+      _mm256_set1_epi64x(0x4330000000000000LL);  // double 2^52.
+  const __m256d combined =
+      _mm256_set1_pd(19342813118337666422669312.0);  // 2^84 + 2^52.
+  __m256i x_hi = _mm256_or_si256(_mm256_srli_epi64(x, 32), hi_anchor);
+  __m256i x_lo = _mm256_blend_epi16(x, lo_anchor, 0xcc);
+  __m256d f = _mm256_sub_pd(_mm256_castsi256_pd(x_hi), combined);
+  return _mm256_add_pd(f, _mm256_castsi256_pd(x_lo));
+}
+
+/// |x - y| per lane as uint64, with the sign decided by the signed compare
+/// (the Comparators::NumericDistance formula, not the wrapped difference's
+/// top bit — the difference may exceed int64 range).
+__attribute__((target("avx2"))) inline __m256i AbsDiffVec(__m256i x,
+                                                          __m256i y) {
+  __m256i d = _mm256_sub_epi64(x, y);
+  __m256i s = _mm256_cmpgt_epi64(y, x);
+  return _mm256_sub_epi64(_mm256_xor_si256(d, s), s);
+}
+
+__attribute__((target("avx2"))) void AbsDiffRowAvx2(int64_t value,
+                                                    const int64_t* values,
+                                                    double* out, size_t n) {
+  const __m256i x = _mm256_set1_epi64x(value);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i y = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(values + j));
+    _mm256_storeu_pd(out + j, U64ToDoubleVec(AbsDiffVec(x, y)));
+  }
+  AbsDiffRowScalar(value, values + j, out + j, n - j);
+}
+
+__attribute__((target("avx2"))) void AbsDiffScaledRowAvx2(
+    int64_t value, const int64_t* values, double scale, double* out,
+    size_t n) {
+  const __m256i x = _mm256_set1_epi64x(value);
+  const __m256d k = _mm256_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i y = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(values + j));
+    _mm256_storeu_pd(out + j,
+                     _mm256_mul_pd(U64ToDoubleVec(AbsDiffVec(x, y)), k));
+  }
+  AbsDiffScaledRowScalar(value, values + j, scale, out + j, n - j);
+}
+
+__attribute__((target("avx2"))) void U64ToDoubleRowAvx2(const uint64_t* in,
+                                                        double* out,
+                                                        size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_pd(out + i, U64ToDoubleVec(x));
+  }
+  U64ToDoubleRowScalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void U64ToDoubleScaledRowAvx2(
+    const uint64_t* in, double scale, double* out, size_t n) {
+  const __m256d k = _mm256_set1_pd(scale);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(U64ToDoubleVec(x), k));
+  }
+  U64ToDoubleScaledRowScalar(in + i, scale, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void SubModRowAvx2(const uint8_t* masked,
+                                                   uint8_t own_symbol,
+                                                   uint8_t wrap_add,
+                                                   uint8_t* out, size_t n) {
+  const __m256i own = _mm256_set1_epi8(static_cast<char>(own_symbol));
+  const __m256i wrap = _mm256_set1_epi8(static_cast<char>(wrap_add));
+  size_t p = 0;
+  for (; p + 32 <= n; p += 32) {
+    __m256i m = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(masked + p));
+    __m256i d = _mm256_sub_epi8(m, own);
+    // m >= own (unsigned) iff max(m, own) == m; wrap the underflowed lanes
+    // back into [0, alphabet) by adding the alphabet size.
+    __m256i ge = _mm256_cmpeq_epi8(_mm256_max_epu8(m, own), m);
+    __m256i add = _mm256_andnot_si256(ge, wrap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + p),
+                        _mm256_add_epi8(d, add));
+  }
+  SubModRowScalar(masked + p, own_symbol, wrap_add, out + p, n - p);
+}
+
+__attribute__((target("avx2"))) void NotEqualRowAvx2(const uint8_t* cells,
+                                                     const uint8_t* masks,
+                                                     uint8_t* out, size_t n) {
+  const __m256i one = _mm256_set1_epi8(1);
+  size_t p = 0;
+  for (; p + 32 <= n; p += 32) {
+    __m256i c = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cells + p));
+    __m256i m = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(masks + p));
+    __m256i eq = _mm256_cmpeq_epi8(c, m);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + p),
+                        _mm256_andnot_si256(eq, one));
+  }
+  NotEqualRowScalar(cells + p, masks + p, out + p, n - p);
+}
+
+#endif  // PPC_KERNELS_HAVE_AVX2
+
+}  // namespace
+
+const char* DistanceKernels::KernelToString(Kernel kernel) {
+  return kernel == Kernel::kAvx2 ? "avx2" : "scalar";
+}
+
+bool DistanceKernels::Avx2Supported() {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+DistanceKernels::Kernel DistanceKernels::Active() {
+  int pin = g_pin.load(std::memory_order_relaxed);
+  if (pin >= 0) return static_cast<Kernel>(pin);
+  static const Kernel detected = DetectKernel();
+  return detected;
+}
+
+Status DistanceKernels::PinForTesting(Kernel kernel) {
+  if (kernel == Kernel::kAvx2 && !Avx2Supported()) {
+    return Status::InvalidArgument("AVX2 kernel not supported on this CPU");
+  }
+  g_pin.store(static_cast<int>(kernel), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void DistanceKernels::ClearPinForTesting() {
+  g_pin.store(-1, std::memory_order_relaxed);
+}
+
+void DistanceKernels::AddSignedRow(const uint64_t* masked,
+                                   const uint64_t* negate_mask, uint64_t value,
+                                   uint64_t* out, size_t n) {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    AddSignedRowAvx2(masked, negate_mask, value, out, n);
+    return;
+  }
+#endif
+  AddSignedRowScalar(masked, negate_mask, value, out, n);
+}
+
+void DistanceKernels::SubAbsRow(const uint64_t* cells, const uint64_t* masks,
+                                uint64_t* out, size_t n) {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    SubAbsRowAvx2(cells, masks, out, n);
+    return;
+  }
+#endif
+  SubAbsRowScalar(cells, masks, out, n);
+}
+
+void DistanceKernels::AbsDiffRow(int64_t value, const int64_t* values,
+                                 double* out, size_t n) {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    AbsDiffRowAvx2(value, values, out, n);
+    return;
+  }
+#endif
+  AbsDiffRowScalar(value, values, out, n);
+}
+
+void DistanceKernels::AbsDiffScaledRow(int64_t value, const int64_t* values,
+                                       double scale, double* out, size_t n) {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    AbsDiffScaledRowAvx2(value, values, scale, out, n);
+    return;
+  }
+#endif
+  AbsDiffScaledRowScalar(value, values, scale, out, n);
+}
+
+void DistanceKernels::U64ToDoubleRow(const uint64_t* in, double* out,
+                                     size_t n) {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    U64ToDoubleRowAvx2(in, out, n);
+    return;
+  }
+#endif
+  U64ToDoubleRowScalar(in, out, n);
+}
+
+void DistanceKernels::U64ToDoubleScaledRow(const uint64_t* in, double scale,
+                                           double* out, size_t n) {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    U64ToDoubleScaledRowAvx2(in, scale, out, n);
+    return;
+  }
+#endif
+  U64ToDoubleScaledRowScalar(in, scale, out, n);
+}
+
+void DistanceKernels::SubModRow(const uint8_t* masked, uint8_t own_symbol,
+                                size_t alphabet_size, uint8_t* out, size_t n) {
+  // Reduce the subtrahend once; the 256-symbol alphabet degenerates the
+  // wrap increment to +0, which byte wraparound makes correct anyway.
+  const uint8_t own =
+      static_cast<uint8_t>(own_symbol % alphabet_size);
+  const uint8_t wrap_add = static_cast<uint8_t>(alphabet_size);
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    SubModRowAvx2(masked, own, wrap_add, out, n);
+    return;
+  }
+#endif
+  SubModRowScalar(masked, own, wrap_add, out, n);
+}
+
+void DistanceKernels::NotEqualRow(const uint8_t* cells, const uint8_t* masks,
+                                  uint8_t* out, size_t n) {
+#if defined(PPC_KERNELS_HAVE_AVX2)
+  if (Active() == Kernel::kAvx2) {
+    NotEqualRowAvx2(cells, masks, out, n);
+    return;
+  }
+#endif
+  NotEqualRowScalar(cells, masks, out, n);
+}
+
+}  // namespace ppc

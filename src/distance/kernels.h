@@ -1,0 +1,108 @@
+#ifndef PPC_DISTANCE_KERNELS_H_
+#define PPC_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ppc {
+
+/// Row kernels of the quadratic protocol phases, with a scalar reference
+/// implementation and an AVX2 path selected at runtime — the PR-5 crypto
+/// treatment (crypto/aes128.h) applied to the comparison/recover/
+/// dissimilarity inner loops, which became the dominant cost once the
+/// per-frame crypto fixed cost was gone.
+///
+/// Every kernel is a pure function over one row of a matrix: the callers
+/// (core/numeric_protocol, core/alphanumeric_protocol, core/third_party,
+/// distance/comparators) hoist the per-row PRNG state — the protocols reset
+/// their generators at every row, so each row reads the *same* mask/sign
+/// prefix, which is precisely what turns the inner loops into branch-free
+/// data-parallel sweeps.
+///
+/// Both paths are asserted bit-identical (tests/distance_kernels_test.cc):
+/// the ring arithmetic is exact integer math, and the uint64 -> double
+/// conversions use the exact-rounding split (2^52/2^84 magic constants), so
+/// the AVX2 path rounds every lane identically to `static_cast<double>`.
+class DistanceKernels {
+ public:
+  enum class Kernel : uint8_t {
+    kScalar,  ///< Portable reference loops.
+    kAvx2,    ///< 256-bit SIMD rows (runtime-detected).
+  };
+
+  /// Canonical name of `kernel` ("scalar" / "avx2").
+  static const char* KernelToString(Kernel kernel);
+
+  /// True when the host CPU executes AVX2.
+  static bool Avx2Supported();
+
+  /// The kernel every row call dispatches to: kAvx2 when the CPU supports
+  /// it, unless the `PPC_FORCE_SCALAR_KERNELS` environment variable is set
+  /// (the CI scalar leg) or a test pin overrides it. Resolved once and
+  /// cached.
+  static Kernel Active();
+
+  /// Test-only pin: forces every subsequent row call onto `kernel`.
+  /// Refuses kAvx2 on a CPU without it. The conformance tests pin kScalar,
+  /// record outputs, pin kAvx2, and assert bit equality.
+  static Status PinForTesting(Kernel kernel);
+  static void ClearPinForTesting();
+
+  // -- Numeric comparison rounds (ring Z_2^64 rows) --------------------------
+
+  /// Fig. 5 row: out[i] = masked[i] + (negate_mask[i] ? -value : +value),
+  /// mod 2^64. `negate_mask[i]` is all-ones (negate) or zero, the hoisted
+  /// opposite-sign coin row of the responder.
+  static void AddSignedRow(const uint64_t* masked,
+                           const uint64_t* negate_mask, uint64_t value,
+                           uint64_t* out, size_t n);
+
+  /// Fig. 6 row: out[i] = |cells[i] - masks[i]| interpreting the difference
+  /// as a signed ring element (NumericProtocol::AbsFromRing).
+  static void SubAbsRow(const uint64_t* cells, const uint64_t* masks,
+                        uint64_t* out, size_t n);
+
+  // -- Local dissimilarity rows (Fig. 12) ------------------------------------
+
+  /// out[j] = double(|value - values[j]|), the Comparators::NumericDistance
+  /// row of an integer attribute's matrix.
+  static void AbsDiffRow(int64_t value, const int64_t* values, double* out,
+                         size_t n);
+
+  /// Same, then scaled by `scale` — the fixed-point decode of a real
+  /// attribute (FixedPointCodec::Decode is a single multiply). Exact: the
+  /// codec's encode guard keeps every |difference| below 2^53.
+  static void AbsDiffScaledRow(int64_t value, const int64_t* values,
+                               double scale, double* out, size_t n);
+
+  // -- Third-party install rows ----------------------------------------------
+
+  /// out[i] = double(in[i]) — the recovered-distance block fill of an
+  /// integer attribute.
+  static void U64ToDoubleRow(const uint64_t* in, double* out, size_t n);
+
+  /// out[i] = double(in[i]) * scale — the real-attribute block fill
+  /// (recovered fixed-point distance through FixedPointCodec::Decode).
+  static void U64ToDoubleScaledRow(const uint64_t* in, double scale,
+                                   double* out, size_t n);
+
+  // -- Alphanumeric rounds (mod-|A| byte rows) -------------------------------
+
+  /// Fig. 9 grid row: out[p] = (masked[p] - own_symbol) mod alphabet_size.
+  /// Requires masked[p] < alphabet_size (callers validate wire input) and
+  /// alphabet_size <= 256; own_symbol is reduced mod alphabet_size.
+  static void SubModRow(const uint8_t* masked, uint8_t own_symbol,
+                        size_t alphabet_size, uint8_t* out, size_t n);
+
+  /// Fig. 10 CCM row: out[p] = cells[p] == masks[p] ? 0 : 1. Equivalent to
+  /// SubMod(cells[p], masks[p]) == 0 iff both operands are already reduced
+  /// mod the alphabet size (callers validate wire input).
+  static void NotEqualRow(const uint8_t* cells, const uint8_t* masks,
+                          uint8_t* out, size_t n);
+};
+
+}  // namespace ppc
+
+#endif  // PPC_DISTANCE_KERNELS_H_

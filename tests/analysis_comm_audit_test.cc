@@ -24,6 +24,11 @@ using testutil::SessionFixture;
 
 void ExpectModelMatchesAudit(const LabeledDataset& data, size_t parties,
                              ProtocolConfig config) {
+  // Resolve the PPC_TILE_SIZE override exactly as MakeSession will below,
+  // so the graph we price is the graph the session executes.
+  if (config.tile_size == 0) {
+    config.tile_size = testutil::TileSizeFromEnv();
+  }
   auto parts = Partitioner::RoundRobin(data, parties).TakeValue();
   const Schema& schema = data.data.schema();
 
@@ -31,7 +36,18 @@ void ExpectModelMatchesAudit(const LabeledDataset& data, size_t parties,
   for (size_t i = 0; i < parties; ++i) {
     plan.holder_order.push_back(SessionFixture::HolderName(i));
   }
-  Schedule schedule = Schedule::Build(plan, schema).TakeValue();
+  // The prediction must price the graph the run executes — tiled when the
+  // config tiles (per-tile headers are part of the closed form).
+  Schedule::Options options;
+  options.granularity = config.schedule_granularity;
+  options.tile_size = config.tile_size;
+  options.masking = config.masking_mode;
+  if (config.tile_size > 0) {
+    for (const auto& part : parts) {
+      options.holder_objects.push_back(part.data.NumRows());
+    }
+  }
+  Schedule schedule = Schedule::Build(plan, schema, options).TakeValue();
 
   std::map<std::string, HolderTrafficProfile> profiles;
   for (size_t p = 0; p < parts.size(); ++p) {
@@ -103,6 +119,38 @@ TEST(ScheduleCommModelTest, DnaSchema) {
   LabeledDataset data =
       Generators::DnaSequences(12, {}, prng.get()).TakeValue();
   ExpectModelMatchesAudit(data, 2, ProtocolConfig{});
+}
+
+// Tiled runs: the per-tile headers change the byte totals, and the model
+// must still reconcile to the byte — across tile sizes that do and do not
+// divide the partitions, both masking modes, and every schema type.
+TEST(ScheduleCommModelTest, TiledNumericBothMaskingModes) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 14);
+  LabeledDataset data =
+      Generators::GaussianMixture(
+          19, {{{0.0, 0.0}, 1.0, 1.0}, {{8.0, 8.0}, 1.0, 1.0}}, prng.get())
+          .TakeValue();
+  for (size_t tile : {1ul, 3ul, 5ul, 64ul}) {
+    ProtocolConfig config;
+    config.tile_size = tile;
+    ExpectModelMatchesAudit(data, 3, config);
+    config.masking_mode = MaskingMode::kPerPair;
+    ExpectModelMatchesAudit(data, 3, config);
+  }
+}
+
+TEST(ScheduleCommModelTest, TiledMixedSchema) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 15);
+  Generators::MixedOptions options;
+  options.string_length = 7;
+  LabeledDataset data =
+      Generators::MixedClusters(14, options, Alphabet::Dna(), prng.get())
+          .TakeValue();
+  for (size_t tile : {2ul, 5ul}) {
+    ProtocolConfig config;
+    config.tile_size = tile;
+    ExpectModelMatchesAudit(data, 3, config);
+  }
 }
 
 TEST(ScheduleCommModelTest, MissingProfileIsAnError) {

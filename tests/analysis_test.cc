@@ -69,7 +69,18 @@ TopicBytes MeasureSession(const LabeledDataset& data,
   return bytes;
 }
 
+// The next three tests assert the *whole-matrix* closed forms per topic;
+// a global PPC_TILE_SIZE override (the CI tiled leg) changes the graph
+// and the per-tile headers with it. The tiled formulas are reconciled to
+// the byte in analysis_comm_audit_test.cc, so skip rather than re-derive.
+#define PPC_SKIP_IF_TILED()                                              \
+  if (testutil::TileSizeFromEnv() > 0) {                                 \
+    GTEST_SKIP() << "whole-matrix closed forms; PPC_TILE_SIZE overrides" \
+                    " the schedule graph";                               \
+  }
+
 TEST(CommModelTest, NumericBatchTrafficMatchesModelExactly) {
+  PPC_SKIP_IF_TILED();
   Schema schema = Schema::Create({{"v", AttributeType::kInteger}}).TakeValue();
   LabeledDataset data{DataMatrix(schema), {}};
   for (int i = 0; i < 20; ++i) {
@@ -92,6 +103,7 @@ TEST(CommModelTest, NumericBatchTrafficMatchesModelExactly) {
 }
 
 TEST(CommModelTest, NumericPerPairTrafficGrowsToNTimesM) {
+  PPC_SKIP_IF_TILED();
   Schema schema = Schema::Create({{"v", AttributeType::kInteger}}).TakeValue();
   LabeledDataset data{DataMatrix(schema), {}};
   for (int i = 0; i < 16; ++i) {
@@ -112,6 +124,7 @@ TEST(CommModelTest, NumericPerPairTrafficGrowsToNTimesM) {
 }
 
 TEST(CommModelTest, AlphanumericTrafficMatchesModelExactly) {
+  PPC_SKIP_IF_TILED();
   Schema schema =
       Schema::Create({{"s", AttributeType::kAlphanumeric}}).TakeValue();
   LabeledDataset data{DataMatrix(schema), {}};

@@ -1,0 +1,223 @@
+// Conformance of the SIMD row kernels (distance/kernels.h): the AVX2 path
+// must be bit-identical to the scalar reference on every kernel, across
+// lengths that cover empty rows, sub-vector tails, exact vector multiples
+// and misaligned remainders — and across the value ranges the protocols
+// feed them (full 64-bit ring elements, fixed-point magnitudes, byte
+// alphabets). On hosts without AVX2 the SIMD half is skipped and the pin
+// API must refuse the unsupported kernel.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "distance/kernels.h"
+#include "rng/prng.h"
+
+namespace ppc {
+namespace {
+
+// Row lengths straddling the 4-lane (u64/double) and 32-lane (byte)
+// vector widths.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16,
+                           31, 32, 33, 63, 64, 100, 257};
+
+class KernelConformanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!DistanceKernels::Avx2Supported()) {
+      GTEST_SKIP() << "host CPU has no AVX2; scalar is the only path";
+    }
+  }
+  void TearDown() override { DistanceKernels::ClearPinForTesting(); }
+};
+
+std::vector<uint64_t> RandomU64(Prng* prng, size_t n) {
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = prng->Next();
+  return v;
+}
+
+TEST_F(KernelConformanceTest, AddSignedRowMatchesScalar) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 101);
+  for (size_t n : kLengths) {
+    auto masked = RandomU64(prng.get(), n);
+    std::vector<uint64_t> negate(n);
+    for (auto& x : negate) x = (prng->Next() & 1) ? ~uint64_t{0} : 0;
+    const uint64_t value = prng->Next();
+
+    std::vector<uint64_t> scalar(n), avx2(n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar).ok());
+    DistanceKernels::AddSignedRow(masked.data(), negate.data(), value,
+                                  scalar.data(), n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+    DistanceKernels::AddSignedRow(masked.data(), negate.data(), value,
+                                  avx2.data(), n);
+    EXPECT_EQ(scalar, avx2) << "n=" << n;
+  }
+}
+
+TEST_F(KernelConformanceTest, SubAbsRowMatchesScalar) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 102);
+  for (size_t n : kLengths) {
+    auto cells = RandomU64(prng.get(), n);
+    auto masks = RandomU64(prng.get(), n);
+    // Include the boundary ring elements.
+    if (n >= 4) {
+      cells[0] = 0;
+      masks[0] = ~uint64_t{0};
+      cells[1] = ~uint64_t{0};
+      masks[1] = 0;
+      cells[2] = uint64_t{1} << 63;
+      masks[3] = uint64_t{1} << 63;
+    }
+    std::vector<uint64_t> scalar(n), avx2(n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar).ok());
+    DistanceKernels::SubAbsRow(cells.data(), masks.data(), scalar.data(), n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+    DistanceKernels::SubAbsRow(cells.data(), masks.data(), avx2.data(), n);
+    EXPECT_EQ(scalar, avx2) << "n=" << n;
+  }
+}
+
+TEST_F(KernelConformanceTest, AbsDiffRowsMatchScalar) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 103);
+  const double scale = 1e-6;  // FixedPointCodec(6 digits) decode factor.
+  for (size_t n : kLengths) {
+    std::vector<int64_t> values(n);
+    for (auto& x : values) {
+      x = static_cast<int64_t>(prng->NextBounded(2'000'000'000)) -
+          1'000'000'000;
+    }
+    const int64_t value =
+        static_cast<int64_t>(prng->NextBounded(2'000'000'000)) -
+        1'000'000'000;
+
+    std::vector<double> scalar(n), avx2(n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar).ok());
+    DistanceKernels::AbsDiffRow(value, values.data(), scalar.data(), n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+    DistanceKernels::AbsDiffRow(value, values.data(), avx2.data(), n);
+    EXPECT_EQ(scalar, avx2) << "AbsDiffRow n=" << n;
+
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar).ok());
+    DistanceKernels::AbsDiffScaledRow(value, values.data(), scale,
+                                      scalar.data(), n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+    DistanceKernels::AbsDiffScaledRow(value, values.data(), scale,
+                                      avx2.data(), n);
+    EXPECT_EQ(scalar, avx2) << "AbsDiffScaledRow n=" << n;
+  }
+}
+
+TEST_F(KernelConformanceTest, U64ToDoubleRowsMatchScalarIncludingHighBit) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 104);
+  const double scale = 1e-4;
+  for (size_t n : kLengths) {
+    auto in = RandomU64(prng.get(), n);
+    if (n >= 4) {
+      // The conversions must round identically to static_cast<double>
+      // even above 2^63 and at the extremes.
+      in[0] = std::numeric_limits<uint64_t>::max();
+      in[1] = uint64_t{1} << 63;
+      in[2] = (uint64_t{1} << 63) + 1;
+      in[3] = 0;
+    }
+    std::vector<double> scalar(n), avx2(n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar).ok());
+    DistanceKernels::U64ToDoubleRow(in.data(), scalar.data(), n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+    DistanceKernels::U64ToDoubleRow(in.data(), avx2.data(), n);
+    EXPECT_EQ(scalar, avx2) << "U64ToDoubleRow n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scalar[i], static_cast<double>(in[i])) << "lane " << i;
+    }
+
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar).ok());
+    DistanceKernels::U64ToDoubleScaledRow(in.data(), scale, scalar.data(), n);
+    ASSERT_TRUE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+    DistanceKernels::U64ToDoubleScaledRow(in.data(), scale, avx2.data(), n);
+    EXPECT_EQ(scalar, avx2) << "U64ToDoubleScaledRow n=" << n;
+  }
+}
+
+TEST_F(KernelConformanceTest, ByteRowsMatchScalar) {
+  auto prng = MakePrng(PrngKind::kXoshiro256, 105);
+  for (size_t alphabet_size : {2ul, 4ul, 26ul, 37ul, 256ul}) {
+    for (size_t n : kLengths) {
+      std::vector<uint8_t> masked(n), masks(n);
+      for (auto& x : masked) {
+        x = static_cast<uint8_t>(prng->NextBounded(alphabet_size));
+      }
+      for (auto& x : masks) {
+        x = static_cast<uint8_t>(prng->NextBounded(alphabet_size));
+      }
+      const uint8_t own = static_cast<uint8_t>(
+          prng->NextBounded(alphabet_size));
+
+      std::vector<uint8_t> scalar(n), avx2(n);
+      ASSERT_TRUE(
+          DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar)
+              .ok());
+      DistanceKernels::SubModRow(masked.data(), own, alphabet_size,
+                                 scalar.data(), n);
+      ASSERT_TRUE(
+          DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+      DistanceKernels::SubModRow(masked.data(), own, alphabet_size,
+                                 avx2.data(), n);
+      EXPECT_EQ(scalar, avx2)
+          << "SubModRow |A|=" << alphabet_size << " n=" << n;
+
+      ASSERT_TRUE(
+          DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar)
+              .ok());
+      DistanceKernels::NotEqualRow(scalar.data(), masks.data(), scalar.data(),
+                                   n);
+      ASSERT_TRUE(
+          DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+      DistanceKernels::NotEqualRow(avx2.data(), masks.data(), avx2.data(), n);
+      EXPECT_EQ(scalar, avx2)
+          << "NotEqualRow |A|=" << alphabet_size << " n=" << n;
+    }
+  }
+}
+
+// Pin plumbing, runnable on any host: scalar can always be pinned; the
+// active kernel reverts after ClearPinForTesting; KernelToString names
+// both.
+TEST(KernelDispatchTest, PinAndNames) {
+  EXPECT_STREQ(
+      DistanceKernels::KernelToString(DistanceKernels::Kernel::kScalar),
+      "scalar");
+  EXPECT_STREQ(
+      DistanceKernels::KernelToString(DistanceKernels::Kernel::kAvx2),
+      "avx2");
+
+  ASSERT_TRUE(
+      DistanceKernels::PinForTesting(DistanceKernels::Kernel::kScalar).ok());
+  EXPECT_EQ(DistanceKernels::Active(), DistanceKernels::Kernel::kScalar);
+  DistanceKernels::ClearPinForTesting();
+
+  if (!DistanceKernels::Avx2Supported()) {
+    EXPECT_FALSE(
+        DistanceKernels::PinForTesting(DistanceKernels::Kernel::kAvx2).ok());
+    EXPECT_EQ(DistanceKernels::Active(), DistanceKernels::Kernel::kScalar);
+  }
+  DistanceKernels::ClearPinForTesting();
+}
+
+}  // namespace
+}  // namespace ppc

@@ -59,6 +59,19 @@ inline ScheduleGranularity ScheduleFromEnv(ScheduleGranularity fallback) {
   return fallback;
 }
 
+/// Tile-size override, same idea: PPC_TILE_SIZE=N (the CI tiled leg
+/// exports it) makes every fixture whose test did not pick an explicit
+/// tile size run the tiled phase-4/5 schedule with N-row tiles. Tiled
+/// runs are bit-identical to whole-matrix ones, so the suite's
+/// assertions hold unchanged.
+inline size_t TileSizeFromEnv() {
+  const char* env = std::getenv("PPC_TILE_SIZE");
+  if (env == nullptr) return 0;
+  int64_t value = 0;
+  if (!ParseInt64(env, &value) || value < 1) return 0;
+  return static_cast<size_t>(value);
+}
+
 /// Builds (but does not run) a session over `partitions`.
 inline Result<SessionFixture> MakeSession(
     const Schema& schema, const std::vector<DataMatrix>& partitions,
@@ -77,6 +90,11 @@ inline Result<SessionFixture> MakeSession(
     // CI leg).
     effective.schedule_granularity =
         ScheduleFromEnv(effective.schedule_granularity);
+  }
+  if (effective.tile_size == 0) {
+    if (size_t env_tile = TileSizeFromEnv(); env_tile > 0) {
+      effective.tile_size = env_tile;
+    }
   }
   SessionFixture fixture;
   fixture.network = std::make_unique<InMemoryNetwork>(security);

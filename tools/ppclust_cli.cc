@@ -23,11 +23,17 @@
 //
 //   ppclust_cli analyze PART0.csv PART1.csv [...] [--alphabet=...]
 //                       [--mode=batch|perpair] [--threads=N]
-//                       [--schedule=fine|grouped]
+//                       [--schedule=fine|grouped] [--tile-size=T]
 //       Runs the protocol and prints the per-phase communication table:
 //       messages, wire/payload bytes measured on channel taps, and the
 //       schedule graph's closed-form payload prediction (phases 4-5 must
-//       match to the byte, or the command fails).
+//       match to the byte, or the command fails). With --tile-size the
+//       tiled graph is priced, per-tile headers and all.
+//
+//   ppclust_cli version
+//       Prints the build version and the CPU paths the crypto and row
+//       kernels dispatch to on this host (aes-ni/sha-ni/avx2 or their
+//       software fallbacks).
 //
 //   Multi-process deployment: the same `cluster` command, one process per
 //   party, connected over TCP (see README "Deployment modes"):
@@ -77,6 +83,9 @@
 #include "common/string_util.h"
 #include "core/session_registry.h"
 #include "core/topics.h"
+#include "crypto/aes128.h"
+#include "crypto/sha256.h"
+#include "distance/kernels.h"
 #include "ppclust.h"
 
 namespace ppc {
@@ -170,12 +179,14 @@ constexpr char kUsage[] =
     "[--eps=E] [--minpts=M]\n"
     "              [--alphabet=dna|lowercase|identifier] "
     "[--weights=w0,w1,...]\n"
-    "              [--mode=batch|perpair] [--threads=N]\n"
+    "              [--mode=batch|perpair] [--threads=N] [--tile-size=T]\n"
     "              [--schedule=fine|grouped] [--newick=FILE]\n"
     "  ppclust_cli analyze PART0.csv PART1.csv [...] "
     "[--alphabet=...] [--mode=...]\n"
-    "              [--threads=N] [--schedule=fine|grouped]   "
-    "(per-phase predicted-vs-measured traffic)\n"
+    "              [--threads=N] [--schedule=fine|grouped] [--tile-size=T]\n"
+    "              (per-phase predicted-vs-measured traffic)\n"
+    "  ppclust_cli version   (build version + CPU kernel dispatch: "
+    "aes-ni/sha-ni/avx2)\n"
     "  ppclust_cli cluster [PART.csv] --role=holder|third-party|coordinator\n"
     "              --holders=A,B,... --peers=NAME=HOST:PORT,...\n"
     "              [--party=NAME] [--schema=FILE.csv] [--third-party=TP]\n"
@@ -197,6 +208,30 @@ int Usage() {
 
 int Help() {
   std::printf("%s", kUsage);
+  return 0;
+}
+
+#ifndef PPCLUST_VERSION
+#define PPCLUST_VERSION "unknown"
+#endif
+
+// `version` — the build version plus which CPU paths the crypto and row
+// kernels dispatch to on this host. Bench captures record this line so a
+// baseline states the hardware features it was measured with.
+int RunVersion() {
+  std::printf("ppclust %s\n", PPCLUST_VERSION);
+  std::printf("  aes:  %s\n",
+              Aes128::AesniSupported() ? "aes-ni" : "software");
+  std::printf("  sha:  %s\n",
+              Sha256::ShaNiSupported() ? "sha-ni" : "software");
+  const DistanceKernels::Kernel rows = DistanceKernels::Active();
+  if (DistanceKernels::Avx2Supported() &&
+      rows == DistanceKernels::Kernel::kScalar) {
+    std::printf("  rows: scalar (avx2 available; PPC_FORCE_SCALAR_KERNELS "
+                "set)\n");
+  } else {
+    std::printf("  rows: %s\n", DistanceKernels::KernelToString(rows));
+  }
   return 0;
 }
 
@@ -322,6 +357,14 @@ int ParseProtocolConfig(const Flags& flags, ProtocolConfig* config) {
     return Fail("--threads must be non-negative (0 = hardware concurrency)");
   }
   config->num_threads = static_cast<size_t>(threads_flag);
+  // Row-tile height for the quadratic phases: 0 (the default) ships
+  // whole-matrix messages; N > 0 streams phase-4/5 payloads as N-row
+  // tiles. Results are bit-identical either way (core/config.h).
+  const int64_t tile_flag = flags.GetInt("tile-size", 0);
+  if (tile_flag < 0) {
+    return Fail("--tile-size must be non-negative (0 = whole matrices)");
+  }
+  config->tile_size = static_cast<size_t>(tile_flag);
   return 0;
 }
 
@@ -717,7 +760,8 @@ int RunServe(const Flags& flags) {
   if (int bad = CheckFlagNames(
           flags, {"role", "party", "holders", "peers", "third-party",
                   "coordinator", "net-timeout-ms", "entropy-seed", "schema",
-                  "alphabet", "mode", "threads", "schedule"})) {
+                  "alphabet", "mode", "threads", "schedule",
+                  "tile-size"})) {
     return bad;
   }
   const std::string role = flags.Get("role", "");
@@ -986,7 +1030,8 @@ int LoadPartitions(const Flags& flags, const char* command,
 // closed-form model predicts next to the bytes the channel taps measured.
 int RunAnalyze(const Flags& flags) {
   if (int bad = CheckFlagNames(flags,
-                               {"alphabet", "mode", "threads", "schedule"})) {
+                               {"alphabet", "mode", "threads", "schedule",
+                                "tile-size"})) {
     return bad;
   }
   std::vector<DataMatrix> parts;
@@ -1005,6 +1050,16 @@ int RunAnalyze(const Flags& flags) {
   }
   Schedule::Options schedule_options;
   schedule_options.granularity = config.schedule_granularity;
+  schedule_options.tile_size = config.tile_size;
+  schedule_options.masking = config.masking_mode;
+  if (config.tile_size > 0) {
+    // Tile boundaries are part of the graph; analyze owns every partition,
+    // so the counts a distributed process would read off the roster are
+    // simply the partition sizes.
+    for (const DataMatrix& part : parts) {
+      schedule_options.holder_objects.push_back(part.NumRows());
+    }
+  }
   auto schedule = Schedule::Build(plan, schema, schedule_options);
   if (!schedule.ok()) return Fail(schedule.status().ToString());
 
@@ -1056,6 +1111,14 @@ int RunAnalyze(const Flags& flags) {
   std::printf("# schedule: %s, %zu steps, protocol %.1f ms\n",
               ScheduleGranularityToString(config.schedule_granularity),
               schedule->steps().size(), stopwatch.ElapsedMillis());
+  if (config.tile_size > 0) {
+    std::printf("# tile-size: %zu rows per phase-4/5 tile\n",
+                config.tile_size);
+  }
+  std::printf("# cpu: aes=%s sha=%s rows=%s\n",
+              Aes128::AesniSupported() ? "aes-ni" : "software",
+              Sha256::ShaNiSupported() ? "sha-ni" : "software",
+              DistanceKernels::KernelToString(DistanceKernels::Active()));
   std::printf("# %-29s %8s %12s %12s %12s\n", "phase", "msgs", "wire B",
               "payload B", "model B");
   auto totals = audit.PhaseTotals();
@@ -1100,7 +1163,7 @@ int RunCluster(const Flags& flags) {
   if (int bad = CheckFlagNames(
           flags, {"clusters", "linkage", "algorithm", "eps", "minpts",
                   "alphabet", "weights", "mode", "threads", "newick",
-                  "schedule", "role", "party", "peers", "holders",
+                  "schedule", "tile-size", "role", "party", "peers", "holders",
                   "third-party", "coordinator", "net-timeout-ms",
                   "entropy-seed", "schema"})) {
     return bad;
@@ -1195,6 +1258,9 @@ int main(int argc, char** argv) {
     if (arg == "-h") wants_help = true;
   }
   if (wants_help) return ppc::Help();
+  if (command == "version" || command == "--version") {
+    return ppc::RunVersion();
+  }
   if (command == "generate") return ppc::RunGenerate(flags);
   if (command == "cluster") return ppc::RunCluster(flags);
   if (command == "analyze") return ppc::RunAnalyze(flags);
