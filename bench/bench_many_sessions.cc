@@ -175,7 +175,7 @@ void BM_MultiplexedSessions(benchmark::State& state) {
       for (size_t s = 0; s < sessions; ++s) {
         ok = ok && registry
                        .StartSession(FreshSessionId(),
-                                     [&](Network* snet) {
+                                     [&](Network* snet, CancelToken*) {
                                        return RunOneSession(snet, schema,
                                                             parts, plan,
                                                             config)

@@ -37,6 +37,15 @@ enum class StatusCode {
   kUnimplemented,
   /// Catch-all for internal invariant failures.
   kInternal,
+  /// A deadline or cancellation cut the operation short: the work did not
+  /// finish before the caller's time budget expired (or the session was
+  /// cancelled). Retrying with a larger budget may succeed.
+  kDeadlineExceeded,
+  /// The peer (or its connection) is gone or unresponsive right now: a
+  /// blocking receive saw nothing arrive within the transport timeout, or
+  /// a send hit a dead connection. Distinct from kDeadlineExceeded — the
+  /// caller's own budget may still have room to retry or re-dial.
+  kUnavailable,
 };
 
 /// Returns the canonical spelling of `code`, e.g. "InvalidArgument".
@@ -98,6 +107,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status carries no error.

@@ -91,6 +91,16 @@ struct ProtocolConfig {
   /// model prices exactly.
   size_t tile_size = 0;
 
+  /// End-to-end session deadline in milliseconds. 0 (the default) means
+  /// no deadline: a blocking receive waits up to the transport's
+  /// `receive_timeout` and surfaces `kUnavailable` when the peer never
+  /// delivers. A positive value arms the session's `CancelToken` before
+  /// the schedule runs; once it expires every party's next blocking
+  /// receive and every executor's next schedule step fail with a typed
+  /// `kDeadlineExceeded` (session, phase, peer, and topic in the
+  /// message) instead of wedging on a dead peer.
+  uint64_t deadline_ms = 0;
+
   /// Alphabet of every alphanumeric attribute. The paper requires a finite,
   /// publicly known alphabet so that masking can wrap modulo its size.
   Alphabet alphabet = Alphabet::Dna();

@@ -91,7 +91,7 @@ Status DataHolder::SendHello(const std::string& third_party) {
 }
 
 Status DataHolder::ReceiveRoster(const std::string& third_party) {
-  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, third_party,
+  PPC_ASSIGN_OR_RETURN(Message msg, Recv(third_party,
                                                       topics::kRoster));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
@@ -119,7 +119,7 @@ Status DataHolder::SendDhPublic(const std::string& peer) {
 
 Status DataHolder::ReceiveDhPublicAndDerive(const std::string& peer) {
   PPC_ASSIGN_OR_RETURN(Message msg,
-                       network_->Receive(name_, peer, topics::kDhPublic));
+                       Recv(peer, topics::kDhPublic));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(std::string public_bytes, reader.ReadBytes());
   PPC_RETURN_IF_ERROR(reader.ExpectEnd());
@@ -153,7 +153,7 @@ Status DataHolder::DistributeCategoricalKey(
 
 Status DataHolder::ReceiveCategoricalKey(const std::string& from) {
   PPC_ASSIGN_OR_RETURN(
-      Message msg, network_->Receive(name_, from, topics::kCategoricalKey));
+      Message msg, Recv(from, topics::kCategoricalKey));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(categorical_key_, reader.ReadBytes());
   return reader.ExpectEnd();
@@ -320,7 +320,7 @@ Status DataHolder::ReceiveNumericMasked(size_t column,
                                         const std::string& initiator) {
   PPC_ASSIGN_OR_RETURN(
       Message msg,
-      network_->Receive(name_, initiator, topics::kNumericMasked));
+      Recv(initiator, topics::kNumericMasked));
   StashPending(InboundSlot(column, initiator), std::move(msg.payload));
   return Status::OK();
 }
@@ -424,7 +424,7 @@ Status DataHolder::RunAlphanumericInitiator(size_t column,
 Status DataHolder::ReceiveAlphanumericMasked(size_t column,
                                              const std::string& initiator) {
   PPC_ASSIGN_OR_RETURN(
-      Message msg, network_->Receive(name_, initiator, topics::kAlnumMasked));
+      Message msg, Recv(initiator, topics::kAlnumMasked));
   StashPending(InboundSlot(column, initiator), std::move(msg.payload));
   return Status::OK();
 }
@@ -564,7 +564,7 @@ Status DataHolder::ReceiveNumericMaskedTile(size_t column,
                                             uint64_t row_begin) {
   PPC_ASSIGN_OR_RETURN(
       Message msg,
-      network_->Receive(name_, initiator, topics::kNumericMasked));
+      Recv(initiator, topics::kNumericMasked));
   StashPending(InboundSlot(column, initiator) + TileSuffix(row_begin),
                std::move(msg.payload));
   return Status::OK();
@@ -575,7 +575,7 @@ Status DataHolder::ReceiveNumericMaskedShared(size_t column,
                                               uint32_t uses) {
   PPC_ASSIGN_OR_RETURN(
       Message msg,
-      network_->Receive(name_, initiator, topics::kNumericMasked));
+      Recv(initiator, topics::kNumericMasked));
   StashPendingShared(InboundSlot(column, initiator), std::move(msg.payload),
                      uses);
   return Status::OK();
@@ -585,7 +585,7 @@ Status DataHolder::ReceiveAlphanumericMaskedShared(size_t column,
                                                    const std::string& initiator,
                                                    uint32_t uses) {
   PPC_ASSIGN_OR_RETURN(
-      Message msg, network_->Receive(name_, initiator, topics::kAlnumMasked));
+      Message msg, Recv(initiator, topics::kAlnumMasked));
   StashPendingShared(InboundSlot(column, initiator), std::move(msg.payload),
                      uses);
   return Status::OK();
@@ -827,7 +827,7 @@ Result<ClusteringOutcome> DataHolder::ReceiveClusterOutcome(
     const std::string& third_party) {
   PPC_ASSIGN_OR_RETURN(
       Message msg,
-      network_->Receive(name_, third_party, topics::kClusterOutcome));
+      Recv(third_party, topics::kClusterOutcome));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(ClusteringOutcome outcome,
                        ClusteringOutcome::Deserialize(&reader));

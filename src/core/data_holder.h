@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/fixed_point.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -43,6 +44,14 @@ class DataHolder {
   const std::string& name() const { return name_; }
   size_t NumObjects() const { return data_.NumRows(); }
   const DataMatrix& data() const { return data_; }
+
+  /// Binds the session's cancellation/deadline token: every later
+  /// blocking receive polls it, so a cancelled or deadline-expired
+  /// session surfaces a typed error instead of sleeping out the
+  /// transport timeout. Null (the default) means "never cancelled".
+  /// The token must outlive the protocol run.
+  void BindCancelToken(const CancelToken* cancel) { cancel_ = cancel; }
+  const CancelToken* cancel_token() const { return cancel_; }
 
   // -- Session setup steps --------------------------------------------------
 
@@ -240,6 +249,12 @@ class DataHolder {
   Result<std::string> TakePending(const std::string& slot);
   void StashPending(const std::string& slot, std::string payload);
 
+  /// The one blocking receive of this party: `Receive` bound to the
+  /// session's cancel token (see `BindCancelToken`).
+  Result<Message> Recv(const std::string& from, const std::string& topic) {
+    return network_->ReceiveCancellable(name_, from, topic, cancel_);
+  }
+
   /// Refcounted variant for payloads shared by several tile builds: the
   /// stash records `uses`, each consume copies the payload and decrements
   /// (the last consumer moves it out and erases the slot).
@@ -249,6 +264,7 @@ class DataHolder {
 
   std::string name_;
   Network* network_;
+  const CancelToken* cancel_ = nullptr;
   ProtocolConfig config_;
   FixedPointCodec real_codec_;
   DataMatrix data_;

@@ -638,6 +638,20 @@ Status ExecuteScheduleStep(const Schedule& schedule, const ScheduleStep& step,
                             StepKindToString(step.kind) + "' needs party '" +
                             step.actor + "', which is not bound");
   }
+  // Cancellation/deadline gate shared by all three executors: a tripped
+  // token stops the session at the next step boundary, with the step's
+  // phase and actor in the message so logs say *where* the run died.
+  if (const CancelToken* cancel = is_tp ? third_party->cancel_token()
+                                        : holder->cancel_token();
+      cancel != nullptr) {
+    Status live = cancel->Check();
+    if (!live.ok()) {
+      return Status(live.code(), live.message() + " (before step '" +
+                                     StepKindToString(step.kind) +
+                                     "', phase " + std::to_string(step.phase) +
+                                     ", actor '" + step.actor + "')");
+    }
+  }
   switch (step.kind) {
     case StepKind::kHello:
       return holder->SendHello(plan.third_party);

@@ -78,6 +78,21 @@ Status ClusteringSession::RunSchedule(bool concurrent, size_t num_threads) {
   if (ran_) return Status::FailedPrecondition("session already ran");
   PPC_RETURN_IF_ERROR(ValidateSetup());
 
+  // Arm the end-to-end deadline and hand every party the same token, so
+  // a wedged peer surfaces as a typed kDeadlineExceeded at the next
+  // blocking receive or step boundary of *any* party. An externally
+  // bound token (SessionRegistry's per-session token) takes precedence —
+  // the registry owns cancellation for multiplexed sessions.
+  cancel_.ArmDeadline(config_.deadline_ms);
+  if (third_party_->cancel_token() == nullptr) {
+    third_party_->BindCancelToken(&cancel_);
+  }
+  for (DataHolder* holder : holders_) {
+    if (holder->cancel_token() == nullptr) {
+      holder->BindCancelToken(&cancel_);
+    }
+  }
+
   SessionPlan plan;
   plan.holder_order.reserve(holders_.size());
   for (DataHolder* holder : holders_) {

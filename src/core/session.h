@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/config.h"
 #include "core/data_holder.h"
@@ -97,6 +98,12 @@ class ClusteringSession {
   /// The attribute schema all parties agreed on.
   const Schema& schema() const { return schema_; }
 
+  /// The session's cancellation/deadline token. `RunSchedule` arms it
+  /// from `ProtocolConfig::deadline_ms` and binds it to every party that
+  /// has no externally bound token; trip it (from any thread) to stop
+  /// the run at the next receive or step boundary.
+  CancelToken* cancel_token() { return &cancel_; }
+
  private:
   Status ValidateSetup() const;
   /// Shared driver behind Run()/RunParallel(): builds the schedule graph
@@ -111,6 +118,7 @@ class ClusteringSession {
   Schema schema_;
   ThirdParty* third_party_ = nullptr;
   std::vector<DataHolder*> holders_;
+  CancelToken cancel_;
   bool ran_ = false;
 };
 

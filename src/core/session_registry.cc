@@ -26,11 +26,46 @@ Status SessionRegistry::StartSession(const std::string& id, SessionBody body) {
   // Lock order mutex_ -> join_mutex is deadlock-free: Join takes only
   // join_mutex.
   MutexLock handle_lock(entry->join_mutex);
-  entry->worker = std::thread([entry, body = std::move(body)] {
-    entry->result = body(entry->view.get());
+  entry->worker = std::thread([this, id, entry, body = std::move(body)] {
+    Status result = body(entry->view.get(), &entry->token);
+    if (!result.ok()) {
+      // A failed (or cancelled) session must not leak transport state:
+      // drop its queued frames, channel counters, nonce counters, and
+      // crypto contexts. Session ids are single-use per registry, so the
+      // purged id can never restart and reuse a (key, nonce) pair.
+      transport_->PurgeSession(id);
+    }
+    entry->result = std::move(result);
     entry->done.store(true, std::memory_order_release);
   });
   return Status::OK();
+}
+
+Status SessionRegistry::CancelSession(const std::string& id, Status reason) {
+  Entry* entry = nullptr;
+  {
+    MutexLock lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      return Status::NotFound("session '" + id + "' was never started");
+    }
+    entry = it->second.get();
+  }
+  entry->token.Cancel(std::move(reason));
+  return Status::OK();
+}
+
+void SessionRegistry::CancelAll(Status reason) {
+  std::vector<Entry*> live;
+  {
+    MutexLock lock(mutex_);
+    for (auto& [id, entry] : entries_) {
+      if (!entry->done.load(std::memory_order_acquire)) {
+        live.push_back(entry.get());
+      }
+    }
+  }
+  for (Entry* entry : live) entry->token.Cancel(reason);
 }
 
 Status SessionRegistry::Join(Entry* entry) {

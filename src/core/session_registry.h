@@ -32,9 +32,15 @@ namespace ppc {
 /// thread-safe.
 class SessionRegistry {
  public:
-  /// One session's whole execution, handed its session-scoped network.
-  /// The returned status is the session's outcome (see `WaitSession`).
-  using SessionBody = std::function<Status(Network* session_net)>;
+  /// One session's whole execution, handed its session-scoped network
+  /// and the registry's per-session cancellation token. Bodies that run
+  /// protocol parties should bind the token (`BindCancelToken`) so
+  /// `CancelSession`/`CancelAll` (and an armed deadline) can unwedge
+  /// their blocking receives; bodies that ignore it remain correct, just
+  /// not promptly cancellable. The returned status is the session's
+  /// outcome (see `WaitSession`).
+  using SessionBody = std::function<Status(Network* session_net,
+                                           CancelToken* cancel)>;
 
   explicit SessionRegistry(Network* transport) : transport_(transport) {}
 
@@ -59,6 +65,18 @@ class SessionRegistry {
   /// session-id order), decorated with the session id.
   Status WaitAll() EXCLUDES(mutex_);
 
+  /// Trips session `id`'s cancel token with `reason` (an OK reason is
+  /// coerced to a generic cancellation error). The session's blocking
+  /// receives and step boundaries surface the reason within one poll
+  /// slice; its worker then finishes with that status and releases the
+  /// session's queues and channel state (see the worker's purge).
+  /// kNotFound for an id never started. Does not block; pair with
+  /// `WaitSession` to observe the actual termination.
+  Status CancelSession(const std::string& id, Status reason) EXCLUDES(mutex_);
+
+  /// `CancelSession` for every session not yet finished.
+  void CancelAll(Status reason) EXCLUDES(mutex_);
+
   /// Sessions started and not yet finished.
   size_t ActiveCount() const EXCLUDES(mutex_);
 
@@ -68,6 +86,9 @@ class SessionRegistry {
  private:
   struct Entry {
     std::unique_ptr<SessionNetwork> view;
+    /// Cancellation/deadline token of this session; handed to the body
+    /// and tripped by `CancelSession`/`CancelAll`.
+    CancelToken token;
     Mutex join_mutex;  // Serializes the one join; guards the thread handle.
     std::thread worker GUARDED_BY(join_mutex);
     /// NOT lock-guarded on purpose: the worker writes it, and exactly the

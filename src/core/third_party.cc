@@ -63,7 +63,7 @@ Status ThirdParty::ReceiveHellos(const std::vector<std::string>& holders) {
   total_objects_ = 0;
   for (const std::string& holder : holders) {
     PPC_ASSIGN_OR_RETURN(Message msg,
-                         network_->Receive(name_, holder, topics::kHello));
+                         Recv(holder, topics::kHello));
     ByteReader reader(msg.payload);
     PPC_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
     PPC_RETURN_IF_ERROR(reader.ExpectEnd());
@@ -104,7 +104,7 @@ Status ThirdParty::SendDhPublic(const std::string& holder) {
 
 Status ThirdParty::ReceiveDhPublicAndDerive(const std::string& holder) {
   PPC_ASSIGN_OR_RETURN(Message msg,
-                       network_->Receive(name_, holder, topics::kDhPublic));
+                       Recv(holder, topics::kDhPublic));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(std::string public_bytes, reader.ReadBytes());
   PPC_RETURN_IF_ERROR(reader.ExpectEnd());
@@ -134,7 +134,7 @@ Result<std::unique_ptr<Prng>> ThirdParty::HolderPrng(
 
 Status ThirdParty::ReceiveLocalMatrix(const std::string& holder) {
   PPC_ASSIGN_OR_RETURN(const RosterEntry* entry, FindRosterEntry(holder));
-  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, holder,
+  PPC_ASSIGN_OR_RETURN(Message msg, Recv(holder,
                                                       topics::kLocalMatrix));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
@@ -171,7 +171,7 @@ Status ThirdParty::ReceiveLocalMatrix(const std::string& holder) {
 Status ThirdParty::ReceiveNumericComparison(const std::string& responder) {
   PPC_ASSIGN_OR_RETURN(
       Message msg,
-      network_->Receive(name_, responder, topics::kNumericComparison));
+      Recv(responder, topics::kNumericComparison));
   return InstallNumericPayload(msg.payload, responder, Expected{});
 }
 
@@ -283,7 +283,7 @@ void ThirdParty::FillNumericBlock(size_t column, size_t global_row_begin,
 }
 
 Status ThirdParty::ReceiveAlphanumericGrids(const std::string& responder) {
-  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, responder,
+  PPC_ASSIGN_OR_RETURN(Message msg, Recv(responder,
                                                       topics::kAlnumGrids));
   return InstallAlphanumericPayload(msg.payload, responder, Expected{});
 }
@@ -376,7 +376,7 @@ Status ThirdParty::CollectComparison(size_t column,
   const char* topic = IsNumericType(type) ? topics::kNumericComparison
                                           : topics::kAlnumGrids;
   PPC_ASSIGN_OR_RETURN(Message msg,
-                       network_->Receive(name_, responder, topic));
+                       Recv(responder, topic));
   MutexLock lock(pending_mutex_);
   pending_comparisons_[{column, initiator, responder, 0}] =
       std::move(msg.payload);
@@ -413,7 +413,7 @@ Result<uint64_t> ThirdParty::RosterCount(const std::string& holder) const {
 
 Status ThirdParty::ReceiveLocalMatrixTile(const std::string& holder) {
   PPC_ASSIGN_OR_RETURN(const RosterEntry* entry, FindRosterEntry(holder));
-  PPC_ASSIGN_OR_RETURN(Message msg, network_->Receive(name_, holder,
+  PPC_ASSIGN_OR_RETURN(Message msg, Recv(holder,
                                                       topics::kLocalMatrix));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
@@ -473,7 +473,7 @@ Status ThirdParty::CollectComparisonTile(size_t column,
   const char* topic = IsNumericType(type) ? topics::kNumericComparison
                                           : topics::kAlnumGrids;
   PPC_ASSIGN_OR_RETURN(Message msg,
-                       network_->Receive(name_, responder, topic));
+                       Recv(responder, topic));
   MutexLock lock(pending_mutex_);
   pending_comparisons_[{column, initiator, responder, row_begin}] =
       std::move(msg.payload);
@@ -675,7 +675,7 @@ Status ThirdParty::ReceiveCategoricalTokens(const std::string& holder) {
   PPC_ASSIGN_OR_RETURN(const RosterEntry* entry, FindRosterEntry(holder));
   PPC_ASSIGN_OR_RETURN(
       Message msg,
-      network_->Receive(name_, holder, topics::kCategoricalTokens));
+      Recv(holder, topics::kCategoricalTokens));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(uint32_t column, reader.ReadU32());
   PPC_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
@@ -923,7 +923,7 @@ Result<ClusteringOutcome> ThirdParty::RunClustering(
 Status ThirdParty::ServeClusterRequest(const std::string& holder) {
   PPC_ASSIGN_OR_RETURN(
       Message msg,
-      network_->Receive(name_, holder, topics::kClusterRequest));
+      Recv(holder, topics::kClusterRequest));
   ByteReader reader(msg.payload);
   PPC_ASSIGN_OR_RETURN(ClusterRequest request,
                        ClusterRequest::Deserialize(&reader));

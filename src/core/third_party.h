@@ -8,6 +8,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/fixed_point.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -38,6 +39,12 @@ class ThirdParty {
              Schema schema, uint64_t entropy_seed);
 
   const std::string& name() const { return name_; }
+
+  /// Binds the session's cancellation/deadline token: every later
+  /// blocking receive polls it (null, the default, means "never
+  /// cancelled"). Must outlive the protocol run.
+  void BindCancelToken(const CancelToken* cancel) { cancel_ = cancel; }
+  const CancelToken* cancel_token() const { return cancel_; }
 
   /// Total objects across all holders (after ReceiveHellos).
   size_t total_objects() const { return total_objects_; }
@@ -207,8 +214,15 @@ class ThirdParty {
       std::vector<double> weights) const;
   void InvalidateMergedCache();
 
+  /// The one blocking receive of this party: `Receive` bound to the
+  /// session's cancel token (see `BindCancelToken`).
+  Result<Message> Recv(const std::string& from, const std::string& topic) {
+    return network_->ReceiveCancellable(name_, from, topic, cancel_);
+  }
+
   std::string name_;
   Network* network_;
+  const CancelToken* cancel_ = nullptr;
   ProtocolConfig config_;
   Schema schema_;
   FixedPointCodec real_codec_;

@@ -30,6 +30,12 @@ inline constexpr char kCoordinatorOutcome[] = "ctl.outcome";
 /// protocol traffic then flows session-scoped, so N in-flight jobs never
 /// interleave streams.
 inline constexpr char kJobSubmit[] = "ctl.job";
+/// Control-plane per-job failure record back to `submit`'s coordinator
+/// (on the job's session): carries the typed StatusCode and message of a
+/// session the daemons rejected (admission control) or that died
+/// mid-protocol, so `submit` prints a typed error line instead of
+/// blocking on an outcome that will never come.
+inline constexpr char kJobError[] = "ctl.error";
 
 }  // namespace topics
 }  // namespace ppc

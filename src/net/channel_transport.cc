@@ -1,5 +1,6 @@
 #include "net/channel_transport.h"
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -128,6 +129,30 @@ Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
                                             const std::string& to,
                                             const std::string& from,
                                             const std::string& expected_topic) {
+  return ReceiveOnCancellable(session, to, from, expected_topic, nullptr);
+}
+
+namespace {
+
+/// Channel context appended to every blocking-receive failure so a stuck
+/// session reads as "who was waiting on whom, for what" in the log.
+std::string ReceiveContext(const std::string& session, const std::string& from,
+                           const std::string& to, const std::string& topic) {
+  std::string out = " (session '" + session + "', " + from + " -> " + to;
+  if (!topic.empty()) out += ", topic '" + topic + "'";
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+Result<Message> ChannelTransport::ReceiveOnCancellable(
+    const std::string& session, const std::string& to, const std::string& from,
+    const std::string& expected_topic, const CancelToken* cancel) {
+  // How often a blocked receive wakes to poll the cancel token. Bounds
+  // how long a cancelled session can keep its worker parked.
+  constexpr std::chrono::milliseconds kCancelPollSlice(50);
+
   // One registry lock resolves both the endpoint and the channel's
   // cached crypto state up front.
   ChannelState* channel = nullptr;
@@ -137,6 +162,14 @@ Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
                                                                 : nullptr);
   if (endpoint == nullptr) {
     return Status::NotFound("unknown receiver '" + to + "'");
+  }
+  if (cancel != nullptr) {
+    Status live = cancel->Check();
+    if (!live.ok()) {
+      return Status(live.code(),
+                    live.message() + ReceiveContext(session, from, to,
+                                                    expected_topic));
+    }
   }
   const std::chrono::milliseconds timeout = receive_timeout();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -162,17 +195,35 @@ Result<Message> ChannelTransport::ReceiveOn(const std::string& session,
         return Status::NotFound("no pending message from '" + from +
                                 "' to '" + to + "'");
       }
-      if (endpoint->arrival.WaitUntil(endpoint->mutex, deadline) ==
-          std::cv_status::timeout) {
-        // Re-check once: the frame may have landed between the last scan
-        // and the deadline.
-        auto late_it = endpoint->queues.find(queue_key);
-        if (late_it != endpoint->queues.end() && !late_it->second.empty()) {
-          continue;
+      // Wake at the earliest of the transport deadline, the token's own
+      // deadline, and the poll slice, so cancellation and deadline expiry
+      // are noticed while the channel stays silent.
+      auto wake = std::min(deadline,
+                           std::chrono::steady_clock::now() + kCancelPollSlice);
+      if (cancel != nullptr && cancel->HasDeadline()) {
+        wake = std::min(wake, cancel->deadline());
+      }
+      (void)endpoint->arrival.WaitUntil(endpoint->mutex, wake);
+      // Re-scan first: a frame that landed during the wait wins over any
+      // concurrently tripped deadline or cancellation.
+      auto late_it = endpoint->queues.find(queue_key);
+      if (late_it != endpoint->queues.end() && !late_it->second.empty()) {
+        continue;
+      }
+      if (cancel != nullptr) {
+        Status live = cancel->Check();
+        if (!live.ok()) {
+          return Status(live.code(),
+                        live.message() + ReceiveContext(session, from, to,
+                                                        expected_topic));
         }
-        return Status::NotFound("no message from '" + from + "' to '" + to +
-                                "' within " + std::to_string(timeout.count()) +
-                                " ms");
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::Unavailable(
+            "no message from '" + from + "' to '" + to + "' within " +
+            std::to_string(timeout.count()) + " ms" +
+            ReceiveContext(session, from, to, expected_topic) +
+            ": peer unreachable or stalled");
       }
     }
   }
@@ -331,6 +382,42 @@ Status ChannelTransport::SetNonceCounterForTesting(const std::string& session,
   ChannelState* channel = ChannelFor(session, from, to);
   channel->nonce_counter.store(value, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void ChannelTransport::PurgeSession(const std::string& session) {
+  // Snapshot the endpoints under the registry lock, then drain each
+  // endpoint's session queues under its own mutex — same registry ->
+  // endpoint lock order as the send path.
+  std::vector<Endpoint*> endpoints;
+  {
+    MutexLock lock(registry_mutex_);
+    for (auto it = channels_.begin(); it != channels_.end();) {
+      if (std::get<0>(it->first) == session) {
+        it = channels_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    endpoints.reserve(parties_.size());
+    for (const auto& [name, endpoint] : parties_) {
+      endpoints.push_back(endpoint.get());
+    }
+  }
+  for (Endpoint* endpoint : endpoints) {
+    {
+      MutexLock lock(endpoint->mutex);
+      for (auto it = endpoint->queues.begin(); it != endpoint->queues.end();) {
+        if (it->first.first == session) {
+          it = endpoint->queues.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Wake blocked receivers so a waiter on the purged session re-polls
+    // its cancel token instead of sleeping out its slice.
+    endpoint->arrival.NotifyAll();
+  }
 }
 
 }  // namespace ppc

@@ -59,6 +59,36 @@ class ChannelTransport : public Network {
                             const std::string& expected_topic = "") override
       EXCLUDES(registry_mutex_);
 
+  Result<Message> ReceiveCancellable(const std::string& to,
+                                     const std::string& from,
+                                     const std::string& expected_topic,
+                                     const CancelToken* cancel) override {
+    return ReceiveOnCancellable(kDefaultSession, to, from, expected_topic,
+                                cancel);
+  }
+
+  /// The real blocking receive of every queue-based backend: waits in
+  /// short slices, re-checking `cancel` (when non-null) each wake, so a
+  /// cancelled or deadline-expired session unblocks in at most one slice.
+  /// An exhausted transport timeout is `kUnavailable` with the session,
+  /// channel, and topic in the message; a token deadline/cancellation
+  /// keeps the token's own code (`kDeadlineExceeded` or the cancel
+  /// reason), likewise decorated.
+  Result<Message> ReceiveOnCancellable(const std::string& session,
+                                       const std::string& to,
+                                       const std::string& from,
+                                       const std::string& expected_topic,
+                                       const CancelToken* cancel) override
+      EXCLUDES(registry_mutex_);
+
+  /// Frees every trace of `session`: its directed channels (counters,
+  /// nonce counters, crypto contexts) and its queued undelivered frames
+  /// at every endpoint. Callers must only purge retired session ids — a
+  /// later send on a purged session re-derives keys with a fresh nonce
+  /// counter, so reusing the id would reuse (key, nonce) pairs.
+  void PurgeSession(const std::string& session) override
+      EXCLUDES(registry_mutex_);
+
   void set_receive_timeout(std::chrono::milliseconds timeout) override {
     receive_timeout_.store(timeout.count(), std::memory_order_relaxed);
   }

@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "net/message.h"
@@ -188,6 +189,39 @@ class Network {
                                const std::string& from, const std::string& to,
                                const std::string& topic,
                                std::string wire_bytes) = 0;
+
+  // -- Cancellation-aware variants ------------------------------------------
+  //
+  // Blocking receives that consult a `CancelToken` while waiting, so a
+  // cancelled or deadline-expired session unblocks within one wait slice
+  // instead of sleeping out the full transport timeout. `cancel` may be
+  // null (then these are exactly `Receive`/`ReceiveOn`). Non-pure with
+  // forwarding defaults so transport implementations stay source-
+  // compatible; `ChannelTransport` overrides them with sliced waits.
+  //
+  // Error taxonomy every implementation must follow:
+  //   * token cancelled        -> the token's sticky reason
+  //   * token deadline passed  -> kDeadlineExceeded
+  //   * transport timeout      -> kUnavailable ("peer unreachable")
+  //   * zero-timeout empty     -> kNotFound (non-blocking probe, as ever)
+
+  /// `Receive` that polls `cancel` while blocked.
+  virtual Result<Message> ReceiveCancellable(const std::string& to,
+                                             const std::string& from,
+                                             const std::string& expected_topic,
+                                             const CancelToken* cancel);
+
+  /// `ReceiveOn` that polls `cancel` while blocked.
+  virtual Result<Message> ReceiveOnCancellable(
+      const std::string& session, const std::string& to,
+      const std::string& from, const std::string& expected_topic,
+      const CancelToken* cancel);
+
+  /// Drops every queue, channel crypto/nonce state, and pending frame
+  /// belonging to `session`, so a cancelled or failed session releases
+  /// its transport footprint. Default: no-op (backends without per-
+  /// session state have nothing to free).
+  virtual void PurgeSession(const std::string& session);
 };
 
 }  // namespace ppc

@@ -123,6 +123,27 @@ class SessionNetwork : public Network {
                                 std::move(wire_bytes));
   }
 
+  // Cancellation-aware calls: the plain form binds the view's session,
+  // the explicit form passes through, purge forwards to the base.
+  Result<Message> ReceiveCancellable(const std::string& to,
+                                     const std::string& from,
+                                     const std::string& expected_topic,
+                                     const CancelToken* cancel) override {
+    return base_->ReceiveOnCancellable(session_, to, from, expected_topic,
+                                       cancel);
+  }
+  Result<Message> ReceiveOnCancellable(const std::string& session,
+                                       const std::string& to,
+                                       const std::string& from,
+                                       const std::string& expected_topic,
+                                       const CancelToken* cancel) override {
+    return base_->ReceiveOnCancellable(session, to, from, expected_topic,
+                                       cancel);
+  }
+  void PurgeSession(const std::string& session) override {
+    base_->PurgeSession(session);
+  }
+
  private:
   Network* base_;
   std::string session_;

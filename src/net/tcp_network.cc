@@ -641,10 +641,30 @@ Status TcpNetwork::WriteFrame(const std::string& dest_addr,
     // this very write, then races here).
     int dead = conn->fd.exchange(-1, std::memory_order_acq_rel);
     if (dead >= 0) ::close(dead);
-    return Status::Internal("tcp write to " + dest_addr + " failed: " +
-                            std::strerror(saved));
+    // Typed as kUnavailable: the peer (or the path to it) is gone right
+    // now. The in-flight frame is NOT retried — the sender decides. The
+    // next send to this destination re-dials with the capped-backoff
+    // loop above and re-runs the HMAC handshake; channel nonce counters
+    // live above the connection, so the re-dialed connection continues
+    // the monotone nonce sequence and replays nothing.
+    return Status::Unavailable("tcp write to " + dest_addr + " failed (" +
+                               std::strerror(saved) +
+                               "): peer connection lost");
   }
   return Status::OK();
+}
+
+void TcpNetwork::DropEstablishedConnectionsForTesting() {
+  // shutdown(), not close(): in-flight writers still own the fd, and a
+  // close here could race a concurrent write onto a recycled descriptor.
+  // The shutdown makes their next write fail, which funnels them through
+  // WriteFrame's exchange(-1)-and-close path — the same path a peer
+  // crash exercises.
+  MutexLock lock(conn_mutex_);
+  for (auto& [addr, conn] : connections_) {
+    int fd = conn->fd.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
 }
 
 Status TcpNetwork::SendOn(const std::string& session, const std::string& from,

@@ -143,6 +143,14 @@ class TcpNetwork : public ChannelTransport {
     return dropped_frames_.load(std::memory_order_relaxed);
   }
 
+  /// Chaos hook: `shutdown()`s every established outbound connection, as
+  /// a crashed peer or dropped link would. The next send on each
+  /// destination fails fast with `kUnavailable` and tears the connection
+  /// down; the send after that re-dials (capped backoff), re-runs the
+  /// HMAC handshake, and continues the channels' monotone nonce
+  /// sequences — the reconnect path the recovery tests pin down.
+  void DropEstablishedConnectionsForTesting() EXCLUDES(conn_mutex_);
+
  private:
   struct RemoteAddress {
     std::string host;

@@ -121,7 +121,8 @@ TEST_P(MultiSessionTest, ConcurrentSessionsMatchSingleSessionBitForBit) {
   for (size_t i = 0; i < runs.size(); ++i) {
     SessionRun* run = &runs[i];
     Status started = registry.StartSession(run->id, [run, &plan](
-                                                        Network* snet) {
+                                                        Network* snet,
+                                                        CancelToken*) {
       const Schema& schema = run->data.data.schema();
       run->tp = std::make_unique<ThirdParty>("TP", snet, run->config, schema,
                                              kEntropyBase);
@@ -159,7 +160,7 @@ TEST_P(MultiSessionTest, ConcurrentSessionsMatchSingleSessionBitForBit) {
   }
 
   // Ids are single-use, even while running.
-  EXPECT_EQ(registry.StartSession("job-1", [](Network*) {
+  EXPECT_EQ(registry.StartSession("job-1", [](Network*, CancelToken*) {
     return Status::OK();
   }).code(),
             StatusCode::kAlreadyExists);
@@ -201,7 +202,7 @@ TEST_P(MultiSessionTest, RegistrySemantics) {
   SessionRegistry registry(net_.get());
 
   // Empty id is the transport's default session — refused.
-  EXPECT_EQ(registry.StartSession("", [](Network*) {
+  EXPECT_EQ(registry.StartSession("", [](Network*, CancelToken*) {
     return Status::OK();
   }).code(),
             StatusCode::kInvalidArgument);
@@ -213,7 +214,7 @@ TEST_P(MultiSessionTest, RegistrySemantics) {
   std::mutex mutex;
   std::condition_variable all_started;
   int started = 0;
-  auto rendezvous = [&](Network* snet) -> Status {
+  auto rendezvous = [&](Network* snet, CancelToken*) -> Status {
     EXPECT_NE(snet, nullptr);
     std::unique_lock<std::mutex> lock(mutex);
     if (++started == 3) all_started.notify_all();
@@ -233,7 +234,7 @@ TEST_P(MultiSessionTest, RegistrySemantics) {
   // A failed session's status is decorated with its id by WaitAll.
   ASSERT_TRUE(registry
                   .StartSession("bad",
-                                [](Network*) {
+                                [](Network*, CancelToken*) {
                                   return Status::Internal("body exploded");
                                 })
                   .ok());
@@ -274,7 +275,7 @@ TEST_P(MultiSessionTest, WaitSessionNeverReturnsBeforeBodyFinishes) {
 
     ASSERT_TRUE(registry
                     .StartSession(id,
-                                  [&](Network*) {
+                                  [&](Network*, CancelToken*) {
                                     std::this_thread::sleep_for(
                                         std::chrono::milliseconds(2));
                                     finished.store(

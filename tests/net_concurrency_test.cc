@@ -95,7 +95,10 @@ TEST_P(NetworkConcurrencyTest, BlockingReceiveTimesOut) {
   auto result = net.Receive("B", "A", "t");
   auto elapsed = std::chrono::duration_cast<milliseconds>(
       steady_clock::now() - start);
-  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // A blocking receive that times out is a typed transport error — the
+  // peer is unreachable or stalled — not the zero-timeout probe's
+  // kNotFound.
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   // The wait must actually have blocked (allow generous scheduler slack
   // below the configured timeout).
   EXPECT_GE(elapsed.count(), 40);

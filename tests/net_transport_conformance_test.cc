@@ -171,13 +171,18 @@ TEST_P(TransportConformanceTest, BlockingReceiveWakesOnLateArrival) {
   EXPECT_EQ(msg->payload, "worth the wait");
 }
 
-TEST_P(TransportConformanceTest, EmptyChannelTimesOutAsNotFound) {
+TEST_P(TransportConformanceTest, EmptyChannelTimesOutAsUnavailable) {
   net_->set_receive_timeout(std::chrono::milliseconds(50));
   const auto start = std::chrono::steady_clock::now();
   auto msg = net_->Receive("B", "A", "t");
   const auto elapsed = std::chrono::steady_clock::now() - start;
-  EXPECT_EQ(msg.status().code(), StatusCode::kNotFound);
+  // Typed: an exhausted blocking wait means the peer is unreachable or
+  // stalled (kUnavailable); only the zero-timeout probe is kNotFound.
+  EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
   EXPECT_GE(elapsed, std::chrono::milliseconds(45));
+  // The decorated message names who was waiting on whom.
+  EXPECT_NE(msg.status().message().find("'A' to 'B'"), std::string::npos)
+      << msg.status().message();
 }
 
 TEST_P(TransportConformanceTest, ZeroTimeoutIsImmediateNotFound) {

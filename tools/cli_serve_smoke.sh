@@ -15,7 +15,7 @@ SCRATCH="$2"
 
 fail() {
   echo "FAIL: $*" >&2
-  for log in tp b a submit; do
+  for log in tp b a submit tp2 b2 a2 submit2 tp3 b3 a3 submit3; do
     if [ -s "$SCRATCH/$log.err" ]; then
       echo "--- $log stderr ---" >&2
       cat "$SCRATCH/$log.err" >&2
@@ -86,4 +86,109 @@ $(cat "$SCRATCH/outcome.diff")"
 grep -q "served $JOBS sessions" "$SCRATCH/tp.err" \
   || fail "third-party daemon did not report serving $JOBS sessions"
 
-echo "PASS: $JOBS concurrent daemon-mode sessions each published the in-process outcome"
+# ---------------------------------------------------------------------------
+# Case 2: admission control. Daemons capped at one in-flight session get two
+# concurrent jobs over a dataset big enough that job 1 is still running when
+# job 2 arrives: job 2 must be refused with a typed ResourceExhausted record
+# (a per-job error line at the submitter), job 1 must still publish the
+# reference outcome, and the daemons must drain and exit 0.
+# ---------------------------------------------------------------------------
+
+"$CLI" generate --kind=mixed --objects=1600 --parties=2 --seed=8 \
+  "--prefix=$SCRATCH/big" > /dev/null || fail "generate (big) exited nonzero"
+"$CLI" cluster "$SCRATCH/big.part0.csv" "$SCRATCH/big.part1.csv" \
+  --clusters=3 > "$SCRATCH/big.inmem.out" \
+  || fail "in-process cluster (big) failed"
+grep -v '^# protocol:' "$SCRATCH/big.inmem.out" > "$SCRATCH/big.trimmed"
+
+BASE2=$((20000 + RANDOM % 12000))
+PEERS2="A=127.0.0.1:$BASE2,B=127.0.0.1:$((BASE2 + 1))"
+PEERS2="$PEERS2,TP=127.0.0.1:$((BASE2 + 2)),COORD=127.0.0.1:$((BASE2 + 3))"
+COMMON2=(--holders=A,B "--peers=$PEERS2" --net-timeout-ms=60000)
+
+"$CLI" serve --role=third-party "--schema=$SCRATCH/big.part0.csv" \
+  "${COMMON2[@]}" --max-inflight=1 2> "$SCRATCH/tp2.err" &
+TP2_PID=$!
+"$CLI" serve "$SCRATCH/big.part1.csv" --role=holder --party=B \
+  "${COMMON2[@]}" --max-inflight=1 2> "$SCRATCH/b2.err" &
+B2_PID=$!
+"$CLI" serve "$SCRATCH/big.part0.csv" --role=holder --party=A \
+  "${COMMON2[@]}" --max-inflight=1 2> "$SCRATCH/a2.err" &
+A2_PID=$!
+
+"$CLI" submit --jobs=2 --clusters=3 --session-prefix=cap- \
+  --deadline-ms=60000 "${COMMON2[@]}" \
+  > "$SCRATCH/cap.out" 2> "$SCRATCH/submit2.err"
+CAP_CODE=$?
+
+wait "$TP2_PID"; TP2_CODE=$?
+wait "$B2_PID"; B2_CODE=$?
+wait "$A2_PID"; A2_CODE=$?
+
+[ "$CAP_CODE" -ne 0 ] \
+  || fail "submit exited 0 although one job must be refused by admission"
+[ "$TP2_CODE" -eq 0 ] || fail "capped third-party daemon exited $TP2_CODE"
+[ "$B2_CODE" -eq 0 ] || fail "capped holder B daemon exited $B2_CODE"
+[ "$A2_CODE" -eq 0 ] || fail "capped holder A daemon exited $A2_CODE"
+
+grep -c '^# session ' "$SCRATCH/cap.out" | grep -qx 1 \
+  || fail "expected exactly one accepted job under --max-inflight=1"
+grep -v '^# session ' "$SCRATCH/cap.out" > "$SCRATCH/cap.trimmed"
+diff -u "$SCRATCH/big.trimmed" "$SCRATCH/cap.trimmed" > /dev/null \
+  || fail "the accepted job's outcome diverged from the in-process run"
+grep -q "^error: session 'cap-2'.*ResourceExhausted" "$SCRATCH/submit2.err" \
+  || fail "submit did not print a typed ResourceExhausted line for cap-2"
+grep -q "rejected 1 jobs" "$SCRATCH/a2.err" \
+  || fail "holder A daemon did not report the admission rejection"
+
+# ---------------------------------------------------------------------------
+# Case 3: a daemon dies mid-job. Holder B is SIGKILLed while the big job is
+# in flight: the survivors' session fails typed (receive timeout on the dead
+# channel), holder A publishes a typed per-job error record, submit reports
+# it and exits nonzero within its deadline, and the surviving daemons drain
+# on the shutdown record and exit 0 — a crashed peer never wedges the fleet.
+# ---------------------------------------------------------------------------
+
+BASE3=$((20000 + RANDOM % 12000))
+PEERS3="A=127.0.0.1:$BASE3,B=127.0.0.1:$((BASE3 + 1))"
+PEERS3="$PEERS3,TP=127.0.0.1:$((BASE3 + 2)),COORD=127.0.0.1:$((BASE3 + 3))"
+COMMON3=(--holders=A,B "--peers=$PEERS3" --net-timeout-ms=5000)
+
+"$CLI" serve --role=third-party "--schema=$SCRATCH/big.part0.csv" \
+  "${COMMON3[@]}" --drain-ms=2000 2> "$SCRATCH/tp3.err" &
+TP3_PID=$!
+"$CLI" serve "$SCRATCH/big.part1.csv" --role=holder --party=B \
+  "${COMMON3[@]}" --drain-ms=2000 2> "$SCRATCH/b3.err" &
+B3_PID=$!
+"$CLI" serve "$SCRATCH/big.part0.csv" --role=holder --party=A \
+  "${COMMON3[@]}" --drain-ms=2000 2> "$SCRATCH/a3.err" &
+A3_PID=$!
+
+"$CLI" submit --jobs=1 --clusters=3 --session-prefix=doomed- \
+  --deadline-ms=60000 "${COMMON3[@]}" \
+  > "$SCRATCH/doomed.out" 2> "$SCRATCH/submit3.err" &
+SUBMIT3_PID=$!
+
+# The 1600-object job runs for over a second; 0.5 s in, it is mid-protocol.
+sleep 0.5
+kill -9 "$B3_PID" 2> /dev/null
+wait "$B3_PID" 2> /dev/null
+
+wait "$SUBMIT3_PID"; DOOMED_CODE=$?
+wait "$TP3_PID"; TP3_CODE=$?
+wait "$A3_PID"; A3_CODE=$?
+
+[ "$DOOMED_CODE" -ne 0 ] \
+  || fail "submit exited 0 although its job's holder was killed mid-run"
+grep -q "^error: session 'doomed-1'" "$SCRATCH/submit3.err" \
+  || fail "submit did not print a typed per-job error for the doomed job"
+[ "$TP3_CODE" -eq 0 ] \
+  || fail "third-party daemon exited $TP3_CODE after a peer crash"
+[ "$A3_CODE" -eq 0 ] \
+  || fail "holder A daemon exited $A3_CODE after a peer crash"
+grep -q "session failure (isolated)" "$SCRATCH/a3.err" \
+  || fail "holder A daemon did not isolate the failed session"
+
+echo "PASS: $JOBS concurrent daemon-mode sessions each published the in-process outcome;" \
+  "admission control refused the over-cap job typed;" \
+  "a daemon killed mid-job produced a typed per-job error and a clean drain"

@@ -1,0 +1,11 @@
+// Fail fixture for the cancel-guarded-receive rule: bare blocking
+// receives outside src/net/, which no CancelSession or armed deadline
+// could ever unwedge.
+namespace ppc {
+
+void AwaitPeer(Network* network) {
+  (void)network->Receive("tp", "dh1", kSomeTopic);  // EXPECT-LINT: cancel-guarded-receive
+  (void)network->ReceiveOn("s1", "tp", "dh1");  // EXPECT-LINT: cancel-guarded-receive
+}
+
+}  // namespace ppc

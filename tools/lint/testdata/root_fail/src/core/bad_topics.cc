@@ -10,4 +10,8 @@ const char* Control() {
   return "ctl.job";  // EXPECT-LINT: topic-literals
 }
 
+const char* Failure() {
+  return "ctl.error";  // EXPECT-LINT: topic-literals
+}
+
 }  // namespace ppc

@@ -1,0 +1,15 @@
+// Pass fixture for the cancel-guarded-receive rule: the sanctioned
+// spellings outside src/net/ — the cancellable variants (with a real
+// token or an explicit null one). The bare "Receive(" in this comment is
+// commentary, not code, and must not fire.
+#include "core/topics.h"
+
+namespace ppc {
+
+void AwaitPeer(Network* network, const CancelToken* cancel) {
+  (void)network->ReceiveCancellable("tp", "dh1", topics::kDhPublic, cancel);
+  (void)network->ReceiveOnCancellable("s1", "tp", "dh1", topics::kDhPublic,
+                                      /*cancel=*/nullptr);
+}
+
+}  // namespace ppc

@@ -77,9 +77,11 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/comm_model.h"
+#include "common/cancellation.h"
 #include "common/string_util.h"
 #include "core/session_registry.h"
 #include "core/topics.h"
@@ -194,12 +196,16 @@ constexpr char kUsage[] =
     "              [--entropy-seed=S]   (one OS process per party; see\n"
     "              README \"Deployment modes\")\n"
     "  ppclust_cli serve [PART.csv] --role=holder|third-party\n"
-    "              --holders=... --peers=...   (resident daemon: runs each\n"
-    "              submitted job as a concurrent session; flags as above)\n"
+    "              --holders=... --peers=... [--max-inflight=N]\n"
+    "              [--deadline-ms=MS] [--drain-ms=MS]   (resident daemon:\n"
+    "              runs each submitted job as a concurrent session, flags\n"
+    "              as above; bounds in-flight sessions, arms per-session\n"
+    "              deadlines, and drains then cancels on shutdown)\n"
     "  ppclust_cli submit --jobs=N [--clusters=K] [--session-prefix=job-]\n"
-    "              [--shutdown=true] --holders=... --peers=...\n"
-    "              (fire N concurrent jobs at the serve daemons from the\n"
-    "              COORD address and print each session's outcome)\n";
+    "              [--shutdown=true] [--deadline-ms=MS] --holders=...\n"
+    "              --peers=...   (fire N concurrent jobs at the serve\n"
+    "              daemons from the COORD address and print each session's\n"
+    "              outcome, or a typed per-job error within the deadline)\n";
 
 int Usage() {
   std::fprintf(stderr, "%s", kUsage);
@@ -597,8 +603,11 @@ int RunClusterRole(const Flags& flags) {
     // two different scales. (The flag's 7-day cap keeps 10x far inside
     // the deadline arithmetic's range.)
     (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms * 10));
-    auto msg = (*network)->Receive(party, holder_order[0],
-                                   topics::kCoordinatorOutcome);
+    // Null token: the one-shot coordinator has no cancellation source
+    // beyond the transport timeout itself.
+    auto msg = (*network)->ReceiveCancellable(party, holder_order[0],
+                                              topics::kCoordinatorOutcome,
+                                              /*cancel=*/nullptr);
     if (!msg.ok()) return Fail(msg.status().ToString());
     ByteReader reader(msg->payload);
     auto outcome = ClusteringOutcome::Deserialize(&reader);
@@ -671,19 +680,23 @@ int RunClusterRole(const Flags& flags) {
 
 /// Control-plane job record carried on topics::kJobSubmit (always on the
 /// transport's default session): kind ("job" or "shutdown"), the session
-/// id the job runs under, and the requested cluster count. Protocol
-/// parameters beyond that are fixed at daemon startup — every job a
-/// daemon serves uses the daemon's --alphabet/--mode/... flags.
+/// id the job runs under, the requested cluster count, and the job's
+/// end-to-end deadline (0 = the daemon's own --deadline-ms, which itself
+/// defaults to none). Protocol parameters beyond that are fixed at daemon
+/// startup — every job a daemon serves uses the daemon's
+/// --alphabet/--mode/... flags.
 struct JobRecord {
   std::string kind;
   std::string session;
   uint64_t num_clusters = 0;
+  uint64_t deadline_ms = 0;
 
   std::string Serialize() const {
     ByteWriter writer;
     writer.WriteBytes(kind);
     writer.WriteBytes(session);
     writer.WriteU64(num_clusters);
+    writer.WriteU64(deadline_ms);
     return writer.TakeBytes();
   }
 
@@ -699,9 +712,55 @@ struct JobRecord {
     auto clusters = reader.ReadU64();
     if (!clusters.ok()) return clusters.status();
     record.num_clusters = *clusters;
+    auto deadline = reader.ReadU64();
+    if (!deadline.ok()) return deadline.status();
+    record.deadline_ms = *deadline;
     Status end = reader.ExpectEnd();
     if (!end.ok()) return end;
     return record;
+  }
+};
+
+/// Control-plane per-job failure record carried on topics::kJobError (on
+/// the failed job's session, so `submit`'s per-session collect loop picks
+/// it up in place of the outcome it is waiting for): the typed StatusCode
+/// plus message of the session's failure — admission rejection or a death
+/// mid-protocol. Sent by the outcome-publishing daemon (roster holder 0),
+/// best-effort: if it cannot be delivered, `submit`'s own --deadline-ms
+/// still bounds the wait.
+struct JobErrorRecord {
+  uint64_t code = 0;  // static_cast<uint64_t>(StatusCode)
+  std::string message;
+
+  std::string Serialize() const {
+    ByteWriter writer;
+    writer.WriteU64(code);
+    writer.WriteBytes(message);
+    return writer.TakeBytes();
+  }
+
+  static Result<JobErrorRecord> Deserialize(const std::string& payload) {
+    ByteReader reader(payload);
+    JobErrorRecord record;
+    auto code = reader.ReadU64();
+    if (!code.ok()) return code.status();
+    record.code = *code;
+    auto message = reader.ReadBytes();
+    if (!message.ok()) return message.status();
+    record.message = std::move(*message);
+    Status end = reader.ExpectEnd();
+    if (!end.ok()) return end;
+    return record;
+  }
+
+  /// The record as a Status (clamping unknown codes to kInternal so a
+  /// forged/corrupt code cannot masquerade as OK).
+  Status ToStatus() const {
+    StatusCode status_code = static_cast<StatusCode>(code);
+    if (code == 0 || code > static_cast<uint64_t>(StatusCode::kUnavailable)) {
+      status_code = StatusCode::kInternal;
+    }
+    return Status(status_code, message);
   }
 };
 
@@ -760,8 +819,8 @@ int RunServe(const Flags& flags) {
   if (int bad = CheckFlagNames(
           flags, {"role", "party", "holders", "peers", "third-party",
                   "coordinator", "net-timeout-ms", "entropy-seed", "schema",
-                  "alphabet", "mode", "threads", "schedule",
-                  "tile-size"})) {
+                  "alphabet", "mode", "threads", "schedule", "tile-size",
+                  "max-inflight", "deadline-ms", "drain-ms"})) {
     return bad;
   }
   const std::string role = flags.Get("role", "");
@@ -782,6 +841,29 @@ int RunServe(const Flags& flags) {
   if (timeout_ms < 1 || timeout_ms > kMaxNetTimeoutMs) {
     return Fail("--net-timeout-ms must be between 1 and " +
                 std::to_string(kMaxNetTimeoutMs) + " (7 days)");
+  }
+
+  // Admission control: at most this many sessions in flight at once; an
+  // over-budget job is rejected with a typed kResourceExhausted record
+  // instead of queueing unboundedly. 0 = unbounded (the pre-hardening
+  // behavior).
+  const int64_t max_inflight = flags.GetInt("max-inflight", 0);
+  if (max_inflight < 0) {
+    return Fail("--max-inflight must be non-negative (0 = unbounded)");
+  }
+  // Default end-to-end deadline armed on each session's cancel token; a
+  // job record carrying its own deadline overrides it. 0 = none.
+  const int64_t serve_deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (serve_deadline_ms < 0 || serve_deadline_ms > kMaxNetTimeoutMs) {
+    return Fail("--deadline-ms must be between 0 (no deadline) and " +
+                std::to_string(kMaxNetTimeoutMs));
+  }
+  // How long a shutdown drains in-flight sessions before cancelling the
+  // stragglers. 0 = wait indefinitely.
+  const int64_t drain_ms = flags.GetInt("drain-ms", 0);
+  if (drain_ms < 0 || drain_ms > kMaxNetTimeoutMs) {
+    return Fail("--drain-ms must be between 0 (wait indefinitely) and " +
+                std::to_string(kMaxNetTimeoutMs));
   }
 
   const std::string party =
@@ -848,14 +930,31 @@ int RunServe(const Flags& flags) {
   plan.third_party = tp_name;
 
   SessionRegistry registry(network->get());
+  // The daemon that publishes outcomes (roster holder 0) is also the one
+  // that tells the submitter about a job's typed failure — on the failed
+  // job's own session, so the submitter's per-session collect loop picks
+  // it up in place of the outcome that will never come.
+  const bool publishes_outcome = role == "holder" && my_index == 0;
+  const bool has_coordinator = peers.count(coord_name) != 0;
   std::fprintf(stderr, "# %s: serving (role %s, listening on %u)\n",
                party.c_str(), role.c_str(), (*network)->listen_port());
   size_t served = 0;
+  size_t rejected = 0;
   for (;;) {
-    auto msg = (*network)->Receive(party, coord_name, topics::kJobSubmit);
+    // The daemon's main loop is the one deliberately un-cancellable
+    // blocking receive in the tree (null token): shutdown arrives as a
+    // control record, not a cancellation.
+    auto msg = (*network)->ReceiveCancellable(party, coord_name,
+                                              topics::kJobSubmit,
+                                              /*cancel=*/nullptr);
     if (!msg.ok()) {
-      // An idle window with no submissions is not an error for a daemon.
-      if (msg.status().code() == StatusCode::kNotFound) continue;
+      // An idle window with no submissions (kUnavailable after the
+      // receive timeout; kNotFound from a zero-timeout probe) is not an
+      // error for a daemon.
+      if (msg.status().code() == StatusCode::kNotFound ||
+          msg.status().code() == StatusCode::kUnavailable) {
+        continue;
+      }
       return Fail(msg.status().ToString());
     }
     auto job = JobRecord::Deserialize(msg->payload);
@@ -864,6 +963,34 @@ int RunServe(const Flags& flags) {
     if (job->kind != "job") {
       return Fail("unknown control record kind '" + job->kind + "'");
     }
+
+    // Admission control: every daemon enforces its own bound, and a
+    // rejection is a logged, typed event — never a dead daemon.
+    if (max_inflight > 0 &&
+        registry.ActiveCount() >= static_cast<size_t>(max_inflight)) {
+      Status refusal = Status::ResourceExhausted(
+          "daemon '" + party + "' is at --max-inflight=" +
+          std::to_string(max_inflight) + " sessions; job '" + job->session +
+          "' rejected");
+      std::fprintf(stderr, "# %s: %s\n", party.c_str(),
+                   refusal.ToString().c_str());
+      ++rejected;
+      if (publishes_outcome && has_coordinator) {
+        JobErrorRecord record{static_cast<uint64_t>(refusal.code()),
+                              refusal.message()};
+        // Best-effort: if the notice cannot be delivered, the submitter's
+        // own --deadline-ms still bounds its wait.
+        (void)(*network)->SendOn(job->session, party, coord_name,
+                                 topics::kJobError, record.Serialize());
+      }
+      continue;
+    }
+
+    // The job's own deadline wins; the daemon's --deadline-ms is the
+    // fleet-wide default for submitters that set none.
+    const uint64_t deadline_ms =
+        job->deadline_ms != 0 ? job->deadline_ms
+                              : static_cast<uint64_t>(serve_deadline_ms);
     ClusterRequest request;
     request.num_clusters = job->num_clusters;
 
@@ -871,8 +998,11 @@ int RunServe(const Flags& flags) {
     // (and any number of sibling sessions) keeps running while it works.
     SessionRegistry::SessionBody body;
     if (role == "third-party") {
-      body = [tp_name, config, schema, entropy_seed, plan](Network* snet) {
+      body = [tp_name, config, schema, entropy_seed, plan, deadline_ms](
+                 Network* snet, CancelToken* cancel) {
+        cancel->ArmDeadline(deadline_ms);
         ThirdParty tp(tp_name, snet, config, schema, entropy_seed);
+        tp.BindCancelToken(cancel);
         Status status = PartyRunner::RunThirdParty(&tp, plan, schema);
         if (!status.ok()) return status;
         return tp.ServeClusterRequest(plan.holder_order[0]);
@@ -880,21 +1010,34 @@ int RunServe(const Flags& flags) {
     } else {
       const bool requests_clustering = my_index == 0;
       body = [party, coord_name, config, schema, entropy_seed, plan, matrix,
-              request, requests_clustering](Network* snet) {
-        DataHolder holder(party, snet, config, entropy_seed);
-        Status status = holder.SetData(matrix);
-        if (!status.ok()) return status;
-        status = PartyRunner::RunHolder(&holder, plan, schema);
-        if (!status.ok()) return status;
-        if (!requests_clustering) return Status::OK();
-        auto outcome = PartyRunner::RequestClustering(&holder, plan, request);
-        if (!outcome.ok()) return outcome.status();
-        ByteWriter writer;
-        outcome->Serialize(&writer);
-        // Session-scoped: the submitter collects each job's outcome off
-        // that job's own session.
-        return snet->Send(party, coord_name, topics::kCoordinatorOutcome,
-                          writer.TakeBytes());
+              request, requests_clustering, has_coordinator, deadline_ms](
+                 Network* snet, CancelToken* cancel) {
+        cancel->ArmDeadline(deadline_ms);
+        Status status = [&]() -> Status {
+          DataHolder holder(party, snet, config, entropy_seed);
+          holder.BindCancelToken(cancel);
+          PPC_RETURN_IF_ERROR(holder.SetData(matrix));
+          PPC_RETURN_IF_ERROR(PartyRunner::RunHolder(&holder, plan, schema));
+          if (!requests_clustering) return Status::OK();
+          auto outcome =
+              PartyRunner::RequestClustering(&holder, plan, request);
+          if (!outcome.ok()) return outcome.status();
+          ByteWriter writer;
+          outcome->Serialize(&writer);
+          // Session-scoped: the submitter collects each job's outcome off
+          // that job's own session.
+          return snet->Send(party, coord_name, topics::kCoordinatorOutcome,
+                            writer.TakeBytes());
+        }();
+        if (!status.ok() && requests_clustering && has_coordinator) {
+          JobErrorRecord record{static_cast<uint64_t>(status.code()),
+                                status.message()};
+          // Best-effort typed death notice; voided because the session is
+          // failing with `status` regardless of whether it lands.
+          (void)snet->Send(party, coord_name, topics::kJobError,
+                           record.Serialize());
+        }
+        return status;
       };
     }
     Status started = registry.StartSession(job->session, std::move(body));
@@ -902,12 +1045,56 @@ int RunServe(const Flags& flags) {
     ++served;
   }
 
+  // Graceful drain: the loop has exited, so nothing new is admitted;
+  // in-flight sessions get --drain-ms to finish before a watchdog cancels
+  // the stragglers — shutdown cannot hang on a wedged peer.
+  Mutex drain_mutex;
+  CondVar drain_cv;
+  bool drained = false;
+  std::thread watchdog;
+  if (drain_ms > 0) {
+    const auto drain_deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(drain_ms);
+    watchdog = std::thread([&registry, &drain_mutex, &drain_cv, &drained,
+                            &party, drain_ms, drain_deadline] {
+      MutexLock lock(drain_mutex);
+      while (!drained) {
+        if (drain_cv.WaitUntil(drain_mutex, drain_deadline) ==
+                std::cv_status::timeout &&
+            !drained) {
+          registry.CancelAll(Status::DeadlineExceeded(
+              "daemon '" + party + "' shutting down: drain deadline (" +
+              std::to_string(drain_ms) + " ms) expired"));
+          return;
+        }
+      }
+    });
+  }
   Status all = registry.WaitAll();
-  if (!all.ok()) return Fail(all.ToString());
+  if (drain_ms > 0) {
+    {
+      MutexLock lock(drain_mutex);
+      drained = true;
+    }
+    drain_cv.NotifyAll();
+    watchdog.join();
+  }
+  // Per-session failure isolation: a session that died (dead peer,
+  // deadline, cancellation) is logged, and its typed record already went
+  // to the submitter; the daemon itself shuts down cleanly.
+  if (!all.ok()) {
+    std::fprintf(stderr, "# %s: session failure (isolated): %s\n",
+                 party.c_str(), all.ToString().c_str());
+  }
   std::fprintf(stderr, "# %s: served %zu sessions; sent %llu wire bytes\n",
                party.c_str(), served,
                static_cast<unsigned long long>(
                    (*network)->TotalSentBy(party).wire_bytes));
+  if (rejected > 0) {
+    std::fprintf(stderr, "# %s: rejected %zu jobs (--max-inflight=%lld)\n",
+                 party.c_str(), rejected,
+                 static_cast<long long>(max_inflight));
+  }
   return 0;
 }
 
@@ -918,8 +1105,8 @@ int RunServe(const Flags& flags) {
 int RunSubmit(const Flags& flags) {
   if (int bad = CheckFlagNames(
           flags, {"holders", "peers", "third-party", "coordinator", "jobs",
-                  "clusters", "session-prefix", "net-timeout-ms",
-                  "shutdown"})) {
+                  "clusters", "session-prefix", "net-timeout-ms", "shutdown",
+                  "deadline-ms"})) {
     return bad;
   }
   if (!flags.positional.empty()) {
@@ -947,6 +1134,16 @@ int RunSubmit(const Flags& flags) {
   if (shutdown != "true" && shutdown != "false") {
     return Fail("--shutdown expects true or false");
   }
+  // End-to-end per-job deadline, shipped in each job record (so the
+  // daemons arm it on the session's cancel token) and armed locally on
+  // each outcome wait: a daemon that dies mid-job yields a typed error
+  // line here within the deadline instead of a submit that hangs forever.
+  // 0 = no deadline (the transport's 10x receive budget still applies).
+  const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (deadline_ms < 0 || deadline_ms > kMaxNetTimeoutMs) {
+    return Fail("--deadline-ms must be between 0 (no deadline) and " +
+                std::to_string(kMaxNetTimeoutMs));
+  }
   if (!flags.value_error.empty()) return Fail(flags.value_error);
 
   auto network = SetUpEndpoint(coord_name, peers, timeout_ms);
@@ -963,7 +1160,8 @@ int RunSubmit(const Flags& flags) {
   std::vector<std::string> sessions;
   for (int64_t j = 0; j < jobs; ++j) {
     JobRecord job{"job", prefix + std::to_string(j + 1),
-                  static_cast<uint64_t>(clusters)};
+                  static_cast<uint64_t>(clusters),
+                  static_cast<uint64_t>(deadline_ms)};
     sessions.push_back(job.session);
     const std::string payload = job.Serialize();
     for (const std::string& participant : participants) {
@@ -974,13 +1172,38 @@ int RunSubmit(const Flags& flags) {
   }
 
   // Each outcome wait spans a whole protocol run plus the clustering
-  // computation, so it gets the coordinator's 10x budget.
+  // computation, so it gets the coordinator's 10x budget — cut short by
+  // --deadline-ms when one is set. The expected topic is left open
+  // because a session resolves to exactly one of two control records:
+  // the outcome (ctl.outcome) or a typed failure record (ctl.error). A
+  // job that fails — daemon died, rejected by admission control, or
+  // nothing arrived before the deadline — prints a typed error line and
+  // the loop moves on to the next session; it never hangs the submitter
+  // or abandons the remaining outcomes.
   (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms * 10));
+  size_t failed = 0;
   for (const std::string& session : sessions) {
-    auto msg = (*network)->ReceiveOn(session, coord_name, holder_order[0],
-                                     topics::kCoordinatorOutcome);
+    CancelToken token;
+    token.ArmDeadline(static_cast<uint64_t>(deadline_ms));
+    auto msg = (*network)->ReceiveOnCancellable(
+        session, coord_name, holder_order[0], /*expected_topic=*/"", &token);
     if (!msg.ok()) {
-      return Fail("session '" + session + "': " + msg.status().ToString());
+      ++failed;
+      std::fprintf(stderr, "error: session '%s': %s\n", session.c_str(),
+                   msg.status().ToString().c_str());
+      continue;
+    }
+    if (msg->topic == topics::kJobError) {
+      auto record = JobErrorRecord::Deserialize(msg->payload);
+      if (!record.ok()) return Fail(record.status().ToString());
+      ++failed;
+      std::fprintf(stderr, "error: session '%s': %s\n", session.c_str(),
+                   record->ToStatus().ToString().c_str());
+      continue;
+    }
+    if (msg->topic != topics::kCoordinatorOutcome) {
+      return Fail("session '" + session + "': unexpected control topic '" +
+                  msg->topic + "'");
     }
     ByteReader reader(msg->payload);
     auto outcome = ClusteringOutcome::Deserialize(&reader);
@@ -993,12 +1216,22 @@ int RunSubmit(const Flags& flags) {
 
   if (shutdown == "true") {
     (*network)->set_receive_timeout(std::chrono::milliseconds(timeout_ms));
-    const std::string payload = JobRecord{"shutdown", "", 0}.Serialize();
+    const std::string payload = JobRecord{"shutdown", "", 0, 0}.Serialize();
     for (const std::string& participant : participants) {
       Status sent = (*network)->Send(coord_name, participant,
                                      topics::kJobSubmit, payload);
-      if (!sent.ok()) return Fail(sent.ToString());
+      // A daemon that already died must not block the shutdown sweep (or
+      // mask the per-job errors): the survivors still get their record.
+      if (!sent.ok()) {
+        std::fprintf(stderr, "error: shutdown record to '%s': %s\n",
+                     participant.c_str(), sent.ToString().c_str());
+      }
     }
+  }
+  if (failed > 0) {
+    return Fail(std::to_string(failed) + " of " +
+                std::to_string(sessions.size()) +
+                " jobs failed (typed per-job errors above)");
   }
   return 0;
 }
